@@ -1,0 +1,55 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "wot/io/dataset_csv.h"
+#include "wot/util/check.h"
+
+namespace wot {
+namespace bench {
+
+SynthConfig PaperScaleConfig(size_t num_users, uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = num_users;
+  // Scale object volume with the community so review collision pressure
+  // stays constant along the --users axis.
+  config.mean_objects_per_category =
+      std::max<size_t>(40, num_users / 25);
+  return config;
+}
+
+void RegisterCommonFlags(FlagParser* flags, ExperimentArgs* args) {
+  flags->AddInt64("users", &args->users,
+                  "synthetic community size (ignored with --load)");
+  flags->AddInt64("seed", &args->seed, "generator seed");
+  flags->AddString("load", &args->load,
+                   "dataset directory in the wot CSV schema; replaces the "
+                   "synthetic workload");
+}
+
+SynthCommunity MakeCommunity(const ExperimentArgs& args) {
+  if (!args.load.empty()) {
+    Result<Dataset> loaded = LoadDatasetCsv(args.load);
+    WOT_CHECK(loaded.ok()) << loaded.status().ToString();
+    SynthCommunity community;
+    community.dataset = std::move(loaded).ValueOrDie();
+    // External data carries no latent profiles or designations; the
+    // Table-2/3 binaries check for this and explain.
+    std::printf("loaded dataset from %s: %s\n", args.load.c_str(),
+                community.dataset.Summary().c_str());
+    return community;
+  }
+  WOT_CHECK_GT(args.users, 0);
+  SynthConfig config = PaperScaleConfig(static_cast<size_t>(args.users),
+                                        static_cast<uint64_t>(args.seed));
+  Result<SynthCommunity> community = GenerateCommunity(config);
+  WOT_CHECK(community.ok()) << community.status().ToString();
+  std::printf("synthetic community (seed %lld): %s\n",
+              static_cast<long long>(args.seed),
+              community.ValueOrDie().dataset.Summary().c_str());
+  return std::move(community).ValueOrDie();
+}
+
+}  // namespace bench
+}  // namespace wot

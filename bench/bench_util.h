@@ -1,0 +1,43 @@
+// Shared workload definitions for the experiment binaries: one canonical
+// "paper workload" (an Epinions-Video&DVD-shaped synthetic community) and
+// flag plumbing so every binary accepts --users / --seed / --load.
+#ifndef WOT_BENCH_BENCH_UTIL_H_
+#define WOT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "wot/community/dataset.h"
+#include "wot/synth/config.h"
+#include "wot/synth/generator.h"
+#include "wot/util/flags.h"
+
+namespace wot {
+namespace bench {
+
+/// \brief The canonical experiment workload: 12 sub-categories named after
+/// the paper's Table 2, heavy-tailed activity, ratings far denser than
+/// trust. Scaled down from 44,197 users so every binary finishes in
+/// seconds; pass --users to move along the scale axis.
+SynthConfig PaperScaleConfig(size_t num_users, uint64_t seed);
+
+/// \brief Common flags of every experiment binary.
+struct ExperimentArgs {
+  int64_t users = 4000;
+  int64_t seed = 42;
+  std::string load;  // optional dataset directory (CSV schema); overrides
+                     // the synthetic workload when set
+};
+
+/// \brief Registers the common flags on \p flags.
+void RegisterCommonFlags(FlagParser* flags, ExperimentArgs* args);
+
+/// \brief Materializes the experiment community: loads --load if given
+/// (with empty ground-truth designations), else generates the synthetic
+/// workload. Dies on error (experiment binaries have no recovery path).
+SynthCommunity MakeCommunity(const ExperimentArgs& args);
+
+}  // namespace bench
+}  // namespace wot
+
+#endif  // WOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Microbenchmarks of serialization: binary vs CSV round-trips and raw CSV
+// parsing throughput.
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "wot/io/binary_format.h"
+#include "wot/io/csv.h"
+
+namespace wot {
+namespace {
+
+const Dataset& DatasetOfSize(size_t users) {
+  static std::map<size_t, Dataset>* cache = new std::map<size_t, Dataset>();
+  auto it = cache->find(users);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(users,
+                       GenerateCommunity(bench::PaperScaleConfig(users, 42))
+                           .ValueOrDie()
+                           .dataset)
+             .first;
+  }
+  return it->second;
+}
+
+void BM_BinarySerialize(benchmark::State& state) {
+  const Dataset& ds = DatasetOfSize(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string buffer = SerializeDataset(ds);
+    bytes = buffer.size();
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_BinarySerialize)->Arg(1000)->Arg(4000);
+
+void BM_BinaryDeserialize(benchmark::State& state) {
+  const Dataset& ds = DatasetOfSize(static_cast<size_t>(state.range(0)));
+  std::string buffer = SerializeDataset(ds);
+  for (auto _ : state) {
+    Result<Dataset> loaded = DeserializeDataset(buffer);
+    benchmark::DoNotOptimize(loaded.ValueOrDie().num_ratings());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buffer.size()));
+}
+BENCHMARK(BM_BinaryDeserialize)->Arg(1000)->Arg(4000);
+
+void BM_CsvParse(benchmark::State& state) {
+  // A ratings-table-shaped CSV document.
+  std::string text = "rater,writer,object,value\n";
+  Rng rng(7);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    text += "user" + std::to_string(rng.NextBounded(5000)) + ",user" +
+            std::to_string(rng.NextBounded(5000)) + ",movies/item" +
+            std::to_string(rng.NextBounded(2000)) + ",0." +
+            std::to_string(2 * (1 + rng.NextBounded(4))) + "\n";
+  }
+  for (auto _ : state) {
+    auto rows = ParseCsv(text);
+    benchmark::DoNotOptimize(rows.ValueOrDie().size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvParse)->Arg(10000)->Arg(100000);
+
+void BM_CsvEscapeHeavy(benchmark::State& state) {
+  std::vector<CsvRow> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({"field,with,commas", "quote\"inside",
+                    "plain" + std::to_string(i)});
+  }
+  for (auto _ : state) {
+    std::string out = WriteCsv(rows);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CsvEscapeHeavy);
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,132 @@
+// Microbenchmarks of the matrix substrate: CSR build, pattern set algebra,
+// sparse products and the dense row kernel.
+#include <benchmark/benchmark.h>
+
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+SparseMatrix RandomSparse(size_t n, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  SparseMatrixBuilder builder(n, n, DuplicatePolicy::kLast);
+  for (size_t k = 0; k < nnz; ++k) {
+    builder.Add(rng.NextBounded(n), rng.NextBounded(n), rng.NextDouble());
+  }
+  return builder.Build();
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const size_t n = 10000;
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::tuple<uint32_t, uint32_t, double>> triplets;
+  triplets.reserve(nnz);
+  for (size_t k = 0; k < nnz; ++k) {
+    triplets.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                          static_cast<uint32_t>(rng.NextBounded(n)),
+                          rng.NextDouble());
+  }
+  for (auto _ : state) {
+    SparseMatrixBuilder builder(n, n, DuplicatePolicy::kLast);
+    for (const auto& [r, c, v] : triplets) {
+      builder.Add(r, c, v);
+    }
+    SparseMatrix m = builder.Build();
+    benchmark::DoNotOptimize(m.nnz());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nnz));
+}
+BENCHMARK(BM_CsrBuild)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_PatternIntersect(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(10000, nnz, 1);
+  SparseMatrix b = RandomSparse(10000, nnz, 2);
+  for (auto _ : state) {
+    SparseMatrix out = PatternIntersect(a, b);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+}
+BENCHMARK(BM_PatternIntersect)->Arg(100000)->Arg(1000000);
+
+void BM_CountPatternIntersect(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(10000, nnz, 1);
+  SparseMatrix b = RandomSparse(10000, nnz, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountPatternIntersect(a, b));
+  }
+}
+BENCHMARK(BM_CountPatternIntersect)->Arg(100000)->Arg(1000000);
+
+void BM_SpMV(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(10000, nnz, 3);
+  std::vector<double> x(10000, 0.5);
+  for (auto _ : state) {
+    std::vector<double> y = SpMV(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(100000)->Arg(1000000);
+
+void BM_Transpose(benchmark::State& state) {
+  SparseMatrix a = RandomSparse(10000, 500000, 4);
+  for (auto _ : state) {
+    SparseMatrix t = a.Transposed();
+    benchmark::DoNotOptimize(t.nnz());
+  }
+}
+BENCHMARK(BM_Transpose);
+
+void BM_SpGemm(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  SparseMatrix a = RandomSparse(3000, nnz, 6);
+  SparseMatrix b = RandomSparse(3000, nnz, 7);
+  for (auto _ : state) {
+    SparseMatrix c = SpGemm(a, b);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpGemm)->Arg(30000)->Arg(100000);
+
+void BM_KeepTopKPerRow(benchmark::State& state) {
+  SparseMatrix m = RandomSparse(3000, 300000, 8);
+  for (auto _ : state) {
+    SparseMatrix kept = KeepTopKPerRow(m, static_cast<size_t>(
+                                              state.range(0)));
+    benchmark::DoNotOptimize(kept.nnz());
+  }
+}
+BENCHMARK(BM_KeepTopKPerRow)->Arg(16)->Arg(64);
+
+void BM_DenseRowKernel(benchmark::State& state) {
+  // The eq.-5 inner loop shape: tall-skinny dense accesses.
+  const size_t users = static_cast<size_t>(state.range(0));
+  const size_t cats = 12;
+  DenseMatrix expertise(users, cats);
+  Rng rng(5);
+  for (size_t u = 0; u < users; ++u) {
+    for (size_t c = 0; c < cats; ++c) {
+      expertise.At(u, c) = rng.NextDouble();
+    }
+  }
+  std::vector<double> out(users);
+  for (auto _ : state) {
+    for (size_t c = 0; c < cats; c += 3) {
+      for (size_t j = 0; j < users; ++j) {
+        out[j] += 0.3 * expertise.At(j, c);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DenseRowKernel)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,124 @@
+#include "wot/community/category_view.h"
+
+#include <unordered_map>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+CategoryView::CategoryView(const Dataset& dataset,
+                           const DatasetIndices& indices,
+                           CategoryId category)
+    : category_(category) {
+  WOT_CHECK(category.valid());
+
+  auto reviews = indices.ReviewsInCategory(category);
+  review_ids_.assign(reviews.begin(), reviews.end());
+
+  // Local review remap.
+  std::unordered_map<uint32_t, uint32_t> review_local;
+  review_local.reserve(review_ids_.size());
+  for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+    review_local.emplace(review_ids_[lr].value(),
+                         static_cast<uint32_t>(lr));
+  }
+
+  // Writers, in first-seen order over category reviews.
+  std::unordered_map<uint32_t, uint32_t> writer_local;
+  review_writer_.resize(review_ids_.size());
+  for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+    UserId writer = dataset.review(review_ids_[lr]).writer;
+    auto [it, inserted] = writer_local.emplace(
+        writer.value(), static_cast<uint32_t>(writer_ids_.size()));
+    if (inserted) {
+      writer_ids_.push_back(writer);
+    }
+    review_writer_[lr] = it->second;
+  }
+
+  // Collect in-category ratings (review side) and discover raters.
+  std::unordered_map<uint32_t, uint32_t> rater_local;
+  size_t total_ratings = 0;
+  for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+    total_ratings += indices.RatingsOfReview(review_ids_[lr]).size();
+  }
+  review_rating_offsets_.assign(review_ids_.size() + 1, 0);
+  review_ratings_.reserve(total_ratings);
+  for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+    for (const auto& ref : indices.RatingsOfReview(review_ids_[lr])) {
+      auto [it, inserted] = rater_local.emplace(
+          ref.rater.value(), static_cast<uint32_t>(rater_ids_.size()));
+      if (inserted) {
+        rater_ids_.push_back(ref.rater);
+      }
+      review_ratings_.push_back({it->second, ref.value});
+    }
+    review_rating_offsets_[lr + 1] = review_ratings_.size();
+  }
+
+  // Rater-side grouping (counting sort over the review-side array).
+  rater_rating_offsets_.assign(rater_ids_.size() + 1, 0);
+  for (const auto& rr : review_ratings_) {
+    ++rater_rating_offsets_[rr.local_rater + 1];
+  }
+  for (size_t i = 1; i < rater_rating_offsets_.size(); ++i) {
+    rater_rating_offsets_[i] += rater_rating_offsets_[i - 1];
+  }
+  rater_ratings_.resize(review_ratings_.size());
+  {
+    std::vector<size_t> cursor(rater_rating_offsets_.begin(),
+                               rater_rating_offsets_.end() - 1);
+    for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+      for (size_t k = review_rating_offsets_[lr];
+           k < review_rating_offsets_[lr + 1]; ++k) {
+        const auto& rr = review_ratings_[k];
+        rater_ratings_[cursor[rr.local_rater]++] = {
+            static_cast<uint32_t>(lr), rr.value};
+      }
+    }
+  }
+
+  // Writer-side review grouping.
+  writer_review_offsets_.assign(writer_ids_.size() + 1, 0);
+  for (uint32_t lw : review_writer_) {
+    ++writer_review_offsets_[lw + 1];
+  }
+  for (size_t i = 1; i < writer_review_offsets_.size(); ++i) {
+    writer_review_offsets_[i] += writer_review_offsets_[i - 1];
+  }
+  writer_reviews_.resize(review_ids_.size());
+  {
+    std::vector<size_t> cursor(writer_review_offsets_.begin(),
+                               writer_review_offsets_.end() - 1);
+    for (size_t lr = 0; lr < review_ids_.size(); ++lr) {
+      writer_reviews_[cursor[review_writer_[lr]]++] =
+          static_cast<uint32_t>(lr);
+    }
+  }
+}
+
+std::span<const CategoryView::ReviewSideRating> CategoryView::RatingsOfReview(
+    size_t local_review) const {
+  WOT_DCHECK(local_review < num_reviews());
+  size_t begin = review_rating_offsets_[local_review];
+  size_t end = review_rating_offsets_[local_review + 1];
+  return {review_ratings_.data() + begin, end - begin};
+}
+
+std::span<const CategoryView::RaterSideRating> CategoryView::RatingsByRater(
+    size_t local_rater) const {
+  WOT_DCHECK(local_rater < num_raters());
+  size_t begin = rater_rating_offsets_[local_rater];
+  size_t end = rater_rating_offsets_[local_rater + 1];
+  return {rater_ratings_.data() + begin, end - begin};
+}
+
+std::span<const uint32_t> CategoryView::ReviewsOfWriter(
+    size_t local_writer) const {
+  WOT_DCHECK(local_writer < num_writers());
+  size_t begin = writer_review_offsets_[local_writer];
+  size_t end = writer_review_offsets_[local_writer + 1];
+  return {writer_reviews_.data() + begin, end - begin};
+}
+
+}  // namespace wot

@@ -1,0 +1,25 @@
+#include "wot/community/dataset.h"
+
+#include <sstream>
+
+namespace wot {
+
+Result<CategoryId> Dataset::FindCategory(const std::string& name) const {
+  for (const auto& category : categories_) {
+    if (category.name == name) {
+      return category.id;
+    }
+  }
+  return Status::NotFound("no category named '" + name + "'");
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << num_users() << " users, " << num_categories() << " categories, "
+     << num_objects() << " objects, " << num_reviews() << " reviews, "
+     << num_ratings() << " ratings, " << num_trust_statements()
+     << " trust statements";
+  return os.str();
+}
+
+}  // namespace wot

@@ -1,0 +1,78 @@
+// The in-memory community dataset: users, categories, objects, reviews,
+// review ratings and (optionally) explicit trust statements.
+//
+// Storage is columnar and append-only: entity k lives at index k of its
+// column, so StrongIds double as offsets. Construction goes through
+// DatasetBuilder, which validates referential integrity; a built Dataset is
+// immutable and safe to share across threads.
+#ifndef WOT_COMMUNITY_DATASET_H_
+#define WOT_COMMUNITY_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "wot/community/entities.h"
+#include "wot/community/ids.h"
+#include "wot/util/check.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief An immutable snapshot of one online community.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  size_t num_users() const { return users_.size(); }
+  size_t num_categories() const { return categories_.size(); }
+  size_t num_objects() const { return objects_.size(); }
+  size_t num_reviews() const { return reviews_.size(); }
+  size_t num_ratings() const { return ratings_.size(); }
+  size_t num_trust_statements() const { return trust_.size(); }
+
+  const User& user(UserId id) const {
+    WOT_DCHECK(id.index() < users_.size());
+    return users_[id.index()];
+  }
+  const Category& category(CategoryId id) const {
+    WOT_DCHECK(id.index() < categories_.size());
+    return categories_[id.index()];
+  }
+  const Object& object(ObjectId id) const {
+    WOT_DCHECK(id.index() < objects_.size());
+    return objects_[id.index()];
+  }
+  const Review& review(ReviewId id) const {
+    WOT_DCHECK(id.index() < reviews_.size());
+    return reviews_[id.index()];
+  }
+
+  const std::vector<User>& users() const { return users_; }
+  const std::vector<Category>& categories() const { return categories_; }
+  const std::vector<Object>& objects() const { return objects_; }
+  const std::vector<Review>& reviews() const { return reviews_; }
+  const std::vector<ReviewRating>& ratings() const { return ratings_; }
+  const std::vector<TrustStatement>& trust_statements() const {
+    return trust_;
+  }
+
+  /// \brief Finds a category by name (linear scan; categories are few).
+  Result<CategoryId> FindCategory(const std::string& name) const;
+
+  /// \brief One-line summary ("44197 users, 12 categories, ...").
+  std::string Summary() const;
+
+ private:
+  friend class DatasetBuilder;
+
+  std::vector<User> users_;
+  std::vector<Category> categories_;
+  std::vector<Object> objects_;
+  std::vector<Review> reviews_;
+  std::vector<ReviewRating> ratings_;
+  std::vector<TrustStatement> trust_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_COMMUNITY_DATASET_H_

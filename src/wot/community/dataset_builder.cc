@@ -1,0 +1,120 @@
+#include "wot/community/dataset_builder.h"
+
+#include <utility>
+
+namespace wot {
+
+namespace {
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+DatasetBuilder::DatasetBuilder(DatasetBuilderOptions options)
+    : options_(options) {}
+
+UserId DatasetBuilder::AddUser(std::string name) {
+  UserId id(static_cast<uint32_t>(dataset_.users_.size()));
+  dataset_.users_.push_back({id, std::move(name)});
+  return id;
+}
+
+CategoryId DatasetBuilder::AddCategory(std::string name) {
+  CategoryId id(static_cast<uint32_t>(dataset_.categories_.size()));
+  dataset_.categories_.push_back({id, std::move(name)});
+  return id;
+}
+
+Result<ObjectId> DatasetBuilder::AddObject(CategoryId category,
+                                           std::string name) {
+  if (!category.valid() ||
+      category.index() >= dataset_.categories_.size()) {
+    return Status::InvalidArgument("object references unknown category");
+  }
+  ObjectId id(static_cast<uint32_t>(dataset_.objects_.size()));
+  dataset_.objects_.push_back({id, category, std::move(name)});
+  return id;
+}
+
+Status DatasetBuilder::CheckUser(UserId id, const char* role) const {
+  if (!id.valid() || id.index() >= dataset_.users_.size()) {
+    return Status::InvalidArgument(std::string("unknown ") + role +
+                                   " user id");
+  }
+  return Status::OK();
+}
+
+Result<ReviewId> DatasetBuilder::AddReview(UserId writer, ObjectId object) {
+  WOT_RETURN_IF_ERROR(CheckUser(writer, "writer"));
+  if (!object.valid() || object.index() >= dataset_.objects_.size()) {
+    return Status::InvalidArgument("review references unknown object");
+  }
+  if (options_.enforce_one_review_per_object) {
+    uint64_t key = PairKey(writer.value(), object.value());
+    if (!review_keys_.insert(key).second) {
+      return Status::AlreadyExists(
+          "user " + std::to_string(writer.value()) +
+          " already reviewed object " + std::to_string(object.value()));
+    }
+  }
+  ReviewId id(static_cast<uint32_t>(dataset_.reviews_.size()));
+  dataset_.reviews_.push_back(
+      {id, writer, object, dataset_.objects_[object.index()].category});
+  return id;
+}
+
+Status DatasetBuilder::AddRating(UserId rater, ReviewId review,
+                                 double value) {
+  WOT_RETURN_IF_ERROR(CheckUser(rater, "rater"));
+  if (!review.valid() || review.index() >= dataset_.reviews_.size()) {
+    return Status::InvalidArgument("rating references unknown review");
+  }
+  if (options_.reject_self_ratings &&
+      dataset_.reviews_[review.index()].writer == rater) {
+    return Status::FailedPrecondition(
+        "user " + std::to_string(rater.value()) +
+        " may not rate their own review");
+  }
+  if (options_.enforce_rating_scale && !rating_scale::IsValidStage(value)) {
+    return Status::InvalidArgument(
+        "rating value " + std::to_string(value) +
+        " is not one of the five scale stages {0.2,0.4,0.6,0.8,1.0}");
+  }
+  if (options_.reject_duplicate_ratings) {
+    uint64_t key = PairKey(rater.value(), review.value());
+    if (!rating_keys_.insert(key).second) {
+      return Status::AlreadyExists(
+          "user " + std::to_string(rater.value()) +
+          " already rated review " + std::to_string(review.value()));
+    }
+  }
+  dataset_.ratings_.push_back({rater, review, value});
+  return Status::OK();
+}
+
+Status DatasetBuilder::AddTrust(UserId source, UserId target) {
+  WOT_RETURN_IF_ERROR(CheckUser(source, "trust source"));
+  WOT_RETURN_IF_ERROR(CheckUser(target, "trust target"));
+  if (options_.reject_degenerate_trust) {
+    if (source == target) {
+      return Status::InvalidArgument("self-trust statement rejected");
+    }
+    uint64_t key = PairKey(source.value(), target.value());
+    if (!trust_keys_.insert(key).second) {
+      return Status::AlreadyExists("duplicate trust statement");
+    }
+  }
+  dataset_.trust_.push_back({source, target});
+  return Status::OK();
+}
+
+Result<Dataset> DatasetBuilder::Build() {
+  Dataset out = std::move(dataset_);
+  dataset_ = Dataset();
+  review_keys_.clear();
+  rating_keys_.clear();
+  trust_keys_.clear();
+  return out;
+}
+
+}  // namespace wot

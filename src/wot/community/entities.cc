@@ -1,0 +1,26 @@
+#include "wot/community/entities.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wot {
+namespace rating_scale {
+
+double Quantize(double value) {
+  // Stages are 0.2 * k for k in 1..5; round to the nearest and clamp.
+  double k = std::round(value / 0.2);
+  k = std::clamp(k, 1.0, 5.0);
+  return 0.2 * k;
+}
+
+bool IsValidStage(double value) {
+  for (int k = 1; k <= kNumStages; ++k) {
+    if (std::fabs(value - 0.2 * k) < 1e-9) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rating_scale
+}  // namespace wot

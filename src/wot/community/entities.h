@@ -1,0 +1,78 @@
+// Plain-data records stored by the community dataset. Field names follow
+// the paper's Fig. 2: a review *writer* writes a review r_j on an object o_j
+// in category C_j; a review *rater* gives rating rho_ij to review r_j.
+#ifndef WOT_COMMUNITY_ENTITIES_H_
+#define WOT_COMMUNITY_ENTITIES_H_
+
+#include <string>
+
+#include "wot/community/ids.h"
+
+namespace wot {
+
+/// \brief The five-stage Epinions review-helpfulness scale, mapped to
+/// [0.2, 1.0] exactly as the paper's experiments do ("not helpful: 0.2,
+/// most helpful: 1").
+namespace rating_scale {
+inline constexpr double kNotHelpful = 0.2;
+inline constexpr double kSomewhatHelpful = 0.4;
+inline constexpr double kHelpful = 0.6;
+inline constexpr double kVeryHelpful = 0.8;
+inline constexpr double kMostHelpful = 1.0;
+inline constexpr int kNumStages = 5;
+
+/// \brief Snaps an arbitrary value in [0, 1] to the nearest of the five
+/// stages (values below 0.2 snap up to kNotHelpful).
+double Quantize(double value);
+
+/// \brief True iff \p value is (within 1e-9 of) one of the five stages.
+bool IsValidStage(double value);
+}  // namespace rating_scale
+
+/// \brief A registered community member.
+struct User {
+  UserId id;
+  std::string name;
+};
+
+/// \brief A topic context, e.g. one of the 12 Video & DVD sub-categories.
+struct Category {
+  CategoryId id;
+  std::string name;
+};
+
+/// \brief A reviewable item. Every object belongs to exactly one category.
+struct Object {
+  ObjectId id;
+  CategoryId category;
+  std::string name;
+};
+
+/// \brief A review written by \p writer about \p object. The category is
+/// denormalized from the object for cheap per-category scans.
+struct Review {
+  ReviewId id;
+  UserId writer;
+  ObjectId object;
+  CategoryId category;
+};
+
+/// \brief A numerical rating rho_ij given by \p rater to \p review.
+/// Values lie on the five-stage scale in [0.2, 1.0].
+struct ReviewRating {
+  UserId rater;
+  ReviewId review;
+  double value;
+};
+
+/// \brief An explicit trust statement "source trusts target" from the
+/// community's web of trust. Used only as ground truth for validation;
+/// the derivation framework never reads these.
+struct TrustStatement {
+  UserId source;
+  UserId target;
+};
+
+}  // namespace wot
+
+#endif  // WOT_COMMUNITY_ENTITIES_H_

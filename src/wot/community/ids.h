@@ -1,0 +1,76 @@
+// Strongly-typed entity identifiers. Using distinct types for user, object,
+// category and review ids turns unit-mixing bugs (passing a review id where
+// a user id is expected) into compile errors.
+#ifndef WOT_COMMUNITY_IDS_H_
+#define WOT_COMMUNITY_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace wot {
+
+/// \brief A typed wrapper over a dense uint32_t index.
+///
+/// Ids are dense: entity k created in a dataset has id k, so ids double as
+/// vector indices. kInvalid (UINT32_MAX) marks "no entity".
+template <typename Tag>
+class StrongId {
+ public:
+  static constexpr uint32_t kInvalid = std::numeric_limits<uint32_t>::max();
+
+  constexpr StrongId() : value_(kInvalid) {}
+  constexpr explicit StrongId(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// \brief The id as a vector index. Callers must ensure valid().
+  constexpr size_t index() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  uint32_t value_;
+};
+
+struct UserTag {};
+struct ObjectTag {};
+struct CategoryTag {};
+struct ReviewTag {};
+
+/// A community member (review writer and/or review rater).
+using UserId = StrongId<UserTag>;
+/// A reviewable object (e.g. a movie).
+using ObjectId = StrongId<ObjectTag>;
+/// A context / topic (e.g. the "Comedies" sub-category).
+using CategoryId = StrongId<CategoryTag>;
+/// A text review written by one user about one object.
+using ReviewId = StrongId<ReviewTag>;
+
+}  // namespace wot
+
+namespace std {
+template <typename Tag>
+struct hash<wot::StrongId<Tag>> {
+  size_t operator()(wot::StrongId<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // WOT_COMMUNITY_IDS_H_

@@ -1,0 +1,85 @@
+// Secondary indices over a Dataset. Built once after load/generation, then
+// shared read-only by the reputation engine, affiliation computation,
+// baseline and evaluation code.
+#ifndef WOT_COMMUNITY_INDICES_H_
+#define WOT_COMMUNITY_INDICES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wot/community/dataset.h"
+
+namespace wot {
+
+/// \brief CSR-style grouping of ratings by review and by rater, reviews by
+/// writer and by category, plus per-(user, category) activity counts.
+class DatasetIndices {
+ public:
+  /// \brief Builds all indices in O(|reviews| + |ratings|).
+  explicit DatasetIndices(const Dataset& dataset);
+
+  /// A rating as seen from a review: who rated it and with what value.
+  struct RatingRef {
+    UserId rater;
+    double value;
+  };
+
+  /// A rating as seen from a rater: which review, what value.
+  struct RatedReviewRef {
+    ReviewId review;
+    double value;
+  };
+
+  /// \brief Ratings received by \p review.
+  std::span<const RatingRef> RatingsOfReview(ReviewId review) const;
+
+  /// \brief Ratings given by \p rater (across all categories).
+  std::span<const RatedReviewRef> RatingsByUser(UserId rater) const;
+
+  /// \brief Reviews written by \p writer (across all categories).
+  std::span<const ReviewId> ReviewsByUser(UserId writer) const;
+
+  /// \brief Reviews belonging to \p category.
+  std::span<const ReviewId> ReviewsInCategory(CategoryId category) const;
+
+  /// \brief Number of reviews user \p u wrote in \p category
+  /// (a^w_ij in eq. 4).
+  uint32_t WriteCount(UserId u, CategoryId category) const;
+
+  /// \brief Number of ratings user \p u gave in \p category
+  /// (a^r_ij in eq. 4).
+  uint32_t RateCount(UserId u, CategoryId category) const;
+
+  size_t num_users() const { return num_users_; }
+  size_t num_categories() const { return num_categories_; }
+
+ private:
+  size_t num_users_;
+  size_t num_categories_;
+
+  // Ratings grouped by review.
+  std::vector<size_t> review_rating_offsets_;
+  std::vector<RatingRef> review_ratings_;
+
+  // Ratings grouped by rater.
+  std::vector<size_t> user_rating_offsets_;
+  std::vector<RatedReviewRef> user_ratings_;
+
+  // Reviews grouped by writer.
+  std::vector<size_t> user_review_offsets_;
+  std::vector<ReviewId> user_reviews_;
+
+  // Reviews grouped by category.
+  std::vector<size_t> category_review_offsets_;
+  std::vector<ReviewId> category_reviews_;
+
+  // Dense (user × category) activity counters; categories are few, so this
+  // is affordable and O(1) to query.
+  std::vector<uint32_t> write_counts_;
+  std::vector<uint32_t> rate_counts_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_COMMUNITY_INDICES_H_

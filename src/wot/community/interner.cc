@@ -1,0 +1,31 @@
+#include "wot/community/interner.h"
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+uint32_t StringInterner::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  uint32_t handle = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), handle);
+  return handle;
+}
+
+std::optional<uint32_t> StringInterner::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& StringInterner::NameOf(uint32_t handle) const {
+  WOT_CHECK_LT(handle, names_.size());
+  return names_[handle];
+}
+
+}  // namespace wot

@@ -1,0 +1,42 @@
+// String interner: maps names to dense uint32 handles and back. Used by the
+// CSV loader to translate external string keys (user names, category names)
+// into dense ids.
+#ifndef WOT_COMMUNITY_INTERNER_H_
+#define WOT_COMMUNITY_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wot {
+
+/// \brief Bidirectional string <-> dense-index mapping.
+class StringInterner {
+ public:
+  /// \brief Returns the handle for \p name, inserting it if new. Handles
+  /// are assigned densely in first-seen order.
+  uint32_t Intern(std::string_view name);
+
+  /// \brief Returns the handle if \p name was interned.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// \brief The name for a handle. Precondition: handle < size().
+  const std::string& NameOf(uint32_t handle) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// \brief All interned names in handle order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_COMMUNITY_INTERNER_H_

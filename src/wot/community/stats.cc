@@ -1,0 +1,95 @@
+#include "wot/community/stats.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset,
+                                 const DatasetIndices& indices) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users();
+  stats.num_categories = dataset.num_categories();
+  stats.num_objects = dataset.num_objects();
+  stats.num_reviews = dataset.num_reviews();
+  stats.num_ratings = dataset.num_ratings();
+  stats.num_trust_statements = dataset.num_trust_statements();
+
+  for (const auto& user : dataset.users()) {
+    size_t writes = indices.ReviewsByUser(user.id).size();
+    size_t rates = indices.RatingsByUser(user.id).size();
+    if (writes > 0) {
+      stats.reviews_per_writer.Add(static_cast<double>(writes));
+    }
+    if (rates > 0) {
+      stats.ratings_per_rater.Add(static_cast<double>(rates));
+    }
+    if (writes > 0 || rates > 0) {
+      ++stats.num_active_users;
+    }
+  }
+  for (const auto& review : dataset.reviews()) {
+    stats.ratings_per_review.Add(
+        static_cast<double>(indices.RatingsOfReview(review.id).size()));
+  }
+
+  std::vector<size_t> out_degree(dataset.num_users(), 0);
+  for (const auto& trust : dataset.trust_statements()) {
+    ++out_degree[trust.source.index()];
+  }
+  for (size_t u = 0; u < out_degree.size(); ++u) {
+    if (out_degree[u] > 0) {
+      stats.trust_out_degree.Add(static_cast<double>(out_degree[u]));
+    }
+  }
+
+  stats.per_category.reserve(dataset.num_categories());
+  for (const auto& category : dataset.categories()) {
+    CategoryStats cs;
+    cs.category = category.id;
+    cs.name = category.name;
+    std::unordered_set<uint32_t> writers;
+    std::unordered_set<uint32_t> raters;
+    for (ReviewId rid : indices.ReviewsInCategory(category.id)) {
+      ++cs.num_reviews;
+      writers.insert(dataset.review(rid).writer.value());
+      for (const auto& ref : indices.RatingsOfReview(rid)) {
+        ++cs.num_ratings;
+        raters.insert(ref.rater.value());
+      }
+    }
+    cs.num_writers = writers.size();
+    cs.num_raters = raters.size();
+    stats.per_category.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << "users=" << FormatWithCommas(static_cast<int64_t>(num_users))
+     << " (active=" << FormatWithCommas(static_cast<int64_t>(num_active_users))
+     << "), categories=" << num_categories << ", objects="
+     << FormatWithCommas(static_cast<int64_t>(num_objects)) << ", reviews="
+     << FormatWithCommas(static_cast<int64_t>(num_reviews)) << ", ratings="
+     << FormatWithCommas(static_cast<int64_t>(num_ratings))
+     << ", trust=" << FormatWithCommas(
+            static_cast<int64_t>(num_trust_statements))
+     << "\n";
+  os << "reviews/writer: mean=" << FormatDouble(reviews_per_writer.mean(), 2)
+     << " max=" << FormatDouble(reviews_per_writer.max(), 0) << "\n";
+  os << "ratings/rater: mean=" << FormatDouble(ratings_per_rater.mean(), 2)
+     << " max=" << FormatDouble(ratings_per_rater.max(), 0) << "\n";
+  os << "ratings/review: mean=" << FormatDouble(ratings_per_review.mean(), 2)
+     << " max=" << FormatDouble(ratings_per_review.max(), 0) << "\n";
+  for (const auto& cs : per_category) {
+    os << "  [" << cs.name << "] reviews=" << cs.num_reviews
+       << " ratings=" << cs.num_ratings << " writers=" << cs.num_writers
+       << " raters=" << cs.num_raters << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wot

@@ -1,0 +1,55 @@
+// Descriptive statistics over a dataset, for experiment logs and the
+// generator's distribution tests.
+#ifndef WOT_COMMUNITY_STATS_H_
+#define WOT_COMMUNITY_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "wot/community/dataset.h"
+#include "wot/community/indices.h"
+#include "wot/util/histogram.h"
+
+namespace wot {
+
+/// \brief Per-category activity volumes.
+struct CategoryStats {
+  CategoryId category;
+  std::string name;
+  size_t num_reviews = 0;
+  size_t num_ratings = 0;
+  size_t num_writers = 0;  // distinct users with >=1 review here
+  size_t num_raters = 0;   // distinct users with >=1 rating here
+};
+
+/// \brief Whole-dataset descriptive statistics.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_categories = 0;
+  size_t num_objects = 0;
+  size_t num_reviews = 0;
+  size_t num_ratings = 0;
+  size_t num_trust_statements = 0;
+
+  /// Users with at least one review or rating (the paper counts only these:
+  /// "44,197 users who write at least 1 review ... or rate at least 1").
+  size_t num_active_users = 0;
+
+  RunningStats reviews_per_writer;
+  RunningStats ratings_per_rater;
+  RunningStats ratings_per_review;
+  RunningStats trust_out_degree;
+
+  std::vector<CategoryStats> per_category;
+
+  /// \brief Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// \brief Computes DatasetStats in one pass over the indices.
+DatasetStats ComputeDatasetStats(const Dataset& dataset,
+                                 const DatasetIndices& indices);
+
+}  // namespace wot
+
+#endif  // WOT_COMMUNITY_STATS_H_

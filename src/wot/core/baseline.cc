@@ -1,0 +1,60 @@
+#include "wot/core/baseline.h"
+
+namespace wot {
+
+SparseMatrix BuildDirectConnectionMatrix(const Dataset& dataset,
+                                         const DatasetIndices& indices) {
+  (void)indices;
+  const size_t n = dataset.num_users();
+  SparseMatrixBuilder builder(n, n, DuplicatePolicy::kLast);
+  for (const auto& rating : dataset.ratings()) {
+    UserId writer = dataset.review(rating.review).writer;
+    if (writer != rating.rater) {
+      builder.Add(rating.rater.index(), writer.index(), 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+SparseMatrix BuildExplicitTrustMatrix(const Dataset& dataset) {
+  const size_t n = dataset.num_users();
+  SparseMatrixBuilder builder(n, n, DuplicatePolicy::kLast);
+  for (const auto& statement : dataset.trust_statements()) {
+    if (statement.source != statement.target) {
+      builder.Add(statement.source.index(), statement.target.index(), 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+SparseMatrix ComputeBaselineMatrix(const Dataset& dataset,
+                                   const DatasetIndices& indices) {
+  (void)indices;
+  const size_t n = dataset.num_users();
+  // Sum and count share one pattern; divide after building.
+  SparseMatrixBuilder sum_builder(n, n, DuplicatePolicy::kSum);
+  SparseMatrixBuilder count_builder(n, n, DuplicatePolicy::kSum);
+  for (const auto& rating : dataset.ratings()) {
+    UserId writer = dataset.review(rating.review).writer;
+    if (writer == rating.rater) {
+      continue;
+    }
+    sum_builder.Add(rating.rater.index(), writer.index(), rating.value);
+    count_builder.Add(rating.rater.index(), writer.index(), 1.0);
+  }
+  SparseMatrix sums = sum_builder.Build();
+  SparseMatrix counts = count_builder.Build();
+
+  SparseMatrixBuilder out(n, n, DuplicatePolicy::kLast);
+  for (size_t i = 0; i < n; ++i) {
+    auto cols = sums.RowCols(i);
+    auto sum_vals = sums.RowValues(i);
+    auto count_vals = counts.RowValues(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      out.Add(i, cols[k], sum_vals[k] / count_vals[k]);
+    }
+  }
+  return out.Build();
+}
+
+}  // namespace wot

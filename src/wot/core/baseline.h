@@ -1,0 +1,33 @@
+// The paper's observation matrices and baseline model:
+//
+//   R — direct connection matrix: R[i][j] = 1 iff user i rated at least one
+//       of user j's reviews (Fig. 3's "direct connection matrix").
+//   T — the explicit (ground truth) web of trust, from trust statements.
+//   B — baseline degree of trust: B[i][j] = the average rating user i gave
+//       across all of user j's reviews (Section IV.C). B's pattern equals
+//       R's.
+//
+// All three are U x U sparse matrices; diagonals are never stored.
+#ifndef WOT_CORE_BASELINE_H_
+#define WOT_CORE_BASELINE_H_
+
+#include "wot/community/dataset.h"
+#include "wot/community/indices.h"
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief Builds R from the rating table.
+SparseMatrix BuildDirectConnectionMatrix(const Dataset& dataset,
+                                         const DatasetIndices& indices);
+
+/// \brief Builds T from the dataset's trust statements (values 1.0).
+SparseMatrix BuildExplicitTrustMatrix(const Dataset& dataset);
+
+/// \brief Builds the baseline matrix B (average rating i gave to j).
+SparseMatrix ComputeBaselineMatrix(const Dataset& dataset,
+                                   const DatasetIndices& indices);
+
+}  // namespace wot
+
+#endif  // WOT_CORE_BASELINE_H_

@@ -1,0 +1,145 @@
+#include "wot/core/binarization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+namespace {
+
+/// Selects which of \p candidates (positive-score connections of one row)
+/// get marked under \p options, appending marked column ids to \p out.
+/// Candidates need not be sorted on entry.
+Status MarkRow(std::vector<ScoredUser>* candidates, size_t row,
+               const BinarizationOptions& options,
+               std::vector<uint32_t>* out) {
+  size_t keep = 0;
+  switch (options.policy) {
+    case BinarizationPolicy::kGlobalThreshold: {
+      for (const auto& cand : *candidates) {
+        if (cand.score > options.global_threshold) {
+          out->push_back(cand.user);
+        }
+      }
+      return Status::OK();
+    }
+    case BinarizationPolicy::kPerUserQuantile: {
+      if (row >= options.per_user_fraction.size()) {
+        return Status::InvalidArgument(
+            "per_user_fraction is shorter than the row count");
+      }
+      double f = options.per_user_fraction[row];
+      if (f < 0.0 || f > 1.0) {
+        return Status::InvalidArgument(
+            "per_user_fraction values must lie in [0, 1]");
+      }
+      keep = static_cast<size_t>(
+          std::lround(f * static_cast<double>(candidates->size())));
+      break;
+    }
+    case BinarizationPolicy::kFixedTopK:
+      keep = options.top_k;
+      break;
+    case BinarizationPolicy::kFixedFraction: {
+      if (options.fixed_fraction < 0.0 || options.fixed_fraction > 1.0) {
+        return Status::InvalidArgument("fixed_fraction must lie in [0, 1]");
+      }
+      keep = static_cast<size_t>(
+          std::lround(options.fixed_fraction *
+                      static_cast<double>(candidates->size())));
+      break;
+    }
+  }
+  keep = std::min(keep, candidates->size());
+  if (keep == 0) {
+    return Status::OK();
+  }
+  // Deterministic selection: score descending, then user id ascending.
+  auto better = [](const ScoredUser& a, const ScoredUser& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.user < b.user;
+  };
+  std::nth_element(candidates->begin(),
+                   candidates->begin() + static_cast<ptrdiff_t>(keep - 1),
+                   candidates->end(), better);
+  for (size_t t = 0; t < keep; ++t) {
+    out->push_back((*candidates)[t].user);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<double> ComputeTrustGenerosity(
+    const SparseMatrix& direct, const SparseMatrix& explicit_trust) {
+  WOT_CHECK_EQ(direct.rows(), explicit_trust.rows());
+  WOT_CHECK_EQ(direct.cols(), explicit_trust.cols());
+  std::vector<double> out(direct.rows(), 0.0);
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    auto dcols = direct.RowCols(i);
+    if (dcols.empty()) {
+      continue;
+    }
+    size_t trusted = 0;
+    for (uint32_t j : dcols) {
+      if (explicit_trust.Contains(i, j)) {
+        ++trusted;
+      }
+    }
+    out[i] = static_cast<double>(trusted) /
+             static_cast<double>(dcols.size());
+  }
+  return out;
+}
+
+Result<SparseMatrix> BinarizeSparseScores(
+    const SparseMatrix& scores, const BinarizationOptions& options) {
+  SparseMatrixBuilder builder(scores.rows(), scores.cols(),
+                              DuplicatePolicy::kLast);
+  std::vector<ScoredUser> candidates;
+  std::vector<uint32_t> marked;
+  for (size_t i = 0; i < scores.rows(); ++i) {
+    candidates.clear();
+    marked.clear();
+    auto cols = scores.RowCols(i);
+    auto vals = scores.RowValues(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i && vals[k] > 0.0) {
+        candidates.push_back({cols[k], vals[k]});
+      }
+    }
+    WOT_RETURN_IF_ERROR(MarkRow(&candidates, i, options, &marked));
+    for (uint32_t j : marked) {
+      builder.Add(i, j, 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+Result<SparseMatrix> BinarizeDerivedTrust(
+    const TrustDeriver& deriver, const BinarizationOptions& options) {
+  const size_t num_users = deriver.num_users();
+  SparseMatrixBuilder builder(num_users, num_users, DuplicatePolicy::kLast);
+  std::vector<double> row(num_users);
+  std::vector<ScoredUser> candidates;
+  std::vector<uint32_t> marked;
+  for (size_t i = 0; i < num_users; ++i) {
+    deriver.DeriveRow(i, row);
+    candidates.clear();
+    marked.clear();
+    for (size_t j = 0; j < num_users; ++j) {
+      if (j != i && row[j] > 0.0) {
+        candidates.push_back({static_cast<uint32_t>(j), row[j]});
+      }
+    }
+    WOT_RETURN_IF_ERROR(MarkRow(&candidates, i, options, &marked));
+    for (uint32_t j : marked) {
+      builder.Add(i, j, 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace wot

@@ -1,0 +1,43 @@
+#include "wot/core/pipeline.h"
+
+#include "wot/util/logging.h"
+#include "wot/util/stopwatch.h"
+
+namespace wot {
+
+Result<TrustPipeline> TrustPipeline::Run(const Dataset& dataset,
+                                         const PipelineOptions& options) {
+  Stopwatch timer;
+  TrustPipeline pipeline;
+  pipeline.dataset_ = &dataset;
+  pipeline.indices_ = std::make_unique<DatasetIndices>(dataset);
+
+  WOT_ASSIGN_OR_RETURN(
+      pipeline.reputation_,
+      ComputeReputations(dataset, *pipeline.indices_, options.reputation));
+  pipeline.affiliation_ =
+      ComputeAffiliationMatrix(dataset, *pipeline.indices_);
+  pipeline.direct_ =
+      BuildDirectConnectionMatrix(dataset, *pipeline.indices_);
+  pipeline.explicit_trust_ = BuildExplicitTrustMatrix(dataset);
+  if (options.compute_baseline) {
+    pipeline.baseline_ = ComputeBaselineMatrix(dataset, *pipeline.indices_);
+  }
+
+  size_t unconverged = 0;
+  for (const auto& info : pipeline.reputation_.convergence) {
+    if (!info.converged) {
+      ++unconverged;
+    }
+  }
+  if (unconverged > 0) {
+    WOT_LOG(Warning) << unconverged
+                     << " categories hit the iteration cap before reaching "
+                        "the quality tolerance";
+  }
+  WOT_LOG(Info) << "pipeline ran in " << timer.ElapsedMillis() << " ms over "
+                << dataset.Summary();
+  return pipeline;
+}
+
+}  // namespace wot

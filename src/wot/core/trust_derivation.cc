@@ -1,0 +1,223 @@
+#include "wot/core/trust_derivation.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+TrustDeriver::TrustDeriver(const DenseMatrix& affiliation,
+                           const DenseMatrix& expertise)
+    : affiliation_(affiliation), expertise_(expertise) {
+  WOT_CHECK_EQ(affiliation.rows(), expertise.rows());
+  WOT_CHECK_EQ(affiliation.cols(), expertise.cols());
+  affinity_row_sum_.resize(affiliation.rows());
+  for (size_t i = 0; i < affiliation.rows(); ++i) {
+    affinity_row_sum_[i] = affiliation.RowSum(i);
+  }
+}
+
+double TrustDeriver::DeriveOne(size_t i, size_t j) const {
+  const double denom = affinity_row_sum_[i];
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  auto arow = affiliation_.Row(i);
+  auto erow = expertise_.Row(j);
+  double acc = 0.0;
+  for (size_t c = 0; c < arow.size(); ++c) {
+    if (arow[c] > 0.0) {
+      acc += arow[c] * erow[c];
+    }
+  }
+  return acc / denom;
+}
+
+void TrustDeriver::DeriveRow(size_t i, std::span<double> out) const {
+  WOT_CHECK_EQ(out.size(), num_users());
+  std::fill(out.begin(), out.end(), 0.0);
+  const double denom = affinity_row_sum_[i];
+  if (denom <= 0.0) {
+    return;
+  }
+  auto arow = affiliation_.Row(i);
+  // Accumulate category by category so each pass streams one expertise
+  // column; categories with zero affinity are skipped entirely.
+  for (size_t c = 0; c < arow.size(); ++c) {
+    const double w = arow[c];
+    if (w <= 0.0) {
+      continue;
+    }
+    for (size_t j = 0; j < num_users(); ++j) {
+      out[j] += w * expertise_.At(j, c);
+    }
+  }
+  for (size_t j = 0; j < num_users(); ++j) {
+    out[j] /= denom;
+  }
+}
+
+DenseMatrix TrustDeriver::DeriveAll() const {
+  DenseMatrix out(num_users(), num_users());
+  for (size_t i = 0; i < num_users(); ++i) {
+    DeriveRow(i, out.Row(i));
+  }
+  return out;
+}
+
+SparseMatrix TrustDeriver::DeriveForPairs(const SparseMatrix& pairs) const {
+  WOT_CHECK_EQ(pairs.rows(), num_users());
+  WOT_CHECK_EQ(pairs.cols(), num_users());
+  SparseMatrixBuilder builder(pairs.rows(), pairs.cols(),
+                              DuplicatePolicy::kLast);
+  for (size_t i = 0; i < pairs.rows(); ++i) {
+    for (uint32_t j : pairs.RowCols(i)) {
+      builder.Add(i, j, DeriveOne(i, j));
+    }
+  }
+  return builder.Build();
+}
+
+size_t TrustDeriver::CountDerivedConnections(size_t i) const {
+  std::vector<double> row(num_users());
+  DeriveRow(i, row);
+  size_t count = 0;
+  for (size_t j = 0; j < row.size(); ++j) {
+    if (j != i && row[j] > 0.0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void TrustDeriver::BuildPostings() {
+  postings_.assign(num_categories(), {});
+  for (size_t c = 0; c < num_categories(); ++c) {
+    auto& posting = postings_[c];
+    for (size_t j = 0; j < num_users(); ++j) {
+      double e = expertise_.At(j, c);
+      if (e > 0.0) {
+        posting.push_back({static_cast<uint32_t>(j), e});
+      }
+    }
+    std::stable_sort(posting.begin(), posting.end(),
+                     [](const ScoredUser& a, const ScoredUser& b) {
+                       return a.score > b.score;
+                     });
+  }
+}
+
+std::vector<ScoredUser> TrustDeriver::DeriveRowTopK(size_t i,
+                                                    size_t k) const {
+  if (k == 0 || affinity_row_sum_[i] <= 0.0) {
+    return {};
+  }
+  if (has_postings()) {
+    return TopKByThresholdAlgorithm(i, k);
+  }
+  return TopKByScan(i, k);
+}
+
+namespace {
+
+/// Orders candidates: higher score first, then lower user id. Used both for
+/// the final sort and as the heap's inverse comparator.
+bool BetterCandidate(const ScoredUser& a, const ScoredUser& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.user < b.user;
+}
+
+}  // namespace
+
+std::vector<ScoredUser> TrustDeriver::TopKByScan(size_t i, size_t k) const {
+  std::vector<double> row(num_users());
+  DeriveRow(i, row);
+  std::vector<ScoredUser> candidates;
+  candidates.reserve(num_users());
+  for (size_t j = 0; j < row.size(); ++j) {
+    if (j != i && row[j] > 0.0) {
+      candidates.push_back({static_cast<uint32_t>(j), row[j]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), BetterCandidate);
+  if (candidates.size() > k) {
+    candidates.resize(k);
+  }
+  return candidates;
+}
+
+std::vector<ScoredUser> TrustDeriver::TopKByThresholdAlgorithm(
+    size_t i, size_t k) const {
+  // Active categories and their normalized weights.
+  auto arow = affiliation_.Row(i);
+  const double denom = affinity_row_sum_[i];
+  std::vector<std::pair<size_t, double>> active;  // (category, weight)
+  for (size_t c = 0; c < arow.size(); ++c) {
+    if (arow[c] > 0.0 && !postings_[c].empty()) {
+      active.emplace_back(c, arow[c] / denom);
+    }
+  }
+  if (active.empty()) {
+    return {};
+  }
+
+  // Min-heap of the current best k (worst on top).
+  auto worse = [](const ScoredUser& a, const ScoredUser& b) {
+    return BetterCandidate(a, b);
+  };
+  std::priority_queue<ScoredUser, std::vector<ScoredUser>, decltype(worse)>
+      heap(worse);
+  std::vector<bool> seen(num_users(), false);
+  seen[i] = true;  // never return the diagonal
+
+  size_t depth = 0;
+  while (true) {
+    bool any_posting_left = false;
+    double threshold = 0.0;
+    for (const auto& [c, w] : active) {
+      const auto& posting = postings_[c];
+      if (depth < posting.size()) {
+        any_posting_left = true;
+        threshold += w * posting[depth].score;
+        uint32_t j = posting[depth].user;
+        if (!seen[j]) {
+          seen[j] = true;
+          double score = DeriveOne(i, j);
+          if (score > 0.0) {
+            if (heap.size() < k) {
+              heap.push({j, score});
+            } else if (BetterCandidate({j, score}, heap.top())) {
+              heap.pop();
+              heap.push({j, score});
+            }
+          }
+        }
+      }
+      // Categories whose posting is exhausted contribute 0 to the
+      // threshold (their next-best expertise is 0).
+    }
+    if (!any_posting_left) {
+      break;  // all postings exhausted
+    }
+    // TA stop test: the threshold bounds every unseen user's score, so
+    // once the current k-th best reaches it no unseen user can win. Users
+    // tying exactly at the k-th score may resolve differently than in the
+    // scan strategy; scores themselves are always exact.
+    if (heap.size() == k && heap.top().score >= threshold) {
+      break;
+    }
+    ++depth;
+  }
+
+  std::vector<ScoredUser> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(out.begin(), out.end(), BetterCandidate);
+  return out;
+}
+
+}  // namespace wot

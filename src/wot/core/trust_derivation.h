@@ -1,0 +1,89 @@
+// Step 3: deriving the degree-of-trust matrix T-hat (paper eq. 5).
+//
+//   T[i][j] = sum_c A[i][c] * E[j][c]  /  sum_c A[i][c]
+//
+// Three evaluation strategies with identical semantics and different cost:
+//   * DeriveAll      — full dense U x U matrix; O(U^2 * C). Small datasets.
+//   * DeriveForPairs — only the requested (i, j) coordinates; O(nnz * C).
+//   * DeriveRowTopK  — exact top-k of one row via a Fagin-style threshold
+//     algorithm over per-category expertise postings sorted descending;
+//     sub-linear in U when affinities are concentrated (the common case:
+//     users focus on a few categories).
+// DeriveRow is the shared row kernel used by the streaming binarizer.
+#ifndef WOT_CORE_TRUST_DERIVATION_H_
+#define WOT_CORE_TRUST_DERIVATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wot/linalg/dense_matrix.h"
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief One derived trust score.
+struct ScoredUser {
+  uint32_t user;
+  double score;
+};
+
+/// \brief Derives degrees of trust from affiliation (A) and expertise (E).
+///
+/// Both inputs must be U x C. Rows of users with zero total affiliation
+/// derive to all-zero (the eq.-5 quotient is read as 0 when its denominator
+/// is 0: a user with no history trusts no one yet).
+class TrustDeriver {
+ public:
+  /// Keeps references; both matrices must outlive the deriver.
+  TrustDeriver(const DenseMatrix& affiliation, const DenseMatrix& expertise);
+
+  size_t num_users() const { return affiliation_.rows(); }
+  size_t num_categories() const { return affiliation_.cols(); }
+
+  /// \brief T[i][j] for one pair. Self-trust (i == j) is defined and
+  /// computed like any other pair; callers decide whether to exclude it.
+  double DeriveOne(size_t i, size_t j) const;
+
+  /// \brief Fills out[j] = T[i][j] for all j. out must have size U.
+  void DeriveRow(size_t i, std::span<double> out) const;
+
+  /// \brief Full dense derivation (use only when U is small).
+  DenseMatrix DeriveAll() const;
+
+  /// \brief Derives scores only at the stored coordinates of \p pairs
+  /// (values of \p pairs are ignored). Result has the same pattern with
+  /// derived values, including explicit zeros.
+  SparseMatrix DeriveForPairs(const SparseMatrix& pairs) const;
+
+  /// \brief Exact top-k of row i (descending score; ties by ascending user
+  /// id), excluding j == i. Uses the threshold algorithm when postings are
+  /// built (BuildPostings()), else falls back to a full row scan.
+  std::vector<ScoredUser> DeriveRowTopK(size_t i, size_t k) const;
+
+  /// \brief Number of entries of row i strictly greater than zero,
+  /// excluding the diagonal. (The paper calls these the row's "derived
+  /// connections".)
+  size_t CountDerivedConnections(size_t i) const;
+
+  /// \brief Precomputes per-category expertise postings sorted descending,
+  /// enabling the threshold algorithm in DeriveRowTopK. O(C * U log U).
+  void BuildPostings();
+
+  bool has_postings() const { return !postings_.empty(); }
+
+ private:
+  std::vector<ScoredUser> TopKByScan(size_t i, size_t k) const;
+  std::vector<ScoredUser> TopKByThresholdAlgorithm(size_t i, size_t k) const;
+
+  const DenseMatrix& affiliation_;
+  const DenseMatrix& expertise_;
+  std::vector<double> affinity_row_sum_;  // sum_c A[i][c] per user
+
+  // postings_[c] = users sorted by E[user][c] descending (only E > 0).
+  std::vector<std::vector<ScoredUser>> postings_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_CORE_TRUST_DERIVATION_H_

@@ -1,0 +1,44 @@
+#include "wot/eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+double LinearCalibration::ApplyClamped(double x, double lo,
+                                       double hi) const {
+  return std::clamp(Apply(x), lo, hi);
+}
+
+std::string LinearCalibration::ToString() const {
+  return "y = " + FormatDouble(slope_, 4) + " * x + " +
+         FormatDouble(intercept_, 4);
+}
+
+void CalibrationFitter::Add(double x, double y) {
+  ++count_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+}
+
+Result<LinearCalibration> CalibrationFitter::Fit() const {
+  if (count_ < 2) {
+    return Status::FailedPrecondition(
+        "calibration needs at least two observations");
+  }
+  const double n = static_cast<double>(count_);
+  const double denom = n * sum_xx_ - sum_x_ * sum_x_;
+  if (std::fabs(denom) < 1e-12) {
+    return Status::FailedPrecondition(
+        "calibration needs at least two distinct x values");
+  }
+  double slope = (n * sum_xy_ - sum_x_ * sum_y_) / denom;
+  double intercept = (sum_y_ - slope * sum_x_) / n;
+  return LinearCalibration(slope, intercept);
+}
+
+}  // namespace wot

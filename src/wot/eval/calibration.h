@@ -1,0 +1,62 @@
+// Score calibration: derived degrees of trust live on a different scale
+// than ratings (the experience discount pulls them down), so downstream
+// predictors map them through a least-squares affine fit learned on
+// visible data. Used by the recommender example and available to any
+// application embedding T-hat into a rating-scale model.
+#ifndef WOT_EVAL_CALIBRATION_H_
+#define WOT_EVAL_CALIBRATION_H_
+
+#include <string>
+
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief An affine map y = slope * x + intercept fitted by least squares.
+class LinearCalibration {
+ public:
+  /// Identity map.
+  LinearCalibration() = default;
+  LinearCalibration(double slope, double intercept)
+      : slope_(slope), intercept_(intercept) {}
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  /// \brief Applies the map.
+  double Apply(double x) const { return slope_ * x + intercept_; }
+
+  /// \brief Applies the map and clamps into [lo, hi].
+  double ApplyClamped(double x, double lo, double hi) const;
+
+  std::string ToString() const;
+
+ private:
+  double slope_ = 1.0;
+  double intercept_ = 0.0;
+};
+
+/// \brief Streaming accumulator for the 1-D least-squares fit
+/// y ~ a*x + b. Observations are added one at a time; Fit() can be called
+/// at any point after two distinct x values have been seen.
+class CalibrationFitter {
+ public:
+  void Add(double x, double y);
+
+  size_t count() const { return count_; }
+
+  /// \brief Solves for (slope, intercept). Fails with FailedPrecondition
+  /// until at least two observations with distinct x exist.
+  Result<LinearCalibration> Fit() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_xy_ = 0.0;
+};
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_CALIBRATION_H_

@@ -1,0 +1,77 @@
+#include "wot/eval/confusion.h"
+
+#include <sstream>
+
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+double TrustConfusion::Recall() const {
+  return trust_in_r == 0
+             ? 0.0
+             : static_cast<double>(hit) / static_cast<double>(trust_in_r);
+}
+
+double TrustConfusion::PrecisionInR() const {
+  return predicted_trust_in_r == 0
+             ? 0.0
+             : static_cast<double>(hit) /
+                   static_cast<double>(predicted_trust_in_r);
+}
+
+double TrustConfusion::FalseTrustRate() const {
+  return nontrust_in_r == 0 ? 0.0
+                            : static_cast<double>(false_trust) /
+                                  static_cast<double>(nontrust_in_r);
+}
+
+double TrustConfusion::F1() const {
+  double r = Recall();
+  double p = PrecisionInR();
+  return (r + p) > 0.0 ? 2.0 * r * p / (r + p) : 0.0;
+}
+
+std::string TrustConfusion::ToString() const {
+  std::ostringstream os;
+  os << "recall=" << FormatDouble(Recall(), 3)
+     << " precision_in_R=" << FormatDouble(PrecisionInR(), 3)
+     << " nontrust_as_trust=" << FormatDouble(FalseTrustRate(), 3)
+     << " (|R&T|=" << trust_in_r << ", |R&P|=" << predicted_trust_in_r
+     << ", hits=" << hit << ", |R-T|=" << nontrust_in_r << ")";
+  return os.str();
+}
+
+TrustConfusion EvaluateTrustPrediction(const SparseMatrix& prediction,
+                                       const SparseMatrix& direct,
+                                       const SparseMatrix& explicit_trust) {
+  WOT_CHECK_EQ(prediction.rows(), direct.rows());
+  WOT_CHECK_EQ(direct.rows(), explicit_trust.rows());
+
+  TrustConfusion out;
+  // One merge pass per row over the three sorted column lists.
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    auto rcols = direct.RowCols(i);
+    for (uint32_t j : rcols) {
+      const bool trusted = explicit_trust.Contains(i, j);
+      const bool predicted = prediction.Contains(i, j);
+      if (trusted) {
+        ++out.trust_in_r;
+        if (predicted) {
+          ++out.hit;
+        }
+      } else {
+        ++out.nontrust_in_r;
+        if (predicted) {
+          ++out.false_trust;
+        }
+      }
+      if (predicted) {
+        ++out.predicted_trust_in_r;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wot

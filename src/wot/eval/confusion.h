@@ -1,0 +1,50 @@
+// The paper's Table-4 metrics. All three are computed *within R* (the
+// direct-connection matrix), because outside R the ground truth "non-trust"
+// cannot be distinguished from "never met":
+//
+//   recall                  = |P & R & T| / |R & T|
+//   precision-in-R          = |P & R & T| / |R & P|
+//   nontrust-as-trust rate  = |P & (R - T)| / |R - T|
+//
+// where P is the binarized prediction, & is pattern intersection and - is
+// pattern difference.
+#ifndef WOT_EVAL_CONFUSION_H_
+#define WOT_EVAL_CONFUSION_H_
+
+#include <string>
+
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief Raw pattern counts underlying the Table-4 metrics.
+struct TrustConfusion {
+  size_t trust_in_r = 0;             // |R & T|
+  size_t predicted_trust_in_r = 0;   // |R & P|
+  size_t hit = 0;                    // |P & R & T|
+  size_t nontrust_in_r = 0;          // |R - T|
+  size_t false_trust = 0;            // |P & (R - T)|
+
+  /// recall of trust; 0 when |R & T| = 0.
+  double Recall() const;
+  /// precision of trust in R; 0 when |R & P| = 0.
+  double PrecisionInR() const;
+  /// rate of predicting non-trust as trust in (R - T); 0 when |R - T| = 0.
+  double FalseTrustRate() const;
+  /// harmonic mean of Recall and PrecisionInR (not in the paper; handy for
+  /// ablation comparisons).
+  double F1() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Counts the confusion patterns. All matrices must be U x U;
+/// \p prediction and \p explicit_trust are interpreted as binary by
+/// pattern (stored = 1).
+TrustConfusion EvaluateTrustPrediction(const SparseMatrix& prediction,
+                                       const SparseMatrix& direct,
+                                       const SparseMatrix& explicit_trust);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_CONFUSION_H_

@@ -1,0 +1,66 @@
+#include "wot/eval/density.h"
+
+#include <sstream>
+
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+namespace {
+double PairDensity(size_t count, size_t users) {
+  if (users < 2) {
+    return 0.0;
+  }
+  // Off-diagonal pair count; all three matrices exclude the diagonal.
+  double pairs = static_cast<double>(users) *
+                 (static_cast<double>(users) - 1.0);
+  return static_cast<double>(count) / pairs;
+}
+}  // namespace
+
+double DensityReport::DerivedDensity() const {
+  return PairDensity(derived_connections, num_users);
+}
+double DensityReport::DirectDensity() const {
+  return PairDensity(direct_connections, num_users);
+}
+double DensityReport::TrustDensity() const {
+  return PairDensity(trust_connections, num_users);
+}
+
+std::string DensityReport::ToString() const {
+  std::ostringstream os;
+  os << "users=" << num_users << "\n"
+     << "derived connections (T-hat > 0): "
+     << FormatWithCommas(static_cast<int64_t>(derived_connections))
+     << "  density=" << FormatDouble(DerivedDensity(), 6) << "\n"
+     << "direct connections (R):          "
+     << FormatWithCommas(static_cast<int64_t>(direct_connections))
+     << "  density=" << FormatDouble(DirectDensity(), 6) << "\n"
+     << "explicit trust (T):              "
+     << FormatWithCommas(static_cast<int64_t>(trust_connections))
+     << "  density=" << FormatDouble(TrustDensity(), 6) << "\n"
+     << "T & R: " << FormatWithCommas(static_cast<int64_t>(trust_and_direct))
+     << "   T - R: "
+     << FormatWithCommas(static_cast<int64_t>(trust_minus_direct)) << "\n";
+  return os.str();
+}
+
+DensityReport ComputeDensityReport(const TrustDeriver& deriver,
+                                   const SparseMatrix& direct,
+                                   const SparseMatrix& explicit_trust) {
+  DensityReport report;
+  report.num_users = deriver.num_users();
+  for (size_t i = 0; i < deriver.num_users(); ++i) {
+    report.derived_connections += deriver.CountDerivedConnections(i);
+  }
+  report.direct_connections = direct.nnz();
+  report.trust_connections = explicit_trust.nnz();
+  report.trust_and_direct = CountPatternIntersect(explicit_trust, direct);
+  report.trust_minus_direct =
+      report.trust_connections - report.trust_and_direct;
+  return report;
+}
+
+}  // namespace wot

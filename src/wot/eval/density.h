@@ -1,0 +1,39 @@
+// Fig. 3 quantities: densities of the derived matrix T-hat, the direct
+// connection matrix R, and the explicit trust matrix T, plus their overlap
+// structure (T & R, T - R).
+#ifndef WOT_EVAL_DENSITY_H_
+#define WOT_EVAL_DENSITY_H_
+
+#include <string>
+
+#include "wot/core/trust_derivation.h"
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief Connectivity counts and densities for one community.
+struct DensityReport {
+  size_t num_users = 0;
+  size_t derived_connections = 0;   // nnz(T-hat > 0), diagonal excluded
+  size_t direct_connections = 0;    // nnz(R)
+  size_t trust_connections = 0;     // nnz(T)
+  size_t trust_and_direct = 0;      // |T & R|
+  size_t trust_minus_direct = 0;    // |T - R|
+
+  double DerivedDensity() const;
+  double DirectDensity() const;
+  double TrustDensity() const;
+
+  /// \brief Rendering in the layout of Fig. 3 (counts + densities).
+  std::string ToString() const;
+};
+
+/// \brief Computes the report. The derived count streams rows through
+/// \p deriver without materializing the U x U matrix.
+DensityReport ComputeDensityReport(const TrustDeriver& deriver,
+                                   const SparseMatrix& direct,
+                                   const SparseMatrix& explicit_trust);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_DENSITY_H_

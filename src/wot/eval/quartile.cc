@@ -1,0 +1,50 @@
+#include "wot/eval/quartile.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wot {
+
+double QuartileReport::TopQuartileShare() const {
+  return designated == 0 ? 0.0
+                         : static_cast<double>(counts[0]) /
+                               static_cast<double>(designated);
+}
+
+QuartileReport AnalyzeQuartiles(const std::vector<ScoredMember>& population,
+                                const std::vector<UserId>& designated) {
+  QuartileReport report;
+  report.population = population.size();
+  if (population.empty()) {
+    return report;
+  }
+
+  std::vector<ScoredMember> ranked = population;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredMember& a, const ScoredMember& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+
+  std::unordered_map<uint32_t, size_t> rank_of;
+  rank_of.reserve(ranked.size());
+  for (size_t r = 0; r < ranked.size(); ++r) {
+    rank_of.emplace(ranked[r].user.value(), r);
+  }
+
+  const size_t n = ranked.size();
+  for (UserId user : designated) {
+    auto it = rank_of.find(user.value());
+    if (it == rank_of.end()) {
+      continue;  // not active in this population
+    }
+    ++report.designated;
+    // Quartile boundaries: rank r (0-based) falls in quartile
+    // floor(4r / n), clamped for the final element.
+    size_t q = std::min<size_t>(3, 4 * it->second / n);
+    ++report.counts[q];
+  }
+  return report;
+}
+
+}  // namespace wot

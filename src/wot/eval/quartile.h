@@ -1,0 +1,44 @@
+// Quartile placement analysis for the Table-2 / Table-3 experiments:
+// rank a population by a score, split into four quartiles (Q1 = top 25%),
+// and count where the designated users (Advisors / Top Reviewers) land.
+#ifndef WOT_EVAL_QUARTILE_H_
+#define WOT_EVAL_QUARTILE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "wot/community/ids.h"
+
+namespace wot {
+
+/// \brief One population member with its computed score.
+struct ScoredMember {
+  UserId user;
+  double score;
+};
+
+/// \brief Result of one quartile analysis.
+struct QuartileReport {
+  size_t population = 0;  // members ranked
+  size_t designated = 0;  // designated members present in the population
+  /// counts[q] = designated members whose rank falls in quartile q
+  /// (0 = Q1/top, 3 = Q4/bottom).
+  std::array<size_t, 4> counts = {0, 0, 0, 0};
+
+  /// \brief Fraction of designated members in Q1; 0 when none designated.
+  double TopQuartileShare() const;
+};
+
+/// \brief Ranks \p population by score descending (ties by ascending user
+/// id, so results are deterministic) and reports the quartile of every user
+/// in \p designated that appears in the population. Designated users absent
+/// from the population are ignored — this mirrors the paper's "reselect
+/// Advisors ... by removing Advisors who never rate reviews in a sub
+/// category".
+QuartileReport AnalyzeQuartiles(const std::vector<ScoredMember>& population,
+                                const std::vector<UserId>& designated);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_QUARTILE_H_

@@ -1,0 +1,112 @@
+#include "wot/eval/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Ranks are 1-based; tied values share the average of their positions.
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                      + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+namespace {
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  double mean_a = std::accumulate(a.begin(), a.end(), 0.0) /
+                  static_cast<double>(n);
+  double mean_b = std::accumulate(b.begin(), b.end(), 0.0) /
+                  static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  WOT_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) {
+    return 0.0;
+  }
+  return Pearson(FractionalRanks(a), FractionalRanks(b));
+}
+
+double KendallTauB(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  WOT_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  int64_t ties_a = 0;
+  int64_t ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      // Tau-b convention: a pair tied in a counts toward n1, tied in b
+      // toward n2 (pairs tied in both count toward both); only fully
+      // untied pairs are concordant or discordant.
+      if (da == 0.0) {
+        ++ties_a;
+      }
+      if (db == 0.0) {
+        ++ties_b;
+      }
+      if (da != 0.0 && db != 0.0) {
+        if ((da > 0.0) == (db > 0.0)) {
+          ++concordant;
+        } else {
+          ++discordant;
+        }
+      }
+    }
+  }
+  double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0;
+  double denom = std::sqrt((n0 - static_cast<double>(ties_a)) *
+                           (n0 - static_cast<double>(ties_b)));
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace wot

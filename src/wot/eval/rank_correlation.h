@@ -1,0 +1,26 @@
+// Rank correlation coefficients, used to compare computed reputations with
+// latent ground truth beyond the paper's quartile counts.
+#ifndef WOT_EVAL_RANK_CORRELATION_H_
+#define WOT_EVAL_RANK_CORRELATION_H_
+
+#include <vector>
+
+namespace wot {
+
+/// \brief Spearman's rho between two equal-length samples. Ties receive
+/// average (fractional) ranks. Returns 0 for samples shorter than 2 or with
+/// zero variance.
+double SpearmanRho(const std::vector<double>& a,
+                   const std::vector<double>& b);
+
+/// \brief Kendall's tau-b (tie-corrected), O(n^2). Returns 0 for samples
+/// shorter than 2 or when either sample is entirely tied.
+double KendallTauB(const std::vector<double>& a,
+                   const std::vector<double>& b);
+
+/// \brief Average fractional ranks of \p values (rank 1 = smallest).
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_RANK_CORRELATION_H_

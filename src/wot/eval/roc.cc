@@ -1,0 +1,99 @@
+#include "wot/eval/roc.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+std::string RocReport::ToString() const {
+  std::ostringstream os;
+  os << "AUC=" << FormatDouble(auc, 4) << " over " << positives
+     << " positives / " << negatives << " negatives";
+  return os.str();
+}
+
+Result<RocReport> ComputeRoc(std::vector<ScoredPair> pairs) {
+  RocReport report;
+  for (const auto& pair : pairs) {
+    if (pair.trusted) {
+      ++report.positives;
+    } else {
+      ++report.negatives;
+    }
+  }
+  if (report.positives == 0 || report.negatives == 0) {
+    return Status::FailedPrecondition(
+        "ROC needs at least one positive and one negative pair");
+  }
+
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              return a.score > b.score;
+            });
+
+  const double p = static_cast<double>(report.positives);
+  const double n = static_cast<double>(report.negatives);
+
+  // Sweep thresholds from +inf down; process ties as one block and apply
+  // the trapezoid rule so tied scores contribute the average rank.
+  double tp = 0.0;
+  double fp = 0.0;
+  double auc = 0.0;
+  const size_t stride = std::max<size_t>(1, pairs.size() / 200);
+  size_t i = 0;
+  size_t emitted = 0;
+  while (i < pairs.size()) {
+    size_t j = i;
+    double block_tp = 0.0;
+    double block_fp = 0.0;
+    while (j < pairs.size() && pairs[j].score == pairs[i].score) {
+      if (pairs[j].trusted) {
+        block_tp += 1.0;
+      } else {
+        block_fp += 1.0;
+      }
+      ++j;
+    }
+    // Trapezoid over the block.
+    auc += (block_fp / n) * (tp / p + 0.5 * block_tp / p);
+    tp += block_tp;
+    fp += block_fp;
+    if (emitted++ % stride == 0 || j >= pairs.size()) {
+      report.curve.push_back({pairs[i].score, tp / p, fp / n});
+    }
+    i = j;
+  }
+  report.auc = auc;
+  return report;
+}
+
+Result<RocReport> RocOfDerivedTrust(const TrustDeriver& deriver,
+                                    const SparseMatrix& direct,
+                                    const SparseMatrix& explicit_trust) {
+  std::vector<ScoredPair> pairs;
+  pairs.reserve(direct.nnz());
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (uint32_t j : direct.RowCols(i)) {
+      pairs.push_back(
+          {deriver.DeriveOne(i, j), explicit_trust.Contains(i, j)});
+    }
+  }
+  return ComputeRoc(std::move(pairs));
+}
+
+Result<RocReport> RocOfSparseScores(const SparseMatrix& scores,
+                                    const SparseMatrix& direct,
+                                    const SparseMatrix& explicit_trust) {
+  std::vector<ScoredPair> pairs;
+  pairs.reserve(direct.nnz());
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (uint32_t j : direct.RowCols(i)) {
+      pairs.push_back({scores.At(i, j), explicit_trust.Contains(i, j)});
+    }
+  }
+  return ComputeRoc(std::move(pairs));
+}
+
+}  // namespace wot

@@ -1,0 +1,62 @@
+// Threshold-free evaluation of continuous trust scores: ROC analysis over
+// the pairs of R, with the explicit web of trust as labels. Complements
+// the paper's Table 4 (which fixes one binarization) by comparing the
+// *score functions* themselves — AUC is invariant to any monotone
+// conversion rule.
+#ifndef WOT_EVAL_ROC_H_
+#define WOT_EVAL_ROC_H_
+
+#include <string>
+#include <vector>
+
+#include "wot/core/trust_derivation.h"
+#include "wot/linalg/sparse_matrix.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief One scored, labeled pair (a coordinate of R).
+struct ScoredPair {
+  double score;
+  bool trusted;
+};
+
+/// \brief One operating point of the ROC curve.
+struct RocPoint {
+  double threshold;
+  double true_positive_rate;   // recall of trust at this threshold
+  double false_positive_rate;  // nontrust-as-trust rate at this threshold
+};
+
+/// \brief ROC summary over one score function.
+struct RocReport {
+  /// Area under the ROC curve; 0.5 = uninformative, 1.0 = perfect.
+  double auc = 0.0;
+  size_t positives = 0;  // |R & T|
+  size_t negatives = 0;  // |R - T|
+  /// A decimated curve (at most ~200 points), threshold descending.
+  std::vector<RocPoint> curve;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes the ROC of arbitrary scored pairs. Ties are handled by
+/// the trapezoid rule (Mann-Whitney equivalence). Fails if either class is
+/// empty.
+Result<RocReport> ComputeRoc(std::vector<ScoredPair> pairs);
+
+/// \brief Scores every coordinate of R with the derived trust (eq. 5) and
+/// computes its ROC against \p explicit_trust.
+Result<RocReport> RocOfDerivedTrust(const TrustDeriver& deriver,
+                                    const SparseMatrix& direct,
+                                    const SparseMatrix& explicit_trust);
+
+/// \brief ROC of a sparse score matrix (e.g. the baseline B) over the
+/// coordinates of R; coordinates of R missing from \p scores score 0.
+Result<RocReport> RocOfSparseScores(const SparseMatrix& scores,
+                                    const SparseMatrix& direct,
+                                    const SparseMatrix& explicit_trust);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_ROC_H_

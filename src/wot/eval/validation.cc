@@ -1,0 +1,81 @@
+#include "wot/eval/validation.h"
+
+#include <sstream>
+
+#include "wot/util/string_util.h"
+#include "wot/util/table_printer.h"
+
+namespace wot {
+
+std::string ValidationReport::ToString() const {
+  TablePrinter table({"Model", "recall", "precision in R",
+                      "nontrust-as-trust in R-T"});
+  table.AddRow({"T-hat (our model)", FormatDouble(model.Recall(), 3),
+                FormatDouble(model.PrecisionInR(), 3),
+                FormatDouble(model.FalseTrustRate(), 3)});
+  table.AddRow({"B (baseline)", FormatDouble(baseline.Recall(), 3),
+                FormatDouble(baseline.PrecisionInR(), 3),
+                FormatDouble(baseline.FalseTrustRate(), 3)});
+
+  std::ostringstream os;
+  os << table.ToString() << "\n"
+     << "Follow-up: T-hat values of predicted-trust pairs\n"
+     << "  in R&T: count=" << predicted_in_trust.count()
+     << " mean=" << FormatDouble(predicted_in_trust.stats.mean(), 4)
+     << " min=" << FormatDouble(predicted_in_trust.stats.min(), 4) << "\n"
+     << "  in R-T: count=" << predicted_in_nontrust.count()
+     << " mean=" << FormatDouble(predicted_in_nontrust.stats.mean(), 4)
+     << " min=" << FormatDouble(predicted_in_nontrust.stats.min(), 4)
+     << "\n";
+  return os.str();
+}
+
+Result<ValidationReport> ValidateDerivedTrust(
+    const TrustPipeline& pipeline) {
+  const SparseMatrix& direct = pipeline.direct_connections();
+  const SparseMatrix& trust = pipeline.explicit_trust();
+  if (trust.nnz() == 0) {
+    return Status::FailedPrecondition(
+        "validation requires an explicit web of trust as ground truth");
+  }
+  if (pipeline.baseline().nnz() == 0) {
+    return Status::FailedPrecondition(
+        "validation requires the baseline matrix; run the pipeline with "
+        "compute_baseline=true");
+  }
+
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kPerUserQuantile;
+  options.per_user_fraction = ComputeTrustGenerosity(direct, trust);
+
+  TrustDeriver deriver = pipeline.MakeDeriver();
+  WOT_ASSIGN_OR_RETURN(SparseMatrix model_binary,
+                       BinarizeDerivedTrust(deriver, options));
+  WOT_ASSIGN_OR_RETURN(
+      SparseMatrix baseline_binary,
+      BinarizeSparseScores(pipeline.baseline(), options));
+
+  ValidationReport report;
+  report.model = EvaluateTrustPrediction(model_binary, direct, trust);
+  report.baseline =
+      EvaluateTrustPrediction(baseline_binary, direct, trust);
+
+  // Follow-up analysis: continuous T-hat values of predicted pairs in R,
+  // split by ground-truth trust.
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (uint32_t j : direct.RowCols(i)) {
+      if (!model_binary.Contains(i, j)) {
+        continue;
+      }
+      double value = deriver.DeriveOne(i, j);
+      if (trust.Contains(i, j)) {
+        report.predicted_in_trust.stats.Add(value);
+      } else {
+        report.predicted_in_nontrust.stats.Add(value);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace wot

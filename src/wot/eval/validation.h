@@ -1,0 +1,46 @@
+// The complete Table-4 validation harness: binarizes the derived matrix
+// T-hat and the baseline B with the paper's generosity-matched per-user
+// quantile rule, evaluates both against the explicit web of trust, and runs
+// the paper's follow-up analysis comparing T-hat values of predicted-trust
+// pairs inside R & T versus inside R - T.
+#ifndef WOT_EVAL_VALIDATION_H_
+#define WOT_EVAL_VALIDATION_H_
+
+#include <string>
+
+#include "wot/core/binarization.h"
+#include "wot/core/pipeline.h"
+#include "wot/eval/confusion.h"
+#include "wot/util/histogram.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Statistics of continuous T-hat values over one pair group.
+struct ScoreGroupStats {
+  RunningStats stats;
+  size_t count() const { return static_cast<size_t>(stats.count()); }
+};
+
+/// \brief Everything the Table-4 experiment reports.
+struct ValidationReport {
+  TrustConfusion model;     // T-hat, binarized
+  TrustConfusion baseline;  // B, binarized identically
+
+  /// T-hat values of predicted-trust pairs that fall in R & T.
+  ScoreGroupStats predicted_in_trust;
+  /// T-hat values of predicted-trust pairs that fall in R - T (the pairs
+  /// the paper argues "would become trust connectivity in the future").
+  ScoreGroupStats predicted_in_nontrust;
+
+  /// \brief Renders the Table-4 rows plus the follow-up analysis.
+  std::string ToString() const;
+};
+
+/// \brief Runs the full validation on a finished pipeline. The explicit
+/// trust matrix must be non-empty (it provides the labels).
+Result<ValidationReport> ValidateDerivedTrust(const TrustPipeline& pipeline);
+
+}  // namespace wot
+
+#endif  // WOT_EVAL_VALIDATION_H_

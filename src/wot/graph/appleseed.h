@@ -1,0 +1,50 @@
+// Appleseed-style spreading activation (Ziegler & Lausen, EEE 2004) — the
+// paper's related-work reference [9]. Energy is injected at a source node
+// and spread along trust edges: each activated node keeps a share of its
+// incoming energy as trust and forwards the rest, split proportionally to
+// outgoing edge weights. Iteration continues until the total movement
+// falls below a tolerance.
+#ifndef WOT_GRAPH_APPLESEED_H_
+#define WOT_GRAPH_APPLESEED_H_
+
+#include <vector>
+
+#include "wot/graph/trust_graph.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Parameters of the spreading-activation run.
+struct AppleseedOptions {
+  /// Energy injected at the source.
+  double injection = 200.0;
+  /// Share of incoming energy forwarded to neighbours (the rest is kept
+  /// as the node's trust score).
+  double spreading_factor = 0.85;
+  /// Stop when the largest per-node energy change falls below this.
+  double tolerance = 1e-6;
+  size_t max_iterations = 500;
+
+  Status Validate() const;
+};
+
+/// \brief Result of one source's activation.
+struct AppleseedResult {
+  /// Accumulated trust (kept energy) per node; the source's own entry is
+  /// 0 by convention (self-trust is not ranked).
+  std::vector<double> trust;
+  size_t iterations = 0;
+  bool converged = false;
+
+  /// \brief Nodes ranked by trust descending (ties by ascending id),
+  /// excluding the source and zero-trust nodes.
+  std::vector<uint32_t> Ranking() const;
+};
+
+/// \brief Runs spreading activation from \p source over \p graph.
+Result<AppleseedResult> Appleseed(const TrustGraph& graph, size_t source,
+                                  const AppleseedOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_APPLESEED_H_

@@ -1,0 +1,66 @@
+#include "wot/graph/bfs.h"
+
+#include <deque>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+std::vector<uint32_t> BfsDistances(const TrustGraph& graph, size_t source) {
+  WOT_CHECK_LT(source, graph.num_nodes());
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(static_cast<uint32_t>(source));
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (const auto& edge : graph.OutEdges(u)) {
+      if (dist[edge.target] == kUnreachable) {
+        dist[edge.target] = dist[u] + 1;
+        frontier.push_back(edge.target);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t ShortestPathLength(const TrustGraph& graph, size_t source,
+                            size_t sink) {
+  WOT_CHECK_LT(source, graph.num_nodes());
+  WOT_CHECK_LT(sink, graph.num_nodes());
+  if (source == sink) {
+    return 0;
+  }
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(static_cast<uint32_t>(source));
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (const auto& edge : graph.OutEdges(u)) {
+      if (dist[edge.target] == kUnreachable) {
+        dist[edge.target] = dist[u] + 1;
+        if (edge.target == sink) {
+          return dist[edge.target];
+        }
+        frontier.push_back(edge.target);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+size_t CountReachable(const TrustGraph& graph, size_t source) {
+  auto dist = BfsDistances(graph, source);
+  size_t count = 0;
+  for (uint32_t d : dist) {
+    if (d != kUnreachable) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wot

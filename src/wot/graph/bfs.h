@@ -1,0 +1,29 @@
+// Breadth-first traversal utilities over TrustGraph.
+#ifndef WOT_GRAPH_BFS_H_
+#define WOT_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wot/graph/trust_graph.h"
+
+namespace wot {
+
+/// \brief Marker for "unreachable" in distance vectors.
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// \brief Single-source BFS distances (hops); kUnreachable where no path
+/// exists. O(V + E).
+std::vector<uint32_t> BfsDistances(const TrustGraph& graph, size_t source);
+
+/// \brief Length of the shortest path from source to sink in hops, or
+/// kUnreachable. Early-exits once the sink is popped.
+uint32_t ShortestPathLength(const TrustGraph& graph, size_t source,
+                            size_t sink);
+
+/// \brief Number of nodes reachable from \p source (including itself).
+size_t CountReachable(const TrustGraph& graph, size_t source);
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_BFS_H_

@@ -1,0 +1,85 @@
+#include "wot/graph/eigen_trust.h"
+
+#include <cmath>
+
+#include "wot/linalg/vector_ops.h"
+
+namespace wot {
+
+Result<EigenTrustResult> EigenTrust(const TrustGraph& graph,
+                                    const EigenTrustOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("EigenTrust on an empty graph");
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (options.tolerance <= 0.0 || options.max_iterations == 0) {
+    return Status::InvalidArgument("bad tolerance/max_iterations");
+  }
+
+  // Pre-trusted distribution p.
+  std::vector<double> pre(n, 0.0);
+  if (options.pre_trusted.empty()) {
+    for (auto& v : pre) {
+      v = 1.0 / static_cast<double>(n);
+    }
+  } else {
+    for (uint32_t node : options.pre_trusted) {
+      if (node >= n) {
+        return Status::InvalidArgument("pre-trusted node out of range");
+      }
+      pre[node] = 1.0;
+    }
+    NormalizeL1(&pre);
+  }
+
+  // Row sums for on-the-fly normalization (C is conceptually row
+  // stochastic; we avoid materializing it).
+  std::vector<double> row_sum(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& edge : graph.OutEdges(u)) {
+      row_sum[u] += edge.weight;
+    }
+  }
+
+  EigenTrustResult result;
+  result.trust = pre;  // start from the pre-trusted distribution
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      const double mass = result.trust[u];
+      if (mass == 0.0) {
+        continue;
+      }
+      if (row_sum[u] <= 0.0) {
+        dangling_mass += mass;
+        continue;
+      }
+      for (const auto& edge : graph.OutEdges(u)) {
+        next[edge.target] += mass * (edge.weight / row_sum[u]);
+      }
+    }
+    for (size_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - options.alpha) * (next[v] + dangling_mass * pre[v]) +
+                options.alpha * pre[v];
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      delta += std::fabs(next[v] - result.trust[v]);
+    }
+    result.trust.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace wot

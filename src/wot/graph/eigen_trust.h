@@ -1,0 +1,46 @@
+// EigenTrust (Kamvar, Schlosser, Garcia-Molina, WWW 2003): the global trust
+// model from the paper's related work. Computes the principal left
+// eigenvector of the row-normalized trust matrix by damped power iteration:
+//
+//   t_{k+1} = (1 - alpha) * C^T t_k + alpha * p
+//
+// where C is the row-stochastic trust matrix and p is the pre-trusted
+// distribution (uniform by default). The result ranks every node by global
+// reputation.
+#ifndef WOT_GRAPH_EIGEN_TRUST_H_
+#define WOT_GRAPH_EIGEN_TRUST_H_
+
+#include <vector>
+
+#include "wot/graph/trust_graph.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Options for EigenTrust.
+struct EigenTrustOptions {
+  /// Damping toward the pre-trusted distribution.
+  double alpha = 0.15;
+  /// L1 convergence tolerance between iterations.
+  double tolerance = 1e-10;
+  size_t max_iterations = 200;
+  /// Pre-trusted nodes; empty means "all nodes equally pre-trusted".
+  std::vector<uint32_t> pre_trusted;
+};
+
+/// \brief Per-run diagnostics.
+struct EigenTrustResult {
+  std::vector<double> trust;  // global trust per node; sums to 1
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs damped power iteration on \p graph. Dangling nodes (no out
+/// edges) redistribute their mass to the pre-trusted distribution, as in
+/// PageRank. Fails on an empty graph or invalid options.
+Result<EigenTrustResult> EigenTrust(const TrustGraph& graph,
+                                    const EigenTrustOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_EIGEN_TRUST_H_

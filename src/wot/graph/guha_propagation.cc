@@ -1,0 +1,106 @@
+#include "wot/graph/guha_propagation.h"
+
+#include <algorithm>
+
+#include "wot/linalg/sparse_ops.h"
+
+namespace wot {
+
+Status GuhaOptions::Validate() const {
+  if (direct_weight < 0.0 || cocitation_weight < 0.0 ||
+      transpose_weight < 0.0 || coupling_weight < 0.0) {
+    return Status::InvalidArgument("operator weights must be >= 0");
+  }
+  if (direct_weight + cocitation_weight + transpose_weight +
+          coupling_weight <=
+      0.0) {
+    return Status::InvalidArgument("at least one operator weight must be "
+                                   "positive");
+  }
+  if (steps == 0) {
+    return Status::InvalidArgument("steps must be >= 1");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    return Status::InvalidArgument("decay must lie in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<GuhaResult> PropagateGuha(const SparseMatrix& beliefs,
+                                 const GuhaOptions& options) {
+  WOT_RETURN_IF_ERROR(options.Validate());
+  if (beliefs.rows() != beliefs.cols()) {
+    return Status::InvalidArgument("belief matrix must be square");
+  }
+
+  auto cap = [&](SparseMatrix m) {
+    if (options.max_row_entries > 0) {
+      return KeepTopKPerRow(m, options.max_row_entries);
+    }
+    return m;
+  };
+
+  // Build the combined operator C, starting from an all-zero matrix of
+  // the right shape.
+  SparseMatrix transposed = beliefs.Transposed();
+  SparseMatrix combined =
+      SparseMatrixBuilder(beliefs.rows(), beliefs.cols()).Build();
+  if (options.direct_weight > 0.0) {
+    combined = Add(combined, 1.0, beliefs, options.direct_weight);
+  }
+  if (options.transpose_weight > 0.0) {
+    combined = Add(combined, 1.0, transposed, options.transpose_weight);
+  }
+  if (options.cocitation_weight > 0.0) {
+    combined = Add(combined, 1.0, cap(SpGemm(transposed, beliefs)),
+                   options.cocitation_weight);
+  }
+  if (options.coupling_weight > 0.0) {
+    combined = Add(combined, 1.0, cap(SpGemm(beliefs, transposed)),
+                   options.coupling_weight);
+  }
+  combined = cap(NormalizeRowsL1(combined));
+
+  GuhaResult result;
+  result.operator_nnz = combined.nnz();
+
+  // F = sum_{k=1..K} gamma^(k-1) * C^k (Guha et al.): powers of the
+  // combined operator, not C^(k-1)*B — the cross terms like B*(B^T B)
+  // only appear when C multiplies itself.
+  SparseMatrix term = combined;  // C^1
+  SparseMatrix accumulated = combined;
+  double weight = 1.0;
+  for (size_t k = 2; k <= options.steps; ++k) {
+    term = cap(SpGemm(term, combined));
+    weight *= options.decay;
+    accumulated = Add(accumulated, 1.0, term, weight);
+  }
+  accumulated = cap(accumulated);
+
+  // Normalize rows by their max so beliefs land back in [0, 1]; the
+  // diagonal (self-trust) is dropped.
+  SparseMatrixBuilder out(accumulated.rows(), accumulated.cols(),
+                          DuplicatePolicy::kLast);
+  for (size_t i = 0; i < accumulated.rows(); ++i) {
+    auto cols = accumulated.RowCols(i);
+    auto vals = accumulated.RowValues(i);
+    double peak = 0.0;
+    for (size_t t = 0; t < cols.size(); ++t) {
+      if (cols[t] != i) {
+        peak = std::max(peak, vals[t]);
+      }
+    }
+    if (peak <= 0.0) {
+      continue;
+    }
+    for (size_t t = 0; t < cols.size(); ++t) {
+      if (cols[t] != i && vals[t] > 0.0) {
+        out.Add(i, cols[t], vals[t] / peak);
+      }
+    }
+  }
+  result.beliefs = out.Build();
+  return result;
+}
+
+}  // namespace wot

@@ -1,0 +1,58 @@
+// Atomic trust-propagation operators from Guha, Kumar, Raghavan, Tomkins —
+// "Propagation of Trust and Distrust" (WWW 2004), the related-work model
+// the paper contrasts with ([5]). Given a (possibly derived) belief matrix
+// B over users, one propagation step combines four atomic operators:
+//
+//   direct propagation   B        (i trusts j, j trusts k -> i may trust k
+//                                  after another application)
+//   co-citation          B^T B    (i and j trust the same people)
+//   transpose trust      B^T      (being trusted back)
+//   trust coupling       B B^T    (trusting the same people couples users)
+//
+//   C = a1*B + a2*(B^T B) + a3*B^T + a4*(B B^T)
+//
+// and beliefs after K steps accumulate with decay:
+//
+//   F = sum_{k=1..K} gamma^(k-1) * C^(k-1) * B
+//
+// Iterated sparse products densify; fill-in is bounded by keeping only the
+// strongest max_row_entries per row after every product (standard in
+// propagation implementations at scale).
+#ifndef WOT_GRAPH_GUHA_PROPAGATION_H_
+#define WOT_GRAPH_GUHA_PROPAGATION_H_
+
+#include "wot/linalg/sparse_matrix.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Operator weights and iteration controls.
+struct GuhaOptions {
+  double direct_weight = 1.0;       // a1
+  double cocitation_weight = 0.4;   // a2
+  double transpose_weight = 0.1;    // a3
+  double coupling_weight = 0.2;     // a4
+  size_t steps = 3;                 // K
+  double decay = 0.5;               // gamma
+  /// Per-row fill-in cap applied after every product (0 = unlimited —
+  /// only sensible for tiny matrices).
+  size_t max_row_entries = 64;
+
+  Status Validate() const;
+};
+
+/// \brief Result of a propagation run.
+struct GuhaResult {
+  /// Accumulated beliefs F, row-normalized to [0, 1] per row max.
+  SparseMatrix beliefs;
+  /// nnz of the combined operator C after truncation (diagnostics).
+  size_t operator_nnz = 0;
+};
+
+/// \brief Runs the Guha propagation on belief matrix \p beliefs (square).
+Result<GuhaResult> PropagateGuha(const SparseMatrix& beliefs,
+                                 const GuhaOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_GUHA_PROPAGATION_H_

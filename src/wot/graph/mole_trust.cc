@@ -1,0 +1,77 @@
+#include "wot/graph/mole_trust.h"
+
+#include <vector>
+
+#include "wot/graph/bfs.h"
+
+namespace wot {
+
+Result<MoleTrustResult> MoleTrust(const TrustGraph& graph, size_t source,
+                                  const MoleTrustOptions& options) {
+  if (source >= graph.num_nodes()) {
+    return Status::InvalidArgument("source out of range");
+  }
+  if (options.horizon == 0) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  if (options.trust_threshold < 0.0 || options.trust_threshold > 1.0) {
+    return Status::InvalidArgument("trust_threshold must lie in [0, 1]");
+  }
+
+  std::vector<uint32_t> depth = BfsDistances(graph, source);
+
+  MoleTrustResult result;
+  result.trust.assign(graph.num_nodes(), -1.0);
+  result.trust[source] = 1.0;
+  result.num_reached = 1;
+
+  // Accumulators per node; filled as we sweep depth levels outward.
+  std::vector<double> numerator(graph.num_nodes(), 0.0);
+  std::vector<double> denominator(graph.num_nodes(), 0.0);
+
+  // Level-order sweep: nodes at depth d push trust to depth d+1.
+  std::vector<std::vector<uint32_t>> levels(options.horizon);
+  levels[0].push_back(static_cast<uint32_t>(source));
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    if (u != source && depth[u] != kUnreachable &&
+        depth[u] < options.horizon) {
+      levels[depth[u]].push_back(u);
+    }
+  }
+
+  for (size_t d = 0; d < options.horizon; ++d) {
+    // First finalize trust for all nodes at depth d (except the source).
+    for (uint32_t u : levels[d]) {
+      if (u == source) {
+        continue;
+      }
+      if (denominator[u] > 0.0) {
+        result.trust[u] = numerator[u] / denominator[u];
+        ++result.num_reached;
+      }
+    }
+    // Then propagate from accepted nodes at depth d to depth d+1.
+    for (uint32_t u : levels[d]) {
+      double t = result.trust[u];
+      if (t < options.trust_threshold) {
+        continue;  // below threshold (or undefined, t = -1): no say
+      }
+      for (const auto& edge : graph.OutEdges(u)) {
+        if (depth[edge.target] == d + 1) {
+          numerator[edge.target] += t * edge.weight;
+          denominator[edge.target] += t;
+        }
+      }
+    }
+  }
+  // Finalize the last level (depth == horizon) reached by the sweep above.
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    if (depth[u] == options.horizon && denominator[u] > 0.0) {
+      result.trust[u] = numerator[u] / denominator[u];
+      ++result.num_reached;
+    }
+  }
+  return result;
+}
+
+}  // namespace wot

@@ -1,0 +1,43 @@
+// MoleTrust (Massa & Avesani): single-source local trust propagation over
+// a bounded horizon. Nodes are visited in BFS-distance order; a node's
+// predicted trust is the trust-weighted average of its accepted
+// predecessors' trust:
+//
+//   trust(v) = sum_{u in pred(v), trust(u) >= threshold}
+//                trust(u) * w(u, v) / sum trust(u)
+//
+// Only edges from strictly smaller depth to larger depth propagate (the
+// walk never flows backwards), which makes the computation a single pass.
+#ifndef WOT_GRAPH_MOLE_TRUST_H_
+#define WOT_GRAPH_MOLE_TRUST_H_
+
+#include <vector>
+
+#include "wot/graph/trust_graph.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Options for MoleTrust.
+struct MoleTrustOptions {
+  /// Maximum propagation distance from the source (hops).
+  size_t horizon = 3;
+  /// Predecessors below this trust do not propagate.
+  double trust_threshold = 0.6;
+};
+
+/// \brief Per-source result.
+struct MoleTrustResult {
+  /// Predicted trust per node; -1 where undefined (unreached / beyond the
+  /// horizon / no accepted predecessor).
+  std::vector<double> trust;
+  size_t num_reached = 0;  // nodes with a defined prediction
+};
+
+/// \brief Propagates trust from \p source. The source's own entry is 1.
+Result<MoleTrustResult> MoleTrust(const TrustGraph& graph, size_t source,
+                                  const MoleTrustOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_MOLE_TRUST_H_

@@ -1,0 +1,74 @@
+#include "wot/graph/propagation_eval.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+double PropagationComparison::CoverageA() const {
+  return pairs_sampled == 0 ? 0.0
+                            : static_cast<double>(covered_by_a) /
+                                  static_cast<double>(pairs_sampled);
+}
+
+double PropagationComparison::CoverageB() const {
+  return pairs_sampled == 0 ? 0.0
+                            : static_cast<double>(covered_by_b) /
+                                  static_cast<double>(pairs_sampled);
+}
+
+std::string PropagationComparison::ToString(const std::string& name_a,
+                                            const std::string& name_b) const {
+  std::ostringstream os;
+  os << "pairs sampled: " << pairs_sampled << "\n"
+     << name_a << ": coverage=" << FormatDouble(CoverageA(), 3)
+     << " mean prediction=" << FormatDouble(prediction_a.mean(), 3) << "\n"
+     << name_b << ": coverage=" << FormatDouble(CoverageB(), 3)
+     << " mean prediction=" << FormatDouble(prediction_b.mean(), 3) << "\n"
+     << "covered by both: " << covered_by_both
+     << "  mean |difference|=" << FormatDouble(abs_difference.mean(), 3)
+     << "  max=" << FormatDouble(abs_difference.max(), 3) << "\n";
+  return os.str();
+}
+
+Result<PropagationComparison> ComparePropagation(
+    const TrustGraph& a, const TrustGraph& b,
+    const PropagationEvalOptions& options) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return Status::InvalidArgument(
+        "the two webs must cover the same user population");
+  }
+  if (a.num_nodes() < 2) {
+    return Status::InvalidArgument("need at least 2 nodes");
+  }
+  Rng rng(options.seed);
+  PropagationComparison out;
+  out.pairs_sampled = options.num_pairs;
+  for (size_t k = 0; k < options.num_pairs; ++k) {
+    size_t source = rng.NextBounded(a.num_nodes());
+    size_t sink = rng.NextBounded(a.num_nodes());
+    if (source == sink) {
+      sink = (sink + 1) % a.num_nodes();
+    }
+    Result<TidalTrustResult> ra = TidalTrust(a, source, sink, options.tidal);
+    Result<TidalTrustResult> rb = TidalTrust(b, source, sink, options.tidal);
+    if (ra.ok()) {
+      ++out.covered_by_a;
+      out.prediction_a.Add(ra.ValueOrDie().trust);
+    }
+    if (rb.ok()) {
+      ++out.covered_by_b;
+      out.prediction_b.Add(rb.ValueOrDie().trust);
+    }
+    if (ra.ok() && rb.ok()) {
+      ++out.covered_by_both;
+      out.abs_difference.Add(
+          std::fabs(ra.ValueOrDie().trust - rb.ValueOrDie().trust));
+    }
+  }
+  return out;
+}
+
+}  // namespace wot

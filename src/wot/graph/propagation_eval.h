@@ -1,0 +1,52 @@
+// The paper's stated future work: "propagate our derived web of trust and
+// compare the propagation results between our web of trust and a web of
+// trust constructed with users' explicit trust rating."
+//
+// ComparePropagation samples source/sink pairs, runs TidalTrust over both
+// webs, and reports coverage (how often each web can produce a prediction
+// at all) and agreement (error statistics between the two predictions on
+// pairs both webs cover).
+#ifndef WOT_GRAPH_PROPAGATION_EVAL_H_
+#define WOT_GRAPH_PROPAGATION_EVAL_H_
+
+#include <string>
+
+#include "wot/graph/tidal_trust.h"
+#include "wot/graph/trust_graph.h"
+#include "wot/util/histogram.h"
+#include "wot/util/result.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+
+/// \brief Options for the comparison experiment.
+struct PropagationEvalOptions {
+  size_t num_pairs = 2000;  // sampled (source, sink) pairs
+  uint64_t seed = 7;
+  TidalTrustOptions tidal;  // propagation parameters for both webs
+};
+
+/// \brief Outcome of comparing propagation over two webs of trust.
+struct PropagationComparison {
+  size_t pairs_sampled = 0;
+  size_t covered_by_a = 0;     // pairs where web A yields a prediction
+  size_t covered_by_b = 0;     // pairs where web B yields a prediction
+  size_t covered_by_both = 0;
+  RunningStats prediction_a;   // predictions of web A (covered pairs)
+  RunningStats prediction_b;
+  RunningStats abs_difference; // |a - b| on pairs covered by both
+
+  double CoverageA() const;
+  double CoverageB() const;
+  std::string ToString(const std::string& name_a,
+                       const std::string& name_b) const;
+};
+
+/// \brief Runs the comparison between webs \p a and \p b (same node count).
+Result<PropagationComparison> ComparePropagation(
+    const TrustGraph& a, const TrustGraph& b,
+    const PropagationEvalOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_PROPAGATION_EVAL_H_

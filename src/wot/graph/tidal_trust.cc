@@ -1,0 +1,117 @@
+#include "wot/graph/tidal_trust.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "wot/graph/bfs.h"
+#include "wot/util/check.h"
+
+namespace wot {
+
+Result<TidalTrustResult> TidalTrust(const TrustGraph& graph, size_t source,
+                                    size_t sink,
+                                    const TidalTrustOptions& options) {
+  if (source >= graph.num_nodes() || sink >= graph.num_nodes()) {
+    return Status::InvalidArgument("source/sink out of range");
+  }
+  if (source == sink) {
+    return Status::InvalidArgument(
+        "TidalTrust is undefined for source == sink");
+  }
+
+  // Forward wave: BFS depths from the source, pruned at the sink's depth.
+  std::vector<uint32_t> depth(graph.num_nodes(), kUnreachable);
+  // strength[u] = max over shortest paths source->u of the minimum edge
+  // weight along the path ("widest shortest path").
+  std::vector<double> strength(graph.num_nodes(), 0.0);
+  std::deque<uint32_t> frontier;
+  depth[source] = 0;
+  strength[source] = 1.0;  // users fully trust themselves
+  frontier.push_back(static_cast<uint32_t>(source));
+  uint32_t sink_depth = kUnreachable;
+
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    if (depth[u] >= sink_depth) {
+      continue;  // nodes at or past the sink's level cannot extend paths
+    }
+    if (options.max_depth > 0 && depth[u] >= options.max_depth) {
+      continue;
+    }
+    for (const auto& edge : graph.OutEdges(u)) {
+      double via = std::min(strength[u], edge.weight);
+      if (depth[edge.target] == kUnreachable) {
+        depth[edge.target] = depth[u] + 1;
+        strength[edge.target] = via;
+        if (edge.target == sink) {
+          sink_depth = depth[edge.target];
+        } else {
+          frontier.push_back(edge.target);
+        }
+      } else if (depth[edge.target] == depth[u] + 1) {
+        // Another shortest path; keep the strongest.
+        strength[edge.target] = std::max(strength[edge.target], via);
+      }
+    }
+  }
+  if (sink_depth == kUnreachable) {
+    return Status::NotFound("no path from source to sink");
+  }
+
+  // Backward wave over shortest-path DAG levels, sink level first.
+  // rating[u] = inferred trust of u in the sink.
+  std::unordered_map<uint32_t, double> rating;
+  rating.reserve(64);
+  const double threshold = strength[sink];
+
+  // Group nodes by depth (only those on shortest-path levels < sink_depth).
+  std::vector<std::vector<uint32_t>> levels(sink_depth);
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    if (depth[u] != kUnreachable && depth[u] < sink_depth) {
+      levels[depth[u]].push_back(u);
+    }
+  }
+  for (size_t d = sink_depth; d-- > 0;) {
+    for (uint32_t u : levels[d]) {
+      double num = 0.0;
+      double den = 0.0;
+      for (const auto& edge : graph.OutEdges(u)) {
+        if (edge.weight < threshold) {
+          continue;  // only the strongest paths participate
+        }
+        if (edge.target == sink) {
+          // Direct opinion dominates: rating(u) = w(u, sink).
+          num = edge.weight;
+          den = 1.0;
+          break;
+        }
+        if (depth[edge.target] == depth[u] + 1) {
+          auto it = rating.find(edge.target);
+          if (it != rating.end()) {
+            num += edge.weight * it->second;
+            den += edge.weight;
+          }
+        }
+      }
+      if (den > 0.0) {
+        rating[u] = num / den;
+      }
+    }
+  }
+
+  auto it = rating.find(static_cast<uint32_t>(source));
+  if (it == rating.end()) {
+    return Status::NotFound(
+        "no shortest path survives the strength threshold");
+  }
+  TidalTrustResult result;
+  result.trust = it->second;
+  result.path_length = sink_depth;
+  result.threshold = threshold;
+  return result;
+}
+
+}  // namespace wot

@@ -1,0 +1,41 @@
+// TidalTrust (Golbeck 2005), the local trust-inference baseline the paper's
+// related work discusses: infer source->sink trust by a weighted average of
+// neighbours' trust in the sink, restricted to shortest paths and, within
+// those, to the strongest paths.
+//
+// Algorithm: a forward BFS wave finds the shortest source->sink depth and
+// the "max" threshold (the largest t such that a shortest path exists whose
+// edges all have weight >= t); a backward wave then computes
+//   rating(u) = sum_{v: child on shortest path, w(u,v) >= max}
+//                 w(u,v) * rating(v) / sum w(u,v)
+// with rating(u) = w(u, sink) for direct predecessors of the sink.
+#ifndef WOT_GRAPH_TIDAL_TRUST_H_
+#define WOT_GRAPH_TIDAL_TRUST_H_
+
+#include "wot/graph/trust_graph.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Options for TidalTrust.
+struct TidalTrustOptions {
+  /// Give up when the sink is farther than this many hops (0 = unlimited).
+  size_t max_depth = 0;
+};
+
+/// \brief Diagnostic info for one inference.
+struct TidalTrustResult {
+  double trust = 0.0;     // inferred source->sink trust in [0, 1]
+  size_t path_length = 0; // shortest path length used
+  double threshold = 0.0; // the "max" path-strength threshold
+};
+
+/// \brief Infers source->sink trust. Returns NotFound when no path exists
+/// (or exceeds max_depth), InvalidArgument when source == sink.
+Result<TidalTrustResult> TidalTrust(const TrustGraph& graph, size_t source,
+                                    size_t sink,
+                                    const TidalTrustOptions& options = {});
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_TIDAL_TRUST_H_

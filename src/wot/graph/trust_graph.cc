@@ -1,0 +1,94 @@
+#include "wot/graph/trust_graph.h"
+
+#include <algorithm>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+TrustGraph TrustGraph::FromMatrix(const SparseMatrix& matrix) {
+  WOT_CHECK_EQ(matrix.rows(), matrix.cols());
+  TrustGraph graph;
+  graph.offsets_.assign(matrix.rows() + 1, 0);
+  // Counting pass.
+  for (size_t u = 0; u < matrix.rows(); ++u) {
+    auto cols = matrix.RowCols(u);
+    auto vals = matrix.RowValues(u);
+    size_t kept = 0;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != u && vals[k] > 0.0) {
+        ++kept;
+      }
+    }
+    graph.offsets_[u + 1] = graph.offsets_[u] + kept;
+  }
+  graph.edges_.resize(graph.offsets_.back());
+  for (size_t u = 0; u < matrix.rows(); ++u) {
+    auto cols = matrix.RowCols(u);
+    auto vals = matrix.RowValues(u);
+    size_t pos = graph.offsets_[u];
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != u && vals[k] > 0.0) {
+        graph.edges_[pos++] = {cols[k], std::min(vals[k], 1.0)};
+      }
+    }
+  }
+  return graph;
+}
+
+TrustGraph TrustGraph::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  SparseMatrixBuilder builder(num_nodes, num_nodes, DuplicatePolicy::kLast);
+  for (const auto& [source, target] : edges) {
+    if (source != target) {
+      builder.Add(source, target, 1.0);
+    }
+  }
+  return FromMatrix(builder.Build());
+}
+
+std::span<const TrustEdgeRef> TrustGraph::OutEdges(size_t node) const {
+  WOT_DCHECK(node < num_nodes());
+  return {edges_.data() + offsets_[node],
+          offsets_[node + 1] - offsets_[node]};
+}
+
+double TrustGraph::EdgeWeight(size_t u, size_t v) const {
+  for (const auto& edge : OutEdges(u)) {
+    if (edge.target == v) {
+      return edge.weight;
+    }
+  }
+  return 0.0;
+}
+
+TrustGraph TrustGraph::Reversed() const {
+  TrustGraph out;
+  out.offsets_.assign(num_nodes() + 1, 0);
+  for (const auto& edge : edges_) {
+    ++out.offsets_[edge.target + 1];
+  }
+  for (size_t n = 1; n <= num_nodes(); ++n) {
+    out.offsets_[n] += out.offsets_[n - 1];
+  }
+  out.edges_.resize(edges_.size());
+  std::vector<size_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (const auto& edge : OutEdges(u)) {
+      out.edges_[cursor[edge.target]++] = {static_cast<uint32_t>(u),
+                                           edge.weight};
+    }
+  }
+  return out;
+}
+
+double TrustGraph::Density() const {
+  const double n = static_cast<double>(num_nodes());
+  if (n < 2.0) {
+    return 0.0;
+  }
+  return static_cast<double>(num_edges()) / (n * (n - 1.0));
+}
+
+}  // namespace wot

@@ -1,0 +1,62 @@
+// A weighted directed trust graph in CSR form: node u trusts node v with
+// weight w in (0, 1]. Built either from explicit trust statements (binary
+// weights) or from a derived continuous trust matrix — the substrate for
+// the propagation algorithms (TidalTrust, EigenTrust, MoleTrust).
+#ifndef WOT_GRAPH_TRUST_GRAPH_H_
+#define WOT_GRAPH_TRUST_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief One weighted edge target.
+struct TrustEdgeRef {
+  uint32_t target;
+  double weight;
+};
+
+/// \brief Immutable directed graph with out-adjacency in CSR.
+class TrustGraph {
+ public:
+  TrustGraph() = default;
+
+  /// \brief Builds from a U x U sparse matrix; entries <= 0 and diagonal
+  /// entries are dropped; weights are clamped to (0, 1].
+  static TrustGraph FromMatrix(const SparseMatrix& matrix);
+
+  /// \brief Builds from explicit (source, target) pairs with weight 1.
+  static TrustGraph FromEdges(
+      size_t num_nodes,
+      const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_edges() const { return edges_.size(); }
+
+  std::span<const TrustEdgeRef> OutEdges(size_t node) const;
+  size_t OutDegree(size_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  /// \brief Weight of edge (u, v); 0 if absent. O(out-degree of u).
+  double EdgeWeight(size_t u, size_t v) const;
+
+  /// \brief Transposed graph (in-edges become out-edges).
+  TrustGraph Reversed() const;
+
+  /// \brief Edge count / n(n-1).
+  double Density() const;
+
+ private:
+  std::vector<size_t> offsets_;      // size num_nodes + 1
+  std::vector<TrustEdgeRef> edges_;  // grouped by source
+};
+
+}  // namespace wot
+
+#endif  // WOT_GRAPH_TRUST_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "wot/io/binary_format.h"
+
+#include <cstring>
+
+#include "wot/community/dataset_builder.h"
+#include "wot/io/crc32.h"
+#include "wot/io/csv.h"
+
+namespace wot {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'O', 'T', 'B'};
+
+class Writer {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  void PutRaw(const void* data, size_t len) {
+    buffer_.append(static_cast<const char*>(data), len);
+  }
+  std::string Take() { return std::move(buffer_); }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status GetU32(uint32_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU64(uint64_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
+
+  Status GetString(std::string* out) {
+    uint32_t len = 0;
+    WOT_RETURN_IF_ERROR(GetU32(&len));
+    if (len > Remaining()) {
+      return Status::Corruption("string length exceeds buffer");
+    }
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status GetRaw(void* out, size_t len) {
+    if (len > Remaining()) {
+      return Status::Corruption("unexpected end of buffer");
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeDataset(const Dataset& dataset) {
+  Writer body;
+  body.PutU64(dataset.num_categories());
+  for (const auto& category : dataset.categories()) {
+    body.PutString(category.name);
+  }
+  body.PutU64(dataset.num_users());
+  for (const auto& user : dataset.users()) {
+    body.PutString(user.name);
+  }
+  body.PutU64(dataset.num_objects());
+  for (const auto& object : dataset.objects()) {
+    body.PutU32(object.category.value());
+    body.PutString(object.name);
+  }
+  body.PutU64(dataset.num_reviews());
+  for (const auto& review : dataset.reviews()) {
+    body.PutU32(review.writer.value());
+    body.PutU32(review.object.value());
+  }
+  body.PutU64(dataset.num_ratings());
+  for (const auto& rating : dataset.ratings()) {
+    body.PutU32(rating.rater.value());
+    body.PutU32(rating.review.value());
+    body.PutDouble(rating.value);
+  }
+  body.PutU64(dataset.num_trust_statements());
+  for (const auto& trust : dataset.trust_statements()) {
+    body.PutU32(trust.source.value());
+    body.PutU32(trust.target.value());
+  }
+
+  Writer out;
+  out.PutRaw(kMagic, sizeof(kMagic));
+  out.PutU32(kBinaryFormatVersion);
+  const std::string& payload = body.buffer();
+  out.PutU64(payload.size());
+  out.PutRaw(payload.data(), payload.size());
+  out.PutU32(Crc32(payload.data(), payload.size()));
+  return out.Take();
+}
+
+Result<Dataset> DeserializeDataset(std::string_view buffer) {
+  Reader reader(buffer);
+  char magic[4];
+  WOT_RETURN_IF_ERROR(reader.GetRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic; not a WOTB file");
+  }
+  uint32_t version = 0;
+  WOT_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kBinaryFormatVersion) {
+    return Status::Corruption("unsupported WOTB version " +
+                              std::to_string(version));
+  }
+  uint64_t payload_size = 0;
+  WOT_RETURN_IF_ERROR(reader.GetU64(&payload_size));
+  if (payload_size + sizeof(uint32_t) > reader.Remaining()) {
+    return Status::Corruption("payload length exceeds buffer");
+  }
+  std::string_view payload = buffer.substr(reader.pos(), payload_size);
+  Reader body(payload);
+  // Verify the checksum before trusting any length field inside.
+  {
+    Reader tail(buffer.substr(reader.pos() + payload_size));
+    uint32_t stored_crc = 0;
+    WOT_RETURN_IF_ERROR(tail.GetU32(&stored_crc));
+    uint32_t actual_crc = Crc32(payload.data(), payload.size());
+    if (stored_crc != actual_crc) {
+      return Status::Corruption("CRC mismatch: file is corrupt");
+    }
+  }
+
+  // Loading bypasses name-keyed maps: ids are already dense. Builder
+  // validation still applies (referential integrity, policy rules).
+  DatasetBuilder builder;
+  uint64_t count = 0;
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    WOT_RETURN_IF_ERROR(body.GetString(&name));
+    builder.AddCategory(std::move(name));
+  }
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    WOT_RETURN_IF_ERROR(body.GetString(&name));
+    builder.AddUser(std::move(name));
+  }
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t category = 0;
+    std::string name;
+    WOT_RETURN_IF_ERROR(body.GetU32(&category));
+    WOT_RETURN_IF_ERROR(body.GetString(&name));
+    WOT_ASSIGN_OR_RETURN(ObjectId oid, builder.AddObject(CategoryId(category),
+                                                         std::move(name)));
+    (void)oid;
+  }
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t writer = 0;
+    uint32_t object = 0;
+    WOT_RETURN_IF_ERROR(body.GetU32(&writer));
+    WOT_RETURN_IF_ERROR(body.GetU32(&object));
+    WOT_ASSIGN_OR_RETURN(
+        ReviewId rid, builder.AddReview(UserId(writer), ObjectId(object)));
+    (void)rid;
+  }
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rater = 0;
+    uint32_t review = 0;
+    double value = 0.0;
+    WOT_RETURN_IF_ERROR(body.GetU32(&rater));
+    WOT_RETURN_IF_ERROR(body.GetU32(&review));
+    WOT_RETURN_IF_ERROR(body.GetDouble(&value));
+    WOT_RETURN_IF_ERROR(
+        builder.AddRating(UserId(rater), ReviewId(review), value));
+  }
+
+  WOT_RETURN_IF_ERROR(body.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t source = 0;
+    uint32_t target = 0;
+    WOT_RETURN_IF_ERROR(body.GetU32(&source));
+    WOT_RETURN_IF_ERROR(body.GetU32(&target));
+    WOT_RETURN_IF_ERROR(builder.AddTrust(UserId(source), UserId(target)));
+  }
+
+  if (body.Remaining() != 0) {
+    return Status::Corruption("trailing bytes after last section");
+  }
+  return builder.Build();
+}
+
+Status SaveDatasetBinary(const Dataset& dataset, const std::string& path) {
+  return WriteStringToFile(path, SerializeDataset(dataset));
+}
+
+Result<Dataset> LoadDatasetBinary(const std::string& path) {
+  WOT_ASSIGN_OR_RETURN(std::string buffer, ReadFileToString(path));
+  Result<Dataset> dataset = DeserializeDataset(buffer);
+  if (!dataset.ok()) {
+    return dataset.status().WithContext(path);
+  }
+  return dataset;
+}
+
+}  // namespace wot

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for binary-format integrity
+// checks.
+#ifndef WOT_IO_CRC32_H_
+#define WOT_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wot {
+
+/// \brief Extends a running CRC-32 with \p len bytes. Start with crc = 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+/// \brief CRC-32 of one contiguous buffer.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace wot
+
+#endif  // WOT_IO_CRC32_H_

@@ -1,0 +1,161 @@
+#include "wot/io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wot {
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one (possibly empty) field
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::Corruption(
+              "CSV: quote inside unquoted field near offset " +
+              std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a field follows the comma, possibly empty
+        ++i;
+        break;
+      case '\r':
+        // Swallow; the following \n (if any) terminates the row.
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV: unterminated quoted field");
+  }
+  if (!field.empty() || !row.empty() || field_started) {
+    end_row();
+  }
+  return rows;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path) {
+  WOT_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  Result<std::vector<CsvRow>> parsed = ParseCsv(content);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext(path);
+  }
+  return parsed;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows) {
+  return WriteStringToFile(path, WriteCsv(rows));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    return Status::IOError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace wot

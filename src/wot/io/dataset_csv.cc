@@ -1,0 +1,232 @@
+#include "wot/io/dataset_csv.h"
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "wot/io/csv.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string PathJoin(const std::string& dir, const char* file) {
+  return (fs::path(dir) / file).string();
+}
+
+Status ExpectHeader(const std::vector<CsvRow>& rows, const CsvRow& expected,
+                    const char* file) {
+  if (rows.empty()) {
+    return Status::Corruption(std::string(file) + ": missing header row");
+  }
+  if (rows[0] != expected) {
+    return Status::Corruption(std::string(file) + ": unexpected header '" +
+                              Join(rows[0], ",") + "', want '" +
+                              Join(expected, ",") + "'");
+  }
+  return Status::OK();
+}
+
+Status ExpectWidth(const CsvRow& row, size_t width, const char* file,
+                   size_t line) {
+  if (row.size() != width) {
+    return Status::Corruption(std::string(file) + " line " +
+                              std::to_string(line + 1) + ": expected " +
+                              std::to_string(width) + " fields, got " +
+                              std::to_string(row.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + directory +
+                           "': " + ec.message());
+  }
+
+  {
+    std::vector<CsvRow> rows = {{"name"}};
+    for (const auto& category : dataset.categories()) {
+      rows.push_back({category.name});
+    }
+    WOT_RETURN_IF_ERROR(
+        WriteCsvFile(PathJoin(directory, "categories.csv"), rows));
+  }
+  {
+    std::vector<CsvRow> rows = {{"name"}};
+    for (const auto& user : dataset.users()) {
+      rows.push_back({user.name});
+    }
+    WOT_RETURN_IF_ERROR(WriteCsvFile(PathJoin(directory, "users.csv"), rows));
+  }
+  {
+    std::vector<CsvRow> rows = {{"name", "category"}};
+    for (const auto& object : dataset.objects()) {
+      rows.push_back({object.name, dataset.category(object.category).name});
+    }
+    WOT_RETURN_IF_ERROR(
+        WriteCsvFile(PathJoin(directory, "objects.csv"), rows));
+  }
+  {
+    std::vector<CsvRow> rows = {{"writer", "object"}};
+    for (const auto& review : dataset.reviews()) {
+      rows.push_back({dataset.user(review.writer).name,
+                      dataset.object(review.object).name});
+    }
+    WOT_RETURN_IF_ERROR(
+        WriteCsvFile(PathJoin(directory, "reviews.csv"), rows));
+  }
+  {
+    std::vector<CsvRow> rows = {{"rater", "writer", "object", "value"}};
+    for (const auto& rating : dataset.ratings()) {
+      const auto& review = dataset.review(rating.review);
+      rows.push_back({dataset.user(rating.rater).name,
+                      dataset.user(review.writer).name,
+                      dataset.object(review.object).name,
+                      FormatDouble(rating.value, 1)});
+    }
+    WOT_RETURN_IF_ERROR(
+        WriteCsvFile(PathJoin(directory, "ratings.csv"), rows));
+  }
+  {
+    std::vector<CsvRow> rows = {{"source", "target"}};
+    for (const auto& trust : dataset.trust_statements()) {
+      rows.push_back({dataset.user(trust.source).name,
+                      dataset.user(trust.target).name});
+    }
+    WOT_RETURN_IF_ERROR(WriteCsvFile(PathJoin(directory, "trust.csv"), rows));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& directory,
+                               DatasetBuilderOptions options) {
+  DatasetBuilder builder(options);
+
+  std::unordered_map<std::string, CategoryId> categories;
+  std::unordered_map<std::string, UserId> users;
+  std::unordered_map<std::string, ObjectId> objects;
+  // Reviews are keyed by "writer|object" in ratings.csv.
+  std::unordered_map<std::string, ReviewId> reviews;
+
+  {
+    WOT_ASSIGN_OR_RETURN(auto rows,
+                         ReadCsvFile(PathJoin(directory, "categories.csv")));
+    WOT_RETURN_IF_ERROR(ExpectHeader(rows, {"name"}, "categories.csv"));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 1, "categories.csv", i));
+      if (categories.count(rows[i][0]) != 0) {
+        return Status::Corruption("categories.csv: duplicate category '" +
+                                  rows[i][0] + "'");
+      }
+      categories.emplace(rows[i][0], builder.AddCategory(rows[i][0]));
+    }
+  }
+  {
+    WOT_ASSIGN_OR_RETURN(auto rows,
+                         ReadCsvFile(PathJoin(directory, "users.csv")));
+    WOT_RETURN_IF_ERROR(ExpectHeader(rows, {"name"}, "users.csv"));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 1, "users.csv", i));
+      if (users.count(rows[i][0]) != 0) {
+        return Status::Corruption("users.csv: duplicate user '" +
+                                  rows[i][0] + "'");
+      }
+      users.emplace(rows[i][0], builder.AddUser(rows[i][0]));
+    }
+  }
+  {
+    WOT_ASSIGN_OR_RETURN(auto rows,
+                         ReadCsvFile(PathJoin(directory, "objects.csv")));
+    WOT_RETURN_IF_ERROR(
+        ExpectHeader(rows, {"name", "category"}, "objects.csv"));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 2, "objects.csv", i));
+      auto cat = categories.find(rows[i][1]);
+      if (cat == categories.end()) {
+        return Status::Corruption("objects.csv: unknown category '" +
+                                  rows[i][1] + "'");
+      }
+      if (objects.count(rows[i][0]) != 0) {
+        return Status::Corruption("objects.csv: duplicate object '" +
+                                  rows[i][0] + "'");
+      }
+      WOT_ASSIGN_OR_RETURN(ObjectId oid,
+                           builder.AddObject(cat->second, rows[i][0]));
+      objects.emplace(rows[i][0], oid);
+    }
+  }
+  {
+    WOT_ASSIGN_OR_RETURN(auto rows,
+                         ReadCsvFile(PathJoin(directory, "reviews.csv")));
+    WOT_RETURN_IF_ERROR(
+        ExpectHeader(rows, {"writer", "object"}, "reviews.csv"));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 2, "reviews.csv", i));
+      auto writer = users.find(rows[i][0]);
+      if (writer == users.end()) {
+        return Status::Corruption("reviews.csv: unknown writer '" +
+                                  rows[i][0] + "'");
+      }
+      auto object = objects.find(rows[i][1]);
+      if (object == objects.end()) {
+        return Status::Corruption("reviews.csv: unknown object '" +
+                                  rows[i][1] + "'");
+      }
+      WOT_ASSIGN_OR_RETURN(
+          ReviewId rid, builder.AddReview(writer->second, object->second));
+      reviews.emplace(rows[i][0] + "|" + rows[i][1], rid);
+    }
+  }
+  {
+    WOT_ASSIGN_OR_RETURN(auto rows,
+                         ReadCsvFile(PathJoin(directory, "ratings.csv")));
+    WOT_RETURN_IF_ERROR(ExpectHeader(
+        rows, {"rater", "writer", "object", "value"}, "ratings.csv"));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 4, "ratings.csv", i));
+      auto rater = users.find(rows[i][0]);
+      if (rater == users.end()) {
+        return Status::Corruption("ratings.csv: unknown rater '" +
+                                  rows[i][0] + "'");
+      }
+      auto review = reviews.find(rows[i][1] + "|" + rows[i][2]);
+      if (review == reviews.end()) {
+        return Status::Corruption("ratings.csv: no review of '" +
+                                  rows[i][2] + "' by '" + rows[i][1] + "'");
+      }
+      WOT_ASSIGN_OR_RETURN(double value, ParseDouble(rows[i][3]));
+      WOT_RETURN_IF_ERROR(
+          builder.AddRating(rater->second, review->second, value));
+    }
+  }
+  // trust.csv is optional: communities without an explicit web of trust are
+  // exactly the paper's motivating case.
+  {
+    std::string path = PathJoin(directory, "trust.csv");
+    if (fs::exists(path)) {
+      WOT_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+      WOT_RETURN_IF_ERROR(
+          ExpectHeader(rows, {"source", "target"}, "trust.csv"));
+      for (size_t i = 1; i < rows.size(); ++i) {
+        WOT_RETURN_IF_ERROR(ExpectWidth(rows[i], 2, "trust.csv", i));
+        auto source = users.find(rows[i][0]);
+        auto target = users.find(rows[i][1]);
+        if (source == users.end() || target == users.end()) {
+          return Status::Corruption("trust.csv line " + std::to_string(i + 1) +
+                                    ": unknown user");
+        }
+        WOT_RETURN_IF_ERROR(builder.AddTrust(source->second, target->second));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace wot

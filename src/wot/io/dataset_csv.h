@@ -1,0 +1,36 @@
+// Dataset <-> CSV-directory serialization.
+//
+// A dataset directory contains five files:
+//   categories.csv  header: name
+//   users.csv       header: name
+//   objects.csv     header: name,category
+//   reviews.csv     header: writer,object
+//   ratings.csv     header: rater,writer,object,value
+//   trust.csv       header: source,target            (optional file)
+//
+// All references are by *name*, so dumps are diffable and a real Epinions
+// crawl can be converted to this schema with a few lines of scripting.
+// Loading re-interns names into dense ids via DatasetBuilder, running the
+// full validation suite.
+#ifndef WOT_IO_DATASET_CSV_H_
+#define WOT_IO_DATASET_CSV_H_
+
+#include <string>
+
+#include "wot/community/dataset.h"
+#include "wot/community/dataset_builder.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Writes all dataset files into \p directory (created if missing).
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& directory);
+
+/// \brief Loads a dataset directory written by SaveDatasetCsv (or converted
+/// from external data). Missing trust.csv is treated as "no trust data".
+Result<Dataset> LoadDatasetCsv(const std::string& directory,
+                               DatasetBuilderOptions options = {});
+
+}  // namespace wot
+
+#endif  // WOT_IO_DATASET_CSV_H_

@@ -1,0 +1,123 @@
+#include "wot/linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return DenseMatrix();
+  }
+  DenseMatrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    WOT_CHECK_EQ(rows[r].size(), m.cols());
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      m.At(r, c) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+double DenseMatrix::RowSum(size_t r) const {
+  double sum = 0.0;
+  for (double v : Row(r)) {
+    sum += v;
+  }
+  return sum;
+}
+
+double DenseMatrix::RowMax(size_t r) const {
+  double best = 0.0;
+  bool first = true;
+  for (double v : Row(r)) {
+    if (first || v > best) {
+      best = v;
+      first = false;
+    }
+  }
+  return first ? 0.0 : best;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  WOT_CHECK_EQ(cols_, other.rows());
+  DenseMatrix out(rows_, other.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = At(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = other.Row(k);
+      auto orow = out.Row(i);
+      for (size_t j = 0; j < other.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool DenseMatrix::AllInRange(double lo, double hi) const {
+  for (double v : data_) {
+    if (!(v >= lo && v <= hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  WOT_CHECK_EQ(a.rows(), b.rows());
+  WOT_CHECK_EQ(a.cols(), b.cols());
+  double best = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    best = std::max(best, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return best;
+}
+
+size_t DenseMatrix::CountGreaterThan(double threshold) const {
+  size_t count = 0;
+  for (double v : data_) {
+    if (v > threshold) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string DenseMatrix::ToString(int precision) const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << FormatDouble(At(r, c), precision);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace wot

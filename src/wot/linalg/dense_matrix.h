@@ -1,0 +1,93 @@
+// Row-major dense matrix of doubles. Backs the Users×Category expertise and
+// affiliation matrices (tall-skinny: U rows, C ~ a dozen columns) and, at
+// small scale, the derived trust matrix.
+#ifndef WOT_LINALG_DENSE_MATRIX_H_
+#define WOT_LINALG_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+/// \brief A dense row-major matrix.
+class DenseMatrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  DenseMatrix() = default;
+
+  /// Creates a rows×cols matrix initialized with \p fill.
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Creates from nested initializer data (row vectors); all rows must have
+  /// equal length. Intended for tests.
+  static DenseMatrix FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    WOT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    WOT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// \brief Contiguous view of one row.
+  std::span<double> Row(size_t r) {
+    WOT_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> Row(size_t r) const {
+    WOT_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// \brief Sum of one row's entries.
+  double RowSum(size_t r) const;
+
+  /// \brief Maximum entry of one row (0 for an empty row span).
+  double RowMax(size_t r) const;
+
+  /// \brief Transposed copy.
+  DenseMatrix Transposed() const;
+
+  /// \brief this × other. Requires cols() == other.rows().
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// \brief Sets every entry to \p value.
+  void Fill(double value);
+
+  /// \brief True iff all entries lie within [lo, hi].
+  bool AllInRange(double lo, double hi) const;
+
+  /// \brief Max |a-b| over entries; matrices must be the same shape.
+  static double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+  /// \brief Count of entries strictly greater than \p threshold.
+  size_t CountGreaterThan(double threshold) const;
+
+  /// \brief Human-readable rendering (tests and debugging; small matrices).
+  std::string ToString(int precision = 3) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_LINALG_DENSE_MATRIX_H_

@@ -1,0 +1,124 @@
+#include "wot/linalg/sparse_matrix.h"
+
+#include <algorithm>
+
+namespace wot {
+
+double SparseMatrix::At(size_t r, size_t c) const {
+  auto cols = RowCols(r);
+  auto it = std::lower_bound(cols.begin(), cols.end(),
+                             static_cast<uint32_t>(c));
+  if (it == cols.end() || *it != c) {
+    return 0.0;
+  }
+  return RowValues(r)[static_cast<size_t>(it - cols.begin())];
+}
+
+bool SparseMatrix::Contains(size_t r, size_t c) const {
+  auto cols = RowCols(r);
+  return std::binary_search(cols.begin(), cols.end(),
+                            static_cast<uint32_t>(c));
+}
+
+double SparseMatrix::Density() const {
+  if (rows() == 0 || cols() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows()) * static_cast<double>(cols()));
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  SparseMatrix out;
+  out.cols_ = rows();
+  out.row_offsets_.assign(cols_ + 1, 0);
+  // Counting pass.
+  for (uint32_t c : col_indices_) {
+    ++out.row_offsets_[c + 1];
+  }
+  for (size_t i = 1; i < out.row_offsets_.size(); ++i) {
+    out.row_offsets_[i] += out.row_offsets_[i - 1];
+  }
+  out.col_indices_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<size_t> cursor(out.row_offsets_.begin(),
+                             out.row_offsets_.end() - 1);
+  for (size_t r = 0; r < rows(); ++r) {
+    auto cols = RowCols(r);
+    auto vals = RowValues(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      size_t pos = cursor[cols[k]]++;
+      out.col_indices_[pos] = static_cast<uint32_t>(r);
+      out.values_[pos] = vals[k];
+    }
+  }
+  return out;
+}
+
+bool SparseMatrix::operator==(const SparseMatrix& other) const {
+  return cols_ == other.cols_ && row_offsets_ == other.row_offsets_ &&
+         col_indices_ == other.col_indices_ && values_ == other.values_;
+}
+
+SparseMatrixBuilder::SparseMatrixBuilder(size_t rows, size_t cols,
+                                         DuplicatePolicy policy)
+    : rows_(rows), cols_(cols), policy_(policy) {
+  WOT_CHECK_LE(rows, static_cast<size_t>(UINT32_MAX));
+  WOT_CHECK_LE(cols, static_cast<size_t>(UINT32_MAX));
+}
+
+void SparseMatrixBuilder::Add(size_t row, size_t col, double value) {
+  WOT_CHECK_LT(row, rows_);
+  WOT_CHECK_LT(col, cols_);
+  triplets_.push_back({static_cast<uint32_t>(row),
+                       static_cast<uint32_t>(col), next_seq_++, value});
+}
+
+SparseMatrix SparseMatrixBuilder::Build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              if (a.col != b.col) return a.col < b.col;
+              return a.seq < b.seq;
+            });
+
+  SparseMatrix out;
+  out.cols_ = cols_;
+  out.row_offsets_.assign(rows_ + 1, 0);
+  out.col_indices_.reserve(triplets_.size());
+  out.values_.reserve(triplets_.size());
+
+  size_t i = 0;
+  while (i < triplets_.size()) {
+    size_t j = i;
+    double combined = triplets_[i].value;
+    while (j + 1 < triplets_.size() &&
+           triplets_[j + 1].row == triplets_[i].row &&
+           triplets_[j + 1].col == triplets_[i].col) {
+      ++j;
+      switch (policy_) {
+        case DuplicatePolicy::kSum:
+          combined += triplets_[j].value;
+          break;
+        case DuplicatePolicy::kLast:
+          combined = triplets_[j].value;
+          break;
+        case DuplicatePolicy::kMax:
+          combined = std::max(combined, triplets_[j].value);
+          break;
+      }
+    }
+    out.col_indices_.push_back(triplets_[i].col);
+    out.values_.push_back(combined);
+    ++out.row_offsets_[triplets_[i].row + 1];
+    i = j + 1;
+  }
+  for (size_t r = 1; r < out.row_offsets_.size(); ++r) {
+    out.row_offsets_[r] += out.row_offsets_[r - 1];
+  }
+  triplets_.clear();
+  next_seq_ = 0;
+  return out;
+}
+
+}  // namespace wot

@@ -1,0 +1,119 @@
+// CSR (compressed sparse row) matrix and its COO builder. Backs the direct
+// connection matrix R, the explicit trust matrix T, binarized predictions,
+// and the pair-restricted derived trust matrix at Epinions scale, where a
+// dense U×U array would not fit.
+#ifndef WOT_LINALG_SPARSE_MATRIX_H_
+#define WOT_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+/// \brief Immutable CSR matrix of doubles. Column indices within each row
+/// are strictly increasing; duplicate (row, col) entries are combined at
+/// build time.
+class SparseMatrix {
+ public:
+  /// An (index, value) pair within a row.
+  struct Entry {
+    uint32_t col;
+    double value;
+  };
+
+  SparseMatrix() = default;
+
+  size_t rows() const { return row_offsets_.empty() ? 0
+                                                    : row_offsets_.size() - 1; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_indices_.size(); }
+
+  /// \brief Number of stored entries in row \p r.
+  size_t RowNnz(size_t r) const {
+    WOT_DCHECK(r < rows());
+    return row_offsets_[r + 1] - row_offsets_[r];
+  }
+
+  /// \brief Column indices of row \p r (sorted ascending).
+  std::span<const uint32_t> RowCols(size_t r) const {
+    WOT_DCHECK(r < rows());
+    return {col_indices_.data() + row_offsets_[r], RowNnz(r)};
+  }
+
+  /// \brief Values of row \p r, parallel to RowCols().
+  std::span<const double> RowValues(size_t r) const {
+    WOT_DCHECK(r < rows());
+    return {values_.data() + row_offsets_[r], RowNnz(r)};
+  }
+
+  /// \brief Value at (r, c); 0.0 if not stored. O(log nnz(row)).
+  double At(size_t r, size_t c) const;
+
+  /// \brief True iff (r, c) is stored (even with value 0).
+  bool Contains(size_t r, size_t c) const;
+
+  /// \brief Fraction of stored entries: nnz / (rows*cols); 0 for empty.
+  double Density() const;
+
+  /// \brief Transposed copy (O(nnz)).
+  SparseMatrix Transposed() const;
+
+  /// \brief Structural equality (same shape, pattern, and values).
+  bool operator==(const SparseMatrix& other) const;
+
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<uint32_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  friend class SparseMatrixBuilder;
+
+  size_t cols_ = 0;
+  std::vector<size_t> row_offsets_;   // size rows+1
+  std::vector<uint32_t> col_indices_; // size nnz
+  std::vector<double> values_;        // size nnz
+};
+
+/// \brief How duplicate (row, col) insertions combine at Build() time.
+enum class DuplicatePolicy {
+  kSum,   ///< values are added
+  kLast,  ///< the last inserted value wins
+  kMax,   ///< the maximum value wins
+};
+
+/// \brief Accumulates COO triplets and finalizes into CSR.
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(size_t rows, size_t cols,
+                      DuplicatePolicy policy = DuplicatePolicy::kSum);
+
+  /// \brief Queues one entry. Indices must be within the declared shape.
+  void Add(size_t row, size_t col, double value);
+
+  size_t queued() const { return triplets_.size(); }
+
+  /// \brief Sorts, combines duplicates, and produces the CSR matrix.
+  /// The builder is left empty and may be reused.
+  SparseMatrix Build();
+
+ private:
+  struct Triplet {
+    uint32_t row;
+    uint32_t col;
+    uint64_t seq;  // insertion order, for kLast
+    double value;
+  };
+
+  size_t rows_;
+  size_t cols_;
+  DuplicatePolicy policy_;
+  uint64_t next_seq_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_LINALG_SPARSE_MATRIX_H_

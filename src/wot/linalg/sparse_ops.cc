@@ -1,0 +1,252 @@
+#include "wot/linalg/sparse_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace wot {
+
+namespace {
+
+enum class SetOp { kIntersect, kSubtract, kUnion };
+
+SparseMatrix PatternSetOp(const SparseMatrix& a, const SparseMatrix& b,
+                          SetOp op) {
+  WOT_CHECK_EQ(a.rows(), b.rows());
+  WOT_CHECK_EQ(a.cols(), b.cols());
+  SparseMatrixBuilder builder(a.rows(), a.cols(), DuplicatePolicy::kLast);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto acols = a.RowCols(r);
+    auto avals = a.RowValues(r);
+    auto bcols = b.RowCols(r);
+    auto bvals = b.RowValues(r);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < acols.size() || j < bcols.size()) {
+      if (j >= bcols.size() || (i < acols.size() && acols[i] < bcols[j])) {
+        // Only in a.
+        if (op == SetOp::kSubtract || op == SetOp::kUnion) {
+          builder.Add(r, acols[i], avals[i]);
+        }
+        ++i;
+      } else if (i >= acols.size() || bcols[j] < acols[i]) {
+        // Only in b.
+        if (op == SetOp::kUnion) {
+          builder.Add(r, bcols[j], bvals[j]);
+        }
+        ++j;
+      } else {
+        // In both; a's value wins.
+        if (op == SetOp::kIntersect || op == SetOp::kUnion) {
+          builder.Add(r, acols[i], avals[i]);
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+SparseMatrix PatternIntersect(const SparseMatrix& a, const SparseMatrix& b) {
+  return PatternSetOp(a, b, SetOp::kIntersect);
+}
+
+SparseMatrix PatternSubtract(const SparseMatrix& a, const SparseMatrix& b) {
+  return PatternSetOp(a, b, SetOp::kSubtract);
+}
+
+SparseMatrix PatternUnion(const SparseMatrix& a, const SparseMatrix& b) {
+  return PatternSetOp(a, b, SetOp::kUnion);
+}
+
+size_t CountPatternIntersect(const SparseMatrix& a, const SparseMatrix& b) {
+  WOT_CHECK_EQ(a.rows(), b.rows());
+  WOT_CHECK_EQ(a.cols(), b.cols());
+  size_t count = 0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto acols = a.RowCols(r);
+    auto bcols = b.RowCols(r);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < acols.size() && j < bcols.size()) {
+      if (acols[i] < bcols[j]) {
+        ++i;
+      } else if (bcols[j] < acols[i]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b) {
+  WOT_CHECK_EQ(a.cols(), b.rows());
+  SparseMatrixBuilder builder(a.rows(), b.cols(), DuplicatePolicy::kLast);
+  // Gustavson: accumulate each output row in a dense scratch vector with
+  // an occupancy list, so the cost is O(flops), not O(rows * cols).
+  std::vector<double> scratch(b.cols(), 0.0);
+  std::vector<uint32_t> occupied;
+  std::vector<bool> seen(b.cols(), false);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    occupied.clear();
+    auto acols = a.RowCols(i);
+    auto avals = a.RowValues(i);
+    for (size_t k = 0; k < acols.size(); ++k) {
+      const double aik = avals[k];
+      auto bcols = b.RowCols(acols[k]);
+      auto bvals = b.RowValues(acols[k]);
+      for (size_t t = 0; t < bcols.size(); ++t) {
+        uint32_t j = bcols[t];
+        if (!seen[j]) {
+          seen[j] = true;
+          occupied.push_back(j);
+          scratch[j] = 0.0;
+        }
+        scratch[j] += aik * bvals[t];
+      }
+    }
+    for (uint32_t j : occupied) {
+      builder.Add(i, j, scratch[j]);
+      seen[j] = false;
+    }
+  }
+  return builder.Build();
+}
+
+SparseMatrix KeepTopKPerRow(const SparseMatrix& m, size_t k) {
+  SparseMatrixBuilder builder(m.rows(), m.cols(), DuplicatePolicy::kLast);
+  std::vector<std::pair<double, uint32_t>> row;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto cols = m.RowCols(i);
+    auto vals = m.RowValues(i);
+    if (cols.size() <= k) {
+      for (size_t t = 0; t < cols.size(); ++t) {
+        builder.Add(i, cols[t], vals[t]);
+      }
+      continue;
+    }
+    row.clear();
+    for (size_t t = 0; t < cols.size(); ++t) {
+      row.emplace_back(vals[t], cols[t]);
+    }
+    std::nth_element(row.begin(), row.begin() + static_cast<ptrdiff_t>(k - 1),
+                     row.end(),
+                     [](const auto& x, const auto& y) {
+                       if (x.first != y.first) return x.first > y.first;
+                       return x.second < y.second;
+                     });
+    for (size_t t = 0; t < k; ++t) {
+      builder.Add(i, row[t].second, row[t].first);
+    }
+  }
+  return builder.Build();
+}
+
+SparseMatrix Add(const SparseMatrix& a, double alpha, const SparseMatrix& b,
+                 double beta) {
+  WOT_CHECK_EQ(a.rows(), b.rows());
+  WOT_CHECK_EQ(a.cols(), b.cols());
+  SparseMatrixBuilder builder(a.rows(), a.cols(), DuplicatePolicy::kSum);
+  ForEachEntry(a, [&](size_t r, uint32_t c, double v) {
+    builder.Add(r, c, alpha * v);
+  });
+  ForEachEntry(b, [&](size_t r, uint32_t c, double v) {
+    builder.Add(r, c, beta * v);
+  });
+  return builder.Build();
+}
+
+SparseMatrix NormalizeRowsL1(const SparseMatrix& m) {
+  SparseMatrixBuilder builder(m.rows(), m.cols(), DuplicatePolicy::kLast);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto cols = m.RowCols(i);
+    auto vals = m.RowValues(i);
+    double norm = 0.0;
+    for (double v : vals) {
+      norm += std::fabs(v);
+    }
+    if (norm <= 0.0) {
+      for (size_t t = 0; t < cols.size(); ++t) {
+        builder.Add(i, cols[t], vals[t]);
+      }
+      continue;
+    }
+    for (size_t t = 0; t < cols.size(); ++t) {
+      builder.Add(i, cols[t], vals[t] / norm);
+    }
+  }
+  return builder.Build();
+}
+
+DenseMatrix SpMM(const SparseMatrix& a, const DenseMatrix& b) {
+  WOT_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(a.rows(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto cols = a.RowCols(r);
+    auto vals = a.RowValues(r);
+    auto orow = out.Row(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const double v = vals[k];
+      auto brow = b.Row(cols[k]);
+      for (size_t c = 0; c < brow.size(); ++c) {
+        orow[c] += v * brow[c];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> SpMV(const SparseMatrix& a,
+                         const std::vector<double>& x) {
+  WOT_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto cols = a.RowCols(r);
+    auto vals = a.RowValues(r);
+    double acc = 0.0;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      acc += vals[k] * x[cols[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+void ForEachEntry(const SparseMatrix& m,
+                  const std::function<void(size_t, uint32_t, double)>& fn) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    auto cols = m.RowCols(r);
+    auto vals = m.RowValues(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      fn(r, cols[k], vals[k]);
+    }
+  }
+}
+
+DenseMatrix ToDense(const SparseMatrix& m) {
+  DenseMatrix out(m.rows(), m.cols());
+  ForEachEntry(m, [&](size_t r, uint32_t c, double v) { out.At(r, c) = v; });
+  return out;
+}
+
+SparseMatrix FromDense(const DenseMatrix& m, double threshold) {
+  SparseMatrixBuilder builder(m.rows(), m.cols(), DuplicatePolicy::kLast);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.Row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c] > threshold) {
+        builder.Add(r, c, row[c]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace wot

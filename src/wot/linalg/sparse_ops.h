@@ -1,0 +1,66 @@
+// Set-algebra and product operations over sparse matrices. The Table-4 and
+// Fig-3 evaluations are phrased entirely in terms of these (T ∩ R, R − T,
+// counts of joint patterns).
+#ifndef WOT_LINALG_SPARSE_OPS_H_
+#define WOT_LINALG_SPARSE_OPS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "wot/linalg/dense_matrix.h"
+#include "wot/linalg/sparse_matrix.h"
+
+namespace wot {
+
+/// \brief Entries present in both a and b (pattern intersection); resulting
+/// values are taken from \p a. Shapes must match.
+SparseMatrix PatternIntersect(const SparseMatrix& a, const SparseMatrix& b);
+
+/// \brief Entries present in a but not in b (pattern difference). Values
+/// from \p a. Shapes must match.
+SparseMatrix PatternSubtract(const SparseMatrix& a, const SparseMatrix& b);
+
+/// \brief Entries present in either (pattern union); where both are present
+/// the value from \p a wins. Shapes must match.
+SparseMatrix PatternUnion(const SparseMatrix& a, const SparseMatrix& b);
+
+/// \brief Number of coordinates stored in both a and b.
+size_t CountPatternIntersect(const SparseMatrix& a, const SparseMatrix& b);
+
+/// \brief Sparse × dense: out = a (r×k, sparse) times b (k×c, dense).
+DenseMatrix SpMM(const SparseMatrix& a, const DenseMatrix& b);
+
+/// \brief Sparse × sparse (Gustavson row-wise): out = a·b. Entries that
+/// cancel to exactly 0 are kept (pattern is the structural product).
+SparseMatrix SpGemm(const SparseMatrix& a, const SparseMatrix& b);
+
+/// \brief Keeps only the k largest-valued entries of each row (ties broken
+/// by ascending column); used to bound fill-in in iterated products.
+SparseMatrix KeepTopKPerRow(const SparseMatrix& m, size_t k);
+
+/// \brief out = alpha·a + beta·b (entry-wise over the pattern union).
+SparseMatrix Add(const SparseMatrix& a, double alpha, const SparseMatrix& b,
+                 double beta);
+
+/// \brief Scales every stored row to unit L1 norm (rows of all zeros are
+/// left untouched). Returns the normalized copy.
+SparseMatrix NormalizeRowsL1(const SparseMatrix& m);
+
+/// \brief Sparse matrix-vector product y = a·x.
+std::vector<double> SpMV(const SparseMatrix& a,
+                         const std::vector<double>& x);
+
+/// \brief Calls fn(row, col, value) for every stored entry, row-major order.
+void ForEachEntry(const SparseMatrix& m,
+                  const std::function<void(size_t, uint32_t, double)>& fn);
+
+/// \brief Dense snapshot (tests / tiny matrices only).
+DenseMatrix ToDense(const SparseMatrix& m);
+
+/// \brief Builds a sparse matrix from the entries of \p m strictly greater
+/// than \p threshold.
+SparseMatrix FromDense(const DenseMatrix& m, double threshold = 0.0);
+
+}  // namespace wot
+
+#endif  // WOT_LINALG_SPARSE_OPS_H_

@@ -1,0 +1,80 @@
+#include "wot/linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  WOT_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double L1Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) {
+    acc += std::fabs(x);
+  }
+  return acc;
+}
+
+double L2Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) {
+    acc += x * x;
+  }
+  return std::sqrt(acc);
+}
+
+double MaxAbsDiff(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  WOT_CHECK_EQ(a.size(), b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+double NormalizeL1(std::vector<double>* v) {
+  double norm = L1Norm(*v);
+  if (norm > 0.0) {
+    for (double& x : *v) {
+      x /= norm;
+    }
+  }
+  return norm;
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  if (v.empty()) {
+    return 0;
+  }
+  return static_cast<size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<size_t> SortIndicesDescending(const std::vector<double>& v) {
+  std::vector<size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](size_t a, size_t b) { return v[a] > v[b]; });
+  return idx;
+}
+
+double KthLargest(std::vector<double> v, size_t k) {
+  WOT_CHECK_GT(v.size(), 0u);
+  k = std::clamp<size_t>(k, 1, v.size());
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(k - 1),
+                   v.end(), std::greater<double>());
+  return v[k - 1];
+}
+
+}  // namespace wot

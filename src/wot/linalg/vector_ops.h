@@ -1,0 +1,38 @@
+// Free functions on std::vector<double> used by the propagation algorithms
+// (EigenTrust power iteration) and evaluation code.
+#ifndef WOT_LINALG_VECTOR_OPS_H_
+#define WOT_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wot {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Sum of |v_i|.
+double L1Norm(const std::vector<double>& v);
+
+double L2Norm(const std::vector<double>& v);
+
+/// \brief max_i |a_i - b_i|; sizes must match.
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Scales v in place so that its L1 norm is 1; no-op on a zero
+/// vector. Returns the original norm.
+double NormalizeL1(std::vector<double>* v);
+
+/// \brief Index of the maximum element; 0 for an empty vector.
+size_t ArgMax(const std::vector<double>& v);
+
+/// \brief Indices [0, v.size()) sorted by value descending (ties broken by
+/// ascending index, so ordering is deterministic).
+std::vector<size_t> SortIndicesDescending(const std::vector<double>& v);
+
+/// \brief The k-th largest value (k is 1-based; k=1 is the max). Clamps
+/// k into range. Precondition: v non-empty.
+double KthLargest(std::vector<double> v, size_t k);
+
+}  // namespace wot
+
+#endif  // WOT_LINALG_VECTOR_OPS_H_

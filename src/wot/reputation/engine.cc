@@ -1,0 +1,59 @@
+#include "wot/reputation/engine.h"
+
+#include "wot/reputation/riggs.h"
+#include "wot/reputation/writer_reputation.h"
+#include "wot/util/parallel_for.h"
+
+namespace wot {
+
+Result<ReputationResult> ComputeReputations(
+    const Dataset& dataset, const DatasetIndices& indices,
+    const ReputationOptions& options) {
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+
+  const size_t num_users = dataset.num_users();
+  const size_t num_categories = dataset.num_categories();
+
+  ReputationResult result;
+  result.expertise = DenseMatrix(num_users, num_categories, 0.0);
+  result.rater_reputation = DenseMatrix(num_users, num_categories, 0.0);
+  result.review_quality.assign(dataset.num_reviews(), 0.0);
+  result.convergence.assign(num_categories, ConvergenceInfo{});
+
+  // Each worker writes to disjoint columns (its own category) and to the
+  // review-quality slots of its own category's reviews, so no locking is
+  // needed and results are independent of scheduling.
+  ParallelFor(
+      num_categories,
+      [&](size_t c) {
+        CategoryId category(static_cast<uint32_t>(c));
+        CategoryView view(dataset, indices, category);
+        RiggsResult riggs = RiggsFixedPoint(view, options);
+        std::vector<double> writer_rep =
+            ComputeWriterReputations(view, riggs.review_quality, options);
+
+        for (size_t lw = 0; lw < view.num_writers(); ++lw) {
+          result.expertise.At(view.writer_id(lw).index(), c) =
+              writer_rep[lw];
+        }
+        for (size_t lx = 0; lx < view.num_raters(); ++lx) {
+          result.rater_reputation.At(view.rater_id(lx).index(), c) =
+              riggs.rater_reputation[lx];
+        }
+        for (size_t lr = 0; lr < view.num_reviews(); ++lr) {
+          result.review_quality[view.review_id(lr).index()] =
+              riggs.review_quality[lr];
+        }
+        result.convergence[c] = riggs.convergence;
+      },
+      options.num_threads);
+
+  return result;
+}
+
+}  // namespace wot

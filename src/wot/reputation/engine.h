@@ -1,0 +1,46 @@
+// The multi-category reputation engine: runs the Riggs fixed point and
+// writer aggregation in every category (in parallel) and assembles the
+// Users_Category matrices the trust derivation consumes.
+//
+// Output matrices are U x C:
+//   expertise  E[i][c] = writer reputation of user i in category c (eq. 3);
+//                        the paper's Users_Category Expertise matrix.
+//   rater_reputation[i][c] = rater reputation of user i in category c
+//                        (eq. 2); used by the Table-2 experiment.
+// Entries for users with no activity in a category are 0.
+#ifndef WOT_REPUTATION_ENGINE_H_
+#define WOT_REPUTATION_ENGINE_H_
+
+#include <vector>
+
+#include "wot/community/dataset.h"
+#include "wot/community/indices.h"
+#include "wot/linalg/dense_matrix.h"
+#include "wot/reputation/options.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Everything Step 1 produces.
+struct ReputationResult {
+  /// E: U x C writer expertise (eq. 3).
+  DenseMatrix expertise;
+  /// U x C rater reputation (eq. 2).
+  DenseMatrix rater_reputation;
+  /// quality[review] in [0, 1] for every review (eq. 1), converged.
+  std::vector<double> review_quality;
+  /// Per-category convergence diagnostics (indexed by category).
+  std::vector<ConvergenceInfo> convergence;
+};
+
+/// \brief Runs Step 1 over all categories of \p dataset.
+///
+/// Categories are independent; they are processed concurrently on
+/// options.num_threads workers. Deterministic regardless of thread count.
+Result<ReputationResult> ComputeReputations(const Dataset& dataset,
+                                            const DatasetIndices& indices,
+                                            const ReputationOptions& options);
+
+}  // namespace wot
+
+#endif  // WOT_REPUTATION_ENGINE_H_

@@ -1,0 +1,138 @@
+#include "wot/reputation/incremental.h"
+
+#include "wot/community/category_view.h"
+#include "wot/reputation/riggs.h"
+#include "wot/reputation/writer_reputation.h"
+#include "wot/util/parallel_for.h"
+
+namespace wot {
+
+IncrementalReputationEngine::IncrementalReputationEngine(
+    ReputationOptions options)
+    : options_(options) {}
+
+std::vector<IncrementalReputationEngine::CategoryVersion>
+IncrementalReputationEngine::Fingerprint(const Dataset& dataset,
+                                         const DatasetIndices& indices) {
+  std::vector<CategoryVersion> versions(dataset.num_categories());
+  for (size_t c = 0; c < dataset.num_categories(); ++c) {
+    CategoryId category(static_cast<uint32_t>(c));
+    size_t ratings = 0;
+    for (ReviewId review : indices.ReviewsInCategory(category)) {
+      ratings += indices.RatingsOfReview(review).size();
+    }
+    versions[c] = {indices.ReviewsInCategory(category).size(), ratings};
+  }
+  return versions;
+}
+
+Status IncrementalReputationEngine::FullRebuild(const Dataset& dataset) {
+  DatasetIndices indices(dataset);
+  return FullRebuild(dataset, indices);
+}
+
+Status IncrementalReputationEngine::FullRebuild(
+    const Dataset& dataset, const DatasetIndices& indices) {
+  WOT_ASSIGN_OR_RETURN(result_,
+                       ComputeReputations(dataset, indices, options_));
+  versions_ = Fingerprint(dataset, indices);
+  known_users_ = dataset.num_users();
+  known_reviews_ = dataset.num_reviews();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status IncrementalReputationEngine::Update(const Dataset& dataset,
+                                           size_t* categories_recomputed) {
+  DatasetIndices indices(dataset);
+  return Update(dataset, indices, categories_recomputed);
+}
+
+Status IncrementalReputationEngine::Update(const Dataset& dataset,
+                                           const DatasetIndices& indices,
+                                           size_t* categories_recomputed) {
+  if (!initialized_) {
+    if (categories_recomputed != nullptr) {
+      *categories_recomputed = dataset.num_categories();
+    }
+    return FullRebuild(dataset, indices);
+  }
+  if (dataset.num_users() < known_users_ ||
+      dataset.num_reviews() < known_reviews_ ||
+      dataset.num_categories() < versions_.size()) {
+    return Status::FailedPrecondition(
+        "IncrementalReputationEngine requires append-only dataset "
+        "evolution");
+  }
+
+  std::vector<CategoryVersion> current = Fingerprint(dataset, indices);
+
+  // Collect dirty categories (changed fingerprint or brand new).
+  std::vector<size_t> dirty;
+  for (size_t c = 0; c < current.size(); ++c) {
+    if (c >= versions_.size() || !(versions_[c] == current[c])) {
+      dirty.push_back(c);
+    }
+  }
+  if (categories_recomputed != nullptr) {
+    *categories_recomputed = dirty.size();
+  }
+
+  // Grow the matrices for new users / categories, preserving old entries.
+  const size_t num_users = dataset.num_users();
+  const size_t num_categories = dataset.num_categories();
+  if (num_users != result_.expertise.rows() ||
+      num_categories != result_.expertise.cols()) {
+    DenseMatrix expertise(num_users, num_categories, 0.0);
+    DenseMatrix rater(num_users, num_categories, 0.0);
+    for (size_t u = 0; u < result_.expertise.rows(); ++u) {
+      for (size_t c = 0; c < result_.expertise.cols(); ++c) {
+        expertise.At(u, c) = result_.expertise.At(u, c);
+        rater.At(u, c) = result_.rater_reputation.At(u, c);
+      }
+    }
+    result_.expertise = std::move(expertise);
+    result_.rater_reputation = std::move(rater);
+  }
+  result_.review_quality.resize(dataset.num_reviews(), 0.0);
+  result_.convergence.resize(num_categories, ConvergenceInfo{});
+
+  ParallelFor(
+      dirty.size(),
+      [&](size_t k) {
+        const size_t c = dirty[k];
+        CategoryId category(static_cast<uint32_t>(c));
+        CategoryView view(dataset, indices, category);
+        RiggsResult riggs = RiggsFixedPoint(view, options_);
+        std::vector<double> writer_rep =
+            ComputeWriterReputations(view, riggs.review_quality, options_);
+        // Reset the whole column first: a user's expertise may drop to 0
+        // only if reviews vanished, which append-only forbids, but a
+        // clean column write keeps the invariant trivially.
+        for (size_t u = 0; u < num_users; ++u) {
+          result_.expertise.At(u, c) = 0.0;
+          result_.rater_reputation.At(u, c) = 0.0;
+        }
+        for (size_t lw = 0; lw < view.num_writers(); ++lw) {
+          result_.expertise.At(view.writer_id(lw).index(), c) =
+              writer_rep[lw];
+        }
+        for (size_t lx = 0; lx < view.num_raters(); ++lx) {
+          result_.rater_reputation.At(view.rater_id(lx).index(), c) =
+              riggs.rater_reputation[lx];
+        }
+        for (size_t lr = 0; lr < view.num_reviews(); ++lr) {
+          result_.review_quality[view.review_id(lr).index()] =
+              riggs.review_quality[lr];
+        }
+        result_.convergence[c] = riggs.convergence;
+      },
+      options_.num_threads);
+
+  versions_ = std::move(current);
+  known_users_ = dataset.num_users();
+  known_reviews_ = dataset.num_reviews();
+  return Status::OK();
+}
+
+}  // namespace wot

@@ -1,0 +1,84 @@
+// Incremental reputation maintenance: a production adopter does not rerun
+// the whole pipeline on every new rating. IncrementalReputationEngine
+// tracks which categories are dirtied by appended activity and recomputes
+// only those; clean categories keep their converged state.
+//
+// Categories are fully independent in the Riggs model (DESIGN.md S9), so
+// per-category recomputation is exact — results are bit-identical to a
+// from-scratch run on the same dataset, which the tests assert.
+#ifndef WOT_REPUTATION_INCREMENTAL_H_
+#define WOT_REPUTATION_INCREMENTAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "wot/community/dataset.h"
+#include "wot/community/indices.h"
+#include "wot/reputation/engine.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Maintains ReputationResult across dataset versions.
+///
+/// Usage:
+///   IncrementalReputationEngine engine(options);
+///   WOT_RETURN_IF_ERROR(engine.FullRebuild(v1));
+///   ... dataset grows into v2 (append-only) ...
+///   WOT_RETURN_IF_ERROR(engine.Update(v2));   // recomputes dirty
+///   categories only
+///
+/// Datasets must evolve append-only (entities are never removed or
+/// reordered); Update() verifies this and fails otherwise.
+class IncrementalReputationEngine {
+ public:
+  explicit IncrementalReputationEngine(ReputationOptions options = {});
+
+  /// \brief Computes everything from scratch and snapshots per-category
+  /// activity versions.
+  Status FullRebuild(const Dataset& dataset);
+
+  /// \brief As above with caller-provided indices (must describe
+  /// \p dataset). Skips the O(|ratings|) index build — callers that keep
+  /// indices alive alongside the dataset should prefer this form.
+  Status FullRebuild(const Dataset& dataset, const DatasetIndices& indices);
+
+  /// \brief Brings the result up to date with \p dataset, recomputing only
+  /// categories whose review or rating population changed. New users and
+  /// new categories are handled (matrices grow). Returns the number of
+  /// categories recomputed via *out if non-null.
+  Status Update(const Dataset& dataset, size_t* categories_recomputed =
+                                            nullptr);
+
+  /// \brief As above with caller-provided indices for \p dataset.
+  Status Update(const Dataset& dataset, const DatasetIndices& indices,
+                size_t* categories_recomputed = nullptr);
+
+  /// \brief Current result; valid after a successful FullRebuild/Update.
+  const ReputationResult& result() const { return result_; }
+
+  bool initialized() const { return initialized_; }
+
+ private:
+  /// Activity fingerprint of one category (review + rating counts are
+  /// sufficient under append-only evolution).
+  struct CategoryVersion {
+    size_t num_reviews = 0;
+    size_t num_ratings = 0;
+    bool operator==(const CategoryVersion&) const = default;
+  };
+
+  static std::vector<CategoryVersion> Fingerprint(
+      const Dataset& dataset, const DatasetIndices& indices);
+
+  ReputationOptions options_;
+  bool initialized_ = false;
+  size_t known_users_ = 0;
+  size_t known_reviews_ = 0;
+  std::vector<CategoryVersion> versions_;
+  ReputationResult result_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_REPUTATION_INCREMENTAL_H_

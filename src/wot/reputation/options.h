@@ -1,0 +1,42 @@
+// Options of the reputation engine (paper Step 1).
+#ifndef WOT_REPUTATION_OPTIONS_H_
+#define WOT_REPUTATION_OPTIONS_H_
+
+#include <cstddef>
+
+namespace wot {
+
+/// \brief Knobs for the Riggs fixed point and writer aggregation.
+///
+/// The two `use_*` switches exist for the ablation benches; the paper's
+/// model corresponds to the defaults (both true).
+struct ReputationOptions {
+  /// Convergence threshold on max |Delta quality| between iterations.
+  double tolerance = 1e-9;
+
+  /// Hard cap on fixed-point iterations; the loop reports whether it
+  /// converged within the cap.
+  size_t max_iterations = 100;
+
+  /// Weight ratings by rater reputation (eq. 1). When false, review quality
+  /// is the plain mean of received ratings (ablation: "Riggs vs mean").
+  bool use_rater_weighting = true;
+
+  /// Apply the 1 - 1/(n+1) experience discount in eq. 2 and eq. 3. When
+  /// false, reputations are raw averages (ablation: "discount off").
+  bool use_experience_discount = true;
+
+  /// Worker threads for the per-category driver (0 = hardware concurrency).
+  size_t num_threads = 0;
+};
+
+/// \brief Convergence report of one category's fixed point.
+struct ConvergenceInfo {
+  size_t iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+}  // namespace wot
+
+#endif  // WOT_REPUTATION_OPTIONS_H_

@@ -1,0 +1,106 @@
+#include "wot/reputation/riggs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+void ComputeReviewQualities(const CategoryView& view,
+                            const std::vector<double>& rater_reputation,
+                            bool use_rater_weighting,
+                            std::vector<double>* review_quality) {
+  WOT_CHECK_EQ(rater_reputation.size(), view.num_raters());
+  review_quality->assign(view.num_reviews(), 0.0);
+  for (size_t lr = 0; lr < view.num_reviews(); ++lr) {
+    auto ratings = view.RatingsOfReview(lr);
+    if (ratings.empty()) {
+      continue;  // unrated review: quality 0 by convention
+    }
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    for (const auto& rating : ratings) {
+      double w =
+          use_rater_weighting ? rater_reputation[rating.local_rater] : 1.0;
+      weighted_sum += w * rating.value;
+      weight_total += w;
+    }
+    if (weight_total > 0.0) {
+      (*review_quality)[lr] = weighted_sum / weight_total;
+    } else {
+      // All raters currently have zero reputation; fall back to the
+      // unweighted mean rather than dividing by zero.
+      double sum = 0.0;
+      for (const auto& rating : ratings) {
+        sum += rating.value;
+      }
+      (*review_quality)[lr] = sum / static_cast<double>(ratings.size());
+    }
+  }
+}
+
+void ComputeRaterReputations(const CategoryView& view,
+                             const std::vector<double>& review_quality,
+                             bool use_experience_discount,
+                             std::vector<double>* rater_reputation) {
+  WOT_CHECK_EQ(review_quality.size(), view.num_reviews());
+  rater_reputation->assign(view.num_raters(), 0.0);
+  for (size_t lx = 0; lx < view.num_raters(); ++lx) {
+    auto ratings = view.RatingsByRater(lx);
+    if (ratings.empty()) {
+      continue;
+    }
+    double deviation_sum = 0.0;
+    for (const auto& rating : ratings) {
+      deviation_sum +=
+          std::fabs(review_quality[rating.local_review] - rating.value);
+    }
+    const double n = static_cast<double>(ratings.size());
+    double rep = 1.0 - deviation_sum / n;
+    if (use_experience_discount) {
+      rep *= 1.0 - 1.0 / (n + 1.0);
+    }
+    (*rater_reputation)[lx] = std::clamp(rep, 0.0, 1.0);
+  }
+}
+
+RiggsResult RiggsFixedPoint(const CategoryView& view,
+                            const ReputationOptions& options) {
+  RiggsResult result;
+  // Start from "every rater fully reliable": the first eq.-1 sweep then
+  // produces plain means, which eq. 2 refines.
+  result.rater_reputation.assign(view.num_raters(), 1.0);
+  result.review_quality.assign(view.num_reviews(), 0.0);
+
+  std::vector<double> next_quality;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ComputeReviewQualities(view, result.rater_reputation,
+                           options.use_rater_weighting, &next_quality);
+    double delta = 0.0;
+    for (size_t lr = 0; lr < next_quality.size(); ++lr) {
+      delta = std::max(delta,
+                       std::fabs(next_quality[lr] -
+                                 result.review_quality[lr]));
+    }
+    result.review_quality.swap(next_quality);
+    ComputeRaterReputations(view, result.review_quality,
+                            options.use_experience_discount,
+                            &result.rater_reputation);
+    result.convergence.iterations = iter + 1;
+    result.convergence.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.convergence.converged = true;
+      break;
+    }
+    // Without rater weighting eq. 1 no longer depends on eq. 2, so a
+    // second sweep cannot change anything.
+    if (!options.use_rater_weighting && iter >= 1) {
+      result.convergence.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace wot

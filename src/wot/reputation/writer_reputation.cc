@@ -1,0 +1,33 @@
+#include "wot/reputation/writer_reputation.h"
+
+#include <algorithm>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+std::vector<double> ComputeWriterReputations(
+    const CategoryView& view, const std::vector<double>& review_quality,
+    const ReputationOptions& options) {
+  WOT_CHECK_EQ(review_quality.size(), view.num_reviews());
+  std::vector<double> out(view.num_writers(), 0.0);
+  for (size_t lw = 0; lw < view.num_writers(); ++lw) {
+    auto reviews = view.ReviewsOfWriter(lw);
+    if (reviews.empty()) {
+      continue;
+    }
+    double sum = 0.0;
+    for (uint32_t lr : reviews) {
+      sum += review_quality[lr];
+    }
+    const double n = static_cast<double>(reviews.size());
+    double rep = sum / n;
+    if (options.use_experience_discount) {
+      rep *= 1.0 - 1.0 / (n + 1.0);
+    }
+    out[lw] = std::clamp(rep, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace wot

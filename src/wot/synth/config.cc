@@ -1,0 +1,73 @@
+#include "wot/synth/config.h"
+
+namespace wot {
+
+namespace {
+Status CheckProbability(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must lie in [0, 1], got " +
+                                   std::to_string(v));
+  }
+  return Status::OK();
+}
+Status CheckPositive(double v, const char* name) {
+  if (!(v > 0.0)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be positive, got " +
+                                   std::to_string(v));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status SynthConfig::Validate() const {
+  if (num_users == 0) {
+    return Status::InvalidArgument("num_users must be > 0");
+  }
+  if (!category_names.empty() && category_names.size() < 2) {
+    return Status::InvalidArgument("need at least 2 categories");
+  }
+  WOT_RETURN_IF_ERROR(CheckProbability(writer_fraction, "writer_fraction"));
+  WOT_RETURN_IF_ERROR(
+      CheckProbability(extra_focus_probability, "extra_focus_probability"));
+  WOT_RETURN_IF_ERROR(
+      CheckProbability(quality_biased_reading, "quality_biased_reading"));
+  WOT_RETURN_IF_ERROR(CheckProbability(trust_midpoint, "trust_midpoint"));
+  WOT_RETURN_IF_ERROR(CheckProbability(out_of_r_trust_fraction,
+                                       "out_of_r_trust_fraction"));
+  WOT_RETURN_IF_ERROR(CheckPositive(activity_tail, "activity_tail"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(max_reviews_per_writer, "max_reviews_per_writer"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(max_ratings_per_user, "max_ratings_per_user"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(writer_quality_alpha, "writer_quality_alpha"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(writer_quality_beta, "writer_quality_beta"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(rater_reliability_alpha, "rater_reliability_alpha"));
+  WOT_RETURN_IF_ERROR(
+      CheckPositive(rater_reliability_beta, "rater_reliability_beta"));
+  WOT_RETURN_IF_ERROR(CheckPositive(generosity_alpha, "generosity_alpha"));
+  WOT_RETURN_IF_ERROR(CheckPositive(generosity_beta, "generosity_beta"));
+  WOT_RETURN_IF_ERROR(CheckPositive(trust_steepness, "trust_steepness"));
+  if (category_skill_noise < 0.0 || review_quality_noise < 0.0 ||
+      rating_noise < 0.0 || random_trust_per_user < 0.0 ||
+      category_popularity_exponent < 0.0) {
+    return Status::InvalidArgument("noise/exponent knobs must be >= 0");
+  }
+  if (mean_objects_per_category == 0) {
+    return Status::InvalidArgument("mean_objects_per_category must be > 0");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SynthConfig::PaperCategoryNames() {
+  return {"Action/Adventure", "Adult/Audience",    "Comedies",
+          "Dramas",           "Educations",        "Foreign films",
+          "Horror/Suspense",  "Musical",           "Religious",
+          "Science/Fiction",  "Sports/Recreation", "Westerns"};
+}
+
+}  // namespace wot

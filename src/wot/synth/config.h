@@ -1,0 +1,113 @@
+// Configuration of the synthetic community generator. Defaults are sized so
+// every experiment binary finishes in seconds on a laptop while preserving
+// the statistical structure of the paper's Epinions Video & DVD crawl
+// (heavy-tailed activity, a dozen sub-categories of very different sizes,
+// ratings far denser than trust).
+#ifndef WOT_SYNTH_CONFIG_H_
+#define WOT_SYNTH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wot/util/status.h"
+
+namespace wot {
+
+/// \brief All knobs of the generator. See generator.h for the generative
+/// process they parameterize.
+struct SynthConfig {
+  /// Master seed; every run with the same config is bit-identical.
+  uint64_t seed = 42;
+
+  /// Community size. The paper's crawl had 44,197 users; the default is
+  /// smaller so experiments run in seconds, and benches expose --users.
+  size_t num_users = 4000;
+
+  /// Sub-category names. Empty means "use the paper's 12 Video & DVD
+  /// genres".
+  std::vector<std::string> category_names;
+
+  /// Objects (e.g. movies) per category before popularity skew.
+  size_t mean_objects_per_category = 120;
+
+  /// Zipf exponent for category popularity (Dramas >> Westerns).
+  double category_popularity_exponent = 0.7;
+
+  /// Pareto-ish activity heavy tail: user activity = u^(-1/activity_tail)
+  /// with u uniform; larger tail -> heavier skew.
+  double activity_tail = 1.3;
+
+  /// Fraction of users who write reviews at all (everyone may rate).
+  double writer_fraction = 0.55;
+
+  /// Expected reviews written by a fully-active writer (scaled by
+  /// activity and affinity).
+  double max_reviews_per_writer = 24.0;
+
+  /// Expected ratings given by a fully-active user. The paper notes the
+  /// number of ratings is much larger than the number of reviews.
+  double max_ratings_per_user = 220.0;
+
+  /// Number of focus categories per user: 1 + Binomial(extra_focus_p over
+  /// 3 trials).
+  double extra_focus_probability = 0.45;
+
+  /// Latent writer skill: Beta(a, b) base quality.
+  double writer_quality_alpha = 2.2;
+  double writer_quality_beta = 2.8;
+  /// Per-category jitter of a writer's skill around the base.
+  double category_skill_noise = 0.12;
+
+  /// Latent rater reliability: Beta(a, b); most raters are decent judges.
+  double rater_reliability_alpha = 4.0;
+  double rater_reliability_beta = 2.0;
+
+  /// Noise of a review's true quality around the writer's category skill.
+  double review_quality_noise = 0.08;
+
+  /// Rating noise scale: stddev = (1 - reliability) * rating_noise.
+  double rating_noise = 0.45;
+
+  /// Probability that a rater picks a review proportionally to quality
+  /// (helpful reviews get read more); otherwise uniformly.
+  double quality_biased_reading = 0.7;
+
+  // ---- Ground-truth trust process (validation labels only) ----
+
+  /// Trust formation: P(i trusts j | i rated j) is a logistic function of
+  /// j's expertise in i's focus categories, centered at trust_midpoint with
+  /// steepness trust_steepness, scaled by i's generosity.
+  double trust_midpoint = 0.62;
+  double trust_steepness = 10.0;
+
+  /// Per-user generosity ~ Beta(a, b): multiplies the trust probability.
+  double generosity_alpha = 4.5;
+  double generosity_beta = 2.5;
+
+  /// Fraction of additional "word of mouth" trust edges toward experts the
+  /// truster never rated (the paper's T - R population), relative to the
+  /// number of in-R trust edges.
+  double out_of_r_trust_fraction = 0.35;
+
+  /// Random (noise) trust edges per user, on average.
+  double random_trust_per_user = 0.4;
+
+  // ---- Planted designations (Table 2 / Table 3 ground truth) ----
+
+  /// Advisors: top users by rater reliability x rating volume (the stated
+  /// Epinions criterion, applied to latent truth). Paper: 22.
+  size_t num_advisors = 22;
+  /// Top Reviewers: top users by writer quality x review volume. Paper: 40.
+  size_t num_top_reviewers = 40;
+
+  /// \brief Validates ranges (probabilities in [0,1], positive sizes, ...).
+  Status Validate() const;
+
+  /// \brief The paper's 12 Video & DVD sub-category names.
+  static std::vector<std::string> PaperCategoryNames();
+};
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_CONFIG_H_

@@ -1,0 +1,61 @@
+#include "wot/synth/designations.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "wot/synth/generator.h"
+
+namespace wot {
+
+namespace {
+
+/// Returns the ids of the top \p k users by score, descending (ties broken
+/// by ascending user id for determinism).
+std::vector<UserId> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<uint32_t> order(scores.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  k = std::min(k, order.size());
+  std::vector<UserId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (scores[order[i]] <= 0.0) {
+      break;  // never designate inactive users
+    }
+    out.push_back(UserId(order[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+void PlantDesignations(const SynthConfig& config, const Dataset& dataset,
+                       SynthGroundTruth* truth) {
+  const size_t num_users = truth->profiles.size();
+  std::vector<double> ratings_given(num_users, 0.0);
+  std::vector<double> reviews_written(num_users, 0.0);
+  for (const auto& rating : dataset.ratings()) {
+    ratings_given[rating.rater.index()] += 1.0;
+  }
+  for (const auto& review : dataset.reviews()) {
+    reviews_written[review.writer.index()] += 1.0;
+  }
+
+  std::vector<double> advisor_score(num_users, 0.0);
+  std::vector<double> reviewer_score(num_users, 0.0);
+  for (size_t u = 0; u < num_users; ++u) {
+    advisor_score[u] = truth->profiles[u].rater_reliability *
+                       std::log1p(ratings_given[u]);
+    reviewer_score[u] =
+        truth->profiles[u].writer_quality * std::log1p(reviews_written[u]);
+  }
+  truth->advisors = TopK(advisor_score, config.num_advisors);
+  truth->top_reviewers = TopK(reviewer_score, config.num_top_reviewers);
+}
+
+}  // namespace wot

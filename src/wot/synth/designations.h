@@ -1,0 +1,25 @@
+// Planted community designations: Advisors (top raters) and Top Reviewers
+// (top writers). These stand in for Epinions' human-curated picks and are
+// the ground truth of the Table 2 / Table 3 experiments.
+//
+// Selection applies Epinions' stated criterion — "quality and quantity" —
+// to the latent truth:
+//   advisor score      = rater_reliability * log(1 + #ratings given)
+//   top-reviewer score = writer_quality    * log(1 + #reviews written)
+#ifndef WOT_SYNTH_DESIGNATIONS_H_
+#define WOT_SYNTH_DESIGNATIONS_H_
+
+#include "wot/community/dataset.h"
+#include "wot/synth/config.h"
+#include "wot/synth/generator_fwd.h"
+
+namespace wot {
+
+/// \brief Fills truth->advisors and truth->top_reviewers from the staged
+/// dataset and the latent profiles already present in \p truth.
+void PlantDesignations(const SynthConfig& config, const Dataset& dataset,
+                       SynthGroundTruth* truth);
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_DESIGNATIONS_H_

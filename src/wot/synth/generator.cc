@@ -1,0 +1,193 @@
+#include "wot/synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "wot/synth/designations.h"
+#include "wot/synth/trust_model.h"
+#include "wot/util/check.h"
+#include "wot/util/logging.h"
+
+namespace wot {
+
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Result<SynthCommunity> GenerateCommunity(const SynthConfig& config) {
+  WOT_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+
+  std::vector<std::string> category_names = config.category_names;
+  if (category_names.empty()) {
+    category_names = SynthConfig::PaperCategoryNames();
+  }
+  const size_t num_categories = category_names.size();
+
+  SynthCommunity out;
+  out.truth.profiles = SampleUserProfiles(config, num_categories, &rng);
+  const auto& profiles = out.truth.profiles;
+
+  DatasetBuilder builder;
+
+  // --- Categories and users ---
+  std::vector<CategoryId> categories;
+  categories.reserve(num_categories);
+  for (const auto& name : category_names) {
+    categories.push_back(builder.AddCategory(name));
+  }
+  std::vector<UserId> users;
+  users.reserve(config.num_users);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    users.push_back(builder.AddUser("user" + std::to_string(u)));
+  }
+
+  // --- Objects: counts follow category popularity ---
+  ZipfSampler category_pop(num_categories,
+                           config.category_popularity_exponent);
+  std::vector<std::vector<ObjectId>> objects_in(num_categories);
+  for (size_t c = 0; c < num_categories; ++c) {
+    // Scale mean_objects_per_category so that total object volume matches
+    // a uniform allocation but follows the popularity profile.
+    double share = category_pop.Probability(c) *
+                   static_cast<double>(num_categories);
+    size_t count = std::max<size_t>(
+        8, static_cast<size_t>(std::lround(
+               share * static_cast<double>(config.mean_objects_per_category))));
+    objects_in[c].reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      WOT_ASSIGN_OR_RETURN(
+          ObjectId oid,
+          builder.AddObject(categories[c], category_names[c] + "/item" +
+                                               std::to_string(k)));
+      objects_in[c].push_back(oid);
+    }
+  }
+
+  // --- Reviews ---
+  // Per category: review list, writer list, true qualities (for the
+  // quality-biased reading step and rating noise).
+  std::vector<std::vector<ReviewId>> reviews_in(num_categories);
+  std::vector<std::vector<double>> quality_in(num_categories);
+  std::unordered_set<uint64_t> written;  // (user, object) pairs
+
+  for (size_t u = 0; u < config.num_users; ++u) {
+    const auto& profile = profiles[u];
+    if (!profile.is_writer) {
+      continue;
+    }
+    CategoricalSampler pick_category(profile.affinity);
+    double expected =
+        profile.activity * config.max_reviews_per_writer;
+    // Poisson-ish integer draw: floor + Bernoulli on the fraction.
+    size_t count = static_cast<size_t>(expected);
+    if (rng.NextBool(expected - std::floor(expected))) {
+      ++count;
+    }
+    if (count == 0) {
+      // Every writer contributes at least one review; mirrors the paper's
+      // "write at least 1 review" dataset membership rule.
+      count = 1;
+    }
+    for (size_t k = 0; k < count; ++k) {
+      size_t c = pick_category.Sample(&rng);
+      const auto& pool = objects_in[c];
+      // One review per (writer, object): retry a few times, then give up
+      // (the writer has reviewed most of the category).
+      ObjectId object;
+      bool found = false;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        ObjectId candidate = pool[rng.NextBounded(pool.size())];
+        if (written.insert(PairKey(users[u].value(), candidate.value()))
+                .second) {
+          object = candidate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        continue;
+      }
+      WOT_ASSIGN_OR_RETURN(ReviewId rid, builder.AddReview(users[u], object));
+      double quality =
+          Clamp01(profile.category_skill[c] +
+                  rng.NextGaussian(0.0, config.review_quality_noise));
+      WOT_CHECK_EQ(rid.index(), out.truth.review_quality.size());
+      out.truth.review_quality.push_back(quality);
+      reviews_in[c].push_back(rid);
+      quality_in[c].push_back(quality);
+    }
+  }
+
+  // Quality-biased review samplers, one per non-empty category.
+  std::vector<std::unique_ptr<CategoricalSampler>> biased_pick(
+      num_categories);
+  for (size_t c = 0; c < num_categories; ++c) {
+    if (quality_in[c].empty()) {
+      continue;
+    }
+    std::vector<double> weights(quality_in[c].size());
+    for (size_t k = 0; k < weights.size(); ++k) {
+      // Squared quality: helpful reviews are read noticeably more often.
+      weights[k] = 0.05 + quality_in[c][k] * quality_in[c][k];
+    }
+    biased_pick[c] = std::make_unique<CategoricalSampler>(weights);
+  }
+
+  // --- Ratings ---
+  const Dataset& staged = builder.StagedView();
+  std::unordered_set<uint64_t> rated;  // (rater, review) pairs
+  for (size_t u = 0; u < config.num_users; ++u) {
+    const auto& profile = profiles[u];
+    CategoricalSampler pick_category(profile.affinity);
+    double expected = profile.activity * config.max_ratings_per_user;
+    size_t count = static_cast<size_t>(expected);
+    if (rng.NextBool(expected - std::floor(expected))) {
+      ++count;
+    }
+    for (size_t k = 0; k < count; ++k) {
+      size_t c = pick_category.Sample(&rng);
+      if (reviews_in[c].empty()) {
+        continue;
+      }
+      size_t local = 0;
+      if (rng.NextBool(config.quality_biased_reading)) {
+        local = biased_pick[c]->Sample(&rng);
+      } else {
+        local = rng.NextBounded(reviews_in[c].size());
+      }
+      ReviewId review = reviews_in[c][local];
+      if (staged.review(review).writer == users[u]) {
+        continue;  // never rate your own review
+      }
+      if (!rated.insert(PairKey(users[u].value(), review.value())).second) {
+        continue;  // already rated this review
+      }
+      double noise_sd = (1.0 - profile.rater_reliability) *
+                        config.rating_noise;
+      double perceived =
+          Clamp01(quality_in[c][local] + rng.NextGaussian(0.0, noise_sd));
+      WOT_RETURN_IF_ERROR(builder.AddRating(
+          users[u], review, rating_scale::Quantize(perceived)));
+    }
+  }
+
+  // --- Ground-truth trust + planted designations ---
+  WOT_RETURN_IF_ERROR(
+      EmitTrustStatements(config, out.truth, &builder, &rng));
+  PlantDesignations(config, builder.StagedView(), &out.truth);
+
+  WOT_ASSIGN_OR_RETURN(out.dataset, builder.Build());
+  WOT_LOG(Info) << "generated community: " << out.dataset.Summary();
+  return out;
+}
+
+}  // namespace wot

@@ -1,0 +1,55 @@
+// The synthetic community generator: turns a SynthConfig into a Dataset
+// plus the latent ground truth needed for validation.
+//
+// Generative process (all draws from one seeded stream):
+//   1. Sample latent user profiles (user_model.h).
+//   2. Create categories and objects (object counts follow category
+//      popularity).
+//   3. Writers write reviews: category ~ affinity, object uniform within
+//      the category (one review per writer per object); each review gets a
+//      true quality ~ N(writer's category skill, review_quality_noise),
+//      clamped to [0, 1].
+//   4. Users rate reviews: category ~ affinity; within the category the
+//      review is picked quality-biased with probability
+//      quality_biased_reading, else uniformly; the rating value is the
+//      review's true quality corrupted by rater-reliability-dependent noise
+//      and quantized to the five-stage scale. Self-ratings and duplicate
+//      (rater, review) pairs are never emitted.
+//   5. The ground-truth trust process emits trust statements
+//      (trust_model.h) and designations are planted (designations.h).
+//
+// The resulting Dataset is exactly what a crawler would see; profiles and
+// review qualities are returned separately and must never be read by the
+// trust-derivation framework itself.
+#ifndef WOT_SYNTH_GENERATOR_H_
+#define WOT_SYNTH_GENERATOR_H_
+
+#include <vector>
+
+#include "wot/community/dataset.h"
+#include "wot/synth/config.h"
+#include "wot/synth/user_model.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Latent ground truth paired with a generated dataset.
+struct SynthGroundTruth {
+  std::vector<UserProfile> profiles;   // indexed by UserId
+  std::vector<double> review_quality;  // indexed by ReviewId
+  std::vector<UserId> advisors;        // planted Table-2 ground truth
+  std::vector<UserId> top_reviewers;   // planted Table-3 ground truth
+};
+
+/// \brief A generated community.
+struct SynthCommunity {
+  Dataset dataset;
+  SynthGroundTruth truth;
+};
+
+/// \brief Runs the full generative process. Deterministic in config.seed.
+Result<SynthCommunity> GenerateCommunity(const SynthConfig& config);
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_GENERATOR_H_

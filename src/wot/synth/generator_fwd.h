@@ -1,0 +1,13 @@
+// Forward declarations shared by the synth submodules to avoid a cyclic
+// include between generator.h and trust_model.h / designations.h.
+#ifndef WOT_SYNTH_GENERATOR_FWD_H_
+#define WOT_SYNTH_GENERATOR_FWD_H_
+
+namespace wot {
+
+struct SynthGroundTruth;
+struct SynthCommunity;
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_GENERATOR_FWD_H_

@@ -1,0 +1,146 @@
+#include "wot/synth/trust_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wot/synth/generator.h"
+
+namespace wot {
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// j's expertise as perceived through i's affinities:
+/// sum_c aff_i[c] * skill_j[c]  (affinities sum to 1).
+double PerceivedExpertise(const UserProfile& truster,
+                          const UserProfile& writer) {
+  double acc = 0.0;
+  for (size_t c = 0; c < truster.affinity.size(); ++c) {
+    if (truster.affinity[c] > 0.0) {
+      acc += truster.affinity[c] * writer.category_skill[c];
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Status EmitTrustStatements(const SynthConfig& config,
+                           const SynthGroundTruth& truth,
+                           DatasetBuilder* builder, Rng* rng) {
+  const Dataset& staged = builder->StagedView();
+  const auto& profiles = truth.profiles;
+  const size_t num_users = profiles.size();
+
+  // Distinct (rater -> writer) connections, i.e. the pattern of R.
+  std::vector<std::unordered_set<uint32_t>> connected(num_users);
+  for (const auto& rating : staged.ratings()) {
+    UserId writer = staged.review(rating.review).writer;
+    if (writer != rating.rater) {
+      connected[rating.rater.index()].insert(writer.value());
+    }
+  }
+
+  std::unordered_set<uint64_t> emitted;
+  auto emit = [&](uint32_t src, uint32_t dst) -> Status {
+    if (src == dst) {
+      return Status::OK();
+    }
+    if (!emitted.insert(PairKey(src, dst)).second) {
+      return Status::OK();
+    }
+    return builder->AddTrust(UserId(src), UserId(dst));
+  };
+
+  // Candidate experts per category for population 2, sorted by skill. Only
+  // writers are candidates (non-writers have no reviews to be known for).
+  const size_t num_categories =
+      profiles.empty() ? 0 : profiles[0].affinity.size();
+  std::vector<std::vector<uint32_t>> experts_in(num_categories);
+  for (size_t u = 0; u < num_users; ++u) {
+    if (!profiles[u].is_writer) {
+      continue;
+    }
+    for (size_t c = 0; c < num_categories; ++c) {
+      if (profiles[u].affinity[c] > 0.0 &&
+          profiles[u].category_skill[c] > 0.0) {
+        experts_in[c].push_back(static_cast<uint32_t>(u));
+      }
+    }
+  }
+  for (size_t c = 0; c < num_categories; ++c) {
+    std::sort(experts_in[c].begin(), experts_in[c].end(),
+              [&](uint32_t a, uint32_t b) {
+                return profiles[a].category_skill[c] >
+                       profiles[b].category_skill[c];
+              });
+  }
+
+  for (size_t i = 0; i < num_users; ++i) {
+    const auto& truster = profiles[i];
+    size_t in_r_edges = 0;
+
+    // Population 1: trust within direct connections.
+    for (uint32_t j : connected[i]) {
+      double expertise = PerceivedExpertise(truster, profiles[j]);
+      double p = truster.generosity *
+                 Sigmoid(config.trust_steepness *
+                         (expertise - config.trust_midpoint));
+      if (rng->NextBool(p)) {
+        WOT_RETURN_IF_ERROR(emit(static_cast<uint32_t>(i), j));
+        ++in_r_edges;
+      }
+    }
+
+    // Population 2: word-of-mouth edges toward top experts in i's focus
+    // categories (draws biased toward the top of the per-category ranking).
+    double expected_extra =
+        static_cast<double>(in_r_edges) * config.out_of_r_trust_fraction;
+    size_t extra = static_cast<size_t>(expected_extra);
+    if (rng->NextBool(expected_extra - std::floor(expected_extra))) {
+      ++extra;
+    }
+    if (extra > 0) {
+      CategoricalSampler pick_category(truster.affinity);
+      for (size_t k = 0; k < extra; ++k) {
+        size_t c = pick_category.Sample(rng);
+        const auto& pool = experts_in[c];
+        if (pool.empty()) {
+          continue;
+        }
+        // Rank-biased draw: square of a uniform concentrates near rank 0.
+        double u = rng->NextDouble();
+        size_t rank = static_cast<size_t>(u * u *
+                                          static_cast<double>(pool.size()));
+        rank = std::min(rank, pool.size() - 1);
+        WOT_RETURN_IF_ERROR(emit(static_cast<uint32_t>(i), pool[rank]));
+      }
+    }
+
+    // Population 3: uniform noise edges.
+    if (num_users > 1 && rng->NextBool(config.random_trust_per_user -
+                                       std::floor(
+                                           config.random_trust_per_user))) {
+      uint32_t j = static_cast<uint32_t>(rng->NextBounded(num_users));
+      WOT_RETURN_IF_ERROR(emit(static_cast<uint32_t>(i), j));
+    }
+    for (size_t k = 0;
+         k < static_cast<size_t>(config.random_trust_per_user) &&
+         num_users > 1;
+         ++k) {
+      uint32_t j = static_cast<uint32_t>(rng->NextBounded(num_users));
+      WOT_RETURN_IF_ERROR(emit(static_cast<uint32_t>(i), j));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wot

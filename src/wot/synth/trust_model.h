@@ -1,0 +1,36 @@
+// Ground-truth trust process. Emits the explicit trust statements the
+// evaluation treats as labels; the derivation framework never sees how they
+// were produced.
+//
+// Three edge populations, mirroring the structure the paper observes in the
+// Epinions web of trust:
+//   1. In-R trust: for every (i, j) where i rated at least one of j's
+//      reviews, i trusts j with probability
+//        generosity_i * sigmoid(steepness * (affinity-weighted expertise of
+//        j under i's affinities - midpoint)).
+//      This encodes the paper's core assumption: "a user would trust an
+//      expert in the area of interest that matters greatly to her."
+//   2. Out-of-R ("word of mouth") trust: additional edges toward experts in
+//      i's focus categories whose reviews i never rated; the paper found a
+//      sizeable T - R population ("trust connectivity in (T-R) is
+//      constructed even though two users has no connection").
+//   3. A small number of uniformly random edges (noise).
+#ifndef WOT_SYNTH_TRUST_MODEL_H_
+#define WOT_SYNTH_TRUST_MODEL_H_
+
+#include "wot/community/dataset_builder.h"
+#include "wot/synth/config.h"
+#include "wot/synth/generator_fwd.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+
+/// \brief Appends ground-truth trust statements to \p builder. Reviews and
+/// ratings must already be staged. Deterministic given \p rng state.
+Status EmitTrustStatements(const SynthConfig& config,
+                           const SynthGroundTruth& truth,
+                           DatasetBuilder* builder, Rng* rng);
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_TRUST_MODEL_H_

@@ -1,0 +1,81 @@
+#include "wot/synth/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wot {
+
+namespace {
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}  // namespace
+
+std::vector<UserProfile> SampleUserProfiles(const SynthConfig& config,
+                                            size_t num_categories,
+                                            Rng* rng) {
+  // Popular categories attract more focus (Dramas vs Westerns).
+  ZipfSampler category_pop(num_categories,
+                           config.category_popularity_exponent);
+
+  std::vector<UserProfile> profiles(config.num_users);
+  for (auto& profile : profiles) {
+    // Bounded Pareto tail: u^(1/tail) in (0,1], median well below 1.
+    double u = 0.0;
+    do {
+      u = rng->NextDouble();
+    } while (u <= 0.0);
+    profile.activity = std::pow(u, config.activity_tail);
+
+    profile.is_writer = rng->NextBool(config.writer_fraction);
+    profile.writer_quality = rng->NextBeta(config.writer_quality_alpha,
+                                           config.writer_quality_beta);
+    profile.rater_reliability = rng->NextBeta(
+        config.rater_reliability_alpha, config.rater_reliability_beta);
+    profile.generosity =
+        rng->NextBeta(config.generosity_alpha, config.generosity_beta);
+
+    // Focus categories: 1 mandatory + up to 3 extra.
+    size_t num_focus = 1;
+    for (int t = 0; t < 3; ++t) {
+      if (rng->NextBool(config.extra_focus_probability)) {
+        ++num_focus;
+      }
+    }
+    num_focus = std::min(num_focus, num_categories);
+
+    std::vector<size_t> focus;
+    while (focus.size() < num_focus) {
+      size_t c = category_pop.Sample(rng);
+      if (std::find(focus.begin(), focus.end(), c) == focus.end()) {
+        focus.push_back(c);
+      }
+    }
+
+    profile.affinity.assign(num_categories, 0.0);
+    profile.category_skill.assign(num_categories, 0.0);
+    // Dirichlet(1,...,1) over focus categories via normalized exponentials.
+    double total = 0.0;
+    for (size_t c : focus) {
+      double w = rng->NextGamma(1.0);
+      profile.affinity[c] = w;
+      total += w;
+    }
+    if (total > 0.0) {
+      for (size_t c : focus) {
+        profile.affinity[c] /= total;
+      }
+    } else {
+      // All-zero gamma draws are vanishingly rare; fall back to uniform.
+      for (size_t c : focus) {
+        profile.affinity[c] = 1.0 / static_cast<double>(focus.size());
+      }
+    }
+    for (size_t c : focus) {
+      profile.category_skill[c] = Clamp01(
+          profile.writer_quality +
+          rng->NextGaussian(0.0, config.category_skill_noise));
+    }
+  }
+  return profiles;
+}
+
+}  // namespace wot

@@ -1,0 +1,41 @@
+// Latent per-user ground truth sampled before any observable data is
+// generated. The generator derives reviews/ratings from these profiles; the
+// evaluation uses them only to plant designations and trust labels.
+#ifndef WOT_SYNTH_USER_MODEL_H_
+#define WOT_SYNTH_USER_MODEL_H_
+
+#include <vector>
+
+#include "wot/synth/config.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+
+/// \brief Latent ground truth for one user.
+struct UserProfile {
+  /// Activity scale in (0, 1]; heavy-tailed across users.
+  double activity = 0.0;
+  /// Whether this user writes reviews (everyone may rate).
+  bool is_writer = false;
+  /// Base writing skill in [0, 1].
+  double writer_quality = 0.0;
+  /// Per-category skill (base + jitter, clamped); 0 for non-focus
+  /// categories where the user never writes.
+  std::vector<double> category_skill;
+  /// Affinity weights over categories; non-negative, sums to 1 over the
+  /// user's focus categories, 0 elsewhere.
+  std::vector<double> affinity;
+  /// How accurately the user judges review quality, in [0, 1].
+  double rater_reliability = 0.0;
+  /// Propensity to issue trust statements, in [0, 1].
+  double generosity = 0.0;
+};
+
+/// \brief Samples profiles for all users. Deterministic given \p rng state.
+std::vector<UserProfile> SampleUserProfiles(const SynthConfig& config,
+                                            size_t num_categories,
+                                            Rng* rng);
+
+}  // namespace wot
+
+#endif  // WOT_SYNTH_USER_MODEL_H_

@@ -1,0 +1,41 @@
+// Invariant checking. WOT_CHECK is always on (programming-error guards on
+// cheap paths); WOT_DCHECK compiles away in NDEBUG builds (hot loops).
+#ifndef WOT_UTIL_CHECK_H_
+#define WOT_UTIL_CHECK_H_
+
+#include "wot/util/logging.h"
+#include "wot/util/macros.h"
+
+#define WOT_CHECK(condition)                                      \
+  if (WOT_PREDICT_FALSE(!(condition)))                            \
+  WOT_LOG(Fatal) << "Check failed: " #condition " "
+
+#define WOT_CHECK_OP(lhs, op, rhs) WOT_CHECK((lhs)op(rhs))
+#define WOT_CHECK_EQ(lhs, rhs) WOT_CHECK_OP(lhs, ==, rhs)
+#define WOT_CHECK_NE(lhs, rhs) WOT_CHECK_OP(lhs, !=, rhs)
+#define WOT_CHECK_LT(lhs, rhs) WOT_CHECK_OP(lhs, <, rhs)
+#define WOT_CHECK_LE(lhs, rhs) WOT_CHECK_OP(lhs, <=, rhs)
+#define WOT_CHECK_GT(lhs, rhs) WOT_CHECK_OP(lhs, >, rhs)
+#define WOT_CHECK_GE(lhs, rhs) WOT_CHECK_OP(lhs, >=, rhs)
+
+/// \brief Aborts (via WOT_LOG(Fatal)) if a Status-returning expression fails.
+/// For use in tests, examples and benches where errors are unrecoverable.
+#define WOT_CHECK_OK(expr)                                        \
+  do {                                                            \
+    ::wot::Status _wot_check_status = (expr);                     \
+    WOT_CHECK(_wot_check_status.ok())                             \
+        << _wot_check_status.ToString();                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define WOT_DCHECK(condition) \
+  while (false) WOT_CHECK(condition)
+#else
+#define WOT_DCHECK(condition) WOT_CHECK(condition)
+#endif
+
+#define WOT_DCHECK_EQ(lhs, rhs) WOT_DCHECK((lhs) == (rhs))
+#define WOT_DCHECK_LT(lhs, rhs) WOT_DCHECK((lhs) < (rhs))
+#define WOT_DCHECK_LE(lhs, rhs) WOT_DCHECK((lhs) <= (rhs))
+
+#endif  // WOT_UTIL_CHECK_H_

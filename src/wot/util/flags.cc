@@ -1,0 +1,138 @@
+#include "wot/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "wot/util/result.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+FlagParser::FlagParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          const std::string& help) {
+  flags_.push_back(
+      {name, Type::kInt64, target, help, std::to_string(*target)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_.push_back(
+      {name, Type::kDouble, target, help, FormatDouble(*target, 4)});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back(
+      {name, Type::kBool, target, help, *target ? "true" : "false"});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kString, target, help, "\"" + *target + "\""});
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& value) {
+  switch (flag->type) {
+    case Type::kInt64: {
+      Result<int64_t> r = ParseInt64(value);
+      if (!r.ok()) {
+        return r.status().WithContext("--" + flag->name);
+      }
+      *static_cast<int64_t*>(flag->target) = r.ValueOrDie();
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      Result<double> r = ParseDouble(value);
+      if (!r.ok()) {
+        return r.status().WithContext("--" + flag->name);
+      }
+      *static_cast<double*>(flag->target) = r.ValueOrDie();
+      return Status::OK();
+    }
+    case Type::kBool: {
+      Result<bool> r = ParseBool(value);
+      if (!r.ok()) {
+        return r.status().WithContext("--" + flag->name);
+      }
+      *static_cast<bool*>(flag->target) = r.ValueOrDie();
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag->target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unhandled flag type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      std::exit(0);
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     Usage());
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        // Bare --flag means true.
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
+      }
+      value = argv[++i];
+    }
+    WOT_RETURN_IF_ERROR(SetValue(flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << program_name_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  " << flag.help
+       << " (default: " << flag.default_repr << ")\n";
+  }
+  os << "  --help  print this message and exit\n";
+  return os.str();
+}
+
+}  // namespace wot

@@ -1,0 +1,68 @@
+// A small command-line flag parser for experiment binaries and examples.
+//
+//   FlagParser flags("table4", "Reproduces Table 4");
+//   int64_t users = 4000;
+//   flags.AddInt64("users", &users, "number of synthetic users");
+//   WOT_CHECK_OK(flags.Parse(argc, argv));
+//
+// Accepted syntax: --name=value, --name value, and --flag for booleans.
+// --help prints usage and exits(0).
+#ifndef WOT_UTIL_FLAGS_H_
+#define WOT_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wot/util/status.h"
+
+namespace wot {
+
+/// \brief Registry + parser for a binary's command-line flags.
+class FlagParser {
+ public:
+  FlagParser(std::string program_name, std::string description);
+
+  /// Registration: \p target holds the default and receives the parsed
+  /// value. Pointers must outlive Parse().
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target,
+               const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// \brief Parses argv. Unknown flags are errors. On "--help", prints usage
+  /// to stdout and exits the process with code 0.
+  Status Parse(int argc, char** argv);
+
+  /// \brief Usage text (also printed by --help).
+  std::string Usage() const;
+
+  /// \brief Positional (non-flag) arguments encountered, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(Flag* flag, const std::string& value);
+  Flag* Find(const std::string& name);
+
+  std::string program_name_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_FLAGS_H_

@@ -1,0 +1,109 @@
+#include "wot/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "wot/util/check.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), counts_(num_buckets, 0) {
+  WOT_CHECK_LT(lo, hi);
+  WOT_CHECK_GT(num_buckets, 0u);
+}
+
+void Histogram::Add(double value) {
+  double t = (value - lo_) / (hi_ - lo_);
+  auto bucket = static_cast<int64_t>(t * static_cast<double>(counts_.size()));
+  bucket = std::clamp<int64_t>(bucket, 0,
+                               static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_;
+}
+
+int64_t Histogram::bucket_count(size_t bucket) const {
+  WOT_CHECK_LT(bucket, counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::CumulativeFraction(size_t bucket) const {
+  WOT_CHECK_LT(bucket, counts_.size());
+  if (total_ == 0) {
+    return 0.0;
+  }
+  int64_t acc = 0;
+  for (size_t i = 0; i <= bucket; ++i) {
+    acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  const int64_t peak = total_ == 0
+                           ? 1
+                           : *std::max_element(counts_.begin(), counts_.end());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double b0 = lo_ + width * static_cast<double>(i);
+    double b1 = b0 + width;
+    int bar = peak == 0 ? 0
+                        : static_cast<int>(40.0 * static_cast<double>(
+                                                      counts_[i]) /
+                                           static_cast<double>(peak));
+    os << "[" << FormatDouble(b0, 3) << "," << FormatDouble(b1, 3) << ") "
+       << std::string(static_cast<size_t>(bar), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wot

@@ -1,0 +1,65 @@
+// Streaming summary statistics and a fixed-bucket histogram, used for
+// dataset statistics and distribution diagnostics in the generator tests.
+#ifndef WOT_UTIL_HISTOGRAM_H_
+#define WOT_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wot {
+
+/// \brief Accumulates count/mean/variance/min/max in one pass (Welford).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// \brief Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// \brief Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Equal-width histogram over [lo, hi]; values outside are clamped
+/// into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+
+  int64_t bucket_count(size_t bucket) const;
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t total() const { return total_; }
+
+  /// \brief Fraction of mass at or below the upper edge of \p bucket.
+  double CumulativeFraction(size_t bucket) const;
+
+  /// \brief A compact textual rendering ("[0.0,0.1): ###### 123").
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_HISTOGRAM_H_

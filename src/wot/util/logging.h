@@ -1,0 +1,63 @@
+// Minimal leveled logging for library diagnostics and experiment harnesses.
+//
+//   WOT_LOG(INFO) << "loaded " << n << " reviews";
+//
+// Messages at or above the global threshold go to stderr with a level tag.
+// The default threshold is WARNING so that library internals stay quiet in
+// tests; experiment binaries typically lower it to INFO.
+#ifndef WOT_UTIL_LOGGING_H_
+#define WOT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "wot/util/macros.h"
+
+namespace wot {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// \brief Sets the minimum level that is actually emitted. Thread-safe.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+/// kFatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  WOT_DISALLOW_COPY_AND_MOVE(LogMessage);
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wot
+
+#define WOT_LOG(severity)                                         \
+  ::wot::internal::LogMessage(::wot::LogLevel::k##severity,       \
+                              __FILE__, __LINE__)
+
+#endif  // WOT_UTIL_LOGGING_H_

@@ -1,0 +1,33 @@
+// Common preprocessor utilities shared across the library.
+#ifndef WOT_UTIL_MACROS_H_
+#define WOT_UTIL_MACROS_H_
+
+/// \brief Marks a class as non-copyable (move is still allowed unless also
+/// deleted). Place in the public section.
+#define WOT_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;    \
+  TypeName& operator=(const TypeName&) = delete
+
+#define WOT_DISALLOW_COPY_AND_MOVE(TypeName) \
+  WOT_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;             \
+  TypeName& operator=(TypeName&&) = delete
+
+#define WOT_CONCAT_IMPL(x, y) x##y
+#define WOT_CONCAT(x, y) WOT_CONCAT_IMPL(x, y)
+
+/// \brief A unique identifier within a translation unit, for macro-generated
+/// temporaries.
+#define WOT_UNIQUE_NAME(prefix) WOT_CONCAT(prefix, __COUNTER__)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WOT_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define WOT_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define WOT_NORETURN __attribute__((noreturn))
+#else
+#define WOT_PREDICT_TRUE(x) (x)
+#define WOT_PREDICT_FALSE(x) (x)
+#define WOT_NORETURN
+#endif
+
+#endif  // WOT_UTIL_MACROS_H_

@@ -1,0 +1,45 @@
+#include "wot/util/parallel_for.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace wot {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 size_t num_threads) {
+  if (count == 0) {
+    return;
+  }
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1 || count < 2) {
+    for (size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Contiguous chunks: iteration i handled by thread i*num_threads/count.
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  const size_t chunk = (count + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(begin + chunk, count);
+    if (begin >= end) {
+      break;
+    }
+    threads.emplace_back([begin, end, &body] {
+      for (size_t i = begin; i < end; ++i) {
+        body(i);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+}
+
+}  // namespace wot

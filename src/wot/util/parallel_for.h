@@ -1,0 +1,20 @@
+// Data-parallel loop helper over an index range.
+#ifndef WOT_UTIL_PARALLEL_FOR_H_
+#define WOT_UTIL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace wot {
+
+/// \brief Runs body(i) for every i in [0, count), distributing contiguous
+/// chunks over \p num_threads workers (0 = hardware concurrency). Blocks
+/// until all iterations complete. Falls back to a serial loop when count is
+/// small or num_threads == 1. \p body must be safe to call concurrently for
+/// distinct i.
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 size_t num_threads = 0);
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_PARALLEL_FOR_H_

@@ -1,0 +1,99 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#ifndef WOT_UTIL_RESULT_H_
+#define WOT_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "wot/util/status.h"
+
+namespace wot {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Typical use:
+/// \code
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset ds = std::move(r).ValueOrDie();
+/// \endcode
+/// or, inside a function that itself returns Status/Result:
+/// \code
+///   WOT_ASSIGN_OR_RETURN(Dataset ds, LoadDataset(path));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  /// Passing an OK status is a programming error and is converted to an
+  /// Internal error to keep the invariant "Result holds value XOR error".
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::holds_alternative<Status>(rep_) &&
+        std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// \brief The error, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// \brief Returns the value; aborts the process if this holds an error.
+  /// Use only after checking ok(), or in tests/examples where an error is
+  /// unrecoverable anyway.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// \brief Returns the value or \p fallback if this holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  /// \brief Moves the value out. Precondition: ok().
+  T&& MoveValueUnsafe() { return std::move(std::get<T>(rep_)); }
+
+ private:
+  void DieIfError() const {
+    if (WOT_PREDICT_FALSE(!ok())) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(rep_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace wot
+
+/// \brief Evaluates a Result expression; on error returns its Status, on
+/// success binds the value to \p lhs (which may include a type declaration).
+#define WOT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WOT_ASSIGN_OR_RETURN_IMPL(WOT_UNIQUE_NAME(_wot_result_), lhs, rexpr)
+
+#define WOT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (WOT_PREDICT_FALSE(!result_name.ok())) {              \
+    return result_name.status();                           \
+  }                                                        \
+  lhs = result_name.MoveValueUnsafe()
+
+#endif  // WOT_UTIL_RESULT_H_

@@ -1,0 +1,194 @@
+#include "wot/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  WOT_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  WOT_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller; u must be > 0 for the log.
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  double v = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u));
+  double theta = 2.0 * M_PI * v;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextGamma(double shape) {
+  WOT_CHECK_GT(shape, 0.0);
+  // Marsaglia & Tsang. For shape < 1, boost to shape+1 and scale.
+  if (shape < 1.0) {
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::NextBeta(double alpha, double beta) {
+  WOT_CHECK_GT(alpha, 0.0);
+  WOT_CHECK_GT(beta, 0.0);
+  double x = NextGamma(alpha);
+  double y = NextGamma(beta);
+  double sum = x + y;
+  if (sum <= 0.0) {
+    return 0.5;  // Degenerate underflow; the symmetric midpoint is unbiased.
+  }
+  return x / sum;
+}
+
+Rng Rng::Fork() { return Rng(Next64()); }
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  WOT_CHECK_GT(n, 0u);
+  WOT_CHECK_GE(exponent, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = acc;
+  }
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+  cdf_.back() = 1.0;  // Guard against accumulated floating-point error.
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t r) const {
+  WOT_CHECK_LT(r, cdf_.size());
+  if (r == 0) return cdf_[0];
+  return cdf_[r] - cdf_[r - 1];
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  WOT_CHECK_GT(weights.size(), 0u);
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    WOT_CHECK_GE(weights[i], 0.0);
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  WOT_CHECK_GT(acc, 0.0);
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+size_t CategoricalSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace wot

@@ -1,0 +1,112 @@
+// Deterministic random number generation and the distributions the synthetic
+// community generator needs (uniform, normal, beta, Zipf, categorical).
+//
+// We implement xoshiro256++ rather than rely on std::mt19937 so that streams
+// are identical across standard libraries and platforms — experiment outputs
+// must be reproducible from a seed alone.
+#ifndef WOT_UTIL_RNG_H_
+#define WOT_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wot {
+
+/// \brief xoshiro256++ PRNG with SplitMix64 seeding.
+///
+/// Not cryptographically secure; excellent statistical quality and speed for
+/// simulation. Copyable: copying forks the stream state.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state via SplitMix64(seed).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses rejection sampling (Lemire) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// \brief Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// \brief Standard normal via Box-Muller (cached spare value).
+  double NextGaussian();
+
+  /// \brief Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// \brief Beta(alpha, beta) via Joehnk/gamma method.
+  /// Preconditions: alpha > 0, beta > 0.
+  double NextBeta(double alpha, double beta);
+
+  /// \brief Gamma(shape, 1) via Marsaglia-Tsang. Precondition: shape > 0.
+  double NextGamma(double shape);
+
+  /// \brief Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// \brief Forks an independent stream (seeded from this stream's output);
+  /// used to give each parallel worker its own generator.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// \brief Zipf(s) sampler over {0, 1, ..., n-1} where rank r has probability
+/// proportional to 1/(r+1)^s. Uses a precomputed CDF with binary search;
+/// construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (> 0)
+  /// \param exponent Zipf exponent s (>= 0; 0 degenerates to uniform)
+  ZipfSampler(size_t n, double exponent);
+
+  /// \brief Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+  /// \brief P(rank == r).
+  double Probability(size_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// \brief Samples an index from an arbitrary non-negative weight vector.
+/// Construction O(n); sampling O(log n) via CDF binary search.
+class CategoricalSampler {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit CategoricalSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_RNG_H_

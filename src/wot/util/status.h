@@ -1,0 +1,136 @@
+// Status: the library-wide error-reporting type.
+//
+// The wot library does not throw exceptions. Fallible operations return a
+// Status (or a Result<T>, see result.h). This mirrors the error model of
+// Apache Arrow and RocksDB.
+#ifndef WOT_UTIL_STATUS_H_
+#define WOT_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "wot/util/macros.h"
+
+namespace wot {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode
+/// (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief An operation outcome: OK, or an error code plus message.
+///
+/// Statuses are cheap to pass by value: the OK state carries no allocation,
+/// and error state is a single heap pointer. A Status must be inspected via
+/// ok() / code(); ignoring one silently is a bug in library code.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(code, std::move(message))) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with \p context prepended to the message,
+  /// preserving the code. OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+  // Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace wot
+
+/// \brief Propagates a non-OK Status to the caller.
+#define WOT_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::wot::Status _wot_status = (expr);             \
+    if (WOT_PREDICT_FALSE(!_wot_status.ok())) {     \
+      return _wot_status;                           \
+    }                                               \
+  } while (false)
+
+#endif  // WOT_UTIL_STATUS_H_

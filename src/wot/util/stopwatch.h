@@ -1,0 +1,29 @@
+// Wall-clock timing for experiment harnesses.
+#ifndef WOT_UTIL_STOPWATCH_H_
+#define WOT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace wot {
+
+/// \brief Measures elapsed wall time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_STOPWATCH_H_

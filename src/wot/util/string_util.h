@@ -1,0 +1,44 @@
+// Small string helpers used by IO, flags and table formatting.
+#ifndef WOT_UTIL_STRING_UTIL_H_
+#define WOT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Splits on a single-character delimiter. Adjacent delimiters yield
+/// empty fields; an empty input yields one empty field.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// \brief Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// \brief Lowercases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// \brief Strict parse of a whole string_view; rejects trailing garbage,
+/// empty input, and out-of-range values.
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+Result<bool> ParseBool(std::string_view text);
+
+/// \brief Formats a double with \p precision digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// \brief "1,234,567" style thousands separators, for table output.
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,87 @@
+#include "wot/util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WOT_CHECK_GT(headers_.size(), 0u);
+  alignments_.assign(headers_.size(), Align::kRight);
+  alignments_[0] = Align::kLeft;
+}
+
+void TablePrinter::SetAlignments(std::vector<Align> alignments) {
+  WOT_CHECK_EQ(alignments.size(), headers_.size());
+  alignments_ = std::move(alignments);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  WOT_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back({/*is_separator=*/false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({/*is_separator=*/true, {}});
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& text, size_t width, Align align) {
+    std::string out;
+    size_t fill = width > text.size() ? width - text.size() : 0;
+    if (align == Align::kRight) {
+      out.append(fill, ' ');
+      out += text;
+    } else {
+      out += text;
+      out.append(fill, ' ');
+    }
+    return out;
+  };
+
+  auto rule = [&]() {
+    std::string out;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) out += "-+-";
+      out.append(widths[c], '-');
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << " | ";
+    os << pad(headers_[c], widths[c], alignments_[c]);
+  }
+  os << "\n" << rule() << "\n";
+  for (const auto& row : rows_) {
+    if (row.is_separator) {
+      os << rule() << "\n";
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << pad(row.cells[c], widths[c], alignments_[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace wot

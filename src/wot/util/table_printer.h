@@ -1,0 +1,62 @@
+// Aligned ASCII table output. Every experiment binary prints its results in
+// the same row/column layout as the corresponding table in the paper, so the
+// harness uses this everywhere for consistency.
+#ifndef WOT_UTIL_TABLE_PRINTER_H_
+#define WOT_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wot {
+
+/// \brief Column alignment within a rendered table.
+enum class Align {
+  kLeft,
+  kRight,
+};
+
+/// \brief Collects rows of string cells and renders them with padded,
+/// separator-delimited columns:
+///
+///   Genre (Category)  | Rater | Total | Q1(Top)
+///   ------------------+-------+-------+--------
+///   Action/Adventure  | 11940 |    22 | 22
+class TablePrinter {
+ public:
+  /// \param headers column titles; fixes the column count.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Sets alignment per column (default: first column left, the rest
+  /// right). Size must equal the header count.
+  void SetAlignments(std::vector<Align> alignments);
+
+  /// \brief Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Appends a horizontal rule before the next added row.
+  void AddSeparator();
+
+  /// \brief Renders the table.
+  std::string ToString() const;
+
+  /// \brief Renders to a stream.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+ private:
+  struct Row {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,51 @@
+// A fixed-size worker pool. Used by ParallelFor to run per-category
+// reputation computations concurrently.
+#ifndef WOT_UTIL_THREAD_POOL_H_
+#define WOT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "wot/util/macros.h"
+
+namespace wot {
+
+/// \brief A simple FIFO thread pool.
+///
+/// Tasks are arbitrary callables; exceptions must not escape a task (the
+/// library itself never throws). Destruction drains already-queued tasks.
+class ThreadPool {
+ public:
+  /// \param num_threads workers to spawn; 0 means hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+  WOT_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// \brief Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,115 @@
+#include "wot/community/category_view.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace wot {
+namespace {
+
+class CategoryViewTest : public ::testing::Test {
+ protected:
+  CategoryViewTest()
+      : dataset_(testing::TinyCommunity()),
+        indices_(dataset_),
+        movies_(dataset_, indices_, CategoryId(0)),
+        books_(dataset_, indices_, CategoryId(1)) {}
+  Dataset dataset_;
+  DatasetIndices indices_;
+  CategoryView movies_;
+  CategoryView books_;
+};
+
+TEST_F(CategoryViewTest, MoviesDimensions) {
+  EXPECT_EQ(movies_.category(), CategoryId(0));
+  EXPECT_EQ(movies_.num_reviews(), 2u);   // r0, r2
+  EXPECT_EQ(movies_.num_writers(), 2u);   // u0, u1
+  EXPECT_EQ(movies_.num_raters(), 2u);    // u2, u3
+  EXPECT_EQ(movies_.num_ratings(), 3u);   // u2->r0, u3->r0, u2->r2
+}
+
+TEST_F(CategoryViewTest, BooksDimensions) {
+  EXPECT_EQ(books_.num_reviews(), 1u);  // r1
+  EXPECT_EQ(books_.num_writers(), 1u);  // u0
+  EXPECT_EQ(books_.num_raters(), 1u);   // u2
+  EXPECT_EQ(books_.num_ratings(), 1u);
+}
+
+TEST_F(CategoryViewTest, LocalToGlobalMapping) {
+  EXPECT_EQ(movies_.review_id(0), ReviewId(0));
+  EXPECT_EQ(movies_.review_id(1), ReviewId(2));
+  EXPECT_EQ(movies_.writer_id(0), UserId(0));
+  EXPECT_EQ(movies_.writer_id(1), UserId(1));
+  EXPECT_EQ(books_.review_id(0), ReviewId(1));
+  EXPECT_EQ(books_.writer_id(0), UserId(0));
+}
+
+TEST_F(CategoryViewTest, WriterOfReview) {
+  EXPECT_EQ(movies_.WriterOfReview(0), 0u);  // r0 by u0 (local writer 0)
+  EXPECT_EQ(movies_.WriterOfReview(1), 1u);  // r2 by u1 (local writer 1)
+}
+
+TEST_F(CategoryViewTest, RatingsOfReviewLocalSide) {
+  auto r0_ratings = movies_.RatingsOfReview(0);
+  ASSERT_EQ(r0_ratings.size(), 2u);
+  // Values for r0: 1.0 (u2) then 0.8 (u3), in dataset order.
+  EXPECT_DOUBLE_EQ(r0_ratings[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(r0_ratings[1].value, 0.8);
+  EXPECT_EQ(movies_.rater_id(r0_ratings[0].local_rater), UserId(2));
+  EXPECT_EQ(movies_.rater_id(r0_ratings[1].local_rater), UserId(3));
+}
+
+TEST_F(CategoryViewTest, RatingsByRaterConsistentWithReviewSide) {
+  // Cross-check: every (rater, review, value) triple present on one side
+  // must appear on the other.
+  size_t total = 0;
+  for (size_t lx = 0; lx < movies_.num_raters(); ++lx) {
+    for (const auto& rr : movies_.RatingsByRater(lx)) {
+      bool found = false;
+      for (const auto& rs : movies_.RatingsOfReview(rr.local_review)) {
+        if (rs.local_rater == lx && rs.value == rr.value) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, movies_.num_ratings());
+}
+
+TEST_F(CategoryViewTest, ReviewsOfWriter) {
+  auto u0_reviews = movies_.ReviewsOfWriter(0);
+  ASSERT_EQ(u0_reviews.size(), 1u);
+  EXPECT_EQ(movies_.review_id(u0_reviews[0]), ReviewId(0));
+}
+
+TEST_F(CategoryViewTest, EmptyCategory) {
+  DatasetBuilder builder;
+  builder.AddCategory("empty");
+  builder.AddUser("u");
+  Dataset ds = builder.Build().ValueOrDie();
+  DatasetIndices indices(ds);
+  CategoryView view(ds, indices, CategoryId(0));
+  EXPECT_EQ(view.num_reviews(), 0u);
+  EXPECT_EQ(view.num_writers(), 0u);
+  EXPECT_EQ(view.num_raters(), 0u);
+  EXPECT_EQ(view.num_ratings(), 0u);
+}
+
+TEST_F(CategoryViewTest, ReviewWithNoRatings) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId writer = builder.AddUser("w");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ASSERT_TRUE(builder.AddReview(writer, obj).ok());
+  Dataset ds = builder.Build().ValueOrDie();
+  DatasetIndices indices(ds);
+  CategoryView view(ds, indices, CategoryId(0));
+  EXPECT_EQ(view.num_reviews(), 1u);
+  EXPECT_EQ(view.num_raters(), 0u);
+  EXPECT_TRUE(view.RatingsOfReview(0).empty());
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,166 @@
+#include "wot/community/dataset_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace wot {
+namespace {
+
+TEST(DatasetBuilderTest, BuildsTinyCommunity) {
+  Dataset ds = testing::TinyCommunity();
+  EXPECT_EQ(ds.num_users(), 4u);
+  EXPECT_EQ(ds.num_categories(), 2u);
+  EXPECT_EQ(ds.num_objects(), 3u);
+  EXPECT_EQ(ds.num_reviews(), 3u);
+  EXPECT_EQ(ds.num_ratings(), 4u);
+  EXPECT_EQ(ds.num_trust_statements(), 2u);
+}
+
+TEST(DatasetBuilderTest, IdsAreDense) {
+  Dataset ds = testing::TinyCommunity();
+  for (size_t i = 0; i < ds.num_users(); ++i) {
+    EXPECT_EQ(ds.users()[i].id.index(), i);
+  }
+  for (size_t i = 0; i < ds.num_reviews(); ++i) {
+    EXPECT_EQ(ds.reviews()[i].id.index(), i);
+  }
+}
+
+TEST(DatasetBuilderTest, ReviewInheritsObjectCategory) {
+  Dataset ds = testing::TinyCommunity();
+  for (const auto& review : ds.reviews()) {
+    EXPECT_EQ(review.category, ds.object(review.object).category);
+  }
+}
+
+TEST(DatasetBuilderTest, RejectsUnknownReferences) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId user = builder.AddUser("u");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(user, obj).ValueOrDie();
+
+  EXPECT_FALSE(builder.AddObject(CategoryId(99), "bad").ok());
+  EXPECT_FALSE(builder.AddReview(UserId(99), obj).ok());
+  EXPECT_FALSE(builder.AddReview(user, ObjectId(99)).ok());
+  EXPECT_FALSE(builder.AddRating(UserId(99), review, 0.6).ok());
+  EXPECT_FALSE(builder.AddRating(user, ReviewId(99), 0.6).ok());
+  EXPECT_FALSE(builder.AddTrust(UserId(99), user).ok());
+  EXPECT_FALSE(builder.AddTrust(user, UserId(99)).ok());
+  EXPECT_FALSE(builder.AddReview(user, ObjectId()).ok());  // invalid id
+}
+
+TEST(DatasetBuilderTest, EnforcesOneReviewPerObject) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId user = builder.AddUser("u");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ASSERT_TRUE(builder.AddReview(user, obj).ok());
+  Result<ReviewId> dup = builder.AddReview(user, obj);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatasetBuilderTest, SecondReviewOnDifferentObjectIsFine) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId user = builder.AddUser("u");
+  ObjectId o1 = builder.AddObject(cat, "o1").ValueOrDie();
+  ObjectId o2 = builder.AddObject(cat, "o2").ValueOrDie();
+  EXPECT_TRUE(builder.AddReview(user, o1).ok());
+  EXPECT_TRUE(builder.AddReview(user, o2).ok());
+}
+
+TEST(DatasetBuilderTest, RejectsSelfRating) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId user = builder.AddUser("u");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(user, obj).ValueOrDie();
+  Status s = builder.AddRating(user, review, 0.8);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetBuilderTest, RejectsDuplicateRating) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId writer = builder.AddUser("w");
+  UserId rater = builder.AddUser("r");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(writer, obj).ValueOrDie();
+  ASSERT_TRUE(builder.AddRating(rater, review, 0.8).ok());
+  EXPECT_EQ(builder.AddRating(rater, review, 0.6).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatasetBuilderTest, RejectsOffScaleRating) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId writer = builder.AddUser("w");
+  UserId rater = builder.AddUser("r");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(writer, obj).ValueOrDie();
+  EXPECT_FALSE(builder.AddRating(rater, review, 0.5).ok());
+  EXPECT_FALSE(builder.AddRating(rater, review, 0.0).ok());
+  EXPECT_FALSE(builder.AddRating(rater, review, 1.1).ok());
+}
+
+TEST(DatasetBuilderTest, PermissiveOptionsAllowOffScaleAndSelfRating) {
+  DatasetBuilderOptions options;
+  options.enforce_rating_scale = false;
+  options.reject_self_ratings = false;
+  options.reject_duplicate_ratings = false;
+  DatasetBuilder builder(options);
+  CategoryId cat = builder.AddCategory("c");
+  UserId user = builder.AddUser("u");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(user, obj).ValueOrDie();
+  EXPECT_TRUE(builder.AddRating(user, review, 0.55).ok());
+  EXPECT_TRUE(builder.AddRating(user, review, 0.55).ok());
+}
+
+TEST(DatasetBuilderTest, RejectsDegenerateTrust) {
+  DatasetBuilder builder;
+  UserId a = builder.AddUser("a");
+  UserId b = builder.AddUser("b");
+  EXPECT_FALSE(builder.AddTrust(a, a).ok());
+  ASSERT_TRUE(builder.AddTrust(a, b).ok());
+  EXPECT_EQ(builder.AddTrust(a, b).code(), StatusCode::kAlreadyExists);
+  // Reverse direction is a different statement.
+  EXPECT_TRUE(builder.AddTrust(b, a).ok());
+}
+
+TEST(DatasetBuilderTest, BuildResetsBuilder) {
+  DatasetBuilder builder;
+  builder.AddUser("u");
+  Dataset first = builder.Build().ValueOrDie();
+  EXPECT_EQ(first.num_users(), 1u);
+  Dataset second = builder.Build().ValueOrDie();
+  EXPECT_EQ(second.num_users(), 0u);
+}
+
+TEST(DatasetBuilderTest, StagedViewTracksAppends) {
+  DatasetBuilder builder;
+  EXPECT_EQ(builder.StagedView().num_users(), 0u);
+  builder.AddUser("u");
+  EXPECT_EQ(builder.StagedView().num_users(), 1u);
+}
+
+TEST(DatasetTest, FindCategory) {
+  Dataset ds = testing::TinyCommunity();
+  EXPECT_TRUE(ds.FindCategory("movies").ok());
+  EXPECT_EQ(ds.FindCategory("movies").ValueOrDie().index(), 0u);
+  EXPECT_FALSE(ds.FindCategory("cars").ok());
+}
+
+TEST(DatasetTest, SummaryMentionsCounts) {
+  Dataset ds = testing::TinyCommunity();
+  std::string summary = ds.Summary();
+  EXPECT_NE(summary.find("4 users"), std::string::npos);
+  EXPECT_NE(summary.find("3 reviews"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,83 @@
+#include "wot/community/ids.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "wot/community/entities.h"
+
+namespace wot {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  UserId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), UserId::kInvalid);
+}
+
+TEST(StrongIdTest, ExplicitConstructionIsValid) {
+  UserId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(StrongIdTest, Comparisons) {
+  EXPECT_EQ(UserId(3), UserId(3));
+  EXPECT_NE(UserId(3), UserId(4));
+  EXPECT_LT(UserId(3), UserId(4));
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  // Must not compile if mixed: UserId(1) == ReviewId(1). Verified by type
+  // traits instead of a compile-failure test.
+  static_assert(!std::is_same_v<UserId, ReviewId>);
+  static_assert(!std::is_same_v<ObjectId, CategoryId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<UserId> set;
+  set.insert(UserId(1));
+  set.insert(UserId(2));
+  set.insert(UserId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(UserId(2)));
+}
+
+TEST(StrongIdTest, StreamOutput) {
+  std::ostringstream os;
+  os << UserId(12) << " " << UserId();
+  EXPECT_EQ(os.str(), "12 <invalid>");
+}
+
+TEST(RatingScaleTest, QuantizeSnapsToStages) {
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.21), 0.2);
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.31), 0.4);
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.5), 0.6);  // half away from zero
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.55), 0.6);
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(rating_scale::Quantize(5.0), 1.0);
+}
+
+TEST(RatingScaleTest, IsValidStage) {
+  EXPECT_TRUE(rating_scale::IsValidStage(0.2));
+  EXPECT_TRUE(rating_scale::IsValidStage(0.4));
+  EXPECT_TRUE(rating_scale::IsValidStage(0.6));
+  EXPECT_TRUE(rating_scale::IsValidStage(0.8));
+  EXPECT_TRUE(rating_scale::IsValidStage(1.0));
+  EXPECT_FALSE(rating_scale::IsValidStage(0.0));
+  EXPECT_FALSE(rating_scale::IsValidStage(0.5));
+  EXPECT_FALSE(rating_scale::IsValidStage(1.2));
+}
+
+TEST(RatingScaleTest, QuantizeOutputIsAlwaysValid) {
+  for (double v = -0.5; v <= 1.5; v += 0.01) {
+    EXPECT_TRUE(rating_scale::IsValidStage(rating_scale::Quantize(v)))
+        << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,59 @@
+#include "wot/community/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(InternerTest, AssignsDenseHandlesInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, ReinterningReturnsSameHandle) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("x");
+  uint32_t b = interner.Intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, FindWithoutInserting) {
+  StringInterner interner;
+  interner.Intern("present");
+  EXPECT_TRUE(interner.Find("present").has_value());
+  EXPECT_EQ(*interner.Find("present"), 0u);
+  EXPECT_FALSE(interner.Find("absent").has_value());
+  EXPECT_EQ(interner.size(), 1u);  // Find must not insert
+}
+
+TEST(InternerTest, NameOfRoundTrips) {
+  StringInterner interner;
+  uint32_t h = interner.Intern("hello");
+  EXPECT_EQ(interner.NameOf(h), "hello");
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  StringInterner interner;
+  uint32_t h = interner.Intern("");
+  EXPECT_EQ(interner.NameOf(h), "");
+  EXPECT_TRUE(interner.Find("").has_value());
+}
+
+TEST(InternerTest, NamesVectorIsHandleOrdered) {
+  StringInterner interner;
+  interner.Intern("b");
+  interner.Intern("a");
+  EXPECT_EQ(interner.names(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(InternerDeathTest, NameOfOutOfRangeAborts) {
+  StringInterner interner;
+  EXPECT_DEATH(interner.NameOf(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,84 @@
+#include "wot/community/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace wot {
+namespace {
+
+TEST(StatsTest, CountsMatchTinyCommunity) {
+  Dataset ds = testing::TinyCommunity();
+  DatasetIndices indices(ds);
+  DatasetStats stats = ComputeDatasetStats(ds, indices);
+
+  EXPECT_EQ(stats.num_users, 4u);
+  EXPECT_EQ(stats.num_categories, 2u);
+  EXPECT_EQ(stats.num_reviews, 3u);
+  EXPECT_EQ(stats.num_ratings, 4u);
+  EXPECT_EQ(stats.num_trust_statements, 2u);
+  // u0 and u1 write; u2 and u3 rate: all four are active.
+  EXPECT_EQ(stats.num_active_users, 4u);
+}
+
+TEST(StatsTest, PerWriterAndPerRaterMeans) {
+  Dataset ds = testing::TinyCommunity();
+  DatasetIndices indices(ds);
+  DatasetStats stats = ComputeDatasetStats(ds, indices);
+  // Writers: u0 wrote 2, u1 wrote 1 -> mean 1.5.
+  EXPECT_DOUBLE_EQ(stats.reviews_per_writer.mean(), 1.5);
+  EXPECT_EQ(stats.reviews_per_writer.count(), 2);
+  // Raters: u2 rated 3, u3 rated 1 -> mean 2.
+  EXPECT_DOUBLE_EQ(stats.ratings_per_rater.mean(), 2.0);
+  // Ratings per review: r0 has 2, r1 has 1, r2 has 1.
+  EXPECT_NEAR(stats.ratings_per_review.mean(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, TrustOutDegree) {
+  Dataset ds = testing::TinyCommunity();
+  DatasetIndices indices(ds);
+  DatasetStats stats = ComputeDatasetStats(ds, indices);
+  // u2 and u3 each trust one user.
+  EXPECT_EQ(stats.trust_out_degree.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.trust_out_degree.mean(), 1.0);
+}
+
+TEST(StatsTest, PerCategoryBreakdown) {
+  Dataset ds = testing::TinyCommunity();
+  DatasetIndices indices(ds);
+  DatasetStats stats = ComputeDatasetStats(ds, indices);
+  ASSERT_EQ(stats.per_category.size(), 2u);
+  const auto& movies = stats.per_category[0];
+  EXPECT_EQ(movies.name, "movies");
+  EXPECT_EQ(movies.num_reviews, 2u);
+  EXPECT_EQ(movies.num_ratings, 3u);
+  EXPECT_EQ(movies.num_writers, 2u);
+  EXPECT_EQ(movies.num_raters, 2u);
+  const auto& books = stats.per_category[1];
+  EXPECT_EQ(books.num_reviews, 1u);
+  EXPECT_EQ(books.num_ratings, 1u);
+  EXPECT_EQ(books.num_writers, 1u);
+  EXPECT_EQ(books.num_raters, 1u);
+}
+
+TEST(StatsTest, InactiveUsersNotCounted) {
+  DatasetBuilder builder;
+  builder.AddCategory("c");
+  builder.AddUser("ghost");
+  Dataset ds = builder.Build().ValueOrDie();
+  DatasetIndices indices(ds);
+  DatasetStats stats = ComputeDatasetStats(ds, indices);
+  EXPECT_EQ(stats.num_users, 1u);
+  EXPECT_EQ(stats.num_active_users, 0u);
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  Dataset ds = testing::TinyCommunity();
+  DatasetIndices indices(ds);
+  std::string text = ComputeDatasetStats(ds, indices).ToString();
+  EXPECT_NE(text.find("users=4"), std::string::npos);
+  EXPECT_NE(text.find("movies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,99 @@
+#include "wot/core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace wot {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : dataset_(testing::TinyCommunity()), indices_(dataset_) {}
+  Dataset dataset_;
+  DatasetIndices indices_;
+};
+
+TEST_F(BaselineTest, DirectConnectionsHandComputed) {
+  SparseMatrix r = BuildDirectConnectionMatrix(dataset_, indices_);
+  EXPECT_EQ(r.rows(), 4u);
+  EXPECT_EQ(r.cols(), 4u);
+  // u2 rated reviews of u0 (r0, r1) and u1 (r2); u3 rated u0's r0.
+  EXPECT_EQ(r.nnz(), 3u);
+  EXPECT_TRUE(r.Contains(2, 0));
+  EXPECT_TRUE(r.Contains(2, 1));
+  EXPECT_TRUE(r.Contains(3, 0));
+  EXPECT_FALSE(r.Contains(0, 2));  // direction matters
+}
+
+TEST_F(BaselineTest, ExplicitTrustHandComputed) {
+  SparseMatrix t = BuildExplicitTrustMatrix(dataset_);
+  EXPECT_EQ(t.nnz(), 2u);
+  EXPECT_TRUE(t.Contains(2, 0));
+  EXPECT_TRUE(t.Contains(3, 0));
+}
+
+TEST_F(BaselineTest, BaselineAveragesRatings) {
+  SparseMatrix b = ComputeBaselineMatrix(dataset_, indices_);
+  // u2 rated u0's reviews 1.0 and 0.6 -> average 0.8.
+  EXPECT_NEAR(b.At(2, 0), 0.8, 1e-12);
+  // u2 rated u1's single review 0.2.
+  EXPECT_NEAR(b.At(2, 1), 0.2, 1e-12);
+  // u3 rated u0 once: 0.8.
+  EXPECT_NEAR(b.At(3, 0), 0.8, 1e-12);
+}
+
+TEST_F(BaselineTest, BaselinePatternEqualsDirectConnections) {
+  SparseMatrix r = BuildDirectConnectionMatrix(dataset_, indices_);
+  SparseMatrix b = ComputeBaselineMatrix(dataset_, indices_);
+  ASSERT_EQ(b.nnz(), r.nnz());
+  for (size_t i = 0; i < r.rows(); ++i) {
+    auto rc = r.RowCols(i);
+    auto bc = b.RowCols(i);
+    ASSERT_EQ(rc.size(), bc.size());
+    for (size_t k = 0; k < rc.size(); ++k) {
+      EXPECT_EQ(rc[k], bc[k]);
+    }
+  }
+}
+
+TEST_F(BaselineTest, BaselineValuesAreValidRatingsAverages) {
+  SparseMatrix b = ComputeBaselineMatrix(dataset_, indices_);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (double v : b.RowValues(i)) {
+      EXPECT_GE(v, 0.2);  // ratings live in [0.2, 1.0]
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(BaselineSelfTest, SelfLoopsExcludedEvenWithPermissiveBuilder) {
+  // With self-ratings allowed in the builder, the matrices still drop the
+  // diagonal — R, T and B are defined over distinct pairs.
+  DatasetBuilderOptions permissive;
+  permissive.reject_self_ratings = false;
+  DatasetBuilder builder(permissive);
+  CategoryId cat = builder.AddCategory("c");
+  UserId u = builder.AddUser("u");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(u, obj).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(u, review, 0.8));
+  Dataset ds = builder.Build().ValueOrDie();
+  DatasetIndices indices(ds);
+  EXPECT_EQ(BuildDirectConnectionMatrix(ds, indices).nnz(), 0u);
+  EXPECT_EQ(ComputeBaselineMatrix(ds, indices).nnz(), 0u);
+}
+
+TEST(BaselineEmptyTest, NoRatingsMeansEmptyMatrices) {
+  DatasetBuilder builder;
+  builder.AddUser("a");
+  builder.AddUser("b");
+  Dataset ds = builder.Build().ValueOrDie();
+  DatasetIndices indices(ds);
+  EXPECT_EQ(BuildDirectConnectionMatrix(ds, indices).nnz(), 0u);
+  EXPECT_EQ(BuildExplicitTrustMatrix(ds).nnz(), 0u);
+  EXPECT_EQ(ComputeBaselineMatrix(ds, indices).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace wot

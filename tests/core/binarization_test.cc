@@ -1,0 +1,183 @@
+#include "wot/core/binarization.h"
+
+#include <gtest/gtest.h>
+
+#include "wot/linalg/sparse_ops.h"
+
+namespace wot {
+namespace {
+
+SparseMatrix FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return b.Build();
+}
+
+TEST(GenerosityTest, HandComputed) {
+  // R: u0 -> {1, 2, 3}; u1 -> {0}.  T: u0 -> {1}, u1 -> {0}, u2 -> {0}.
+  SparseMatrix direct = FromTriplets(
+      4, {{0, 1, 1.}, {0, 2, 1.}, {0, 3, 1.}, {1, 0, 1.}});
+  SparseMatrix trust =
+      FromTriplets(4, {{0, 1, 1.}, {1, 0, 1.}, {2, 0, 1.}});
+  auto k = ComputeTrustGenerosity(direct, trust);
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_NEAR(k[0], 1.0 / 3.0, 1e-12);  // 1 of 3 connections trusted
+  EXPECT_NEAR(k[1], 1.0, 1e-12);        // 1 of 1
+  EXPECT_NEAR(k[2], 0.0, 1e-12);        // no direct connections
+  EXPECT_NEAR(k[3], 0.0, 1e-12);
+}
+
+TEST(GenerosityTest, AllValuesInUnitInterval) {
+  SparseMatrix direct = FromTriplets(3, {{0, 1, 1.}, {1, 2, 1.}});
+  SparseMatrix trust = FromTriplets(3, {{0, 1, 1.}, {0, 2, 1.}});
+  for (double v : ComputeTrustGenerosity(direct, trust)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(BinarizeSparseTest, PerUserQuantileMarksTopFraction) {
+  // Row 0 has 4 scored connections; fraction 0.5 -> top 2 by value.
+  SparseMatrix scores = FromTriplets(
+      5, {{0, 1, 0.9}, {0, 2, 0.1}, {0, 3, 0.7}, {0, 4, 0.4}});
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kPerUserQuantile;
+  options.per_user_fraction = {0.5, 0, 0, 0, 0};
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 2u);
+  EXPECT_TRUE(out.Contains(0, 1));
+  EXPECT_TRUE(out.Contains(0, 3));
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 1.0);  // binary output
+}
+
+TEST(BinarizeSparseTest, FractionZeroMarksNothing) {
+  SparseMatrix scores = FromTriplets(2, {{0, 1, 0.9}});
+  BinarizationOptions options;
+  options.per_user_fraction = {0.0, 0.0};
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 0u);
+}
+
+TEST(BinarizeSparseTest, FractionOneMarksAllPositive) {
+  SparseMatrix scores = FromTriplets(3, {{0, 1, 0.9}, {0, 2, 0.2}});
+  BinarizationOptions options;
+  options.per_user_fraction = {1.0, 0.0, 0.0};
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 2u);
+}
+
+TEST(BinarizeSparseTest, RoundingOfMarkCount) {
+  // 3 candidates * 0.5 = 1.5 -> round to 2.
+  SparseMatrix scores =
+      FromTriplets(4, {{0, 1, 0.9}, {0, 2, 0.5}, {0, 3, 0.1}});
+  BinarizationOptions options;
+  options.per_user_fraction = {0.5, 0, 0, 0};
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 2u);
+}
+
+TEST(BinarizeSparseTest, DiagonalAndNonPositiveNeverMarked) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 0, 0.9);   // diagonal
+  b.Add(0, 1, 0.0);   // zero score
+  SparseMatrix scores = b.Build();
+  BinarizationOptions options;
+  options.per_user_fraction = {1.0, 1.0};
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 0u);
+}
+
+TEST(BinarizeSparseTest, GlobalThresholdPolicy) {
+  SparseMatrix scores =
+      FromTriplets(3, {{0, 1, 0.9}, {0, 2, 0.3}, {1, 2, 0.5}});
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kGlobalThreshold;
+  options.global_threshold = 0.4;
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 2u);
+  EXPECT_TRUE(out.Contains(0, 1));
+  EXPECT_TRUE(out.Contains(1, 2));
+}
+
+TEST(BinarizeSparseTest, FixedTopKPolicy) {
+  SparseMatrix scores = FromTriplets(
+      4, {{0, 1, 0.9}, {0, 2, 0.8}, {0, 3, 0.7}, {1, 0, 0.5}});
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kFixedTopK;
+  options.top_k = 2;
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.RowNnz(0), 2u);
+  EXPECT_EQ(out.RowNnz(1), 1u);  // fewer candidates than k
+  EXPECT_TRUE(out.Contains(0, 1));
+  EXPECT_TRUE(out.Contains(0, 2));
+}
+
+TEST(BinarizeSparseTest, FixedFractionPolicy) {
+  SparseMatrix scores = FromTriplets(
+      5, {{0, 1, 0.9}, {0, 2, 0.8}, {0, 3, 0.7}, {0, 4, 0.6}});
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kFixedFraction;
+  options.fixed_fraction = 0.25;
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  EXPECT_EQ(out.nnz(), 1u);
+  EXPECT_TRUE(out.Contains(0, 1));
+}
+
+TEST(BinarizeSparseTest, TieBreakByUserIdIsDeterministic) {
+  SparseMatrix scores =
+      FromTriplets(4, {{0, 3, 0.5}, {0, 1, 0.5}, {0, 2, 0.5}});
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kFixedTopK;
+  options.top_k = 2;
+  SparseMatrix out = BinarizeSparseScores(scores, options).ValueOrDie();
+  // Equal scores: the two lowest user ids win.
+  EXPECT_TRUE(out.Contains(0, 1));
+  EXPECT_TRUE(out.Contains(0, 2));
+  EXPECT_FALSE(out.Contains(0, 3));
+}
+
+TEST(BinarizeSparseTest, ErrorsOnBadInputs) {
+  SparseMatrix scores = FromTriplets(2, {{0, 1, 0.5}});
+  BinarizationOptions too_short;
+  too_short.per_user_fraction = {0.5};  // 1 < 2 rows
+  EXPECT_FALSE(BinarizeSparseScores(scores, too_short).ok());
+
+  BinarizationOptions out_of_range;
+  out_of_range.per_user_fraction = {1.5, 0.0};
+  EXPECT_FALSE(BinarizeSparseScores(scores, out_of_range).ok());
+
+  BinarizationOptions bad_fraction;
+  bad_fraction.policy = BinarizationPolicy::kFixedFraction;
+  bad_fraction.fixed_fraction = -0.1;
+  EXPECT_FALSE(BinarizeSparseScores(scores, bad_fraction).ok());
+}
+
+TEST(BinarizeDerivedTest, MatchesDenseBinarization) {
+  // Streaming the deriver must equal binarizing the dense derivation.
+  DenseMatrix affiliation =
+      DenseMatrix::FromRows({{1.0, 0.0}, {0.5, 0.5}, {0.2, 0.8}});
+  DenseMatrix expertise =
+      DenseMatrix::FromRows({{0.3, 0.0}, {0.8, 0.2}, {0.1, 0.9}});
+  TrustDeriver deriver(affiliation, expertise);
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kFixedTopK;
+  options.top_k = 1;
+  SparseMatrix streaming =
+      BinarizeDerivedTrust(deriver, options).ValueOrDie();
+
+  // Dense route: materialize, zero the diagonal, binarize per row.
+  DenseMatrix dense = deriver.DeriveAll();
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    dense.At(i, i) = 0.0;
+  }
+  SparseMatrix dense_scores = FromDense(dense, 0.0);
+  SparseMatrix via_dense =
+      BinarizeSparseScores(dense_scores, options).ValueOrDie();
+  EXPECT_TRUE(streaming == via_dense);
+}
+
+}  // namespace
+}  // namespace wot

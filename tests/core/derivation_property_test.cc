@@ -1,0 +1,158 @@
+// Property tests of eq. 5 and the binarization policies over random
+// affiliation/expertise matrices.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "wot/core/binarization.h"
+#include "wot/core/trust_derivation.h"
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+struct Matrices {
+  DenseMatrix affiliation;
+  DenseMatrix expertise;
+};
+
+Matrices RandomMatrices(uint64_t seed, size_t users, size_t cats) {
+  Rng rng(seed);
+  Matrices m{DenseMatrix(users, cats), DenseMatrix(users, cats)};
+  for (size_t u = 0; u < users; ++u) {
+    for (size_t c = 0; c < cats; ++c) {
+      m.affiliation.At(u, c) = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+      m.expertise.At(u, c) = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+    }
+  }
+  return m;
+}
+
+class DerivationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DerivationPropertyTest, ScoresAreConvexCombinationsOfExpertise) {
+  Matrices m = RandomMatrices(GetParam(), 30, 4);
+  TrustDeriver deriver(m.affiliation, m.expertise);
+  DenseMatrix all = deriver.DeriveAll();
+  // Every score lies within [min_c E[j][c], max_c E[j][c]] of the target
+  // user's expertise values over the source's active categories — in
+  // particular within [0, 1].
+  EXPECT_TRUE(all.AllInRange(0.0, 1.0));
+  for (size_t j = 0; j < m.expertise.rows(); ++j) {
+    double emax = 0.0;
+    for (size_t c = 0; c < m.expertise.cols(); ++c) {
+      emax = std::max(emax, m.expertise.At(j, c));
+    }
+    for (size_t i = 0; i < all.rows(); ++i) {
+      EXPECT_LE(all.At(i, j), emax + 1e-12);
+    }
+  }
+}
+
+TEST_P(DerivationPropertyTest, ScaleInvarianceOfAffiliationRows) {
+  // Eq. 5 normalizes by the row sum, so scaling a user's whole affiliation
+  // row must not change any of their derived scores.
+  Matrices m = RandomMatrices(GetParam(), 20, 4);
+  TrustDeriver before(m.affiliation, m.expertise);
+  DenseMatrix original = before.DeriveAll();
+
+  DenseMatrix scaled = m.affiliation;
+  for (size_t c = 0; c < scaled.cols(); ++c) {
+    scaled.At(3, c) *= 7.5;
+  }
+  TrustDeriver after(scaled, m.expertise);
+  DenseMatrix rescaled = after.DeriveAll();
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(original, rescaled), 1e-12);
+}
+
+TEST_P(DerivationPropertyTest, MonotoneInTargetExpertise) {
+  // Raising one expertise entry can only raise (or keep) every derived
+  // score toward that user.
+  Matrices m = RandomMatrices(GetParam(), 20, 4);
+  TrustDeriver before(m.affiliation, m.expertise);
+  DenseMatrix original = before.DeriveAll();
+
+  DenseMatrix boosted = m.expertise;
+  boosted.At(5, 2) = std::min(1.0, boosted.At(5, 2) + 0.3);
+  TrustDeriver after(m.affiliation, boosted);
+  DenseMatrix raised = after.DeriveAll();
+  for (size_t i = 0; i < original.rows(); ++i) {
+    EXPECT_GE(raised.At(i, 5), original.At(i, 5) - 1e-12);
+    // Other targets are untouched.
+    EXPECT_NEAR(raised.At(i, 7 % original.rows()),
+                original.At(i, 7 % original.rows()), 1e-12);
+  }
+}
+
+TEST_P(DerivationPropertyTest, PairsSubsetAgreesWithDense) {
+  Matrices m = RandomMatrices(GetParam(), 25, 3);
+  TrustDeriver deriver(m.affiliation, m.expertise);
+  DenseMatrix dense = deriver.DeriveAll();
+
+  Rng rng(GetParam() ^ 0xABCD);
+  SparseMatrixBuilder builder(25, 25, DuplicatePolicy::kLast);
+  for (int k = 0; k < 60; ++k) {
+    builder.Add(rng.NextBounded(25), rng.NextBounded(25), 1.0);
+  }
+  SparseMatrix pairs = builder.Build();
+  SparseMatrix derived = deriver.DeriveForPairs(pairs);
+  ForEachEntry(derived, [&](size_t i, uint32_t j, double v) {
+    EXPECT_NEAR(v, dense.At(i, j), 1e-12);
+  });
+}
+
+TEST_P(DerivationPropertyTest, BinarizedRowCountsMatchPolicy) {
+  Matrices m = RandomMatrices(GetParam(), 25, 4);
+  TrustDeriver deriver(m.affiliation, m.expertise);
+
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kPerUserQuantile;
+  Rng rng(GetParam() * 31);
+  options.per_user_fraction.resize(25);
+  for (auto& f : options.per_user_fraction) {
+    f = rng.NextDouble();
+  }
+  SparseMatrix binary = BinarizeDerivedTrust(deriver, options).ValueOrDie();
+  for (size_t i = 0; i < 25; ++i) {
+    size_t derived_connections = deriver.CountDerivedConnections(i);
+    size_t expected = static_cast<size_t>(std::lround(
+        options.per_user_fraction[i] *
+        static_cast<double>(derived_connections)));
+    EXPECT_EQ(binary.RowNnz(i), expected) << "row " << i;
+  }
+}
+
+TEST_P(DerivationPropertyTest, QuantileKeepsHighestScores) {
+  // Every marked connection must score at least as high as every unmarked
+  // one within the same row.
+  Matrices m = RandomMatrices(GetParam(), 20, 3);
+  TrustDeriver deriver(m.affiliation, m.expertise);
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kFixedFraction;
+  options.fixed_fraction = 0.3;
+  SparseMatrix binary = BinarizeDerivedTrust(deriver, options).ValueOrDie();
+  std::vector<double> row(20);
+  for (size_t i = 0; i < 20; ++i) {
+    deriver.DeriveRow(i, row);
+    double min_marked = 2.0;
+    for (uint32_t j : binary.RowCols(i)) {
+      min_marked = std::min(min_marked, row[j]);
+    }
+    if (min_marked > 1.0) {
+      continue;  // nothing marked in this row
+    }
+    for (size_t j = 0; j < 20; ++j) {
+      if (j != i && row[j] > 0.0 && !binary.Contains(i, j)) {
+        EXPECT_LE(row[j], min_marked + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerivationPropertyTest,
+                         ::testing::Values(7, 11, 19, 23, 42, 101, 202,
+                                           303));
+
+}  // namespace
+}  // namespace wot

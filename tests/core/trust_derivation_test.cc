@@ -1,0 +1,164 @@
+#include "wot/core/trust_derivation.h"
+
+#include <gtest/gtest.h>
+
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+// Three users, two categories.
+//   A (affiliation):        E (expertise):
+//   u0: [1.0, 0.0]          u0: [0.0, 0.0]
+//   u1: [0.5, 0.5]          u1: [0.8, 0.2]
+//   u2: [0.0, 0.0]          u2: [0.1, 0.9]
+class TrustDeriverTest : public ::testing::Test {
+ protected:
+  TrustDeriverTest()
+      : affiliation_(DenseMatrix::FromRows(
+            {{1.0, 0.0}, {0.5, 0.5}, {0.0, 0.0}})),
+        expertise_(DenseMatrix::FromRows(
+            {{0.0, 0.0}, {0.8, 0.2}, {0.1, 0.9}})),
+        deriver_(affiliation_, expertise_) {}
+  DenseMatrix affiliation_;
+  DenseMatrix expertise_;
+  TrustDeriver deriver_;
+};
+
+TEST_F(TrustDeriverTest, DeriveOneMatchesEquation5) {
+  // T[0][1] = (1.0 * 0.8 + 0.0 * 0.2) / 1.0 = 0.8.
+  EXPECT_NEAR(deriver_.DeriveOne(0, 1), 0.8, 1e-12);
+  // T[0][2] = 0.1.
+  EXPECT_NEAR(deriver_.DeriveOne(0, 2), 0.1, 1e-12);
+  // T[1][2] = (0.5*0.1 + 0.5*0.9) / 1.0 = 0.5.
+  EXPECT_NEAR(deriver_.DeriveOne(1, 2), 0.5, 1e-12);
+  // T[1][1] (self) = (0.5*0.8 + 0.5*0.2) = 0.5 — defined but up to the
+  // caller to exclude.
+  EXPECT_NEAR(deriver_.DeriveOne(1, 1), 0.5, 1e-12);
+}
+
+TEST_F(TrustDeriverTest, ZeroAffinityUserTrustsNobody) {
+  EXPECT_DOUBLE_EQ(deriver_.DeriveOne(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(deriver_.DeriveOne(2, 1), 0.0);
+  std::vector<double> row(3);
+  deriver_.DeriveRow(2, row);
+  EXPECT_EQ(row, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST_F(TrustDeriverTest, TrustingAnExpertlessUserIsZero) {
+  EXPECT_DOUBLE_EQ(deriver_.DeriveOne(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(deriver_.DeriveOne(1, 0), 0.0);
+}
+
+TEST_F(TrustDeriverTest, DeriveRowMatchesDeriveOne) {
+  std::vector<double> row(3);
+  for (size_t i = 0; i < 3; ++i) {
+    deriver_.DeriveRow(i, row);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(row[j], deriver_.DeriveOne(i, j), 1e-12)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_F(TrustDeriverTest, DeriveAllMatchesDeriveOne) {
+  DenseMatrix all = deriver_.DeriveAll();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(all.At(i, j), deriver_.DeriveOne(i, j), 1e-12);
+    }
+  }
+}
+
+TEST_F(TrustDeriverTest, ValuesBoundedByUnitInterval) {
+  // Eq. 5 is a convex combination of expertise values in [0, 1].
+  DenseMatrix all = deriver_.DeriveAll();
+  EXPECT_TRUE(all.AllInRange(0.0, 1.0));
+}
+
+TEST_F(TrustDeriverTest, DeriveForPairsEvaluatesOnlyPattern) {
+  SparseMatrixBuilder b(3, 3);
+  b.Add(0, 1, 1.0);
+  b.Add(1, 2, 1.0);
+  SparseMatrix pairs = b.Build();
+  SparseMatrix derived = deriver_.DeriveForPairs(pairs);
+  EXPECT_EQ(derived.nnz(), 2u);
+  EXPECT_NEAR(derived.At(0, 1), 0.8, 1e-12);
+  EXPECT_NEAR(derived.At(1, 2), 0.5, 1e-12);
+  EXPECT_FALSE(derived.Contains(0, 2));
+}
+
+TEST_F(TrustDeriverTest, CountDerivedConnections) {
+  // Row 0: positive scores at u1 (0.8) and u2 (0.1) -> 2.
+  EXPECT_EQ(deriver_.CountDerivedConnections(0), 2u);
+  // Row 2 has no affinity.
+  EXPECT_EQ(deriver_.CountDerivedConnections(2), 0u);
+}
+
+TEST_F(TrustDeriverTest, TopKWithoutPostingsScans) {
+  auto top = deriver_.DeriveRowTopK(0, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].user, 1u);
+  EXPECT_NEAR(top[0].score, 0.8, 1e-12);
+}
+
+TEST_F(TrustDeriverTest, TopKExcludesSelfAndZeroScores) {
+  auto top = deriver_.DeriveRowTopK(0, 10);
+  // u0 itself (score 0) and nothing with score 0 may appear.
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].user, 1u);
+  EXPECT_EQ(top[1].user, 2u);
+}
+
+TEST_F(TrustDeriverTest, ThresholdAlgorithmMatchesScan) {
+  TrustDeriver with_postings(affiliation_, expertise_);
+  with_postings.BuildPostings();
+  ASSERT_TRUE(with_postings.has_postings());
+  for (size_t i = 0; i < 3; ++i) {
+    auto scan = deriver_.DeriveRowTopK(i, 2);
+    auto ta = with_postings.DeriveRowTopK(i, 2);
+    ASSERT_EQ(scan.size(), ta.size()) << "row " << i;
+    for (size_t k = 0; k < scan.size(); ++k) {
+      EXPECT_EQ(scan[k].user, ta[k].user);
+      EXPECT_NEAR(scan[k].score, ta[k].score, 1e-12);
+    }
+  }
+}
+
+TEST(TrustDeriverRandomTest, ThresholdAlgorithmMatchesScanOnRandomData) {
+  Rng rng(99);
+  const size_t users = 60;
+  const size_t cats = 5;
+  DenseMatrix affiliation(users, cats);
+  DenseMatrix expertise(users, cats);
+  for (size_t u = 0; u < users; ++u) {
+    for (size_t c = 0; c < cats; ++c) {
+      affiliation.At(u, c) = rng.NextBool(0.4) ? rng.NextDouble() : 0.0;
+      expertise.At(u, c) = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+    }
+  }
+  TrustDeriver scan(affiliation, expertise);
+  TrustDeriver ta(affiliation, expertise);
+  ta.BuildPostings();
+  for (size_t i = 0; i < users; i += 7) {
+    for (size_t k : {1u, 3u, 10u, 100u}) {
+      auto s = scan.DeriveRowTopK(i, k);
+      auto t = ta.DeriveRowTopK(i, k);
+      ASSERT_EQ(s.size(), t.size()) << "i=" << i << " k=" << k;
+      for (size_t idx = 0; idx < s.size(); ++idx) {
+        EXPECT_EQ(s[idx].user, t[idx].user) << "i=" << i << " k=" << k;
+        EXPECT_NEAR(s[idx].score, t[idx].score, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TrustDeriverEdgeTest, KZeroReturnsEmpty) {
+  DenseMatrix a = DenseMatrix::FromRows({{1.0}});
+  DenseMatrix e = DenseMatrix::FromRows({{0.5}});
+  TrustDeriver deriver(a, e);
+  EXPECT_TRUE(deriver.DeriveRowTopK(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace wot

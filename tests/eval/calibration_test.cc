@@ -1,0 +1,103 @@
+#include "wot/eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+TEST(CalibrationTest, DefaultIsIdentity) {
+  LinearCalibration identity;
+  EXPECT_DOUBLE_EQ(identity.Apply(0.37), 0.37);
+  EXPECT_DOUBLE_EQ(identity.slope(), 1.0);
+  EXPECT_DOUBLE_EQ(identity.intercept(), 0.0);
+}
+
+TEST(CalibrationTest, ExactLineIsRecovered) {
+  CalibrationFitter fitter;
+  for (double x : {0.1, 0.4, 0.7, 0.9}) {
+    fitter.Add(x, 2.0 * x + 0.3);
+  }
+  LinearCalibration fit = fitter.Fit().ValueOrDie();
+  EXPECT_NEAR(fit.slope(), 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept(), 0.3, 1e-12);
+  EXPECT_NEAR(fit.Apply(0.5), 1.3, 1e-12);
+}
+
+TEST(CalibrationTest, NoisyLineIsRecoveredApproximately) {
+  Rng rng(5);
+  CalibrationFitter fitter;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.NextDouble();
+    double y = 0.7 * x + 0.2 + rng.NextGaussian(0.0, 0.05);
+    fitter.Add(x, y);
+  }
+  LinearCalibration fit = fitter.Fit().ValueOrDie();
+  EXPECT_NEAR(fit.slope(), 0.7, 0.02);
+  EXPECT_NEAR(fit.intercept(), 0.2, 0.01);
+}
+
+TEST(CalibrationTest, TooFewObservationsRejected) {
+  CalibrationFitter fitter;
+  EXPECT_FALSE(fitter.Fit().ok());
+  fitter.Add(0.5, 0.6);
+  EXPECT_FALSE(fitter.Fit().ok());
+  fitter.Add(0.7, 0.8);
+  EXPECT_TRUE(fitter.Fit().ok());
+}
+
+TEST(CalibrationTest, DegenerateXRejected) {
+  CalibrationFitter fitter;
+  fitter.Add(0.5, 0.1);
+  fitter.Add(0.5, 0.9);  // same x, different y: slope undefined
+  Result<LinearCalibration> fit = fitter.Fit();
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CalibrationTest, ApplyClamped) {
+  LinearCalibration fit(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(fit.ApplyClamped(0.9, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit.ApplyClamped(-0.1, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fit.ApplyClamped(0.3, 0.0, 1.0), 0.6);
+}
+
+TEST(CalibrationTest, ToStringShowsCoefficients) {
+  LinearCalibration fit(0.72, 0.366);
+  std::string text = fit.ToString();
+  EXPECT_NE(text.find("0.72"), std::string::npos);
+  EXPECT_NE(text.find("0.366"), std::string::npos);
+}
+
+TEST(CalibrationTest, FitMinimizesSquaredError) {
+  // The least-squares property: perturbing the fitted coefficients never
+  // lowers the squared error.
+  Rng rng(11);
+  std::vector<std::pair<double, double>> data;
+  CalibrationFitter fitter;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.NextDouble();
+    double y = 0.4 * x + rng.NextDouble() * 0.3;
+    data.emplace_back(x, y);
+    fitter.Add(x, y);
+  }
+  LinearCalibration fit = fitter.Fit().ValueOrDie();
+  auto sse = [&](double a, double b) {
+    double acc = 0.0;
+    for (const auto& [x, y] : data) {
+      double e = a * x + b - y;
+      acc += e * e;
+    }
+    return acc;
+  };
+  double best = sse(fit.slope(), fit.intercept());
+  for (double da : {-0.01, 0.01}) {
+    for (double db : {-0.01, 0.01}) {
+      EXPECT_GE(sse(fit.slope() + da, fit.intercept() + db), best);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wot

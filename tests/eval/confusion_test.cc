@@ -1,0 +1,97 @@
+#include "wot/eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+SparseMatrix FromPairs(size_t n,
+                       const std::vector<std::pair<size_t, size_t>>& ps) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c] : ps) {
+    b.Add(r, c, 1.0);
+  }
+  return b.Build();
+}
+
+TEST(ConfusionTest, HandComputedCounts) {
+  // R: (0,1) (0,2) (1,0) (2,0); T: (0,1) (1,0) (3,0);
+  // P: (0,1) (0,2) (3,0).
+  SparseMatrix direct = FromPairs(4, {{0, 1}, {0, 2}, {1, 0}, {2, 0}});
+  SparseMatrix trust = FromPairs(4, {{0, 1}, {1, 0}, {3, 0}});
+  SparseMatrix prediction = FromPairs(4, {{0, 1}, {0, 2}, {3, 0}});
+  TrustConfusion c = EvaluateTrustPrediction(prediction, direct, trust);
+
+  EXPECT_EQ(c.trust_in_r, 2u);            // (0,1), (1,0)
+  EXPECT_EQ(c.hit, 1u);                   // (0,1)
+  EXPECT_EQ(c.predicted_trust_in_r, 2u);  // (0,1), (0,2); (3,0) not in R
+  EXPECT_EQ(c.nontrust_in_r, 2u);         // (0,2), (2,0)
+  EXPECT_EQ(c.false_trust, 1u);           // (0,2)
+
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.PrecisionInR(), 0.5);
+  EXPECT_DOUBLE_EQ(c.FalseTrustRate(), 0.5);
+}
+
+TEST(ConfusionTest, PerfectPrediction) {
+  SparseMatrix direct = FromPairs(3, {{0, 1}, {1, 2}, {2, 0}});
+  SparseMatrix trust = FromPairs(3, {{0, 1}, {1, 2}});
+  TrustConfusion c = EvaluateTrustPrediction(trust, direct, trust);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.PrecisionInR(), 1.0);
+  EXPECT_DOUBLE_EQ(c.FalseTrustRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+}
+
+TEST(ConfusionTest, EmptyPredictionHasZeroRecall) {
+  SparseMatrix direct = FromPairs(3, {{0, 1}, {1, 2}});
+  SparseMatrix trust = FromPairs(3, {{0, 1}});
+  SparseMatrix empty = FromPairs(3, {});
+  TrustConfusion c = EvaluateTrustPrediction(empty, direct, trust);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.PrecisionInR(), 0.0);
+  EXPECT_DOUBLE_EQ(c.FalseTrustRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(ConfusionTest, PredictionsOutsideRIgnored) {
+  SparseMatrix direct = FromPairs(4, {{0, 1}});
+  SparseMatrix trust = FromPairs(4, {{0, 1}, {2, 3}});
+  // Prediction hits (2,3) which is trust outside R: ignored everywhere.
+  SparseMatrix prediction = FromPairs(4, {{2, 3}});
+  TrustConfusion c = EvaluateTrustPrediction(prediction, direct, trust);
+  EXPECT_EQ(c.trust_in_r, 1u);
+  EXPECT_EQ(c.hit, 0u);
+  EXPECT_EQ(c.predicted_trust_in_r, 0u);
+}
+
+TEST(ConfusionTest, DegenerateDenominatorsYieldZeroNotNan) {
+  SparseMatrix empty = FromPairs(2, {});
+  TrustConfusion c = EvaluateTrustPrediction(empty, empty, empty);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.PrecisionInR(), 0.0);
+  EXPECT_DOUBLE_EQ(c.FalseTrustRate(), 0.0);
+}
+
+TEST(ConfusionTest, CountIdentities) {
+  SparseMatrix direct =
+      FromPairs(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 0}});
+  SparseMatrix trust = FromPairs(5, {{0, 1}, {1, 3}, {4, 0}});
+  SparseMatrix prediction = FromPairs(5, {{0, 1}, {0, 2}, {1, 3}, {3, 0}});
+  TrustConfusion c = EvaluateTrustPrediction(prediction, direct, trust);
+  // |R| = |R&T| + |R-T|.
+  EXPECT_EQ(direct.nnz(), c.trust_in_r + c.nontrust_in_r);
+  // Predicted in R = hits + false trusts.
+  EXPECT_EQ(c.predicted_trust_in_r, c.hit + c.false_trust);
+}
+
+TEST(ConfusionTest, ToStringContainsMetrics) {
+  SparseMatrix direct = FromPairs(2, {{0, 1}});
+  SparseMatrix trust = FromPairs(2, {{0, 1}});
+  TrustConfusion c = EvaluateTrustPrediction(trust, direct, trust);
+  std::string text = c.ToString();
+  EXPECT_NE(text.find("recall=1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,85 @@
+#include "wot/eval/density.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(DensityTest, HandComputedReport) {
+  // 3 users, 2 categories.
+  DenseMatrix affiliation =
+      DenseMatrix::FromRows({{1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}});
+  DenseMatrix expertise =
+      DenseMatrix::FromRows({{0.5, 0.0}, {0.0, 0.7}, {0.2, 0.0}});
+  TrustDeriver deriver(affiliation, expertise);
+  // Derived connections: u0 row: u1 -> 0? (E[1][0]=0), u2 -> 0.2 : 1 entry.
+  // u1 row: u0 (cat1: 0) -> 0, u2 (cat1: 0) -> 0 : 0 entries.
+  // u2 row: no affinity: 0.
+  SparseMatrixBuilder rb(3, 3);
+  rb.Add(0, 2, 1.0);
+  rb.Add(1, 0, 1.0);
+  SparseMatrix direct = rb.Build();
+  SparseMatrixBuilder tb(3, 3);
+  tb.Add(0, 2, 1.0);
+  tb.Add(2, 0, 1.0);
+  SparseMatrix trust = tb.Build();
+
+  DensityReport report = ComputeDensityReport(deriver, direct, trust);
+  EXPECT_EQ(report.num_users, 3u);
+  EXPECT_EQ(report.derived_connections, 1u);
+  EXPECT_EQ(report.direct_connections, 2u);
+  EXPECT_EQ(report.trust_connections, 2u);
+  EXPECT_EQ(report.trust_and_direct, 1u);   // (0,2)
+  EXPECT_EQ(report.trust_minus_direct, 1u); // (2,0)
+  EXPECT_NEAR(report.DerivedDensity(), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(report.DirectDensity(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(DensityTest, DerivedExcludesDiagonal) {
+  // A user with affinity for a category they are expert in would derive
+  // self-trust; the count must exclude it.
+  DenseMatrix both = DenseMatrix::FromRows({{1.0}});
+  TrustDeriver deriver(both, both);
+  SparseMatrix empty;
+  {
+    SparseMatrixBuilder b(1, 1);
+    empty = b.Build();
+  }
+  DensityReport report = ComputeDensityReport(deriver, empty, empty);
+  EXPECT_EQ(report.derived_connections, 0u);
+}
+
+TEST(DensityTest, ToStringShowsAllSections) {
+  DenseMatrix a = DenseMatrix::FromRows({{1.0}, {1.0}});
+  DenseMatrix e = DenseMatrix::FromRows({{0.5}, {0.6}});
+  TrustDeriver deriver(a, e);
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 1, 1.0);
+  SparseMatrix direct = b.Build();
+  DensityReport report = ComputeDensityReport(deriver, direct, direct);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("derived"), std::string::npos);
+  EXPECT_NE(text.find("T & R"), std::string::npos);
+  EXPECT_NE(text.find("T - R"), std::string::npos);
+}
+
+TEST(DensityTest, InvariantTrustSplitsIntoOverlapAndOutside) {
+  DenseMatrix a = DenseMatrix::FromRows({{1.0}, {1.0}, {1.0}});
+  DenseMatrix e = DenseMatrix::FromRows({{0.1}, {0.2}, {0.3}});
+  TrustDeriver deriver(a, e);
+  SparseMatrixBuilder rb(3, 3);
+  rb.Add(0, 1, 1.0);
+  rb.Add(1, 2, 1.0);
+  SparseMatrix direct = rb.Build();
+  SparseMatrixBuilder tb(3, 3);
+  tb.Add(0, 1, 1.0);
+  tb.Add(2, 0, 1.0);
+  tb.Add(1, 2, 1.0);
+  SparseMatrix trust = tb.Build();
+  DensityReport report = ComputeDensityReport(deriver, direct, trust);
+  EXPECT_EQ(report.trust_connections,
+            report.trust_and_direct + report.trust_minus_direct);
+}
+
+}  // namespace
+}  // namespace wot

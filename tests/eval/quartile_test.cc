@@ -1,0 +1,104 @@
+#include "wot/eval/quartile.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+std::vector<ScoredMember> Population(const std::vector<double>& scores) {
+  std::vector<ScoredMember> out;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out.push_back({UserId(static_cast<uint32_t>(i)), scores[i]});
+  }
+  return out;
+}
+
+TEST(QuartileTest, PlacesDesignatedInCorrectQuartiles) {
+  // 8 members, scores descending by id: user 0 is best.
+  auto population =
+      Population({0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2});
+  QuartileReport report = AnalyzeQuartiles(
+      population, {UserId(0), UserId(3), UserId(7)});
+  EXPECT_EQ(report.population, 8u);
+  EXPECT_EQ(report.designated, 3u);
+  EXPECT_EQ(report.counts[0], 1u);  // user 0: rank 0 -> Q1
+  EXPECT_EQ(report.counts[1], 1u);  // user 3: rank 3 -> Q2
+  EXPECT_EQ(report.counts[3], 1u);  // user 7: rank 7 -> Q4
+  EXPECT_EQ(report.counts[2], 0u);
+}
+
+TEST(QuartileTest, TopShare) {
+  auto population = Population({0.9, 0.8, 0.7, 0.6});
+  QuartileReport report =
+      AnalyzeQuartiles(population, {UserId(0), UserId(3)});
+  EXPECT_DOUBLE_EQ(report.TopQuartileShare(), 0.5);
+}
+
+TEST(QuartileTest, AbsentDesignatedIgnored) {
+  // Mirrors the paper's "remove Advisors who never rate in a sub
+  // category".
+  auto population = Population({0.9, 0.8});
+  QuartileReport report =
+      AnalyzeQuartiles(population, {UserId(0), UserId(77)});
+  EXPECT_EQ(report.designated, 1u);
+  EXPECT_EQ(report.counts[0], 1u);
+}
+
+TEST(QuartileTest, EmptyPopulation) {
+  QuartileReport report = AnalyzeQuartiles({}, {UserId(0)});
+  EXPECT_EQ(report.population, 0u);
+  EXPECT_EQ(report.designated, 0u);
+  EXPECT_DOUBLE_EQ(report.TopQuartileShare(), 0.0);
+}
+
+TEST(QuartileTest, RanksByScoreNotById) {
+  // User 2 has the best score despite the highest id.
+  auto population = Population({0.1, 0.2, 0.9});
+  QuartileReport report = AnalyzeQuartiles(population, {UserId(2)});
+  EXPECT_EQ(report.counts[0], 1u);
+}
+
+TEST(QuartileTest, TieBreakByAscendingId) {
+  // Four members all tied: ranking is by id; user 0 lands in Q1,
+  // user 3 in Q4, deterministically.
+  auto population = Population({0.5, 0.5, 0.5, 0.5});
+  QuartileReport r0 = AnalyzeQuartiles(population, {UserId(0)});
+  EXPECT_EQ(r0.counts[0], 1u);
+  QuartileReport r3 = AnalyzeQuartiles(population, {UserId(3)});
+  EXPECT_EQ(r3.counts[3], 1u);
+}
+
+TEST(QuartileTest, SmallPopulationsClampQuartiles) {
+  // Populations smaller than 4 still produce valid quartile indices.
+  auto population = Population({0.9, 0.1});
+  QuartileReport report =
+      AnalyzeQuartiles(population, {UserId(0), UserId(1)});
+  EXPECT_EQ(report.counts[0], 1u);  // rank 0 of 2 -> Q1
+  EXPECT_EQ(report.counts[2], 1u);  // rank 1 of 2 -> floor(4*1/2)=Q3
+}
+
+TEST(QuartileTest, NonMultipleOfFourPopulation) {
+  // 5 members: ranks 0..4 -> quartiles floor(4r/5) = 0,0,1,2,3.
+  auto population = Population({0.9, 0.8, 0.7, 0.6, 0.5});
+  QuartileReport report = AnalyzeQuartiles(
+      population,
+      {UserId(0), UserId(1), UserId(2), UserId(3), UserId(4)});
+  EXPECT_EQ(report.counts[0], 2u);
+  EXPECT_EQ(report.counts[1], 1u);
+  EXPECT_EQ(report.counts[2], 1u);
+  EXPECT_EQ(report.counts[3], 1u);
+}
+
+TEST(QuartileTest, CountsSumToDesignatedPresent) {
+  auto population = Population({0.4, 0.3, 0.2, 0.1});
+  QuartileReport report = AnalyzeQuartiles(
+      population, {UserId(0), UserId(2), UserId(3), UserId(9)});
+  size_t total =
+      report.counts[0] + report.counts[1] + report.counts[2] +
+      report.counts[3];
+  EXPECT_EQ(total, report.designated);
+  EXPECT_EQ(report.designated, 3u);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,72 @@
+#include "wot/eval/rank_correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(FractionalRanksTest, DistinctValues) {
+  auto ranks = FractionalRanks({0.3, 0.1, 0.2});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  auto ranks = FractionalRanks({0.5, 0.5, 0.1});
+  // 0.1 -> rank 1; the two 0.5s share ranks 2 and 3 -> 2.5 each.
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  // Any monotone transform preserves rho = 1.
+  EXPECT_DOUBLE_EQ(SpearmanRho({1, 2, 3, 4}, {1, 4, 9, 16}), 1.0);
+}
+
+TEST(SpearmanTest, PerfectInverse) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(SpearmanTest, KnownPartialCorrelation) {
+  // Swapping one adjacent pair of 4: rho = 1 - 6*2/(4*15) = 0.8.
+  EXPECT_NEAR(SpearmanRho({1, 2, 3, 4}, {1, 3, 2, 4}), 0.8, 1e-12);
+}
+
+TEST(SpearmanTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho({1, 1, 1}, {1, 2, 3}), 0.0);  // no variance
+}
+
+TEST(KendallTest, PerfectAgreementAndDisagreement) {
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 2, 3}, {4, 5, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 2, 3}, {6, 5, 4}), -1.0);
+}
+
+TEST(KendallTest, KnownValue) {
+  // One discordant pair of 6: tau = (5 - 1) / 6.
+  EXPECT_NEAR(KendallTauB({1, 2, 3, 4}, {1, 2, 4, 3}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTest, TiesReduceMagnitudeButStaySigned) {
+  double tau = KendallTauB({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(KendallTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(KendallTauB({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({1}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({2, 2, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(CorrelationTest, AgreeOnSign) {
+  std::vector<double> a = {0.1, 0.9, 0.3, 0.7, 0.5};
+  std::vector<double> b = {0.2, 0.8, 0.4, 0.9, 0.3};
+  EXPECT_GT(SpearmanRho(a, b), 0.0);
+  EXPECT_GT(KendallTauB(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace wot

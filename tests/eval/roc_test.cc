@@ -1,0 +1,132 @@
+#include "wot/eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+TEST(RocTest, PerfectSeparationGivesAucOne) {
+  std::vector<ScoredPair> pairs = {
+      {0.9, true}, {0.8, true}, {0.3, false}, {0.2, false}};
+  RocReport report = ComputeRoc(pairs).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.auc, 1.0);
+  EXPECT_EQ(report.positives, 2u);
+  EXPECT_EQ(report.negatives, 2u);
+}
+
+TEST(RocTest, InvertedSeparationGivesAucZero) {
+  std::vector<ScoredPair> pairs = {
+      {0.9, false}, {0.8, false}, {0.3, true}, {0.2, true}};
+  EXPECT_DOUBLE_EQ(ComputeRoc(pairs).ValueOrDie().auc, 0.0);
+}
+
+TEST(RocTest, AllTiedScoresGiveHalf) {
+  std::vector<ScoredPair> pairs = {
+      {0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}};
+  EXPECT_DOUBLE_EQ(ComputeRoc(pairs).ValueOrDie().auc, 0.5);
+}
+
+TEST(RocTest, HandComputedPartialOrdering) {
+  // Scores desc: 0.9(+), 0.7(-), 0.5(+), 0.3(-).
+  // Mann-Whitney: pairs (+,-) where + outranks -: (0.9 beats 0.7, 0.3),
+  // (0.5 beats 0.3) = 3 of 4 -> AUC 0.75.
+  std::vector<ScoredPair> pairs = {
+      {0.9, true}, {0.7, false}, {0.5, true}, {0.3, false}};
+  EXPECT_DOUBLE_EQ(ComputeRoc(pairs).ValueOrDie().auc, 0.75);
+}
+
+TEST(RocTest, AucMatchesMannWhitneyOnRandomData) {
+  Rng rng(99);
+  std::vector<ScoredPair> pairs;
+  for (int i = 0; i < 400; ++i) {
+    bool trusted = rng.NextBool(0.3);
+    double score = rng.NextDouble() * (trusted ? 1.2 : 1.0);
+    pairs.push_back({std::min(score, 1.0), trusted});
+  }
+  RocReport report = ComputeRoc(pairs).ValueOrDie();
+  // Direct O(n^2) Mann-Whitney with half credit for ties.
+  double wins = 0.0;
+  double total = 0.0;
+  for (const auto& a : pairs) {
+    if (!a.trusted) continue;
+    for (const auto& b : pairs) {
+      if (b.trusted) continue;
+      total += 1.0;
+      if (a.score > b.score) {
+        wins += 1.0;
+      } else if (a.score == b.score) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(report.auc, wins / total, 1e-9);
+}
+
+TEST(RocTest, CurveIsMonotone) {
+  Rng rng(7);
+  std::vector<ScoredPair> pairs;
+  for (int i = 0; i < 1000; ++i) {
+    pairs.push_back({rng.NextDouble(), rng.NextBool(0.4)});
+  }
+  RocReport report = ComputeRoc(pairs).ValueOrDie();
+  ASSERT_GT(report.curve.size(), 2u);
+  for (size_t i = 1; i < report.curve.size(); ++i) {
+    EXPECT_GE(report.curve[i].true_positive_rate,
+              report.curve[i - 1].true_positive_rate - 1e-12);
+    EXPECT_GE(report.curve[i].false_positive_rate,
+              report.curve[i - 1].false_positive_rate - 1e-12);
+    EXPECT_LE(report.curve[i].threshold, report.curve[i - 1].threshold);
+  }
+}
+
+TEST(RocTest, SingleClassRejected) {
+  std::vector<ScoredPair> all_positive = {{0.5, true}, {0.7, true}};
+  EXPECT_FALSE(ComputeRoc(all_positive).ok());
+  std::vector<ScoredPair> all_negative = {{0.5, false}};
+  EXPECT_FALSE(ComputeRoc(all_negative).ok());
+  EXPECT_FALSE(ComputeRoc({}).ok());
+}
+
+TEST(RocTest, DerivedTrustBeatsRandomOnSeparableMatrices) {
+  // Expertise separates trusted (expert) from untrusted (non-expert).
+  DenseMatrix affiliation = DenseMatrix::FromRows(
+      {{1.0}, {1.0}, {0.0}, {0.0}});
+  DenseMatrix expertise = DenseMatrix::FromRows(
+      {{0.0}, {0.0}, {0.9}, {0.1}});
+  TrustDeriver deriver(affiliation, expertise);
+  SparseMatrixBuilder rb(4, 4);
+  rb.Add(0, 2, 1.0);
+  rb.Add(0, 3, 1.0);
+  rb.Add(1, 2, 1.0);
+  rb.Add(1, 3, 1.0);
+  SparseMatrix direct = rb.Build();
+  SparseMatrixBuilder tb(4, 4);
+  tb.Add(0, 2, 1.0);  // both raters trust the expert u2 only
+  tb.Add(1, 2, 1.0);
+  SparseMatrix trust = tb.Build();
+  RocReport report =
+      RocOfDerivedTrust(deriver, direct, trust).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.auc, 1.0);
+}
+
+TEST(RocTest, SparseScoresMissingCoordinatesScoreZero) {
+  SparseMatrixBuilder sb(3, 3);
+  sb.Add(0, 1, 0.9);  // only one scored pair
+  SparseMatrix scores = sb.Build();
+  SparseMatrixBuilder rb(3, 3);
+  rb.Add(0, 1, 1.0);
+  rb.Add(0, 2, 1.0);
+  SparseMatrix direct = rb.Build();
+  SparseMatrixBuilder tb(3, 3);
+  tb.Add(0, 1, 1.0);
+  SparseMatrix trust = tb.Build();
+  // Positive scored 0.9, negative scored 0 (missing) -> AUC 1.
+  RocReport report =
+      RocOfSparseScores(scores, direct, trust).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,76 @@
+#include "wot/eval/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace wot {
+namespace {
+
+TEST(ValidationTest, TinyCommunityPerfectRecall) {
+  // Hand-walk (see fixtures.h): generosity k_u2 = 1/2, k_u3 = 1.
+  // u2's derived row has two positive entries (u0 high, u1 low):
+  //   marks round(0.5 * 2) = 1 -> u0 (a hit).
+  // u3 marks round(1 * 2) = 2 -> u0 (hit) and u1 (outside R: ignored).
+  // Recall = 2/2 = 1; false-trust rate = 0 (u2-u1 unmarked).
+  Dataset ds = testing::TinyCommunity();
+  TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();
+  ValidationReport report = ValidateDerivedTrust(pipeline).ValueOrDie();
+
+  EXPECT_DOUBLE_EQ(report.model.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.model.FalseTrustRate(), 0.0);
+  EXPECT_EQ(report.model.trust_in_r, 2u);
+  EXPECT_EQ(report.model.hit, 2u);
+
+  // Baseline: u2 marks its top-1 rated writer (u0, avg 0.8) — hit.
+  // u3 marks u0 — hit. Same recall on this tiny example.
+  EXPECT_DOUBLE_EQ(report.baseline.Recall(), 1.0);
+}
+
+TEST(ValidationTest, FollowUpGroupsArePopulated) {
+  Dataset ds = testing::TinyCommunity();
+  TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();
+  ValidationReport report = ValidateDerivedTrust(pipeline).ValueOrDie();
+  // Both predicted pairs are true trust: the in-trust group has 2 values,
+  // the non-trust group none.
+  EXPECT_EQ(report.predicted_in_trust.count(), 2u);
+  EXPECT_EQ(report.predicted_in_nontrust.count(), 0u);
+  EXPECT_GT(report.predicted_in_trust.stats.mean(), 0.0);
+}
+
+TEST(ValidationTest, RequiresExplicitTrust) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  UserId writer = builder.AddUser("w");
+  UserId rater = builder.AddUser("r");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ReviewId review = builder.AddReview(writer, obj).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(rater, review, 0.8));
+  Dataset ds = builder.Build().ValueOrDie();
+  TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();
+  Result<ValidationReport> r = ValidateDerivedTrust(pipeline);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidationTest, RequiresBaseline) {
+  Dataset ds = testing::TinyCommunity();
+  PipelineOptions options;
+  options.compute_baseline = false;
+  TrustPipeline pipeline = TrustPipeline::Run(ds, options).ValueOrDie();
+  EXPECT_FALSE(ValidateDerivedTrust(pipeline).ok());
+}
+
+TEST(ValidationTest, ToStringRendersTable4Layout) {
+  Dataset ds = testing::TinyCommunity();
+  TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();
+  ValidationReport report = ValidateDerivedTrust(pipeline).ValueOrDie();
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("T-hat (our model)"), std::string::npos);
+  EXPECT_NE(text.find("B (baseline)"), std::string::npos);
+  EXPECT_NE(text.find("recall"), std::string::npos);
+  EXPECT_NE(text.find("nontrust-as-trust"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,98 @@
+#include "wot/graph/appleseed.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(AppleseedTest, DirectNeighborAccumulatesTrust) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.trust[1], 0.0);
+  EXPECT_GT(r.trust[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.trust[0], 0.0);  // source not ranked
+}
+
+TEST(AppleseedTest, CloserNodesGetMoreTrust) {
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  EXPECT_GT(r.trust[1], r.trust[2]);
+  EXPECT_GT(r.trust[2], r.trust[3]);
+}
+
+TEST(AppleseedTest, StrongerEdgesAttractMoreEnergy) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 0.9}, {0, 2, 0.1}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  EXPECT_GT(r.trust[1], r.trust[2]);
+  // Proportional split: 0.9 / 0.1 ratio is preserved on the first hop and
+  // dangling returns keep it approximately.
+  EXPECT_NEAR(r.trust[1] / r.trust[2], 9.0, 1.0);
+}
+
+TEST(AppleseedTest, UnreachableNodesGetNothing) {
+  TrustGraph g = FromTriplets(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.trust[3], 0.0);
+}
+
+TEST(AppleseedTest, EnergyIsApproximatelyConserved) {
+  // Total kept trust approaches the injection as in-flight energy decays.
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {1, 2, 0.5}, {2, 0, 1.0}, {1, 3, 0.5}});
+  AppleseedOptions options;
+  options.injection = 100.0;
+  options.tolerance = 1e-9;
+  AppleseedResult r = Appleseed(g, 0, options).ValueOrDie();
+  double kept = 0.0;
+  for (double t : r.trust) {
+    kept += t;
+  }
+  EXPECT_NEAR(kept, 100.0, 0.01);
+}
+
+TEST(AppleseedTest, RankingSortedDescendingExcludesSource) {
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {0, 2, 0.4}, {1, 3, 0.9}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  auto ranking = r.Ranking();
+  ASSERT_FALSE(ranking.empty());
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(r.trust[ranking[i - 1]], r.trust[ranking[i]]);
+  }
+  for (uint32_t node : ranking) {
+    EXPECT_NE(node, 0u);
+  }
+}
+
+TEST(AppleseedTest, CyclesConverge) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  AppleseedResult r = Appleseed(g, 0).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.trust[1], 0.0);
+}
+
+TEST(AppleseedTest, InvalidOptionsRejected) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 1.0}});
+  EXPECT_FALSE(Appleseed(g, 5).ok());
+  AppleseedOptions bad_d;
+  bad_d.spreading_factor = 1.0;
+  EXPECT_FALSE(Appleseed(g, 0, bad_d).ok());
+  AppleseedOptions bad_injection;
+  bad_injection.injection = 0.0;
+  EXPECT_FALSE(Appleseed(g, 0, bad_injection).ok());
+}
+
+}  // namespace
+}  // namespace wot

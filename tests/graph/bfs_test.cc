@@ -1,0 +1,59 @@
+#include "wot/graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph Chain() {
+  // 0 -> 1 -> 2 -> 3, plus a disconnected node 4.
+  return TrustGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(BfsTest, DistancesAlongChain) {
+  auto dist = BfsDistances(Chain(), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, DirectionRespected) {
+  auto dist = BfsDistances(Chain(), 3);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[0], kUnreachable);  // edges point forward only
+}
+
+TEST(BfsTest, ShortestPathPrefersFewerHops) {
+  // 0 -> 1 -> 3 and 0 -> 2 -> 4 -> 3: shortest is 2.
+  TrustGraph g =
+      TrustGraph::FromEdges(5, {{0, 1}, {1, 3}, {0, 2}, {2, 4}, {4, 3}});
+  EXPECT_EQ(ShortestPathLength(g, 0, 3), 2u);
+}
+
+TEST(BfsTest, ShortestPathSelfIsZero) {
+  EXPECT_EQ(ShortestPathLength(Chain(), 2, 2), 0u);
+}
+
+TEST(BfsTest, ShortestPathUnreachable) {
+  EXPECT_EQ(ShortestPathLength(Chain(), 0, 4), kUnreachable);
+  EXPECT_EQ(ShortestPathLength(Chain(), 3, 0), kUnreachable);
+}
+
+TEST(BfsTest, CountReachableIncludesSource) {
+  EXPECT_EQ(CountReachable(Chain(), 0), 4u);
+  EXPECT_EQ(CountReachable(Chain(), 3), 1u);
+  EXPECT_EQ(CountReachable(Chain(), 4), 1u);
+}
+
+TEST(BfsTest, CycleTerminates) {
+  TrustGraph g = TrustGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(CountReachable(g, 0), 3u);
+}
+
+}  // namespace
+}  // namespace wot

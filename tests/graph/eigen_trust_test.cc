@@ -1,0 +1,103 @@
+#include "wot/graph/eigen_trust.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "wot/linalg/vector_ops.h"
+
+namespace wot {
+namespace {
+
+TrustGraph FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(EigenTrustTest, ConvergesAndSumsToOne) {
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {3, 0, 1.0}});
+  auto r = EigenTrust(g).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(L1Norm(r.trust), 1.0, 1e-9);
+  for (double t : r.trust) {
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST(EigenTrustTest, PopularNodeRanksHighest) {
+  // Everyone trusts node 0; node 0 trusts node 1.
+  TrustGraph g = FromTriplets(
+      4, {{1, 0, 1.0}, {2, 0, 1.0}, {3, 0, 1.0}, {0, 1, 1.0}});
+  auto r = EigenTrust(g).ValueOrDie();
+  EXPECT_EQ(ArgMax(r.trust), 0u);
+  EXPECT_GT(r.trust[0], r.trust[2]);
+  EXPECT_GT(r.trust[1], r.trust[2]);  // endorsed by the popular node
+}
+
+TEST(EigenTrustTest, SymmetricCycleIsUniform) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  auto r = EigenTrust(g).ValueOrDie();
+  EXPECT_NEAR(r.trust[0], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(r.trust[1], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(r.trust[2], 1.0 / 3.0, 1e-6);
+}
+
+TEST(EigenTrustTest, DanglingNodesHandled) {
+  // Node 1 has no out-edges: its mass redistributes; iteration must still
+  // converge with total mass 1.
+  TrustGraph g = FromTriplets(3, {{0, 1, 1.0}, {2, 1, 1.0}});
+  auto r = EigenTrust(g).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(L1Norm(r.trust), 1.0, 1e-9);
+  EXPECT_EQ(ArgMax(r.trust), 1u);
+}
+
+TEST(EigenTrustTest, PreTrustedNodesGetFloor) {
+  TrustGraph g = FromTriplets(4, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EigenTrustOptions options;
+  options.pre_trusted = {3};
+  auto r = EigenTrust(g, options).ValueOrDie();
+  // Node 3 receives alpha mass each round even with no incoming edges.
+  EXPECT_GT(r.trust[3], 0.0);
+  EXPECT_GT(r.trust[3], r.trust[2]);
+}
+
+TEST(EigenTrustTest, EdgeWeightsShiftMass) {
+  // 0 splits trust 0.9/0.1 between 1 and 2.
+  TrustGraph g = FromTriplets(
+      3, {{0, 1, 0.9}, {0, 2, 0.1}, {1, 0, 1.0}, {2, 0, 1.0}});
+  auto r = EigenTrust(g).ValueOrDie();
+  EXPECT_GT(r.trust[1], r.trust[2]);
+}
+
+TEST(EigenTrustTest, InvalidOptionsRejected) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 1.0}});
+  EigenTrustOptions bad_alpha;
+  bad_alpha.alpha = 1.5;
+  EXPECT_FALSE(EigenTrust(g, bad_alpha).ok());
+  EigenTrustOptions bad_node;
+  bad_node.pre_trusted = {9};
+  EXPECT_FALSE(EigenTrust(g, bad_node).ok());
+  EigenTrustOptions bad_tol;
+  bad_tol.tolerance = 0.0;
+  EXPECT_FALSE(EigenTrust(g, bad_tol).ok());
+  TrustGraph empty;
+  EXPECT_FALSE(EigenTrust(empty).ok());
+}
+
+TEST(EigenTrustTest, DeterministicAcrossRuns) {
+  TrustGraph g = FromTriplets(
+      5, {{0, 1, 0.5}, {1, 2, 0.7}, {2, 3, 0.9}, {3, 4, 0.2}, {4, 0, 1.0}});
+  auto a = EigenTrust(g).ValueOrDie();
+  auto b = EigenTrust(g).ValueOrDie();
+  EXPECT_EQ(a.trust, b.trust);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,157 @@
+// Property tests of the propagation algorithms over random trust graphs:
+// outputs stay in range, conservation laws hold, and determinism is
+// preserved — for any graph, not just the hand-built fixtures.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "wot/graph/appleseed.h"
+#include "wot/graph/bfs.h"
+#include "wot/graph/eigen_trust.h"
+#include "wot/graph/guha_propagation.h"
+#include "wot/graph/mole_trust.h"
+#include "wot/graph/tidal_trust.h"
+#include "wot/linalg/vector_ops.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+TrustGraph RandomGraph(uint64_t seed, size_t nodes, double edge_prob) {
+  Rng rng(seed);
+  SparseMatrixBuilder builder(nodes, nodes, DuplicatePolicy::kLast);
+  for (size_t u = 0; u < nodes; ++u) {
+    for (size_t v = 0; v < nodes; ++v) {
+      if (u != v && rng.NextBool(edge_prob)) {
+        builder.Add(u, v, 0.1 + 0.9 * rng.NextDouble());
+      }
+    }
+  }
+  return TrustGraph::FromMatrix(builder.Build());
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, TidalTrustResultsBoundedByEdgeWeights) {
+  TrustGraph graph = RandomGraph(GetParam(), 30, 0.12);
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t source = rng.NextBounded(30);
+    size_t sink = rng.NextBounded(30);
+    if (source == sink) {
+      continue;
+    }
+    Result<TidalTrustResult> r = TidalTrust(graph, source, sink);
+    if (!r.ok()) {
+      continue;
+    }
+    // Every inferred value is a nested weighted average of edge weights,
+    // all of which lie in (0, 1].
+    EXPECT_GE(r.ValueOrDie().trust, 0.0);
+    EXPECT_LE(r.ValueOrDie().trust, 1.0);
+    EXPECT_GE(r.ValueOrDie().threshold, 0.0);
+    EXPECT_LE(r.ValueOrDie().threshold, 1.0);
+    // And the shortest path length agrees with BFS.
+    EXPECT_EQ(r.ValueOrDie().path_length,
+              ShortestPathLength(graph, source, sink));
+  }
+}
+
+TEST_P(GraphPropertyTest, EigenTrustIsAStochasticVector) {
+  TrustGraph graph = RandomGraph(GetParam() * 3 + 1, 40, 0.1);
+  EigenTrustResult result = EigenTrust(graph).ValueOrDie();
+  EXPECT_NEAR(L1Norm(result.trust), 1.0, 1e-6);
+  for (double t : result.trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST_P(GraphPropertyTest, EigenTrustDampingKeepsEveryoneAboveFloor) {
+  TrustGraph graph = RandomGraph(GetParam() * 5 + 2, 25, 0.15);
+  EigenTrustOptions options;
+  options.alpha = 0.2;
+  EigenTrustResult result = EigenTrust(graph, options).ValueOrDie();
+  // With uniform pre-trust, every node receives at least alpha/n.
+  double floor = options.alpha / 25.0;
+  for (double t : result.trust) {
+    EXPECT_GE(t, floor - 1e-12);
+  }
+}
+
+TEST_P(GraphPropertyTest, MoleTrustValuesBoundedAndSourceFull) {
+  TrustGraph graph = RandomGraph(GetParam() * 7 + 3, 30, 0.12);
+  Rng rng(GetParam());
+  size_t source = rng.NextBounded(30);
+  MoleTrustResult result = MoleTrust(graph, source).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.trust[source], 1.0);
+  size_t defined = 0;
+  for (double t : result.trust) {
+    if (t >= 0.0) {
+      EXPECT_LE(t, 1.0);
+      ++defined;
+    }
+  }
+  EXPECT_EQ(defined, result.num_reached);
+}
+
+TEST_P(GraphPropertyTest, AppleseedConservesInjectedEnergy) {
+  TrustGraph graph = RandomGraph(GetParam() * 11 + 4, 25, 0.15);
+  Rng rng(GetParam() + 17);
+  size_t source = rng.NextBounded(25);
+  AppleseedOptions options;
+  options.injection = 50.0;
+  options.tolerance = 1e-8;
+  AppleseedResult result = Appleseed(graph, source, options).ValueOrDie();
+  if (!result.converged) {
+    return;  // pathological graphs may hit the cap; nothing to assert
+  }
+  double kept = std::accumulate(result.trust.begin(), result.trust.end(),
+                                0.0);
+  // All energy is either kept by nodes or still in flight (< tolerance),
+  // except when the source has no outgoing edges at all.
+  if (graph.OutDegree(source) > 0) {
+    EXPECT_NEAR(kept, options.injection, 1e-3);
+  }
+}
+
+TEST_P(GraphPropertyTest, GuhaBeliefsNeverLeaveUnitInterval) {
+  Rng rng(GetParam() * 13 + 5);
+  SparseMatrixBuilder builder(20, 20, DuplicatePolicy::kLast);
+  for (int k = 0; k < 60; ++k) {
+    size_t i = rng.NextBounded(20);
+    size_t j = rng.NextBounded(20);
+    if (i != j) {
+      builder.Add(i, j, rng.NextDouble());
+    }
+  }
+  GuhaResult result =
+      PropagateGuha(builder.Build(), GuhaOptions{}).ValueOrDie();
+  for (size_t i = 0; i < result.beliefs.rows(); ++i) {
+    for (double v : result.beliefs.RowValues(i)) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+    // Diagonal never appears.
+    EXPECT_FALSE(result.beliefs.Contains(i, i));
+  }
+}
+
+TEST_P(GraphPropertyTest, AllAlgorithmsAreDeterministic) {
+  TrustGraph graph = RandomGraph(GetParam() * 17 + 6, 20, 0.2);
+  auto e1 = EigenTrust(graph).ValueOrDie();
+  auto e2 = EigenTrust(graph).ValueOrDie();
+  EXPECT_EQ(e1.trust, e2.trust);
+  auto m1 = MoleTrust(graph, 0).ValueOrDie();
+  auto m2 = MoleTrust(graph, 0).ValueOrDie();
+  EXPECT_EQ(m1.trust, m2.trust);
+  auto a1 = Appleseed(graph, 0).ValueOrDie();
+  auto a2 = Appleseed(graph, 0).ValueOrDie();
+  EXPECT_EQ(a1.trust, a2.trust);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+}  // namespace
+}  // namespace wot

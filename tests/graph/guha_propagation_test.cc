@@ -1,0 +1,121 @@
+#include "wot/graph/guha_propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+SparseMatrix FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return b.Build();
+}
+
+TEST(GuhaTest, DirectPropagationReachesTwoHops) {
+  // 0 trusts 1, 1 trusts 2; with direct propagation only, after two
+  // steps 0 acquires belief in 2.
+  SparseMatrix beliefs =
+      FromTriplets(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  GuhaOptions options;
+  options.cocitation_weight = 0.0;
+  options.transpose_weight = 0.0;
+  options.coupling_weight = 0.0;
+  options.steps = 2;
+  GuhaResult result = PropagateGuha(beliefs, options).ValueOrDie();
+  EXPECT_GT(result.beliefs.At(0, 2), 0.0);
+  EXPECT_GT(result.beliefs.At(0, 1), 0.0);
+}
+
+TEST(GuhaTest, OneDirectOnlyStepPreservesThePattern) {
+  SparseMatrix beliefs = FromTriplets(3, {{0, 1, 0.8}, {1, 2, 0.6}});
+  GuhaOptions options;
+  options.steps = 1;
+  options.cocitation_weight = 0.0;
+  options.transpose_weight = 0.0;
+  options.coupling_weight = 0.0;
+  GuhaResult result = PropagateGuha(beliefs, options).ValueOrDie();
+  // F = C = normalized B: same pattern, row-max normalized values.
+  EXPECT_EQ(result.beliefs.nnz(), beliefs.nnz());
+  EXPECT_DOUBLE_EQ(result.beliefs.At(0, 1), 1.0);
+  EXPECT_FALSE(result.beliefs.Contains(0, 2));
+}
+
+TEST(GuhaTest, CocitationConnectsCoRaters) {
+  // 0 and 1 both trust 2; co-citation (B^T B) links them through 2,
+  // letting 0's beliefs flow toward what 1 trusts (node 3).
+  SparseMatrix beliefs = FromTriplets(
+      4, {{0, 2, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}});
+  GuhaOptions options;
+  options.direct_weight = 1.0;
+  options.cocitation_weight = 1.0;
+  options.transpose_weight = 0.0;
+  options.coupling_weight = 0.0;
+  options.steps = 2;
+  GuhaResult result = PropagateGuha(beliefs, options).ValueOrDie();
+  EXPECT_GT(result.beliefs.At(0, 3), 0.0)
+      << "co-citation should propagate 0 -> 3 via the shared target 2";
+
+  // Without co-citation the path does not exist.
+  GuhaOptions direct_only = options;
+  direct_only.cocitation_weight = 0.0;
+  GuhaResult plain = PropagateGuha(beliefs, direct_only).ValueOrDie();
+  EXPECT_DOUBLE_EQ(plain.beliefs.At(0, 3), 0.0);
+}
+
+TEST(GuhaTest, BeliefsStayInUnitInterval) {
+  SparseMatrix beliefs = FromTriplets(
+      5, {{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.7}, {3, 4, 0.6},
+          {4, 0, 0.5}, {0, 2, 0.4}});
+  GuhaResult result = PropagateGuha(beliefs, GuhaOptions{}).ValueOrDie();
+  for (size_t i = 0; i < result.beliefs.rows(); ++i) {
+    for (double v : result.beliefs.RowValues(i)) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(GuhaTest, RowCapBoundsFillIn) {
+  // A dense-ish belief matrix; with a row cap of 2 the result has at most
+  // 2 entries per row.
+  std::vector<std::tuple<size_t, size_t, double>> ts;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      if (i != j) {
+        ts.emplace_back(i, j, 0.1 + 0.1 * static_cast<double>(j));
+      }
+    }
+  }
+  SparseMatrix beliefs = FromTriplets(6, ts);
+  GuhaOptions options;
+  options.max_row_entries = 2;
+  GuhaResult result = PropagateGuha(beliefs, options).ValueOrDie();
+  for (size_t i = 0; i < result.beliefs.rows(); ++i) {
+    EXPECT_LE(result.beliefs.RowNnz(i), 2u);
+  }
+}
+
+TEST(GuhaTest, InvalidOptionsRejected) {
+  SparseMatrix beliefs = FromTriplets(2, {{0, 1, 1.0}});
+  GuhaOptions zero_steps;
+  zero_steps.steps = 0;
+  EXPECT_FALSE(PropagateGuha(beliefs, zero_steps).ok());
+  GuhaOptions no_weights;
+  no_weights.direct_weight = 0.0;
+  no_weights.cocitation_weight = 0.0;
+  no_weights.transpose_weight = 0.0;
+  no_weights.coupling_weight = 0.0;
+  EXPECT_FALSE(PropagateGuha(beliefs, no_weights).ok());
+  GuhaOptions bad_decay;
+  bad_decay.decay = 0.0;
+  EXPECT_FALSE(PropagateGuha(beliefs, bad_decay).ok());
+
+  SparseMatrixBuilder rect(2, 3);
+  EXPECT_FALSE(PropagateGuha(rect.Build(), GuhaOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,106 @@
+#include "wot/graph/mole_trust.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(MoleTrustTest, SourceHasFullTrust) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.8}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[0], 1.0);
+}
+
+TEST(MoleTrustTest, DirectNeighborGetsEdgeWeight) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.8}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  // trust(1) = (1.0 * 0.8) / 1.0.
+  EXPECT_DOUBLE_EQ(r.trust[1], 0.8);
+  EXPECT_EQ(r.num_reached, 2u);
+}
+
+TEST(MoleTrustTest, TwoHopWeightedAverage) {
+  // 0 -> 1 (1.0), 0 -> 2 (0.8), 1 -> 3 (0.6), 2 -> 3 (1.0).
+  // trust(1)=1.0, trust(2)=0.8; both >= 0.6 threshold:
+  // trust(3) = (1.0*0.6 + 0.8*1.0) / (1.0 + 0.8) = 1.4/1.8.
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {0, 2, 0.8}, {1, 3, 0.6}, {2, 3, 1.0}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  EXPECT_NEAR(r.trust[3], 1.4 / 1.8, 1e-12);
+}
+
+TEST(MoleTrustTest, LowTrustPredecessorsExcluded) {
+  // trust(1) = 0.4 < default threshold 0.6: node 1 must not propagate.
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 0.4}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 0.8}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  // Only node 2 contributes: trust(3) = (1.0 * 0.8) / 1.0.
+  EXPECT_NEAR(r.trust[3], 0.8, 1e-12);
+}
+
+TEST(MoleTrustTest, NodeWithAllWeakPredecessorsIsUndefined) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 0.4}, {1, 2, 1.0}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[1], 0.4);
+  EXPECT_DOUBLE_EQ(r.trust[2], -1.0);  // unreachable through trusted nodes
+}
+
+TEST(MoleTrustTest, HorizonLimitsPropagation) {
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  MoleTrustOptions options;
+  options.horizon = 2;
+  auto r = MoleTrust(g, 0, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.trust[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.trust[3], -1.0);  // beyond horizon
+}
+
+TEST(MoleTrustTest, BackEdgesDoNotPropagate) {
+  // 2 -> 1 points from depth 2 to depth 1; it must not affect trust(1).
+  TrustGraph g = FromTriplets(
+      3, {{0, 1, 0.8}, {1, 2, 1.0}, {2, 1, 0.2}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[1], 0.8);
+}
+
+TEST(MoleTrustTest, UnreachableNodesUndefined) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 1.0}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust[2], -1.0);
+  EXPECT_EQ(r.num_reached, 2u);
+}
+
+TEST(MoleTrustTest, ValuesInUnitIntervalWhereDefined) {
+  TrustGraph g = FromTriplets(
+      5, {{0, 1, 0.9}, {0, 2, 0.7}, {1, 3, 0.6}, {2, 3, 0.9}, {3, 4, 0.8}});
+  auto r = MoleTrust(g, 0).ValueOrDie();
+  for (double t : r.trust) {
+    if (t >= 0.0) {
+      EXPECT_LE(t, 1.0);
+    }
+  }
+}
+
+TEST(MoleTrustTest, InvalidInputsRejected) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 1.0}});
+  EXPECT_FALSE(MoleTrust(g, 5).ok());
+  MoleTrustOptions zero_horizon;
+  zero_horizon.horizon = 0;
+  EXPECT_FALSE(MoleTrust(g, 0, zero_horizon).ok());
+  MoleTrustOptions bad_threshold;
+  bad_threshold.trust_threshold = 1.5;
+  EXPECT_FALSE(MoleTrust(g, 0, bad_threshold).ok());
+}
+
+}  // namespace
+}  // namespace wot

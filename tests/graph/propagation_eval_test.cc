@@ -1,0 +1,67 @@
+#include "wot/graph/propagation_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph Ring(size_t n, double weight) {
+  SparseMatrixBuilder b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    b.Add(i, (i + 1) % n, weight);
+  }
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(PropagationEvalTest, IdenticalWebsAgreePerfectly) {
+  TrustGraph g = Ring(10, 0.8);
+  PropagationEvalOptions options;
+  options.num_pairs = 200;
+  auto cmp = ComparePropagation(g, g, options).ValueOrDie();
+  EXPECT_EQ(cmp.covered_by_a, cmp.covered_by_b);
+  EXPECT_EQ(cmp.covered_by_both, cmp.covered_by_a);
+  EXPECT_DOUBLE_EQ(cmp.abs_difference.max(), 0.0);
+}
+
+TEST(PropagationEvalTest, DenserWebCoversMore) {
+  // Web A: full ring (everyone reachable); web B: one isolated edge.
+  TrustGraph a = Ring(12, 0.9);
+  TrustGraph b = TrustGraph::FromEdges(12, {{0, 1}});
+  PropagationEvalOptions options;
+  options.num_pairs = 300;
+  auto cmp = ComparePropagation(a, b, options).ValueOrDie();
+  EXPECT_GT(cmp.covered_by_a, cmp.covered_by_b);
+  EXPECT_GT(cmp.CoverageA(), cmp.CoverageB());
+}
+
+TEST(PropagationEvalTest, DeterministicForSeed) {
+  TrustGraph a = Ring(8, 0.7);
+  TrustGraph b = Ring(8, 0.9);
+  PropagationEvalOptions options;
+  options.num_pairs = 100;
+  options.seed = 5;
+  auto c1 = ComparePropagation(a, b, options).ValueOrDie();
+  auto c2 = ComparePropagation(a, b, options).ValueOrDie();
+  EXPECT_EQ(c1.covered_by_a, c2.covered_by_a);
+  EXPECT_EQ(c1.covered_by_both, c2.covered_by_both);
+  EXPECT_DOUBLE_EQ(c1.abs_difference.mean(), c2.abs_difference.mean());
+}
+
+TEST(PropagationEvalTest, MismatchedSizesRejected) {
+  TrustGraph a = Ring(5, 0.8);
+  TrustGraph b = Ring(6, 0.8);
+  EXPECT_FALSE(ComparePropagation(a, b).ok());
+}
+
+TEST(PropagationEvalTest, ToStringMentionsBothNames) {
+  TrustGraph g = Ring(6, 0.8);
+  PropagationEvalOptions options;
+  options.num_pairs = 10;
+  auto cmp = ComparePropagation(g, g, options).ValueOrDie();
+  std::string text = cmp.ToString("explicit", "derived");
+  EXPECT_NE(text.find("explicit"), std::string::npos);
+  EXPECT_NE(text.find("derived"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,109 @@
+#include "wot/graph/tidal_trust.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph FromTriplets(
+    size_t n, const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(n, n);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(TidalTrustTest, DirectEdgeReturnsItsWeight) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.7}});
+  auto r = TidalTrust(g, 0, 1).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust, 0.7);
+  EXPECT_EQ(r.path_length, 1u);
+}
+
+TEST(TidalTrustTest, TwoHopSinglePath) {
+  // trust(0->2) via 1: rating(1) = w(1,2) = 0.6; rating(0) = 0.6
+  // (weighted average over the single neighbour).
+  TrustGraph g = FromTriplets(3, {{0, 1, 0.9}, {1, 2, 0.6}});
+  auto r = TidalTrust(g, 0, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust, 0.6);
+  EXPECT_EQ(r.path_length, 2u);
+}
+
+TEST(TidalTrustTest, WeightedAverageAcrossParallelPaths) {
+  // Paths 0->1->3 (w01=1.0, w13=0.8) and 0->2->3 (w02=1.0, w23=0.4):
+  // both survive the threshold (strength 1.0 to both intermediates, so
+  // threshold = max over paths of min(1.0, w_x3)) = 0.8 -> only the
+  // stronger path's edge (w13 >= 0.8) participates at node 1... edges
+  // below threshold are skipped, so rating(0) = (1.0 * 0.8) / 1.0 = 0.8.
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 0.8}, {2, 3, 0.4}});
+  auto r = TidalTrust(g, 0, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.threshold, 0.8);
+  EXPECT_DOUBLE_EQ(r.trust, 0.8);
+}
+
+TEST(TidalTrustTest, EqualStrengthPathsAverage) {
+  // Both paths have strength 0.8; both survive: average of 0.8 and 0.8
+  // weighted by the edges from 0 (1.0 each).
+  TrustGraph g = FromTriplets(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 0.8}, {2, 3, 0.8}});
+  auto r = TidalTrust(g, 0, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust, 0.8);
+}
+
+TEST(TidalTrustTest, ShorterPathWinsOverStrongerLongPath) {
+  // Direct weak edge 0->3 (0.3) vs strong 2-hop path: TidalTrust uses
+  // shortest paths only, so the direct edge decides.
+  TrustGraph g = FromTriplets(
+      4, {{0, 3, 0.3}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  auto r = TidalTrust(g, 0, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.trust, 0.3);
+  EXPECT_EQ(r.path_length, 1u);
+}
+
+TEST(TidalTrustTest, NoPathIsNotFound) {
+  TrustGraph g = FromTriplets(3, {{0, 1, 0.9}});
+  Result<TidalTrustResult> r = TidalTrust(g, 0, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TidalTrustTest, ReverseDirectionHasNoPath) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.9}});
+  EXPECT_FALSE(TidalTrust(g, 1, 0).ok());
+}
+
+TEST(TidalTrustTest, SourceEqualsSinkRejected) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.9}});
+  Result<TidalTrustResult> r = TidalTrust(g, 0, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TidalTrustTest, OutOfRangeNodesRejected) {
+  TrustGraph g = FromTriplets(2, {{0, 1, 0.9}});
+  EXPECT_FALSE(TidalTrust(g, 0, 7).ok());
+  EXPECT_FALSE(TidalTrust(g, 7, 0).ok());
+}
+
+TEST(TidalTrustTest, MaxDepthCutsLongPaths) {
+  TrustGraph g = FromTriplets(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  TidalTrustOptions options;
+  options.max_depth = 2;
+  EXPECT_FALSE(TidalTrust(g, 0, 3, options).ok());
+  options.max_depth = 3;
+  EXPECT_TRUE(TidalTrust(g, 0, 3, options).ok());
+}
+
+TEST(TidalTrustTest, ResultAlwaysInUnitInterval) {
+  TrustGraph g = FromTriplets(
+      5, {{0, 1, 0.3}, {0, 2, 0.9}, {1, 4, 0.2}, {2, 4, 0.6},
+          {0, 3, 0.5}, {3, 4, 1.0}});
+  auto r = TidalTrust(g, 0, 4).ValueOrDie();
+  EXPECT_GE(r.trust, 0.0);
+  EXPECT_LE(r.trust, 1.0);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,90 @@
+#include "wot/graph/trust_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TrustGraph Diamond() {
+  // 0 -> 1 (0.9), 0 -> 2 (0.5), 1 -> 3 (0.8), 2 -> 3 (1.0)
+  SparseMatrixBuilder b(4, 4);
+  b.Add(0, 1, 0.9);
+  b.Add(0, 2, 0.5);
+  b.Add(1, 3, 0.8);
+  b.Add(2, 3, 1.0);
+  return TrustGraph::FromMatrix(b.Build());
+}
+
+TEST(TrustGraphTest, FromMatrixBasics) {
+  TrustGraph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 3), 0.8);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(3, 0), 0.0);  // absent
+}
+
+TEST(TrustGraphTest, DropsDiagonalAndNonPositive) {
+  SparseMatrixBuilder b(3, 3);
+  b.Add(0, 0, 0.9);   // self loop
+  b.Add(0, 1, 0.0);   // zero weight
+  b.Add(0, 2, 0.7);
+  TrustGraph g = TrustGraph::FromMatrix(b.Build());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.7);
+}
+
+TEST(TrustGraphTest, ClampsWeightsAboveOne) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 1, 3.5);
+  TrustGraph g = TrustGraph::FromMatrix(b.Build());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
+}
+
+TEST(TrustGraphTest, FromEdgesAssignsUnitWeights) {
+  TrustGraph g = TrustGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);  // self loop dropped
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 1.0);
+}
+
+TEST(TrustGraphTest, OutEdgesSpanWellFormed) {
+  TrustGraph g = Diamond();
+  auto edges = g.OutEdges(0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].target, 1u);
+  EXPECT_EQ(edges[1].target, 2u);
+}
+
+TEST(TrustGraphTest, ReversedSwapsDirections) {
+  TrustGraph g = Diamond();
+  TrustGraph rev = g.Reversed();
+  EXPECT_EQ(rev.num_nodes(), 4u);
+  EXPECT_EQ(rev.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(rev.EdgeWeight(1, 0), 0.9);
+  EXPECT_DOUBLE_EQ(rev.EdgeWeight(3, 1), 0.8);
+  EXPECT_DOUBLE_EQ(rev.EdgeWeight(0, 1), 0.0);
+}
+
+TEST(TrustGraphTest, DoubleReversalIsIdentity) {
+  TrustGraph g = Diamond();
+  TrustGraph back = g.Reversed().Reversed();
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& e : g.OutEdges(u)) {
+      EXPECT_DOUBLE_EQ(back.EdgeWeight(u, e.target), e.weight);
+    }
+  }
+}
+
+TEST(TrustGraphTest, Density) {
+  TrustGraph g = Diamond();
+  EXPECT_DOUBLE_EQ(g.Density(), 4.0 / 12.0);
+  TrustGraph empty;
+  EXPECT_DOUBLE_EQ(empty.Density(), 0.0);
+}
+
+}  // namespace
+}  // namespace wot

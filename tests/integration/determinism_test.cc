@@ -1,0 +1,82 @@
+// Whole-system determinism: the README promises "same seed => identical
+// output". These tests pin that guarantee across process-internal
+// variation (thread counts, repeated runs) at a realistic scale.
+#include <gtest/gtest.h>
+
+#include "wot/core/binarization.h"
+#include "wot/eval/validation.h"
+#include "wot/io/binary_format.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+SynthConfig Config(uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = 700;
+  config.mean_objects_per_category = 35;
+  config.max_ratings_per_user = 50.0;
+  return config;
+}
+
+TEST(DeterminismTest, GenerationIsByteIdentical) {
+  Dataset a = GenerateCommunity(Config(9)).ValueOrDie().dataset;
+  Dataset b = GenerateCommunity(Config(9)).ValueOrDie().dataset;
+  // Byte-level equality via the canonical serialization.
+  EXPECT_EQ(SerializeDataset(a), SerializeDataset(b));
+}
+
+TEST(DeterminismTest, SeedChangesEverything) {
+  Dataset a = GenerateCommunity(Config(9)).ValueOrDie().dataset;
+  Dataset b = GenerateCommunity(Config(10)).ValueOrDie().dataset;
+  EXPECT_NE(SerializeDataset(a), SerializeDataset(b));
+}
+
+TEST(DeterminismTest, PipelineIndependentOfThreadCount) {
+  SynthCommunity community = GenerateCommunity(Config(11)).ValueOrDie();
+  PipelineOptions serial;
+  serial.reputation.num_threads = 1;
+  PipelineOptions parallel;
+  parallel.reputation.num_threads = 4;
+  TrustPipeline p1 =
+      TrustPipeline::Run(community.dataset, serial).ValueOrDie();
+  TrustPipeline p2 =
+      TrustPipeline::Run(community.dataset, parallel).ValueOrDie();
+  EXPECT_DOUBLE_EQ(
+      DenseMatrix::MaxAbsDiff(p1.expertise(), p2.expertise()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      DenseMatrix::MaxAbsDiff(p1.affiliation(), p2.affiliation()), 0.0);
+  EXPECT_EQ(p1.reputation().review_quality,
+            p2.reputation().review_quality);
+}
+
+TEST(DeterminismTest, ValidationMetricsAreStableAcrossRuns) {
+  SynthCommunity community = GenerateCommunity(Config(12)).ValueOrDie();
+  TrustPipeline p1 = TrustPipeline::Run(community.dataset).ValueOrDie();
+  TrustPipeline p2 = TrustPipeline::Run(community.dataset).ValueOrDie();
+  ValidationReport r1 = ValidateDerivedTrust(p1).ValueOrDie();
+  ValidationReport r2 = ValidateDerivedTrust(p2).ValueOrDie();
+  EXPECT_EQ(r1.model.hit, r2.model.hit);
+  EXPECT_EQ(r1.model.predicted_trust_in_r, r2.model.predicted_trust_in_r);
+  EXPECT_EQ(r1.baseline.hit, r2.baseline.hit);
+  EXPECT_DOUBLE_EQ(r1.model.Recall(), r2.model.Recall());
+}
+
+TEST(DeterminismTest, BinarizationStableUnderRepeatedDerivation) {
+  SynthCommunity community = GenerateCommunity(Config(13)).ValueOrDie();
+  TrustPipeline pipeline =
+      TrustPipeline::Run(community.dataset).ValueOrDie();
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kPerUserQuantile;
+  options.per_user_fraction = ComputeTrustGenerosity(
+      pipeline.direct_connections(), pipeline.explicit_trust());
+  TrustDeriver d1 = pipeline.MakeDeriver();
+  TrustDeriver d2 = pipeline.MakeDeriver();
+  SparseMatrix b1 = BinarizeDerivedTrust(d1, options).ValueOrDie();
+  SparseMatrix b2 = BinarizeDerivedTrust(d2, options).ValueOrDie();
+  EXPECT_TRUE(b1 == b2);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,115 @@
+// Full-stack integration: generate -> serialize -> reload -> pipeline ->
+// validate, crossing every module boundary in one flow.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "wot/community/stats.h"
+#include "wot/eval/validation.h"
+#include "wot/graph/propagation_eval.h"
+#include "wot/io/binary_format.h"
+#include "wot/io/dataset_csv.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+SynthConfig IntegrationConfig() {
+  SynthConfig config;
+  config.seed = 20080407;  // ICDEW'08 in Cancun
+  config.num_users = 600;
+  config.mean_objects_per_category = 40;
+  config.max_ratings_per_user = 80.0;
+  return config;
+}
+
+TEST(EndToEndTest, GeneratePersistReloadValidate) {
+  namespace fs = std::filesystem;
+  SynthCommunity community =
+      GenerateCommunity(IntegrationConfig()).ValueOrDie();
+
+  // Round-trip through both serialization formats.
+  std::string bin_path =
+      (fs::temp_directory_path() / "wot_e2e.wotb").string();
+  ASSERT_TRUE(SaveDatasetBinary(community.dataset, bin_path).ok());
+  Dataset via_binary = LoadDatasetBinary(bin_path).ValueOrDie();
+  fs::remove(bin_path);
+
+  std::string csv_dir = (fs::temp_directory_path() / "wot_e2e_csv").string();
+  fs::remove_all(csv_dir);
+  ASSERT_TRUE(SaveDatasetCsv(community.dataset, csv_dir).ok());
+  Dataset via_csv = LoadDatasetCsv(csv_dir).ValueOrDie();
+  fs::remove_all(csv_dir);
+
+  EXPECT_EQ(via_binary.num_ratings(), community.dataset.num_ratings());
+  EXPECT_EQ(via_csv.num_ratings(), community.dataset.num_ratings());
+
+  // The pipeline over the reloaded dataset equals the pipeline over the
+  // original: serialization must be lossless for every derived artifact.
+  TrustPipeline original =
+      TrustPipeline::Run(community.dataset).ValueOrDie();
+  TrustPipeline reloaded = TrustPipeline::Run(via_binary).ValueOrDie();
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(original.expertise(),
+                                           reloaded.expertise()),
+                   0.0);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(original.affiliation(),
+                                           reloaded.affiliation()),
+                   0.0);
+  EXPECT_TRUE(original.direct_connections() ==
+              reloaded.direct_connections());
+
+  // Validation completes and produces sane metrics.
+  ValidationReport report = ValidateDerivedTrust(original).ValueOrDie();
+  EXPECT_GT(report.model.Recall(), 0.0);
+  EXPECT_LE(report.model.Recall(), 1.0);
+  EXPECT_GE(report.model.PrecisionInR(), 0.0);
+  EXPECT_LE(report.model.FalseTrustRate(), 1.0);
+}
+
+TEST(EndToEndTest, StatsAreInternallyConsistent) {
+  SynthCommunity community =
+      GenerateCommunity(IntegrationConfig()).ValueOrDie();
+  DatasetIndices indices(community.dataset);
+  DatasetStats stats = ComputeDatasetStats(community.dataset, indices);
+  size_t per_category_reviews = 0;
+  size_t per_category_ratings = 0;
+  for (const auto& cs : stats.per_category) {
+    per_category_reviews += cs.num_reviews;
+    per_category_ratings += cs.num_ratings;
+  }
+  EXPECT_EQ(per_category_reviews, stats.num_reviews);
+  EXPECT_EQ(per_category_ratings, stats.num_ratings);
+  EXPECT_LE(stats.num_active_users, stats.num_users);
+}
+
+TEST(EndToEndTest, DerivedWebSupportsPropagation) {
+  // The paper's future work: build both webs and compare propagation.
+  SynthCommunity community =
+      GenerateCommunity(IntegrationConfig()).ValueOrDie();
+  TrustPipeline pipeline =
+      TrustPipeline::Run(community.dataset).ValueOrDie();
+
+  TrustGraph explicit_web =
+      TrustGraph::FromMatrix(pipeline.explicit_trust());
+
+  BinarizationOptions options;
+  options.policy = BinarizationPolicy::kPerUserQuantile;
+  options.per_user_fraction = ComputeTrustGenerosity(
+      pipeline.direct_connections(), pipeline.explicit_trust());
+  TrustDeriver deriver = pipeline.MakeDeriver();
+  SparseMatrix derived_binary =
+      BinarizeDerivedTrust(deriver, options).ValueOrDie();
+  TrustGraph derived_web = TrustGraph::FromMatrix(derived_binary);
+
+  PropagationEvalOptions eval_options;
+  eval_options.num_pairs = 300;
+  PropagationComparison cmp =
+      ComparePropagation(explicit_web, derived_web, eval_options)
+          .ValueOrDie();
+  EXPECT_EQ(cmp.pairs_sampled, 300u);
+  // The derived web is denser, so it must cover at least as many pairs.
+  EXPECT_GE(cmp.CoverageB() + 1e-9, cmp.CoverageA());
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,135 @@
+// Failure-injection tests: corrupt inputs, hostile files and degenerate
+// communities must produce Status errors (or well-defined outputs), never
+// crashes or silent misbehaviour.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "wot/eval/validation.h"
+#include "wot/io/binary_format.h"
+#include "wot/io/csv.h"
+#include "wot/io/dataset_csv.h"
+#include "wot/synth/generator.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(FailureInjectionTest, RandomBytesNeverCrashBinaryLoader) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.NextBounded(512);
+    std::string garbage(len, '\0');
+    for (auto& c : garbage) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    Result<Dataset> r = DeserializeDataset(garbage);
+    if (r.ok()) {
+      // Astronomically unlikely; acceptable only if fully valid.
+      SUCCEED();
+    }
+  }
+}
+
+TEST(FailureInjectionTest, BitFlipsInValidFileAreDetected) {
+  SynthConfig config;
+  config.num_users = 50;
+  config.max_ratings_per_user = 10.0;
+  SynthCommunity community = GenerateCommunity(config).ValueOrDie();
+  std::string buffer = SerializeDataset(community.dataset);
+  Rng rng(777);
+  int detected = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    std::string corrupted = buffer;
+    size_t pos = 12 + rng.NextBounded(corrupted.size() - 16);
+    corrupted[pos] ^= static_cast<char>(1u << rng.NextBounded(8));
+    if (!DeserializeDataset(corrupted).ok()) {
+      ++detected;
+    }
+  }
+  // CRC-32 catches all single-bit flips inside the payload.
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(FailureInjectionTest, HostileCsvFilesRejectedCleanly) {
+  std::string dir = (fs::temp_directory_path() / "wot_hostile").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto write = [&](const char* name, const std::string& content) {
+    ASSERT_TRUE(
+        WriteStringToFile((fs::path(dir) / name).string(), content).ok());
+  };
+  write("categories.csv", "name\nmovies\n");
+  write("users.csv", "name\nu0\nu1\n");
+  write("objects.csv", "name,category\no0,movies\n");
+  // Review referencing a rater as a writer cross-field mixup plus a rating
+  // whose value is a string.
+  write("reviews.csv", "writer,object\nu0,o0\n");
+  write("ratings.csv", "rater,writer,object,value\nu1,u0,o0,not_a_number\n");
+  Result<Dataset> r = LoadDatasetCsv(dir);
+  ASSERT_FALSE(r.ok());
+  fs::remove_all(dir);
+}
+
+TEST(FailureInjectionTest, TruncatedCsvFieldCountRejected) {
+  std::string dir = (fs::temp_directory_path() / "wot_trunc").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto write = [&](const char* name, const std::string& content) {
+    ASSERT_TRUE(
+        WriteStringToFile((fs::path(dir) / name).string(), content).ok());
+  };
+  write("categories.csv", "name\nmovies\n");
+  write("users.csv", "name\nu0\n");
+  write("objects.csv", "name,category\no0\n");  // missing category field
+  write("reviews.csv", "writer,object\n");
+  write("ratings.csv", "rater,writer,object,value\n");
+  Result<Dataset> r = LoadDatasetCsv(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(FailureInjectionTest, DegenerateCommunitiesProduceDefinedResults) {
+  // Community where nobody rates anything: expertise must be all zero and
+  // the derived trust empty, not NaN.
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  builder.AddCategory("d");
+  UserId writer = builder.AddUser("w");
+  ObjectId obj = builder.AddObject(cat, "o").ValueOrDie();
+  ASSERT_TRUE(builder.AddReview(writer, obj).ok());
+  Dataset ds = builder.Build().ValueOrDie();
+
+  TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();
+  EXPECT_TRUE(pipeline.expertise().AllInRange(0.0, 1.0));
+  TrustDeriver deriver = pipeline.MakeDeriver();
+  // The writer has affiliation (wrote a review) but everyone's expertise
+  // is 0 (no ratings): derived trust must be identically 0.
+  EXPECT_DOUBLE_EQ(deriver.DeriveOne(0, 0), 0.0);
+  EXPECT_EQ(deriver.CountDerivedConnections(0), 0u);
+}
+
+TEST(FailureInjectionTest, ValidationOnTrustlessCommunityFailsGracefully) {
+  SynthConfig config;
+  config.num_users = 60;
+  config.max_ratings_per_user = 10.0;
+  config.random_trust_per_user = 0.0;
+  config.out_of_r_trust_fraction = 0.0;
+  config.generosity_alpha = 0.001;  // nobody trusts anybody
+  config.generosity_beta = 100.0;
+  SynthCommunity community = GenerateCommunity(config).ValueOrDie();
+  if (community.dataset.num_trust_statements() == 0) {
+    TrustPipeline pipeline =
+        TrustPipeline::Run(community.dataset).ValueOrDie();
+    Result<ValidationReport> r = ValidateDerivedTrust(pipeline);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,114 @@
+#include "wot/io/binary_format.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+#include "wot/io/csv.h"
+
+namespace wot {
+namespace {
+
+TEST(BinaryFormatTest, RoundTripPreservesEverything) {
+  Dataset original = testing::TinyCommunity();
+  std::string buffer = SerializeDataset(original);
+  Dataset loaded = DeserializeDataset(buffer).ValueOrDie();
+
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_categories(), original.num_categories());
+  EXPECT_EQ(loaded.num_objects(), original.num_objects());
+  EXPECT_EQ(loaded.num_reviews(), original.num_reviews());
+  EXPECT_EQ(loaded.num_ratings(), original.num_ratings());
+  EXPECT_EQ(loaded.num_trust_statements(),
+            original.num_trust_statements());
+  for (size_t i = 0; i < original.num_reviews(); ++i) {
+    EXPECT_EQ(loaded.reviews()[i].writer, original.reviews()[i].writer);
+    EXPECT_EQ(loaded.reviews()[i].object, original.reviews()[i].object);
+    EXPECT_EQ(loaded.reviews()[i].category, original.reviews()[i].category);
+  }
+  for (size_t i = 0; i < original.num_users(); ++i) {
+    EXPECT_EQ(loaded.users()[i].name, original.users()[i].name);
+  }
+}
+
+TEST(BinaryFormatTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  Dataset loaded =
+      DeserializeDataset(SerializeDataset(empty)).ValueOrDie();
+  EXPECT_EQ(loaded.num_users(), 0u);
+  EXPECT_EQ(loaded.num_reviews(), 0u);
+}
+
+TEST(BinaryFormatTest, BadMagicRejected) {
+  std::string buffer = SerializeDataset(testing::TinyCommunity());
+  buffer[0] = 'X';
+  Result<Dataset> r = DeserializeDataset(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, VersionSkewRejected) {
+  std::string buffer = SerializeDataset(testing::TinyCommunity());
+  buffer[4] = static_cast<char>(99);  // version field follows the magic
+  Result<Dataset> r = DeserializeDataset(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, PayloadCorruptionCaughtByCrc) {
+  std::string buffer = SerializeDataset(testing::TinyCommunity());
+  buffer[buffer.size() / 2] ^= 0x40;  // flip a bit mid-payload
+  Result<Dataset> r = DeserializeDataset(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryFormatTest, TruncationRejectedAtEveryLength) {
+  std::string buffer = SerializeDataset(testing::TinyCommunity());
+  // Any strict prefix must fail cleanly (never crash or accept).
+  for (size_t len : {size_t{0}, size_t{3}, size_t{4}, size_t{10},
+                     buffer.size() / 2, buffer.size() - 1}) {
+    Result<Dataset> r = DeserializeDataset(
+        std::string_view(buffer.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(BinaryFormatTest, TrailingGarbageAfterCrcIsIgnoredButInsideIsNot) {
+  std::string buffer = SerializeDataset(testing::TinyCommunity());
+  // Garbage *after* the CRC tail is out of the declared payload; the
+  // format reads exactly the declared length, so appending is harmless.
+  std::string extended = buffer + "garbage";
+  EXPECT_TRUE(DeserializeDataset(extended).ok());
+}
+
+TEST(BinaryFormatTest, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "wot_binary_test.wotb").string();
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetBinary(original, path).ok());
+  Dataset loaded = LoadDatasetBinary(path).ValueOrDie();
+  EXPECT_EQ(loaded.num_ratings(), original.num_ratings());
+  fs::remove(path);
+}
+
+TEST(BinaryFormatTest, MissingFileIsIOError) {
+  Result<Dataset> r = LoadDatasetBinary("/no/such/file.wotb");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryFormatTest, BinarySmallerThanCsv) {
+  Dataset ds = testing::TinyCommunity();
+  // Not a strict guarantee of the formats, but a useful canary: binary
+  // should not balloon past the CSV representation.
+  std::string binary = SerializeDataset(ds);
+  EXPECT_GT(binary.size(), 0u);
+  EXPECT_LT(binary.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,43 @@
+#include "wot/io/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+  const std::string abc = "abc";
+  EXPECT_EQ(Crc32(abc.data(), abc.size()), 0x352441C2u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32(data.data(), data.size());
+  uint32_t incremental = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    size_t len = std::min<size_t>(7, data.size() - i);
+    incremental = Crc32Update(incremental, data.data() + i, len);
+  }
+  EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::string data = "sensitive payload";
+  uint32_t before = Crc32(data.data(), data.size());
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+TEST(Crc32Test, DifferentLengthsDiffer) {
+  const std::string data = "aaaa";
+  EXPECT_NE(Crc32(data.data(), 3), Crc32(data.data(), 4));
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,136 @@
+#include "wot/io/dataset_csv.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+#include "wot/io/csv.h"
+
+namespace wot {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each TEST as its own process, possibly in parallel:
+    // the scratch directory must be unique per test.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("wot_csv_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DatasetCsvTest, RoundTripPreservesEverything) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  Dataset loaded = LoadDatasetCsv(dir_).ValueOrDie();
+
+  ASSERT_EQ(loaded.num_users(), original.num_users());
+  ASSERT_EQ(loaded.num_categories(), original.num_categories());
+  ASSERT_EQ(loaded.num_objects(), original.num_objects());
+  ASSERT_EQ(loaded.num_reviews(), original.num_reviews());
+  ASSERT_EQ(loaded.num_ratings(), original.num_ratings());
+  ASSERT_EQ(loaded.num_trust_statements(),
+            original.num_trust_statements());
+
+  // Spot-check full contents (names key identity across the round trip).
+  for (size_t i = 0; i < original.num_users(); ++i) {
+    EXPECT_EQ(loaded.users()[i].name, original.users()[i].name);
+  }
+  for (size_t i = 0; i < original.num_ratings(); ++i) {
+    EXPECT_EQ(loaded.ratings()[i].rater, original.ratings()[i].rater);
+    EXPECT_EQ(loaded.ratings()[i].review, original.ratings()[i].review);
+    EXPECT_DOUBLE_EQ(loaded.ratings()[i].value,
+                     original.ratings()[i].value);
+  }
+  for (size_t i = 0; i < original.num_trust_statements(); ++i) {
+    EXPECT_EQ(loaded.trust_statements()[i].source,
+              original.trust_statements()[i].source);
+    EXPECT_EQ(loaded.trust_statements()[i].target,
+              original.trust_statements()[i].target);
+  }
+}
+
+TEST_F(DatasetCsvTest, MissingTrustFileMeansNoTrust) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  fs::remove(fs::path(dir_) / "trust.csv");
+  Dataset loaded = LoadDatasetCsv(dir_).ValueOrDie();
+  EXPECT_EQ(loaded.num_trust_statements(), 0u);
+  EXPECT_EQ(loaded.num_ratings(), original.num_ratings());
+}
+
+TEST_F(DatasetCsvTest, MissingRequiredFileIsError) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  fs::remove(fs::path(dir_) / "ratings.csv");
+  EXPECT_FALSE(LoadDatasetCsv(dir_).ok());
+}
+
+TEST_F(DatasetCsvTest, BadHeaderIsCorruption) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  std::string path = (fs::path(dir_) / "users.csv").string();
+  ASSERT_TRUE(WriteStringToFile(path, "wrong_header\nu0\n").ok());
+  Result<Dataset> r = LoadDatasetCsv(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DatasetCsvTest, UnknownReferenceIsCorruption) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  std::string path = (fs::path(dir_) / "reviews.csv").string();
+  ASSERT_TRUE(
+      WriteStringToFile(path, "writer,object\nnobody,m0\n").ok());
+  Result<Dataset> r = LoadDatasetCsv(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown writer"), std::string::npos);
+}
+
+TEST_F(DatasetCsvTest, DuplicateUserIsCorruption) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  std::string path = (fs::path(dir_) / "users.csv").string();
+  ASSERT_TRUE(WriteStringToFile(path, "name\ndup\ndup\n").ok());
+  EXPECT_FALSE(LoadDatasetCsv(dir_).ok());
+}
+
+TEST_F(DatasetCsvTest, OffScaleRatingRejectedByDefaultOptions) {
+  Dataset original = testing::TinyCommunity();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  std::string path = (fs::path(dir_) / "ratings.csv").string();
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "rater,writer,object,value\nu2,u0,m0,0.55\n")
+                  .ok());
+  EXPECT_FALSE(LoadDatasetCsv(dir_).ok());
+  // Permissive options accept it.
+  DatasetBuilderOptions permissive;
+  permissive.enforce_rating_scale = false;
+  EXPECT_TRUE(LoadDatasetCsv(dir_, permissive).ok());
+}
+
+TEST_F(DatasetCsvTest, NamesWithCommasSurvive) {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("Action, Adventure & More");
+  UserId user = builder.AddUser("user \"quoted\", weird");
+  ASSERT_TRUE(builder.AddObject(cat, "object,with,commas").ok());
+  Dataset original = builder.Build().ValueOrDie();
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_).ok());
+  Dataset loaded = LoadDatasetCsv(dir_).ValueOrDie();
+  EXPECT_EQ(loaded.categories()[0].name, "Action, Adventure & More");
+  EXPECT_EQ(loaded.users()[0].name, "user \"quoted\", weird");
+  EXPECT_EQ(loaded.objects()[0].name, "object,with,commas");
+  (void)user;
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,89 @@
+// Serialization property tests: any generated community survives both
+// formats bit-exactly, across a sweep of generator seeds and sizes.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "wot/io/binary_format.h"
+#include "wot/io/dataset_csv.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_categories(), b.num_categories());
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_reviews(), b.num_reviews());
+  ASSERT_EQ(a.num_ratings(), b.num_ratings());
+  ASSERT_EQ(a.num_trust_statements(), b.num_trust_statements());
+  for (size_t i = 0; i < a.num_users(); ++i) {
+    EXPECT_EQ(a.users()[i].name, b.users()[i].name);
+  }
+  for (size_t i = 0; i < a.num_objects(); ++i) {
+    EXPECT_EQ(a.objects()[i].name, b.objects()[i].name);
+    EXPECT_EQ(a.objects()[i].category, b.objects()[i].category);
+  }
+  for (size_t i = 0; i < a.num_reviews(); ++i) {
+    EXPECT_EQ(a.reviews()[i].writer, b.reviews()[i].writer);
+    EXPECT_EQ(a.reviews()[i].object, b.reviews()[i].object);
+    EXPECT_EQ(a.reviews()[i].category, b.reviews()[i].category);
+  }
+  for (size_t i = 0; i < a.num_ratings(); ++i) {
+    EXPECT_EQ(a.ratings()[i].rater, b.ratings()[i].rater);
+    EXPECT_EQ(a.ratings()[i].review, b.ratings()[i].review);
+    EXPECT_DOUBLE_EQ(a.ratings()[i].value, b.ratings()[i].value);
+  }
+  for (size_t i = 0; i < a.num_trust_statements(); ++i) {
+    EXPECT_EQ(a.trust_statements()[i].source, b.trust_statements()[i].source);
+    EXPECT_EQ(a.trust_statements()[i].target, b.trust_statements()[i].target);
+  }
+}
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Dataset GenerateSmall(uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = 120 + seed % 80;  // vary the size with the seed
+  config.mean_objects_per_category = 25;
+  config.max_ratings_per_user = 25.0;
+  return GenerateCommunity(config).ValueOrDie().dataset;
+}
+
+TEST_P(RoundTripPropertyTest, BinaryRoundTripIsExact) {
+  Dataset original = GenerateSmall(GetParam());
+  Dataset loaded =
+      DeserializeDataset(SerializeDataset(original)).ValueOrDie();
+  ExpectDatasetsEqual(original, loaded);
+}
+
+TEST_P(RoundTripPropertyTest, CsvRoundTripIsExact) {
+  namespace fs = std::filesystem;
+  Dataset original = GenerateSmall(GetParam());
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("wot_rt_" + std::to_string(GetParam()) + "_" +
+        std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(SaveDatasetCsv(original, dir).ok());
+  Dataset loaded = LoadDatasetCsv(dir).ValueOrDie();
+  fs::remove_all(dir);
+  ExpectDatasetsEqual(original, loaded);
+}
+
+TEST_P(RoundTripPropertyTest, DoubleSerializationIsIdempotent) {
+  Dataset original = GenerateSmall(GetParam());
+  std::string once = SerializeDataset(original);
+  Dataset reloaded = DeserializeDataset(once).ValueOrDie();
+  std::string twice = SerializeDataset(reloaded);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,117 @@
+#include "wot/linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseMatrixTest, ConstructionWithFill) {
+  DenseMatrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.At(r, c), 0.5);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, FromRowsAndAccessors) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  m(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 9.0);
+}
+
+TEST(DenseMatrixTest, RowSpanIsMutable) {
+  DenseMatrix m(2, 2, 1.0);
+  auto row = m.Row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+}
+
+TEST(DenseMatrixTest, RowSumAndMax) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2, 3}, {-1, -5, 0}});
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.RowMax(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), -6.0);
+  EXPECT_DOUBLE_EQ(m.RowMax(1), 0.0);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(t.At(c, r), m.At(r, c));
+    }
+  }
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{5, 6}, {7, 8}});
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, MultiplyRectangular) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 0, 2}});      // 1x3
+  DenseMatrix b = DenseMatrix::FromRows({{1}, {1}, {1}});  // 3x1
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 3.0);
+}
+
+TEST(DenseMatrixTest, FillOverwrites) {
+  DenseMatrix m(2, 2, 3.0);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, AllInRange) {
+  DenseMatrix m = DenseMatrix::FromRows({{0.0, 0.5}, {1.0, 0.7}});
+  EXPECT_TRUE(m.AllInRange(0.0, 1.0));
+  EXPECT_FALSE(m.AllInRange(0.1, 1.0));
+  m.At(0, 0) = 1.5;
+  EXPECT_FALSE(m.AllInRange(0.0, 1.0));
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}});
+  DenseMatrix b = DenseMatrix::FromRows({{1.5, 1.0}});
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(DenseMatrixTest, CountGreaterThan) {
+  DenseMatrix m = DenseMatrix::FromRows({{0.0, 0.2}, {0.5, 0.9}});
+  EXPECT_EQ(m.CountGreaterThan(0.0), 3u);
+  EXPECT_EQ(m.CountGreaterThan(0.4), 2u);
+  EXPECT_EQ(m.CountGreaterThan(1.0), 0u);
+}
+
+TEST(DenseMatrixTest, ToStringRendersRows) {
+  DenseMatrix m = DenseMatrix::FromRows({{1.5}});
+  EXPECT_NE(m.ToString(1).find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,129 @@
+// Property tests of the sparse substrate against brute-force dense
+// references on random matrices.
+#include <gtest/gtest.h>
+
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+SparseMatrix RandomSparse(Rng* rng, size_t rows, size_t cols,
+                          double fill) {
+  SparseMatrixBuilder builder(rows, cols, DuplicatePolicy::kLast);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng->NextBool(fill)) {
+        builder.Add(r, c, 0.1 + rng->NextDouble());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+class LinalgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinalgPropertyTest, CsrInvariantsHold) {
+  Rng rng(GetParam());
+  SparseMatrix m = RandomSparse(&rng, 17, 23, 0.25);
+  // Row offsets are monotone and bounded by nnz.
+  ASSERT_EQ(m.row_offsets().size(), m.rows() + 1);
+  EXPECT_EQ(m.row_offsets().front(), 0u);
+  EXPECT_EQ(m.row_offsets().back(), m.nnz());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_LE(m.row_offsets()[r], m.row_offsets()[r + 1]);
+    auto cols = m.RowCols(r);
+    for (size_t k = 1; k < cols.size(); ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);  // strictly ascending columns
+    }
+  }
+}
+
+TEST_P(LinalgPropertyTest, TransposeIsInvolution) {
+  Rng rng(GetParam() * 3 + 1);
+  SparseMatrix m = RandomSparse(&rng, 12, 19, 0.3);
+  EXPECT_TRUE(m.Transposed().Transposed() == m);
+}
+
+TEST_P(LinalgPropertyTest, SetAlgebraMatchesDenseReference) {
+  Rng rng(GetParam() * 5 + 2);
+  SparseMatrix a = RandomSparse(&rng, 10, 10, 0.3);
+  SparseMatrix b = RandomSparse(&rng, 10, 10, 0.3);
+  DenseMatrix da = ToDense(a);
+  DenseMatrix db = ToDense(b);
+  SparseMatrix inter = PatternIntersect(a, b);
+  SparseMatrix diff = PatternSubtract(a, b);
+  SparseMatrix uni = PatternUnion(a, b);
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 10; ++c) {
+      bool in_a = a.Contains(r, c);
+      bool in_b = b.Contains(r, c);
+      EXPECT_EQ(inter.Contains(r, c), in_a && in_b);
+      EXPECT_EQ(diff.Contains(r, c), in_a && !in_b);
+      EXPECT_EQ(uni.Contains(r, c), in_a || in_b);
+      if (in_a) {
+        EXPECT_DOUBLE_EQ(uni.At(r, c), da.At(r, c));  // a's value wins
+      } else if (in_b) {
+        EXPECT_DOUBLE_EQ(uni.At(r, c), db.At(r, c));
+      }
+    }
+  }
+}
+
+TEST_P(LinalgPropertyTest, SpMVMatchesDenseReference) {
+  Rng rng(GetParam() * 7 + 3);
+  SparseMatrix a = RandomSparse(&rng, 14, 9, 0.4);
+  std::vector<double> x(9);
+  for (auto& v : x) {
+    v = rng.NextDouble();
+  }
+  std::vector<double> y = SpMV(a, x);
+  DenseMatrix da = ToDense(a);
+  for (size_t r = 0; r < 14; ++r) {
+    double expected = 0.0;
+    for (size_t c = 0; c < 9; ++c) {
+      expected += da.At(r, c) * x[c];
+    }
+    EXPECT_NEAR(y[r], expected, 1e-12);
+  }
+}
+
+TEST_P(LinalgPropertyTest, SpMMMatchesDenseReference) {
+  Rng rng(GetParam() * 11 + 4);
+  SparseMatrix a = RandomSparse(&rng, 8, 13, 0.35);
+  DenseMatrix b(13, 6);
+  for (size_t r = 0; r < 13; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      b.At(r, c) = rng.NextDouble();
+    }
+  }
+  DenseMatrix product = SpMM(a, b);
+  DenseMatrix reference = ToDense(a).Multiply(b);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(product, reference), 1e-12);
+}
+
+TEST_P(LinalgPropertyTest, DuplicateSumEqualsDenseAccumulation) {
+  Rng rng(GetParam() * 13 + 5);
+  const size_t n = 7;
+  SparseMatrixBuilder builder(n, n, DuplicatePolicy::kSum);
+  DenseMatrix reference(n, n, 0.0);
+  for (int k = 0; k < 60; ++k) {
+    size_t r = rng.NextBounded(n);
+    size_t c = rng.NextBounded(n);
+    double v = rng.NextDouble();
+    builder.Add(r, c, v);
+    reference.At(r, c) += v;
+  }
+  SparseMatrix m = builder.Build();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(m.At(r, c), reference.At(r, c), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,149 @@
+#include "wot/linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+SparseMatrix MakeSimple() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  SparseMatrixBuilder b(3, 3);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 2, 2.0);
+  b.Add(2, 0, 3.0);
+  b.Add(2, 1, 4.0);
+  return b.Build();
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+}
+
+TEST(SparseMatrixTest, BuildAndAccess) {
+  SparseMatrix m = MakeSimple();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);  // absent
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);  // empty row
+}
+
+TEST(SparseMatrixTest, ContainsChecksPattern) {
+  SparseMatrix m = MakeSimple();
+  EXPECT_TRUE(m.Contains(0, 0));
+  EXPECT_TRUE(m.Contains(2, 1));
+  EXPECT_FALSE(m.Contains(1, 0));
+  EXPECT_FALSE(m.Contains(0, 1));
+}
+
+TEST(SparseMatrixTest, RowSpansSortedByColumn) {
+  SparseMatrixBuilder b(1, 5);
+  b.Add(0, 4, 4.0);
+  b.Add(0, 1, 1.0);
+  b.Add(0, 3, 3.0);
+  SparseMatrix m = b.Build();
+  auto cols = m.RowCols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1u);
+  EXPECT_EQ(cols[1], 3u);
+  EXPECT_EQ(cols[2], 4u);
+  auto vals = m.RowValues(0);
+  EXPECT_DOUBLE_EQ(vals[0], 1.0);
+  EXPECT_DOUBLE_EQ(vals[2], 4.0);
+}
+
+TEST(SparseMatrixTest, RowNnz) {
+  SparseMatrix m = MakeSimple();
+  EXPECT_EQ(m.RowNnz(0), 2u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+  EXPECT_EQ(m.RowNnz(2), 2u);
+}
+
+TEST(SparseMatrixTest, Density) {
+  SparseMatrix m = MakeSimple();
+  EXPECT_DOUBLE_EQ(m.Density(), 4.0 / 9.0);
+}
+
+TEST(SparseMatrixTest, DuplicatePolicySum) {
+  SparseMatrixBuilder b(1, 1, DuplicatePolicy::kSum);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 0, 2.5);
+  SparseMatrix m = b.Build();
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(SparseMatrixTest, DuplicatePolicyLast) {
+  SparseMatrixBuilder b(1, 1, DuplicatePolicy::kLast);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 0, 2.5);
+  SparseMatrix m = b.Build();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.5);
+}
+
+TEST(SparseMatrixTest, DuplicatePolicyMax) {
+  SparseMatrixBuilder b(1, 1, DuplicatePolicy::kMax);
+  b.Add(0, 0, 5.0);
+  b.Add(0, 0, 2.5);
+  SparseMatrix m = b.Build();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 5.0);
+}
+
+TEST(SparseMatrixTest, BuilderReusableAfterBuild) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 0, 1.0);
+  SparseMatrix first = b.Build();
+  EXPECT_EQ(first.nnz(), 1u);
+  b.Add(1, 1, 2.0);
+  SparseMatrix second = b.Build();
+  EXPECT_EQ(second.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(second.At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(second.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, TransposedRoundTrip) {
+  SparseMatrix m = MakeSimple();
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 2), 4.0);
+  EXPECT_TRUE(t.Transposed() == m);
+}
+
+TEST(SparseMatrixTest, EqualityDetectsValueDifference) {
+  SparseMatrixBuilder b1(1, 2);
+  b1.Add(0, 1, 1.0);
+  SparseMatrixBuilder b2(1, 2);
+  b2.Add(0, 1, 2.0);
+  EXPECT_FALSE(b1.Build() == b2.Build());
+}
+
+TEST(SparseMatrixTest, ZeroValuedEntriesAreStored) {
+  // Pattern and value are distinct concepts: an explicit 0 is stored.
+  SparseMatrixBuilder b(1, 2);
+  b.Add(0, 0, 0.0);
+  SparseMatrix m = b.Build();
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_TRUE(m.Contains(0, 0));
+}
+
+TEST(SparseMatrixDeathTest, OutOfRangeAddAborts) {
+  SparseMatrixBuilder b(2, 2);
+  EXPECT_DEATH(b.Add(2, 0, 1.0), "Check failed");
+  EXPECT_DEATH(b.Add(0, 2, 1.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace wot

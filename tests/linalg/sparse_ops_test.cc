@@ -1,0 +1,117 @@
+#include "wot/linalg/sparse_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+SparseMatrix FromTriplets(
+    size_t rows, size_t cols,
+    const std::vector<std::tuple<size_t, size_t, double>>& triplets) {
+  SparseMatrixBuilder b(rows, cols);
+  for (const auto& [r, c, v] : triplets) {
+    b.Add(r, c, v);
+  }
+  return b.Build();
+}
+
+TEST(SparseOpsTest, PatternIntersectKeepsSharedCoordinates) {
+  SparseMatrix a = FromTriplets(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  SparseMatrix b = FromTriplets(2, 3, {{0, 0, 9.0}, {1, 1, 9.0}, {1, 2, 9.0}});
+  SparseMatrix both = PatternIntersect(a, b);
+  EXPECT_EQ(both.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(both.At(0, 0), 1.0);  // value from a
+  EXPECT_DOUBLE_EQ(both.At(1, 1), 3.0);
+  EXPECT_FALSE(both.Contains(0, 2));
+  EXPECT_FALSE(both.Contains(1, 2));
+}
+
+TEST(SparseOpsTest, PatternSubtract) {
+  SparseMatrix a = FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 3.0}});
+  SparseMatrix b = FromTriplets(2, 2, {{0, 1, 9.0}});
+  SparseMatrix diff = PatternSubtract(a, b);
+  EXPECT_EQ(diff.nnz(), 2u);
+  EXPECT_TRUE(diff.Contains(0, 0));
+  EXPECT_TRUE(diff.Contains(1, 0));
+  EXPECT_FALSE(diff.Contains(0, 1));
+}
+
+TEST(SparseOpsTest, PatternUnionPrefersAValues) {
+  SparseMatrix a = FromTriplets(1, 3, {{0, 0, 1.0}});
+  SparseMatrix b = FromTriplets(1, 3, {{0, 0, 5.0}, {0, 2, 7.0}});
+  SparseMatrix u = PatternUnion(a, b);
+  EXPECT_EQ(u.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(u.At(0, 0), 1.0);  // a wins on overlap
+  EXPECT_DOUBLE_EQ(u.At(0, 2), 7.0);
+}
+
+TEST(SparseOpsTest, SetIdentities) {
+  SparseMatrix a = FromTriplets(3, 3, {{0, 0, 1.}, {1, 1, 1.}, {2, 2, 1.}});
+  SparseMatrix b = FromTriplets(3, 3, {{1, 1, 1.}, {2, 0, 1.}});
+  // |A| = |A&B| + |A-B|
+  EXPECT_EQ(a.nnz(),
+            PatternIntersect(a, b).nnz() + PatternSubtract(a, b).nnz());
+  // |A|B| = |A| + |B| - |A&B|
+  EXPECT_EQ(PatternUnion(a, b).nnz(),
+            a.nnz() + b.nnz() - PatternIntersect(a, b).nnz());
+}
+
+TEST(SparseOpsTest, CountPatternIntersectMatchesMaterialized) {
+  SparseMatrix a = FromTriplets(2, 4, {{0, 1, 1.}, {0, 3, 1.}, {1, 0, 1.}});
+  SparseMatrix b = FromTriplets(2, 4, {{0, 3, 1.}, {1, 0, 1.}, {1, 1, 1.}});
+  EXPECT_EQ(CountPatternIntersect(a, b), PatternIntersect(a, b).nnz());
+  EXPECT_EQ(CountPatternIntersect(a, b), 2u);
+}
+
+TEST(SparseOpsTest, SpMMMatchesDense) {
+  SparseMatrix a = FromTriplets(2, 3, {{0, 0, 1.}, {0, 2, 2.}, {1, 1, 3.}});
+  DenseMatrix b = DenseMatrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  DenseMatrix product = SpMM(a, b);
+  DenseMatrix expected = ToDense(a).Multiply(b);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(product, expected), 0.0);
+}
+
+TEST(SparseOpsTest, SpMVMatchesHand) {
+  SparseMatrix a = FromTriplets(2, 2, {{0, 0, 2.}, {1, 0, 1.}, {1, 1, 3.}});
+  std::vector<double> y = SpMV(a, {1.0, 2.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(SparseOpsTest, ForEachEntryVisitsRowMajor) {
+  SparseMatrix a = FromTriplets(2, 2, {{1, 0, 3.}, {0, 1, 2.}});
+  std::vector<std::tuple<size_t, uint32_t, double>> seen;
+  ForEachEntry(a, [&](size_t r, uint32_t c, double v) {
+    seen.emplace_back(r, c, v);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_tuple(size_t{0}, uint32_t{1}, 2.0));
+  EXPECT_EQ(seen[1], std::make_tuple(size_t{1}, uint32_t{0}, 3.0));
+}
+
+TEST(SparseOpsTest, DenseRoundTrip) {
+  SparseMatrix a = FromTriplets(3, 2, {{0, 1, 0.5}, {2, 0, 0.25}});
+  SparseMatrix back = FromDense(ToDense(a));
+  EXPECT_TRUE(a == back);
+}
+
+TEST(SparseOpsTest, FromDenseAppliesThreshold) {
+  DenseMatrix d = DenseMatrix::FromRows({{0.1, 0.5}, {0.9, 0.0}});
+  SparseMatrix s = FromDense(d, 0.4);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_TRUE(s.Contains(0, 1));
+  EXPECT_TRUE(s.Contains(1, 0));
+}
+
+TEST(SparseOpsTest, EmptyOperands) {
+  SparseMatrix a = FromTriplets(2, 2, {});
+  SparseMatrix b = FromTriplets(2, 2, {{0, 0, 1.0}});
+  EXPECT_EQ(PatternIntersect(a, b).nnz(), 0u);
+  EXPECT_EQ(PatternSubtract(b, a).nnz(), 1u);
+  EXPECT_EQ(PatternUnion(a, b).nnz(), 1u);
+  EXPECT_EQ(CountPatternIntersect(a, b), 0u);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "wot/linalg/sparse_ops.h"
+#include "wot/util/rng.h"
+
+namespace wot {
+namespace {
+
+SparseMatrix FromTriplets(
+    size_t rows, size_t cols,
+    const std::vector<std::tuple<size_t, size_t, double>>& ts) {
+  SparseMatrixBuilder b(rows, cols);
+  for (const auto& [r, c, v] : ts) {
+    b.Add(r, c, v);
+  }
+  return b.Build();
+}
+
+TEST(SpGemmTest, HandComputedProduct) {
+  // [1 2] [5 6]   [19 22]
+  // [3 4] [7 8] = [43 50]
+  SparseMatrix a = FromTriplets(
+      2, 2, {{0, 0, 1.}, {0, 1, 2.}, {1, 0, 3.}, {1, 1, 4.}});
+  SparseMatrix b = FromTriplets(
+      2, 2, {{0, 0, 5.}, {0, 1, 6.}, {1, 0, 7.}, {1, 1, 8.}});
+  SparseMatrix c = SpGemm(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(SpGemmTest, RectangularShapes) {
+  SparseMatrix a = FromTriplets(2, 3, {{0, 2, 1.0}, {1, 0, 2.0}});
+  SparseMatrix b = FromTriplets(3, 4, {{2, 3, 5.0}, {0, 1, 7.0}});
+  SparseMatrix c = SpGemm(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c.At(0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 14.0);
+  EXPECT_EQ(c.nnz(), 2u);
+}
+
+TEST(SpGemmTest, EmptyOperands) {
+  SparseMatrix a = FromTriplets(3, 3, {});
+  SparseMatrix b = FromTriplets(3, 3, {{0, 0, 1.0}});
+  EXPECT_EQ(SpGemm(a, b).nnz(), 0u);
+  EXPECT_EQ(SpGemm(b, a).nnz(), 0u);
+}
+
+TEST(SpGemmTest, MatchesDenseReferenceOnRandomMatrices) {
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    SparseMatrixBuilder ba(12, 15);
+    SparseMatrixBuilder bb(15, 9);
+    for (int k = 0; k < 50; ++k) {
+      ba.Add(rng.NextBounded(12), rng.NextBounded(15), rng.NextDouble());
+      bb.Add(rng.NextBounded(15), rng.NextBounded(9), rng.NextDouble());
+    }
+    SparseMatrix a = ba.Build();
+    SparseMatrix b = bb.Build();
+    DenseMatrix expected = ToDense(a).Multiply(ToDense(b));
+    DenseMatrix actual = ToDense(SpGemm(a, b));
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(actual, expected), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(KeepTopKTest, KeepsLargestPerRow) {
+  SparseMatrix m = FromTriplets(
+      2, 4, {{0, 0, 0.1}, {0, 1, 0.9}, {0, 2, 0.5}, {1, 3, 0.2}});
+  SparseMatrix kept = KeepTopKPerRow(m, 2);
+  EXPECT_EQ(kept.RowNnz(0), 2u);
+  EXPECT_TRUE(kept.Contains(0, 1));
+  EXPECT_TRUE(kept.Contains(0, 2));
+  EXPECT_FALSE(kept.Contains(0, 0));
+  EXPECT_EQ(kept.RowNnz(1), 1u);  // fewer than k entries survive as-is
+}
+
+TEST(KeepTopKTest, TieBreaksByAscendingColumn) {
+  SparseMatrix m = FromTriplets(
+      1, 3, {{0, 0, 0.5}, {0, 1, 0.5}, {0, 2, 0.5}});
+  SparseMatrix kept = KeepTopKPerRow(m, 2);
+  EXPECT_TRUE(kept.Contains(0, 0));
+  EXPECT_TRUE(kept.Contains(0, 1));
+  EXPECT_FALSE(kept.Contains(0, 2));
+}
+
+TEST(SparseAddTest, LinearCombination) {
+  SparseMatrix a = FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  SparseMatrix b = FromTriplets(2, 2, {{0, 1, 3.0}, {1, 1, 4.0}});
+  SparseMatrix c = Add(a, 2.0, b, 0.5);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 5.5);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 2.0);
+}
+
+TEST(NormalizeRowsTest, RowsSumToOne) {
+  SparseMatrix m = FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 3.0}, {1, 1, 5.0}});
+  SparseMatrix norm = NormalizeRowsL1(m);
+  EXPECT_DOUBLE_EQ(norm.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(norm.At(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(norm.At(1, 1), 1.0);
+}
+
+TEST(NormalizeRowsTest, EmptyRowUntouched) {
+  SparseMatrix m = FromTriplets(2, 2, {{0, 0, 2.0}});
+  SparseMatrix norm = NormalizeRowsL1(m);
+  EXPECT_EQ(norm.RowNnz(1), 0u);
+  EXPECT_DOUBLE_EQ(norm.At(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace wot

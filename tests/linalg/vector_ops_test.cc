@@ -1,0 +1,68 @@
+#include "wot/linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(L1Norm({1, -2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(L1Norm({}), 0.0);
+}
+
+TEST(VectorOpsTest, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({1, 2}, {1.5, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({1}, {1}), 0.0);
+}
+
+TEST(VectorOpsTest, NormalizeL1) {
+  std::vector<double> v = {1, 3};
+  double norm = NormalizeL1(&v);
+  EXPECT_DOUBLE_EQ(norm, 4.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VectorOpsTest, NormalizeL1ZeroVectorIsNoop) {
+  std::vector<double> v = {0, 0};
+  double norm = NormalizeL1(&v);
+  EXPECT_DOUBLE_EQ(norm, 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(VectorOpsTest, ArgMax) {
+  EXPECT_EQ(ArgMax({1, 5, 3}), 1u);
+  EXPECT_EQ(ArgMax({7}), 0u);
+  EXPECT_EQ(ArgMax({}), 0u);
+  // First of equal maxima wins.
+  EXPECT_EQ(ArgMax({2, 2}), 0u);
+}
+
+TEST(VectorOpsTest, SortIndicesDescending) {
+  std::vector<size_t> idx = SortIndicesDescending({0.1, 0.9, 0.5});
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(VectorOpsTest, SortIndicesDescendingStableOnTies) {
+  std::vector<size_t> idx = SortIndicesDescending({0.5, 0.9, 0.5});
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 0, 2}));
+}
+
+TEST(VectorOpsTest, KthLargest) {
+  std::vector<double> v = {0.3, 0.9, 0.1, 0.7};
+  EXPECT_DOUBLE_EQ(KthLargest(v, 1), 0.9);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 2), 0.7);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 4), 0.1);
+  // k is clamped into range.
+  EXPECT_DOUBLE_EQ(KthLargest(v, 0), 0.9);
+  EXPECT_DOUBLE_EQ(KthLargest(v, 99), 0.1);
+}
+
+}  // namespace
+}  // namespace wot

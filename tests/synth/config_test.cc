@@ -1,0 +1,67 @@
+#include "wot/synth/config.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(SynthConfigTest, DefaultsAreValid) {
+  SynthConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, PaperCategoryNamesMatchTable2) {
+  auto names = SynthConfig::PaperCategoryNames();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names[0], "Action/Adventure");
+  EXPECT_EQ(names[3], "Dramas");
+  EXPECT_EQ(names[11], "Westerns");
+}
+
+TEST(SynthConfigTest, RejectsZeroUsers) {
+  SynthConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsOutOfRangeProbabilities) {
+  SynthConfig config;
+  config.writer_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SynthConfig{};
+  config.trust_midpoint = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SynthConfig{};
+  config.quality_biased_reading = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsNonPositiveShapes) {
+  SynthConfig config;
+  config.writer_quality_alpha = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SynthConfig{};
+  config.activity_tail = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SynthConfig{};
+  config.max_ratings_per_user = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsNegativeNoise) {
+  SynthConfig config;
+  config.rating_noise = -0.2;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SynthConfig{};
+  config.category_skill_noise = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsSingleCategory) {
+  SynthConfig config;
+  config.category_names = {"only one"};
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,96 @@
+#include "wot/synth/designations.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "wot/community/dataset_builder.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+SynthCommunity Generate(uint64_t seed, size_t advisors,
+                        size_t top_reviewers) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = 400;
+  config.max_ratings_per_user = 40.0;
+  config.num_advisors = advisors;
+  config.num_top_reviewers = top_reviewers;
+  return GenerateCommunity(config).ValueOrDie();
+}
+
+TEST(DesignationsTest, CountsFollowConfig) {
+  SynthCommunity community = Generate(1, 10, 25);
+  EXPECT_EQ(community.truth.advisors.size(), 10u);
+  EXPECT_EQ(community.truth.top_reviewers.size(), 25u);
+}
+
+TEST(DesignationsTest, NoDuplicates) {
+  SynthCommunity community = Generate(2, 22, 40);
+  std::unordered_set<uint32_t> advisors;
+  for (UserId u : community.truth.advisors) {
+    EXPECT_TRUE(advisors.insert(u.value()).second);
+  }
+  std::unordered_set<uint32_t> reviewers;
+  for (UserId u : community.truth.top_reviewers) {
+    EXPECT_TRUE(reviewers.insert(u.value()).second);
+  }
+}
+
+TEST(DesignationsTest, AdvisorsOutscoreNonAdvisors) {
+  SynthCommunity community = Generate(3, 22, 40);
+  // Recompute the advisor score and verify the planted set dominates:
+  // every advisor's score >= every non-advisor's score.
+  std::vector<double> ratings_given(community.dataset.num_users(), 0.0);
+  for (const auto& rating : community.dataset.ratings()) {
+    ratings_given[rating.rater.index()] += 1.0;
+  }
+  std::vector<double> score(community.dataset.num_users(), 0.0);
+  for (size_t u = 0; u < score.size(); ++u) {
+    score[u] = community.truth.profiles[u].rater_reliability *
+               std::log1p(ratings_given[u]);
+  }
+  std::unordered_set<uint32_t> advisors;
+  for (UserId u : community.truth.advisors) {
+    advisors.insert(u.value());
+  }
+  double min_advisor = 1e9;
+  for (UserId u : community.truth.advisors) {
+    min_advisor = std::min(min_advisor, score[u.index()]);
+  }
+  for (size_t u = 0; u < score.size(); ++u) {
+    if (advisors.count(static_cast<uint32_t>(u)) == 0) {
+      EXPECT_LE(score[u], min_advisor + 1e-12);
+    }
+  }
+}
+
+TEST(DesignationsTest, TopReviewersAreWriters) {
+  SynthCommunity community = Generate(4, 22, 40);
+  for (UserId u : community.truth.top_reviewers) {
+    EXPECT_TRUE(community.truth.profiles[u.index()].is_writer);
+  }
+}
+
+TEST(DesignationsTest, InactiveCommunityYieldsNoDesignations) {
+  // A dataset with users but no activity: scores are all zero, and the
+  // planting logic must not designate inactive users.
+  SynthGroundTruth truth;
+  truth.profiles.resize(10);
+  DatasetBuilder builder;
+  builder.AddCategory("c");
+  for (int i = 0; i < 10; ++i) {
+    builder.AddUser("u" + std::to_string(i));
+  }
+  Dataset ds = builder.Build().ValueOrDie();
+  SynthConfig config;
+  PlantDesignations(config, ds, &truth);
+  EXPECT_TRUE(truth.advisors.empty());
+  EXPECT_TRUE(truth.top_reviewers.empty());
+}
+
+}  // namespace
+}  // namespace wot

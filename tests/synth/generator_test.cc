@@ -1,0 +1,136 @@
+#include "wot/synth/generator.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "wot/community/indices.h"
+
+namespace wot {
+namespace {
+
+SynthConfig SmallConfig(uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = 400;
+  config.mean_objects_per_category = 40;
+  config.max_ratings_per_user = 60.0;
+  config.max_reviews_per_writer = 8.0;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesNonTrivialCommunity) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(1)).ValueOrDie();
+  const Dataset& ds = community.dataset;
+  EXPECT_EQ(ds.num_users(), 400u);
+  EXPECT_EQ(ds.num_categories(), 12u);
+  EXPECT_GT(ds.num_reviews(), 100u);
+  EXPECT_GT(ds.num_ratings(), ds.num_reviews());  // paper: ratings >> reviews
+  EXPECT_GT(ds.num_trust_statements(), 50u);
+}
+
+TEST(GeneratorTest, GroundTruthAligned) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(2)).ValueOrDie();
+  EXPECT_EQ(community.truth.profiles.size(),
+            community.dataset.num_users());
+  EXPECT_EQ(community.truth.review_quality.size(),
+            community.dataset.num_reviews());
+  for (double q : community.truth.review_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  SynthCommunity a = GenerateCommunity(SmallConfig(3)).ValueOrDie();
+  SynthCommunity b = GenerateCommunity(SmallConfig(3)).ValueOrDie();
+  EXPECT_EQ(a.dataset.num_reviews(), b.dataset.num_reviews());
+  EXPECT_EQ(a.dataset.num_ratings(), b.dataset.num_ratings());
+  EXPECT_EQ(a.dataset.num_trust_statements(),
+            b.dataset.num_trust_statements());
+  for (size_t i = 0; i < a.dataset.num_ratings(); ++i) {
+    EXPECT_EQ(a.dataset.ratings()[i].rater, b.dataset.ratings()[i].rater);
+    EXPECT_EQ(a.dataset.ratings()[i].review, b.dataset.ratings()[i].review);
+    EXPECT_DOUBLE_EQ(a.dataset.ratings()[i].value,
+                     b.dataset.ratings()[i].value);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SynthCommunity a = GenerateCommunity(SmallConfig(4)).ValueOrDie();
+  SynthCommunity b = GenerateCommunity(SmallConfig(5)).ValueOrDie();
+  EXPECT_NE(a.dataset.num_ratings(), b.dataset.num_ratings());
+}
+
+TEST(GeneratorTest, AllRatingsOnFiveStageScale) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(6)).ValueOrDie();
+  for (const auto& rating : community.dataset.ratings()) {
+    EXPECT_TRUE(rating_scale::IsValidStage(rating.value));
+  }
+}
+
+TEST(GeneratorTest, NoSelfRatingsNoDuplicates) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(7)).ValueOrDie();
+  const Dataset& ds = community.dataset;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& rating : ds.ratings()) {
+    EXPECT_NE(ds.review(rating.review).writer, rating.rater);
+    uint64_t key = (static_cast<uint64_t>(rating.rater.value()) << 32) |
+                   rating.review.value();
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(GeneratorTest, DesignationsPlanted) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(8)).ValueOrDie();
+  EXPECT_EQ(community.truth.advisors.size(), 22u);
+  EXPECT_EQ(community.truth.top_reviewers.size(), 40u);
+  // Advisors actually rate; top reviewers actually write.
+  DatasetIndices indices(community.dataset);
+  for (UserId advisor : community.truth.advisors) {
+    EXPECT_GT(indices.RatingsByUser(advisor).size(), 0u);
+  }
+  for (UserId reviewer : community.truth.top_reviewers) {
+    EXPECT_GT(indices.ReviewsByUser(reviewer).size(), 0u);
+  }
+}
+
+TEST(GeneratorTest, AdvisorsHaveHighReliability) {
+  SynthCommunity community =
+      GenerateCommunity(SmallConfig(9)).ValueOrDie();
+  double advisor_mean = 0.0;
+  for (UserId advisor : community.truth.advisors) {
+    advisor_mean +=
+        community.truth.profiles[advisor.index()].rater_reliability;
+  }
+  advisor_mean /= static_cast<double>(community.truth.advisors.size());
+  double population_mean = 0.0;
+  for (const auto& p : community.truth.profiles) {
+    population_mean += p.rater_reliability;
+  }
+  population_mean /=
+      static_cast<double>(community.truth.profiles.size());
+  EXPECT_GT(advisor_mean, population_mean);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  SynthConfig config = SmallConfig(10);
+  config.num_users = 0;
+  EXPECT_FALSE(GenerateCommunity(config).ok());
+}
+
+TEST(GeneratorTest, CustomCategoryNames) {
+  SynthConfig config = SmallConfig(11);
+  config.category_names = {"alpha", "beta", "gamma"};
+  SynthCommunity community = GenerateCommunity(config).ValueOrDie();
+  EXPECT_EQ(community.dataset.num_categories(), 3u);
+  EXPECT_EQ(community.dataset.categories()[1].name, "beta");
+}
+
+}  // namespace
+}  // namespace wot

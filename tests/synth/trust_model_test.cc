@@ -1,0 +1,116 @@
+#include "wot/synth/trust_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "wot/community/indices.h"
+#include "wot/core/baseline.h"
+#include "wot/linalg/sparse_ops.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+SynthCommunity Generate(uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  config.num_users = 500;
+  config.mean_objects_per_category = 40;
+  config.max_ratings_per_user = 80.0;
+  return GenerateCommunity(config).ValueOrDie();
+}
+
+TEST(TrustModelTest, NoSelfOrDuplicateTrust) {
+  SynthCommunity community = Generate(1);
+  std::unordered_set<uint64_t> seen;
+  for (const auto& t : community.dataset.trust_statements()) {
+    EXPECT_NE(t.source, t.target);
+    uint64_t key = (static_cast<uint64_t>(t.source.value()) << 32) |
+                   t.target.value();
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(TrustModelTest, TrustHasOutOfRPopulation) {
+  // The paper observed T - R to be non-empty (trust formed outside the
+  // category); the generator must reproduce that structure.
+  SynthCommunity community = Generate(2);
+  DatasetIndices indices(community.dataset);
+  SparseMatrix direct =
+      BuildDirectConnectionMatrix(community.dataset, indices);
+  SparseMatrix trust = BuildExplicitTrustMatrix(community.dataset);
+  size_t in_r = CountPatternIntersect(trust, direct);
+  EXPECT_GT(trust.nnz(), 0u);
+  EXPECT_GT(in_r, 0u);
+  EXPECT_LT(in_r, trust.nnz());  // some edges fall outside R
+}
+
+TEST(TrustModelTest, TrustTargetsAreMoreExpertThanAverage) {
+  // Trusted users' affinity-weighted skill (as seen by their trusters)
+  // must exceed the skill of average direct connections — the generative
+  // assumption the whole paper leans on.
+  SynthCommunity community = Generate(3);
+  const auto& profiles = community.truth.profiles;
+  DatasetIndices indices(community.dataset);
+  SparseMatrix direct =
+      BuildDirectConnectionMatrix(community.dataset, indices);
+  SparseMatrix trust = BuildExplicitTrustMatrix(community.dataset);
+
+  auto perceived = [&](size_t i, size_t j) {
+    double acc = 0.0;
+    for (size_t c = 0; c < profiles[i].affinity.size(); ++c) {
+      acc += profiles[i].affinity[c] * profiles[j].category_skill[c];
+    }
+    return acc;
+  };
+
+  double trusted_sum = 0.0;
+  size_t trusted_count = 0;
+  double connected_sum = 0.0;
+  size_t connected_count = 0;
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (uint32_t j : direct.RowCols(i)) {
+      double e = perceived(i, j);
+      connected_sum += e;
+      ++connected_count;
+      if (trust.Contains(i, j)) {
+        trusted_sum += e;
+        ++trusted_count;
+      }
+    }
+  }
+  ASSERT_GT(trusted_count, 0u);
+  ASSERT_GT(connected_count, trusted_count);
+  EXPECT_GT(trusted_sum / static_cast<double>(trusted_count),
+            connected_sum / static_cast<double>(connected_count));
+}
+
+TEST(TrustModelTest, GenerousUsersTrustMore) {
+  SynthCommunity community = Generate(4);
+  const auto& profiles = community.truth.profiles;
+  std::vector<size_t> out_degree(profiles.size(), 0);
+  for (const auto& t : community.dataset.trust_statements()) {
+    ++out_degree[t.source.index()];
+  }
+  // Compare mean out-degree of the most vs least generous third, among
+  // users with at least one trust edge possibility (active raters).
+  std::vector<std::pair<double, size_t>> by_generosity;
+  for (size_t u = 0; u < profiles.size(); ++u) {
+    by_generosity.emplace_back(profiles[u].generosity, out_degree[u]);
+  }
+  std::sort(by_generosity.begin(), by_generosity.end());
+  size_t third = by_generosity.size() / 3;
+  double low = 0.0;
+  double high = 0.0;
+  for (size_t i = 0; i < third; ++i) {
+    low += static_cast<double>(by_generosity[i].second);
+    high += static_cast<double>(
+        by_generosity[by_generosity.size() - 1 - i].second);
+  }
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,124 @@
+#include "wot/synth/user_model.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+std::vector<UserProfile> Sample(uint64_t seed, size_t users = 500,
+                                size_t cats = 12) {
+  SynthConfig config;
+  config.num_users = users;
+  Rng rng(seed);
+  return SampleUserProfiles(config, cats, &rng);
+}
+
+TEST(UserModelTest, ProfileFieldsInRange) {
+  auto profiles = Sample(1);
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.activity, 0.0);
+    EXPECT_LE(p.activity, 1.0);
+    EXPECT_GE(p.writer_quality, 0.0);
+    EXPECT_LE(p.writer_quality, 1.0);
+    EXPECT_GE(p.rater_reliability, 0.0);
+    EXPECT_LE(p.rater_reliability, 1.0);
+    EXPECT_GE(p.generosity, 0.0);
+    EXPECT_LE(p.generosity, 1.0);
+    for (double skill : p.category_skill) {
+      EXPECT_GE(skill, 0.0);
+      EXPECT_LE(skill, 1.0);
+    }
+  }
+}
+
+TEST(UserModelTest, AffinitiesSumToOne) {
+  auto profiles = Sample(2);
+  for (const auto& p : profiles) {
+    double total = 0.0;
+    size_t focus = 0;
+    for (double a : p.affinity) {
+      EXPECT_GE(a, 0.0);
+      total += a;
+      if (a > 0.0) {
+        ++focus;
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GE(focus, 1u);
+    EXPECT_LE(focus, 4u);
+  }
+}
+
+TEST(UserModelTest, SkillOnlyInFocusCategories) {
+  auto profiles = Sample(3);
+  for (const auto& p : profiles) {
+    for (size_t c = 0; c < p.affinity.size(); ++c) {
+      if (p.affinity[c] == 0.0) {
+        EXPECT_DOUBLE_EQ(p.category_skill[c], 0.0);
+      }
+    }
+  }
+}
+
+TEST(UserModelTest, DeterministicGivenSeed) {
+  auto a = Sample(7);
+  auto b = Sample(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].activity, b[i].activity);
+    EXPECT_EQ(a[i].writer_quality, b[i].writer_quality);
+    EXPECT_EQ(a[i].affinity, b[i].affinity);
+  }
+}
+
+TEST(UserModelTest, ActivityIsHeavyTailed) {
+  auto profiles = Sample(11, 5000);
+  // Median activity must sit well below the mean of the top percentile —
+  // a signature of the heavy tail.
+  std::vector<double> activities;
+  for (const auto& p : profiles) {
+    activities.push_back(p.activity);
+  }
+  std::sort(activities.begin(), activities.end());
+  double median = activities[activities.size() / 2];
+  double top = activities[activities.size() - activities.size() / 100];
+  EXPECT_LT(median, 0.6);
+  EXPECT_GT(top, 0.9);
+}
+
+TEST(UserModelTest, WriterFractionRoughlyRespected) {
+  SynthConfig config;
+  config.num_users = 4000;
+  config.writer_fraction = 0.3;
+  Rng rng(13);
+  auto profiles = SampleUserProfiles(config, 12, &rng);
+  size_t writers = 0;
+  for (const auto& p : profiles) {
+    if (p.is_writer) {
+      ++writers;
+    }
+  }
+  double fraction =
+      static_cast<double>(writers) / static_cast<double>(profiles.size());
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(UserModelTest, PopularCategoriesAttractMoreFocus) {
+  auto profiles = Sample(17, 5000);
+  std::vector<size_t> focus_counts(12, 0);
+  for (const auto& p : profiles) {
+    for (size_t c = 0; c < 12; ++c) {
+      if (p.affinity[c] > 0.0) {
+        ++focus_counts[c];
+      }
+    }
+  }
+  // Category 0 is the most popular under the Zipf prior.
+  EXPECT_GT(focus_counts[0], focus_counts[6]);
+  EXPECT_GT(focus_counts[0], focus_counts[11]);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,65 @@
+// Shared hand-built datasets for unit tests. Small enough to verify
+// every number by hand.
+#ifndef WOT_TESTS_TESTING_FIXTURES_H_
+#define WOT_TESTS_TESTING_FIXTURES_H_
+
+#include "wot/community/dataset.h"
+#include "wot/community/dataset_builder.h"
+#include "wot/util/check.h"
+
+namespace wot {
+namespace testing {
+
+/// A two-category community with four users:
+///   u0 writes r0 (movies/m0) and r1 (books/b0)
+///   u1 writes r2 (movies/m1)
+///   u2 rates r0=1.0, r1=0.6, r2=0.2
+///   u3 rates r0=0.8
+///   trust: u2 -> u0, u3 -> u0
+///
+/// Review ids are assigned in the order above (r0=0, r1=1, r2=2).
+inline Dataset TinyCommunity() {
+  DatasetBuilder builder;
+  CategoryId movies = builder.AddCategory("movies");
+  CategoryId books = builder.AddCategory("books");
+  UserId u0 = builder.AddUser("u0");
+  UserId u1 = builder.AddUser("u1");
+  UserId u2 = builder.AddUser("u2");
+  UserId u3 = builder.AddUser("u3");
+  ObjectId m0 = builder.AddObject(movies, "m0").ValueOrDie();
+  ObjectId m1 = builder.AddObject(movies, "m1").ValueOrDie();
+  ObjectId b0 = builder.AddObject(books, "b0").ValueOrDie();
+
+  ReviewId r0 = builder.AddReview(u0, m0).ValueOrDie();
+  ReviewId r1 = builder.AddReview(u0, b0).ValueOrDie();
+  ReviewId r2 = builder.AddReview(u1, m1).ValueOrDie();
+
+  WOT_CHECK_OK(builder.AddRating(u2, r0, 1.0));
+  WOT_CHECK_OK(builder.AddRating(u2, r1, 0.6));
+  WOT_CHECK_OK(builder.AddRating(u2, r2, 0.2));
+  WOT_CHECK_OK(builder.AddRating(u3, r0, 0.8));
+
+  WOT_CHECK_OK(builder.AddTrust(u2, u0));
+  WOT_CHECK_OK(builder.AddTrust(u3, u0));
+  return builder.Build().ValueOrDie();
+}
+
+/// One category, one review by u0, rated by u1 (1.0) and u2 (0.2).
+/// The simplest non-degenerate fixed-point input.
+inline Dataset SingleReviewCommunity() {
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("only");
+  UserId u0 = builder.AddUser("u0");
+  UserId u1 = builder.AddUser("u1");
+  UserId u2 = builder.AddUser("u2");
+  ObjectId obj = builder.AddObject(cat, "obj").ValueOrDie();
+  ReviewId review = builder.AddReview(u0, obj).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(u1, review, 1.0));
+  WOT_CHECK_OK(builder.AddRating(u2, review, 0.2));
+  return builder.Build().ValueOrDie();
+}
+
+}  // namespace testing
+}  // namespace wot
+
+#endif  // WOT_TESTS_TESTING_FIXTURES_H_

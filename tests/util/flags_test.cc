@@ -1,0 +1,130 @@
+#include "wot/util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) {
+      argv_.push_back(s.data());
+    }
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgv) {
+  FlagParser flags("t", "test");
+  int64_t n = 5;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 5);
+}
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  FlagParser flags("t", "test");
+  int64_t n = 0;
+  double x = 0.0;
+  std::string s;
+  flags.AddInt64("n", &n, "count");
+  flags.AddDouble("x", &x, "ratio");
+  flags.AddString("s", &s, "name");
+  ArgvFixture args({"--n=42", "--x=0.5", "--s=hello"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 0.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(FlagsTest, ParsesSpaceSyntax) {
+  FlagParser flags("t", "test");
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n", "17"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 17);
+}
+
+TEST(FlagsTest, BareBoolMeansTrue) {
+  FlagParser flags("t", "test");
+  bool verbose = false;
+  flags.AddBool("verbose", &verbose, "chatty");
+  ArgvFixture args({"--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ExplicitBoolValues) {
+  FlagParser flags("t", "test");
+  bool a = false;
+  bool b = true;
+  flags.AddBool("a", &a, "");
+  flags.AddBool("b", &b, "");
+  ArgvFixture args({"--a=true", "--b=false"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser flags("t", "test");
+  ArgvFixture args({"--mystery=1"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagParser flags("t", "test");
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadValueReportsFlagName) {
+  FlagParser flags("t", "test");
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n=abc"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("--n"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser flags("t", "test");
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"input.csv", "--n=1", "output.csv"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagParser flags("mybench", "does things");
+  int64_t n = 7;
+  flags.AddInt64("n", &n, "count of things");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("mybench"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("count of things"), std::string::npos);
+  EXPECT_NE(usage.find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,116 @@
+#include "wot/util/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    double v = std::sin(i) * 10.0;
+    all.Add(v);
+    (i < 40 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);   // bucket 0
+  h.Add(0.3);   // bucket 1
+  h.Add(0.6);   // bucket 2
+  h.Add(0.9);   // bucket 3
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdges) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, UpperBoundFallsInLastBucket) {
+  Histogram h(0.0, 1.0, 10);
+  h.Add(1.0);
+  EXPECT_EQ(h.bucket_count(9), 1);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25);
+  h.Add(0.25);
+  h.Add(0.75);
+  EXPECT_NEAR(h.CumulativeFraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(1), 1.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wot

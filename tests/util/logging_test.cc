@@ -1,0 +1,55 @@
+#include "wot/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+// Restores the global threshold after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogThreshold(); }
+  void TearDown() override { SetLogThreshold(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotReachStderr) {
+  SetLogThreshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  WOT_LOG(Info) << "should not appear";
+  WOT_LOG(Warning) << "also hidden";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured, "");
+}
+
+TEST_F(LoggingTest, EmittedMessagesCarryLevelAndLocation) {
+  SetLogThreshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WOT_LOG(Warning) << "disk almost full: " << 93 << "%";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(captured.find("disk almost full: 93%"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(WOT_LOG(Fatal) << "unrecoverable", "unrecoverable");
+}
+
+}  // namespace
+}  // namespace wot

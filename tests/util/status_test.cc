@@ -1,0 +1,114 @@
+#include "wot/util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("user 7");
+  EXPECT_EQ(s.ToString(), "Not found: user 7");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::Corruption("bad bytes");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kCorruption);
+  EXPECT_EQ(copy.message(), "bad bytes");
+  EXPECT_EQ(copy, original);
+}
+
+TEST(StatusTest, CopyAssignOverOkAndError) {
+  Status err = Status::IOError("disk");
+  Status ok;
+  ok = err;
+  EXPECT_FALSE(ok.ok());
+  err = Status::OK();
+  EXPECT_TRUE(err.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::Internal("boom");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  s = Status::OK();  // must be assignable after move
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("open failed").WithContext("ratings.csv");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "ratings.csv: open failed");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::OutOfRange("k too large");
+  EXPECT_EQ(os.str(), "Out of range: k too large");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    WOT_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOnOk) {
+  auto succeeds = [] { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    WOT_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "Not implemented");
+}
+
+}  // namespace
+}  // namespace wot

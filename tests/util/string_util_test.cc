@@ -1,0 +1,110 @@
+#include "wot/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentDelimitersYieldEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, LeadingAndTrailingDelimiters) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");  // interior whitespace preserved
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(AffixTest, StartsWithEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(ToLowerTest, LowercasesAscii) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("0").ValueOrDie(), 0);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64("123456789012").ValueOrDie(), 123456789012LL);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  Result<int64_t> r = ParseInt64("99999999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").ValueOrDie(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3e2").ValueOrDie(), -300.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").ValueOrDie(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(ParseBoolTest, AcceptsCommonSpellings) {
+  EXPECT_TRUE(ParseBool("true").ValueOrDie());
+  EXPECT_TRUE(ParseBool("TRUE").ValueOrDie());
+  EXPECT_TRUE(ParseBool("1").ValueOrDie());
+  EXPECT_TRUE(ParseBool("yes").ValueOrDie());
+  EXPECT_TRUE(ParseBool(" on ").ValueOrDie());
+  EXPECT_FALSE(ParseBool("false").ValueOrDie());
+  EXPECT_FALSE(ParseBool("0").ValueOrDie());
+  EXPECT_FALSE(ParseBool("off").ValueOrDie());
+  EXPECT_FALSE(ParseBool("maybe").ok());
+}
+
+TEST(FormatTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(44197), "44,197");
+  EXPECT_EQ(FormatWithCommas(429955), "429,955");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,73 @@
+#include "wot/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace wot {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // All lines equal length (padded).
+  size_t expected = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, expected) << "line starting at " << pos;
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, FirstColumnLeftRestRight) {
+  TablePrinter table({"K", "V"});
+  table.AddRow({"a", "1"});
+  std::string out = table.ToString();
+  // "a" is left-aligned (no leading space on its line).
+  size_t rule_end = out.find('\n', out.find('\n') + 1);
+  std::string row = out.substr(rule_end + 1);
+  EXPECT_EQ(row[0], 'a');
+}
+
+TEST(TablePrinterTest, CustomAlignment) {
+  TablePrinter table({"A", "B"});
+  table.SetAlignments({Align::kRight, Align::kLeft});
+  table.AddRow({"x", "y"});
+  std::string out = table.ToString();
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(TablePrinterTest, SeparatorRow) {
+  TablePrinter table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // Header rule + one explicit separator = at least two dashed lines.
+  size_t first = out.find("-");
+  ASSERT_NE(first, std::string::npos);
+  size_t second = out.find("-", out.find('\n', first));
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(TablePrinterTest, CountsRowsAndColumns) {
+  TablePrinter table({"A", "B", "C"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"4", "5", "6"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountAborts) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,236 @@
+// wot_cli — command-line front end to the library.
+//
+//   wot_cli generate --users 4000 --seed 42 --out community/
+//   wot_cli stats    --data community/
+//   wot_cli convert  --data community/ --binary community.wotb
+//   wot_cli derive   --data community/ --top_k 10 --out derived.csv
+//   wot_cli validate --data community/
+//
+// `--data` accepts either a CSV dataset directory (see
+// wot/io/dataset_csv.h) or a .wotb binary file.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "wot/community/stats.h"
+#include "wot/eval/density.h"
+#include "wot/eval/roc.h"
+#include "wot/eval/validation.h"
+#include "wot/io/binary_format.h"
+#include "wot/io/csv.h"
+#include "wot/io/dataset_csv.h"
+#include "wot/synth/generator.h"
+#include "wot/util/flags.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+namespace {
+
+Result<Dataset> LoadAny(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("--data is required");
+  }
+  if (std::filesystem::is_directory(path)) {
+    return LoadDatasetCsv(path);
+  }
+  return LoadDatasetBinary(path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Subcommand-local early exit: print the error and return exit code 1.
+#define WOT_RETURN_IF_ERROR_CLI(expr)               \
+  do {                                              \
+    ::wot::Status _wot_cli_status = (expr);         \
+    if (!_wot_cli_status.ok()) {                    \
+      return Fail(_wot_cli_status);                 \
+    }                                               \
+  } while (false)
+
+int CmdGenerate(int argc, char** argv) {
+  int64_t users = 4000;
+  int64_t seed = 42;
+  std::string out;
+  std::string binary;
+  FlagParser flags("wot_cli generate",
+                   "Generate a synthetic Epinions-shaped community");
+  flags.AddInt64("users", &users, "community size");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddString("out", &out, "CSV dataset directory to write");
+  flags.AddString("binary", &binary, ".wotb file to write");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  if (out.empty() && binary.empty()) {
+    return Fail(Status::InvalidArgument("need --out and/or --binary"));
+  }
+  SynthConfig config;
+  config.num_users = static_cast<size_t>(users);
+  config.seed = static_cast<uint64_t>(seed);
+  Result<SynthCommunity> community = GenerateCommunity(config);
+  if (!community.ok()) return Fail(community.status());
+  const Dataset& dataset = community.ValueOrDie().dataset;
+  std::printf("%s\n", dataset.Summary().c_str());
+  if (!out.empty()) {
+    Status s = SaveDatasetCsv(dataset, out);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote CSV dataset to %s\n", out.c_str());
+  }
+  if (!binary.empty()) {
+    Status s = SaveDatasetBinary(dataset, binary);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote binary dataset to %s\n", binary.c_str());
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  std::string data;
+  FlagParser flags("wot_cli stats", "Describe a dataset");
+  flags.AddString("data", &data, "dataset directory or .wotb file");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  Result<Dataset> dataset = LoadAny(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  DatasetIndices indices(dataset.ValueOrDie());
+  std::printf("%s",
+              ComputeDatasetStats(dataset.ValueOrDie(), indices)
+                  .ToString()
+                  .c_str());
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  std::string data;
+  std::string out;
+  std::string binary;
+  FlagParser flags("wot_cli convert",
+                   "Convert between the CSV directory and binary formats");
+  flags.AddString("data", &data, "input: dataset directory or .wotb file");
+  flags.AddString("out", &out, "output CSV dataset directory");
+  flags.AddString("binary", &binary, "output .wotb file");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  Result<Dataset> dataset = LoadAny(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (out.empty() && binary.empty()) {
+    return Fail(Status::InvalidArgument("need --out and/or --binary"));
+  }
+  if (!out.empty()) {
+    Status s = SaveDatasetCsv(dataset.ValueOrDie(), out);
+    if (!s.ok()) return Fail(s);
+  }
+  if (!binary.empty()) {
+    Status s = SaveDatasetBinary(dataset.ValueOrDie(), binary);
+    if (!s.ok()) return Fail(s);
+  }
+  std::printf("converted %s\n", dataset.ValueOrDie().Summary().c_str());
+  return 0;
+}
+
+int CmdDerive(int argc, char** argv) {
+  std::string data;
+  std::string out = "derived_trust.csv";
+  int64_t top_k = 10;
+  FlagParser flags("wot_cli derive",
+                   "Derive the web of trust and export each user's top-k "
+                   "trustees");
+  flags.AddString("data", &data, "dataset directory or .wotb file");
+  flags.AddString("out", &out, "output CSV (source,target,degree)");
+  flags.AddInt64("top_k", &top_k, "trustees to keep per user");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  if (top_k <= 0) {
+    return Fail(Status::InvalidArgument("--top_k must be positive"));
+  }
+  Result<Dataset> dataset = LoadAny(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  Result<TrustPipeline> pipeline = TrustPipeline::Run(dataset.ValueOrDie());
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  TrustDeriver deriver = pipeline.ValueOrDie().MakeDeriver();
+  deriver.BuildPostings();
+
+  std::vector<CsvRow> rows = {{"source", "target", "degree_of_trust"}};
+  const Dataset& ds = dataset.ValueOrDie();
+  for (size_t u = 0; u < ds.num_users(); ++u) {
+    for (const auto& scored :
+         deriver.DeriveRowTopK(u, static_cast<size_t>(top_k))) {
+      rows.push_back({ds.user(UserId(static_cast<uint32_t>(u))).name,
+                      ds.user(UserId(scored.user)).name,
+                      FormatDouble(scored.score, 6)});
+    }
+  }
+  Status s = WriteCsvFile(out, rows);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu derived trust edges to %s\n", rows.size() - 1,
+              out.c_str());
+  return 0;
+}
+
+int CmdValidate(int argc, char** argv) {
+  std::string data;
+  FlagParser flags("wot_cli validate",
+                   "Validate the derived web against the dataset's "
+                   "explicit trust statements (Table-4 protocol)");
+  flags.AddString("data", &data, "dataset directory or .wotb file");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  Result<Dataset> dataset = LoadAny(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  Result<TrustPipeline> pipeline = TrustPipeline::Run(dataset.ValueOrDie());
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  Result<ValidationReport> report =
+      ValidateDerivedTrust(pipeline.ValueOrDie());
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report.ValueOrDie().ToString().c_str());
+
+  TrustDeriver deriver = pipeline.ValueOrDie().MakeDeriver();
+  Result<RocReport> roc = RocOfDerivedTrust(
+      deriver, pipeline.ValueOrDie().direct_connections(),
+      pipeline.ValueOrDie().explicit_trust());
+  if (roc.ok()) {
+    std::printf("\nROC of T-hat over R: %s\n",
+                roc.ValueOrDie().ToString().c_str());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "wot_cli <command> [flags]\n\n"
+      "commands:\n"
+      "  generate   create a synthetic community dataset\n"
+      "  stats      describe a dataset\n"
+      "  convert    CSV directory <-> .wotb binary\n"
+      "  derive     derive the web of trust, export top-k per user\n"
+      "  validate   Table-4 validation against explicit trust\n\n"
+      "run `wot_cli <command> --help` for the command's flags.\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  std::string command = argv[1];
+  // Shift argv so FlagParser sees only the command's flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (command == "stats") return CmdStats(sub_argc, sub_argv);
+  if (command == "convert") return CmdConvert(sub_argc, sub_argv);
+  if (command == "derive") return CmdDerive(sub_argc, sub_argv);
+  if (command == "validate") return CmdValidate(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  PrintUsage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace wot
+
+int main(int argc, char** argv) { return wot::Main(argc, argv); }
