@@ -1,0 +1,106 @@
+// Guards the shared fixtures themselves: every count and id below is
+// hand-computed from the fixture's documented construction order, so a
+// drive-by edit to fixtures.h fails here before it confuses a dozen
+// downstream suites.
+#include "testing/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include "wot/community/dataset.h"
+
+namespace wot {
+namespace testing {
+namespace {
+
+TEST(TinyCommunityTest, EntityCounts) {
+  Dataset data = TinyCommunity();
+  EXPECT_EQ(data.num_users(), 4u);
+  EXPECT_EQ(data.num_categories(), 2u);
+  EXPECT_EQ(data.num_objects(), 3u);
+  EXPECT_EQ(data.num_reviews(), 3u);
+  EXPECT_EQ(data.num_ratings(), 4u);
+  EXPECT_EQ(data.num_trust_statements(), 2u);
+}
+
+TEST(TinyCommunityTest, IdAssignmentFollowsInsertionOrder) {
+  Dataset data = TinyCommunity();
+  // Users u0..u3 were added in order, so ids are 0..3.
+  const char* expected_names[] = {"u0", "u1", "u2", "u3"};
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(data.user(UserId(i)).name, expected_names[i]);
+  }
+  EXPECT_EQ(data.category(CategoryId(0)).name, "movies");
+  EXPECT_EQ(data.category(CategoryId(1)).name, "books");
+  // Objects: m0, m1 (movies) then b0 (books).
+  EXPECT_EQ(data.object(ObjectId(0)).name, "m0");
+  EXPECT_EQ(data.object(ObjectId(1)).name, "m1");
+  EXPECT_EQ(data.object(ObjectId(2)).name, "b0");
+  EXPECT_EQ(data.object(ObjectId(2)).category, CategoryId(1));
+}
+
+TEST(TinyCommunityTest, ReviewWiring) {
+  Dataset data = TinyCommunity();
+  // r0 = u0 on m0 (movies), r1 = u0 on b0 (books), r2 = u1 on m1.
+  const Review& r0 = data.review(ReviewId(0));
+  EXPECT_EQ(r0.writer, UserId(0));
+  EXPECT_EQ(r0.object, ObjectId(0));
+  EXPECT_EQ(r0.category, CategoryId(0));
+
+  const Review& r1 = data.review(ReviewId(1));
+  EXPECT_EQ(r1.writer, UserId(0));
+  EXPECT_EQ(r1.object, ObjectId(2));
+  EXPECT_EQ(r1.category, CategoryId(1));
+
+  const Review& r2 = data.review(ReviewId(2));
+  EXPECT_EQ(r2.writer, UserId(1));
+  EXPECT_EQ(r2.object, ObjectId(1));
+  EXPECT_EQ(r2.category, CategoryId(0));
+}
+
+TEST(TinyCommunityTest, RatingsMatchDocumentedValues) {
+  Dataset data = TinyCommunity();
+  ASSERT_EQ(data.ratings().size(), 4u);
+  const auto& ratings = data.ratings();
+  EXPECT_EQ(ratings[0].rater, UserId(2));
+  EXPECT_EQ(ratings[0].review, ReviewId(0));
+  EXPECT_DOUBLE_EQ(ratings[0].value, 1.0);
+  EXPECT_EQ(ratings[1].rater, UserId(2));
+  EXPECT_EQ(ratings[1].review, ReviewId(1));
+  EXPECT_DOUBLE_EQ(ratings[1].value, 0.6);
+  EXPECT_EQ(ratings[2].rater, UserId(2));
+  EXPECT_EQ(ratings[2].review, ReviewId(2));
+  EXPECT_DOUBLE_EQ(ratings[2].value, 0.2);
+  EXPECT_EQ(ratings[3].rater, UserId(3));
+  EXPECT_EQ(ratings[3].review, ReviewId(0));
+  EXPECT_DOUBLE_EQ(ratings[3].value, 0.8);
+}
+
+TEST(TinyCommunityTest, TrustStatements) {
+  Dataset data = TinyCommunity();
+  ASSERT_EQ(data.trust_statements().size(), 2u);
+  EXPECT_EQ(data.trust_statements()[0].source, UserId(2));
+  EXPECT_EQ(data.trust_statements()[0].target, UserId(0));
+  EXPECT_EQ(data.trust_statements()[1].source, UserId(3));
+  EXPECT_EQ(data.trust_statements()[1].target, UserId(0));
+}
+
+TEST(SingleReviewCommunityTest, HandComputedInvariants) {
+  Dataset data = SingleReviewCommunity();
+  EXPECT_EQ(data.num_users(), 3u);
+  EXPECT_EQ(data.num_categories(), 1u);
+  EXPECT_EQ(data.num_objects(), 1u);
+  EXPECT_EQ(data.num_reviews(), 1u);
+  EXPECT_EQ(data.num_ratings(), 2u);
+  EXPECT_EQ(data.num_trust_statements(), 0u);
+
+  const Review& review = data.review(ReviewId(0));
+  EXPECT_EQ(review.writer, UserId(0));
+  EXPECT_DOUBLE_EQ(data.ratings()[0].value, 1.0);
+  EXPECT_EQ(data.ratings()[0].rater, UserId(1));
+  EXPECT_DOUBLE_EQ(data.ratings()[1].value, 0.2);
+  EXPECT_EQ(data.ratings()[1].rater, UserId(2));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace wot
