@@ -1,6 +1,9 @@
 #include "bench_util.h"
 
+#include <cinttypes>
 #include <cstdio>
+#include <limits>
+#include <sstream>
 
 #include "wot/io/dataset_csv.h"
 #include "wot/util/check.h"
@@ -26,6 +29,87 @@ void RegisterCommonFlags(FlagParser* flags, ExperimentArgs* args) {
   flags->AddString("load", &args->load,
                    "dataset directory in the wot CSV schema; replaces the "
                    "synthetic workload");
+}
+
+void RegisterJsonFlag(FlagParser* flags, ExperimentArgs* args) {
+  flags->AddString("json", &args->json,
+                   "write a machine-readable JSON report to this path "
+                   "('-' = stdout)");
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::AddNumber(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  fields_.emplace_back(key, os.str());
+}
+
+void BenchReport::AddInt(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::AddString(const std::string& key,
+                            const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{";
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    if (f > 0) {
+      out += ", ";
+    }
+    out += "\"" + JsonEscape(fields_[f].first) + "\": " + fields_[f].second;
+  }
+  out += "}\n";
+  return out;
+}
+
+Status MaybeWriteJson(const ExperimentArgs& args, const BenchReport& report) {
+  if (args.json.empty()) {
+    return Status::OK();
+  }
+  const std::string json = report.ToJson();
+  if (args.json == "-") {
+    std::fputs(json.c_str(), stdout);
+    return Status::OK();
+  }
+  std::FILE* file = std::fopen(args.json.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + args.json + " for writing");
+  }
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::printf("wrote JSON report to %s\n", args.json.c_str());
+  return Status::OK();
 }
 
 SynthCommunity MakeCommunity(const ExperimentArgs& args) {

@@ -6,11 +6,14 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "wot/community/dataset.h"
 #include "wot/synth/config.h"
 #include "wot/synth/generator.h"
 #include "wot/util/flags.h"
+#include "wot/util/status.h"
 
 namespace wot {
 namespace bench {
@@ -27,10 +30,38 @@ struct ExperimentArgs {
   int64_t seed = 42;
   std::string load;  // optional dataset directory (CSV schema); overrides
                      // the synthetic workload when set
+  std::string json;  // where to write the machine-readable report
+                     // ("-" = stdout); empty = no JSON
 };
 
 /// \brief Registers the common flags on \p flags.
 void RegisterCommonFlags(FlagParser* flags, ExperimentArgs* args);
+
+/// \brief Registers --json on \p flags. Opt-in: only binaries that
+/// actually emit a report through MaybeWriteJson register it, so --json is
+/// never silently ignored.
+void RegisterJsonFlag(FlagParser* flags, ExperimentArgs* args);
+
+/// \brief A flat JSON object accumulating one experiment's metrics, so
+/// perf trajectories can be tracked across PRs in BENCH_*.json files.
+/// Numbers are serialized with round-trip precision; insertion order is
+/// preserved.
+class BenchReport {
+ public:
+  void AddNumber(const std::string& key, double value);
+  void AddInt(const std::string& key, int64_t value);
+  void AddString(const std::string& key, const std::string& value);
+
+  /// {"key": value, ...} with a trailing newline.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, literal
+};
+
+/// \brief Writes \p report to args.json ("-" = stdout). No-op when the
+/// flag was not set.
+Status MaybeWriteJson(const ExperimentArgs& args, const BenchReport& report);
 
 /// \brief Materializes the experiment community: loads --load if given
 /// (with empty ground-truth designations), else generates the synthetic

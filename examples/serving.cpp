@@ -1,0 +1,73 @@
+// Serving: the same six-user community as quickstart.cpp, but behind the
+// long-lived TrustService instead of the one-shot batch pipeline.
+//
+//   ./build/examples/serving
+//
+// Demonstrates the serving loop: boot from a seed dataset, answer queries
+// from an immutable snapshot, ingest fresh activity append-only, Commit()
+// to publish a new snapshot incrementally — and show that a reader still
+// holding the old snapshot keeps a perfectly consistent (stale) view.
+#include <cstdio>
+#include <memory>
+
+#include "wot/community/dataset_builder.h"
+#include "wot/service/trust_service.h"
+#include "wot/util/check.h"
+
+int main() {
+  using namespace wot;
+
+  // --- 1. Seed community (same shape as quickstart.cpp) ------------------
+  DatasetBuilder builder;
+  CategoryId movies = builder.AddCategory("movies");
+  CategoryId books = builder.AddCategory("books");
+  UserId alice = builder.AddUser("alice");  // movie expert
+  UserId carol = builder.AddUser("carol");  // book expert
+  UserId dave = builder.AddUser("dave");    // reads movie reviews
+  UserId erin = builder.AddUser("erin");    // reads book reviews
+
+  ObjectId heat = builder.AddObject(movies, "movies/heat").ValueOrDie();
+  ObjectId dune = builder.AddObject(books, "books/dune").ValueOrDie();
+  ReviewId a1 = builder.AddReview(alice, heat).ValueOrDie();
+  ReviewId c1 = builder.AddReview(carol, dune).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(dave, a1, 1.0));
+  WOT_CHECK_OK(builder.AddRating(erin, c1, 0.8));
+  Dataset seed = builder.Build().ValueOrDie();
+
+  // --- 2. Boot the service and serve reads --------------------------------
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(seed).ValueOrDie();
+  std::shared_ptr<const TrustSnapshot> v1 = service->Snapshot();
+  std::printf("serving v%llu\n",
+              static_cast<unsigned long long>(v1->version()));
+  std::printf("  T-hat(dave -> alice) = %.3f\n",
+              v1->Trust(dave.index(), alice.index()));
+  std::printf("  T-hat(dave -> carol) = %.3f  (dave never read books)\n",
+              v1->Trust(dave.index(), carol.index()));
+
+  // --- 3. Fresh activity arrives: dave starts rating book reviews --------
+  WOT_CHECK_OK(service->AddRating(dave, c1, 0.8));
+  TrustService::CommitStats stats = service->Commit().ValueOrDie();
+  std::printf("\ncommitted: v%llu published, %zu of 2 categories and %zu "
+              "affiliation rows recomputed\n",
+              static_cast<unsigned long long>(stats.version),
+              stats.categories_recomputed,
+              stats.affiliation_rows_recomputed);
+
+  // --- 4. New snapshot serves the updated web; the old one is untouched ---
+  std::shared_ptr<const TrustSnapshot> v2 = service->Snapshot();
+  std::printf("  v%llu: T-hat(dave -> carol) = %.3f\n",
+              static_cast<unsigned long long>(v2->version()),
+              v2->Trust(dave.index(), carol.index()));
+  TrustExplanation why =
+      v2->ExplainTrust(dave.index(), carol.index());
+  for (const auto& term : why.terms) {
+    std::printf("    category %u: A=%.2f x E=%.2f -> %.3f\n", term.category,
+                term.affiliation, term.expertise, term.contribution);
+  }
+  std::printf("  v%llu (still held by a reader): T-hat(dave -> carol) = "
+              "%.3f\n",
+              static_cast<unsigned long long>(v1->version()),
+              v1->Trust(dave.index(), carol.index()));
+  return 0;
+}

@@ -1,39 +1,51 @@
 #include "wot/core/affiliation.h"
 
+#include <algorithm>
+
+#include "wot/util/check.h"
+
 namespace wot {
+
+void ComputeAffiliationRow(const Dataset& dataset,
+                           const DatasetIndices& indices, UserId user,
+                           std::span<double> out) {
+  const size_t num_categories = dataset.num_categories();
+  WOT_CHECK_EQ(out.size(), num_categories);
+  std::fill(out.begin(), out.end(), 0.0);
+
+  uint32_t max_rated = 0;
+  uint32_t max_written = 0;
+  for (size_t c = 0; c < num_categories; ++c) {
+    CategoryId category(static_cast<uint32_t>(c));
+    max_rated = std::max(max_rated, indices.RateCount(user, category));
+    max_written = std::max(max_written, indices.WriteCount(user, category));
+  }
+  if (max_rated == 0 && max_written == 0) {
+    return;  // inactive user: all-zero affiliation row
+  }
+  for (size_t c = 0; c < num_categories; ++c) {
+    CategoryId category(static_cast<uint32_t>(c));
+    double rated_term =
+        max_rated > 0 ? static_cast<double>(indices.RateCount(user,
+                                                              category)) /
+                            static_cast<double>(max_rated)
+                      : 0.0;
+    double written_term =
+        max_written > 0
+            ? static_cast<double>(indices.WriteCount(user, category)) /
+                  static_cast<double>(max_written)
+            : 0.0;
+    out[c] = (rated_term + written_term) / 2.0;
+  }
+}
 
 DenseMatrix ComputeAffiliationMatrix(const Dataset& dataset,
                                      const DatasetIndices& indices) {
   const size_t num_users = dataset.num_users();
-  const size_t num_categories = dataset.num_categories();
-  DenseMatrix affiliation(num_users, num_categories, 0.0);
-
+  DenseMatrix affiliation(num_users, dataset.num_categories(), 0.0);
   for (size_t u = 0; u < num_users; ++u) {
-    UserId user(static_cast<uint32_t>(u));
-    uint32_t max_rated = 0;
-    uint32_t max_written = 0;
-    for (size_t c = 0; c < num_categories; ++c) {
-      CategoryId category(static_cast<uint32_t>(c));
-      max_rated = std::max(max_rated, indices.RateCount(user, category));
-      max_written = std::max(max_written, indices.WriteCount(user, category));
-    }
-    if (max_rated == 0 && max_written == 0) {
-      continue;  // inactive user: all-zero affiliation row
-    }
-    for (size_t c = 0; c < num_categories; ++c) {
-      CategoryId category(static_cast<uint32_t>(c));
-      double rated_term =
-          max_rated > 0 ? static_cast<double>(indices.RateCount(user,
-                                                                category)) /
-                              static_cast<double>(max_rated)
-                        : 0.0;
-      double written_term =
-          max_written > 0
-              ? static_cast<double>(indices.WriteCount(user, category)) /
-                    static_cast<double>(max_written)
-              : 0.0;
-      affiliation.At(u, c) = (rated_term + written_term) / 2.0;
-    }
+    ComputeAffiliationRow(dataset, indices, UserId(static_cast<uint32_t>(u)),
+                          affiliation.Row(u));
   }
   return affiliation;
 }

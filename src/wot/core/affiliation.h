@@ -11,6 +11,8 @@
 #ifndef WOT_CORE_AFFILIATION_H_
 #define WOT_CORE_AFFILIATION_H_
 
+#include <span>
+
 #include "wot/community/dataset.h"
 #include "wot/community/indices.h"
 #include "wot/linalg/dense_matrix.h"
@@ -21,6 +23,15 @@ namespace wot {
 /// [0, 1]; a fully inactive user has an all-zero row.
 DenseMatrix ComputeAffiliationMatrix(const Dataset& dataset,
                                      const DatasetIndices& indices);
+
+/// \brief Computes one user's affiliation row into \p out (size C). A row
+/// depends only on that user's own rate/write counts, so incremental
+/// maintainers (TrustService) refresh exactly the rows of users whose
+/// activity changed; the result is bit-identical to the corresponding row
+/// of ComputeAffiliationMatrix.
+void ComputeAffiliationRow(const Dataset& dataset,
+                           const DatasetIndices& indices, UserId user,
+                           std::span<double> out);
 
 }  // namespace wot
 

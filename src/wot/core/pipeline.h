@@ -1,83 +1,10 @@
-// TrustPipeline: the end-to-end public API of the library.
-//
-//   Dataset -> indices -> Step 1 (expertise E) -> Step 2 (affiliation A)
-//           -> Step 3 (TrustDeriver over A, E)
-// plus the observation matrices (R, T) and the baseline B needed for
-// validation. A typical caller:
-//
-//   WOT_ASSIGN_OR_RETURN(TrustPipeline pipe,
-//                        TrustPipeline::Run(dataset, {}));
-//   TrustDeriver deriver = pipe.MakeDeriver();
-//   double degree = deriver.DeriveOne(alice.index(), bob.index());
+// Compatibility shim: TrustPipeline moved to the serving layer when it
+// became a facade over one-shot TrustSnapshot construction. Include
+// wot/service/pipeline.h directly in new code; for the long-lived,
+// incrementally refreshed serving path, see wot/service/trust_service.h.
 #ifndef WOT_CORE_PIPELINE_H_
 #define WOT_CORE_PIPELINE_H_
 
-#include <memory>
-
-#include "wot/community/dataset.h"
-#include "wot/community/indices.h"
-#include "wot/core/affiliation.h"
-#include "wot/core/baseline.h"
-#include "wot/core/trust_derivation.h"
-#include "wot/reputation/engine.h"
-#include "wot/util/result.h"
-
-namespace wot {
-
-/// \brief Pipeline-level options.
-struct PipelineOptions {
-  ReputationOptions reputation;
-  /// Also compute the baseline matrix B (skippable when not validating).
-  bool compute_baseline = true;
-};
-
-/// \brief Owns every artifact derived from one dataset. The dataset itself
-/// is borrowed and must outlive the pipeline.
-class TrustPipeline {
- public:
-  /// \brief Runs steps 1-2 and builds R, T and (optionally) B.
-  static Result<TrustPipeline> Run(const Dataset& dataset,
-                                   const PipelineOptions& options = {});
-
-  const Dataset& dataset() const { return *dataset_; }
-  const DatasetIndices& indices() const { return *indices_; }
-
-  /// E (eq. 3 per category): U x C.
-  const DenseMatrix& expertise() const { return reputation_.expertise; }
-  /// Rater reputations (eq. 2 per category): U x C.
-  const DenseMatrix& rater_reputation() const {
-    return reputation_.rater_reputation;
-  }
-  /// A (eq. 4): U x C.
-  const DenseMatrix& affiliation() const { return affiliation_; }
-  /// Full Step-1 output including review qualities and convergence info.
-  const ReputationResult& reputation() const { return reputation_; }
-
-  /// R: who rated whose reviews.
-  const SparseMatrix& direct_connections() const { return direct_; }
-  /// T: the explicit web of trust (empty when the community has none).
-  const SparseMatrix& explicit_trust() const { return explicit_trust_; }
-  /// B: baseline degrees of trust (empty if compute_baseline was false).
-  const SparseMatrix& baseline() const { return baseline_; }
-
-  /// \brief A deriver bound to this pipeline's A and E (eq. 5). The
-  /// pipeline must outlive the deriver.
-  TrustDeriver MakeDeriver() const {
-    return TrustDeriver(affiliation_, reputation_.expertise);
-  }
-
- private:
-  TrustPipeline() = default;
-
-  const Dataset* dataset_ = nullptr;
-  std::unique_ptr<DatasetIndices> indices_;
-  ReputationResult reputation_;
-  DenseMatrix affiliation_;
-  SparseMatrix direct_;
-  SparseMatrix explicit_trust_;
-  SparseMatrix baseline_;
-};
-
-}  // namespace wot
+#include "wot/service/pipeline.h"  // IWYU pragma: export
 
 #endif  // WOT_CORE_PIPELINE_H_

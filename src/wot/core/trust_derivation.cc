@@ -91,21 +91,36 @@ size_t TrustDeriver::CountDerivedConnections(size_t i) const {
   return count;
 }
 
-void TrustDeriver::BuildPostings() {
-  postings_.assign(num_categories(), {});
-  for (size_t c = 0; c < num_categories(); ++c) {
-    auto& posting = postings_[c];
-    for (size_t j = 0; j < num_users(); ++j) {
-      double e = expertise_.At(j, c);
-      if (e > 0.0) {
-        posting.push_back({static_cast<uint32_t>(j), e});
-      }
+ExpertisePostingPtr TrustDeriver::BuildCategoryPosting(
+    const DenseMatrix& expertise, size_t category) {
+  WOT_CHECK(category < expertise.cols());
+  auto posting = std::make_shared<ExpertisePosting>();
+  for (size_t j = 0; j < expertise.rows(); ++j) {
+    double e = expertise.At(j, category);
+    if (e > 0.0) {
+      posting->push_back({static_cast<uint32_t>(j), e});
     }
-    std::stable_sort(posting.begin(), posting.end(),
-                     [](const ScoredUser& a, const ScoredUser& b) {
-                       return a.score > b.score;
-                     });
   }
+  std::stable_sort(posting->begin(), posting->end(),
+                   [](const ScoredUser& a, const ScoredUser& b) {
+                     return a.score > b.score;
+                   });
+  return posting;
+}
+
+void TrustDeriver::BuildPostings() {
+  postings_.resize(num_categories());
+  for (size_t c = 0; c < num_categories(); ++c) {
+    postings_[c] = BuildCategoryPosting(expertise_, c);
+  }
+}
+
+void TrustDeriver::AdoptPostings(std::vector<ExpertisePostingPtr> postings) {
+  WOT_CHECK_EQ(postings.size(), num_categories());
+  for (const auto& posting : postings) {
+    WOT_CHECK(posting != nullptr);
+  }
+  postings_ = std::move(postings);
 }
 
 std::vector<ScoredUser> TrustDeriver::DeriveRowTopK(size_t i,
@@ -154,7 +169,7 @@ std::vector<ScoredUser> TrustDeriver::TopKByThresholdAlgorithm(
   const double denom = affinity_row_sum_[i];
   std::vector<std::pair<size_t, double>> active;  // (category, weight)
   for (size_t c = 0; c < arow.size(); ++c) {
-    if (arow[c] > 0.0 && !postings_[c].empty()) {
+    if (arow[c] > 0.0 && !postings_[c]->empty()) {
       active.emplace_back(c, arow[c] / denom);
     }
   }
@@ -176,7 +191,7 @@ std::vector<ScoredUser> TrustDeriver::TopKByThresholdAlgorithm(
     bool any_posting_left = false;
     double threshold = 0.0;
     for (const auto& [c, w] : active) {
-      const auto& posting = postings_[c];
+      const auto& posting = *postings_[c];
       if (depth < posting.size()) {
         any_posting_left = true;
         threshold += w * posting[depth].score;

@@ -14,6 +14,7 @@
 #define WOT_CORE_TRUST_DERIVATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,13 @@ struct ScoredUser {
   uint32_t user;
   double score;
 };
+
+/// \brief One category's expertise posting: users sorted by E[user][c]
+/// descending, zero-expertise users omitted. Shared (immutably) between
+/// derivers so snapshot-based maintainers only rebuild the categories whose
+/// expertise column actually changed.
+using ExpertisePosting = std::vector<ScoredUser>;
+using ExpertisePostingPtr = std::shared_ptr<const ExpertisePosting>;
 
 /// \brief Derives degrees of trust from affiliation (A) and expertise (E).
 ///
@@ -70,6 +78,24 @@ class TrustDeriver {
   /// enabling the threshold algorithm in DeriveRowTopK. O(C * U log U).
   void BuildPostings();
 
+  /// \brief Builds the posting of one expertise column. Deterministic
+  /// (stable sort), so two builds over bit-identical columns yield
+  /// bit-identical postings.
+  static ExpertisePostingPtr BuildCategoryPosting(const DenseMatrix& expertise,
+                                                  size_t category);
+
+  /// \brief Installs externally built postings (one per category, typically
+  /// a mix of freshly built and reused entries from a previous snapshot).
+  /// \p postings must have exactly num_categories() non-null entries.
+  void AdoptPostings(std::vector<ExpertisePostingPtr> postings);
+
+  /// \brief The installed postings (empty until BuildPostings or
+  /// AdoptPostings). Snapshot maintainers share the clean categories'
+  /// entries with the next deriver via AdoptPostings.
+  const std::vector<ExpertisePostingPtr>& postings() const {
+    return postings_;
+  }
+
   bool has_postings() const { return !postings_.empty(); }
 
  private:
@@ -81,7 +107,7 @@ class TrustDeriver {
   std::vector<double> affinity_row_sum_;  // sum_c A[i][c] per user
 
   // postings_[c] = users sorted by E[user][c] descending (only E > 0).
-  std::vector<std::vector<ScoredUser>> postings_;
+  std::vector<ExpertisePostingPtr> postings_;
 };
 
 }  // namespace wot

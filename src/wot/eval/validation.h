@@ -9,7 +9,7 @@
 #include <string>
 
 #include "wot/core/binarization.h"
-#include "wot/core/pipeline.h"
+#include "wot/service/pipeline.h"
 #include "wot/eval/confusion.h"
 #include "wot/util/histogram.h"
 #include "wot/util/result.h"

@@ -35,6 +35,10 @@ Status IncrementalReputationEngine::FullRebuild(
     const Dataset& dataset, const DatasetIndices& indices) {
   WOT_ASSIGN_OR_RETURN(result_,
                        ComputeReputations(dataset, indices, options_));
+  last_recomputed_.resize(dataset.num_categories());
+  for (size_t c = 0; c < last_recomputed_.size(); ++c) {
+    last_recomputed_[c] = c;
+  }
   versions_ = Fingerprint(dataset, indices);
   known_users_ = dataset.num_users();
   known_reviews_ = dataset.num_reviews();
@@ -130,6 +134,7 @@ Status IncrementalReputationEngine::Update(const Dataset& dataset,
       options_.num_threads);
 
   versions_ = std::move(current);
+  last_recomputed_ = std::move(dirty);
   known_users_ = dataset.num_users();
   known_reviews_ = dataset.num_reviews();
   return Status::OK();

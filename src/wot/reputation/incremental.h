@@ -57,6 +57,16 @@ class IncrementalReputationEngine {
   /// \brief Current result; valid after a successful FullRebuild/Update.
   const ReputationResult& result() const { return result_; }
 
+  /// \brief Category indices recomputed by the most recent successful
+  /// FullRebuild (all categories) or Update (the dirty subset, possibly
+  /// empty), ascending. Snapshot maintainers use this to scope their
+  /// Step-2/3 refreshes — e.g. rebuild expertise postings only for these
+  /// columns. Cleared-on-entry semantics: a failed Update leaves the value
+  /// of the previous successful call.
+  const std::vector<size_t>& last_recomputed_categories() const {
+    return last_recomputed_;
+  }
+
   bool initialized() const { return initialized_; }
 
  private:
@@ -76,6 +86,7 @@ class IncrementalReputationEngine {
   size_t known_users_ = 0;
   size_t known_reviews_ = 0;
   std::vector<CategoryVersion> versions_;
+  std::vector<size_t> last_recomputed_;
   ReputationResult result_;
 };
 

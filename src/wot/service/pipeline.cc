@@ -1,4 +1,4 @@
-#include "wot/core/pipeline.h"
+#include "wot/service/pipeline.h"
 
 #include "wot/util/logging.h"
 #include "wot/util/stopwatch.h"
@@ -12,11 +12,15 @@ Result<TrustPipeline> TrustPipeline::Run(const Dataset& dataset,
   pipeline.dataset_ = &dataset;
   pipeline.indices_ = std::make_unique<DatasetIndices>(dataset);
 
+  // Batch callers derive in bulk through MakeDeriver and build postings
+  // themselves if they want top-k, so the snapshot skips them.
+  SnapshotOptions snapshot_options;
+  snapshot_options.reputation = options.reputation;
+  snapshot_options.build_postings = false;
   WOT_ASSIGN_OR_RETURN(
-      pipeline.reputation_,
-      ComputeReputations(dataset, *pipeline.indices_, options.reputation));
-  pipeline.affiliation_ =
-      ComputeAffiliationMatrix(dataset, *pipeline.indices_);
+      pipeline.snapshot_,
+      TrustSnapshot::Build(dataset, *pipeline.indices_, snapshot_options));
+
   pipeline.direct_ =
       BuildDirectConnectionMatrix(dataset, *pipeline.indices_);
   pipeline.explicit_trust_ = BuildExplicitTrustMatrix(dataset);
@@ -25,7 +29,7 @@ Result<TrustPipeline> TrustPipeline::Run(const Dataset& dataset,
   }
 
   size_t unconverged = 0;
-  for (const auto& info : pipeline.reputation_.convergence) {
+  for (const auto& info : pipeline.snapshot_->reputation().convergence) {
     if (!info.converged) {
       ++unconverged;
     }

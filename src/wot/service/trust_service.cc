@@ -1,0 +1,202 @@
+#include "wot/service/trust_service.h"
+
+#include <algorithm>
+
+#include "wot/core/affiliation.h"
+#include "wot/util/logging.h"
+#include "wot/util/stopwatch.h"
+
+namespace wot {
+
+TrustService::TrustService(const TrustServiceOptions& options)
+    : options_(options),
+      builder_(options.builder),
+      engine_(options.reputation) {}
+
+Result<std::unique_ptr<TrustService>> TrustService::Create(
+    const Dataset& seed, const TrustServiceOptions& options) {
+  std::unique_ptr<TrustService> service(new TrustService(options));
+  // Replay the seed in storage order: the builder assigns ids densely in
+  // insertion order, so every id of the seed stays valid in the service.
+  for (const auto& category : seed.categories()) {
+    service->builder_.AddCategory(category.name);
+  }
+  for (const auto& user : seed.users()) {
+    service->builder_.AddUser(user.name);
+  }
+  for (const auto& object : seed.objects()) {
+    Result<ObjectId> id =
+        service->builder_.AddObject(object.category, object.name);
+    if (!id.ok()) return id.status();
+  }
+  for (const auto& review : seed.reviews()) {
+    Result<ReviewId> id =
+        service->builder_.AddReview(review.writer, review.object);
+    if (!id.ok()) return id.status();
+  }
+  for (const auto& rating : seed.ratings()) {
+    WOT_RETURN_IF_ERROR(
+        service->builder_.AddRating(rating.rater, rating.review,
+                                    rating.value));
+  }
+  for (const auto& statement : seed.trust_statements()) {
+    WOT_RETURN_IF_ERROR(
+        service->builder_.AddTrust(statement.source, statement.target));
+  }
+
+  std::lock_guard<std::mutex> lock(service->writer_mu_);
+  WOT_ASSIGN_OR_RETURN(CommitStats stats, service->CommitLocked());
+  (void)stats;
+  return service;
+}
+
+Result<std::unique_ptr<TrustService>> TrustService::CreateEmpty(
+    const TrustServiceOptions& options) {
+  return Create(Dataset(), options);
+}
+
+UserId TrustService::AddUser(std::string name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return builder_.AddUser(std::move(name));
+}
+
+CategoryId TrustService::AddCategory(std::string name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return builder_.AddCategory(std::move(name));
+}
+
+Result<ObjectId> TrustService::AddObject(CategoryId category,
+                                         std::string name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return builder_.AddObject(category, std::move(name));
+}
+
+Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<ReviewId> id = builder_.AddReview(writer, object);
+  if (id.ok()) {
+    MarkDirty(writer);
+  }
+  return id;
+}
+
+Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status status = builder_.AddRating(rater, review, value);
+  if (status.ok()) {
+    MarkDirty(rater);
+  }
+  return status;
+}
+
+void TrustService::MarkDirty(UserId user) {
+  if (user.index() >= dirty_users_.size()) {
+    dirty_users_.resize(user.index() + 1, false);
+  }
+  dirty_users_[user.index()] = true;
+}
+
+Result<TrustService::CommitStats> TrustService::Commit() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return CommitLocked();
+}
+
+Result<TrustService::CommitStats> TrustService::CommitLocked() {
+  Stopwatch timer;
+  CommitStats stats;
+  const Dataset& staged = builder_.StagedView();
+  std::shared_ptr<const TrustSnapshot> prev =
+      published_.load(std::memory_order_acquire);
+
+  if (prev != nullptr && staged.num_users() == published_users_ &&
+      staged.num_categories() == published_categories_ &&
+      staged.num_reviews() == published_reviews_ &&
+      staged.num_ratings() == published_ratings_) {
+    // Nothing derivable changed (at most new reviewless objects): the
+    // serving snapshot stays as is.
+    stats.version = prev->version();
+    stats.elapsed_millis = timer.ElapsedMillis();
+    return stats;
+  }
+
+  DatasetIndices indices(staged);
+
+  // Step 1: dirty categories only.
+  WOT_RETURN_IF_ERROR(engine_.Update(staged, indices));
+  const std::vector<size_t>& dirty_categories =
+      engine_.last_recomputed_categories();
+  stats.categories_recomputed = dirty_categories.size();
+  // The snapshot owns an independent copy so later Updates cannot mutate
+  // published state behind readers' backs.
+  ReputationResult reputation = engine_.result();
+
+  // Step 2: refresh only the affiliation rows of users whose own activity
+  // changed; everyone else keeps their previous row (zero-padded for new
+  // categories, where their counts are still zero).
+  const size_t num_users = staged.num_users();
+  const size_t num_categories = staged.num_categories();
+  const size_t prev_users = prev != nullptr ? prev->num_users() : 0;
+  DenseMatrix affiliation(num_users, num_categories, 0.0);
+  for (size_t u = 0; u < num_users; ++u) {
+    const bool dirty =
+        u >= prev_users || (u < dirty_users_.size() && dirty_users_[u]);
+    if (dirty) {
+      ComputeAffiliationRow(staged, indices,
+                            UserId(static_cast<uint32_t>(u)),
+                            affiliation.Row(u));
+      ++stats.affiliation_rows_recomputed;
+    } else {
+      auto src = prev->affiliation().Row(u);
+      std::copy(src.begin(), src.end(), affiliation.Row(u).begin());
+    }
+  }
+
+  // Step 3 inputs: rebuild postings for dirty categories; clean categories
+  // share the previous snapshot's postings (their expertise column is
+  // unchanged — new users carry zero expertise there and postings omit
+  // zeros).
+  std::vector<ExpertisePostingPtr> postings;
+  if (options_.build_postings) {
+    postings.resize(num_categories);
+    std::vector<bool> category_dirty(num_categories, false);
+    for (size_t c : dirty_categories) {
+      category_dirty[c] = true;
+    }
+    static const std::vector<ExpertisePostingPtr> kNoPostings;
+    const std::vector<ExpertisePostingPtr>& prev_postings =
+        prev != nullptr ? prev->deriver().postings() : kNoPostings;
+    for (size_t c = 0; c < num_categories; ++c) {
+      if (!category_dirty[c] && c < prev_postings.size()) {
+        postings[c] = prev_postings[c];
+      } else {
+        postings[c] =
+            TrustDeriver::BuildCategoryPosting(reputation.expertise, c);
+        ++stats.postings_rebuilt;
+      }
+    }
+  }
+
+  std::shared_ptr<const TrustSnapshot> snapshot = TrustSnapshot::Assemble(
+      std::move(reputation), std::move(affiliation), std::move(postings),
+      next_version_++, staged.num_reviews(), staged.num_ratings());
+  published_.store(snapshot, std::memory_order_release);
+
+  published_users_ = staged.num_users();
+  published_categories_ = staged.num_categories();
+  published_reviews_ = staged.num_reviews();
+  published_ratings_ = staged.num_ratings();
+  std::fill(dirty_users_.begin(), dirty_users_.end(), false);
+
+  stats.version = snapshot->version();
+  stats.published = true;
+  stats.elapsed_millis = timer.ElapsedMillis();
+  WOT_LOG(Info) << "published trust snapshot v" << stats.version << " ("
+                << stats.categories_recomputed << " categories, "
+                << stats.affiliation_rows_recomputed
+                << " affiliation rows, " << stats.postings_rebuilt
+                << " postings recomputed) in " << stats.elapsed_millis
+                << " ms";
+  return stats;
+}
+
+}  // namespace wot

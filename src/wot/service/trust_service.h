@@ -1,0 +1,150 @@
+// TrustService: the long-lived serving API over the paper's pipeline.
+//
+// Where TrustPipeline is the *batch* path (one dataset in, one set of
+// artifacts out), TrustService is the *serving* path a server sits behind:
+//
+//   * Ingest is append-only: AddUser / AddCategory / AddObject / AddReview /
+//     AddRating accumulate activity under the same referential-integrity
+//     rules as DatasetBuilder.
+//   * Commit() folds the staged activity into derived state incrementally —
+//     Step 1 recomputes only dirty categories (IncrementalReputationEngine),
+//     Step 2 refreshes only the affiliation rows of users whose activity
+//     changed, Step 3 rebuilds expertise postings only for dirty categories
+//     (clean categories share the previous snapshot's postings) — and
+//     publishes a new immutable TrustSnapshot. Results are bit-identical to
+//     a from-scratch TrustPipeline::Run over the same data.
+//   * Reads are lock-free: Snapshot() atomically loads the latest published
+//     std::shared_ptr<const TrustSnapshot>; unlimited reader threads may
+//     call Trust / TopK / ExplainTrust concurrently with a committing
+//     writer and only ever observe fully published versions.
+//
+// Thread contract: any number of concurrent readers; write operations
+// (Add* and Commit) are serialized internally by a mutex, so multiple
+// writer threads are safe but see sequential throughput.
+//
+//   WOT_ASSIGN_OR_RETURN(std::unique_ptr<TrustService> service,
+//                        TrustService::Create(dataset));
+//   double t = service->Trust(alice.index(), bob.index());
+//   ... later, on the write path ...
+//   WOT_RETURN_IF_ERROR(service->AddRating(rater, review, 0.8));
+//   WOT_ASSIGN_OR_RETURN(TrustService::CommitStats stats,
+//                        service->Commit());
+#ifndef WOT_SERVICE_TRUST_SERVICE_H_
+#define WOT_SERVICE_TRUST_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wot/community/dataset.h"
+#include "wot/community/dataset_builder.h"
+#include "wot/reputation/incremental.h"
+#include "wot/service/trust_snapshot.h"
+#include "wot/util/result.h"
+
+namespace wot {
+
+/// \brief Service-level options.
+struct TrustServiceOptions {
+  ReputationOptions reputation;
+  /// Ingest policy (referential integrity and rating-scale rules).
+  DatasetBuilderOptions builder;
+  /// Maintain per-category expertise postings in every snapshot so TopK
+  /// runs the threshold algorithm.
+  bool build_postings = true;
+};
+
+/// \brief Long-lived, concurrently readable trust serving layer.
+class TrustService {
+ public:
+  /// \brief What one Commit() did.
+  struct CommitStats {
+    /// Version of the snapshot serving after the commit (unchanged when
+    /// nothing was published).
+    uint64_t version = 0;
+    /// False when no derived state changed (nothing appended, or only
+    /// objects without reviews): the previous snapshot keeps serving.
+    bool published = false;
+    size_t categories_recomputed = 0;
+    size_t affiliation_rows_recomputed = 0;
+    size_t postings_rebuilt = 0;
+    double elapsed_millis = 0.0;
+  };
+
+  /// \brief Boots a service over a copy of \p seed and publishes snapshot
+  /// version 1. The seed is not referenced after Create returns.
+  static Result<std::unique_ptr<TrustService>> Create(
+      const Dataset& seed, const TrustServiceOptions& options = {});
+
+  /// \brief Boots an empty service (version-1 snapshot over zero users).
+  static Result<std::unique_ptr<TrustService>> CreateEmpty(
+      const TrustServiceOptions& options = {});
+
+  // --- Write path (append-only; serialized internally) -------------------
+
+  UserId AddUser(std::string name);
+  CategoryId AddCategory(std::string name);
+  Result<ObjectId> AddObject(CategoryId category, std::string name);
+  Result<ReviewId> AddReview(UserId writer, ObjectId object);
+  Status AddRating(UserId rater, ReviewId review, double value);
+
+  /// \brief Derives the staged activity and publishes a new snapshot.
+  /// No-op (published = false) when nothing derivable changed.
+  Result<CommitStats> Commit();
+
+  // --- Read path (lock-free; safe concurrently with the write path) ------
+
+  /// \brief The latest published snapshot (never null). Hold the returned
+  /// shared_ptr for as long as a consistent view is needed.
+  std::shared_ptr<const TrustSnapshot> Snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Convenience single-query forms; each loads one snapshot. For multiple
+  /// related queries, call Snapshot() once and query it directly.
+  double Trust(size_t i, size_t j) const { return Snapshot()->Trust(i, j); }
+  std::vector<ScoredUser> TopK(size_t i, size_t k) const {
+    return Snapshot()->TopK(i, k);
+  }
+  TrustExplanation ExplainTrust(size_t i, size_t j) const {
+    return Snapshot()->ExplainTrust(i, j);
+  }
+
+  /// \brief The dataset under ingest (grows across Add* calls). Writer-side
+  /// view: do NOT read it concurrently with Add* calls from another thread;
+  /// readers should query snapshots instead.
+  const Dataset& staged_dataset() const { return builder_.StagedView(); }
+
+ private:
+  explicit TrustService(const TrustServiceOptions& options);
+
+  /// Marks \p user as needing an affiliation-row refresh at next Commit.
+  void MarkDirty(UserId user);
+
+  /// Builds and atomically publishes the next snapshot. Requires writer_mu_.
+  Result<CommitStats> CommitLocked();
+
+  TrustServiceOptions options_;
+
+  // Writer state: guarded by writer_mu_. Readers never touch it.
+  mutable std::mutex writer_mu_;
+  DatasetBuilder builder_;
+  IncrementalReputationEngine engine_;
+  std::vector<bool> dirty_users_;  // indexed by user id
+  uint64_t next_version_ = 1;
+  // Entity counts the latest snapshot was derived from.
+  size_t published_users_ = 0;
+  size_t published_categories_ = 0;
+  size_t published_reviews_ = 0;
+  size_t published_ratings_ = 0;
+
+  // The one reader/writer rendezvous: an atomically swapped shared_ptr.
+  std::atomic<std::shared_ptr<const TrustSnapshot>> published_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_SERVICE_TRUST_SERVICE_H_

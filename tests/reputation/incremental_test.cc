@@ -136,6 +136,53 @@ TEST(IncrementalTest, RejectsShrinkingDataset) {
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(IncrementalTest, FullRebuildReportsAllCategoriesRecomputed) {
+  Dataset ds = testing::TinyCommunity();
+  IncrementalReputationEngine engine;
+  EXPECT_TRUE(engine.last_recomputed_categories().empty());
+  ASSERT_TRUE(engine.FullRebuild(ds).ok());
+  EXPECT_EQ(engine.last_recomputed_categories(),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(IncrementalTest, NoOpUpdateReportsNoRecomputedCategories) {
+  Dataset ds = testing::TinyCommunity();
+  IncrementalReputationEngine engine;
+  ASSERT_TRUE(engine.FullRebuild(ds).ok());
+  ASSERT_TRUE(engine.Update(ds).ok());
+  EXPECT_TRUE(engine.last_recomputed_categories().empty());
+}
+
+TEST(IncrementalTest, UpdateReportsExactlyTheDirtyCategories) {
+  // TinyCommunity plus one extra books (category 1) rating.
+  DatasetBuilder builder;
+  CategoryId movies = builder.AddCategory("movies");
+  CategoryId books = builder.AddCategory("books");
+  UserId u0 = builder.AddUser("u0");
+  UserId u1 = builder.AddUser("u1");
+  UserId u2 = builder.AddUser("u2");
+  UserId u3 = builder.AddUser("u3");
+  ObjectId m0 = builder.AddObject(movies, "m0").ValueOrDie();
+  ObjectId m1 = builder.AddObject(movies, "m1").ValueOrDie();
+  ObjectId b0 = builder.AddObject(books, "b0").ValueOrDie();
+  ReviewId r0 = builder.AddReview(u0, m0).ValueOrDie();
+  ReviewId r1 = builder.AddReview(u0, b0).ValueOrDie();
+  ReviewId r2 = builder.AddReview(u1, m1).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(u2, r0, 1.0));
+  WOT_CHECK_OK(builder.AddRating(u2, r1, 0.6));
+  WOT_CHECK_OK(builder.AddRating(u2, r2, 0.2));
+  WOT_CHECK_OK(builder.AddRating(u3, r0, 0.8));
+
+  IncrementalReputationEngine engine;
+  ASSERT_TRUE(engine.FullRebuild(testing::TinyCommunity()).ok());
+
+  WOT_CHECK_OK(builder.AddRating(u3, r1, 0.8));
+  Dataset v2 = builder.Build().ValueOrDie();
+  ASSERT_TRUE(engine.Update(v2).ok());
+  EXPECT_EQ(engine.last_recomputed_categories(),
+            (std::vector<size_t>{books.index()}));
+}
+
 TEST(IncrementalTest, UpdateBeforeRebuildActsAsRebuild) {
   Dataset ds = testing::TinyCommunity();
   IncrementalReputationEngine engine;

@@ -1,0 +1,147 @@
+// Property: after ANY append sequence, TrustService's published state is
+// bit-identical to a from-scratch TrustPipeline::Run over the same data
+// (the ISSUE-2 acceptance criterion). The service's staged dataset is the
+// ground truth the batch pipeline re-derives from.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "wot/service/pipeline.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+// Rebuilds the dataset with only the first \p keep_ratings ratings; the
+// remainder is returned for later ingestion through the service.
+struct SeedAndTail {
+  Dataset seed;
+  std::vector<ReviewRating> tail;
+};
+
+SeedAndTail SplitRatings(const Dataset& full, size_t keep_ratings) {
+  DatasetBuilder builder;
+  for (const auto& category : full.categories()) {
+    builder.AddCategory(category.name);
+  }
+  for (const auto& user : full.users()) {
+    builder.AddUser(user.name);
+  }
+  for (const auto& object : full.objects()) {
+    WOT_CHECK(builder.AddObject(object.category, object.name).ok());
+  }
+  for (const auto& review : full.reviews()) {
+    WOT_CHECK(builder.AddReview(review.writer, review.object).ok());
+  }
+  SeedAndTail out;
+  for (size_t r = 0; r < full.ratings().size(); ++r) {
+    if (r < keep_ratings) {
+      WOT_CHECK_OK(builder.AddRating(full.ratings()[r].rater,
+                                     full.ratings()[r].review,
+                                     full.ratings()[r].value));
+    } else {
+      out.tail.push_back(full.ratings()[r]);
+    }
+  }
+  out.seed = builder.Build().ValueOrDie();
+  return out;
+}
+
+// Asserts the service's snapshot equals a fresh batch run, bit for bit.
+void ExpectMatchesBatch(const TrustService& service, std::mt19937_64& rng) {
+  const Dataset& staged = service.staged_dataset();
+  TrustPipeline pipeline = TrustPipeline::Run(staged).ValueOrDie();
+  std::shared_ptr<const TrustSnapshot> snap = service.Snapshot();
+
+  ASSERT_EQ(snap->num_users(), staged.num_users());
+  ASSERT_EQ(snap->num_categories(), staged.num_categories());
+  ASSERT_EQ(snap->num_ratings(), staged.num_ratings());
+  EXPECT_DOUBLE_EQ(
+      DenseMatrix::MaxAbsDiff(snap->expertise(), pipeline.expertise()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      DenseMatrix::MaxAbsDiff(snap->affiliation(), pipeline.affiliation()),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      DenseMatrix::MaxAbsDiff(snap->reputation().rater_reputation,
+                              pipeline.rater_reputation()),
+      0.0);
+  EXPECT_EQ(snap->reputation().review_quality,
+            pipeline.reputation().review_quality);
+
+  TrustDeriver deriver = pipeline.MakeDeriver();
+  deriver.BuildPostings();
+  const size_t num_users = staged.num_users();
+  std::uniform_int_distribution<size_t> pick(0, num_users - 1);
+  for (int s = 0; s < 64; ++s) {
+    size_t i = pick(rng);
+    size_t j = pick(rng);
+    EXPECT_EQ(snap->Trust(i, j), deriver.DeriveOne(i, j))
+        << "pair (" << i << ", " << j << ")";
+  }
+  for (int s = 0; s < 8; ++s) {
+    size_t i = pick(rng);
+    std::vector<ScoredUser> service_topk = snap->TopK(i, 12);
+    std::vector<ScoredUser> batch_topk = deriver.DeriveRowTopK(i, 12);
+    ASSERT_EQ(service_topk.size(), batch_topk.size()) << "user " << i;
+    for (size_t r = 0; r < service_topk.size(); ++r) {
+      EXPECT_EQ(service_topk[r].user, batch_topk[r].user);
+      EXPECT_EQ(service_topk[r].score, batch_topk[r].score);
+    }
+  }
+}
+
+TEST(ServicePropertyTest, AnyAppendSequenceMatchesFromScratchBatchRun) {
+  SynthConfig config;
+  config.num_users = 100;
+  config.max_ratings_per_user = 15.0;
+  SynthCommunity community = GenerateCommunity(config).ValueOrDie();
+  const Dataset& full = community.dataset;
+  ASSERT_GT(full.num_ratings(), 40u);
+
+  SeedAndTail split = SplitRatings(full, full.num_ratings() / 2);
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(split.seed).ValueOrDie();
+
+  std::mt19937_64 rng(0xC0FFEE);
+  ExpectMatchesBatch(*service, rng);
+
+  // Ingest the remaining ratings in uneven batches, checking equivalence
+  // after every commit.
+  size_t cursor = 0;
+  std::uniform_int_distribution<size_t> batch_size(1, 9);
+  while (cursor < split.tail.size()) {
+    size_t n = std::min(batch_size(rng), split.tail.size() - cursor);
+    for (size_t k = 0; k < n; ++k) {
+      const ReviewRating& rating = split.tail[cursor++];
+      ASSERT_TRUE(
+          service->AddRating(rating.rater, rating.review, rating.value)
+              .ok());
+    }
+    ASSERT_TRUE(service->Commit().ValueOrDie().published);
+    ExpectMatchesBatch(*service, rng);
+  }
+
+  // Structural growth: a new user reviews a fresh object, an existing user
+  // rates it, and a brand-new category gets its first activity.
+  UserId newcomer = service->AddUser("newcomer");
+  ObjectId fresh =
+      service->AddObject(CategoryId(0), "property/fresh").ValueOrDie();
+  ReviewId fresh_review = service->AddReview(newcomer, fresh).ValueOrDie();
+  ASSERT_TRUE(service->AddRating(UserId(1), fresh_review, 0.8).ok());
+
+  CategoryId new_category = service->AddCategory("property/new-category");
+  ObjectId first_object =
+      service->AddObject(new_category, "property/first").ValueOrDie();
+  ReviewId first_review =
+      service->AddReview(UserId(2), first_object).ValueOrDie();
+  ASSERT_TRUE(service->AddRating(UserId(3), first_review, 1.0).ok());
+
+  ASSERT_TRUE(service->Commit().ValueOrDie().published);
+  ExpectMatchesBatch(*service, rng);
+}
+
+}  // namespace
+}  // namespace wot

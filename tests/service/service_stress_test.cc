@@ -1,0 +1,160 @@
+// Concurrency stress (runs under the ASan+UBSan preset in CI): N reader
+// threads hammer TrustService queries while the writer appends ratings and
+// publishes snapshots. Readers must only ever observe fully published,
+// internally consistent, immutable snapshots with monotonically increasing
+// versions. The design is TSan-friendly: the sole reader/writer rendezvous
+// is the atomic shared_ptr swap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "wot/service/pipeline.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace {
+
+TEST(ServiceStressTest, ConcurrentReadersObserveOnlyPublishedSnapshots) {
+  SynthConfig config;
+  config.num_users = 120;
+  config.max_ratings_per_user = 12.0;
+  SynthCommunity community = GenerateCommunity(config).ValueOrDie();
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(community.dataset).ValueOrDie();
+
+  // Record the initial snapshot and a probe value to assert immutability
+  // after the writer has replaced it several times over.
+  std::shared_ptr<const TrustSnapshot> v1 = service->Snapshot();
+  const double v1_probe = v1->Trust(1, 2);
+  const size_t v1_users = v1->num_users();
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> total_reads{0};
+  std::atomic<int> failures{0};
+
+  auto reader = [&](unsigned seed) {
+    std::mt19937_64 rng(seed);
+    uint64_t last_version = 0;
+    size_t reads = 0;
+    // do-while: on a single-core host the writer may finish before this
+    // thread is first scheduled; every reader still validates at least one
+    // snapshot.
+    do {
+      std::shared_ptr<const TrustSnapshot> snap = service->Snapshot();
+      if (snap == nullptr) {
+        ++failures;
+        break;
+      }
+      // Versions only move forward.
+      if (snap->version() < last_version) {
+        ++failures;
+        break;
+      }
+      last_version = snap->version();
+      // A published snapshot is internally consistent: every matrix agrees
+      // on its dimensions.
+      const size_t users = snap->num_users();
+      if (snap->expertise().rows() != users ||
+          snap->affiliation().rows() != users ||
+          snap->expertise().cols() != snap->num_categories()) {
+        ++failures;
+        break;
+      }
+      // The id range intentionally exceeds the snapshot's: stale or
+      // too-new ids must answer empty, not fault.
+      std::uniform_int_distribution<size_t> pick(0, users + 2);
+      size_t i = pick(rng);
+      size_t j = pick(rng);
+      double t = snap->Trust(i, j);
+      if (!(t >= 0.0 && t <= 1.0)) {
+        ++failures;
+        break;
+      }
+      std::vector<ScoredUser> topk = snap->TopK(i, 5);
+      for (size_t r = 1; r < topk.size(); ++r) {
+        if (topk[r - 1].score < topk[r].score) {
+          ++failures;
+        }
+      }
+      TrustExplanation explanation = snap->ExplainTrust(i, j);
+      double sum = 0.0;
+      for (const auto& term : explanation.terms) {
+        sum += term.contribution;
+      }
+      if (std::abs(sum - explanation.trust) > 1e-9) {
+        ++failures;
+        break;
+      }
+      ++reads;
+    } while (!done.load(std::memory_order_relaxed));
+    total_reads += reads;
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back(reader, static_cast<unsigned>(1000 + r));
+  }
+
+  // Writer: append ratings in batches, committing after each batch.
+  std::mt19937_64 writer_rng(7);
+  const size_t num_reviews = community.dataset.num_reviews();
+  std::uniform_int_distribution<uint32_t> pick_user(
+      0, static_cast<uint32_t>(community.dataset.num_users() - 1));
+  std::uniform_int_distribution<uint32_t> pick_review(
+      0, static_cast<uint32_t>(num_reviews - 1));
+  const double stages[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  size_t published = 0;
+  for (int batch = 0; batch < 8; ++batch) {
+    size_t appended = 0;
+    // Keep proposing random ratings until a few stick (duplicates and
+    // self-ratings are rejected by ingest policy, which is itself part of
+    // what we stress).
+    for (int attempt = 0; attempt < 200 && appended < 10; ++attempt) {
+      Status s = service->AddRating(
+          UserId(pick_user(writer_rng)), ReviewId(pick_review(writer_rng)),
+          stages[writer_rng() % 5]);
+      if (s.ok()) {
+        ++appended;
+      }
+    }
+    TrustService::CommitStats stats = service->Commit().ValueOrDie();
+    if (stats.published) {
+      ++published;
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(published, 0u);
+  EXPECT_GT(total_reads.load(), 0u);
+
+  // Immutability: the first snapshot is untouched by all later publishes.
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_EQ(v1->num_users(), v1_users);
+  EXPECT_EQ(v1->Trust(1, 2), v1_probe);
+
+  // Final state still matches a from-scratch batch run bit for bit.
+  TrustPipeline pipeline =
+      TrustPipeline::Run(service->staged_dataset()).ValueOrDie();
+  std::shared_ptr<const TrustSnapshot> final_snap = service->Snapshot();
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(final_snap->expertise(),
+                                           pipeline.expertise()),
+                   0.0);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(final_snap->affiliation(),
+                                           pipeline.affiliation()),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace wot

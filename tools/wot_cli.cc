@@ -5,12 +5,17 @@
 //   wot_cli convert  --data community/ --binary community.wotb
 //   wot_cli derive   --data community/ --top_k 10 --out derived.csv
 //   wot_cli validate --data community/
+//   wot_cli query    --data community/ --source alice --top_k 10
+//   wot_cli query    --data community/ --source alice --target bob --explain
 //
 // `--data` accepts either a CSV dataset directory (see
-// wot/io/dataset_csv.h) or a .wotb binary file.
+// wot/io/dataset_csv.h) or a .wotb binary file. Users are addressed by
+// name or by numeric index. Unknown subcommands and flags exit nonzero
+// with a usage message.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "wot/community/stats.h"
@@ -20,6 +25,7 @@
 #include "wot/io/binary_format.h"
 #include "wot/io/csv.h"
 #include "wot/io/dataset_csv.h"
+#include "wot/service/trust_service.h"
 #include "wot/synth/generator.h"
 #include "wot/util/flags.h"
 #include "wot/util/string_util.h"
@@ -195,6 +201,108 @@ int CmdValidate(int argc, char** argv) {
   return 0;
 }
 
+// Resolves \p who as a user name or a numeric user index.
+Result<UserId> ResolveUser(const Dataset& dataset, const std::string& who) {
+  if (who.empty()) {
+    return Status::InvalidArgument("empty user reference");
+  }
+  Result<int64_t> as_index = ParseInt64(who);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 ||
+        static_cast<size_t>(index) >= dataset.num_users()) {
+      return Status::NotFound("user index " + who + " out of range [0, " +
+                              std::to_string(dataset.num_users()) + ")");
+    }
+    return UserId(static_cast<uint32_t>(index));
+  }
+  for (const auto& user : dataset.users()) {
+    if (user.name == who) {
+      return user.id;
+    }
+  }
+  return Status::NotFound("no user named '" + who + "'");
+}
+
+int CmdQuery(int argc, char** argv) {
+  std::string data;
+  std::string source;
+  std::string target;
+  int64_t top_k = 10;
+  bool explain = false;
+  FlagParser flags("wot_cli query",
+                   "Serve trust queries through TrustService: top-k "
+                   "trustees of --source, or the derived degree (and, with "
+                   "--explain, its per-category breakdown) for --source "
+                   "--target");
+  flags.AddString("data", &data, "dataset directory or .wotb file");
+  flags.AddString("source", &source, "truster: user name or index");
+  flags.AddString("target", &target,
+                  "trustee: user name or index (omit for top-k mode)");
+  flags.AddInt64("top_k", &top_k, "trustees to list in top-k mode");
+  flags.AddBool("explain", &explain,
+                "print the per-category contribution breakdown");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  if (source.empty()) {
+    return Fail(Status::InvalidArgument("--source is required\n" +
+                                        flags.Usage()));
+  }
+  if (top_k <= 0) {
+    return Fail(Status::InvalidArgument("--top_k must be positive"));
+  }
+  Result<Dataset> dataset = LoadAny(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const Dataset& ds = dataset.ValueOrDie();
+
+  Result<UserId> from = ResolveUser(ds, source);
+  if (!from.ok()) return Fail(from.status());
+
+  Result<std::unique_ptr<TrustService>> service = TrustService::Create(ds);
+  if (!service.ok()) return Fail(service.status());
+  std::shared_ptr<const TrustSnapshot> snapshot =
+      service.ValueOrDie()->Snapshot();
+  std::printf("serving snapshot v%llu: %zu users, %zu categories, %zu "
+              "ratings\n",
+              static_cast<unsigned long long>(snapshot->version()),
+              snapshot->num_users(), snapshot->num_categories(),
+              snapshot->num_ratings());
+
+  if (target.empty()) {
+    std::printf("top-%lld trustees of %s:\n",
+                static_cast<long long>(top_k),
+                ds.user(from.ValueOrDie()).name.c_str());
+    for (const auto& scored : snapshot->TopK(
+             from.ValueOrDie().index(), static_cast<size_t>(top_k))) {
+      std::printf("  %-24s %.6f\n",
+                  ds.user(UserId(scored.user)).name.c_str(), scored.score);
+    }
+    return 0;
+  }
+
+  Result<UserId> to = ResolveUser(ds, target);
+  if (!to.ok()) return Fail(to.status());
+  const size_t i = from.ValueOrDie().index();
+  const size_t j = to.ValueOrDie().index();
+  std::printf("T-hat(%s -> %s) = %.6f\n",
+              ds.user(from.ValueOrDie()).name.c_str(),
+              ds.user(to.ValueOrDie()).name.c_str(), snapshot->Trust(i, j));
+  if (explain) {
+    TrustExplanation explanation = snapshot->ExplainTrust(i, j);
+    std::printf("  affinity sum: %.6f\n", explanation.affinity_sum);
+    for (const auto& term : explanation.terms) {
+      std::printf("  %-24s A=%.4f  E=%.4f  contributes %.6f\n",
+                  ds.category(CategoryId(term.category)).name.c_str(),
+                  term.affiliation, term.expertise, term.contribution);
+    }
+    if (explanation.terms.empty()) {
+      std::printf("  (no active categories: %s has no rating/review "
+                  "history)\n",
+                  ds.user(from.ValueOrDie()).name.c_str());
+    }
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "wot_cli <command> [flags]\n\n"
@@ -203,7 +311,8 @@ void PrintUsage() {
       "  stats      describe a dataset\n"
       "  convert    CSV directory <-> .wotb binary\n"
       "  derive     derive the web of trust, export top-k per user\n"
-      "  validate   Table-4 validation against explicit trust\n\n"
+      "  validate   Table-4 validation against explicit trust\n"
+      "  query      serve trust queries (top-k / pairwise / --explain)\n\n"
       "run `wot_cli <command> --help` for the command's flags.\n");
 }
 
@@ -221,6 +330,7 @@ int Main(int argc, char** argv) {
   if (command == "convert") return CmdConvert(sub_argc, sub_argv);
   if (command == "derive") return CmdDerive(sub_argc, sub_argv);
   if (command == "validate") return CmdValidate(sub_argc, sub_argv);
+  if (command == "query") return CmdQuery(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;
