@@ -1,0 +1,100 @@
+// Shared main() for the Google-Benchmark micro benches, adding the
+// bench_util --json report path so every micro bench emits the same
+// machine-readable BENCH_*.json trajectory format as the wall-clock
+// experiment binaries (micro_service etc.).
+//
+//   micro_linalg --benchmark_filter=BM_Spmv --json BENCH_linalg.json
+//
+// --json is extracted before benchmark::Initialize sees argv (Google
+// Benchmark rejects flags it does not know); every completed benchmark
+// run lands in the report as "<name>_<time unit>" -> per-iteration real
+// time, with the run's iteration count alongside.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "wot/util/check.h"
+
+namespace wot {
+namespace bench {
+namespace {
+
+// Console output as usual, plus capture of every run for the report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      captured_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+// Removes "--json value" / "--json=value" from argv, returning the value.
+std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string json;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      json = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return json;
+}
+
+std::string Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+int Main(int argc, char** argv) {
+  ExperimentArgs args;
+  args.json = ExtractJsonFlag(&argc, argv);
+  std::string bench_name = Basename(argv[0]);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  BenchReport report;
+  report.AddString("bench", bench_name);
+  // Repeated runs of one benchmark (--benchmark_repetitions) would
+  // produce duplicate JSON keys; disambiguate with a #<n> suffix.
+  std::map<std::string, int> seen;
+  for (const auto& run : reporter.captured()) {
+    std::string name = run.benchmark_name();
+    int occurrence = ++seen[name];
+    if (occurrence > 1) {
+      name += "#" + std::to_string(occurrence);
+    }
+    const char* unit = benchmark::GetTimeUnitString(run.time_unit);
+    report.AddNumber(name + "_" + unit, run.GetAdjustedRealTime());
+    report.AddInt(name + "_iterations",
+                  static_cast<int64_t>(run.iterations));
+  }
+  WOT_CHECK_OK(MaybeWriteJson(args, report));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wot
+
+int main(int argc, char** argv) { return wot::bench::Main(argc, argv); }

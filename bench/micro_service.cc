@@ -10,9 +10,13 @@
 #include <cstdio>
 #include <memory>
 #include <random>
+#include <string>
+#include <variant>
 #include <vector>
 
 #include "bench_util.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
 #include "wot/service/trust_service.h"
 #include "wot/util/check.h"
 #include "wot/util/stopwatch.h"
@@ -75,6 +79,28 @@ int Main(int argc, char** argv) {
   const double explain_us = timer.ElapsedSeconds() * 1e6 /
                             static_cast<double>(explain_queries);
 
+  // Full API wire cost per query: encode the request frame, decode +
+  // dispatch + re-encode in the frontend, decode the response frame —
+  // i.e. what one wot_served round trip costs on top of the raw call.
+  api::ServiceFrontend frontend(service.get());
+  const int64_t api_queries = queries / 4 + 1;
+  double api_checksum = 0.0;
+  timer.Reset();
+  for (int64_t q = 0; q < api_queries; ++q) {
+    api::Request request;
+    request.id = q;
+    request.payload = api::TrustQuery{std::to_string(pick(rng)),
+                                      std::to_string(pick(rng))};
+    std::string reply =
+        frontend.DispatchLine(api::EncodeRequest(request));
+    api::Response response;
+    WOT_CHECK(api::DecodeResponse(reply, &response).ok());
+    api_checksum +=
+        std::get<api::TrustResult>(response.payload).trust;
+  }
+  const double api_trust_us = timer.ElapsedSeconds() * 1e6 /
+                              static_cast<double>(api_queries);
+
   // Incremental commit cost: append a handful of fresh ratings (new rater
   // per round so the append never collides) and publish.
   const int kCommits = 5;
@@ -109,13 +135,16 @@ int Main(int argc, char** argv) {
               "Trust(i, j) latency:                     %10.3f us\n"
               "TopK(i, 10) latency:                     %10.3f us\n"
               "ExplainTrust(i, j) latency:              %10.3f us\n"
+              "API NDJSON round trip (trust):           %10.3f us\n"
               "incremental commit (10 appends):         %10.2f ms\n"
               "  (avg %.1f categories recomputed per commit)\n"
               "no-op commit:                            %10.3f us\n"
-              "(checksums: %.3f %zu %zu)\n",
-              boot_ms, trust_us, topk_us, explain_us, commit_ms,
+              "(checksums: %.3f %zu %zu %.3f)\n",
+              boot_ms, trust_us, topk_us, explain_us, api_trust_us,
+              commit_ms,
               static_cast<double>(categories_recomputed) / kCommits,
-              noop_commit_us, checksum, topk_sum, term_sum);
+              noop_commit_us, checksum, topk_sum, term_sum,
+              api_checksum);
 
   BenchReport report;
   report.AddString("bench", "micro_service");
@@ -127,6 +156,7 @@ int Main(int argc, char** argv) {
   report.AddNumber("trust_query_us", trust_us);
   report.AddNumber("topk10_query_us", topk_us);
   report.AddNumber("explain_query_us", explain_us);
+  report.AddNumber("api_trust_roundtrip_us", api_trust_us);
   report.AddNumber("incremental_commit_ms", commit_ms);
   report.AddNumber("noop_commit_us", noop_commit_us);
   WOT_CHECK_OK(MaybeWriteJson(args, report));

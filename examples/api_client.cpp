@@ -1,0 +1,83 @@
+// api_client — programming against the versioned serving API.
+//
+// Shows the three ways to issue the same typed request:
+//   1. LoopbackClient over an in-process ServiceFrontend (fast path),
+//   2. the same client forced through the NDJSON codec (wire-identical
+//      responses, still in-process),
+//   3. raw NDJSON frames via DispatchLine — what a resident wot_served
+//      process does for every line it reads.
+//
+// For a real resident server, start `wot_served --socket /tmp/wot.sock`
+// and swap the LoopbackClient for api::SocketClient::Connect(path); the
+// Request/Response code below stays unchanged.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "wot/api/client.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+#include "wot/util/check.h"
+
+int main() {
+  using namespace wot;
+
+  // A small synthetic community behind a live service.
+  SynthConfig config;
+  config.num_users = 300;
+  config.seed = 7;
+  Dataset dataset = GenerateCommunity(config).ValueOrDie().dataset;
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(dataset).ValueOrDie();
+  api::ServiceFrontend frontend(service.get());
+
+  // 1. Typed in-process call.
+  api::LoopbackClient client(&frontend);
+  api::Request request;
+  request.payload = api::TopKQuery{"user0", 5};
+  api::Response response = client.Call(request).ValueOrDie();
+  WOT_CHECK(response.status.ok()) << response.status.ToString();
+  const auto& topk = std::get<api::TopKResult>(response.payload);
+  std::printf("top-%zu trustees of user0 (snapshot v%llu):\n",
+              topk.trustees.size(),
+              static_cast<unsigned long long>(topk.snapshot_version));
+  for (const api::ScoredUserEntry& entry : topk.trustees) {
+    std::printf("  %-12s %.6f\n", entry.name.c_str(), entry.score);
+  }
+
+  // 2. The same call through the NDJSON codec: bit-identical response.
+  api::LoopbackClient wired(&frontend, /*through_codec=*/true);
+  api::Response via_wire = wired.Call(request).ValueOrDie();
+  const auto& wired_topk = std::get<api::TopKResult>(via_wire.payload);
+  WOT_CHECK(wired_topk.trustees.size() == topk.trustees.size());
+  for (size_t i = 0; i < topk.trustees.size(); ++i) {
+    WOT_CHECK(wired_topk.trustees[i].score == topk.trustees[i].score);
+  }
+  std::printf("NDJSON round trip returned identical scores\n");
+
+  // 3. Raw frames, exactly as wot_served sees them on stdin.
+  std::printf("\nwire frames:\n> %s\n",
+              api::EncodeRequest(request).c_str());
+  std::printf("< %.120s...\n",
+              frontend.DispatchLine(api::EncodeRequest(request)).c_str());
+
+  // Errors come back as structured frames, never crashes.
+  std::printf("< %s\n",
+              frontend.DispatchLine("definitely not a frame").c_str());
+
+  // Ingest + commit through the same API: the web of trust evolves.
+  api::Request ingest;
+  ingest.payload = api::IngestUser{"api_client/newcomer"};
+  WOT_CHECK(client.Call(ingest).ValueOrDie().status.ok());
+  api::Request commit;
+  commit.payload = api::CommitRequest{};
+  api::Response committed = client.Call(commit).ValueOrDie();
+  const auto& result = std::get<api::CommitResult>(committed.payload);
+  std::printf("\ncommitted snapshot v%llu (published=%s)\n",
+              static_cast<unsigned long long>(result.snapshot_version),
+              result.published ? "true" : "false");
+  return 0;
+}

@@ -1,0 +1,255 @@
+// The versioned request/response API of the trust serving layer.
+//
+// Every way of talking to a TrustService — the wot_cli `query` subcommand,
+// the resident wot_served binary, examples, benches and (eventually) shard
+// routers — goes through the typed messages defined here. A transport is
+// then just a way of moving Request/Response values around: in-process
+// (api/client.h LoopbackClient), or NDJSON frames over a byte stream
+// (api/codec.h + wot_served).
+//
+// Protocol shape:
+//   * A Request is an envelope {version, id, payload}; the payload variant
+//     selects the method. `id` is an opaque client-chosen correlator echoed
+//     back in the response (pipelining-friendly).
+//   * A Response is an envelope {version, id, status, payload}. On error
+//     the payload is empty and `status` carries an ApiCode + message; on
+//     success the payload variant matches the request's method.
+//   * `version` is the wire protocol version (kProtocolVersion). A server
+//     answers a frame with any other version with INVALID_ARGUMENT rather
+//     than guessing — see docs/wire_protocol.md for the evolution rules.
+//
+// Users in queries are referenced by *name or decimal index* (one string
+// field), resolved server-side by ResolveUserRef so every client shares
+// identical lookup semantics.
+#ifndef WOT_API_API_H_
+#define WOT_API_API_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "wot/util/result.h"
+#include "wot/util/status.h"
+
+namespace wot {
+namespace api {
+
+/// \brief The wire protocol version this build speaks.
+inline constexpr int64_t kProtocolVersion = 1;
+
+/// \brief Machine-readable outcome class of one API call.
+enum class ApiCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kUnimplemented = 3,
+  kInternal = 4,
+};
+
+/// \brief Stable wire name of \p code ("OK", "NOT_FOUND", ...).
+const char* ApiCodeName(ApiCode code);
+
+/// \brief Inverse of ApiCodeName; error for unknown names.
+Result<ApiCode> ApiCodeFromName(std::string_view name);
+
+/// \brief Outcome of one API call: an ApiCode plus human-readable detail.
+struct ApiStatus {
+  ApiCode code = ApiCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == ApiCode::kOk; }
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  static ApiStatus Ok() { return {}; }
+  static ApiStatus NotFound(std::string msg) {
+    return {ApiCode::kNotFound, std::move(msg)};
+  }
+  static ApiStatus InvalidArgument(std::string msg) {
+    return {ApiCode::kInvalidArgument, std::move(msg)};
+  }
+  static ApiStatus Unimplemented(std::string msg) {
+    return {ApiCode::kUnimplemented, std::move(msg)};
+  }
+  static ApiStatus Internal(std::string msg) {
+    return {ApiCode::kInternal, std::move(msg)};
+  }
+  /// \brief Maps a library Status onto the API's coarser code space
+  /// (NotFound/OutOfRange -> NOT_FOUND, NotImplemented -> UNIMPLEMENTED,
+  /// argument/precondition errors -> INVALID_ARGUMENT, rest -> INTERNAL).
+  static ApiStatus FromStatus(const Status& status);
+};
+
+/// \brief The client-side inverse of ApiStatus::FromStatus: maps an API
+/// error back onto the library's Status space so callers can propagate it
+/// with the usual WOT_RETURN_IF_ERROR machinery. OK maps to OK.
+Status ToStatus(const ApiStatus& status);
+
+// ---------------------------------------------------------------------------
+// Request payloads (one struct per method).
+
+/// \brief trust: the derived degree of trust T-hat(source -> target).
+struct TrustQuery {
+  std::string source;  ///< truster, by name or decimal index
+  std::string target;  ///< trustee, by name or decimal index
+};
+
+/// \brief topk: the k most trusted users as seen by source.
+struct TopKQuery {
+  std::string source;
+  int64_t k = 10;
+};
+
+/// \brief explain: per-category breakdown of one derived degree.
+struct ExplainQuery {
+  std::string source;
+  std::string target;
+};
+
+/// \brief ingest_user: register a new community member.
+struct IngestUser {
+  std::string name;
+};
+
+/// \brief ingest_category: register a new topic context.
+struct IngestCategory {
+  std::string name;
+};
+
+/// \brief ingest_object: register a reviewable item under a category
+/// (referenced by name or decimal index).
+struct IngestObject {
+  std::string category;
+  std::string name;
+};
+
+/// \brief ingest_review: record that \p writer reviewed object \p object.
+struct IngestReview {
+  std::string writer;  ///< name or decimal index
+  int64_t object = -1;
+};
+
+/// \brief ingest_rating: record rating \p value by \p rater on a review.
+struct IngestRating {
+  std::string rater;  ///< name or decimal index
+  int64_t review = -1;
+  double value = 0.0;
+};
+
+/// \brief commit: derive staged activity and publish a new snapshot.
+struct CommitRequest {};
+
+/// \brief stats: serving counters and snapshot shape.
+struct StatsRequest {};
+
+using RequestPayload =
+    std::variant<TrustQuery, TopKQuery, ExplainQuery, IngestUser,
+                 IngestCategory, IngestObject, IngestReview, IngestRating,
+                 CommitRequest, StatsRequest>;
+
+/// \brief One API call: protocol version, client correlator, method payload.
+struct Request {
+  int64_t version = kProtocolVersion;
+  int64_t id = 0;
+  RequestPayload payload;
+};
+
+/// \brief The wire method name selected by \p payload ("trust", "topk",
+/// "explain", "ingest_user", ..., "commit", "stats").
+const char* MethodName(const RequestPayload& payload);
+
+/// \brief All wire method names, in variant order (for fuzzing and docs).
+const std::vector<std::string>& AllMethodNames();
+
+// ---------------------------------------------------------------------------
+// Response payloads.
+
+/// \brief One entry of a top-k listing.
+struct ScoredUserEntry {
+  uint32_t user = 0;  ///< dense user index
+  std::string name;
+  double score = 0.0;
+};
+
+struct TrustResult {
+  double trust = 0.0;
+  /// Resolved display names of the query's refs (clients may have
+  /// addressed users by index).
+  std::string source_name;
+  std::string target_name;
+  uint64_t snapshot_version = 0;
+};
+
+struct TopKResult {
+  std::string source_name;
+  std::vector<ScoredUserEntry> trustees;
+  uint64_t snapshot_version = 0;
+};
+
+/// \brief One eq.-5 term of an explain breakdown.
+struct ExplainTermResult {
+  uint32_t category = 0;
+  std::string category_name;
+  double affiliation = 0.0;
+  double expertise = 0.0;
+  double contribution = 0.0;
+};
+
+struct ExplainResult {
+  double trust = 0.0;
+  double affinity_sum = 0.0;
+  std::string source_name;
+  std::string target_name;
+  std::vector<ExplainTermResult> terms;
+  uint64_t snapshot_version = 0;
+};
+
+/// \brief Result of any ingest_* method: the dense id assigned to the new
+/// entity (-1 for ingest_rating, which creates no id).
+struct IngestResult {
+  int64_t assigned_id = -1;
+};
+
+/// \brief What a commit did. Timing is deliberately NOT on the wire so
+/// response streams are byte-deterministic (diffable in tests).
+struct CommitResult {
+  uint64_t snapshot_version = 0;
+  bool published = false;
+  int64_t categories_recomputed = 0;
+  int64_t affiliation_rows_recomputed = 0;
+  int64_t postings_rebuilt = 0;
+};
+
+struct StatsResult {
+  uint64_t snapshot_version = 0;
+  int64_t users = 0;
+  int64_t categories = 0;
+  int64_t reviews = 0;
+  int64_t ratings = 0;
+  /// How many times the backing service was booted over the lifetime of
+  /// the frontend answering this request. A resident server stays at 1 no
+  /// matter how many requests it serves — the smoke test asserts this.
+  int64_t service_boots = 0;
+  /// Requests dispatched by this frontend so far, including this one.
+  int64_t requests_served = 0;
+};
+
+using ResponsePayload =
+    std::variant<std::monostate, TrustResult, TopKResult, ExplainResult,
+                 IngestResult, CommitResult, StatsResult>;
+
+/// \brief One API reply. `id` echoes the request's correlator (0 when the
+/// frame was too malformed to extract one).
+struct Response {
+  int64_t version = kProtocolVersion;
+  int64_t id = 0;
+  ApiStatus status;
+  ResponsePayload payload;
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_API_H_

@@ -1,0 +1,65 @@
+#include "wot/api/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "wot/api/codec.h"
+
+namespace wot {
+namespace api {
+
+Result<Response> LoopbackClient::Call(const Request& request) {
+  Request stamped = request;
+  if (stamped.id == 0) stamped.id = next_id_++;
+  if (!through_codec_) {
+    return frontend_->Dispatch(stamped);
+  }
+  std::string reply_line =
+      frontend_->DispatchLine(EncodeRequest(stamped));
+  Response response;
+  ApiStatus decoded = DecodeResponse(reply_line, &response);
+  if (!decoded.ok()) {
+    return Status::Internal("undecodable loopback reply: " +
+                            decoded.ToString());
+  }
+  return response;
+}
+
+Result<std::unique_ptr<SocketClient>> SocketClient::Connect(
+    const std::string& socket_path) {
+  WOT_ASSIGN_OR_RETURN(int fd, ConnectUnixSocket(socket_path));
+  return std::unique_ptr<SocketClient>(new SocketClient(fd));
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<Response> SocketClient::Call(const Request& request) {
+  Request stamped = request;
+  if (stamped.id == 0) stamped.id = next_id_++;
+  WOT_RETURN_IF_ERROR(SendAll(fd_, EncodeRequest(stamped) + "\n"));
+  std::string reply_line;
+  WOT_ASSIGN_OR_RETURN(bool got_line, reader_.Next(&reply_line));
+  if (!got_line) {
+    return Status::IOError("server closed the connection");
+  }
+  Response response;
+  ApiStatus decoded = DecodeResponse(reply_line, &response);
+  if (!decoded.ok()) {
+    return Status::IOError("undecodable server reply: " +
+                           decoded.ToString());
+  }
+  if (response.id != stamped.id) {
+    return Status::IOError("response id " + std::to_string(response.id) +
+                           " does not match request id " +
+                           std::to_string(stamped.id));
+  }
+  return response;
+}
+
+}  // namespace api
+}  // namespace wot

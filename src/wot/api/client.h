@@ -1,0 +1,84 @@
+// Client-side transports of the api layer.
+//
+// ApiClient is the one interface callers program against; picking a
+// transport is a construction-time decision:
+//
+//   * LoopbackClient — in-process dispatch against a ServiceFrontend. In
+//     `through_codec` mode every call is encoded to an NDJSON frame,
+//     pushed through DispatchLine and decoded back, exercising the full
+//     wire path without a process boundary (the property tests use both
+//     modes to prove the codec is transparent).
+//   * SocketClient — NDJSON over a SOCK_STREAM unix-domain socket to a
+//     resident `wot_served --socket PATH` process.
+//
+// Clients are synchronous and single-threaded: Call() writes one frame
+// and blocks for its reply. Pipelining callers should talk to the stream
+// directly (see tools/wot_served.cc's loop and the round-trip test).
+#ifndef WOT_API_CLIENT_H_
+#define WOT_API_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "wot/api/api.h"
+#include "wot/api/frontend.h"
+#include "wot/api/unix_socket.h"
+
+namespace wot {
+namespace api {
+
+/// \brief A synchronous request/response channel to a trust service.
+class ApiClient {
+ public:
+  virtual ~ApiClient() = default;
+
+  /// \brief Executes one call. A nonzero request.id is sent (and echoed)
+  /// as-is; id 0 ("unset") is replaced with an internal counter. An
+  /// error *Status* means the transport failed (broken socket, malformed
+  /// reply); an application error arrives as a Response whose ApiStatus
+  /// is non-OK.
+  virtual Result<Response> Call(const Request& request) = 0;
+};
+
+/// \brief In-process client over a frontend the caller owns.
+class LoopbackClient : public ApiClient {
+ public:
+  /// \p frontend must outlive the client. With \p through_codec, calls
+  /// round-trip through the NDJSON wire format.
+  explicit LoopbackClient(ServiceFrontend* frontend,
+                          bool through_codec = false)
+      : frontend_(frontend), through_codec_(through_codec) {}
+
+  Result<Response> Call(const Request& request) override;
+
+ private:
+  ServiceFrontend* frontend_;
+  bool through_codec_;
+  int64_t next_id_ = 1;
+};
+
+/// \brief Unix-domain-socket client of a resident wot_served process.
+class SocketClient : public ApiClient {
+ public:
+  /// \brief Connects to the server listening on \p socket_path.
+  static Result<std::unique_ptr<SocketClient>> Connect(
+      const std::string& socket_path);
+
+  ~SocketClient() override;
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  Result<Response> Call(const Request& request) override;
+
+ private:
+  explicit SocketClient(int fd) : fd_(fd), reader_(fd) {}
+
+  int fd_;
+  FdLineReader reader_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_CLIENT_H_

@@ -1,0 +1,480 @@
+#include "wot/api/codec.h"
+
+#include <utility>
+
+#include "wot/io/json_parser.h"
+#include "wot/io/json_writer.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+// Indexed by ResponsePayload variant alternative (monostate unnamed).
+const char* const kResultTypeNames[] = {
+    "", "trust", "topk", "explain", "ingest", "commit", "stats",
+};
+static_assert(sizeof(kResultTypeNames) / sizeof(kResultTypeNames[0]) ==
+                  std::variant_size_v<ResponsePayload>,
+              "result type table out of sync with ResponsePayload");
+
+void EncodeParams(const RequestPayload& payload, JsonWriter* w) {
+  struct Visitor {
+    JsonWriter& w;
+    void operator()(const TrustQuery& q) {
+      w.Key("source").String(q.source).Key("target").String(q.target);
+    }
+    void operator()(const TopKQuery& q) {
+      w.Key("source").String(q.source).Key("k").Int(q.k);
+    }
+    void operator()(const ExplainQuery& q) {
+      w.Key("source").String(q.source).Key("target").String(q.target);
+    }
+    void operator()(const IngestUser& q) { w.Key("name").String(q.name); }
+    void operator()(const IngestCategory& q) {
+      w.Key("name").String(q.name);
+    }
+    void operator()(const IngestObject& q) {
+      w.Key("category").String(q.category).Key("name").String(q.name);
+    }
+    void operator()(const IngestReview& q) {
+      w.Key("writer").String(q.writer).Key("object").Int(q.object);
+    }
+    void operator()(const IngestRating& q) {
+      w.Key("rater").String(q.rater).Key("review").Int(q.review);
+      w.Key("value").Double(q.value);
+    }
+    void operator()(const CommitRequest&) {}
+    void operator()(const StatsRequest&) {}
+  };
+  w->Key("params").BeginObject();
+  std::visit(Visitor{*w}, payload);
+  w->EndObject();
+}
+
+void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
+  struct Visitor {
+    JsonWriter& w;
+    void operator()(const std::monostate&) {}
+    void operator()(const TrustResult& r) {
+      w.Key("trust").Double(r.trust);
+      w.Key("source_name").String(r.source_name);
+      w.Key("target_name").String(r.target_name);
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+    }
+    void operator()(const TopKResult& r) {
+      w.Key("source_name").String(r.source_name);
+      w.Key("trustees").BeginArray();
+      for (const ScoredUserEntry& entry : r.trustees) {
+        w.BeginObject();
+        w.Key("user").UInt(entry.user);
+        w.Key("name").String(entry.name);
+        w.Key("score").Double(entry.score);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+    }
+    void operator()(const ExplainResult& r) {
+      w.Key("trust").Double(r.trust);
+      w.Key("affinity_sum").Double(r.affinity_sum);
+      w.Key("source_name").String(r.source_name);
+      w.Key("target_name").String(r.target_name);
+      w.Key("terms").BeginArray();
+      for (const ExplainTermResult& term : r.terms) {
+        w.BeginObject();
+        w.Key("category").UInt(term.category);
+        w.Key("category_name").String(term.category_name);
+        w.Key("affiliation").Double(term.affiliation);
+        w.Key("expertise").Double(term.expertise);
+        w.Key("contribution").Double(term.contribution);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+    }
+    void operator()(const IngestResult& r) {
+      w.Key("assigned_id").Int(r.assigned_id);
+    }
+    void operator()(const CommitResult& r) {
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+      w.Key("published").Bool(r.published);
+      w.Key("categories_recomputed").Int(r.categories_recomputed);
+      w.Key("affiliation_rows_recomputed")
+          .Int(r.affiliation_rows_recomputed);
+      w.Key("postings_rebuilt").Int(r.postings_rebuilt);
+    }
+    void operator()(const StatsResult& r) {
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+      w.Key("users").Int(r.users);
+      w.Key("categories").Int(r.categories);
+      w.Key("reviews").Int(r.reviews);
+      w.Key("ratings").Int(r.ratings);
+      w.Key("service_boots").Int(r.service_boots);
+      w.Key("requests_served").Int(r.requests_served);
+    }
+  };
+  w->Key("result").BeginObject();
+  std::visit(Visitor{*w}, payload);
+  w->EndObject();
+}
+
+// Pulls the optional envelope integers out of a (possibly partial) frame
+// so error responses can still be correlated.
+void SalvageEnvelope(const JsonValue& root, Request* request) {
+  if (!root.is_object()) return;
+  const JsonValue* id = root.Find("id");
+  if (id != nullptr && id->is_number() && id->number_is_int()) {
+    request->id = id->int_value();
+  }
+  const JsonValue* version = root.Find("v");
+  if (version != nullptr && version->is_number() &&
+      version->number_is_int()) {
+    request->version = version->int_value();
+  }
+}
+
+ApiStatus DecodeParams(const std::string& method, const JsonValue& root,
+                       Request* request) {
+  static const JsonValue kEmptyParams =
+      JsonValue::MakeObject({});
+  const JsonValue* params = root.Find("params");
+  if (params == nullptr) {
+    params = &kEmptyParams;  // parameterless methods may omit the object
+  } else if (!params->is_object()) {
+    return ApiStatus::InvalidArgument("'params' must be an object");
+  }
+
+  // One lambda per field keeps the message shape uniform.
+  auto string_field = [&](std::string_view key, std::string* out) {
+    Result<std::string> value = params->GetString(key);
+    if (!value.ok()) return ApiStatus::FromStatus(value.status());
+    *out = std::move(value).ValueOrDie();
+    return ApiStatus::Ok();
+  };
+  auto int_field = [&](std::string_view key, int64_t* out) {
+    Result<int64_t> value = params->GetInt(key);
+    if (!value.ok()) return ApiStatus::FromStatus(value.status());
+    *out = value.ValueOrDie();
+    return ApiStatus::Ok();
+  };
+
+  ApiStatus status = ApiStatus::Ok();
+  if (method == "trust") {
+    TrustQuery q;
+    status = string_field("source", &q.source);
+    if (status.ok()) status = string_field("target", &q.target);
+    request->payload = std::move(q);
+  } else if (method == "topk") {
+    TopKQuery q;
+    status = string_field("source", &q.source);
+    if (status.ok() && params->Find("k") != nullptr) {
+      status = int_field("k", &q.k);
+    }
+    request->payload = std::move(q);
+  } else if (method == "explain") {
+    ExplainQuery q;
+    status = string_field("source", &q.source);
+    if (status.ok()) status = string_field("target", &q.target);
+    request->payload = std::move(q);
+  } else if (method == "ingest_user") {
+    IngestUser q;
+    status = string_field("name", &q.name);
+    request->payload = std::move(q);
+  } else if (method == "ingest_category") {
+    IngestCategory q;
+    status = string_field("name", &q.name);
+    request->payload = std::move(q);
+  } else if (method == "ingest_object") {
+    IngestObject q;
+    status = string_field("category", &q.category);
+    if (status.ok()) status = string_field("name", &q.name);
+    request->payload = std::move(q);
+  } else if (method == "ingest_review") {
+    IngestReview q;
+    status = string_field("writer", &q.writer);
+    if (status.ok()) status = int_field("object", &q.object);
+    request->payload = std::move(q);
+  } else if (method == "ingest_rating") {
+    IngestRating q;
+    status = string_field("rater", &q.rater);
+    if (status.ok()) status = int_field("review", &q.review);
+    if (status.ok()) {
+      Result<double> value = params->GetDouble("value");
+      if (!value.ok()) {
+        status = ApiStatus::FromStatus(value.status());
+      } else {
+        q.value = value.ValueOrDie();
+      }
+    }
+    request->payload = std::move(q);
+  } else if (method == "commit") {
+    request->payload = CommitRequest{};
+  } else if (method == "stats") {
+    request->payload = StatsRequest{};
+  } else {
+    return ApiStatus::Unimplemented("unknown method '" + method + "'");
+  }
+  return status;
+}
+
+ApiStatus DecodeResultPayload(const std::string& result_type,
+                              const JsonValue& result, Response* response) {
+  auto u64_field = [&](std::string_view key, uint64_t* out) {
+    Result<int64_t> value = result.GetInt(key);
+    if (!value.ok()) return ApiStatus::FromStatus(value.status());
+    *out = static_cast<uint64_t>(value.ValueOrDie());
+    return ApiStatus::Ok();
+  };
+
+  auto name_field = [&](std::string_view key, std::string* out) {
+    Result<std::string> value = result.GetString(key);
+    if (!value.ok()) return ApiStatus::FromStatus(value.status());
+    *out = std::move(value).ValueOrDie();
+    return ApiStatus::Ok();
+  };
+
+  ApiStatus status = ApiStatus::Ok();
+  if (result_type == "trust") {
+    TrustResult r;
+    Result<double> trust = result.GetDouble("trust");
+    if (!trust.ok()) return ApiStatus::FromStatus(trust.status());
+    r.trust = trust.ValueOrDie();
+    status = name_field("source_name", &r.source_name);
+    if (!status.ok()) return status;
+    status = name_field("target_name", &r.target_name);
+    if (!status.ok()) return status;
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    response->payload = std::move(r);
+  } else if (result_type == "topk") {
+    TopKResult r;
+    status = name_field("source_name", &r.source_name);
+    if (!status.ok()) return status;
+    const JsonValue* trustees = result.Find("trustees");
+    if (trustees == nullptr || !trustees->is_array()) {
+      return ApiStatus::InvalidArgument("missing 'trustees' array");
+    }
+    for (const JsonValue& item : trustees->array()) {
+      ScoredUserEntry entry;
+      Result<int64_t> user = item.GetInt("user");
+      if (!user.ok()) return ApiStatus::FromStatus(user.status());
+      entry.user = static_cast<uint32_t>(user.ValueOrDie());
+      Result<std::string> name = item.GetString("name");
+      if (!name.ok()) return ApiStatus::FromStatus(name.status());
+      entry.name = std::move(name).ValueOrDie();
+      Result<double> score = item.GetDouble("score");
+      if (!score.ok()) return ApiStatus::FromStatus(score.status());
+      entry.score = score.ValueOrDie();
+      r.trustees.push_back(std::move(entry));
+    }
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    response->payload = std::move(r);
+  } else if (result_type == "explain") {
+    ExplainResult r;
+    Result<double> trust = result.GetDouble("trust");
+    if (!trust.ok()) return ApiStatus::FromStatus(trust.status());
+    r.trust = trust.ValueOrDie();
+    Result<double> affinity = result.GetDouble("affinity_sum");
+    if (!affinity.ok()) return ApiStatus::FromStatus(affinity.status());
+    r.affinity_sum = affinity.ValueOrDie();
+    status = name_field("source_name", &r.source_name);
+    if (!status.ok()) return status;
+    status = name_field("target_name", &r.target_name);
+    if (!status.ok()) return status;
+    const JsonValue* terms = result.Find("terms");
+    if (terms == nullptr || !terms->is_array()) {
+      return ApiStatus::InvalidArgument("missing 'terms' array");
+    }
+    for (const JsonValue& item : terms->array()) {
+      ExplainTermResult term;
+      Result<int64_t> category = item.GetInt("category");
+      if (!category.ok()) return ApiStatus::FromStatus(category.status());
+      term.category = static_cast<uint32_t>(category.ValueOrDie());
+      Result<std::string> name = item.GetString("category_name");
+      if (!name.ok()) return ApiStatus::FromStatus(name.status());
+      term.category_name = std::move(name).ValueOrDie();
+      Result<double> affiliation = item.GetDouble("affiliation");
+      if (!affiliation.ok()) {
+        return ApiStatus::FromStatus(affiliation.status());
+      }
+      term.affiliation = affiliation.ValueOrDie();
+      Result<double> expertise = item.GetDouble("expertise");
+      if (!expertise.ok()) return ApiStatus::FromStatus(expertise.status());
+      term.expertise = expertise.ValueOrDie();
+      Result<double> contribution = item.GetDouble("contribution");
+      if (!contribution.ok()) {
+        return ApiStatus::FromStatus(contribution.status());
+      }
+      term.contribution = contribution.ValueOrDie();
+      r.terms.push_back(std::move(term));
+    }
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    response->payload = std::move(r);
+  } else if (result_type == "ingest") {
+    IngestResult r;
+    Result<int64_t> id = result.GetInt("assigned_id");
+    if (!id.ok()) return ApiStatus::FromStatus(id.status());
+    r.assigned_id = id.ValueOrDie();
+    response->payload = r;
+  } else if (result_type == "commit") {
+    CommitResult r;
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    if (!status.ok()) return status;
+    const JsonValue* published = result.Find("published");
+    if (published == nullptr || !published->is_bool()) {
+      return ApiStatus::InvalidArgument("missing 'published' bool");
+    }
+    r.published = published->bool_value();
+    Result<int64_t> categories = result.GetInt("categories_recomputed");
+    if (!categories.ok()) {
+      return ApiStatus::FromStatus(categories.status());
+    }
+    r.categories_recomputed = categories.ValueOrDie();
+    Result<int64_t> rows = result.GetInt("affiliation_rows_recomputed");
+    if (!rows.ok()) return ApiStatus::FromStatus(rows.status());
+    r.affiliation_rows_recomputed = rows.ValueOrDie();
+    Result<int64_t> postings = result.GetInt("postings_rebuilt");
+    if (!postings.ok()) return ApiStatus::FromStatus(postings.status());
+    r.postings_rebuilt = postings.ValueOrDie();
+    response->payload = r;
+  } else if (result_type == "stats") {
+    StatsResult r;
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    if (!status.ok()) return status;
+    struct IntField {
+      const char* key;
+      int64_t* target;
+    };
+    for (IntField field : {IntField{"users", &r.users},
+                           IntField{"categories", &r.categories},
+                           IntField{"reviews", &r.reviews},
+                           IntField{"ratings", &r.ratings},
+                           IntField{"service_boots", &r.service_boots},
+                           IntField{"requests_served",
+                                    &r.requests_served}}) {
+      Result<int64_t> value = result.GetInt(field.key);
+      if (!value.ok()) return ApiStatus::FromStatus(value.status());
+      *field.target = value.ValueOrDie();
+    }
+    response->payload = r;
+  } else {
+    return ApiStatus::InvalidArgument("unknown result_type '" +
+                                      result_type + "'");
+  }
+  return status;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("v").Int(request.version);
+  w.Key("id").Int(request.id);
+  w.Key("method").String(MethodName(request.payload));
+  EncodeParams(request.payload, &w);
+  w.EndObject();
+  return w.str();
+}
+
+std::string EncodeResponse(const Response& response) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("v").Int(response.version);
+  w.Key("id").Int(response.id);
+  w.Key("status").String(ApiCodeName(response.status.code));
+  if (!response.status.ok()) {
+    w.Key("error").String(response.status.message);
+  } else if (response.payload.index() != 0) {
+    w.Key("result_type").String(kResultTypeNames[response.payload.index()]);
+    EncodeResult(response.payload, &w);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+ApiStatus DecodeRequest(std::string_view line, Request* request) {
+  *request = Request{};
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return ApiStatus::InvalidArgument("malformed frame: " +
+                                      parsed.status().message());
+  }
+  const JsonValue& root = parsed.ValueOrDie();
+  if (!root.is_object()) {
+    return ApiStatus::InvalidArgument("frame must be a JSON object");
+  }
+  SalvageEnvelope(root, request);
+  if (root.Find("v") == nullptr) {
+    return ApiStatus::InvalidArgument(
+        "missing protocol version field 'v'");
+  }
+  Result<int64_t> version = root.GetInt("v");
+  if (!version.ok()) {
+    // Present but mistyped — report that, not "missing".
+    return ApiStatus::InvalidArgument("protocol version " +
+                                      version.status().message());
+  }
+  if (version.ValueOrDie() != kProtocolVersion) {
+    return ApiStatus::InvalidArgument(
+        "unsupported protocol version " +
+        std::to_string(version.ValueOrDie()) + " (this server speaks v" +
+        std::to_string(kProtocolVersion) + ")");
+  }
+  const JsonValue* id = root.Find("id");
+  if (id != nullptr && (!id->is_number() || !id->number_is_int())) {
+    return ApiStatus::InvalidArgument("'id' must be an integer");
+  }
+  Result<std::string> method = root.GetString("method");
+  if (!method.ok()) {
+    return ApiStatus::FromStatus(method.status());
+  }
+  return DecodeParams(method.ValueOrDie(), root, request);
+}
+
+ApiStatus DecodeResponse(std::string_view line, Response* response) {
+  *response = Response{};
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return ApiStatus::InvalidArgument("malformed frame: " +
+                                      parsed.status().message());
+  }
+  const JsonValue& root = parsed.ValueOrDie();
+  if (!root.is_object()) {
+    return ApiStatus::InvalidArgument("frame must be a JSON object");
+  }
+  Result<int64_t> version = root.GetInt("v");
+  if (!version.ok()) return ApiStatus::FromStatus(version.status());
+  response->version = version.ValueOrDie();
+  Result<int64_t> id = root.GetInt("id");
+  if (!id.ok()) return ApiStatus::FromStatus(id.status());
+  response->id = id.ValueOrDie();
+  Result<std::string> code_name = root.GetString("status");
+  if (!code_name.ok()) return ApiStatus::FromStatus(code_name.status());
+  Result<ApiCode> code = ApiCodeFromName(code_name.ValueOrDie());
+  if (!code.ok()) return ApiStatus::FromStatus(code.status());
+  response->status.code = code.ValueOrDie();
+  if (!response->status.ok()) {
+    Result<std::string> error = root.GetString("error");
+    if (error.ok()) {
+      response->status.message = std::move(error).ValueOrDie();
+    }
+    return ApiStatus::Ok();  // the *frame* decoded fine
+  }
+  const JsonValue* result_type = root.Find("result_type");
+  if (result_type == nullptr) {
+    response->payload = std::monostate{};  // e.g. a bare OK
+    return ApiStatus::Ok();
+  }
+  if (!result_type->is_string()) {
+    return ApiStatus::InvalidArgument("'result_type' must be a string");
+  }
+  const JsonValue* result = root.Find("result");
+  if (result == nullptr || !result->is_object()) {
+    return ApiStatus::InvalidArgument("missing 'result' object");
+  }
+  return DecodeResultPayload(result_type->string_value(), *result,
+                             response);
+}
+
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,343 @@
+#include "wot/api/frontend.h"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "wot/api/codec.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+namespace api {
+
+Result<UserId> ResolveUserRef(const Dataset& dataset,
+                              std::string_view ref) {
+  if (ref.empty()) {
+    return Status::InvalidArgument("empty user reference");
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 ||
+        static_cast<size_t>(index) >= dataset.num_users()) {
+      return Status::NotFound("user index " + std::string(ref) +
+                              " out of range [0, " +
+                              std::to_string(dataset.num_users()) + ")");
+    }
+    return UserId(static_cast<uint32_t>(index));
+  }
+  for (const User& user : dataset.users()) {
+    if (user.name == ref) {
+      return user.id;
+    }
+  }
+  return Status::NotFound("no user named '" + std::string(ref) + "'");
+}
+
+Result<CategoryId> ResolveCategoryRef(const Dataset& dataset,
+                                      std::string_view ref) {
+  if (ref.empty()) {
+    return Status::InvalidArgument("empty category reference");
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 ||
+        static_cast<size_t>(index) >= dataset.num_categories()) {
+      return Status::NotFound(
+          "category index " + std::string(ref) + " out of range [0, " +
+          std::to_string(dataset.num_categories()) + ")");
+    }
+    return CategoryId(static_cast<uint32_t>(index));
+  }
+  return dataset.FindCategory(std::string(ref));
+}
+
+namespace {
+
+Response ErrorResponse(ApiStatus status) {
+  Response response;
+  response.status = std::move(status);
+  return response;
+}
+
+// Checks an int64 wire id against an entity count before narrowing.
+ApiStatus CheckWireId(int64_t value, size_t count, const char* what) {
+  if (value < 0 || static_cast<uint64_t>(value) >= count) {
+    return ApiStatus::NotFound(std::string(what) + " id " +
+                               std::to_string(value) +
+                               " out of range [0, " +
+                               std::to_string(count) + ")");
+  }
+  return ApiStatus::Ok();
+}
+
+}  // namespace
+
+Result<UserId> ServiceFrontend::ResolveUser(std::string_view ref) {
+  const Dataset& dataset = service_->staged_dataset();
+  if (ref.empty()) {
+    return Status::InvalidArgument("empty user reference");
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 ||
+        static_cast<size_t>(index) >= dataset.num_users()) {
+      return Status::NotFound("user index " + std::string(ref) +
+                              " out of range [0, " +
+                              std::to_string(dataset.num_users()) + ")");
+    }
+    return UserId(static_cast<uint32_t>(index));
+  }
+  // Absorb users appended since the last lookup. emplace keeps the first
+  // id under a duplicated name, matching the linear scan's semantics.
+  const std::vector<User>& users = dataset.users();
+  for (; indexed_users_ < users.size(); ++indexed_users_) {
+    name_index_.emplace(users[indexed_users_].name,
+                        users[indexed_users_].id);
+  }
+  auto it = name_index_.find(std::string(ref));
+  if (it == name_index_.end()) {
+    return Status::NotFound("no user named '" + std::string(ref) + "'");
+  }
+  return it->second;
+}
+
+Response ServiceFrontend::Dispatch(const Request& request) {
+  ++stats_.requests_served;
+  Response response = DispatchPayload(request);
+  response.version = kProtocolVersion;
+  response.id = request.id;
+  if (!response.status.ok()) {
+    ++stats_.errors;
+    response.payload = std::monostate{};
+  }
+  return response;
+}
+
+Response ServiceFrontend::DispatchPayload(const Request& request) {
+  if (request.version != kProtocolVersion) {
+    return ErrorResponse(ApiStatus::InvalidArgument(
+        "unsupported protocol version " + std::to_string(request.version) +
+        " (this server speaks v" + std::to_string(kProtocolVersion) +
+        ")"));
+  }
+  const Dataset& dataset = service_->staged_dataset();
+
+  struct Visitor {
+    ServiceFrontend& frontend;
+    const Dataset& dataset;
+
+    Response operator()(const TrustQuery& q) {
+      Result<UserId> source = frontend.ResolveUser(q.source);
+      if (!source.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(source.status()));
+      }
+      Result<UserId> target = frontend.ResolveUser(q.target);
+      if (!target.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(target.status()));
+      }
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      TrustResult result;
+      result.trust = snapshot->Trust(source.ValueOrDie().index(),
+                                     target.ValueOrDie().index());
+      result.source_name = dataset.user(source.ValueOrDie()).name;
+      result.target_name = dataset.user(target.ValueOrDie()).name;
+      result.snapshot_version = snapshot->version();
+      Response response;
+      response.payload = std::move(result);
+      return response;
+    }
+
+    Response operator()(const TopKQuery& q) {
+      if (q.k <= 0) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("'k' must be positive"));
+      }
+      Result<UserId> source = frontend.ResolveUser(q.source);
+      if (!source.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(source.status()));
+      }
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      TopKResult result;
+      result.source_name = dataset.user(source.ValueOrDie()).name;
+      result.snapshot_version = snapshot->version();
+      for (const ScoredUser& scored :
+           snapshot->TopK(source.ValueOrDie().index(),
+                          static_cast<size_t>(q.k))) {
+        result.trustees.push_back(
+            {scored.user, dataset.user(UserId(scored.user)).name,
+             scored.score});
+      }
+      Response response;
+      response.payload = std::move(result);
+      return response;
+    }
+
+    Response operator()(const ExplainQuery& q) {
+      Result<UserId> source = frontend.ResolveUser(q.source);
+      if (!source.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(source.status()));
+      }
+      Result<UserId> target = frontend.ResolveUser(q.target);
+      if (!target.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(target.status()));
+      }
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      TrustExplanation explanation = snapshot->ExplainTrust(
+          source.ValueOrDie().index(), target.ValueOrDie().index());
+      ExplainResult result;
+      result.trust = explanation.trust;
+      result.affinity_sum = explanation.affinity_sum;
+      result.source_name = dataset.user(source.ValueOrDie()).name;
+      result.target_name = dataset.user(target.ValueOrDie()).name;
+      result.snapshot_version = snapshot->version();
+      for (const TrustContribution& term : explanation.terms) {
+        result.terms.push_back(
+            {term.category,
+             dataset.category(CategoryId(term.category)).name,
+             term.affiliation, term.expertise, term.contribution});
+      }
+      Response response;
+      response.payload = std::move(result);
+      return response;
+    }
+
+    Response operator()(const IngestUser& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("user name must not be empty"));
+      }
+      UserId id = frontend.service_->AddUser(q.name);
+      Response response;
+      response.payload = IngestResult{static_cast<int64_t>(id.value())};
+      return response;
+    }
+
+    Response operator()(const IngestCategory& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("category name must not be empty"));
+      }
+      CategoryId id = frontend.service_->AddCategory(q.name);
+      Response response;
+      response.payload = IngestResult{static_cast<int64_t>(id.value())};
+      return response;
+    }
+
+    Response operator()(const IngestObject& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("object name must not be empty"));
+      }
+      Result<CategoryId> category =
+          ResolveCategoryRef(dataset, q.category);
+      if (!category.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(category.status()));
+      }
+      Result<ObjectId> id =
+          frontend.service_->AddObject(category.ValueOrDie(), q.name);
+      if (!id.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(id.status()));
+      }
+      Response response;
+      response.payload =
+          IngestResult{static_cast<int64_t>(id.ValueOrDie().value())};
+      return response;
+    }
+
+    Response operator()(const IngestReview& q) {
+      Result<UserId> writer = frontend.ResolveUser(q.writer);
+      if (!writer.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(writer.status()));
+      }
+      ApiStatus range =
+          CheckWireId(q.object, dataset.num_objects(), "object");
+      if (!range.ok()) return ErrorResponse(std::move(range));
+      Result<ReviewId> id = frontend.service_->AddReview(
+          writer.ValueOrDie(), ObjectId(static_cast<uint32_t>(q.object)));
+      if (!id.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(id.status()));
+      }
+      Response response;
+      response.payload =
+          IngestResult{static_cast<int64_t>(id.ValueOrDie().value())};
+      return response;
+    }
+
+    Response operator()(const IngestRating& q) {
+      Result<UserId> rater = frontend.ResolveUser(q.rater);
+      if (!rater.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(rater.status()));
+      }
+      ApiStatus range =
+          CheckWireId(q.review, dataset.num_reviews(), "review");
+      if (!range.ok()) return ErrorResponse(std::move(range));
+      Status status = frontend.service_->AddRating(
+          rater.ValueOrDie(), ReviewId(static_cast<uint32_t>(q.review)),
+          q.value);
+      if (!status.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(status));
+      }
+      Response response;
+      response.payload = IngestResult{-1};
+      return response;
+    }
+
+    Response operator()(const CommitRequest&) {
+      Result<TrustService::CommitStats> stats =
+          frontend.service_->Commit();
+      if (!stats.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(stats.status()));
+      }
+      const TrustService::CommitStats& s = stats.ValueOrDie();
+      Response response;
+      response.payload = CommitResult{
+          s.version, s.published,
+          static_cast<int64_t>(s.categories_recomputed),
+          static_cast<int64_t>(s.affiliation_rows_recomputed),
+          static_cast<int64_t>(s.postings_rebuilt)};
+      return response;
+    }
+
+    Response operator()(const StatsRequest&) {
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      StatsResult result;
+      result.snapshot_version = snapshot->version();
+      result.users = static_cast<int64_t>(snapshot->num_users());
+      result.categories =
+          static_cast<int64_t>(snapshot->num_categories());
+      result.reviews = static_cast<int64_t>(snapshot->num_reviews());
+      result.ratings = static_cast<int64_t>(snapshot->num_ratings());
+      result.service_boots = frontend.stats_.service_boots;
+      result.requests_served = frontend.stats_.requests_served;
+      Response response;
+      response.payload = result;
+      return response;
+    }
+  };
+
+  return std::visit(Visitor{*this, dataset}, request.payload);
+}
+
+std::string ServiceFrontend::DispatchLine(std::string_view line) {
+  Request request;
+  ApiStatus decode_status = DecodeRequest(line, &request);
+  if (!decode_status.ok()) {
+    ++stats_.requests_served;
+    ++stats_.errors;
+    Response response;
+    response.id = request.id;
+    response.status = std::move(decode_status);
+    return EncodeResponse(response);
+  }
+  return EncodeResponse(Dispatch(request));
+}
+
+}  // namespace api
+}  // namespace wot

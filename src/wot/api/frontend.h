@@ -1,0 +1,92 @@
+// ServiceFrontend: dispatches typed API requests against one TrustService.
+//
+// This is the single implementation of the API's semantics. Every
+// transport funnels into Dispatch() (typed) or DispatchLine() (one NDJSON
+// frame in, one frame out):
+//
+//   * wot_cli query       -> LoopbackClient -> Dispatch
+//   * wot_cli --connect   -> SocketClient -> wot_served -> DispatchLine
+//   * wot_served          -> DispatchLine over stdin/stdout or a socket
+//
+// so responses are identical no matter how a request arrived (property-
+// tested bit-for-bit). A future shard router is just another owner of
+// several frontends.
+//
+// DispatchLine is total: malformed input, unknown methods, wrong protocol
+// versions, missing fields and out-of-range ids all produce a structured
+// error response — it never crashes and never returns a non-JSON line.
+//
+// Thread contract: Dispatch/DispatchLine are NOT thread-safe (ingest and
+// name resolution touch the writer-side staged dataset). Run one frontend
+// per connection-serving thread; reads still serve lock-free snapshots
+// underneath.
+#ifndef WOT_API_FRONTEND_H_
+#define WOT_API_FRONTEND_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "wot/api/api.h"
+#include "wot/community/dataset.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace api {
+
+/// \brief Resolves \p ref as a user name or decimal user index against
+/// \p dataset. The one name-or-index lookup shared by every API path.
+/// Name resolution is a linear scan; the frontend's dispatch path uses
+/// an incrementally maintained index instead (same semantics, O(1)).
+Result<UserId> ResolveUserRef(const Dataset& dataset, std::string_view ref);
+
+/// \brief Same semantics for categories.
+Result<CategoryId> ResolveCategoryRef(const Dataset& dataset,
+                                      std::string_view ref);
+
+/// \brief Serving counters of one frontend (returned by the stats method).
+struct FrontendStats {
+  /// Boots of the backing service observed by this frontend. Stays 1 for
+  /// the lifetime of a resident server — the round-trip smoke asserts a
+  /// thousand requests share one boot.
+  int64_t service_boots = 1;
+  int64_t requests_served = 0;
+  int64_t errors = 0;
+};
+
+/// \brief Dispatches requests against a TrustService it does not own.
+class ServiceFrontend {
+ public:
+  /// \p service must outlive the frontend.
+  explicit ServiceFrontend(TrustService* service) : service_(service) {}
+
+  /// \brief Executes one typed request. The response echoes request.id.
+  Response Dispatch(const Request& request);
+
+  /// \brief Decodes one NDJSON frame, dispatches it, encodes the reply
+  /// (no trailing newline). Total: any input yields a valid frame.
+  std::string DispatchLine(std::string_view line);
+
+  const FrontendStats& stats() const { return stats_; }
+  TrustService* service() const { return service_; }
+
+ private:
+  Response DispatchPayload(const Request& request);
+
+  /// ResolveUserRef semantics backed by name_index_ (users are dense and
+  /// append-only with immutable names, so the index only ever needs to
+  /// absorb the staged dataset's tail — even users ingested through a
+  /// different frontend over the same service).
+  Result<UserId> ResolveUser(std::string_view ref);
+
+  TrustService* service_;
+  FrontendStats stats_;
+  std::unordered_map<std::string, UserId> name_index_;
+  size_t indexed_users_ = 0;  // users absorbed into name_index_
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_FRONTEND_H_

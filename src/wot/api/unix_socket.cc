@@ -1,0 +1,117 @@
+#include "wot/api/unix_socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wot {
+namespace api {
+namespace {
+
+Result<sockaddr_un> MakeAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ConnectUnixSocket(const std::string& path) {
+  WOT_ASSIGN_OR_RETURN(sockaddr_un addr, MakeAddress(path));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved_errno = errno;
+    ::close(fd);
+    return Status::IOError("cannot connect to '" + path +
+                           "': " + std::strerror(saved_errno));
+  }
+  return fd;
+}
+
+Result<int> ListenUnixSocket(const std::string& path, int backlog) {
+  WOT_ASSIGN_OR_RETURN(sockaddr_un addr, MakeAddress(path));
+  // A connectable socket means a live server already owns this path:
+  // refuse rather than silently stealing its endpoint. Only a stale,
+  // unconnectable socket file is cleaned up.
+  Result<int> existing = ConnectUnixSocket(path);
+  if (existing.ok()) {
+    ::close(existing.ValueOrDie());
+    return Status::AlreadyExists("a server is already listening on '" +
+                                 path + "'");
+  }
+  ::unlink(path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") +
+                           std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    int saved_errno = errno;
+    ::close(fd);
+    return Status::IOError("cannot listen on '" + path +
+                           "': " + std::strerror(saved_errno));
+  }
+  return fd;
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send(): ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<bool> FdLineReader::Next(std::string* line) {
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      // Tolerant framing: a trailing unterminated line still counts.
+      *line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read(): ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,55 @@
+// Shared unix-domain-socket plumbing of the NDJSON transports, used by
+// both SocketClient (wot/api/client.h) and the wot_served accept loop so
+// address setup, line framing and partial-write handling cannot diverge.
+//
+// All writes go through ::send with MSG_NOSIGNAL: a peer that disconnects
+// mid-reply produces a Status::IOError instead of a process-killing
+// SIGPIPE — a resident server must survive any client's exit.
+#ifndef WOT_API_UNIX_SOCKET_H_
+#define WOT_API_UNIX_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+#include "wot/util/result.h"
+
+namespace wot {
+namespace api {
+
+/// \brief Connects to the stream socket at \p path. Returns the fd; the
+/// caller owns it (close(2) when done).
+Result<int> ConnectUnixSocket(const std::string& path);
+
+/// \brief Binds + listens on \p path. A stale socket file (no listener
+/// behind it) is unlinked first; a path another server is actively
+/// serving is AlreadyExists, never stolen. Returns the listening fd; the
+/// caller owns it.
+Result<int> ListenUnixSocket(const std::string& path, int backlog = 8);
+
+/// \brief Writes all of \p data to the connected socket \p fd, retrying
+/// short writes and EINTR. MSG_NOSIGNAL: a gone peer is an IOError, not a
+/// SIGPIPE.
+Status SendAll(int fd, std::string_view data);
+
+/// \brief Incremental '\n'-framed reader over a connected socket fd (not
+/// owned). Buffers bytes received past the current line.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// \brief Reads the next line into \p line (terminator stripped).
+  /// Returns false on clean EOF; a non-empty unterminated tail before EOF
+  /// is returned as a final line (tolerant NDJSON framing). Read failures
+  /// are IOError.
+  Result<bool> Next(std::string* line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_UNIX_SOCKET_H_

@@ -1,0 +1,159 @@
+#include "wot/io/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    // Top-level value: only one is allowed.
+    WOT_DCHECK(out_.empty());
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    WOT_DCHECK(key_pending_);
+    key_pending_ = false;
+  } else {
+    if (!first_.back()) {
+      out_ += ',';
+    }
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  WOT_DCHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  WOT_DCHECK(!key_pending_);
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  WOT_DCHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  WOT_DCHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  WOT_DCHECK(!key_pending_);
+  if (!first_.back()) {
+    out_ += ',';
+  }
+  first_.back() = false;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  // Shortest form that parses back to the same bits.
+  char buf[32];
+  std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace wot

@@ -1,0 +1,67 @@
+// JsonWriter: a small, dependency-free JSON emitter for the wire protocol.
+//
+// Emits compact single-line JSON (no newlines, minimal whitespace), which
+// is what the NDJSON framing in wot/api needs: one frame per line. Doubles
+// are written with std::to_chars shortest round-trip form, so a value
+// parsed back through wot/io/json_parser is bit-identical — the API
+// property tests rely on this.
+//
+//   JsonWriter w;
+//   w.BeginObject().Key("method").String("trust")
+//    .Key("params").BeginObject()
+//      .Key("source").String("alice").Key("k").Int(10)
+//    .EndObject().EndObject();
+//   std::string line = w.str();
+//
+// Misuse (e.g. a value with no pending key inside an object) trips a
+// WOT_DCHECK; the writer is for trusted library code, not user input.
+#ifndef WOT_IO_JSON_WRITER_H_
+#define WOT_IO_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wot {
+
+/// \brief Escapes \p text for inclusion inside a JSON string literal
+/// (quotes not included). Control characters become \uXXXX.
+std::string JsonEscape(std::string_view text);
+
+/// \brief Streaming builder of one compact JSON document.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// \brief Emits the key of the next object member.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  /// Non-finite doubles have no JSON representation and are written as
+  /// null (the parser maps them back to 0; API payloads are finite).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// \brief The document so far. Complete once every Begin* is matched.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;  // parallel to stack_: no member emitted yet
+  bool key_pending_ = false;
+};
+
+}  // namespace wot
+
+#endif  // WOT_IO_JSON_WRITER_H_

@@ -1,0 +1,158 @@
+// Fuzzed-request property: DispatchLine is total. Whatever bytes arrive —
+// valid frames, mutated frames, truncations, raw garbage, adversarial
+// nesting — the frontend answers every line with one decodable response
+// frame (OK or a structured ApiStatus error) and never crashes. Run under
+// ASan/UBSan in CI, this doubles as a memory-safety fuzz of the parser.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "testing/fixtures.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+class ApiFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = TrustService::Create(testing::TinyCommunity()).ValueOrDie();
+    frontend_ = std::make_unique<ServiceFrontend>(service_.get());
+  }
+
+  // The one assertion of this suite: ANY line yields a decodable frame.
+  void ExpectFramedReply(const std::string& line) {
+    std::string reply = frontend_->DispatchLine(line);
+    Response response;
+    ApiStatus decoded = DecodeResponse(reply, &response);
+    ASSERT_TRUE(decoded.ok())
+        << "unframed reply " << reply << " for line: " << line;
+  }
+
+  std::unique_ptr<TrustService> service_;
+  std::unique_ptr<ServiceFrontend> frontend_;
+};
+
+// Valid frames to mutate: one per method plus edge values.
+std::vector<std::string> SeedFrames() {
+  return {
+      R"({"v":1,"id":1,"method":"trust","params":{"source":"u0","target":"u1"}})",
+      R"({"v":1,"id":2,"method":"topk","params":{"source":"0","k":3}})",
+      R"({"v":1,"id":3,"method":"explain","params":{"source":"u2","target":"u0"}})",
+      R"({"v":1,"id":4,"method":"ingest_user","params":{"name":"fuzz"}})",
+      R"({"v":1,"id":5,"method":"ingest_category","params":{"name":"c"}})",
+      R"({"v":1,"id":6,"method":"ingest_object","params":{"category":"movies","name":"o"}})",
+      R"({"v":1,"id":7,"method":"ingest_review","params":{"writer":"u3","object":0}})",
+      R"({"v":1,"id":8,"method":"ingest_rating","params":{"rater":"u3","review":1,"value":0.8}})",
+      R"({"v":1,"id":9,"method":"commit"})",
+      R"({"v":1,"id":10,"method":"stats","params":{}})",
+  };
+}
+
+TEST_F(ApiFuzzTest, HandCraftedHostileLines) {
+  const char* lines[] = {
+      "",
+      " ",
+      "\t",
+      "null",
+      "0",
+      "-0",
+      "[]",
+      "{}",
+      "\"\"",
+      "{\"v\":1}",
+      "{\"v\":null,\"method\":\"stats\"}",
+      "{\"v\":1.5,\"method\":\"stats\"}",
+      "{\"v\":1,\"method\":null}",
+      "{\"v\":1,\"method\":123}",
+      "{\"v\":1,\"method\":\"stats\",\"params\":[]}",
+      "{\"v\":1,\"method\":\"trust\",\"params\":{\"source\":1,\"target\":2}}",
+      "{\"v\":1,\"method\":\"topk\",\"params\":{\"source\":\"u0\",\"k\":2.5}}",
+      "{\"v\":1,\"method\":\"topk\",\"params\":{\"source\":\"u0\",\"k\":99999999999999999999}}",
+      "{\"v\":1,\"method\":\"ingest_rating\",\"params\":{\"rater\":\"u3\",\"review\":-2,\"value\":0.8}}",
+      "{\"v\":1,\"method\":\"ingest_review\",\"params\":{\"writer\":\"u0\",\"object\":4294967295}}",
+      "{\"v\":1,\"method\":\"ingest_rating\",\"params\":{\"rater\":\"u1\",\"review\":0,\"value\":1e308}}",
+      "{\"v\":-9223372036854775808,\"method\":\"stats\"}",
+      "{\"v\":1,\"id\":9223372036854775807,\"method\":\"stats\"}",
+      "{\"id\":1,\"method\":\"stats\"}",
+      "{\"v\":\"1\",\"method\":\"stats\"}",
+      "\xff\xfe\x00garbage",
+      "{\"v\":1,\"method\":\"trust\",\"params\":{\"source\":\"u0\",\"target\":\"u1\"}",
+  };
+  for (const char* line : lines) {
+    ExpectFramedReply(line);
+  }
+}
+
+TEST_F(ApiFuzzTest, DeepNestingAndLongLinesAreRejectedNotFatal) {
+  ExpectFramedReply(std::string(10000, '['));
+  ExpectFramedReply("{\"v\":1,\"method\":\"stats\",\"params\":" +
+                    std::string(5000, '{') + std::string(5000, '}') + "}");
+  std::string long_name(1 << 16, 'x');
+  ExpectFramedReply(
+      "{\"v\":1,\"method\":\"trust\",\"params\":{\"source\":\"" +
+      long_name + "\",\"target\":\"u0\"}}");
+}
+
+TEST_F(ApiFuzzTest, MutatedValidFramesAlwaysGetStructuredReplies) {
+  std::mt19937_64 rng(20260729);
+  std::vector<std::string> seeds = SeedFrames();
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = seeds[rng() % seeds.size()];
+    switch (rng() % 5) {
+      case 0:  // truncate
+        line = line.substr(0, rng() % (line.size() + 1));
+        break;
+      case 1: {  // flip random bytes (avoiding '\n', which ends a frame)
+        size_t flips = 1 + rng() % 8;
+        for (size_t f = 0; f < flips && !line.empty(); ++f) {
+          char b = static_cast<char>(byte(rng));
+          if (b == '\n') b = ' ';
+          line[rng() % line.size()] = b;
+        }
+        break;
+      }
+      case 2: {  // splice two frames
+        const std::string& other = seeds[rng() % seeds.size()];
+        line = line.substr(0, rng() % (line.size() + 1)) +
+               other.substr(rng() % (other.size() + 1));
+        break;
+      }
+      case 3: {  // duplicate a random chunk in the middle
+        size_t begin = rng() % line.size();
+        size_t len = rng() % (line.size() - begin + 1);
+        line.insert(begin, line.substr(begin, len));
+        break;
+      }
+      case 4:  // keep valid (the frontend must still answer in-frame)
+        break;
+    }
+    ExpectFramedReply(line);
+  }
+}
+
+TEST_F(ApiFuzzTest, PureRandomBytes) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 200);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      char b = static_cast<char>(byte(rng));
+      line += (b == '\n') ? ' ' : b;
+    }
+    ExpectFramedReply(line);
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

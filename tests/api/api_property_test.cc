@@ -1,0 +1,210 @@
+// Property (ISSUE-3 acceptance): for ANY valid request sequence, the
+// responses produced through ServiceFrontend — both typed in-process
+// dispatch and the full NDJSON encode -> DispatchLine -> decode round
+// trip — are bit-identical to calling the TrustService directly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wot/api/client.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+bool BitIdentical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// One mirrored service pair: every request goes to `wire` through the
+// NDJSON round trip and to `typed` through Dispatch; direct calls run
+// against `direct_service`. All three must stay bit-identical.
+class Harness {
+ public:
+  explicit Harness(const Dataset& seed)
+      : typed_service_(TrustService::Create(seed).ValueOrDie()),
+        wire_service_(TrustService::Create(seed).ValueOrDie()),
+        direct_service_(TrustService::Create(seed).ValueOrDie()),
+        typed_frontend_(typed_service_.get()),
+        wire_frontend_(wire_service_.get()),
+        typed_client_(&typed_frontend_, /*through_codec=*/false),
+        wire_client_(&wire_frontend_, /*through_codec=*/true) {}
+
+  // Issues \p payload through both transports, checks the responses are
+  // equivalent, and returns the typed-path response.
+  Response Do(RequestPayload payload) {
+    Request request;
+    request.payload = payload;
+    Result<Response> typed = typed_client_.Call(request);
+    Result<Response> wire = wire_client_.Call(request);
+    EXPECT_TRUE(typed.ok());
+    EXPECT_TRUE(wire.ok());
+    const Response& a = typed.ValueOrDie();
+    const Response& b = wire.ValueOrDie();
+    EXPECT_EQ(a.status.code, b.status.code);
+    EXPECT_EQ(a.status.message, b.status.message);
+    EXPECT_EQ(a.payload.index(), b.payload.index());
+    return a;
+  }
+
+  TrustService& direct() { return *direct_service_; }
+
+ private:
+  std::unique_ptr<TrustService> typed_service_;
+  std::unique_ptr<TrustService> wire_service_;
+  std::unique_ptr<TrustService> direct_service_;
+  ServiceFrontend typed_frontend_;
+  ServiceFrontend wire_frontend_;
+  LoopbackClient typed_client_;
+  LoopbackClient wire_client_;
+};
+
+TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
+  SynthConfig config;
+  config.num_users = 120;
+  config.seed = 20260729;
+  Dataset seed = GenerateCommunity(config).ValueOrDie().dataset;
+  Harness harness(seed);
+
+  std::mt19937_64 rng(1234);
+  const double kStages[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  size_t num_users = seed.num_users();
+
+  auto user_ref = [&](size_t index) {
+    // Exercise both addressing modes (seed users only have stable names
+    // here; post-ingest users are addressed by index).
+    if (index >= seed.num_users() || rng() % 2 == 0) {
+      return std::to_string(index);
+    }
+    return seed.user(UserId(static_cast<uint32_t>(index))).name;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // trust
+        size_t i = rng() % num_users;
+        size_t j = rng() % num_users;
+        Response response = harness.Do(TrustQuery{user_ref(i), user_ref(j)});
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        double direct = harness.direct().Snapshot()->Trust(i, j);
+        EXPECT_TRUE(BitIdentical(
+            std::get<TrustResult>(response.payload).trust, direct));
+        break;
+      }
+      case 3: {  // topk
+        size_t i = rng() % num_users;
+        size_t k = 1 + rng() % 12;
+        Response response = harness.Do(TopKQuery{
+            user_ref(i), static_cast<int64_t>(k)});
+        ASSERT_TRUE(response.status.ok());
+        const TopKResult& result =
+            std::get<TopKResult>(response.payload);
+        std::vector<ScoredUser> direct =
+            harness.direct().Snapshot()->TopK(i, k);
+        ASSERT_EQ(result.trustees.size(), direct.size());
+        for (size_t t = 0; t < direct.size(); ++t) {
+          EXPECT_EQ(result.trustees[t].user, direct[t].user);
+          EXPECT_TRUE(BitIdentical(result.trustees[t].score,
+                                   direct[t].score));
+        }
+        break;
+      }
+      case 4: {  // explain
+        size_t i = rng() % num_users;
+        size_t j = rng() % num_users;
+        Response response =
+            harness.Do(ExplainQuery{user_ref(i), user_ref(j)});
+        ASSERT_TRUE(response.status.ok());
+        const ExplainResult& result =
+            std::get<ExplainResult>(response.payload);
+        TrustExplanation direct =
+            harness.direct().Snapshot()->ExplainTrust(i, j);
+        EXPECT_TRUE(BitIdentical(result.trust, direct.trust));
+        EXPECT_TRUE(
+            BitIdentical(result.affinity_sum, direct.affinity_sum));
+        ASSERT_EQ(result.terms.size(), direct.terms.size());
+        for (size_t t = 0; t < direct.terms.size(); ++t) {
+          EXPECT_EQ(result.terms[t].category, direct.terms[t].category);
+          EXPECT_TRUE(BitIdentical(result.terms[t].affiliation,
+                                   direct.terms[t].affiliation));
+          EXPECT_TRUE(BitIdentical(result.terms[t].expertise,
+                                   direct.terms[t].expertise));
+          EXPECT_TRUE(BitIdentical(result.terms[t].contribution,
+                                   direct.terms[t].contribution));
+        }
+        break;
+      }
+      case 5: {  // ingest a rating by a fresh or existing user
+        size_t rater = rng() % num_users;
+        int64_t review =
+            static_cast<int64_t>(rng() % seed.num_reviews());
+        double value = kStages[rng() % 5];
+        Response response = harness.Do(IngestRating{
+            user_ref(rater), review, value});
+        // Mirror on the direct service; policy rejections (self-rating,
+        // duplicate) must agree with the API's outcome.
+        Status direct = harness.direct().AddRating(
+            UserId(static_cast<uint32_t>(rater)),
+            ReviewId(static_cast<uint32_t>(review)), value);
+        EXPECT_EQ(response.status.ok(), direct.ok());
+        break;
+      }
+      case 6: {  // ingest a brand-new user
+        std::string name = "prop/u" + std::to_string(step);
+        Response response = harness.Do(IngestUser{name});
+        ASSERT_TRUE(response.status.ok());
+        UserId direct = harness.direct().AddUser(name);
+        EXPECT_EQ(std::get<IngestResult>(response.payload).assigned_id,
+                  static_cast<int64_t>(direct.value()));
+        num_users = harness.direct().staged_dataset().num_users();
+        break;
+      }
+      case 7: {  // commit
+        Response response = harness.Do(CommitRequest{});
+        ASSERT_TRUE(response.status.ok());
+        Result<TrustService::CommitStats> direct =
+            harness.direct().Commit();
+        ASSERT_TRUE(direct.ok());
+        const CommitResult& result =
+            std::get<CommitResult>(response.payload);
+        EXPECT_EQ(result.published, direct.ValueOrDie().published);
+        EXPECT_EQ(result.snapshot_version,
+                  direct.ValueOrDie().version);
+        break;
+      }
+    }
+  }
+
+  // After the whole sequence the three services serve identical webs.
+  std::shared_ptr<const TrustSnapshot> direct_snapshot =
+      harness.direct().Snapshot();
+  Response final_stats = harness.Do(StatsRequest{});
+  ASSERT_TRUE(final_stats.status.ok());
+  EXPECT_EQ(std::get<StatsResult>(final_stats.payload).snapshot_version,
+            direct_snapshot->version());
+  for (size_t i = 0; i < std::min<size_t>(num_users, 40); ++i) {
+    for (size_t j = 0; j < std::min<size_t>(num_users, 40); ++j) {
+      Response response =
+          harness.Do(TrustQuery{std::to_string(i), std::to_string(j)});
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_TRUE(
+          BitIdentical(std::get<TrustResult>(response.payload).trust,
+                       direct_snapshot->Trust(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,297 @@
+// Unit tests of the NDJSON wire codec: every method encodes to the
+// documented frame shape and decodes back to the same typed value.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "wot/api/codec.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+Request RoundTrip(const Request& request) {
+  std::string frame = EncodeRequest(request);
+  EXPECT_EQ(frame.find('\n'), std::string::npos) << frame;
+  Request decoded;
+  ApiStatus status = DecodeRequest(frame, &decoded);
+  EXPECT_TRUE(status.ok()) << status.ToString() << " frame: " << frame;
+  EXPECT_EQ(decoded.version, request.version);
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.payload.index(), request.payload.index());
+  return decoded;
+}
+
+Response RoundTrip(const Response& response) {
+  std::string frame = EncodeResponse(response);
+  EXPECT_EQ(frame.find('\n'), std::string::npos) << frame;
+  Response decoded;
+  ApiStatus status = DecodeResponse(frame, &decoded);
+  EXPECT_TRUE(status.ok()) << status.ToString() << " frame: " << frame;
+  EXPECT_EQ(decoded.version, response.version);
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.status.code, response.status.code);
+  return decoded;
+}
+
+TEST(CodecTest, TrustQueryFrameShape) {
+  Request request;
+  request.id = 7;
+  request.payload = TrustQuery{"alice", "bob"};
+  EXPECT_EQ(EncodeRequest(request),
+            "{\"v\":1,\"id\":7,\"method\":\"trust\","
+            "\"params\":{\"source\":\"alice\",\"target\":\"bob\"}}");
+  Request decoded = RoundTrip(request);
+  const TrustQuery& q = std::get<TrustQuery>(decoded.payload);
+  EXPECT_EQ(q.source, "alice");
+  EXPECT_EQ(q.target, "bob");
+}
+
+TEST(CodecTest, AllRequestPayloadsRoundTrip) {
+  {
+    Request r;
+    r.payload = TopKQuery{"u1", 25};
+    Request rt = RoundTrip(r);
+    const TopKQuery& q = std::get<TopKQuery>(rt.payload);
+    EXPECT_EQ(q.source, "u1");
+    EXPECT_EQ(q.k, 25);
+  }
+  {
+    Request r;
+    r.payload = ExplainQuery{"2", "3"};
+    Request rt = RoundTrip(r);
+    const ExplainQuery& q = std::get<ExplainQuery>(rt.payload);
+    EXPECT_EQ(q.source, "2");
+    EXPECT_EQ(q.target, "3");
+  }
+  {
+    Request r;
+    r.payload = IngestUser{"new \"user\"\nwith escapes"};
+    Request rt = RoundTrip(r);
+    const IngestUser& q = std::get<IngestUser>(rt.payload);
+    EXPECT_EQ(q.name, "new \"user\"\nwith escapes");
+  }
+  {
+    Request r;
+    r.payload = IngestCategory{"movies"};
+    Request rt = RoundTrip(r);
+    EXPECT_EQ(std::get<IngestCategory>(rt.payload).name, "movies");
+  }
+  {
+    Request r;
+    r.payload = IngestObject{"movies", "m99"};
+    Request rt = RoundTrip(r);
+    const IngestObject& q = std::get<IngestObject>(rt.payload);
+    EXPECT_EQ(q.category, "movies");
+    EXPECT_EQ(q.name, "m99");
+  }
+  {
+    Request r;
+    r.payload = IngestReview{"alice", 12};
+    Request rt = RoundTrip(r);
+    const IngestReview& q = std::get<IngestReview>(rt.payload);
+    EXPECT_EQ(q.writer, "alice");
+    EXPECT_EQ(q.object, 12);
+  }
+  {
+    Request r;
+    r.payload = IngestRating{"bob", 4, 0.8};
+    Request rt = RoundTrip(r);
+    const IngestRating& q = std::get<IngestRating>(rt.payload);
+    EXPECT_EQ(q.rater, "bob");
+    EXPECT_EQ(q.review, 4);
+    EXPECT_EQ(q.value, 0.8);
+  }
+  {
+    Request r;
+    r.payload = CommitRequest{};
+    RoundTrip(r);
+  }
+  {
+    Request r;
+    r.payload = StatsRequest{};
+    RoundTrip(r);
+  }
+}
+
+TEST(CodecTest, TopKDefaultsKWhenOmitted) {
+  Request decoded;
+  ApiStatus status = DecodeRequest(
+      "{\"v\":1,\"id\":1,\"method\":\"topk\","
+      "\"params\":{\"source\":\"alice\"}}",
+      &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(std::get<TopKQuery>(decoded.payload).k, 10);
+}
+
+TEST(CodecTest, ParameterlessMethodsMayOmitParams) {
+  Request decoded;
+  EXPECT_TRUE(
+      DecodeRequest("{\"v\":1,\"id\":1,\"method\":\"stats\"}", &decoded)
+          .ok());
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(decoded.payload));
+  EXPECT_TRUE(
+      DecodeRequest("{\"v\":1,\"method\":\"commit\"}", &decoded).ok());
+  EXPECT_TRUE(std::holds_alternative<CommitRequest>(decoded.payload));
+  EXPECT_EQ(decoded.id, 0);  // id is optional
+}
+
+TEST(CodecTest, ResponsePayloadsRoundTrip) {
+  {
+    Response r;
+    r.id = 3;
+    r.payload = TrustResult{0.123456789012345678, "alice", "bob", 42};
+    Response rt = RoundTrip(r);
+    const TrustResult& result = std::get<TrustResult>(rt.payload);
+    EXPECT_EQ(result.trust, 0.123456789012345678);  // bit-identical
+    EXPECT_EQ(result.source_name, "alice");
+    EXPECT_EQ(result.target_name, "bob");
+    EXPECT_EQ(result.snapshot_version, 42u);
+  }
+  {
+    Response r;
+    TopKResult topk;
+    topk.source_name = "dave";
+    topk.snapshot_version = 9;
+    topk.trustees.push_back({3, "carol", 0.75});
+    topk.trustees.push_back({1, "bob", 0.5});
+    r.payload = topk;
+    Response rt = RoundTrip(r);
+    const TopKResult& result = std::get<TopKResult>(rt.payload);
+    EXPECT_EQ(result.source_name, "dave");
+    ASSERT_EQ(result.trustees.size(), 2u);
+    EXPECT_EQ(result.trustees[0].user, 3u);
+    EXPECT_EQ(result.trustees[0].name, "carol");
+    EXPECT_EQ(result.trustees[0].score, 0.75);
+    EXPECT_EQ(result.snapshot_version, 9u);
+  }
+  {
+    Response r;
+    ExplainResult explain;
+    explain.trust = 0.25;
+    explain.affinity_sum = 2.0;
+    explain.source_name = "eve";
+    explain.target_name = "frank";
+    explain.snapshot_version = 5;
+    explain.terms.push_back({2, "books", 1.0, 0.5, 0.25});
+    r.payload = explain;
+    Response rt = RoundTrip(r);
+    const ExplainResult& result = std::get<ExplainResult>(rt.payload);
+    EXPECT_EQ(result.source_name, "eve");
+    EXPECT_EQ(result.target_name, "frank");
+    ASSERT_EQ(result.terms.size(), 1u);
+    EXPECT_EQ(result.terms[0].category_name, "books");
+    EXPECT_EQ(result.terms[0].contribution, 0.25);
+  }
+  {
+    Response r;
+    r.payload = IngestResult{77};
+    Response rt = RoundTrip(r);
+    EXPECT_EQ(std::get<IngestResult>(rt.payload).assigned_id, 77);
+  }
+  {
+    Response r;
+    r.payload = CommitResult{8, true, 3, 14, 2};
+    Response rt = RoundTrip(r);
+    const CommitResult& result = std::get<CommitResult>(rt.payload);
+    EXPECT_EQ(result.snapshot_version, 8u);
+    EXPECT_TRUE(result.published);
+    EXPECT_EQ(result.categories_recomputed, 3);
+    EXPECT_EQ(result.affiliation_rows_recomputed, 14);
+    EXPECT_EQ(result.postings_rebuilt, 2);
+  }
+  {
+    Response r;
+    r.payload = StatsResult{4, 100, 12, 400, 2000, 1, 55};
+    Response rt = RoundTrip(r);
+    const StatsResult& result = std::get<StatsResult>(rt.payload);
+    EXPECT_EQ(result.users, 100);
+    EXPECT_EQ(result.service_boots, 1);
+    EXPECT_EQ(result.requests_served, 55);
+  }
+}
+
+TEST(CodecTest, ErrorResponseCarriesCodeAndMessage) {
+  Response r;
+  r.id = 11;
+  r.status = ApiStatus::NotFound("no user named 'x'");
+  std::string frame = EncodeResponse(r);
+  EXPECT_EQ(frame,
+            "{\"v\":1,\"id\":11,\"status\":\"NOT_FOUND\","
+            "\"error\":\"no user named 'x'\"}");
+  Response decoded = RoundTrip(r);
+  EXPECT_EQ(decoded.status.code, ApiCode::kNotFound);
+  EXPECT_EQ(decoded.status.message, "no user named 'x'");
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(decoded.payload));
+}
+
+TEST(CodecTest, DecodeRequestRejectsBadEnvelopes) {
+  Request request;
+  // Malformed JSON.
+  EXPECT_EQ(DecodeRequest("{nope", &request).code,
+            ApiCode::kInvalidArgument);
+  // Not an object.
+  EXPECT_EQ(DecodeRequest("[1,2]", &request).code,
+            ApiCode::kInvalidArgument);
+  // Missing version.
+  ApiStatus missing_version =
+      DecodeRequest("{\"method\":\"stats\"}", &request);
+  EXPECT_EQ(missing_version.code, ApiCode::kInvalidArgument);
+  EXPECT_NE(missing_version.message.find("missing"), std::string::npos);
+  // Mistyped version must not claim the field is missing.
+  ApiStatus mistyped_version =
+      DecodeRequest("{\"v\":\"1\",\"method\":\"stats\"}", &request);
+  EXPECT_EQ(mistyped_version.code, ApiCode::kInvalidArgument);
+  EXPECT_EQ(mistyped_version.message.find("missing"), std::string::npos);
+  // Wrong version — id must still be salvaged for the error reply.
+  ApiStatus wrong_version = DecodeRequest(
+      "{\"v\":2,\"id\":31,\"method\":\"stats\"}", &request);
+  EXPECT_EQ(wrong_version.code, ApiCode::kInvalidArgument);
+  EXPECT_NE(wrong_version.message.find("protocol version"),
+            std::string::npos);
+  EXPECT_EQ(request.id, 31);
+  // Missing method.
+  EXPECT_EQ(DecodeRequest("{\"v\":1,\"id\":1}", &request).code,
+            ApiCode::kInvalidArgument);
+  // Unknown method.
+  EXPECT_EQ(DecodeRequest("{\"v\":1,\"method\":\"nope\"}", &request).code,
+            ApiCode::kUnimplemented);
+  // Missing required param.
+  EXPECT_EQ(DecodeRequest("{\"v\":1,\"method\":\"trust\","
+                          "\"params\":{\"source\":\"a\"}}",
+                          &request)
+                .code,
+            ApiCode::kInvalidArgument);
+  // Mistyped param.
+  EXPECT_EQ(DecodeRequest("{\"v\":1,\"method\":\"topk\","
+                          "\"params\":{\"source\":\"a\",\"k\":\"ten\"}}",
+                          &request)
+                .code,
+            ApiCode::kInvalidArgument);
+  // Non-integer id.
+  EXPECT_EQ(DecodeRequest("{\"v\":1,\"id\":\"x\",\"method\":\"stats\"}",
+                          &request)
+                .code,
+            ApiCode::kInvalidArgument);
+}
+
+TEST(CodecTest, ApiCodeNamesRoundTrip) {
+  for (ApiCode code :
+       {ApiCode::kOk, ApiCode::kNotFound, ApiCode::kInvalidArgument,
+        ApiCode::kUnimplemented, ApiCode::kInternal}) {
+    EXPECT_EQ(ApiCodeFromName(ApiCodeName(code)).ValueOrDie(), code);
+  }
+  EXPECT_FALSE(ApiCodeFromName("BOGUS").ok());
+}
+
+TEST(CodecTest, MethodNameTableMatchesVariantOrder) {
+  EXPECT_EQ(AllMethodNames().size(),
+            std::variant_size_v<RequestPayload>);
+  EXPECT_EQ(std::string(MethodName(TrustQuery{})), "trust");
+  EXPECT_EQ(std::string(MethodName(StatsRequest{})), "stats");
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,226 @@
+// Unit tests of ServiceFrontend: dispatch correctness against a known
+// community, the full structured error model, and serving counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "testing/fixtures.h"
+#include "wot/api/client.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = TrustService::Create(testing::TinyCommunity()).ValueOrDie();
+    frontend_ = std::make_unique<ServiceFrontend>(service_.get());
+  }
+
+  Response Call(RequestPayload payload, int64_t id = 1) {
+    Request request;
+    request.id = id;
+    request.payload = std::move(payload);
+    return frontend_->Dispatch(request);
+  }
+
+  std::unique_ptr<TrustService> service_;
+  std::unique_ptr<ServiceFrontend> frontend_;
+};
+
+TEST_F(FrontendTest, TrustMatchesDirectSnapshotCall) {
+  Response response = Call(TrustQuery{"u2", "u0"}, 5);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.id, 5);
+  EXPECT_EQ(response.version, kProtocolVersion);
+  const TrustResult& result = std::get<TrustResult>(response.payload);
+  EXPECT_EQ(result.trust, service_->Snapshot()->Trust(2, 0));
+  EXPECT_EQ(result.snapshot_version, service_->Snapshot()->version());
+}
+
+TEST_F(FrontendTest, UsersResolveByNameAndIndexIdentically) {
+  Response by_name = Call(TrustQuery{"u2", "u0"});
+  Response by_index = Call(TrustQuery{"2", "0"});
+  ASSERT_TRUE(by_name.status.ok());
+  ASSERT_TRUE(by_index.status.ok());
+  EXPECT_EQ(std::get<TrustResult>(by_name.payload).trust,
+            std::get<TrustResult>(by_index.payload).trust);
+  // Index-addressed queries come back with resolved display names.
+  EXPECT_EQ(std::get<TrustResult>(by_index.payload).source_name, "u2");
+  EXPECT_EQ(std::get<TrustResult>(by_index.payload).target_name, "u0");
+}
+
+TEST_F(FrontendTest, TopKReturnsNamedEntries) {
+  Response response = Call(TopKQuery{"u2", 2});
+  ASSERT_TRUE(response.status.ok());
+  const TopKResult& result = std::get<TopKResult>(response.payload);
+  std::vector<ScoredUser> direct = service_->Snapshot()->TopK(2, 2);
+  ASSERT_EQ(result.trustees.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(result.trustees[i].user, direct[i].user);
+    EXPECT_EQ(result.trustees[i].score, direct[i].score);
+    EXPECT_EQ(result.trustees[i].name,
+              "u" + std::to_string(direct[i].user));
+  }
+}
+
+TEST_F(FrontendTest, ExplainCarriesCategoryNames) {
+  Response response = Call(ExplainQuery{"u2", "u0"});
+  ASSERT_TRUE(response.status.ok());
+  const ExplainResult& result = std::get<ExplainResult>(response.payload);
+  TrustExplanation direct = service_->Snapshot()->ExplainTrust(2, 0);
+  EXPECT_EQ(result.trust, direct.trust);
+  EXPECT_EQ(result.affinity_sum, direct.affinity_sum);
+  ASSERT_EQ(result.terms.size(), direct.terms.size());
+  for (size_t i = 0; i < direct.terms.size(); ++i) {
+    EXPECT_EQ(result.terms[i].category, direct.terms[i].category);
+    EXPECT_EQ(result.terms[i].contribution,
+              direct.terms[i].contribution);
+    EXPECT_FALSE(result.terms[i].category_name.empty());
+  }
+}
+
+TEST_F(FrontendTest, IngestAndCommitPublishNewSnapshot) {
+  uint64_t before = service_->Snapshot()->version();
+  Response user = Call(IngestUser{"newbie"});
+  ASSERT_TRUE(user.status.ok());
+  int64_t user_id = std::get<IngestResult>(user.payload).assigned_id;
+  EXPECT_EQ(user_id, 4);  // TinyCommunity has users 0..3
+
+  Response rating = Call(IngestRating{"newbie", 2, 0.8});
+  ASSERT_TRUE(rating.status.ok()) << rating.status.ToString();
+  Response commit = Call(CommitRequest{});
+  ASSERT_TRUE(commit.status.ok());
+  const CommitResult& result = std::get<CommitResult>(commit.payload);
+  EXPECT_TRUE(result.published);
+  EXPECT_EQ(result.snapshot_version, before + 1);
+  EXPECT_EQ(service_->Snapshot()->version(), before + 1);
+
+  // The new rater's activity is now derivable and matches the direct
+  // snapshot query exactly.
+  Response trust = Call(TrustQuery{"newbie", "u1"});
+  ASSERT_TRUE(trust.status.ok());
+  EXPECT_EQ(std::get<TrustResult>(trust.payload).trust,
+            service_->Snapshot()->Trust(4, 1));
+}
+
+TEST_F(FrontendTest, IngestObjectAndReviewChain) {
+  Response object = Call(IngestObject{"movies", "m_new"});
+  ASSERT_TRUE(object.status.ok()) << object.status.ToString();
+  int64_t object_id = std::get<IngestResult>(object.payload).assigned_id;
+  Response review =
+      Call(IngestReview{"u3", object_id});
+  ASSERT_TRUE(review.status.ok()) << review.status.ToString();
+  EXPECT_GE(std::get<IngestResult>(review.payload).assigned_id, 3);
+  // Category by index works too.
+  EXPECT_TRUE(Call(IngestObject{"1", "b_new"}).status.ok());
+}
+
+TEST_F(FrontendTest, ErrorModelCoversEveryFailureClass) {
+  // Unknown user -> NOT_FOUND.
+  EXPECT_EQ(Call(TrustQuery{"ghost", "u0"}).status.code,
+            ApiCode::kNotFound);
+  // Out-of-range index -> NOT_FOUND.
+  EXPECT_EQ(Call(TrustQuery{"99", "u0"}).status.code, ApiCode::kNotFound);
+  // Negative index is parsed as a number and range-checked.
+  EXPECT_EQ(Call(TrustQuery{"-1", "u0"}).status.code, ApiCode::kNotFound);
+  // Empty ref -> INVALID_ARGUMENT.
+  EXPECT_EQ(Call(TrustQuery{"", "u0"}).status.code,
+            ApiCode::kInvalidArgument);
+  // Bad k -> INVALID_ARGUMENT.
+  EXPECT_EQ(Call(TopKQuery{"u0", 0}).status.code,
+            ApiCode::kInvalidArgument);
+  // Unknown category -> NOT_FOUND.
+  EXPECT_EQ(Call(IngestObject{"no_such_category", "x"}).status.code,
+            ApiCode::kNotFound);
+  // Out-of-range review id -> NOT_FOUND.
+  EXPECT_EQ(Call(IngestRating{"u3", 999, 0.8}).status.code,
+            ApiCode::kNotFound);
+  // Off-scale rating value -> INVALID_ARGUMENT (builder policy).
+  EXPECT_EQ(Call(IngestRating{"u3", 2, 0.5}).status.code,
+            ApiCode::kInvalidArgument);
+  // Self-rating -> INVALID_ARGUMENT (builder policy).
+  EXPECT_EQ(Call(IngestRating{"u0", 0, 0.8}).status.code,
+            ApiCode::kInvalidArgument);
+  // Empty ingest names -> INVALID_ARGUMENT.
+  EXPECT_EQ(Call(IngestUser{""}).status.code, ApiCode::kInvalidArgument);
+  EXPECT_EQ(Call(IngestCategory{""}).status.code,
+            ApiCode::kInvalidArgument);
+  // Wrong protocol version on the typed path too.
+  Request request;
+  request.version = 99;
+  request.payload = StatsRequest{};
+  EXPECT_EQ(frontend_->Dispatch(request).status.code,
+            ApiCode::kInvalidArgument);
+}
+
+TEST_F(FrontendTest, ErrorResponsesHaveEmptyPayload) {
+  Response response = Call(TrustQuery{"ghost", "u0"});
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(response.payload));
+}
+
+TEST_F(FrontendTest, StatsCountsRequestsAndBoots) {
+  Call(StatsRequest{});
+  Call(TrustQuery{"u2", "u0"});
+  Call(TrustQuery{"ghost", "u0"});  // errors count as served requests
+  Response response = Call(StatsRequest{});
+  ASSERT_TRUE(response.status.ok());
+  const StatsResult& stats = std::get<StatsResult>(response.payload);
+  EXPECT_EQ(stats.service_boots, 1);
+  EXPECT_EQ(stats.requests_served, 4);
+  EXPECT_EQ(stats.users, 4);
+  EXPECT_EQ(stats.categories, 2);
+  EXPECT_EQ(frontend_->stats().errors, 1);
+}
+
+TEST_F(FrontendTest, DispatchLineNeverReturnsUnframedOutput) {
+  // A selection of hostile lines: each must yield one decodable response
+  // frame with a non-OK status.
+  const char* lines[] = {
+      "garbage",
+      "{\"v\":1}",
+      "{\"v\":2,\"id\":9,\"method\":\"stats\"}",
+      "{\"v\":1,\"method\":\"frobnicate\"}",
+      "{\"v\":1,\"method\":\"trust\",\"params\":{}}",
+      "[]",
+      "\"just a string\"",
+  };
+  for (const char* line : lines) {
+    std::string reply = frontend_->DispatchLine(line);
+    Response response;
+    ApiStatus decoded = DecodeResponse(reply, &response);
+    ASSERT_TRUE(decoded.ok()) << "reply not a frame: " << reply;
+    EXPECT_FALSE(response.status.ok()) << "line: " << line;
+  }
+  // The wrong-version frame still correlates to its id.
+  Response response;
+  ASSERT_TRUE(DecodeResponse(frontend_->DispatchLine(
+                                 "{\"v\":2,\"id\":9,\"method\":\"stats\"}"),
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.id, 9);
+}
+
+TEST_F(FrontendTest, LoopbackClientMatchesThroughCodecClient) {
+  LoopbackClient direct(frontend_.get());
+  LoopbackClient wired(frontend_.get(), /*through_codec=*/true);
+  Request request;
+  request.payload = TrustQuery{"u2", "u0"};
+  Result<Response> a = direct.Call(request);
+  Result<Response> b = wired.Call(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(std::get<TrustResult>(a.ValueOrDie().payload).trust,
+            std::get<TrustResult>(b.ValueOrDie().payload).trust);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,77 @@
+// Unit tests of the shared unix-socket plumbing (wot/api/unix_socket.h).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "wot/api/unix_socket.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+std::string TestSocketPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(UnixSocketTest, ListenRefusesLivePathButReclaimsStaleFile) {
+  std::string path = TestSocketPath("unix_socket_live.sock");
+  Result<int> first = ListenUnixSocket(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // A second listener must NOT steal the live endpoint.
+  Result<int> second = ListenUnixSocket(path);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+
+  // After the listener dies the socket file is stale and reclaimable.
+  close(first.ValueOrDie());
+  Result<int> reclaimed = ListenUnixSocket(path);
+  EXPECT_TRUE(reclaimed.ok()) << reclaimed.status().ToString();
+  if (reclaimed.ok()) close(reclaimed.ValueOrDie());
+  unlink(path.c_str());
+}
+
+TEST(UnixSocketTest, ConnectToNothingFails) {
+  EXPECT_FALSE(
+      ConnectUnixSocket(TestSocketPath("no_such.sock")).ok());
+}
+
+TEST(UnixSocketTest, SendAllAndLineReaderRoundTrip) {
+  std::string path = TestSocketPath("unix_socket_rt.sock");
+  Result<int> listener = ListenUnixSocket(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  std::thread server([fd = listener.ValueOrDie()] {
+    int conn = ::accept(fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    // Two framed lines plus an unterminated tail.
+    EXPECT_TRUE(SendAll(conn, "alpha\nbeta\ntail-no-newline").ok());
+    close(conn);
+  });
+
+  Result<int> client = ConnectUnixSocket(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  FdLineReader reader(client.ValueOrDie());
+  std::string line;
+  ASSERT_TRUE(reader.Next(&line).ValueOrDie());
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(reader.Next(&line).ValueOrDie());
+  EXPECT_EQ(line, "beta");
+  // Tolerant framing: the unterminated tail still arrives as a line.
+  ASSERT_TRUE(reader.Next(&line).ValueOrDie());
+  EXPECT_EQ(line, "tail-no-newline");
+  EXPECT_FALSE(reader.Next(&line).ValueOrDie());  // clean EOF
+
+  server.join();
+  close(client.ValueOrDie());
+  close(listener.ValueOrDie());
+  unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

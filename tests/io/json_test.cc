@@ -1,0 +1,158 @@
+// Unit tests of the wire-protocol JSON writer and parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "wot/io/json_parser.h"
+#include "wot/io/json_writer.h"
+
+namespace wot {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject().EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray().EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, NestedDocumentIsCompactAndOrdered) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("v").Int(1);
+  w.Key("name").String("alice");
+  w.Key("ok").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("scores").BeginArray().Double(0.5).Double(1.0).EndArray();
+  w.Key("inner").BeginObject().Key("k").Int(-3).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"v\":1,\"name\":\"alice\",\"ok\":true,\"nothing\":null,"
+            "\"scores\":[0.5,1],\"inner\":{\"k\":-3}}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndKeys) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("quote\"key").String("line\nbreak\ttab\\slash\x01");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"quote\\\"key\":\"line\\nbreak\\ttab\\\\slash\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(ParseJson("false").ValueOrDie().bool_value());
+  EXPECT_EQ(ParseJson("42").ValueOrDie().int_value(), 42);
+  EXPECT_TRUE(ParseJson("42").ValueOrDie().number_is_int());
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e2").ValueOrDie().number_value(),
+                   -250.0);
+  EXPECT_FALSE(ParseJson("2.5").ValueOrDie().number_is_int());
+  EXPECT_EQ(ParseJson("\"hi\"").ValueOrDie().string_value(), "hi");
+}
+
+TEST(JsonParserTest, ParsesNestedStructure) {
+  JsonValue root =
+      ParseJson(" {\"a\": [1, {\"b\": \"c\"}, null], \"d\": true} ")
+          .ValueOrDie();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[0].int_value(), 1);
+  EXPECT_EQ(a->array()[1].Find("b")->string_value(), "c");
+  EXPECT_TRUE(a->array()[2].is_null());
+  EXPECT_TRUE(root.Find("d")->bool_value());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, DecodesEscapesIncludingSurrogatePairs) {
+  JsonValue v =
+      ParseJson("\"a\\n\\t\\\"\\\\\\/\\u0041\\u00e9\\ud83d\\ude00\"")
+          .ValueOrDie();
+  EXPECT_EQ(v.string_value(), "a\n\t\"\\/A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",        "}",          "{\"a\":}",
+      "{\"a\" 1}",  "[1,]",     "[1 2]",      "tru",
+      "nul",        "01",       "1.",         "1e",
+      "+1",         "\"unterminated",          "\"bad\\escape\"",
+      "\"\\u12g4\"", "{\"a\":1} trailing",     "{'a':1}",
+      "\"\\ud800\"",  // unpaired high surrogate
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "input: " << text;
+  }
+}
+
+TEST(JsonParserTest, RejectsControlCharactersInStrings) {
+  EXPECT_FALSE(ParseJson("\"a\nb\"").ok());
+}
+
+TEST(JsonParserTest, DepthCapStopsAdversarialNesting) {
+  std::string deep(kMaxJsonDepth + 10, '[');
+  deep += std::string(kMaxJsonDepth + 10, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+
+  std::string ok_depth;
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) ok_depth += '[';
+  ok_depth += "1";
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) ok_depth += ']';
+  EXPECT_TRUE(ParseJson(ok_depth).ok());
+}
+
+TEST(JsonParserTest, RejectsNumbersOutsideDoubleRange) {
+  EXPECT_FALSE(ParseJson("1e999").ok());
+  EXPECT_FALSE(ParseJson("-1e999").ok());
+}
+
+TEST(JsonParserTest, TypedGettersReportMissingAndMistyped) {
+  JsonValue root =
+      ParseJson("{\"n\":3,\"s\":\"x\",\"f\":1.5}").ValueOrDie();
+  EXPECT_EQ(root.GetInt("n").ValueOrDie(), 3);
+  EXPECT_EQ(root.GetString("s").ValueOrDie(), "x");
+  EXPECT_DOUBLE_EQ(root.GetDouble("f").ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(root.GetDouble("n").ValueOrDie(), 3.0);
+  EXPECT_FALSE(root.GetInt("f").ok());     // not integral
+  EXPECT_FALSE(root.GetInt("s").ok());     // wrong type
+  EXPECT_FALSE(root.GetInt("gone").ok());  // missing
+  EXPECT_FALSE(root.GetString("n").ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("text").String("with \"quotes\" and \\ and \n");
+  w.Key("value").Double(0.1 + 0.2);
+  w.Key("big").Int(INT64_MIN);
+  w.EndObject();
+  JsonValue parsed = ParseJson(w.str()).ValueOrDie();
+  EXPECT_EQ(parsed.GetString("text").ValueOrDie(),
+            "with \"quotes\" and \\ and \n");
+  EXPECT_EQ(parsed.GetDouble("value").ValueOrDie(), 0.1 + 0.2);
+  EXPECT_EQ(parsed.GetInt("big").ValueOrDie(), INT64_MIN);
+}
+
+}  // namespace
+}  // namespace wot

@@ -7,17 +7,25 @@
 //   wot_cli validate --data community/
 //   wot_cli query    --data community/ --source alice --top_k 10
 //   wot_cli query    --data community/ --source alice --target bob --explain
+//   wot_cli query    --connect /tmp/wot.sock --source alice --top_k 10
 //
 // `--data` accepts either a CSV dataset directory (see
 // wot/io/dataset_csv.h) or a .wotb binary file. Users are addressed by
 // name or by numeric index. Unknown subcommands and flags exit nonzero
 // with a usage message.
+//
+// `query` is a thin client of the versioned API (wot/api): with --connect
+// it talks NDJSON to a resident `wot_served --socket` process, otherwise
+// it boots an in-process service and dispatches through the very same
+// ServiceFrontend, so both paths return identical responses.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <variant>
 
+#include "wot/api/client.h"
 #include "wot/community/stats.h"
 #include "wot/eval/density.h"
 #include "wot/eval/roc.h"
@@ -201,41 +209,41 @@ int CmdValidate(int argc, char** argv) {
   return 0;
 }
 
-// Resolves \p who as a user name or a numeric user index.
-Result<UserId> ResolveUser(const Dataset& dataset, const std::string& who) {
-  if (who.empty()) {
-    return Status::InvalidArgument("empty user reference");
+// Calls one API method through \p client and unwraps the three failure
+// layers (transport, ApiStatus, payload type) into one Result.
+template <typename ResultT>
+Result<ResultT> CallApi(api::ApiClient* client,
+                        api::RequestPayload payload) {
+  api::Request request;
+  request.payload = std::move(payload);
+  Result<api::Response> response = client->Call(request);
+  if (!response.ok()) return response.status();
+  const api::Response& reply = response.ValueOrDie();
+  if (!reply.status.ok()) return api::ToStatus(reply.status);
+  const ResultT* typed = std::get_if<ResultT>(&reply.payload);
+  if (typed == nullptr) {
+    return Status::Internal("unexpected response payload for method");
   }
-  Result<int64_t> as_index = ParseInt64(who);
-  if (as_index.ok()) {
-    int64_t index = as_index.ValueOrDie();
-    if (index < 0 ||
-        static_cast<size_t>(index) >= dataset.num_users()) {
-      return Status::NotFound("user index " + who + " out of range [0, " +
-                              std::to_string(dataset.num_users()) + ")");
-    }
-    return UserId(static_cast<uint32_t>(index));
-  }
-  for (const auto& user : dataset.users()) {
-    if (user.name == who) {
-      return user.id;
-    }
-  }
-  return Status::NotFound("no user named '" + who + "'");
+  return *typed;
 }
 
 int CmdQuery(int argc, char** argv) {
   std::string data;
+  std::string connect;
   std::string source;
   std::string target;
   int64_t top_k = 10;
   bool explain = false;
   FlagParser flags("wot_cli query",
-                   "Serve trust queries through TrustService: top-k "
+                   "Serve trust queries through the versioned API: top-k "
                    "trustees of --source, or the derived degree (and, with "
                    "--explain, its per-category breakdown) for --source "
-                   "--target");
-  flags.AddString("data", &data, "dataset directory or .wotb file");
+                   "--target. With --connect, queries go to a resident "
+                   "wot_served process instead of booting a service");
+  flags.AddString("data", &data,
+                  "dataset directory or .wotb file (in-process mode)");
+  flags.AddString("connect", &connect,
+                  "unix socket of a resident `wot_served --socket` server");
   flags.AddString("source", &source, "truster: user name or index");
   flags.AddString("target", &target,
                   "trustee: user name or index (omit for top-k mode)");
@@ -250,55 +258,83 @@ int CmdQuery(int argc, char** argv) {
   if (top_k <= 0) {
     return Fail(Status::InvalidArgument("--top_k must be positive"));
   }
-  Result<Dataset> dataset = LoadAny(data);
-  if (!dataset.ok()) return Fail(dataset.status());
-  const Dataset& ds = dataset.ValueOrDie();
+  if (!connect.empty() && !data.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--connect and --data are mutually exclusive"));
+  }
 
-  Result<UserId> from = ResolveUser(ds, source);
-  if (!from.ok()) return Fail(from.status());
+  // Pick the transport; everything after this line is transport-agnostic.
+  std::unique_ptr<TrustService> service;
+  std::unique_ptr<api::ServiceFrontend> frontend;
+  std::unique_ptr<api::ApiClient> client;
+  if (!connect.empty()) {
+    Result<std::unique_ptr<api::SocketClient>> socket =
+        api::SocketClient::Connect(connect);
+    if (!socket.ok()) return Fail(socket.status());
+    client = std::move(socket).ValueOrDie();
+  } else {
+    Result<Dataset> dataset = LoadAny(data);
+    if (!dataset.ok()) return Fail(dataset.status());
+    Result<std::unique_ptr<TrustService>> booted =
+        TrustService::Create(dataset.ValueOrDie());
+    if (!booted.ok()) return Fail(booted.status());
+    service = std::move(booted).ValueOrDie();
+    frontend = std::make_unique<api::ServiceFrontend>(service.get());
+    client = std::make_unique<api::LoopbackClient>(frontend.get());
+  }
 
-  Result<std::unique_ptr<TrustService>> service = TrustService::Create(ds);
-  if (!service.ok()) return Fail(service.status());
-  std::shared_ptr<const TrustSnapshot> snapshot =
-      service.ValueOrDie()->Snapshot();
-  std::printf("serving snapshot v%llu: %zu users, %zu categories, %zu "
+  Result<api::StatsResult> stats =
+      CallApi<api::StatsResult>(client.get(), api::StatsRequest{});
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("serving snapshot v%llu: %lld users, %lld categories, %lld "
               "ratings\n",
-              static_cast<unsigned long long>(snapshot->version()),
-              snapshot->num_users(), snapshot->num_categories(),
-              snapshot->num_ratings());
+              static_cast<unsigned long long>(
+                  stats.ValueOrDie().snapshot_version),
+              static_cast<long long>(stats.ValueOrDie().users),
+              static_cast<long long>(stats.ValueOrDie().categories),
+              static_cast<long long>(stats.ValueOrDie().ratings));
 
   if (target.empty()) {
+    Result<api::TopKResult> topk = CallApi<api::TopKResult>(
+        client.get(), api::TopKQuery{source, top_k});
+    if (!topk.ok()) return Fail(topk.status());
     std::printf("top-%lld trustees of %s:\n",
                 static_cast<long long>(top_k),
-                ds.user(from.ValueOrDie()).name.c_str());
-    for (const auto& scored : snapshot->TopK(
-             from.ValueOrDie().index(), static_cast<size_t>(top_k))) {
-      std::printf("  %-24s %.6f\n",
-                  ds.user(UserId(scored.user)).name.c_str(), scored.score);
+                topk.ValueOrDie().source_name.c_str());
+    for (const api::ScoredUserEntry& entry :
+         topk.ValueOrDie().trustees) {
+      std::printf("  %-24s %.6f\n", entry.name.c_str(), entry.score);
     }
     return 0;
   }
 
-  Result<UserId> to = ResolveUser(ds, target);
-  if (!to.ok()) return Fail(to.status());
-  const size_t i = from.ValueOrDie().index();
-  const size_t j = to.ValueOrDie().index();
-  std::printf("T-hat(%s -> %s) = %.6f\n",
-              ds.user(from.ValueOrDie()).name.c_str(),
-              ds.user(to.ValueOrDie()).name.c_str(), snapshot->Trust(i, j));
-  if (explain) {
-    TrustExplanation explanation = snapshot->ExplainTrust(i, j);
-    std::printf("  affinity sum: %.6f\n", explanation.affinity_sum);
-    for (const auto& term : explanation.terms) {
-      std::printf("  %-24s A=%.4f  E=%.4f  contributes %.6f\n",
-                  ds.category(CategoryId(term.category)).name.c_str(),
-                  term.affiliation, term.expertise, term.contribution);
-    }
-    if (explanation.terms.empty()) {
-      std::printf("  (no active categories: %s has no rating/review "
-                  "history)\n",
-                  ds.user(from.ValueOrDie()).name.c_str());
-    }
+  if (!explain) {
+    Result<api::TrustResult> trust = CallApi<api::TrustResult>(
+        client.get(), api::TrustQuery{source, target});
+    if (!trust.ok()) return Fail(trust.status());
+    std::printf("T-hat(%s -> %s) = %.6f\n",
+                trust.ValueOrDie().source_name.c_str(),
+                trust.ValueOrDie().target_name.c_str(),
+                trust.ValueOrDie().trust);
+    return 0;
+  }
+
+  Result<api::ExplainResult> explained = CallApi<api::ExplainResult>(
+      client.get(), api::ExplainQuery{source, target});
+  if (!explained.ok()) return Fail(explained.status());
+  const api::ExplainResult& breakdown = explained.ValueOrDie();
+  std::printf("T-hat(%s -> %s) = %.6f\n", breakdown.source_name.c_str(),
+              breakdown.target_name.c_str(), breakdown.trust);
+  std::printf("  affinity sum: %.6f\n", breakdown.affinity_sum);
+  for (const api::ExplainTermResult& term : breakdown.terms) {
+    std::printf("  %-24s A=%.4f  E=%.4f  contributes %.6f\n",
+                term.category_name.c_str(), term.affiliation,
+                term.expertise, term.contribution);
+  }
+  if (breakdown.terms.empty()) {
+    std::printf("  (no active categories: %s has no rating/review "
+                "history)\n",
+                breakdown.source_name.c_str());
   }
   return 0;
 }

@@ -1,0 +1,178 @@
+// wot_served — the resident trust server.
+//
+// Boots ONE TrustService and answers NDJSON API frames (one request per
+// line, one response per line; see docs/wire_protocol.md) until EOF. The
+// whole point is amortization: thousands of pipelined queries share a
+// single service boot, where `wot_cli query` used to re-derive the web of
+// trust per invocation.
+//
+//   # serve a dataset over stdin/stdout (great for piping request scripts)
+//   wot_served --data community/ < requests.ndjson > responses.ndjson
+//
+//   # synthetic boot, resident behind a unix socket
+//   wot_served --users 4000 --seed 42 --socket /tmp/wot.sock &
+//   wot_cli query --connect /tmp/wot.sock --source alice --top_k 10
+//
+// Exactly one "boot" line is logged to stderr per process lifetime; the
+// round-trip smoke test counts it to prove the service is not re-booted
+// between requests. In --socket mode connections are served sequentially
+// (one frontend, one writer-side dataset); EOF on a connection returns to
+// accept(). The process runs until killed.
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "wot/api/frontend.h"
+#include "wot/api/unix_socket.h"
+#include "wot/io/binary_format.h"
+#include "wot/io/dataset_csv.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+#include "wot/util/flags.h"
+
+namespace wot {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "wot_served: error: %s\n",
+               status.ToString().c_str());
+  return 1;
+}
+
+Result<Dataset> BootDataset(const std::string& data, int64_t users,
+                            int64_t seed) {
+  if (!data.empty()) {
+    if (std::filesystem::is_directory(data)) {
+      return LoadDatasetCsv(data);
+    }
+    return LoadDatasetBinary(data);
+  }
+  if (users <= 0) {
+    return Status::InvalidArgument("--users must be positive");
+  }
+  SynthConfig config;
+  config.num_users = static_cast<size_t>(users);
+  config.seed = static_cast<uint64_t>(seed);
+  WOT_ASSIGN_OR_RETURN(SynthCommunity community,
+                       GenerateCommunity(config));
+  return std::move(community.dataset);
+}
+
+// Serves one NDJSON session: a request line in, a response line out,
+// flushed per line so pipelined clients never deadlock. Empty lines are
+// ignored (tolerant framing). Returns at EOF — or when the reader of
+// \p out goes away, so a downstream `| head` doesn't leave the server
+// dispatching the rest of stdin into the void.
+void ServeStream(api::ServiceFrontend* frontend, std::istream& in,
+                 std::FILE* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string reply = frontend->DispatchLine(line);
+    reply += '\n';
+    if (std::fwrite(reply.data(), 1, reply.size(), out) != reply.size() ||
+        std::fflush(out) != 0) {
+      std::fprintf(stderr, "wot_served: output closed, exiting\n");
+      return;
+    }
+  }
+}
+
+int ServeSocket(api::ServiceFrontend* frontend,
+                const std::string& socket_path) {
+  Result<int> listen_fd = api::ListenUnixSocket(socket_path);
+  if (!listen_fd.ok()) return Fail(listen_fd.status());
+  std::fprintf(stderr, "wot_served: listening on %s\n",
+               socket_path.c_str());
+  while (true) {
+    int conn_fd = ::accept(listen_fd.ValueOrDie(), nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      int saved_errno = errno;
+      ::close(listen_fd.ValueOrDie());
+      return Fail(Status::IOError(std::string("accept(): ") +
+                                  std::strerror(saved_errno)));
+    }
+    // Same framing as the stdin loop, over the shared line reader. A
+    // client that vanishes mid-reply is an IOError on this connection
+    // only (MSG_NOSIGNAL in SendAll) — the server lives on.
+    api::FdLineReader reader(conn_fd);
+    std::string line;
+    while (true) {
+      Result<bool> got_line = reader.Next(&line);
+      if (!got_line.ok() || !got_line.ValueOrDie()) break;
+      if (line.empty()) continue;
+      if (!api::SendAll(conn_fd, frontend->DispatchLine(line) + "\n")
+               .ok()) {
+        break;
+      }
+    }
+    ::close(conn_fd);
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string data;
+  int64_t users = 1000;
+  int64_t seed = 42;
+  std::string socket_path;
+  FlagParser flags(
+      "wot_served",
+      "Resident trust server: boots one TrustService and answers NDJSON "
+      "API frames (one per line) on stdin/stdout, or on --socket");
+  flags.AddString("data", &data,
+                  "dataset directory or .wotb file to serve (omit for a "
+                  "synthetic community)");
+  flags.AddInt64("users", &users,
+                 "synthetic community size (ignored with --data)");
+  flags.AddInt64("seed", &seed, "synthetic generator seed");
+  flags.AddString("socket", &socket_path,
+                  "listen on this unix socket instead of stdin/stdout");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+
+  // A resident server must outlive any client: broken pipes surface as
+  // write errors (handled per connection), never a fatal SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
+
+  Result<Dataset> dataset = BootDataset(data, users, seed);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  Result<std::unique_ptr<TrustService>> service =
+      TrustService::Create(dataset.ValueOrDie());
+  if (!service.ok()) return Fail(service.status());
+  api::ServiceFrontend frontend(service.ValueOrDie().get());
+
+  // The single boot marker: the round-trip smoke asserts this line (and
+  // the stats method's service_boots counter) stays at one per process no
+  // matter how many requests are served.
+  std::shared_ptr<const TrustSnapshot> snapshot =
+      service.ValueOrDie()->Snapshot();
+  std::fprintf(stderr,
+               "wot_served: boot snapshot v%llu (protocol v%lld, %zu "
+               "users, %zu categories, %zu ratings)\n",
+               static_cast<unsigned long long>(snapshot->version()),
+               static_cast<long long>(api::kProtocolVersion),
+               snapshot->num_users(), snapshot->num_categories(),
+               snapshot->num_ratings());
+  snapshot.reset();
+
+  if (!socket_path.empty()) {
+    return ServeSocket(&frontend, socket_path);
+  }
+  ServeStream(&frontend, std::cin, stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace wot
+
+int main(int argc, char** argv) { return wot::Main(argc, argv); }
