@@ -1,22 +1,29 @@
 // Serving-path microbenchmark: TrustService boot cost, per-query latency
-// (Trust / TopK / ExplainTrust) against a published snapshot, and the
-// incremental commit (snapshot-swap) cost of folding in fresh ratings.
+// (Trust / TopK / ExplainTrust) against a published snapshot, the
+// incremental commit (snapshot-swap) cost of folding in fresh ratings,
+// and multi-client throughput of the wot/server ConnectionServer (real
+// unix-socket clients pipelining against the epoll loop + dispatch pool).
 //
 //   micro_service --users 4000 --seed 42
 //   micro_service --users 4000 --json BENCH_service.json
 //
 // Uses wall-clock batches (no Google Benchmark dependency) so it always
 // builds; --json emits the machine-readable report tracked across PRs.
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
 #include "bench_util.h"
 #include "wot/api/codec.h"
 #include "wot/api/frontend.h"
+#include "wot/api/unix_socket.h"
+#include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
 #include "wot/util/check.h"
 #include "wot/util/stopwatch.h"
@@ -24,6 +31,74 @@
 namespace wot {
 namespace bench {
 namespace {
+
+// Aggregate queries/second of `clients` unix-socket clients, each
+// pipelining `per_client` trust queries (in windows, so neither side
+// deadlocks on socket buffers) against one ConnectionServer.
+double MeasureServerThroughput(api::ServiceFrontend* frontend,
+                               size_t num_users, int server_threads,
+                               int clients, int64_t per_client) {
+  static int run_counter = 0;
+  std::string socket_path =
+      "/tmp/wot_micro_service_" + std::to_string(::getpid()) + "_" +
+      std::to_string(run_counter++) + ".sock";
+  std::remove(socket_path.c_str());
+  server::ConnectionServerOptions options;
+  options.num_threads = server_threads;
+  server::ConnectionServer server(frontend, options);
+  Result<int> listen_fd = api::ListenUnixSocket(socket_path, 64);
+  WOT_CHECK_OK(listen_fd.status());
+  std::thread serve_thread([&server, fd = listen_fd.ValueOrDie()] {
+    WOT_CHECK_OK(server.Serve(fd));
+  });
+
+  Stopwatch timer;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      Result<int> fd = api::ConnectUnixSocket(socket_path);
+      WOT_CHECK_OK(fd.status());
+      api::FdLineReader reader(fd.ValueOrDie());
+      constexpr int64_t kWindow = 64;
+      int64_t sent = 0;
+      int64_t received = 0;
+      std::string line;
+      while (received < per_client) {
+        std::string burst;
+        for (int64_t w = 0; w < kWindow && sent < per_client;
+             ++w, ++sent) {
+          api::Request request;
+          request.id = sent + 1;
+          request.payload = api::TrustQuery{
+              std::to_string((static_cast<size_t>(sent) * 7 + c) %
+                             num_users),
+              std::to_string((static_cast<size_t>(sent) * 13 + c + 1) %
+                             num_users)};
+          burst += api::EncodeRequest(request);
+          burst += '\n';
+        }
+        if (!burst.empty()) {
+          WOT_CHECK_OK(api::SendAll(fd.ValueOrDie(), burst));
+        }
+        while (received < sent) {
+          WOT_CHECK(reader.Next(&line).ValueOrDie());
+          ++received;
+        }
+      }
+      ::close(fd.ValueOrDie());
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  server.RequestStop();
+  serve_thread.join();
+  std::remove(socket_path.c_str());
+  return static_cast<double>(clients) *
+         static_cast<double>(per_client) / elapsed;
+}
 
 int Main(int argc, char** argv) {
   ExperimentArgs args;
@@ -131,6 +206,18 @@ int Main(int argc, char** argv) {
   const double noop_commit_us = timer.ElapsedMillis() * 1e3;
   WOT_CHECK(!noop.published);
 
+  // Multi-client ConnectionServer throughput: 1 pipelining client vs 8,
+  // over the socket path wot_served serves in production. Uses the same
+  // (already committed) service; trust queries only, so the measured
+  // path is epoll + framing + pool dispatch + lock-free snapshot reads.
+  const int64_t per_client = queries / 8 + 1;
+  const double server_qps_c1 = MeasureServerThroughput(
+      &frontend, num_users, /*server_threads=*/4, /*clients=*/1,
+      per_client);
+  const double server_qps_c8 = MeasureServerThroughput(
+      &frontend, num_users, /*server_threads=*/4, /*clients=*/8,
+      per_client);
+
   std::printf("service boot (full build + v1 publish):  %10.2f ms\n"
               "Trust(i, j) latency:                     %10.3f us\n"
               "TopK(i, 10) latency:                     %10.3f us\n"
@@ -139,12 +226,14 @@ int Main(int argc, char** argv) {
               "incremental commit (10 appends):         %10.2f ms\n"
               "  (avg %.1f categories recomputed per commit)\n"
               "no-op commit:                            %10.3f us\n"
+              "server throughput, 1 client pipelining:  %10.0f qps\n"
+              "server throughput, 8 clients pipelining: %10.0f qps\n"
               "(checksums: %.3f %zu %zu %.3f)\n",
               boot_ms, trust_us, topk_us, explain_us, api_trust_us,
               commit_ms,
               static_cast<double>(categories_recomputed) / kCommits,
-              noop_commit_us, checksum, topk_sum, term_sum,
-              api_checksum);
+              noop_commit_us, server_qps_c1, server_qps_c8, checksum,
+              topk_sum, term_sum, api_checksum);
 
   BenchReport report;
   report.AddString("bench", "micro_service");
@@ -159,6 +248,8 @@ int Main(int argc, char** argv) {
   report.AddNumber("api_trust_roundtrip_us", api_trust_us);
   report.AddNumber("incremental_commit_ms", commit_ms);
   report.AddNumber("noop_commit_us", noop_commit_us);
+  report.AddNumber("server_qps_1client", server_qps_c1);
+  report.AddNumber("server_qps_8clients", server_qps_c8);
   WOT_CHECK_OK(MaybeWriteJson(args, report));
   return 0;
 }

@@ -233,7 +233,17 @@ struct StatsResult {
   /// matter how many requests it serves — the smoke test asserts this.
   int64_t service_boots = 0;
   /// Requests dispatched by this frontend so far, including this one.
+  /// Under a concurrent connection server this aggregates ALL
+  /// connections (the frontend is shared).
   int64_t requests_served = 0;
+  // Connection-server counters (all 0 when the request did not arrive
+  // through a ConnectionServer — loopback and stdin/stdout serving).
+  /// Connections currently open on the serving ConnectionServer.
+  int64_t connections_active = 0;
+  /// Connections accepted over the server's lifetime.
+  int64_t connections_accepted = 0;
+  /// Requests read off the connection that asked, including this one.
+  int64_t connection_requests_served = 0;
 };
 
 using ResponsePayload =

@@ -111,6 +111,10 @@ void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
       w.Key("ratings").Int(r.ratings);
       w.Key("service_boots").Int(r.service_boots);
       w.Key("requests_served").Int(r.requests_served);
+      w.Key("connections_active").Int(r.connections_active);
+      w.Key("connections_accepted").Int(r.connections_accepted);
+      w.Key("connection_requests_served")
+          .Int(r.connection_requests_served);
     }
   };
   w->Key("result").BeginObject();
@@ -354,6 +358,19 @@ ApiStatus DecodeResultPayload(const std::string& result_type,
       Result<int64_t> value = result.GetInt(field.key);
       if (!value.ok()) return ApiStatus::FromStatus(value.status());
       *field.target = value.ValueOrDie();
+    }
+    // Post-v1.0 additive fields: absent (older server) decodes as 0, per
+    // the wire spec's evolution rules.
+    for (IntField field :
+         {IntField{"connections_active", &r.connections_active},
+          IntField{"connections_accepted", &r.connections_accepted},
+          IntField{"connection_requests_served",
+                   &r.connection_requests_served}}) {
+      if (result.Find(field.key) != nullptr) {
+        Result<int64_t> value = result.GetInt(field.key);
+        if (!value.ok()) return ApiStatus::FromStatus(value.status());
+        *field.target = value.ValueOrDie();
+      }
     }
     response->payload = r;
   } else {

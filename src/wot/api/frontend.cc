@@ -1,6 +1,5 @@
 #include "wot/api/frontend.h"
 
-#include <limits>
 #include <memory>
 #include <utility>
 
@@ -10,7 +9,7 @@
 namespace wot {
 namespace api {
 
-Result<UserId> ResolveUserRef(const Dataset& dataset,
+Result<UserId> ResolveUserRef(const TrustSnapshot& snapshot,
                               std::string_view ref) {
   if (ref.empty()) {
     return Status::InvalidArgument("empty user reference");
@@ -19,38 +18,18 @@ Result<UserId> ResolveUserRef(const Dataset& dataset,
   if (as_index.ok()) {
     int64_t index = as_index.ValueOrDie();
     if (index < 0 ||
-        static_cast<size_t>(index) >= dataset.num_users()) {
+        static_cast<size_t>(index) >= snapshot.num_users()) {
       return Status::NotFound("user index " + std::string(ref) +
                               " out of range [0, " +
-                              std::to_string(dataset.num_users()) + ")");
+                              std::to_string(snapshot.num_users()) + ")");
     }
     return UserId(static_cast<uint32_t>(index));
   }
-  for (const User& user : dataset.users()) {
-    if (user.name == ref) {
-      return user.id;
-    }
+  std::optional<uint32_t> id = snapshot.user_names().Find(ref);
+  if (!id.has_value()) {
+    return Status::NotFound("no user named '" + std::string(ref) + "'");
   }
-  return Status::NotFound("no user named '" + std::string(ref) + "'");
-}
-
-Result<CategoryId> ResolveCategoryRef(const Dataset& dataset,
-                                      std::string_view ref) {
-  if (ref.empty()) {
-    return Status::InvalidArgument("empty category reference");
-  }
-  Result<int64_t> as_index = ParseInt64(ref);
-  if (as_index.ok()) {
-    int64_t index = as_index.ValueOrDie();
-    if (index < 0 ||
-        static_cast<size_t>(index) >= dataset.num_categories()) {
-      return Status::NotFound(
-          "category index " + std::string(ref) + " out of range [0, " +
-          std::to_string(dataset.num_categories()) + ")");
-    }
-    return CategoryId(static_cast<uint32_t>(index));
-  }
-  return dataset.FindCategory(std::string(ref));
+  return UserId(*id);
 }
 
 namespace {
@@ -61,90 +40,59 @@ Response ErrorResponse(ApiStatus status) {
   return response;
 }
 
-// Checks an int64 wire id against an entity count before narrowing.
-ApiStatus CheckWireId(int64_t value, size_t count, const char* what) {
-  if (value < 0 || static_cast<uint64_t>(value) >= count) {
-    return ApiStatus::NotFound(std::string(what) + " id " +
-                               std::to_string(value) +
-                               " out of range [0, " +
-                               std::to_string(count) + ")");
-  }
-  return ApiStatus::Ok();
-}
-
 }  // namespace
 
-Result<UserId> ServiceFrontend::ResolveUser(std::string_view ref) {
-  const Dataset& dataset = service_->staged_dataset();
-  if (ref.empty()) {
-    return Status::InvalidArgument("empty user reference");
-  }
-  Result<int64_t> as_index = ParseInt64(ref);
-  if (as_index.ok()) {
-    int64_t index = as_index.ValueOrDie();
-    if (index < 0 ||
-        static_cast<size_t>(index) >= dataset.num_users()) {
-      return Status::NotFound("user index " + std::string(ref) +
-                              " out of range [0, " +
-                              std::to_string(dataset.num_users()) + ")");
-    }
-    return UserId(static_cast<uint32_t>(index));
-  }
-  // Absorb users appended since the last lookup. emplace keeps the first
-  // id under a duplicated name, matching the linear scan's semantics.
-  const std::vector<User>& users = dataset.users();
-  for (; indexed_users_ < users.size(); ++indexed_users_) {
-    name_index_.emplace(users[indexed_users_].name,
-                        users[indexed_users_].id);
-  }
-  auto it = name_index_.find(std::string(ref));
-  if (it == name_index_.end()) {
-    return Status::NotFound("no user named '" + std::string(ref) + "'");
-  }
-  return it->second;
+FrontendStats ServiceFrontend::stats() const {
+  FrontendStats stats;
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  return stats;
 }
 
-Response ServiceFrontend::Dispatch(const Request& request) {
-  ++stats_.requests_served;
-  Response response = DispatchPayload(request);
+Response ServiceFrontend::Dispatch(const Request& request,
+                                   const ConnectionContext& connection) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  Response response = DispatchPayload(request, connection);
   response.version = kProtocolVersion;
   response.id = request.id;
   if (!response.status.ok()) {
-    ++stats_.errors;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     response.payload = std::monostate{};
   }
   return response;
 }
 
-Response ServiceFrontend::DispatchPayload(const Request& request) {
+Response ServiceFrontend::DispatchPayload(
+    const Request& request, const ConnectionContext& connection) {
   if (request.version != kProtocolVersion) {
     return ErrorResponse(ApiStatus::InvalidArgument(
         "unsupported protocol version " + std::to_string(request.version) +
         " (this server speaks v" + std::to_string(kProtocolVersion) +
         ")"));
   }
-  const Dataset& dataset = service_->staged_dataset();
 
   struct Visitor {
     ServiceFrontend& frontend;
-    const Dataset& dataset;
+    const ConnectionContext& connection;
 
     Response operator()(const TrustQuery& q) {
-      Result<UserId> source = frontend.ResolveUser(q.source);
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      Result<UserId> source = ResolveUserRef(*snapshot, q.source);
       if (!source.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(source.status()));
       }
-      Result<UserId> target = frontend.ResolveUser(q.target);
+      Result<UserId> target = ResolveUserRef(*snapshot, q.target);
       if (!target.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(target.status()));
       }
-      std::shared_ptr<const TrustSnapshot> snapshot =
-          frontend.service_->Snapshot();
       TrustResult result;
       result.trust = snapshot->Trust(source.ValueOrDie().index(),
                                      target.ValueOrDie().index());
-      result.source_name = dataset.user(source.ValueOrDie()).name;
-      result.target_name = dataset.user(target.ValueOrDie()).name;
+      result.source_name =
+          snapshot->user_names().name(source.ValueOrDie().index());
+      result.target_name =
+          snapshot->user_names().name(target.ValueOrDie().index());
       result.snapshot_version = snapshot->version();
       Response response;
       response.payload = std::move(result);
@@ -156,20 +104,21 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
         return ErrorResponse(
             ApiStatus::InvalidArgument("'k' must be positive"));
       }
-      Result<UserId> source = frontend.ResolveUser(q.source);
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      Result<UserId> source = ResolveUserRef(*snapshot, q.source);
       if (!source.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(source.status()));
       }
-      std::shared_ptr<const TrustSnapshot> snapshot =
-          frontend.service_->Snapshot();
       TopKResult result;
-      result.source_name = dataset.user(source.ValueOrDie()).name;
+      result.source_name =
+          snapshot->user_names().name(source.ValueOrDie().index());
       result.snapshot_version = snapshot->version();
       for (const ScoredUser& scored :
            snapshot->TopK(source.ValueOrDie().index(),
                           static_cast<size_t>(q.k))) {
         result.trustees.push_back(
-            {scored.user, dataset.user(UserId(scored.user)).name,
+            {scored.user, snapshot->user_names().name(scored.user),
              scored.score});
       }
       Response response;
@@ -178,28 +127,29 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
     }
 
     Response operator()(const ExplainQuery& q) {
-      Result<UserId> source = frontend.ResolveUser(q.source);
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          frontend.service_->Snapshot();
+      Result<UserId> source = ResolveUserRef(*snapshot, q.source);
       if (!source.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(source.status()));
       }
-      Result<UserId> target = frontend.ResolveUser(q.target);
+      Result<UserId> target = ResolveUserRef(*snapshot, q.target);
       if (!target.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(target.status()));
       }
-      std::shared_ptr<const TrustSnapshot> snapshot =
-          frontend.service_->Snapshot();
       TrustExplanation explanation = snapshot->ExplainTrust(
           source.ValueOrDie().index(), target.ValueOrDie().index());
       ExplainResult result;
       result.trust = explanation.trust;
       result.affinity_sum = explanation.affinity_sum;
-      result.source_name = dataset.user(source.ValueOrDie()).name;
-      result.target_name = dataset.user(target.ValueOrDie()).name;
+      result.source_name =
+          snapshot->user_names().name(source.ValueOrDie().index());
+      result.target_name =
+          snapshot->user_names().name(target.ValueOrDie().index());
       result.snapshot_version = snapshot->version();
       for (const TrustContribution& term : explanation.terms) {
         result.terms.push_back(
-            {term.category,
-             dataset.category(CategoryId(term.category)).name,
+            {term.category, snapshot->category_names()[term.category],
              term.affiliation, term.expertise, term.contribution});
       }
       Response response;
@@ -234,13 +184,8 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
         return ErrorResponse(
             ApiStatus::InvalidArgument("object name must not be empty"));
       }
-      Result<CategoryId> category =
-          ResolveCategoryRef(dataset, q.category);
-      if (!category.ok()) {
-        return ErrorResponse(ApiStatus::FromStatus(category.status()));
-      }
       Result<ObjectId> id =
-          frontend.service_->AddObject(category.ValueOrDie(), q.name);
+          frontend.service_->AddObjectByRef(q.category, q.name);
       if (!id.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(id.status()));
       }
@@ -251,15 +196,8 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
     }
 
     Response operator()(const IngestReview& q) {
-      Result<UserId> writer = frontend.ResolveUser(q.writer);
-      if (!writer.ok()) {
-        return ErrorResponse(ApiStatus::FromStatus(writer.status()));
-      }
-      ApiStatus range =
-          CheckWireId(q.object, dataset.num_objects(), "object");
-      if (!range.ok()) return ErrorResponse(std::move(range));
-      Result<ReviewId> id = frontend.service_->AddReview(
-          writer.ValueOrDie(), ObjectId(static_cast<uint32_t>(q.object)));
+      Result<ReviewId> id =
+          frontend.service_->AddReviewByRef(q.writer, q.object);
       if (!id.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(id.status()));
       }
@@ -270,16 +208,8 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
     }
 
     Response operator()(const IngestRating& q) {
-      Result<UserId> rater = frontend.ResolveUser(q.rater);
-      if (!rater.ok()) {
-        return ErrorResponse(ApiStatus::FromStatus(rater.status()));
-      }
-      ApiStatus range =
-          CheckWireId(q.review, dataset.num_reviews(), "review");
-      if (!range.ok()) return ErrorResponse(std::move(range));
-      Status status = frontend.service_->AddRating(
-          rater.ValueOrDie(), ReviewId(static_cast<uint32_t>(q.review)),
-          q.value);
+      Status status =
+          frontend.service_->AddRatingByRef(q.rater, q.review, q.value);
       if (!status.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(status));
       }
@@ -314,29 +244,35 @@ Response ServiceFrontend::DispatchPayload(const Request& request) {
           static_cast<int64_t>(snapshot->num_categories());
       result.reviews = static_cast<int64_t>(snapshot->num_reviews());
       result.ratings = static_cast<int64_t>(snapshot->num_ratings());
-      result.service_boots = frontend.stats_.service_boots;
-      result.requests_served = frontend.stats_.requests_served;
+      result.service_boots = 1;
+      result.requests_served =
+          frontend.requests_served_.load(std::memory_order_relaxed);
+      result.connections_active = connection.connections_active;
+      result.connections_accepted = connection.connections_accepted;
+      result.connection_requests_served =
+          connection.connection_requests_served;
       Response response;
       response.payload = result;
       return response;
     }
   };
 
-  return std::visit(Visitor{*this, dataset}, request.payload);
+  return std::visit(Visitor{*this, connection}, request.payload);
 }
 
-std::string ServiceFrontend::DispatchLine(std::string_view line) {
+std::string ServiceFrontend::DispatchLine(
+    std::string_view line, const ConnectionContext& connection) {
   Request request;
   ApiStatus decode_status = DecodeRequest(line, &request);
   if (!decode_status.ok()) {
-    ++stats_.requests_served;
-    ++stats_.errors;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
     Response response;
     response.id = request.id;
     response.status = std::move(decode_status);
     return EncodeResponse(response);
   }
-  return EncodeResponse(Dispatch(request));
+  return EncodeResponse(Dispatch(request, connection));
 }
 
 }  // namespace api

@@ -6,7 +6,8 @@
 //
 //   * wot_cli query       -> LoopbackClient -> Dispatch
 //   * wot_cli --connect   -> SocketClient -> wot_served -> DispatchLine
-//   * wot_served          -> DispatchLine over stdin/stdout or a socket
+//   * wot_served          -> DispatchLine over stdin/stdout, or the
+//                            wot/server ConnectionServer for --socket
 //
 // so responses are identical no matter how a request arrived (property-
 // tested bit-for-bit). A future shard router is just another owner of
@@ -16,34 +17,36 @@
 // versions, missing fields and out-of-range ids all produce a structured
 // error response — it never crashes and never returns a non-JSON line.
 //
-// Thread contract: Dispatch/DispatchLine are NOT thread-safe (ingest and
-// name resolution touch the writer-side staged dataset). Run one frontend
-// per connection-serving thread; reads still serve lock-free snapshots
-// underneath.
+// Thread contract: Dispatch/DispatchLine ARE thread-safe; one frontend is
+// shared by every connection of a ConnectionServer. Queries resolve names
+// on the published TrustSnapshot (its immutable NameIndex) and run
+// lock-free; ingest and commit requests delegate to the TrustService's
+// internally serialized write path. Consequence: a user name (or index)
+// ingested but not yet committed is NOT resolvable by queries — it
+// answers NOT_FOUND until a commit publishes the next snapshot. Ingest
+// references, by contrast, resolve against the staged dataset inside the
+// writer lock, so "ingest_user then ingest_review by that name" works
+// without an intervening commit.
 #ifndef WOT_API_FRONTEND_H_
 #define WOT_API_FRONTEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 #include "wot/api/api.h"
-#include "wot/community/dataset.h"
 #include "wot/service/trust_service.h"
+#include "wot/service/trust_snapshot.h"
 
 namespace wot {
 namespace api {
 
-/// \brief Resolves \p ref as a user name or decimal user index against
-/// \p dataset. The one name-or-index lookup shared by every API path.
-/// Name resolution is a linear scan; the frontend's dispatch path uses
-/// an incrementally maintained index instead (same semantics, O(1)).
-Result<UserId> ResolveUserRef(const Dataset& dataset, std::string_view ref);
-
-/// \brief Same semantics for categories.
-Result<CategoryId> ResolveCategoryRef(const Dataset& dataset,
-                                      std::string_view ref);
+/// \brief Resolves \p ref as a user name or decimal user index against the
+/// published \p snapshot — the read path's one name-or-index lookup.
+/// Touches only snapshot-owned immutable state (safe from any thread).
+Result<UserId> ResolveUserRef(const TrustSnapshot& snapshot,
+                              std::string_view ref);
 
 /// \brief Serving counters of one frontend (returned by the stats method).
 struct FrontendStats {
@@ -55,6 +58,17 @@ struct FrontendStats {
   int64_t errors = 0;
 };
 
+/// \brief Connection-server context for one dispatched request. A
+/// ConnectionServer fills this per request so the stats method can
+/// surface per-connection and aggregate serving counters; transports
+/// without connections (loopback, stdin/stdout) leave it defaulted.
+struct ConnectionContext {
+  int64_t connections_active = 0;
+  int64_t connections_accepted = 0;
+  /// Requests read off the asking connection so far, including this one.
+  int64_t connection_requests_served = 0;
+};
+
 /// \brief Dispatches requests against a TrustService it does not own.
 class ServiceFrontend {
  public:
@@ -62,28 +76,31 @@ class ServiceFrontend {
   explicit ServiceFrontend(TrustService* service) : service_(service) {}
 
   /// \brief Executes one typed request. The response echoes request.id.
-  Response Dispatch(const Request& request);
+  Response Dispatch(const Request& request) {
+    return Dispatch(request, ConnectionContext{});
+  }
+  Response Dispatch(const Request& request,
+                    const ConnectionContext& connection);
 
   /// \brief Decodes one NDJSON frame, dispatches it, encodes the reply
   /// (no trailing newline). Total: any input yields a valid frame.
-  std::string DispatchLine(std::string_view line);
+  std::string DispatchLine(std::string_view line) {
+    return DispatchLine(line, ConnectionContext{});
+  }
+  std::string DispatchLine(std::string_view line,
+                           const ConnectionContext& connection);
 
-  const FrontendStats& stats() const { return stats_; }
+  /// Value snapshot of the counters (they advance concurrently).
+  FrontendStats stats() const;
   TrustService* service() const { return service_; }
 
  private:
-  Response DispatchPayload(const Request& request);
-
-  /// ResolveUserRef semantics backed by name_index_ (users are dense and
-  /// append-only with immutable names, so the index only ever needs to
-  /// absorb the staged dataset's tail — even users ingested through a
-  /// different frontend over the same service).
-  Result<UserId> ResolveUser(std::string_view ref);
+  Response DispatchPayload(const Request& request,
+                           const ConnectionContext& connection);
 
   TrustService* service_;
-  FrontendStats stats_;
-  std::unordered_map<std::string, UserId> name_index_;
-  size_t indexed_users_ = 0;  // users absorbed into name_index_
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> errors_{0};
 };
 
 }  // namespace api

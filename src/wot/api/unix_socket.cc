@@ -1,5 +1,6 @@
 #include "wot/api/unix_socket.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -66,6 +67,51 @@ Result<int> ListenUnixSocket(const std::string& path, int backlog) {
                            "': " + std::strerror(saved_errno));
   }
   return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<int> AcceptNonBlocking(int listen_fd, bool* resource_exhausted) {
+  if (resource_exhausted != nullptr) {
+    *resource_exhausted = false;
+  }
+  while (true) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      return fd;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return -1;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // A connection that was reset between queueing and accept() is not
+    // a listener failure; report "nothing pending" and let the caller's
+    // next readable event retry.
+    if (errno == ECONNABORTED) {
+      return -1;
+    }
+    // Out of fds / kernel memory: the listener is fine, the process is
+    // just saturated. Let the caller back off rather than treating a
+    // full server as a dead one.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      if (resource_exhausted != nullptr) {
+        *resource_exhausted = true;
+      }
+      return -1;
+    }
+    return Status::IOError(std::string("accept(): ") +
+                           std::strerror(errno));
+  }
 }
 
 Status SendAll(int fd, std::string_view data) {

@@ -26,6 +26,22 @@ Result<int> ConnectUnixSocket(const std::string& path);
 /// caller owns it.
 Result<int> ListenUnixSocket(const std::string& path, int backlog = 8);
 
+/// \brief Puts \p fd into O_NONBLOCK mode (event-loop servers).
+Status SetNonBlocking(int fd);
+
+/// \brief Accepts one pending connection from a (nonblocking) listening
+/// socket. Returns the connected fd (caller owns it), or -1 when no
+/// connection is pending — the multi-accept pattern is to call this in a
+/// loop until -1 after every listen-readable event, so an event loop
+/// never leaves an already-queued client waiting for the next wakeup.
+///
+/// Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) is NOT a listener
+/// failure: it also returns -1, setting *\p resource_exhausted when the
+/// pointer is given, so a loaded server can back off accepting instead
+/// of dying. Only unrecoverable listener errors produce a Status error.
+Result<int> AcceptNonBlocking(int listen_fd,
+                              bool* resource_exhausted = nullptr);
+
 /// \brief Writes all of \p data to the connected socket \p fd, retrying
 /// short writes and EINTR. MSG_NOSIGNAL: a gone peer is an IOError, not a
 /// SIGPIPE.

@@ -1,0 +1,554 @@
+#include "wot/server/connection_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "wot/api/codec.h"
+#include "wot/api/unix_socket.h"
+#include "wot/server/line_assembler.h"
+#include "wot/util/logging.h"
+#include "wot/util/thread_pool.h"
+
+namespace wot {
+namespace server {
+namespace {
+
+// epoll user-data tags for the two non-connection fds; connection ids
+// start above them.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnectionId = 2;
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// Per-connection state, owned by the event-loop thread exclusively; the
+// dispatch pool only ever sees (connection_id, seq, line) copies.
+struct ConnectionServer::Connection {
+  Connection(uint64_t id_in, int fd_in, size_t max_line_bytes)
+      : id(id_in), fd(fd_in), assembler(max_line_bytes) {}
+
+  uint64_t id;
+  int fd;
+  LineAssembler assembler;
+
+  uint64_t next_seq = 0;   // assigned to requests in arrival order
+  uint64_t flush_seq = 0;  // next seq to append to the write buffer
+  std::map<uint64_t, std::string> ready;  // out-of-order completions
+  size_t in_flight = 0;  // dispatched to the pool, not yet in `ready`
+
+  std::string out;      // encoded frames awaiting write
+  size_t out_pos = 0;   // bytes of `out` already written
+  uint32_t events = 0;  // last epoll interest mask
+  // Whether the fd is currently in the epoll set. A connection with no
+  // interest (paused or half-closed, waiting on the pool) is
+  // deregistered entirely: epoll reports EPOLLHUP regardless of the
+  // mask, so leaving a hung-up fd registered would busy-spin the loop.
+  bool registered = true;
+
+  bool read_closed = false;       // EOF seen, or the server is draining
+  bool close_after_flush = false; // fatal framing error: flush, then die
+  int64_t requests = 0;           // lines read off this connection
+};
+
+// The per-Serve() event loop. Split from the server object so Serve()'s
+// state (epoll fd, connection table, pool) has clean RAII teardown while
+// the ConnectionServer itself stays reusable for stats after returning.
+class ConnectionServer::Loop {
+ public:
+  Loop(ConnectionServer* server, int listen_fd)
+      : server_(server), listen_fd_(listen_fd) {}
+
+  ~Loop() {
+    // The pool joins first (it references the completion queue and the
+    // wake fd, both of which must still be alive).
+    pool_.reset();
+    for (auto& [id, conn] : connections_) {
+      ::close(conn->fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Run() {
+    WOT_RETURN_IF_ERROR(api::SetNonBlocking(listen_fd_));
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Status::IOError(std::string("epoll_create1(): ") +
+                             std::strerror(errno));
+    }
+    WOT_RETURN_IF_ERROR(Register(listen_fd_, kListenTag, EPOLLIN));
+    WOT_RETURN_IF_ERROR(Register(server_->wake_fd_, kWakeTag, EPOLLIN));
+
+    int threads = server_->options_.num_threads;
+    pool_ = std::make_unique<ThreadPool>(
+        threads < 1 ? 1 : static_cast<size_t>(threads));
+
+    while (true) {
+      if (draining_ && connections_.empty()) {
+        return Status::OK();
+      }
+      int timeout = -1;
+      if (draining_) {
+        int64_t remaining = drain_deadline_ms_ - NowMillis();
+        if (remaining <= 0) {
+          ForceCloseAll();
+          return Status::OK();
+        }
+        timeout = static_cast<int>(remaining);
+      } else if (accept_paused_) {
+        timeout = kAcceptRetryMillis;  // bounded back-off, then retry
+      }
+      epoll_event events[64];
+      int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("epoll_wait(): ") +
+                               std::strerror(errno));
+      }
+      for (int i = 0; i < n; ++i) {
+        uint64_t tag = events[i].data.u64;
+        if (tag == kWakeTag) {
+          DrainWakeFd();
+        } else if (tag == kListenTag) {
+          WOT_RETURN_IF_ERROR(AcceptAll());
+        } else {
+          HandleConnectionEvent(tag, events[i].events);
+        }
+      }
+      DeliverCompletions();
+      if (accept_paused_ && !draining_) {
+        // Closed connections may have freed fds; resume accepting.
+        if (Register(listen_fd_, kListenTag, EPOLLIN).ok()) {
+          accept_paused_ = false;
+          WOT_RETURN_IF_ERROR(AcceptAll());
+        }
+      }
+      if (server_->stop_requested_.load(std::memory_order_acquire) &&
+          !draining_) {
+        BeginDrain();
+      }
+    }
+  }
+
+ private:
+  Status Register(int fd, uint64_t tag, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::IOError(std::string("epoll_ctl(ADD): ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  void DrainWakeFd() {
+    uint64_t count = 0;
+    // Nonblocking eventfd: EAGAIN just means another drain got it first.
+    ssize_t n = ::read(server_->wake_fd_, &count, sizeof(count));
+    (void)n;
+  }
+
+  Status AcceptAll() {
+    while (true) {
+      bool exhausted = false;
+      Result<int> accepted =
+          api::AcceptNonBlocking(listen_fd_, &exhausted);
+      if (!accepted.ok()) {
+        return accepted.status();
+      }
+      int fd = accepted.ValueOrDie();
+      if (fd < 0) {
+        if (exhausted && !accept_paused_) {
+          // Out of fds: stop accepting for a beat rather than busy-spin
+          // on a level-triggered listener we cannot accept from (or,
+          // worse, kill the healthy connections by failing the loop).
+          WOT_LOG(Warning) << "connection server out of descriptors; "
+                              "pausing accept for "
+                           << kAcceptRetryMillis << " ms";
+          if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_,
+                          nullptr) == 0) {
+            accept_paused_ = true;
+          }
+        }
+        return Status::OK();
+      }
+      if (!api::SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      uint64_t id = next_connection_id_++;
+      auto conn = std::make_unique<Connection>(
+          id, fd, server_->options_.max_line_bytes);
+      conn->events = EPOLLIN;
+      if (!Register(fd, id, EPOLLIN).ok()) {
+        ::close(fd);
+        continue;
+      }
+      connections_.emplace(id, std::move(conn));
+      server_->accepted_.fetch_add(1, std::memory_order_relaxed);
+      server_->active_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void HandleConnectionEvent(uint64_t id, uint32_t events) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) {
+      return;  // closed earlier this wakeup
+    }
+    Connection* conn = it->second.get();
+    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0 &&
+        !conn->read_closed) {
+      if (!ReadFromConnection(conn)) {
+        Close(conn, nullptr);
+        return;
+      }
+    }
+    if ((events & EPOLLOUT) != 0) {
+      if (!TryWrite(conn)) {
+        Close(conn, nullptr);
+        return;
+      }
+    }
+    Settle(conn);
+  }
+
+  // Reads until EAGAIN/EOF, dispatching every complete line. Returns
+  // false on a hard transport error (caller closes the connection).
+  bool ReadFromConnection(Connection* conn) {
+    while (true) {
+      char chunk[16384];
+      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        bool framed_ok = conn->assembler.Append(
+            std::string_view(chunk, static_cast<size_t>(n)));
+        DispatchBufferedLines(conn);
+        if (!framed_ok) {
+          // Oversized line: one framed error (in FIFO position), then
+          // the connection dies once everything before it flushed.
+          api::Response error;
+          error.status = api::ApiStatus::InvalidArgument(
+              "request line exceeds " +
+              std::to_string(server_->options_.max_line_bytes) +
+              " bytes");
+          conn->ready.emplace(conn->next_seq++,
+                              api::EncodeResponse(error) + "\n");
+          conn->read_closed = true;
+          conn->close_after_flush = true;
+          server_->closed_oversized_.fetch_add(1,
+                                               std::memory_order_relaxed);
+          return true;
+        }
+        // Paused? Leave the rest of the socket buffer for later.
+        if (ReadPaused(*conn)) {
+          return true;
+        }
+        continue;
+      }
+      if (n == 0) {
+        conn->read_closed = true;
+        // Tolerant framing: an unterminated final line still counts.
+        std::string tail = conn->assembler.TakeTail();
+        if (!tail.empty()) {
+          DispatchLine(conn, std::move(tail));
+        }
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // ECONNRESET and friends
+    }
+  }
+
+  void DispatchBufferedLines(Connection* conn) {
+    while (std::optional<std::string> line = conn->assembler.NextLine()) {
+      if (line->empty()) {
+        continue;  // tolerant framing: blank lines are ignored
+      }
+      DispatchLine(conn, std::move(*line));
+    }
+  }
+
+  void DispatchLine(Connection* conn, std::string line) {
+    uint64_t seq = conn->next_seq++;
+    ++conn->in_flight;
+    ++conn->requests;
+    server_->dispatched_.fetch_add(1, std::memory_order_relaxed);
+    api::ConnectionContext context;
+    context.connections_active =
+        server_->active_.load(std::memory_order_relaxed);
+    context.connections_accepted =
+        server_->accepted_.load(std::memory_order_relaxed);
+    context.connection_requests_served = conn->requests;
+    ConnectionServer* server = server_;
+    uint64_t id = conn->id;
+    pool_->Submit([server, id, seq, context,
+                   line = std::move(line)]() {
+      Completion done;
+      done.connection_id = id;
+      done.seq = seq;
+      done.frame = server->frontend_->DispatchLine(line, context);
+      done.frame += '\n';
+      {
+        std::lock_guard<std::mutex> lock(server->completions_mu_);
+        server->completions_.push_back(std::move(done));
+      }
+      server->Wake();
+    });
+  }
+
+  void DeliverCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(server_->completions_mu_);
+      batch.swap(server_->completions_);
+    }
+    for (Completion& done : batch) {
+      auto it = connections_.find(done.connection_id);
+      if (it == connections_.end()) {
+        continue;  // connection died before its response was ready
+      }
+      Connection* conn = it->second.get();
+      --conn->in_flight;
+      conn->ready.emplace(done.seq, std::move(done.frame));
+    }
+    // Flush every connection that may have gained writable frames. The
+    // batch may hold several completions per connection; settling per
+    // unique connection id after the loop would be marginally cheaper
+    // but batches are small (bounded by in-flight dispatches).
+    for (const Completion& done : batch) {
+      auto it = connections_.find(done.connection_id);
+      if (it != connections_.end()) {
+        Settle(it->second.get());
+      }
+    }
+  }
+
+  bool ReadPaused(const Connection& conn) const {
+    return conn.out.size() - conn.out_pos >
+               server_->options_.read_pause_threshold ||
+           conn.in_flight >=
+               server_->options_.max_in_flight_per_connection;
+  }
+
+  // Moves consecutive completed frames into the write buffer (FIFO per
+  // connection), writes what the socket accepts, enforces backpressure,
+  // updates epoll interest, and closes the connection when finished.
+  void Settle(Connection* conn) {
+    while (true) {
+      auto it = conn->ready.find(conn->flush_seq);
+      if (it == conn->ready.end()) break;
+      conn->out += it->second;
+      conn->ready.erase(it);
+      ++conn->flush_seq;
+    }
+    if (!TryWrite(conn)) {
+      Close(conn, nullptr);
+      return;
+    }
+    size_t unsent = conn->out.size() - conn->out_pos;
+    if (unsent > server_->options_.max_pending_output) {
+      // Slow client: it is not draining responses as fast as it
+      // pipelines requests. Cut it loose rather than buffer unboundedly.
+      Close(conn, &server_->closed_slow_);
+      return;
+    }
+    bool finished = (conn->read_closed || conn->close_after_flush) &&
+                    conn->in_flight == 0 && conn->ready.empty() &&
+                    unsent == 0;
+    if (finished) {
+      Close(conn, nullptr);
+      return;
+    }
+    uint32_t want = 0;
+    if (!conn->read_closed && !ReadPaused(*conn)) want |= EPOLLIN;
+    if (unsent > 0) want |= EPOLLOUT;
+    if (want == 0) {
+      if (conn->registered &&
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr) == 0) {
+        conn->registered = false;
+      }
+    } else if (!conn->registered) {
+      epoll_event ev{};
+      ev.events = want;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
+        conn->registered = true;
+        conn->events = want;
+      }
+    } else if (want != conn->events) {
+      epoll_event ev{};
+      ev.events = want;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+        conn->events = want;
+      }
+    }
+  }
+
+  // Writes buffered output until the socket would block. Returns false
+  // on a hard error (peer gone).
+  bool TryWrite(Connection* conn) {
+    while (conn->out_pos < conn->out.size()) {
+      ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_pos,
+                          conn->out.size() - conn->out_pos);
+      if (n > 0) {
+        conn->out_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;  // EPIPE/ECONNRESET: the client is gone
+    }
+    conn->out.clear();
+    conn->out_pos = 0;
+    return true;
+  }
+
+  void Close(Connection* conn, std::atomic<int64_t>* reason_counter) {
+    if (reason_counter != nullptr) {
+      reason_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (conn->registered) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    }
+    // Discard whatever the client pipelined past what we answered:
+    // closing a unix socket with unread buffered input resets the peer,
+    // which would destroy the already-delivered responses sitting in its
+    // receive buffer (drained shutdowns would look like ECONNRESET).
+    char discard[4096];
+    while (::read(conn->fd, discard, sizeof(discard)) > 0) {
+    }
+    ::close(conn->fd);
+    server_->active_.fetch_add(-1, std::memory_order_relaxed);
+    connections_.erase(conn->id);  // invalidates conn
+  }
+
+  void BeginDrain() {
+    draining_ = true;
+    drain_deadline_ms_ = NowMillis() + server_->options_.drain_timeout_ms;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // Answer everything already read; ignore further input. Collect ids
+    // first — Settle() may erase connections while we iterate.
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (auto& [id, conn] : connections_) {
+      conn->read_closed = true;
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      auto it = connections_.find(id);
+      if (it != connections_.end()) {
+        Settle(it->second.get());
+      }
+    }
+  }
+
+  void ForceCloseAll() {
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (auto& [id, conn] : connections_) {
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      auto it = connections_.find(id);
+      if (it != connections_.end()) {
+        Close(it->second.get(), nullptr);
+      }
+    }
+  }
+
+  ConnectionServer* server_;
+  int listen_fd_;
+  int epoll_fd_ = -1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = kFirstConnectionId;
+  bool draining_ = false;
+  int64_t drain_deadline_ms_ = 0;
+  // Fd exhaustion: the listener is deregistered and re-tried on a timed
+  // wakeup instead of spinning or failing the loop.
+  bool accept_paused_ = false;
+  static constexpr int kAcceptRetryMillis = 100;
+};
+
+ConnectionServer::ConnectionServer(api::ServiceFrontend* frontend,
+                                   const ConnectionServerOptions& options)
+    : frontend_(frontend), options_(options) {
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+}
+
+ConnectionServer::~ConnectionServer() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void ConnectionServer::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // write(2) is async-signal-safe; a full eventfd counter (EAGAIN) means
+  // a wakeup is already pending, which is all we need.
+  ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  (void)n;
+}
+
+Status ConnectionServer::Serve(int listen_fd) {
+  if (wake_fd_ < 0) {
+    ::close(listen_fd);
+    return Status::IOError("eventfd() failed at construction");
+  }
+  Loop loop(this, listen_fd);
+  Status status = loop.Run();
+  // Workers joined in ~Loop; late completions are discarded with the
+  // connections already gone.
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.clear();
+  }
+  return status;
+}
+
+void ConnectionServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+}
+
+ConnectionServerStats ConnectionServer::stats() const {
+  ConnectionServerStats stats;
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_active = active_.load(std::memory_order_relaxed);
+  stats.connections_closed_slow =
+      closed_slow_.load(std::memory_order_relaxed);
+  stats.connections_closed_oversized =
+      closed_oversized_.load(std::memory_order_relaxed);
+  stats.requests_dispatched =
+      dispatched_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace server
+}  // namespace wot

@@ -1,0 +1,130 @@
+// ConnectionServer: a concurrent connection front for the trust service.
+//
+// One epoll event loop multiplexes any number of simultaneously connected
+// NDJSON clients over a single shared ServiceFrontend, and a fixed
+// dispatch pool (--threads) executes requests in parallel — queries run
+// lock-free against the published TrustSnapshot (snapshot-resident name
+// index included), so reader throughput scales with the pool while
+// ingest/commit requests serialize inside TrustService's writer lock.
+//
+// Guarantees (see docs/wire_protocol.md, "Connection lifecycle"):
+//   * Per-connection FIFO: responses are written in the order the
+//     requests arrived on that connection, even though the pool may
+//     finish them out of order (the loop holds completed frames until
+//     every earlier frame of the same connection is ready).
+//   * No cross-connection ordering: requests from different connections
+//     interleave arbitrarily through the pool.
+//   * Backpressure: each connection's pending output is bounded
+//     (max_pending_output); a client that stops reading while responses
+//     accumulate is disconnected rather than allowed to grow the buffer.
+//     Reading from a connection pauses while its output backlog is high,
+//     so one pipelining firehose cannot monopolize the dispatch pool.
+//   * Framing bound: a single request line longer than max_line_bytes is
+//     answered with a framed INVALID_ARGUMENT and the connection closed.
+//   * Graceful shutdown: RequestStop() (async-signal-safe; wired to
+//     SIGINT/SIGTERM by wot_served) stops accepting, answers every
+//     request already read, flushes write buffers, then Serve() returns.
+//     Connections still open after drain_timeout_ms are force-closed.
+//
+// The server owns no service state: construct it over any frontend, call
+// Serve(listen_fd) on the serving thread (it blocks), RequestStop() from
+// anywhere. One Serve() call per server instance.
+#ifndef WOT_SERVER_CONNECTION_SERVER_H_
+#define WOT_SERVER_CONNECTION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wot/api/frontend.h"
+#include "wot/util/macros.h"
+#include "wot/util/result.h"
+
+namespace wot {
+namespace server {
+
+struct ConnectionServerOptions {
+  /// Dispatch pool size (values < 1 are clamped to 1). Query-heavy
+  /// workloads scale with this; ingest serializes in the service anyway.
+  int num_threads = 4;
+  /// Per-connection cap on buffered unsent response bytes; beyond it the
+  /// client is deemed too slow and disconnected.
+  size_t max_pending_output = 4 * 1024 * 1024;
+  /// Per-request framing bound (one NDJSON line).
+  size_t max_line_bytes = 1024 * 1024;
+  /// Reading from a connection pauses while its unsent output exceeds
+  /// this (resumes once the backlog drains). Defaults to half the
+  /// disconnect cap.
+  size_t read_pause_threshold = 2 * 1024 * 1024;
+  /// In-flight dispatches per connection before reading pauses.
+  size_t max_in_flight_per_connection = 1024;
+  /// Grace period for the shutdown drain before force-closing.
+  int drain_timeout_ms = 5000;
+};
+
+/// \brief Aggregate serving counters (readable from any thread).
+struct ConnectionServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t connections_closed_slow = 0;       ///< backpressure disconnects
+  int64_t connections_closed_oversized = 0;  ///< framing-bound disconnects
+  int64_t requests_dispatched = 0;
+};
+
+class ConnectionServer {
+ public:
+  /// \p frontend must outlive the server and be shared-dispatch safe
+  /// (ServiceFrontend is).
+  explicit ConnectionServer(api::ServiceFrontend* frontend,
+                            const ConnectionServerOptions& options = {});
+  ~ConnectionServer();
+  WOT_DISALLOW_COPY_AND_MOVE(ConnectionServer);
+
+  /// \brief Serves until RequestStop(). Takes ownership of \p listen_fd
+  /// (a bound+listening socket, e.g. from api::ListenUnixSocket). Blocks
+  /// the calling thread; returns OK after a clean drain, or the first
+  /// fatal event-loop error.
+  Status Serve(int listen_fd);
+
+  /// \brief Initiates graceful shutdown. Thread-safe and
+  /// async-signal-safe (an atomic store plus an eventfd write), so it
+  /// may be called directly from a SIGINT/SIGTERM handler.
+  void RequestStop();
+
+  ConnectionServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Completion {
+    uint64_t connection_id = 0;
+    uint64_t seq = 0;
+    std::string frame;  // encoded response, newline-terminated
+  };
+  class Loop;  // owns the per-Serve epoll state
+
+  void Wake();
+
+  api::ServiceFrontend* frontend_;
+  ConnectionServerOptions options_;
+
+  std::atomic<bool> stop_requested_{false};
+  int wake_fd_ = -1;  // eventfd: completions ready and/or stop requested
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> active_{0};
+  std::atomic<int64_t> closed_slow_{0};
+  std::atomic<int64_t> closed_oversized_{0};
+  std::atomic<int64_t> dispatched_{0};
+
+  friend class Loop;
+};
+
+}  // namespace server
+}  // namespace wot
+
+#endif  // WOT_SERVER_CONNECTION_SERVER_H_

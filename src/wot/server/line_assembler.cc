@@ -1,0 +1,48 @@
+#include "wot/server/line_assembler.h"
+
+namespace wot {
+namespace server {
+
+bool LineAssembler::Append(std::string_view bytes) {
+  buffer_.append(bytes);
+  if (overflowed_) {
+    return false;
+  }
+  // Only the *unterminated* tail is bounded: if a newline arrives within
+  // the budget, the line is legal no matter how the reads were chunked.
+  size_t last_newline = buffer_.rfind('\n');
+  size_t tail_start =
+      (last_newline != std::string::npos && last_newline + 1 > start_)
+          ? last_newline + 1
+          : start_;
+  if (buffer_.size() - tail_start > max_line_bytes_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> LineAssembler::NextLine() {
+  size_t newline = buffer_.find('\n', start_);
+  if (newline == std::string::npos) {
+    // Reclaim the consumed prefix once it dominates the buffer.
+    if (start_ > 0 && start_ >= buffer_.size() / 2) {
+      buffer_.erase(0, start_);
+      start_ = 0;
+    }
+    return std::nullopt;
+  }
+  std::string line = buffer_.substr(start_, newline - start_);
+  start_ = newline + 1;
+  return line;
+}
+
+std::string LineAssembler::TakeTail() {
+  std::string tail = buffer_.substr(start_);
+  buffer_.clear();
+  start_ = 0;
+  return tail;
+}
+
+}  // namespace server
+}  // namespace wot

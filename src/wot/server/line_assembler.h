@@ -1,0 +1,56 @@
+// LineAssembler: incremental '\n' framing over nonblocking reads.
+//
+// The ConnectionServer feeds whatever bytes epoll handed it and pops
+// complete lines; bytes past the last newline stay buffered for the next
+// read. Unlike api::FdLineReader (which owns the blocking read loop), the
+// assembler is pure buffering, so it is unit-testable byte-by-byte and
+// enforces the server's framing bound: a single line longer than
+// max_line_bytes is a protocol violation reported through Append()
+// returning false (the server answers with a framed error and drops the
+// connection — unbounded lines would otherwise let one client grow the
+// buffer without ever producing a request).
+#ifndef WOT_SERVER_LINE_ASSEMBLER_H_
+#define WOT_SERVER_LINE_ASSEMBLER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wot {
+namespace server {
+
+class LineAssembler {
+ public:
+  explicit LineAssembler(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// \brief Buffers \p bytes. Returns false when the unterminated tail
+  /// now exceeds max_line_bytes (sticky: the connection should be
+  /// dropped). Lines completed by this append are still poppable via
+  /// NextLine() — only the oversized tail is poisoned.
+  bool Append(std::string_view bytes);
+
+  /// \brief Pops the next complete line, terminator stripped. nullopt
+  /// when no full line is buffered.
+  std::optional<std::string> NextLine();
+
+  /// \brief The unterminated tail (tolerant NDJSON framing treats it as
+  /// a final line at EOF). Leaves the assembler empty.
+  std::string TakeTail();
+
+  /// Bytes buffered beyond the last popped line.
+  size_t buffered() const { return buffer_.size() - start_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  size_t start_ = 0;  // first unconsumed byte
+  bool overflowed_ = false;
+};
+
+}  // namespace server
+}  // namespace wot
+
+#endif  // WOT_SERVER_LINE_ASSEMBLER_H_

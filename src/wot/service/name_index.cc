@@ -1,0 +1,84 @@
+#include "wot/service/name_index.h"
+
+#include <algorithm>
+
+#include "wot/util/check.h"
+
+namespace wot {
+
+std::shared_ptr<const NameIndex> NameIndex::Empty() {
+  static const std::shared_ptr<const NameIndex> kEmpty(new NameIndex());
+  return kEmpty;
+}
+
+std::shared_ptr<const NameIndex::Chunk> NameIndex::BuildChunk(
+    size_t first, const std::vector<User>& users, size_t end) {
+  auto chunk = std::make_shared<Chunk>();
+  chunk->first = first;
+  chunk->names.reserve(end - first);
+  for (size_t u = first; u < end; ++u) {
+    chunk->names.push_back(users[u].name);
+  }
+  // Map keys view into chunk->names, whose strings never move again.
+  // emplace keeps the smallest id under a duplicated name.
+  chunk->by_name.reserve(chunk->names.size());
+  for (size_t i = 0; i < chunk->names.size(); ++i) {
+    chunk->by_name.emplace(chunk->names[i],
+                           static_cast<uint32_t>(first + i));
+  }
+  return chunk;
+}
+
+std::shared_ptr<const NameIndex> NameIndex::Extend(
+    const std::shared_ptr<const NameIndex>& base,
+    const std::vector<User>& users) {
+  const NameIndex& prefix = base != nullptr ? *base : *Empty();
+  WOT_CHECK(prefix.size() <= users.size());
+  if (prefix.size() == users.size()) {
+    return base != nullptr ? base : Empty();
+  }
+
+  std::shared_ptr<NameIndex> index(new NameIndex());
+  index->chunks_ = prefix.chunks_;
+  index->size_ = users.size();
+
+  // LSM merge rule: the fresh tail absorbs every trailing chunk that is
+  // no larger than what it has accumulated, so chunk sizes stay
+  // geometrically decreasing (newest smallest) and the count O(log U).
+  size_t first = prefix.size();
+  size_t tail = users.size() - first;
+  while (!index->chunks_.empty() &&
+         index->chunks_.back()->names.size() <= tail) {
+    first = index->chunks_.back()->first;
+    tail = users.size() - first;
+    index->chunks_.pop_back();
+  }
+  index->chunks_.push_back(BuildChunk(first, users, users.size()));
+  return index;
+}
+
+std::optional<uint32_t> NameIndex::Find(std::string_view name) const {
+  // Oldest chunk first: a duplicated name resolves to its first id.
+  for (const auto& chunk : chunks_) {
+    auto it = chunk->by_name.find(name);
+    if (it != chunk->by_name.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& NameIndex::name(size_t index) const {
+  WOT_CHECK(index < size_);
+  // The owning chunk is the last one starting at or before `index`.
+  auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), index,
+      [](size_t value, const std::shared_ptr<const Chunk>& chunk) {
+        return value < chunk->first;
+      });
+  WOT_CHECK(it != chunks_.begin());
+  const Chunk& chunk = **(--it);
+  return chunk.names[index - chunk.first];
+}
+
+}  // namespace wot

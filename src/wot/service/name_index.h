@@ -1,0 +1,82 @@
+// NameIndex: an immutable, structurally shared user-name directory.
+//
+// Every published TrustSnapshot owns one, so ResolveUserRef runs entirely
+// against the snapshot — concurrent readers never touch the writer-side
+// staged dataset. Users are dense, append-only and carry immutable names,
+// which makes the index *persistent* in the functional sense: Extend()
+// reuses the previous snapshot's chunks and only indexes the appended
+// tail, so per-commit cost tracks the number of NEW users, not the
+// community size.
+//
+// Internally the index is a short run of immutable chunks (oldest first),
+// merged LSM-style: a new chunk absorbs trailing chunks no larger than
+// itself, keeping the chunk count O(log U) and total merge work
+// O(U log U) across any append schedule. Lookup scans chunks oldest
+// first, so a duplicated name resolves to the FIRST id that carried it —
+// identical to the historical linear-scan semantics.
+//
+// Thread contract: a NameIndex is deeply immutable after construction;
+// any number of threads may call Find()/name() concurrently.
+#ifndef WOT_SERVICE_NAME_INDEX_H_
+#define WOT_SERVICE_NAME_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "wot/community/entities.h"
+
+namespace wot {
+
+/// \brief Immutable name->id / id->name directory over a dense user range.
+class NameIndex {
+ public:
+  /// \brief The empty index (size 0). Always the same shared instance.
+  static std::shared_ptr<const NameIndex> Empty();
+
+  /// \brief An index over names [0, users.size()), reusing \p base's
+  /// chunks (which must cover a prefix of \p users — i.e. base->size() <=
+  /// users.size()). Returns \p base itself when nothing was appended.
+  /// \p base may be null (treated as empty).
+  static std::shared_ptr<const NameIndex> Extend(
+      const std::shared_ptr<const NameIndex>& base,
+      const std::vector<User>& users);
+
+  /// Users covered: ids [0, size()).
+  size_t size() const { return size_; }
+
+  /// \brief The smallest user id whose name is \p name, or nullopt.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// \brief The name of user \p index (must be < size()).
+  const std::string& name(size_t index) const;
+
+  /// Structural introspection for tests: stays O(log size) under any
+  /// append schedule.
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  // One immutable sorted-run of the index: names [first, first + count)
+  // plus a map keyed by views into its own (address-stable) name storage.
+  struct Chunk {
+    size_t first = 0;
+    std::vector<std::string> names;
+    std::unordered_map<std::string_view, uint32_t> by_name;
+  };
+
+  NameIndex() = default;
+
+  static std::shared_ptr<const Chunk> BuildChunk(
+      size_t first, const std::vector<User>& users, size_t end);
+
+  std::vector<std::shared_ptr<const Chunk>> chunks_;  // oldest first
+  size_t size_ = 0;
+};
+
+}  // namespace wot
+
+#endif  // WOT_SERVICE_NAME_INDEX_H_

@@ -1,10 +1,12 @@
 #include "wot/service/trust_service.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "wot/core/affiliation.h"
 #include "wot/util/logging.h"
 #include "wot/util/stopwatch.h"
+#include "wot/util/string_util.h"
 
 namespace wot {
 
@@ -83,6 +85,95 @@ Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
 Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   Status status = builder_.AddRating(rater, review, value);
+  if (status.ok()) {
+    MarkDirty(rater);
+  }
+  return status;
+}
+
+Result<UserId> TrustService::ResolveStagedUserLocked(std::string_view ref) {
+  const Dataset& staged = builder_.StagedView();
+  if (ref.empty()) {
+    return Status::InvalidArgument("empty user reference");
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 || static_cast<size_t>(index) >= staged.num_users()) {
+      return Status::NotFound("user index " + std::string(ref) +
+                              " out of range [0, " +
+                              std::to_string(staged.num_users()) + ")");
+    }
+    return UserId(static_cast<uint32_t>(index));
+  }
+  const std::vector<User>& users = staged.users();
+  for (; staged_indexed_users_ < users.size(); ++staged_indexed_users_) {
+    staged_name_index_.emplace(users[staged_indexed_users_].name,
+                               users[staged_indexed_users_].id);
+  }
+  auto it = staged_name_index_.find(std::string(ref));
+  if (it == staged_name_index_.end()) {
+    return Status::NotFound("no user named '" + std::string(ref) + "'");
+  }
+  return it->second;
+}
+
+Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
+                                              std::string name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Dataset& staged = builder_.StagedView();
+  if (category_ref.empty()) {
+    return Status::InvalidArgument("empty category reference");
+  }
+  Result<int64_t> as_index = ParseInt64(category_ref);
+  CategoryId category(0);
+  if (as_index.ok()) {
+    int64_t index = as_index.ValueOrDie();
+    if (index < 0 ||
+        static_cast<size_t>(index) >= staged.num_categories()) {
+      return Status::NotFound(
+          "category index " + std::string(category_ref) +
+          " out of range [0, " + std::to_string(staged.num_categories()) +
+          ")");
+    }
+    category = CategoryId(static_cast<uint32_t>(index));
+  } else {
+    WOT_ASSIGN_OR_RETURN(category,
+                         staged.FindCategory(std::string(category_ref)));
+  }
+  return builder_.AddObject(category, std::move(name));
+}
+
+Result<ReviewId> TrustService::AddReviewByRef(std::string_view writer_ref,
+                                              int64_t object) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  WOT_ASSIGN_OR_RETURN(UserId writer, ResolveStagedUserLocked(writer_ref));
+  if (object < 0 || static_cast<uint64_t>(object) >=
+                        builder_.StagedView().num_objects()) {
+    return Status::NotFound(
+        "object id " + std::to_string(object) + " out of range [0, " +
+        std::to_string(builder_.StagedView().num_objects()) + ")");
+  }
+  Result<ReviewId> id =
+      builder_.AddReview(writer, ObjectId(static_cast<uint32_t>(object)));
+  if (id.ok()) {
+    MarkDirty(writer);
+  }
+  return id;
+}
+
+Status TrustService::AddRatingByRef(std::string_view rater_ref,
+                                    int64_t review, double value) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  WOT_ASSIGN_OR_RETURN(UserId rater, ResolveStagedUserLocked(rater_ref));
+  if (review < 0 || static_cast<uint64_t>(review) >=
+                        builder_.StagedView().num_reviews()) {
+    return Status::NotFound(
+        "review id " + std::to_string(review) + " out of range [0, " +
+        std::to_string(builder_.StagedView().num_reviews()) + ")");
+  }
+  Status status = builder_.AddRating(
+      rater, ReviewId(static_cast<uint32_t>(review)), value);
   if (status.ok()) {
     MarkDirty(rater);
   }
@@ -176,9 +267,29 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
     }
   }
 
+  // Name directory: extend the previous snapshot's persistent index with
+  // the appended user tail (shared wholesale when no users were added),
+  // and reshare category names unless categories grew.
+  std::shared_ptr<const NameIndex> user_names = NameIndex::Extend(
+      prev != nullptr ? prev->shared_user_names() : NameIndex::Empty(),
+      staged.users());
+  std::shared_ptr<const std::vector<std::string>> category_names;
+  if (prev != nullptr &&
+      prev->category_names().size() == staged.num_categories()) {
+    category_names = prev->shared_category_names();
+  } else {
+    auto names = std::make_shared<std::vector<std::string>>();
+    names->reserve(staged.num_categories());
+    for (const Category& category : staged.categories()) {
+      names->push_back(category.name);
+    }
+    category_names = std::move(names);
+  }
+
   std::shared_ptr<const TrustSnapshot> snapshot = TrustSnapshot::Assemble(
       std::move(reputation), std::move(affiliation), std::move(postings),
-      next_version_++, staged.num_reviews(), staged.num_ratings());
+      std::move(user_names), std::move(category_names), next_version_++,
+      staged.num_reviews(), staged.num_ratings());
   published_.store(snapshot, std::memory_order_release);
 
   published_users_ = staged.num_users();

@@ -37,6 +37,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "wot/community/dataset.h"
@@ -91,6 +93,20 @@ class TrustService {
   Result<ReviewId> AddReview(UserId writer, ObjectId object);
   Status AddRating(UserId rater, ReviewId review, double value);
 
+  // Ref-based ingest: resolves "name or decimal index" references against
+  // the STAGED dataset (so an entity ingested moments ago is addressable
+  // before any commit), validates ranges, and appends — all inside the
+  // writer lock, so any number of concurrently ingesting frontends is
+  // safe. Staged name lookups hit an incrementally maintained index, not
+  // a scan. Queries are different: they resolve on the published
+  // snapshot (TrustSnapshot::user_names) and never take this lock.
+  Result<ObjectId> AddObjectByRef(std::string_view category_ref,
+                                  std::string name);
+  Result<ReviewId> AddReviewByRef(std::string_view writer_ref,
+                                  int64_t object);
+  Status AddRatingByRef(std::string_view rater_ref, int64_t review,
+                        double value);
+
   /// \brief Derives the staged activity and publishes a new snapshot.
   /// No-op (published = false) when nothing derivable changed.
   Result<CommitStats> Commit();
@@ -124,6 +140,10 @@ class TrustService {
   /// Marks \p user as needing an affiliation-row refresh at next Commit.
   void MarkDirty(UserId user);
 
+  /// Resolves a name-or-index user ref against the staged dataset.
+  /// Requires writer_mu_ (absorbs the staged tail into the name index).
+  Result<UserId> ResolveStagedUserLocked(std::string_view ref);
+
   /// Builds and atomically publishes the next snapshot. Requires writer_mu_.
   Result<CommitStats> CommitLocked();
 
@@ -134,6 +154,11 @@ class TrustService {
   DatasetBuilder builder_;
   IncrementalReputationEngine engine_;
   std::vector<bool> dirty_users_;  // indexed by user id
+  // Staged-side name lookup for ref-based ingest; absorbs the appended
+  // tail lazily (users are dense with immutable names, so entries never
+  // change). emplace keeps the first id under a duplicated name.
+  std::unordered_map<std::string, UserId> staged_name_index_;
+  size_t staged_indexed_users_ = 0;
   uint64_t next_version_ = 1;
   // Entity counts the latest snapshot was derived from.
   size_t published_users_ = 0;

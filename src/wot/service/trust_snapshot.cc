@@ -22,20 +22,35 @@ Result<std::shared_ptr<const TrustSnapshot>> TrustSnapshot::Build(
       postings[c] = TrustDeriver::BuildCategoryPosting(reputation.expertise, c);
     }
   }
+  auto category_names = std::make_shared<std::vector<std::string>>();
+  category_names->reserve(dataset.num_categories());
+  for (const Category& category : dataset.categories()) {
+    category_names->push_back(category.name);
+  }
   return Assemble(std::move(reputation), std::move(affiliation),
-                  std::move(postings), /*version=*/1, dataset.num_reviews(),
-                  dataset.num_ratings());
+                  std::move(postings),
+                  NameIndex::Extend(NameIndex::Empty(), dataset.users()),
+                  std::move(category_names), /*version=*/1,
+                  dataset.num_reviews(), dataset.num_ratings());
 }
 
 std::shared_ptr<const TrustSnapshot> TrustSnapshot::Assemble(
     ReputationResult reputation, DenseMatrix affiliation,
-    std::vector<ExpertisePostingPtr> postings, uint64_t version,
-    size_t num_reviews, size_t num_ratings) {
+    std::vector<ExpertisePostingPtr> postings,
+    std::shared_ptr<const NameIndex> user_names,
+    std::shared_ptr<const std::vector<std::string>> category_names,
+    uint64_t version, size_t num_reviews, size_t num_ratings) {
   WOT_CHECK_EQ(reputation.expertise.rows(), affiliation.rows());
   WOT_CHECK_EQ(reputation.expertise.cols(), affiliation.cols());
+  WOT_CHECK(user_names != nullptr);
+  WOT_CHECK(category_names != nullptr);
+  WOT_CHECK_EQ(user_names->size(), affiliation.rows());
+  WOT_CHECK_EQ(category_names->size(), affiliation.cols());
   std::shared_ptr<TrustSnapshot> snapshot(new TrustSnapshot());
   snapshot->reputation_ = std::move(reputation);
   snapshot->affiliation_ = std::move(affiliation);
+  snapshot->user_names_ = std::move(user_names);
+  snapshot->category_names_ = std::move(category_names);
   snapshot->version_ = version;
   snapshot->num_reviews_ = num_reviews;
   snapshot->num_ratings_ = num_ratings;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "wot/community/dataset.h"
@@ -26,6 +27,7 @@
 #include "wot/core/trust_derivation.h"
 #include "wot/linalg/dense_matrix.h"
 #include "wot/reputation/engine.h"
+#include "wot/service/name_index.h"
 #include "wot/util/result.h"
 
 namespace wot {
@@ -75,12 +77,16 @@ class TrustSnapshot {
 
   /// \brief Assembles a snapshot from precomputed components. \p postings
   /// must be empty (no top-k acceleration) or have one non-null entry per
-  /// category. \p num_reviews / \p num_ratings describe the dataset version
-  /// the components were derived from.
+  /// category. \p user_names must cover exactly the affiliation rows and
+  /// \p category_names its columns (both may be shared with the previous
+  /// snapshot — names are append-only). \p num_reviews / \p num_ratings
+  /// describe the dataset version the components were derived from.
   static std::shared_ptr<const TrustSnapshot> Assemble(
       ReputationResult reputation, DenseMatrix affiliation,
-      std::vector<ExpertisePostingPtr> postings, uint64_t version,
-      size_t num_reviews, size_t num_ratings);
+      std::vector<ExpertisePostingPtr> postings,
+      std::shared_ptr<const NameIndex> user_names,
+      std::shared_ptr<const std::vector<std::string>> category_names,
+      uint64_t version, size_t num_reviews, size_t num_ratings);
 
   /// Monotonically increasing publish sequence number (1 = initial).
   uint64_t version() const { return version_; }
@@ -103,6 +109,25 @@ class TrustSnapshot {
   /// terms and trust 0 when out of range.
   TrustExplanation ExplainTrust(size_t i, size_t j) const;
 
+  /// \brief The immutable user-name directory this snapshot serves. Name
+  /// resolution on the read path goes through here exclusively, so
+  /// concurrent readers never see the writer-side staged dataset; users
+  /// ingested after this snapshot published are not yet resolvable.
+  const NameIndex& user_names() const { return *user_names_; }
+  /// Shared form, for extending into the next snapshot's index.
+  const std::shared_ptr<const NameIndex>& shared_user_names() const {
+    return user_names_;
+  }
+
+  /// Display names of the snapshot's categories (index = CategoryId).
+  const std::vector<std::string>& category_names() const {
+    return *category_names_;
+  }
+  const std::shared_ptr<const std::vector<std::string>>&
+  shared_category_names() const {
+    return category_names_;
+  }
+
   /// Full Step-1 output (E, rater reputations, review qualities,
   /// convergence diagnostics).
   const ReputationResult& reputation() const { return reputation_; }
@@ -123,6 +148,9 @@ class TrustSnapshot {
   // Bound to reputation_.expertise and affiliation_; created after both
   // reach their final addresses.
   std::unique_ptr<TrustDeriver> deriver_;
+  // Never null; shared with neighboring snapshots where unchanged.
+  std::shared_ptr<const NameIndex> user_names_;
+  std::shared_ptr<const std::vector<std::string>> category_names_;
   uint64_t version_ = 0;
   size_t num_reviews_ = 0;
   size_t num_ratings_ = 0;

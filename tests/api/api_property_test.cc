@@ -77,7 +77,11 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
 
   std::mt19937_64 rng(1234);
   const double kStages[] = {0.2, 0.4, 0.6, 0.8, 1.0};
-  size_t num_users = seed.num_users();
+  // Queries resolve on the published snapshot; ingest refs resolve on the
+  // staged dataset. The two counts diverge between a user ingest and the
+  // next commit — and queries for the staged-only tail answer NOT_FOUND.
+  size_t published_users = seed.num_users();
+  size_t staged_users = seed.num_users();
 
   auto user_ref = [&](size_t index) {
     // Exercise both addressing modes (seed users only have stable names
@@ -93,8 +97,8 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
       case 0:
       case 1:
       case 2: {  // trust
-        size_t i = rng() % num_users;
-        size_t j = rng() % num_users;
+        size_t i = rng() % published_users;
+        size_t j = rng() % published_users;
         Response response = harness.Do(TrustQuery{user_ref(i), user_ref(j)});
         ASSERT_TRUE(response.status.ok()) << response.status.ToString();
         double direct = harness.direct().Snapshot()->Trust(i, j);
@@ -103,7 +107,7 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
         break;
       }
       case 3: {  // topk
-        size_t i = rng() % num_users;
+        size_t i = rng() % published_users;
         size_t k = 1 + rng() % 12;
         Response response = harness.Do(TopKQuery{
             user_ref(i), static_cast<int64_t>(k)});
@@ -121,8 +125,8 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
         break;
       }
       case 4: {  // explain
-        size_t i = rng() % num_users;
-        size_t j = rng() % num_users;
+        size_t i = rng() % published_users;
+        size_t j = rng() % published_users;
         Response response =
             harness.Do(ExplainQuery{user_ref(i), user_ref(j)});
         ASSERT_TRUE(response.status.ok());
@@ -146,7 +150,7 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
         break;
       }
       case 5: {  // ingest a rating by a fresh or existing user
-        size_t rater = rng() % num_users;
+        size_t rater = rng() % staged_users;
         int64_t review =
             static_cast<int64_t>(rng() % seed.num_reviews());
         double value = kStages[rng() % 5];
@@ -167,7 +171,16 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
         UserId direct = harness.direct().AddUser(name);
         EXPECT_EQ(std::get<IngestResult>(response.payload).assigned_id,
                   static_cast<int64_t>(direct.value()));
-        num_users = harness.direct().staged_dataset().num_users();
+        staged_users = harness.direct().staged_dataset().num_users();
+        // The staged-only user is NOT resolvable by queries (name or
+        // index) until a commit publishes it — on both transports.
+        EXPECT_EQ(harness.Do(TrustQuery{name, "0"}).status.code,
+                  ApiCode::kNotFound);
+        EXPECT_EQ(harness
+                      .Do(TrustQuery{std::to_string(staged_users - 1),
+                                     "0"})
+                      .status.code,
+                  ApiCode::kNotFound);
         break;
       }
       case 7: {  // commit
@@ -181,6 +194,7 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
         EXPECT_EQ(result.published, direct.ValueOrDie().published);
         EXPECT_EQ(result.snapshot_version,
                   direct.ValueOrDie().version);
+        published_users = harness.direct().Snapshot()->num_users();
         break;
       }
     }
@@ -193,8 +207,8 @@ TEST(ApiPropertyTest, RandomValidSequencesMatchDirectCallsBitwise) {
   ASSERT_TRUE(final_stats.status.ok());
   EXPECT_EQ(std::get<StatsResult>(final_stats.payload).snapshot_version,
             direct_snapshot->version());
-  for (size_t i = 0; i < std::min<size_t>(num_users, 40); ++i) {
-    for (size_t j = 0; j < std::min<size_t>(num_users, 40); ++j) {
+  for (size_t i = 0; i < std::min<size_t>(published_users, 40); ++i) {
+    for (size_t j = 0; j < std::min<size_t>(published_users, 40); ++j) {
       Response response =
           harness.Do(TrustQuery{std::to_string(i), std::to_string(j)});
       ASSERT_TRUE(response.status.ok());

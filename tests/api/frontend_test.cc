@@ -122,6 +122,52 @@ TEST_F(FrontendTest, IngestObjectAndReviewChain) {
   EXPECT_TRUE(Call(IngestObject{"1", "b_new"}).status.ok());
 }
 
+// Regression for the ROADMAP's writer-side-scan hazard: query-path name
+// resolution runs entirely on the published snapshot (its NameIndex), so
+// a user ingested but not yet committed is NOT_FOUND — by name and by
+// index — until a commit publishes the next snapshot. Ingest references,
+// which resolve on the staged dataset inside the writer lock, see the
+// new user immediately.
+TEST_F(FrontendTest, UncommittedUsersAreNotFoundByQueriesUntilCommit) {
+  Response ingest = Call(IngestUser{"latecomer"});
+  ASSERT_TRUE(ingest.status.ok());
+  int64_t id = std::get<IngestResult>(ingest.payload).assigned_id;
+  EXPECT_EQ(id, 4);  // TinyCommunity has users 0..3
+
+  // Queries: staged-only user resolves to NOT_FOUND on every query
+  // method, by name and by (out-of-snapshot-range) index.
+  EXPECT_EQ(Call(TrustQuery{"latecomer", "u0"}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(TrustQuery{"u0", "latecomer"}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(TrustQuery{std::to_string(id), "u0"}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(TopKQuery{"latecomer", 3}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(ExplainQuery{"latecomer", "u0"}).status.code,
+            ApiCode::kNotFound);
+
+  // Ingest: the same name resolves immediately (staged-side lookup).
+  EXPECT_TRUE(Call(IngestRating{"latecomer", 2, 0.8}).status.ok());
+
+  // After a commit the published snapshot carries the name.
+  ASSERT_TRUE(Call(CommitRequest{}).status.ok());
+  Response trust = Call(TrustQuery{"latecomer", "u0"});
+  ASSERT_TRUE(trust.status.ok()) << trust.status.ToString();
+  EXPECT_EQ(std::get<TrustResult>(trust.payload).source_name,
+            "latecomer");
+  EXPECT_TRUE(Call(TrustQuery{std::to_string(id), "u0"}).status.ok());
+}
+
+TEST_F(FrontendTest, StatsWithoutConnectionServerReportsZeroConnections) {
+  Response response = Call(StatsRequest{});
+  ASSERT_TRUE(response.status.ok());
+  const StatsResult& stats = std::get<StatsResult>(response.payload);
+  EXPECT_EQ(stats.connections_active, 0);
+  EXPECT_EQ(stats.connections_accepted, 0);
+  EXPECT_EQ(stats.connection_requests_served, 0);
+}
+
 TEST_F(FrontendTest, ErrorModelCoversEveryFailureClass) {
   // Unknown user -> NOT_FOUND.
   EXPECT_EQ(Call(TrustQuery{"ghost", "u0"}).status.code,

@@ -35,6 +35,43 @@ TEST(UnixSocketTest, ListenRefusesLivePathButReclaimsStaleFile) {
   unlink(path.c_str());
 }
 
+TEST(UnixSocketTest, NonBlockingAcceptReportsEmptyBacklogAsMinusOne) {
+  std::string path = TestSocketPath("unix_socket_accept.sock");
+  unlink(path.c_str());
+  Result<int> listener = ListenUnixSocket(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ASSERT_TRUE(SetNonBlocking(listener.ValueOrDie()).ok());
+
+  // Nothing queued: -1, not an error (the multi-accept loop's stop
+  // condition).
+  Result<int> none = AcceptNonBlocking(listener.ValueOrDie());
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_EQ(none.ValueOrDie(), -1);
+
+  // Two clients queue in the backlog before any accept runs; the
+  // multi-accept loop drains both, then reports -1 again.
+  Result<int> first_client = ConnectUnixSocket(path);
+  Result<int> second_client = ConnectUnixSocket(path);
+  ASSERT_TRUE(first_client.ok());
+  ASSERT_TRUE(second_client.ok());
+  Result<int> first = AcceptNonBlocking(listener.ValueOrDie());
+  ASSERT_TRUE(first.ok());
+  EXPECT_GE(first.ValueOrDie(), 0);
+  Result<int> second = AcceptNonBlocking(listener.ValueOrDie());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second.ValueOrDie(), 0);
+  Result<int> drained = AcceptNonBlocking(listener.ValueOrDie());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.ValueOrDie(), -1);
+
+  close(first.ValueOrDie());
+  close(second.ValueOrDie());
+  close(first_client.ValueOrDie());
+  close(second_client.ValueOrDie());
+  close(listener.ValueOrDie());
+  unlink(path.c_str());
+}
+
 TEST(UnixSocketTest, ConnectToNothingFails) {
   EXPECT_FALSE(
       ConnectUnixSocket(TestSocketPath("no_such.sock")).ok());

@@ -1,0 +1,70 @@
+// Unit tests of the server's incremental line framing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wot/server/line_assembler.h"
+
+namespace wot {
+namespace server {
+namespace {
+
+TEST(LineAssemblerTest, SplitsLinesAcrossArbitraryChunks) {
+  LineAssembler assembler(1024);
+  EXPECT_TRUE(assembler.Append("hel"));
+  EXPECT_FALSE(assembler.NextLine().has_value());
+  EXPECT_TRUE(assembler.Append("lo\nwor"));
+  EXPECT_EQ(assembler.NextLine().value(), "hello");
+  EXPECT_FALSE(assembler.NextLine().has_value());
+  EXPECT_TRUE(assembler.Append("ld\n"));
+  EXPECT_EQ(assembler.NextLine().value(), "world");
+  EXPECT_FALSE(assembler.NextLine().has_value());
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(LineAssemblerTest, MultipleLinesInOneAppendPopInOrder) {
+  LineAssembler assembler(1024);
+  EXPECT_TRUE(assembler.Append("a\nb\n\nc\n"));
+  EXPECT_EQ(assembler.NextLine().value(), "a");
+  EXPECT_EQ(assembler.NextLine().value(), "b");
+  EXPECT_EQ(assembler.NextLine().value(), "");  // caller skips blanks
+  EXPECT_EQ(assembler.NextLine().value(), "c");
+  EXPECT_FALSE(assembler.NextLine().has_value());
+}
+
+TEST(LineAssemblerTest, TakeTailReturnsTheUnterminatedRemainder) {
+  LineAssembler assembler(1024);
+  EXPECT_TRUE(assembler.Append("done\npartial"));
+  EXPECT_EQ(assembler.NextLine().value(), "done");
+  EXPECT_EQ(assembler.TakeTail(), "partial");
+  EXPECT_EQ(assembler.buffered(), 0u);
+  EXPECT_EQ(assembler.TakeTail(), "");
+}
+
+TEST(LineAssemblerTest, OversizedUnterminatedTailOverflows) {
+  LineAssembler assembler(16);
+  EXPECT_TRUE(assembler.Append("ok line\n"));
+  EXPECT_TRUE(assembler.Append("0123456789"));
+  // 20 unterminated bytes > 16: sticky overflow...
+  EXPECT_FALSE(assembler.Append("0123456789"));
+  EXPECT_TRUE(assembler.overflowed());
+  EXPECT_FALSE(assembler.Append("\n"));
+  // ... but the line completed before the blowup still pops.
+  EXPECT_EQ(assembler.NextLine().value(), "ok line");
+}
+
+TEST(LineAssemblerTest, LongLinesWithinBudgetNeverOverflow) {
+  LineAssembler assembler(64);
+  // Many chunked appends totalling far more than the budget are fine as
+  // long as newlines keep arriving within it.
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(assembler.Append(std::string(32, 'x')));
+    EXPECT_TRUE(assembler.Append(std::string(31, 'y') + "\n"));
+    EXPECT_EQ(assembler.NextLine().value().size(), 63u);
+  }
+  EXPECT_FALSE(assembler.overflowed());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace wot

@@ -1,0 +1,90 @@
+// Shared in-process harness for ConnectionServer tests: boots a
+// TrustService + ServiceFrontend, listens on a unique temp-dir unix
+// socket, and runs Serve() on a background thread. The listening socket
+// is created BEFORE the serve thread starts, so clients can connect
+// immediately (the kernel queues them in the backlog) with no retry
+// loops — important on single-core CI where the serve thread may not be
+// scheduled until a client blocks.
+#ifndef WOT_TESTS_SERVER_SERVER_HARNESS_H_
+#define WOT_TESTS_SERVER_SERVER_HARNESS_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "wot/api/frontend.h"
+#include "wot/api/unix_socket.h"
+#include "wot/community/dataset.h"
+#include "wot/server/connection_server.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace server {
+namespace testing {
+
+class ServerHarness {
+ public:
+  explicit ServerHarness(const Dataset& seed,
+                         ConnectionServerOptions options = {}) {
+    static std::atomic<int> counter{0};
+    socket_path_ = ::testing::TempDir() + "/wot_server_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(counter.fetch_add(1)) + ".sock";
+    std::remove(socket_path_.c_str());
+    service_ = TrustService::Create(seed).ValueOrDie();
+    frontend_ = std::make_unique<api::ServiceFrontend>(service_.get());
+    server_ =
+        std::make_unique<ConnectionServer>(frontend_.get(), options);
+    Result<int> listen_fd = api::ListenUnixSocket(socket_path_, 64);
+    WOT_CHECK_OK(listen_fd.status());
+    serve_thread_ = std::thread([this, fd = listen_fd.ValueOrDie()] {
+      serve_status_ = server_->Serve(fd);
+    });
+  }
+
+  ~ServerHarness() {
+    if (serve_thread_.joinable()) {
+      Stop();
+    }
+    std::remove(socket_path_.c_str());
+  }
+
+  /// Graceful shutdown; returns Serve()'s status.
+  Status Stop() {
+    server_->RequestStop();
+    serve_thread_.join();
+    return serve_status_;
+  }
+
+  const std::string& socket_path() const { return socket_path_; }
+  TrustService* service() { return service_.get(); }
+  api::ServiceFrontend* frontend() { return frontend_.get(); }
+  ConnectionServer* server() { return server_.get(); }
+
+  /// A connected raw fd (caller closes).
+  int Connect() {
+    Result<int> fd = api::ConnectUnixSocket(socket_path_);
+    WOT_CHECK_OK(fd.status());
+    return fd.ValueOrDie();
+  }
+
+ private:
+  std::string socket_path_;
+  std::unique_ptr<TrustService> service_;
+  std::unique_ptr<api::ServiceFrontend> frontend_;
+  std::unique_ptr<ConnectionServer> server_;
+  std::thread serve_thread_;
+  Status serve_status_;
+};
+
+}  // namespace testing
+}  // namespace server
+}  // namespace wot
+
+#endif  // WOT_TESTS_SERVER_SERVER_HARNESS_H_

@@ -1,0 +1,103 @@
+// Unit tests of the snapshot-resident NameIndex: persistent extension,
+// first-id-wins duplicate semantics, and the LSM-style chunk bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wot/community/entities.h"
+#include "wot/service/name_index.h"
+
+namespace wot {
+namespace {
+
+std::vector<User> MakeUsers(const std::vector<std::string>& names) {
+  std::vector<User> users;
+  for (size_t i = 0; i < names.size(); ++i) {
+    users.push_back({UserId(static_cast<uint32_t>(i)), names[i]});
+  }
+  return users;
+}
+
+TEST(NameIndexTest, EmptyIndexFindsNothing) {
+  std::shared_ptr<const NameIndex> index = NameIndex::Empty();
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(index->Find("anyone").has_value());
+}
+
+TEST(NameIndexTest, ExtendIndexesEveryNameBothWays) {
+  std::vector<User> users = MakeUsers({"alice", "bob", "carol"});
+  std::shared_ptr<const NameIndex> index =
+      NameIndex::Extend(NameIndex::Empty(), users);
+  ASSERT_EQ(index->size(), 3u);
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_EQ(index->name(i), users[i].name);
+    ASSERT_TRUE(index->Find(users[i].name).has_value());
+    EXPECT_EQ(*index->Find(users[i].name), static_cast<uint32_t>(i));
+  }
+  EXPECT_FALSE(index->Find("dave").has_value());
+}
+
+TEST(NameIndexTest, ExtendWithNoNewUsersReturnsTheSameIndex) {
+  std::vector<User> users = MakeUsers({"alice", "bob"});
+  std::shared_ptr<const NameIndex> base =
+      NameIndex::Extend(NameIndex::Empty(), users);
+  EXPECT_EQ(NameIndex::Extend(base, users).get(), base.get());
+}
+
+TEST(NameIndexTest, ExtensionCoversOnlyTheTailButServesEverything) {
+  std::vector<User> users = MakeUsers({"alice", "bob"});
+  std::shared_ptr<const NameIndex> v1 =
+      NameIndex::Extend(NameIndex::Empty(), users);
+  users.push_back({UserId(2), "carol"});
+  users.push_back({UserId(3), "dave"});
+  std::shared_ptr<const NameIndex> v2 = NameIndex::Extend(v1, users);
+
+  EXPECT_EQ(v2->size(), 4u);
+  EXPECT_EQ(*v2->Find("alice"), 0u);
+  EXPECT_EQ(*v2->Find("dave"), 3u);
+  EXPECT_EQ(v2->name(3), "dave");
+  // The old index is untouched (immutable, still serving old snapshots).
+  EXPECT_EQ(v1->size(), 2u);
+  EXPECT_FALSE(v1->Find("carol").has_value());
+}
+
+TEST(NameIndexTest, DuplicateNamesResolveToTheFirstId) {
+  // Duplicates both within one extension and across extensions.
+  std::vector<User> users = MakeUsers({"dup", "unique", "dup"});
+  std::shared_ptr<const NameIndex> v1 =
+      NameIndex::Extend(NameIndex::Empty(), users);
+  EXPECT_EQ(*v1->Find("dup"), 0u);
+
+  users.push_back({UserId(3), "dup"});
+  users.push_back({UserId(4), "unique"});
+  std::shared_ptr<const NameIndex> v2 = NameIndex::Extend(v1, users);
+  EXPECT_EQ(*v2->Find("dup"), 0u);
+  EXPECT_EQ(*v2->Find("unique"), 1u);
+}
+
+TEST(NameIndexTest, ChunkCountStaysLogarithmicUnderOneByOneAppends) {
+  std::vector<User> users;
+  std::shared_ptr<const NameIndex> index = NameIndex::Empty();
+  for (int i = 0; i < 1000; ++i) {
+    users.push_back({UserId(static_cast<uint32_t>(i)),
+                     "user" + std::to_string(i)});
+    index = NameIndex::Extend(index, users);
+  }
+  EXPECT_EQ(index->size(), 1000u);
+  // Worst-case commit-per-user schedule: the LSM merge keeps the run
+  // count logarithmic (2^11 > 1000), not linear.
+  EXPECT_LE(index->num_chunks(), 11u);
+  // And everything still resolves.
+  for (int i = 0; i < 1000; i += 37) {
+    ASSERT_TRUE(index->Find("user" + std::to_string(i)).has_value());
+    EXPECT_EQ(*index->Find("user" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+    EXPECT_EQ(index->name(static_cast<size_t>(i)),
+              "user" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace wot

@@ -9,15 +9,17 @@
 //   # serve a dataset over stdin/stdout (great for piping request scripts)
 //   wot_served --data community/ < requests.ndjson > responses.ndjson
 //
-//   # synthetic boot, resident behind a unix socket
-//   wot_served --users 4000 --seed 42 --socket /tmp/wot.sock &
+//   # synthetic boot, resident behind a unix socket, 8 dispatch threads
+//   wot_served --users 4000 --seed 42 --socket /tmp/wot.sock --threads 8 &
 //   wot_cli query --connect /tmp/wot.sock --source alice --top_k 10
 //
 // Exactly one "boot" line is logged to stderr per process lifetime; the
 // round-trip smoke test counts it to prove the service is not re-booted
-// between requests. In --socket mode connections are served sequentially
-// (one frontend, one writer-side dataset); EOF on a connection returns to
-// accept(). The process runs until killed.
+// between requests. In --socket mode the wot/server ConnectionServer
+// multiplexes any number of simultaneous clients (epoll event loop,
+// per-connection FIFO, --threads dispatch pool) over the lock-free
+// snapshot read path; SIGINT/SIGTERM drain in-flight requests, flush,
+// log the accepted-connection count and exit 0.
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -34,12 +36,22 @@
 #include "wot/api/unix_socket.h"
 #include "wot/io/binary_format.h"
 #include "wot/io/dataset_csv.h"
+#include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
 #include "wot/synth/generator.h"
 #include "wot/util/flags.h"
 
 namespace wot {
 namespace {
+
+// Signal -> event-loop bridge: RequestStop is async-signal-safe.
+server::ConnectionServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) {
+    g_server->RequestStop();
+  }
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "wot_served: error: %s\n",
@@ -87,36 +99,35 @@ void ServeStream(api::ServiceFrontend* frontend, std::istream& in,
 }
 
 int ServeSocket(api::ServiceFrontend* frontend,
-                const std::string& socket_path) {
-  Result<int> listen_fd = api::ListenUnixSocket(socket_path);
+                const std::string& socket_path, int64_t threads) {
+  server::ConnectionServerOptions options;
+  options.num_threads = static_cast<int>(threads);
+  server::ConnectionServer server(frontend, options);
+
+  Result<int> listen_fd =
+      api::ListenUnixSocket(socket_path, /*backlog=*/64);
   if (!listen_fd.ok()) return Fail(listen_fd.status());
-  std::fprintf(stderr, "wot_served: listening on %s\n",
-               socket_path.c_str());
-  while (true) {
-    int conn_fd = ::accept(listen_fd.ValueOrDie(), nullptr, nullptr);
-    if (conn_fd < 0) {
-      if (errno == EINTR) continue;
-      int saved_errno = errno;
-      ::close(listen_fd.ValueOrDie());
-      return Fail(Status::IOError(std::string("accept(): ") +
-                                  std::strerror(saved_errno)));
-    }
-    // Same framing as the stdin loop, over the shared line reader. A
-    // client that vanishes mid-reply is an IOError on this connection
-    // only (MSG_NOSIGNAL in SendAll) — the server lives on.
-    api::FdLineReader reader(conn_fd);
-    std::string line;
-    while (true) {
-      Result<bool> got_line = reader.Next(&line);
-      if (!got_line.ok() || !got_line.ValueOrDie()) break;
-      if (line.empty()) continue;
-      if (!api::SendAll(conn_fd, frontend->DispatchLine(line) + "\n")
-               .ok()) {
-        break;
-      }
-    }
-    ::close(conn_fd);
-  }
+
+  // A drain on SIGINT/SIGTERM: answer what was read, flush, then exit.
+  g_server = &server;
+  struct sigaction action{};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::fprintf(stderr,
+               "wot_served: listening on %s (%lld dispatch threads)\n",
+               socket_path.c_str(), static_cast<long long>(threads));
+  Status served = server.Serve(listen_fd.ValueOrDie());
+  g_server = nullptr;
+  server::ConnectionServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "wot_served: shutdown (%lld connections accepted, %lld "
+               "requests dispatched)\n",
+               static_cast<long long>(stats.connections_accepted),
+               static_cast<long long>(stats.requests_dispatched));
+  if (!served.ok()) return Fail(served);
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -124,10 +135,12 @@ int Main(int argc, char** argv) {
   int64_t users = 1000;
   int64_t seed = 42;
   std::string socket_path;
+  int64_t threads = 4;
   FlagParser flags(
       "wot_served",
       "Resident trust server: boots one TrustService and answers NDJSON "
-      "API frames (one per line) on stdin/stdout, or on --socket");
+      "API frames (one per line) on stdin/stdout, or concurrently on "
+      "--socket");
   flags.AddString("data", &data,
                   "dataset directory or .wotb file to serve (omit for a "
                   "synthetic community)");
@@ -136,8 +149,16 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "synthetic generator seed");
   flags.AddString("socket", &socket_path,
                   "listen on this unix socket instead of stdin/stdout");
+  flags.AddInt64("threads", &threads,
+                 "dispatch threads of the --socket connection server");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
+  if (threads <= 0) {
+    // Validated before the (expensive) dataset boot.
+    return Fail(Status::InvalidArgument(
+        "--threads must be positive, got " + std::to_string(threads) +
+        "\n" + flags.Usage()));
+  }
 
   // A resident server must outlive any client: broken pipes surface as
   // write errors (handled per connection), never a fatal SIGPIPE.
@@ -166,7 +187,7 @@ int Main(int argc, char** argv) {
   snapshot.reset();
 
   if (!socket_path.empty()) {
-    return ServeSocket(&frontend, socket_path);
+    return ServeSocket(&frontend, socket_path, threads);
   }
   ServeStream(&frontend, std::cin, stdout);
   return 0;
