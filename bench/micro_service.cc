@@ -1,11 +1,14 @@
 // Serving-path microbenchmark: TrustService boot cost, per-query latency
 // (Trust / TopK / ExplainTrust) against a published snapshot, the
 // incremental commit (snapshot-swap) cost of folding in fresh ratings,
-// and multi-client throughput of the wot/server ConnectionServer (real
-// unix-socket clients pipelining against the epoll loop + dispatch pool).
+// multi-client throughput of the wot/server ConnectionServer (real
+// unix-socket clients pipelining against the epoll loop + dispatch
+// pool), and the same throughput through an api::ShardRouter over
+// --shards TrustService shards (same-shard query workload, so the
+// routed path is measured, not the NOT_FOUND path).
 //
 //   micro_service --users 4000 --seed 42
-//   micro_service --users 4000 --json BENCH_service.json
+//   micro_service --users 4000 --shards 4 --json BENCH_service.json
 //
 // Uses wall-clock batches (no Google Benchmark dependency) so it always
 // builds; --json emits the machine-readable report tracked across PRs.
@@ -22,6 +25,7 @@
 #include "bench_util.h"
 #include "wot/api/codec.h"
 #include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
 #include "wot/api/unix_socket.h"
 #include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
@@ -32,11 +36,30 @@ namespace wot {
 namespace bench {
 namespace {
 
+// Source/target pair of query q for client c: both in range, and in the
+// same residue class mod `stride` so a ShardRouter with `stride` shards
+// serves the routed (same-shard) path. stride 1 keeps the historical
+// independent-pair workload so server_qps_* rows stay comparable across
+// the committed trajectory.
+std::pair<size_t, size_t> QueryPair(int64_t q, int c, size_t num_users,
+                                    size_t stride) {
+  size_t a = (static_cast<size_t>(q) * 7 + static_cast<size_t>(c)) %
+             num_users;
+  if (stride == 1) {
+    return {a, (static_cast<size_t>(q) * 13 + static_cast<size_t>(c) +
+                1) %
+                   num_users};
+  }
+  size_t b = a + stride * (1 + static_cast<size_t>(q) % 7);
+  if (b >= num_users) b = a;  // keep the residue; a self-pair is valid
+  return {a, b};
+}
+
 // Aggregate queries/second of `clients` unix-socket clients, each
 // pipelining `per_client` trust queries (in windows, so neither side
 // deadlocks on socket buffers) against one ConnectionServer.
-double MeasureServerThroughput(api::ServiceFrontend* frontend,
-                               size_t num_users, int server_threads,
+double MeasureServerThroughput(api::Frontend* frontend, size_t num_users,
+                               size_t stride, int server_threads,
                                int clients, int64_t per_client) {
   static int run_counter = 0;
   std::string socket_path =
@@ -70,11 +93,9 @@ double MeasureServerThroughput(api::ServiceFrontend* frontend,
              ++w, ++sent) {
           api::Request request;
           request.id = sent + 1;
-          request.payload = api::TrustQuery{
-              std::to_string((static_cast<size_t>(sent) * 7 + c) %
-                             num_users),
-              std::to_string((static_cast<size_t>(sent) * 13 + c + 1) %
-                             num_users)};
+          auto [a, b] = QueryPair(sent, c, num_users, stride);
+          request.payload =
+              api::TrustQuery{std::to_string(a), std::to_string(b)};
           burst += api::EncodeRequest(request);
           burst += '\n';
         }
@@ -107,9 +128,13 @@ int Main(int argc, char** argv) {
   RegisterCommonFlags(&flags, &args);
   RegisterJsonFlag(&flags, &args);
   int64_t queries = 20000;
+  int64_t shards = 4;
   flags.AddInt64("queries", &queries, "queries per measurement batch");
+  flags.AddInt64("shards", &shards,
+                 "shard count of the ShardRouter throughput section");
   WOT_CHECK_OK(flags.Parse(argc, argv));
   WOT_CHECK_GT(queries, 0);
+  WOT_CHECK_GT(shards, 0);
 
   SynthCommunity community = MakeCommunity(args);
   const Dataset& dataset = community.dataset;
@@ -212,11 +237,46 @@ int Main(int argc, char** argv) {
   // path is epoll + framing + pool dispatch + lock-free snapshot reads.
   const int64_t per_client = queries / 8 + 1;
   const double server_qps_c1 = MeasureServerThroughput(
-      &frontend, num_users, /*server_threads=*/4, /*clients=*/1,
-      per_client);
+      &frontend, num_users, /*stride=*/1, /*server_threads=*/4,
+      /*clients=*/1, per_client);
   const double server_qps_c8 = MeasureServerThroughput(
-      &frontend, num_users, /*server_threads=*/4, /*clients=*/8,
-      per_client);
+      &frontend, num_users, /*stride=*/1, /*server_threads=*/4,
+      /*clients=*/8, per_client);
+
+  // Sharded serving: boot a ShardRouter over the same seed dataset and
+  // repeat the API round trip + server throughput sections through it
+  // (same-shard pairs, so the routed path is measured). The boot is
+  // timed too — it includes slicing plus N per-shard derivations.
+  timer.Reset();
+  std::unique_ptr<api::ShardRouter> router =
+      api::ShardRouter::Create(dataset, static_cast<size_t>(shards))
+          .ValueOrDie();
+  const double router_boot_ms = timer.ElapsedMillis();
+
+  double router_checksum = 0.0;
+  timer.Reset();
+  for (int64_t q = 0; q < api_queries; ++q) {
+    api::Request request;
+    request.id = q;
+    auto [a, b] = QueryPair(q, 0, num_users,
+                            static_cast<size_t>(shards));
+    request.payload =
+        api::TrustQuery{std::to_string(a), std::to_string(b)};
+    std::string reply = router->DispatchLine(api::EncodeRequest(request));
+    api::Response response;
+    WOT_CHECK(api::DecodeResponse(reply, &response).ok());
+    router_checksum +=
+        std::get<api::TrustResult>(response.payload).trust;
+  }
+  const double router_trust_us = timer.ElapsedSeconds() * 1e6 /
+                                 static_cast<double>(api_queries);
+
+  const double router_qps_c1 = MeasureServerThroughput(
+      router.get(), num_users, static_cast<size_t>(shards),
+      /*server_threads=*/4, /*clients=*/1, per_client);
+  const double router_qps_c8 = MeasureServerThroughput(
+      router.get(), num_users, static_cast<size_t>(shards),
+      /*server_threads=*/4, /*clients=*/8, per_client);
 
   std::printf("service boot (full build + v1 publish):  %10.2f ms\n"
               "Trust(i, j) latency:                     %10.3f us\n"
@@ -228,12 +288,18 @@ int Main(int argc, char** argv) {
               "no-op commit:                            %10.3f us\n"
               "server throughput, 1 client pipelining:  %10.0f qps\n"
               "server throughput, 8 clients pipelining: %10.0f qps\n"
-              "(checksums: %.3f %zu %zu %.3f)\n",
+              "router boot (%lld shards):               %10.2f ms\n"
+              "router NDJSON round trip (trust):        %10.3f us\n"
+              "router throughput, 1 client:             %10.0f qps\n"
+              "router throughput, 8 clients:            %10.0f qps\n"
+              "(checksums: %.3f %zu %zu %.3f %.3f)\n",
               boot_ms, trust_us, topk_us, explain_us, api_trust_us,
               commit_ms,
               static_cast<double>(categories_recomputed) / kCommits,
-              noop_commit_us, server_qps_c1, server_qps_c8, checksum,
-              topk_sum, term_sum, api_checksum);
+              noop_commit_us, server_qps_c1, server_qps_c8,
+              static_cast<long long>(shards), router_boot_ms,
+              router_trust_us, router_qps_c1, router_qps_c8, checksum,
+              topk_sum, term_sum, api_checksum, router_checksum);
 
   BenchReport report;
   report.AddString("bench", "micro_service");
@@ -250,6 +316,11 @@ int Main(int argc, char** argv) {
   report.AddNumber("noop_commit_us", noop_commit_us);
   report.AddNumber("server_qps_1client", server_qps_c1);
   report.AddNumber("server_qps_8clients", server_qps_c8);
+  report.AddInt("router_shards", shards);
+  report.AddNumber("router_boot_ms", router_boot_ms);
+  report.AddNumber("router_trust_roundtrip_us", router_trust_us);
+  report.AddNumber("router_qps_1client", router_qps_c1);
+  report.AddNumber("router_qps_8clients", router_qps_c8);
   WOT_CHECK_OK(MaybeWriteJson(args, report));
   return 0;
 }

@@ -244,6 +244,17 @@ struct StatsResult {
   int64_t connections_accepted = 0;
   /// Requests read off the connection that asked, including this one.
   int64_t connection_requests_served = 0;
+  // Shard-router counters (additive v1 fields; 0/empty — and absent on
+  // the wire — when the answering frontend serves unsharded, i.e. a
+  // ServiceFrontend or a single-shard ShardRouter).
+  /// Number of TrustService shards behind the answering ShardRouter.
+  int64_t shards = 0;
+  /// Per-shard boot counts (always 1 per shard today; their sum is the
+  /// aggregate `service_boots`).
+  std::vector<int64_t> shard_service_boots;
+  /// Per-shard routed-request counts: how many times the router touched
+  /// each shard (point queries, scatter-gather fan-outs, ingest, commit).
+  std::vector<int64_t> shard_requests_served;
 };
 
 using ResponsePayload =

@@ -32,6 +32,12 @@ Result<std::unique_ptr<SocketClient>> SocketClient::Connect(
   return std::unique_ptr<SocketClient>(new SocketClient(fd));
 }
 
+Result<std::unique_ptr<SocketClient>> SocketClient::ConnectTcp(
+    const std::string& host_port) {
+  WOT_ASSIGN_OR_RETURN(int fd, ConnectTcpSocket(host_port));
+  return std::unique_ptr<SocketClient>(new SocketClient(fd));
+}
+
 SocketClient::~SocketClient() {
   if (fd_ >= 0) {
     ::close(fd_);

@@ -3,13 +3,15 @@
 // ApiClient is the one interface callers program against; picking a
 // transport is a construction-time decision:
 //
-//   * LoopbackClient — in-process dispatch against a ServiceFrontend. In
-//     `through_codec` mode every call is encoded to an NDJSON frame,
-//     pushed through DispatchLine and decoded back, exercising the full
-//     wire path without a process boundary (the property tests use both
-//     modes to prove the codec is transparent).
-//   * SocketClient — NDJSON over a SOCK_STREAM unix-domain socket to a
-//     resident `wot_served --socket PATH` process.
+//   * LoopbackClient — in-process dispatch against any Frontend (a
+//     ServiceFrontend or a ShardRouter). In `through_codec` mode every
+//     call is encoded to an NDJSON frame, pushed through DispatchLine and
+//     decoded back, exercising the full wire path without a process
+//     boundary (the property tests use both modes to prove the codec is
+//     transparent).
+//   * SocketClient — NDJSON over a SOCK_STREAM socket to a resident
+//     server: unix-domain (`wot_served --socket PATH`) via Connect, or
+//     TCP (`wot_served --listen HOST:PORT`) via ConnectTcp.
 //
 // Clients are synchronous and single-threaded: Call() writes one frame
 // and blocks for its reply. Pipelining callers should talk to the stream
@@ -45,24 +47,28 @@ class LoopbackClient : public ApiClient {
  public:
   /// \p frontend must outlive the client. With \p through_codec, calls
   /// round-trip through the NDJSON wire format.
-  explicit LoopbackClient(ServiceFrontend* frontend,
-                          bool through_codec = false)
+  explicit LoopbackClient(Frontend* frontend, bool through_codec = false)
       : frontend_(frontend), through_codec_(through_codec) {}
 
   Result<Response> Call(const Request& request) override;
 
  private:
-  ServiceFrontend* frontend_;
+  Frontend* frontend_;
   bool through_codec_;
   int64_t next_id_ = 1;
 };
 
-/// \brief Unix-domain-socket client of a resident wot_served process.
+/// \brief Stream-socket client of a resident wot_served process.
 class SocketClient : public ApiClient {
  public:
   /// \brief Connects to the server listening on \p socket_path.
   static Result<std::unique_ptr<SocketClient>> Connect(
       const std::string& socket_path);
+
+  /// \brief Connects to the server listening on TCP \p host_port
+  /// ("127.0.0.1:7777"; empty host means loopback).
+  static Result<std::unique_ptr<SocketClient>> ConnectTcp(
+      const std::string& host_port);
 
   ~SocketClient() override;
   SocketClient(const SocketClient&) = delete;

@@ -115,6 +115,22 @@ void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
       w.Key("connections_accepted").Int(r.connections_accepted);
       w.Key("connection_requests_served")
           .Int(r.connection_requests_served);
+      // Additive sharding fields: only present when a multi-shard router
+      // answered, so unsharded responses stay byte-identical to pre-
+      // sharding servers (and to a ShardRouter with one shard).
+      if (r.shards > 0) {
+        w.Key("shards").Int(r.shards);
+        w.Key("shard_service_boots").BeginArray();
+        for (int64_t boots : r.shard_service_boots) {
+          w.Int(boots);
+        }
+        w.EndArray();
+        w.Key("shard_requests_served").BeginArray();
+        for (int64_t requests : r.shard_requests_served) {
+          w.Int(requests);
+        }
+        w.EndArray();
+      }
     }
   };
   w->Key("result").BeginObject();
@@ -365,11 +381,34 @@ ApiStatus DecodeResultPayload(const std::string& result_type,
          {IntField{"connections_active", &r.connections_active},
           IntField{"connections_accepted", &r.connections_accepted},
           IntField{"connection_requests_served",
-                   &r.connection_requests_served}}) {
+                   &r.connection_requests_served},
+          IntField{"shards", &r.shards}}) {
       if (result.Find(field.key) != nullptr) {
         Result<int64_t> value = result.GetInt(field.key);
         if (!value.ok()) return ApiStatus::FromStatus(value.status());
         *field.target = value.ValueOrDie();
+      }
+    }
+    struct ArrayField {
+      const char* key;
+      std::vector<int64_t>* target;
+    };
+    for (ArrayField field :
+         {ArrayField{"shard_service_boots", &r.shard_service_boots},
+          ArrayField{"shard_requests_served",
+                     &r.shard_requests_served}}) {
+      const JsonValue* array = result.Find(field.key);
+      if (array == nullptr) continue;  // unsharded server
+      if (!array->is_array()) {
+        return ApiStatus::InvalidArgument(std::string("'") + field.key +
+                                          "' must be an array");
+      }
+      for (const JsonValue& item : array->array()) {
+        if (!item.is_number() || !item.number_is_int()) {
+          return ApiStatus::InvalidArgument(std::string("'") + field.key +
+                                            "' must hold integers");
+        }
+        field.target->push_back(item.int_value());
       }
     }
     response->payload = r;

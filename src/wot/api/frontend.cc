@@ -12,47 +12,43 @@ namespace api {
 Result<UserId> ResolveUserRef(const TrustSnapshot& snapshot,
                               std::string_view ref) {
   if (ref.empty()) {
-    return Status::InvalidArgument("empty user reference");
+    return Status::InvalidArgument(kEmptyUserRefMessage);
   }
   Result<int64_t> as_index = ParseInt64(ref);
   if (as_index.ok()) {
     int64_t index = as_index.ValueOrDie();
     if (index < 0 ||
         static_cast<size_t>(index) >= snapshot.num_users()) {
-      return Status::NotFound("user index " + std::string(ref) +
-                              " out of range [0, " +
-                              std::to_string(snapshot.num_users()) + ")");
+      return Status::NotFound(
+          UserIndexOutOfRangeMessage(ref, snapshot.num_users()));
     }
     return UserId(static_cast<uint32_t>(index));
   }
   std::optional<uint32_t> id = snapshot.user_names().Find(ref);
   if (!id.has_value()) {
-    return Status::NotFound("no user named '" + std::string(ref) + "'");
+    return Status::NotFound(NoUserNamedMessage(ref));
   }
   return UserId(*id);
 }
 
-namespace {
-
-Response ErrorResponse(ApiStatus status) {
-  Response response;
-  response.status = std::move(status);
-  return response;
-}
-
-}  // namespace
-
-FrontendStats ServiceFrontend::stats() const {
+FrontendStats Frontend::stats() const {
   FrontendStats stats;
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
   return stats;
 }
 
-Response ServiceFrontend::Dispatch(const Request& request,
-                                   const ConnectionContext& connection) {
+Response Frontend::Dispatch(const Request& request,
+                            const ConnectionContext& connection) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  Response response = DispatchPayload(request, connection);
+  Response response;
+  if (request.version != kProtocolVersion) {
+    response.status = ApiStatus::InvalidArgument(
+        "unsupported protocol version " + std::to_string(request.version) +
+        " (this server speaks v" + std::to_string(kProtocolVersion) + ")");
+  } else {
+    response = DispatchPayload(request, connection);
+  }
   response.version = kProtocolVersion;
   response.id = request.id;
   if (!response.status.ok()) {
@@ -62,15 +58,23 @@ Response ServiceFrontend::Dispatch(const Request& request,
   return response;
 }
 
+std::string Frontend::DispatchLine(std::string_view line,
+                                   const ConnectionContext& connection) {
+  Request request;
+  ApiStatus decode_status = DecodeRequest(line, &request);
+  if (!decode_status.ok()) {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.id = request.id;
+    response.status = std::move(decode_status);
+    return EncodeResponse(response);
+  }
+  return EncodeResponse(Dispatch(request, connection));
+}
+
 Response ServiceFrontend::DispatchPayload(
     const Request& request, const ConnectionContext& connection) {
-  if (request.version != kProtocolVersion) {
-    return ErrorResponse(ApiStatus::InvalidArgument(
-        "unsupported protocol version " + std::to_string(request.version) +
-        " (this server speaks v" + std::to_string(kProtocolVersion) +
-        ")"));
-  }
-
   struct Visitor {
     ServiceFrontend& frontend;
     const ConnectionContext& connection;
@@ -258,21 +262,6 @@ Response ServiceFrontend::DispatchPayload(
   };
 
   return std::visit(Visitor{*this, connection}, request.payload);
-}
-
-std::string ServiceFrontend::DispatchLine(
-    std::string_view line, const ConnectionContext& connection) {
-  Request request;
-  ApiStatus decode_status = DecodeRequest(line, &request);
-  if (!decode_status.ok()) {
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    Response response;
-    response.id = request.id;
-    response.status = std::move(decode_status);
-    return EncodeResponse(response);
-  }
-  return EncodeResponse(Dispatch(request, connection));
 }
 
 }  // namespace api

@@ -1,21 +1,23 @@
-// ServiceFrontend: dispatches typed API requests against one TrustService.
+// Frontend: the one interface every transport serves, and ServiceFrontend,
+// its single-service implementation.
 //
-// This is the single implementation of the API's semantics. Every
-// transport funnels into Dispatch() (typed) or DispatchLine() (one NDJSON
-// frame in, one frame out):
+// A Frontend answers typed API requests (Dispatch) or raw NDJSON frames
+// (DispatchLine: one byte line in, one structured frame out — total: any
+// input yields a valid frame). Every transport funnels into it:
 //
 //   * wot_cli query       -> LoopbackClient -> Dispatch
 //   * wot_cli --connect   -> SocketClient -> wot_served -> DispatchLine
 //   * wot_served          -> DispatchLine over stdin/stdout, or the
-//                            wot/server ConnectionServer for --socket
+//                            wot/server ConnectionServer for --socket /
+//                            --listen
 //
 // so responses are identical no matter how a request arrived (property-
-// tested bit-for-bit). A future shard router is just another owner of
-// several frontends.
+// tested bit-for-bit). Implementations:
 //
-// DispatchLine is total: malformed input, unknown methods, wrong protocol
-// versions, missing fields and out-of-range ids all produce a structured
-// error response — it never crashes and never returns a non-JSON line.
+//   * ServiceFrontend (here)        — dispatches against ONE TrustService.
+//   * ShardRouter (api/shard_router.h) — owns N TrustService shards and
+//     serves the identical wire protocol by routing/scatter-gathering;
+//     with one shard it is bit-identical to a ServiceFrontend.
 //
 // Thread contract: Dispatch/DispatchLine ARE thread-safe; one frontend is
 // shared by every connection of a ConnectionServer. Queries resolve names
@@ -34,6 +36,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "wot/api/api.h"
 #include "wot/service/trust_service.h"
@@ -48,11 +51,21 @@ namespace api {
 Result<UserId> ResolveUserRef(const TrustSnapshot& snapshot,
                               std::string_view ref);
 
+/// \brief A bare error response around \p status (the dispatchers share
+/// this so their error frames cannot diverge; the Frontend envelope
+/// fills version/id afterwards).
+inline Response ErrorResponse(ApiStatus status) {
+  Response response;
+  response.status = std::move(status);
+  return response;
+}
+
 /// \brief Serving counters of one frontend (returned by the stats method).
 struct FrontendStats {
-  /// Boots of the backing service observed by this frontend. Stays 1 for
-  /// the lifetime of a resident server — the round-trip smoke asserts a
-  /// thousand requests share one boot.
+  /// Boots of the backing service(s) observed by this frontend. Stays at
+  /// the shard count for the lifetime of a resident server — 1 for a
+  /// ServiceFrontend (the round-trip smoke asserts a thousand requests
+  /// share one boot), N for a ShardRouter fronting N shards.
   int64_t service_boots = 1;
   int64_t requests_served = 0;
   int64_t errors = 0;
@@ -69,11 +82,14 @@ struct ConnectionContext {
   int64_t connection_requests_served = 0;
 };
 
-/// \brief Dispatches requests against a TrustService it does not own.
-class ServiceFrontend {
+/// \brief The serving interface: one implementation-agnostic dispatcher of
+/// the versioned API. The envelope work — request/error counting, the
+/// protocol-version gate, id echoing, NDJSON decode/encode — lives here,
+/// so every implementation answers malformed input and version skew with
+/// byte-identical frames; subclasses implement DispatchPayload only.
+class Frontend {
  public:
-  /// \p service must outlive the frontend.
-  explicit ServiceFrontend(TrustService* service) : service_(service) {}
+  virtual ~Frontend() = default;
 
   /// \brief Executes one typed request. The response echoes request.id.
   Response Dispatch(const Request& request) {
@@ -91,16 +107,35 @@ class ServiceFrontend {
                            const ConnectionContext& connection);
 
   /// Value snapshot of the counters (they advance concurrently).
-  FrontendStats stats() const;
-  TrustService* service() const { return service_; }
+  virtual FrontendStats stats() const;
 
- private:
-  Response DispatchPayload(const Request& request,
-                           const ConnectionContext& connection);
+ protected:
+  /// \brief Executes one payload. Called only with the supported protocol
+  /// version; must be thread-safe. The base fills version/id and clears
+  /// the payload of error responses afterwards.
+  virtual Response DispatchPayload(const Request& request,
+                                   const ConnectionContext& connection) = 0;
 
-  TrustService* service_;
+  /// Requests dispatched (including undecodable frames) and errors
+  /// answered, maintained by the base envelope.
   std::atomic<int64_t> requests_served_{0};
   std::atomic<int64_t> errors_{0};
+};
+
+/// \brief Dispatches requests against a TrustService it does not own.
+class ServiceFrontend : public Frontend {
+ public:
+  /// \p service must outlive the frontend.
+  explicit ServiceFrontend(TrustService* service) : service_(service) {}
+
+  TrustService* service() const { return service_; }
+
+ protected:
+  Response DispatchPayload(const Request& request,
+                           const ConnectionContext& connection) override;
+
+ private:
+  TrustService* service_;
 };
 
 }  // namespace api

@@ -1,0 +1,490 @@
+#include "wot/api/shard_router.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "wot/util/check.h"
+#include "wot/util/string_util.h"
+
+namespace wot {
+namespace api {
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    const Dataset& seed, size_t num_shards,
+    const TrustServiceOptions& options) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(num_shards));
+  }
+  WOT_ASSIGN_OR_RETURN(
+      std::vector<Dataset> slices,
+      SliceDatasetByUser(seed, num_shards, options.builder));
+  std::unique_ptr<ShardRouter> router(new ShardRouter());
+  router->shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    WOT_ASSIGN_OR_RETURN(shard->service,
+                         TrustService::Create(slices[s], options));
+    shard->frontend =
+        std::make_unique<ServiceFrontend>(shard->service.get());
+    router->shards_.push_back(std::move(shard));
+  }
+  router->staged_global_users_ = static_cast<int64_t>(seed.num_users());
+  return router;
+}
+
+FrontendStats ShardRouter::stats() const {
+  FrontendStats stats = Frontend::stats();
+  stats.service_boots = static_cast<int64_t>(shards_.size());
+  return stats;
+}
+
+ShardRouter::SnapshotSet ShardRouter::LoadSnapshots() const {
+  SnapshotSet snapshots;
+  snapshots.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    snapshots.push_back(shard->service->Snapshot());
+  }
+  return snapshots;
+}
+
+ServiceFrontend* ShardRouter::Touch(size_t shard) {
+  shards_[shard]->dispatches.fetch_add(1, std::memory_order_relaxed);
+  return shards_[shard]->frontend.get();
+}
+
+// Mirrors ResolveUserRef's error statuses byte for byte (the one-shard
+// router must be indistinguishable from a bare frontend), with the range
+// check running against the summed global population.
+Result<ShardRouter::ResolvedUser> ShardRouter::ResolvePublished(
+    const SnapshotSet& snapshots, std::string_view ref) const {
+  if (ref.empty()) {
+    return Status::InvalidArgument(kEmptyUserRefMessage);
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t global = as_index.ValueOrDie();
+    size_t total = 0;
+    for (const std::shared_ptr<const TrustSnapshot>& snapshot :
+         snapshots) {
+      total += snapshot->num_users();
+    }
+    if (global < 0 || static_cast<size_t>(global) >= total) {
+      return Status::NotFound(UserIndexOutOfRangeMessage(ref, total));
+    }
+    ResolvedUser resolved;
+    resolved.shard =
+        ShardOfUser(static_cast<uint64_t>(global), shards_.size());
+    resolved.local =
+        ShardLocalUser(static_cast<uint64_t>(global), shards_.size());
+    resolved.by_index = true;
+    // The snapshots were loaded shard by shard, so a commit fan-out
+    // racing this read can make the SUM admit an index whose own
+    // shard's snapshot (as loaded) does not carry it yet. Queries on
+    // that shard would treat the local index as out of range — but the
+    // name lookups behind source_name/trustee names hard-check, so gate
+    // here. With one shard total == that snapshot's count, so this
+    // branch never fires spuriously (bit-identity preserved).
+    if (resolved.local >= snapshots[resolved.shard]->num_users()) {
+      return Status::NotFound("user index " + std::string(ref) +
+                              " is not published on its shard yet");
+    }
+    return resolved;
+  }
+  for (size_t s = 0; s < snapshots.size(); ++s) {
+    std::optional<uint32_t> id = snapshots[s]->user_names().Find(ref);
+    if (id.has_value()) {
+      return ResolvedUser{s, *id, false};
+    }
+  }
+  return Status::NotFound(NoUserNamedMessage(ref));
+}
+
+Result<ShardRouter::ResolvedUser> ShardRouter::ResolveStagedLocked(
+    std::string_view ref) {
+  if (ref.empty()) {
+    return Status::InvalidArgument(kEmptyUserRefMessage);
+  }
+  Result<int64_t> as_index = ParseInt64(ref);
+  if (as_index.ok()) {
+    int64_t global = as_index.ValueOrDie();
+    if (global < 0 || global >= staged_global_users_) {
+      return Status::NotFound(UserIndexOutOfRangeMessage(
+          ref, static_cast<size_t>(staged_global_users_)));
+    }
+    ResolvedUser resolved;
+    resolved.shard =
+        ShardOfUser(static_cast<uint64_t>(global), shards_.size());
+    resolved.local =
+        ShardLocalUser(static_cast<uint64_t>(global), shards_.size());
+    resolved.by_index = true;
+    return resolved;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<UserId> id = shards_[s]->service->ResolveStagedUserRef(ref);
+    if (id.ok()) {
+      return ResolvedUser{s, id.ValueOrDie().value(), false};
+    }
+  }
+  return Status::NotFound(NoUserNamedMessage(ref));
+}
+
+Response ShardRouter::RouteTrustLike(const Request& request,
+                                     const ConnectionContext& connection,
+                                     std::string_view source_ref,
+                                     std::string_view target_ref) {
+  SnapshotSet snapshots = LoadSnapshots();
+  Result<ResolvedUser> source = ResolvePublished(snapshots, source_ref);
+  if (!source.ok()) {
+    return ErrorResponse(ApiStatus::FromStatus(source.status()));
+  }
+  Result<ResolvedUser> target = ResolvePublished(snapshots, target_ref);
+  if (!target.ok()) {
+    return ErrorResponse(ApiStatus::FromStatus(target.status()));
+  }
+  const ResolvedUser& s = source.ValueOrDie();
+  const ResolvedUser& t = target.ValueOrDie();
+  if (s.shard != t.shard) {
+    // Unreachable with one shard, so the bit-identity property survives.
+    return ErrorResponse(ApiStatus::NotFound(
+        "users '" + std::string(source_ref) + "' and '" +
+        std::string(target_ref) + "' live on different shards (" +
+        std::to_string(s.shard) + " and " + std::to_string(t.shard) +
+        "); v1 derives trust within one shard's user slice"));
+  }
+  // Rewrite the refs to the owning shard's local indices and let that
+  // shard's frontend build the response — names, category ids and
+  // snapshot_version all come from shard-owned state, so the frame needs
+  // no further translation.
+  Request local = request;
+  if (TrustQuery* trust = std::get_if<TrustQuery>(&local.payload)) {
+    trust->source = std::to_string(s.local);
+    trust->target = std::to_string(t.local);
+  } else if (ExplainQuery* explain =
+                 std::get_if<ExplainQuery>(&local.payload)) {
+    explain->source = std::to_string(s.local);
+    explain->target = std::to_string(t.local);
+  }
+  return Touch(s.shard)->Dispatch(local, connection);
+}
+
+Response ShardRouter::DispatchPayload(const Request& request,
+                                      const ConnectionContext& connection) {
+  struct Visitor {
+    ShardRouter& router;
+    const Request& request;
+    const ConnectionContext& connection;
+
+    Response operator()(const TrustQuery& q) {
+      return router.RouteTrustLike(request, connection, q.source,
+                                   q.target);
+    }
+
+    Response operator()(const ExplainQuery& q) {
+      return router.RouteTrustLike(request, connection, q.source,
+                                   q.target);
+    }
+
+    Response operator()(const TopKQuery& q) {
+      if (q.k <= 0) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("'k' must be positive"));
+      }
+      SnapshotSet snapshots = router.LoadSnapshots();
+      Result<ResolvedUser> source =
+          router.ResolvePublished(snapshots, q.source);
+      if (!source.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(source.status()));
+      }
+      const ResolvedUser& home = source.ValueOrDie();
+      const size_t num_shards = router.shards_.size();
+      TopKResult result;
+      result.source_name =
+          snapshots[home.shard]->user_names().name(home.local);
+      result.snapshot_version = snapshots[home.shard]->version();
+      // Scatter: every shard hosting the source contributes its local
+      // top-k (an index ref lives on exactly one shard; a name may be
+      // staged on several). Shards without the source — empty shards
+      // included — contribute nothing.
+      std::vector<ScoredUserEntry> merged;
+      for (size_t s = 0; s < num_shards; ++s) {
+        std::optional<uint32_t> local;
+        if (home.by_index) {
+          if (s == home.shard) local = home.local;
+        } else {
+          local = snapshots[s]->user_names().Find(q.source);
+        }
+        if (!local.has_value()) continue;
+        router.Touch(s);
+        for (const ScoredUser& scored :
+             snapshots[s]->TopK(*local, static_cast<size_t>(q.k))) {
+          merged.push_back(
+              {static_cast<uint32_t>(
+                   GlobalUserOfShard(scored.user, s, num_shards)),
+               snapshots[s]->user_names().name(scored.user),
+               scored.score});
+        }
+      }
+      // Gather: per-shard lists arrive in TopK order (score desc, local
+      // id asc); the global merge keeps the same total order, so one
+      // shard degenerates to the bare frontend's list exactly.
+      std::sort(merged.begin(), merged.end(),
+                [](const ScoredUserEntry& a, const ScoredUserEntry& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.user < b.user;
+                });
+      if (merged.size() > static_cast<size_t>(q.k)) {
+        merged.resize(static_cast<size_t>(q.k));
+      }
+      result.trustees = std::move(merged);
+      Response response;
+      response.payload = std::move(result);
+      return response;
+    }
+
+    Response operator()(const IngestUser& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("user name must not be empty"));
+      }
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      const size_t num_shards = router.shards_.size();
+      int64_t global = router.staged_global_users_;
+      size_t shard =
+          ShardOfUser(static_cast<uint64_t>(global), num_shards);
+      router.Touch(shard);
+      UserId local = router.shards_[shard]->service->AddUser(q.name);
+      (void)local;
+      WOT_DCHECK(local.value() ==
+                 ShardLocalUser(static_cast<uint64_t>(global),
+                                num_shards));
+      ++router.staged_global_users_;
+      Response response;
+      response.payload = IngestResult{global};
+      return response;
+    }
+
+    Response operator()(const IngestCategory& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(ApiStatus::InvalidArgument(
+            "category name must not be empty"));
+      }
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      // Categories are replicated context: fan out so every shard's id
+      // space stays aligned (slicing replays them in the same order).
+      int64_t assigned = -1;
+      for (size_t s = 0; s < router.shards_.size(); ++s) {
+        router.Touch(s);
+        CategoryId id =
+            router.shards_[s]->service->AddCategory(q.name);
+        if (s == 0) {
+          assigned = static_cast<int64_t>(id.value());
+        } else if (static_cast<int64_t>(id.value()) != assigned) {
+          return ErrorResponse(ApiStatus::Internal(
+              "category id spaces diverged across shards"));
+        }
+      }
+      Response response;
+      response.payload = IngestResult{assigned};
+      return response;
+    }
+
+    Response operator()(const IngestObject& q) {
+      if (q.name.empty()) {
+        return ErrorResponse(
+            ApiStatus::InvalidArgument("object name must not be empty"));
+      }
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      int64_t assigned = -1;
+      for (size_t s = 0; s < router.shards_.size(); ++s) {
+        router.Touch(s);
+        Result<ObjectId> id =
+            router.shards_[s]->service->AddObjectByRef(q.category,
+                                                       q.name);
+        if (!id.ok()) {
+          if (s == 0) {
+            // Every shard stages the identical category/object space, so
+            // shard 0's verdict is the canonical one; a rejection here
+            // means no shard appended anything.
+            return ErrorResponse(ApiStatus::FromStatus(id.status()));
+          }
+          return ErrorResponse(ApiStatus::Internal(
+              "object ingest diverged across shards: " +
+              id.status().ToString()));
+        }
+        if (s == 0) {
+          assigned = static_cast<int64_t>(id.ValueOrDie().value());
+        } else if (static_cast<int64_t>(id.ValueOrDie().value()) !=
+                   assigned) {
+          return ErrorResponse(ApiStatus::Internal(
+              "object id spaces diverged across shards"));
+        }
+      }
+      Response response;
+      response.payload = IngestResult{assigned};
+      return response;
+    }
+
+    Response operator()(const IngestReview& q) {
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      Result<ResolvedUser> writer = router.ResolveStagedLocked(q.writer);
+      if (!writer.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(writer.status()));
+      }
+      const ResolvedUser& w = writer.ValueOrDie();
+      router.Touch(w.shard);
+      // Object ids are replicated (global == local), so q.object passes
+      // through; the shard validates its range and policy.
+      Result<ReviewId> id =
+          router.shards_[w.shard]->service->AddReviewByRef(
+              std::to_string(w.local), q.object);
+      if (!id.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(id.status()));
+      }
+      // Wire review id: local * N + shard (dense per shard, globally
+      // unique, identity for one shard).
+      Response response;
+      response.payload = IngestResult{
+          static_cast<int64_t>(id.ValueOrDie().value()) *
+              static_cast<int64_t>(router.shards_.size()) +
+          static_cast<int64_t>(w.shard)};
+      return response;
+    }
+
+    Response operator()(const IngestRating& q) {
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      Result<ResolvedUser> rater = router.ResolveStagedLocked(q.rater);
+      if (!rater.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(rater.status()));
+      }
+      const ResolvedUser& r = rater.ValueOrDie();
+      const int64_t num_shards =
+          static_cast<int64_t>(router.shards_.size());
+      // Range-check HERE, in wire-id terms, so the error names the id
+      // the client sent, never a shard-local translation. Checked
+      // against the owner shard for a positive id, the rater's shard
+      // for a negative one.
+      size_t owner = q.review >= 0
+                         ? static_cast<size_t>(q.review % num_shards)
+                         : r.shard;
+      int64_t local = q.review >= 0 ? q.review / num_shards : q.review;
+      int64_t owner_reviews = static_cast<int64_t>(
+          router.shards_[owner]->service->staged_dataset()
+              .num_reviews());
+      if (local < 0 || local >= owner_reviews) {
+        if (num_shards == 1) {
+          // One shard: wire ids ARE the review-count range, and the
+          // message must match the bare frontend byte for byte.
+          return ErrorResponse(ApiStatus::NotFound(
+              ReviewIdOutOfRangeMessage(q.review, owner_reviews)));
+        }
+        // Sharded wire ids interleave per residue class, so no "[0, X)"
+        // claim is truthful — name the shard instead.
+        return ErrorResponse(ApiStatus::NotFound(
+            "no review with id " + std::to_string(q.review) +
+            " (its shard " + std::to_string(owner) + " holds " +
+            std::to_string(owner_reviews) + " reviews)"));
+      }
+      if (owner != r.shard) {
+        // The review exists (checked above) but on another shard.
+        // Unreachable with one shard (owner is always shard 0).
+        return ErrorResponse(ApiStatus::NotFound(
+            "review id " + std::to_string(q.review) +
+            " lives on shard " + std::to_string(owner) +
+            " but rater '" + q.rater + "' lives on shard " +
+            std::to_string(r.shard) +
+            "; v1 ratings stay within one shard"));
+      }
+      int64_t local_review = local;
+      router.Touch(r.shard);
+      Status status = router.shards_[r.shard]->service->AddRatingByRef(
+          std::to_string(r.local), local_review, q.value);
+      if (!status.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(status));
+      }
+      Response response;
+      response.payload = IngestResult{-1};
+      return response;
+    }
+
+    Response operator()(const CommitRequest&) {
+      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      CommitResult result;
+      bool any_published = false;
+      for (size_t s = 0; s < router.shards_.size(); ++s) {
+        router.Touch(s);
+        Result<TrustService::CommitStats> stats =
+            router.shards_[s]->service->Commit();
+        if (!stats.ok()) {
+          // The epoch is NOT advanced: a torn fan-out never becomes a
+          // visible router-level commit.
+          return ErrorResponse(ApiStatus::FromStatus(stats.status()));
+        }
+        const TrustService::CommitStats& cs = stats.ValueOrDie();
+        any_published |= cs.published;
+        result.categories_recomputed +=
+            static_cast<int64_t>(cs.categories_recomputed);
+        result.affiliation_rows_recomputed +=
+            static_cast<int64_t>(cs.affiliation_rows_recomputed);
+        result.postings_rebuilt +=
+            static_cast<int64_t>(cs.postings_rebuilt);
+      }
+      // Publish the router-level epoch only after EVERY shard swapped:
+      // an epoch reader never observes a cross-shard commit half done.
+      uint64_t epoch = router.epoch_.load(std::memory_order_relaxed);
+      if (any_published) {
+        ++epoch;
+        router.epoch_.store(epoch, std::memory_order_release);
+      }
+      result.snapshot_version = epoch;
+      result.published = any_published;
+      Response response;
+      response.payload = result;
+      return response;
+    }
+
+    Response operator()(const StatsRequest&) {
+      SnapshotSet snapshots = router.LoadSnapshots();
+      const size_t num_shards = router.shards_.size();
+      StatsResult result;
+      result.snapshot_version =
+          router.epoch_.load(std::memory_order_acquire);
+      for (const std::shared_ptr<const TrustSnapshot>& snapshot :
+           snapshots) {
+        result.users += static_cast<int64_t>(snapshot->num_users());
+        result.reviews += static_cast<int64_t>(snapshot->num_reviews());
+        result.ratings += static_cast<int64_t>(snapshot->num_ratings());
+      }
+      // Categories are replicated, not partitioned: report the (shared)
+      // space once instead of a meaningless N-fold sum.
+      result.categories =
+          static_cast<int64_t>(snapshots[0]->num_categories());
+      result.service_boots = static_cast<int64_t>(num_shards);
+      result.requests_served =
+          router.requests_served_.load(std::memory_order_relaxed);
+      result.connections_active = connection.connections_active;
+      result.connections_accepted = connection.connections_accepted;
+      result.connection_requests_served =
+          connection.connection_requests_served;
+      if (num_shards >= 2) {
+        result.shards = static_cast<int64_t>(num_shards);
+        for (size_t s = 0; s < num_shards; ++s) {
+          result.shard_service_boots.push_back(1);
+          result.shard_requests_served.push_back(
+              router.shards_[s]->dispatches.load(
+                  std::memory_order_relaxed));
+        }
+      }
+      Response response;
+      response.payload = std::move(result);
+      return response;
+    }
+  };
+
+  return std::visit(Visitor{*this, request, connection}, request.payload);
+}
+
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,148 @@
+// ShardRouter: the v1 wire protocol served from N TrustService shards.
+//
+// A second Frontend implementation (next to ServiceFrontend) that owns N
+// independent TrustService shards over a round-robin user partition
+// (wot/service/dataset_shard.h) and routes/aggregates so clients keep
+// speaking the UNCHANGED protocol in GLOBAL ids:
+//
+//   * trust / explain / user-ref resolution route to one shard: an index
+//     ref g belongs to shard g % N (as local user g / N); a name ref is
+//     probed across shard snapshots in shard order. A pair of users on
+//     different shards answers NOT_FOUND — v1 derives trust within one
+//     shard's user slice (trust localizes to co-rating neighborhoods).
+//   * topk scatter-gathers: every shard hosting the source contributes
+//     its local top-k list; the router maps hits to global ids, merges by
+//     (score desc, global id asc) and truncates to k. Shards without the
+//     source (including empty shards) contribute nothing.
+//   * ingest routes by user: ingest_user round-robins (preserving the
+//     dense global id space), reviews/ratings land on the writer's/
+//     rater's shard (wire review id = local * N + shard), while
+//     categories and objects fan out to every shard so the replicated
+//     context id spaces stay aligned.
+//   * commit fans out to every shard and bumps the router-level epoch
+//     only after ALL shards swapped, so no reader of the epoch (stats,
+//     commit responses) ever observes a torn cross-shard commit.
+//   * stats aggregates: entity counts summed over shard snapshots,
+//     service_boots = N, plus additive per-shard fields (`shards`,
+//     `shard_service_boots`, `shard_requests_served`) when N >= 2.
+//
+// THE load-bearing invariant (property-tested in
+// tests/api/shard_router_property_test.cc): a ShardRouter with ONE shard
+// is bit-identical, response for response, to a bare ServiceFrontend over
+// the same seed — including every error message and the stats frame.
+// The router therefore never special-cases N == 1; the generic
+// resolve/scatter/merge path must degenerate exactly.
+//
+// Thread contract: same as any Frontend. Queries are lock-free against
+// per-shard published snapshots; ingest and commit serialize on a
+// router-level mutex (global id assignment and cross-shard fan-outs must
+// be atomic with respect to each other). The shards are router-owned:
+// ingesting into a shard's TrustService directly would break the dense
+// round-robin id invariant.
+#ifndef WOT_API_SHARD_ROUTER_H_
+#define WOT_API_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wot/api/frontend.h"
+#include "wot/community/dataset.h"
+#include "wot/service/dataset_shard.h"
+#include "wot/service/trust_service.h"
+#include "wot/service/trust_snapshot.h"
+
+namespace wot {
+namespace api {
+
+class ShardRouter : public Frontend {
+ public:
+  /// \brief Slices \p seed across \p num_shards TrustService shards
+  /// (round-robin by user index; see wot/service/dataset_shard.h) and
+  /// boots one service per shard. Epoch 1 = every shard serving its
+  /// initial snapshot.
+  static Result<std::unique_ptr<ShardRouter>> Create(
+      const Dataset& seed, size_t num_shards,
+      const TrustServiceOptions& options = {});
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// \brief Shard \p shard's service, for inspection (tests, stats
+  /// tooling). Do NOT ingest through it — write traffic must go through
+  /// Dispatch so the global id space stays dense.
+  TrustService* shard_service(size_t shard) const {
+    return shards_[shard]->service.get();
+  }
+
+  /// \brief The router-level commit epoch: 1 at boot, +1 per commit that
+  /// published on at least one shard, bumped only after every shard
+  /// swapped.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// service_boots aggregates the per-shard boots (= num_shards).
+  FrontendStats stats() const override;
+
+ protected:
+  Response DispatchPayload(const Request& request,
+                           const ConnectionContext& connection) override;
+
+ private:
+  struct Shard {
+    std::unique_ptr<TrustService> service;
+    std::unique_ptr<ServiceFrontend> frontend;
+    /// Requests the router dispatched to this shard (fan-outs count on
+    /// every shard touched).
+    std::atomic<int64_t> dispatches{0};
+  };
+
+  /// A user ref resolved to its owning shard.
+  struct ResolvedUser {
+    size_t shard = 0;
+    uint32_t local = 0;
+    bool by_index = false;  // ref was a decimal global index
+  };
+
+  ShardRouter() = default;
+
+  using SnapshotSet =
+      std::vector<std::shared_ptr<const TrustSnapshot>>;
+  SnapshotSet LoadSnapshots() const;
+
+  /// Resolves \p ref against the published shard snapshots: a decimal ref
+  /// is range-checked against the summed user count and mapped by
+  /// arithmetic; a name is probed shard by shard (first hit wins). Error
+  /// statuses match ResolveUserRef byte for byte so one shard degenerates
+  /// exactly.
+  Result<ResolvedUser> ResolvePublished(const SnapshotSet& snapshots,
+                                        std::string_view ref) const;
+
+  /// The staged-side (ingest) counterpart, resolving against what the
+  /// shards have staged. Requires ingest_mu_.
+  Result<ResolvedUser> ResolveStagedLocked(std::string_view ref);
+
+  /// Counts a routed request on \p shard and returns its frontend.
+  ServiceFrontend* Touch(size_t shard);
+
+  Response RouteTrustLike(const Request& request,
+                          const ConnectionContext& connection,
+                          std::string_view source_ref,
+                          std::string_view target_ref);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Ingest state: guarded by ingest_mu_. The router is the sole authority
+  // over the global user id space.
+  std::mutex ingest_mu_;
+  int64_t staged_global_users_ = 0;
+
+  std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_SHARD_ROUTER_H_

@@ -1,12 +1,17 @@
 #include "wot/api/unix_socket.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "wot/util/string_util.h"
 
 namespace wot {
 namespace api {
@@ -20,6 +25,42 @@ Result<sockaddr_un> MakeAddress(const std::string& path) {
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
+}
+
+// Parses "host:port" into an IPv4 sockaddr_in. The host must be an IPv4
+// literal (or empty: \p empty_host_means_any picks between 0.0.0.0 for
+// listeners and 127.0.0.1 for clients); the port a decimal in [0, 65535].
+Result<sockaddr_in> MakeTcpAddress(const std::string& host_port,
+                                   bool empty_host_means_any) {
+  size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("TCP endpoint '" + host_port +
+                                   "' is not host:port");
+  }
+  std::string host = host_port.substr(0, colon);
+  WOT_ASSIGN_OR_RETURN(int64_t port,
+                       ParseInt64(host_port.substr(colon + 1)));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("TCP port " + std::to_string(port) +
+                                   " out of range [0, 65535]");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (host.empty()) {
+    addr.sin_addr.s_addr =
+        htonl(empty_host_means_any ? INADDR_ANY : INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + host +
+                                   "' is not an IPv4 address literal");
+  }
+  return addr;
+}
+
+std::string FormatTcpAddress(const sockaddr_in& addr) {
+  char host[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+  return std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
 }
 
 }  // namespace
@@ -65,6 +106,63 @@ Result<int> ListenUnixSocket(const std::string& path, int backlog) {
     ::close(fd);
     return Status::IOError("cannot listen on '" + path +
                            "': " + std::strerror(saved_errno));
+  }
+  return fd;
+}
+
+Result<int> ConnectTcpSocket(const std::string& host_port) {
+  WOT_ASSIGN_OR_RETURN(sockaddr_in addr,
+                       MakeTcpAddress(host_port,
+                                      /*empty_host_means_any=*/false));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved_errno = errno;
+    ::close(fd);
+    return Status::IOError("cannot connect to '" + host_port +
+                           "': " + std::strerror(saved_errno));
+  }
+  int nodelay = 1;
+  // Best effort: a kernel refusing TCP_NODELAY still carries frames.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
+
+Result<int> ListenTcpSocket(const std::string& host_port, int backlog,
+                            std::string* bound_host_port) {
+  WOT_ASSIGN_OR_RETURN(sockaddr_in addr,
+                       MakeTcpAddress(host_port,
+                                      /*empty_host_means_any=*/true));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") +
+                           std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    int saved_errno = errno;
+    ::close(fd);
+    return Status::IOError("cannot listen on '" + host_port +
+                           "': " + std::strerror(saved_errno));
+  }
+  if (bound_host_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      int saved_errno = errno;
+      ::close(fd);
+      return Status::IOError(std::string("getsockname(): ") +
+                             std::strerror(saved_errno));
+    }
+    *bound_host_port = FormatTcpAddress(bound);
   }
   return fd;
 }

@@ -1,6 +1,7 @@
-// Shared unix-domain-socket plumbing of the NDJSON transports, used by
-// both SocketClient (wot/api/client.h) and the wot_served accept loop so
-// address setup, line framing and partial-write handling cannot diverge.
+// Shared stream-socket plumbing of the NDJSON transports — unix-domain
+// sockets and TCP — used by both SocketClient (wot/api/client.h) and the
+// wot_served accept loop so address setup, line framing and partial-write
+// handling cannot diverge.
 //
 // All writes go through ::send with MSG_NOSIGNAL: a peer that disconnects
 // mid-reply produces a Status::IOError instead of a process-killing
@@ -25,6 +26,21 @@ Result<int> ConnectUnixSocket(const std::string& path);
 /// serving is AlreadyExists, never stolen. Returns the listening fd; the
 /// caller owns it.
 Result<int> ListenUnixSocket(const std::string& path, int backlog = 8);
+
+/// \brief Connects to the TCP endpoint "host:port" (IPv4 literal host;
+/// empty host means 127.0.0.1). Sets TCP_NODELAY — NDJSON frames are
+/// latency-bound, not throughput-bound. Returns the fd; the caller owns
+/// it.
+Result<int> ConnectTcpSocket(const std::string& host_port);
+
+/// \brief Binds + listens on the TCP endpoint "host:port" (IPv4 literal
+/// host; empty host binds 0.0.0.0; port 0 picks an ephemeral port).
+/// SO_REUSEADDR is set so a restarting server does not trip over
+/// TIME_WAIT. When \p bound_host_port is given it receives the actual
+/// "host:port" bound — the way callers learn an ephemeral port. Returns
+/// the listening fd; the caller owns it.
+Result<int> ListenTcpSocket(const std::string& host_port, int backlog = 8,
+                            std::string* bound_host_port = nullptr);
 
 /// \brief Puts \p fd into O_NONBLOCK mode (event-loop servers).
 Status SetNonBlocking(int fd);

@@ -497,7 +497,7 @@ class ConnectionServer::Loop {
   static constexpr int kAcceptRetryMillis = 100;
 };
 
-ConnectionServer::ConnectionServer(api::ServiceFrontend* frontend,
+ConnectionServer::ConnectionServer(api::Frontend* frontend,
                                    const ConnectionServerOptions& options)
     : frontend_(frontend), options_(options) {
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);

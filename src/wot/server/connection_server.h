@@ -1,7 +1,8 @@
 // ConnectionServer: a concurrent connection front for the trust service.
 //
 // One epoll event loop multiplexes any number of simultaneously connected
-// NDJSON clients over a single shared ServiceFrontend, and a fixed
+// NDJSON clients over a single shared api::Frontend (a ServiceFrontend or
+// a ShardRouter — the server is implementation-agnostic), and a fixed
 // dispatch pool (--threads) executes requests in parallel — queries run
 // lock-free against the published TrustSnapshot (snapshot-resident name
 // index included), so reader throughput scales with the pool while
@@ -76,8 +77,8 @@ struct ConnectionServerStats {
 class ConnectionServer {
  public:
   /// \p frontend must outlive the server and be shared-dispatch safe
-  /// (ServiceFrontend is).
-  explicit ConnectionServer(api::ServiceFrontend* frontend,
+  /// (every api::Frontend is).
+  explicit ConnectionServer(api::Frontend* frontend,
                             const ConnectionServerOptions& options = {});
   ~ConnectionServer();
   WOT_DISALLOW_COPY_AND_MOVE(ConnectionServer);
@@ -106,7 +107,7 @@ class ConnectionServer {
 
   void Wake();
 
-  api::ServiceFrontend* frontend_;
+  api::Frontend* frontend_;
   ConnectionServerOptions options_;
 
   std::atomic<bool> stop_requested_{false};

@@ -10,6 +10,21 @@
 
 namespace wot {
 
+std::string UserIndexOutOfRangeMessage(std::string_view ref,
+                                       size_t num_users) {
+  return "user index " + std::string(ref) + " out of range [0, " +
+         std::to_string(num_users) + ")";
+}
+
+std::string NoUserNamedMessage(std::string_view ref) {
+  return "no user named '" + std::string(ref) + "'";
+}
+
+std::string ReviewIdOutOfRangeMessage(int64_t review, int64_t bound) {
+  return "review id " + std::to_string(review) + " out of range [0, " +
+         std::to_string(bound) + ")";
+}
+
 TrustService::TrustService(const TrustServiceOptions& options)
     : options_(options),
       builder_(options.builder),
@@ -91,18 +106,22 @@ Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
   return status;
 }
 
+Result<UserId> TrustService::ResolveStagedUserRef(std::string_view ref) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return ResolveStagedUserLocked(ref);
+}
+
 Result<UserId> TrustService::ResolveStagedUserLocked(std::string_view ref) {
   const Dataset& staged = builder_.StagedView();
   if (ref.empty()) {
-    return Status::InvalidArgument("empty user reference");
+    return Status::InvalidArgument(kEmptyUserRefMessage);
   }
   Result<int64_t> as_index = ParseInt64(ref);
   if (as_index.ok()) {
     int64_t index = as_index.ValueOrDie();
     if (index < 0 || static_cast<size_t>(index) >= staged.num_users()) {
-      return Status::NotFound("user index " + std::string(ref) +
-                              " out of range [0, " +
-                              std::to_string(staged.num_users()) + ")");
+      return Status::NotFound(
+          UserIndexOutOfRangeMessage(ref, staged.num_users()));
     }
     return UserId(static_cast<uint32_t>(index));
   }
@@ -113,7 +132,7 @@ Result<UserId> TrustService::ResolveStagedUserLocked(std::string_view ref) {
   }
   auto it = staged_name_index_.find(std::string(ref));
   if (it == staged_name_index_.end()) {
-    return Status::NotFound("no user named '" + std::string(ref) + "'");
+    return Status::NotFound(NoUserNamedMessage(ref));
   }
   return it->second;
 }
@@ -168,9 +187,9 @@ Status TrustService::AddRatingByRef(std::string_view rater_ref,
   WOT_ASSIGN_OR_RETURN(UserId rater, ResolveStagedUserLocked(rater_ref));
   if (review < 0 || static_cast<uint64_t>(review) >=
                         builder_.StagedView().num_reviews()) {
-    return Status::NotFound(
-        "review id " + std::to_string(review) + " out of range [0, " +
-        std::to_string(builder_.StagedView().num_reviews()) + ")");
+    return Status::NotFound(ReviewIdOutOfRangeMessage(
+        review,
+        static_cast<int64_t>(builder_.StagedView().num_reviews())));
   }
   Status status = builder_.AddRating(
       rater, ReviewId(static_cast<uint32_t>(review)), value);

@@ -49,6 +49,18 @@
 
 namespace wot {
 
+// Canonical wording of the ref-resolution errors. Shared by every
+// resolver — the service's staged lookup, the api layer's published
+// snapshot lookup (api::ResolveUserRef), and the shard router's
+// global-id resolvers — because the router's one-shard bit-identity
+// property holds only while these strings stay byte-identical across
+// all of them.
+inline constexpr char kEmptyUserRefMessage[] = "empty user reference";
+std::string UserIndexOutOfRangeMessage(std::string_view ref,
+                                       size_t num_users);
+std::string NoUserNamedMessage(std::string_view ref);
+std::string ReviewIdOutOfRangeMessage(int64_t review, int64_t bound);
+
 /// \brief Service-level options.
 struct TrustServiceOptions {
   ReputationOptions reputation;
@@ -106,6 +118,12 @@ class TrustService {
                                   int64_t object);
   Status AddRatingByRef(std::string_view rater_ref, int64_t review,
                         double value);
+
+  /// \brief Resolves a name-or-index user ref against the STAGED dataset
+  /// (takes the writer lock). This is the ingest-side resolution the
+  /// *ByRef methods use internally, exposed so a shard router can probe
+  /// which shard stages a given name before fanning an ingest out.
+  Result<UserId> ResolveStagedUserRef(std::string_view ref);
 
   /// \brief Derives the staged activity and publishes a new snapshot.
   /// No-op (published = false) when nothing derivable changed.

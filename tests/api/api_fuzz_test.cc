@@ -1,8 +1,10 @@
-// Fuzzed-request property: DispatchLine is total. Whatever bytes arrive —
-// valid frames, mutated frames, truncations, raw garbage, adversarial
-// nesting — the frontend answers every line with one decodable response
-// frame (OK or a structured ApiStatus error) and never crashes. Run under
-// ASan/UBSan in CI, this doubles as a memory-safety fuzz of the parser.
+// Fuzzed-request property: DispatchLine is total — for BOTH Frontend
+// implementations. Whatever bytes arrive — valid frames, mutated frames,
+// truncations, raw garbage, adversarial nesting — a ServiceFrontend and
+// a 3-shard ShardRouter each answer every line with one decodable
+// response frame (OK or a structured ApiStatus error) and never crash.
+// Run under ASan/UBSan in CI, this doubles as a memory-safety fuzz of
+// the parser and of the router's resolve/route/scatter paths.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,6 +15,7 @@
 #include "testing/fixtures.h"
 #include "wot/api/codec.h"
 #include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
 #include "wot/service/trust_service.h"
 
 namespace wot {
@@ -24,19 +27,27 @@ class ApiFuzzTest : public ::testing::Test {
   void SetUp() override {
     service_ = TrustService::Create(testing::TinyCommunity()).ValueOrDie();
     frontend_ = std::make_unique<ServiceFrontend>(service_.get());
+    router_ =
+        ShardRouter::Create(testing::TinyCommunity(), 3).ValueOrDie();
   }
 
-  // The one assertion of this suite: ANY line yields a decodable frame.
+  // The one assertion of this suite: ANY line yields a decodable frame,
+  // from the single-service frontend and the shard router alike.
   void ExpectFramedReply(const std::string& line) {
-    std::string reply = frontend_->DispatchLine(line);
-    Response response;
-    ApiStatus decoded = DecodeResponse(reply, &response);
-    ASSERT_TRUE(decoded.ok())
-        << "unframed reply " << reply << " for line: " << line;
+    for (Frontend* target :
+         {static_cast<Frontend*>(frontend_.get()),
+          static_cast<Frontend*>(router_.get())}) {
+      std::string reply = target->DispatchLine(line);
+      Response response;
+      ApiStatus decoded = DecodeResponse(reply, &response);
+      ASSERT_TRUE(decoded.ok())
+          << "unframed reply " << reply << " for line: " << line;
+    }
   }
 
   std::unique_ptr<TrustService> service_;
   std::unique_ptr<ServiceFrontend> frontend_;
+  std::unique_ptr<ShardRouter> router_;
 };
 
 // Valid frames to mutate: one per method plus edge values.

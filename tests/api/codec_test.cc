@@ -203,12 +203,45 @@ TEST(CodecTest, ResponsePayloadsRoundTrip) {
   }
   {
     Response r;
-    r.payload = StatsResult{4, 100, 12, 400, 2000, 1, 55};
+    StatsResult stats;
+    stats.snapshot_version = 4;
+    stats.users = 100;
+    stats.categories = 12;
+    stats.reviews = 400;
+    stats.ratings = 2000;
+    stats.service_boots = 1;
+    stats.requests_served = 55;
+    r.payload = stats;
     Response rt = RoundTrip(r);
     const StatsResult& result = std::get<StatsResult>(rt.payload);
     EXPECT_EQ(result.users, 100);
     EXPECT_EQ(result.service_boots, 1);
     EXPECT_EQ(result.requests_served, 55);
+    // Unsharded stats omit the shard fields entirely (additive v1).
+    EXPECT_EQ(EncodeResponse(r).find("shards"), std::string::npos);
+    EXPECT_EQ(result.shards, 0);
+    EXPECT_TRUE(result.shard_service_boots.empty());
+    EXPECT_TRUE(result.shard_requests_served.empty());
+  }
+  {
+    // A sharded stats frame round-trips its additive per-shard fields.
+    Response r;
+    StatsResult stats;
+    stats.snapshot_version = 9;
+    stats.users = 7;
+    stats.service_boots = 3;
+    stats.shards = 3;
+    stats.shard_service_boots = {1, 1, 1};
+    stats.shard_requests_served = {10, 4, 6};
+    r.payload = stats;
+    Response rt = RoundTrip(r);
+    const StatsResult& result = std::get<StatsResult>(rt.payload);
+    EXPECT_EQ(result.shards, 3);
+    EXPECT_EQ(result.service_boots, 3);
+    EXPECT_EQ(result.shard_service_boots,
+              (std::vector<int64_t>{1, 1, 1}));
+    EXPECT_EQ(result.shard_requests_served,
+              (std::vector<int64_t>{10, 4, 6}));
   }
 }
 

@@ -90,9 +90,10 @@ struct ServedRun {
   int exit_code = -1;
 };
 
-// Pipes \p lines through a fresh wot_served process, captures stdout
-// line-by-line and stderr to a file.
-ServedRun RunServed(const std::vector<std::string>& lines) {
+// Pipes \p lines through a fresh wot_served process (optionally booted
+// with --shards), captures stdout line-by-line and stderr to a file.
+ServedRun RunServed(const std::vector<std::string>& lines,
+                    const char* shards = nullptr) {
   ServedRun run;
   std::string stderr_path =
       ::testing::TempDir() + "/wot_served_stderr.log";
@@ -118,8 +119,13 @@ ServedRun RunServed(const std::vector<std::string>& lines) {
     close(in_pipe[1]);
     close(out_pipe[0]);
     close(out_pipe[1]);
-    execl(ServedBinary(), ServedBinary(), "--users", "80", "--seed",
-          "123", static_cast<char*>(nullptr));
+    if (shards != nullptr) {
+      execl(ServedBinary(), ServedBinary(), "--users", "80", "--seed",
+            "123", "--shards", shards, static_cast<char*>(nullptr));
+    } else {
+      execl(ServedBinary(), ServedBinary(), "--users", "80", "--seed",
+            "123", static_cast<char*>(nullptr));
+    }
     _exit(127);
   }
   close(in_pipe[0]);
@@ -208,9 +214,41 @@ TEST(ServedRoundTripTest, PipelinedScriptMatchesLoopbackByteForByte) {
   ASSERT_TRUE(final_stats.status.ok());
   const StatsResult& stats =
       std::get<StatsResult>(final_stats.payload);
+  // Unsharded serving: ONE boot, no shard fields on the wire.
   EXPECT_EQ(stats.service_boots, 1);
+  EXPECT_EQ(stats.shards, 0);
+  EXPECT_TRUE(stats.shard_service_boots.empty());
   EXPECT_GE(stats.requests_served,
             static_cast<int64_t>(script.size()));
+  EXPECT_EQ(CountOccurrences(run.stderr_log, "boot"), 1u)
+      << run.stderr_log;
+}
+
+// The boots-aggregation satellite: a router fronting N shards must not
+// claim `service_boots == 1` — it reports the per-shard boots and their
+// aggregate, while the process still logs exactly one boot line.
+TEST(ServedRoundTripTest, ShardedServerReportsPerShardBoots) {
+  ASSERT_NE(ServedBinary(), nullptr)
+      << "WOT_SERVED_BIN not set; run through ctest";
+  std::vector<std::string> script;
+  Request request;
+  request.id = 1;
+  request.payload = StatsRequest{};
+  script.push_back(EncodeRequest(request));
+
+  ServedRun run = RunServed(script, /*shards=*/"3");
+  ASSERT_EQ(run.exit_code, 0) << run.stderr_log;
+  ASSERT_EQ(run.responses.size(), 1u);
+  Response response;
+  ASSERT_TRUE(DecodeResponse(run.responses[0], &response).ok());
+  ASSERT_TRUE(response.status.ok());
+  const StatsResult& stats = std::get<StatsResult>(response.payload);
+  EXPECT_EQ(stats.service_boots, 3);
+  EXPECT_EQ(stats.shards, 3);
+  EXPECT_EQ(stats.shard_service_boots,
+            (std::vector<int64_t>{1, 1, 1}));
+  ASSERT_EQ(stats.shard_requests_served.size(), 3u);
+  EXPECT_EQ(stats.users, 80);  // the partition covers everyone
   EXPECT_EQ(CountOccurrences(run.stderr_log, "boot"), 1u)
       << run.stderr_log;
 }

@@ -1,0 +1,150 @@
+// Property (ISSUE-5 acceptance): a ShardRouter with ONE shard is
+// bit-identical, response frame for response frame, to a bare
+// ServiceFrontend over the same seed — across the FULL request surface:
+// every method, both addressing modes, the whole error model (unknown
+// refs, empty refs, bad k, policy rejections, malformed frames, wrong
+// protocol versions) and the stats frame with its serving counters. The
+// router has no N==1 special case, so this pins the generic
+// resolve/route/scatter/merge path to the frontend's exact semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
+#include "wot/service/trust_service.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+TEST(ShardRouterPropertyTest, OneShardIsBitIdenticalToServiceFrontend) {
+  SynthConfig config;
+  config.num_users = 90;
+  config.seed = 20260729;
+  Dataset seed = GenerateCommunity(config).ValueOrDie().dataset;
+
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(seed).ValueOrDie();
+  ServiceFrontend frontend(service.get());
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, 1).ValueOrDie();
+
+  std::mt19937_64 rng(987);
+  const double kStages[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  size_t staged_users = seed.num_users();
+
+  auto user_ref = [&](bool maybe_bogus) {
+    switch (rng() % (maybe_bogus ? 6 : 4)) {
+      case 0:  // a seed user by name
+        return seed.user(UserId(static_cast<uint32_t>(
+                             rng() % seed.num_users())))
+            .name;
+      case 1:
+      case 2:  // any staged user by index (may be uncommitted)
+        return std::to_string(rng() % staged_users);
+      case 3:  // an ingested user by name (may not exist yet)
+        return "prop/u" + std::to_string(rng() % 40);
+      case 4:  // out of range / negative index
+        return std::to_string(static_cast<int64_t>(rng() % 2000) - 500);
+      default:  // unknown name or empty ref
+        return std::string(rng() % 3 == 0 ? "" : "ghost");
+    }
+  };
+
+  // One identical line pushed through both DispatchLine paths must come
+  // back byte-identical — OK or error alike.
+  int64_t next_id = 1;
+  auto check_line = [&](const std::string& line) {
+    ASSERT_EQ(router->DispatchLine(line), frontend.DispatchLine(line))
+        << "diverged for line: " << line;
+  };
+  auto check = [&](RequestPayload payload) {
+    Request request;
+    request.id = next_id++;
+    request.payload = std::move(payload);
+    check_line(EncodeRequest(request));
+  };
+
+  for (int step = 0; step < 700; ++step) {
+    switch (rng() % 12) {
+      case 0:
+      case 1:
+      case 2:
+        check(TrustQuery{user_ref(true), user_ref(true)});
+        break;
+      case 3:
+        check(TopKQuery{user_ref(true),
+                        static_cast<int64_t>(rng() % 16) - 2});
+        break;
+      case 4:
+        check(ExplainQuery{user_ref(true), user_ref(true)});
+        break;
+      case 5: {
+        check(IngestUser{rng() % 8 == 0
+                             ? ""
+                             : "prop/u" + std::to_string(rng() % 40)});
+        staged_users = service->staged_dataset().num_users();
+        break;
+      }
+      case 6:
+        check(IngestCategory{
+            rng() % 8 == 0 ? "" : "cat" + std::to_string(rng() % 5)});
+        break;
+      case 7:
+        check(IngestObject{
+            rng() % 4 == 0 ? "no_such_category"
+                           : std::to_string(rng() % 14),
+            rng() % 8 == 0 ? "" : "obj" + std::to_string(rng() % 30)});
+        break;
+      case 8:
+        check(IngestReview{
+            user_ref(true),
+            static_cast<int64_t>(rng() % 40) - 4});
+        break;
+      case 9:
+        check(IngestRating{user_ref(true),
+                           static_cast<int64_t>(
+                               rng() % (seed.num_reviews() + 20)) -
+                               4,
+                           kStages[rng() % 5]});
+        break;
+      case 10:
+        check(CommitRequest{});
+        break;
+      default:
+        check(StatsRequest{});
+        break;
+    }
+  }
+
+  // The error model off the typed path: malformed frames, wrong
+  // versions, unknown methods — the shared envelope must keep the two
+  // frontends indistinguishable.
+  check_line("");
+  check_line("not json at all");
+  check_line("{\"v\":1}");
+  check_line("{\"v\":7,\"id\":3,\"method\":\"stats\"}");
+  check_line("{\"v\":1,\"id\":4,\"method\":\"frobnicate\"}");
+  check_line("{\"v\":1,\"method\":\"trust\",\"params\":{}}");
+  check_line("{\"v\":1,\"id\":5,\"method\":\"topk\","
+             "\"params\":{\"source\":\"0\",\"k\":\"many\"}}");
+  check_line("[1,2,3]");
+
+  // And after all of it, the stats frames (serving counters included)
+  // still agree byte for byte.
+  Request stats;
+  stats.id = 424242;
+  stats.payload = StatsRequest{};
+  ASSERT_EQ(router->DispatchLine(EncodeRequest(stats)),
+            frontend.DispatchLine(EncodeRequest(stats)));
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

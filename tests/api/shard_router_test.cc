@@ -1,0 +1,324 @@
+// Unit tests of ShardRouter: routing semantics in global ids, the
+// scatter-gather topk merge, commit fan-out + router epoch, aggregated
+// stats, and the edge cases ISSUE 5 calls out — an empty shard answering
+// topk, a user ref that resolves on no shard (NOT_FOUND, never
+// INTERNAL), and a commit fan-out where one shard has nothing dirty.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "testing/fixtures.h"
+#include "wot/api/shard_router.h"
+#include "wot/service/dataset_shard.h"
+#include "wot/synth/generator.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+Dataset SynthCommunityDataset(size_t users, uint64_t seed) {
+  SynthConfig config;
+  config.num_users = users;
+  config.seed = seed;
+  return GenerateCommunity(config).ValueOrDie().dataset;
+}
+
+Response Call(ShardRouter& router, RequestPayload payload,
+              int64_t id = 1) {
+  Request request;
+  request.id = id;
+  request.payload = std::move(payload);
+  return router.Dispatch(request);
+}
+
+TEST(ShardRouterTest, PointQueriesRouteToTheOwningShard) {
+  Dataset seed = SynthCommunityDataset(40, 7);
+  constexpr size_t kShards = 4;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+
+  // Global users 0 and 4 both live on shard 0 (as locals 0 and 1): the
+  // routed trust must equal the shard service's own derivation.
+  Response response = Call(*router, TrustQuery{"0", "4"});
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const TrustResult& result = std::get<TrustResult>(response.payload);
+  EXPECT_EQ(result.trust,
+            router->shard_service(0)->Snapshot()->Trust(0, 1));
+  EXPECT_EQ(result.source_name, seed.user(UserId(0)).name);
+  EXPECT_EQ(result.target_name, seed.user(UserId(4)).name);
+
+  // Resolution by name routes identically to resolution by global index.
+  Response by_name = Call(*router, TrustQuery{seed.user(UserId(0)).name,
+                                              seed.user(UserId(4)).name});
+  ASSERT_TRUE(by_name.status.ok());
+  EXPECT_EQ(std::get<TrustResult>(by_name.payload).trust, result.trust);
+}
+
+TEST(ShardRouterTest, CrossShardPairsAnswerNotFound) {
+  Dataset seed = SynthCommunityDataset(40, 7);
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, 4).ValueOrDie();
+  // Users 0 and 1 live on shards 0 and 1.
+  Response trust = Call(*router, TrustQuery{"0", "1"});
+  EXPECT_EQ(trust.status.code, ApiCode::kNotFound);
+  Response explain = Call(*router, ExplainQuery{"1", "2"});
+  EXPECT_EQ(explain.status.code, ApiCode::kNotFound);
+}
+
+TEST(ShardRouterTest, UnresolvableRefsAreNotFoundNeverInternal) {
+  Dataset seed = SynthCommunityDataset(30, 13);
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, 3).ValueOrDie();
+  // A name staged on NO shard, an out-of-range global index, a negative
+  // index: every query method answers NOT_FOUND (the probe across shards
+  // must not surface as INTERNAL).
+  for (const char* ref : {"no_such_user", "999", "-3"}) {
+    EXPECT_EQ(Call(*router, TrustQuery{ref, "0"}).status.code,
+              ApiCode::kNotFound)
+        << ref;
+    EXPECT_EQ(Call(*router, TrustQuery{"0", ref}).status.code,
+              ApiCode::kNotFound)
+        << ref;
+    EXPECT_EQ(Call(*router, TopKQuery{ref, 5}).status.code,
+              ApiCode::kNotFound)
+        << ref;
+    EXPECT_EQ(Call(*router, ExplainQuery{ref, "0"}).status.code,
+              ApiCode::kNotFound)
+        << ref;
+  }
+  // An empty ref keeps its INVALID_ARGUMENT class.
+  EXPECT_EQ(Call(*router, TrustQuery{"", "0"}).status.code,
+            ApiCode::kInvalidArgument);
+  // Ingest-side resolution too: a review by an unknown writer.
+  EXPECT_EQ(Call(*router, IngestReview{"ghost", 0}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(*router, IngestRating{"404", 0, 0.8}).status.code,
+            ApiCode::kNotFound);
+}
+
+TEST(ShardRouterTest, TopKMergesShardListsInGlobalIds) {
+  Dataset seed = SynthCommunityDataset(40, 7);
+  constexpr size_t kShards = 4;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+  for (uint32_t g : {0u, 1u, 7u, 13u}) {
+    Response response =
+        Call(*router, TopKQuery{std::to_string(g), 8});
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const TopKResult& result = std::get<TopKResult>(response.payload);
+    size_t home = ShardOfUser(g, kShards);
+    std::vector<ScoredUser> direct =
+        router->shard_service(home)->Snapshot()->TopK(
+            ShardLocalUser(g, kShards), 8);
+    ASSERT_EQ(result.trustees.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      // Entries come back in GLOBAL ids, all from the source's shard.
+      EXPECT_EQ(result.trustees[i].user,
+                static_cast<uint32_t>(GlobalUserOfShard(
+                    direct[i].user, home, kShards)));
+      EXPECT_EQ(result.trustees[i].score, direct[i].score);
+      EXPECT_EQ(result.trustees[i].user % kShards, home);
+    }
+  }
+}
+
+TEST(ShardRouterTest, EmptyShardsAnswerTopKGracefully) {
+  // 6 shards over 4 users: shards 4 and 5 have no users at all, yet the
+  // scatter still fans over them and the merge stays well-formed.
+  Dataset seed = testing::TinyCommunity();
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, 6).ValueOrDie();
+  Response by_name = Call(*router, TopKQuery{"u2", 5});
+  ASSERT_TRUE(by_name.status.ok()) << by_name.status.ToString();
+  Response by_index = Call(*router, TopKQuery{"2", 5});
+  ASSERT_TRUE(by_index.status.ok());
+  EXPECT_EQ(std::get<TopKResult>(by_name.payload).trustees.size(),
+            std::get<TopKResult>(by_index.payload).trustees.size());
+  // With every co-rater on another shard the list may be empty — but the
+  // response is OK, not an error, and names resolve.
+  EXPECT_EQ(std::get<TopKResult>(by_name.payload).source_name, "u2");
+}
+
+TEST(ShardRouterTest, IngestRoundRobinsAndReportsGlobalIds) {
+  Dataset seed = SynthCommunityDataset(10, 3);
+  constexpr size_t kShards = 3;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+
+  // New users take the next global ids (10, 11, ...), round-robining
+  // onto shards 10 % 3 = 1, then 11 % 3 = 2.
+  Response first = Call(*router, IngestUser{"router/a"});
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(std::get<IngestResult>(first.payload).assigned_id, 10);
+  Response second = Call(*router, IngestUser{"router/b"});
+  EXPECT_EQ(std::get<IngestResult>(second.payload).assigned_id, 11);
+  EXPECT_EQ(router->shard_service(1)->staged_dataset().num_users(),
+            3u + 1u);  // seed users 1,4,7 + global 10
+
+  // Categories and objects fan out to every shard with one shared id.
+  Response category = Call(*router, IngestCategory{"router/cat"});
+  ASSERT_TRUE(category.status.ok());
+  int64_t category_id =
+      std::get<IngestResult>(category.payload).assigned_id;
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(router->shard_service(s)->staged_dataset().num_categories(),
+              static_cast<size_t>(category_id) + 1);
+  }
+  Response object =
+      Call(*router, IngestObject{"router/cat", "router/obj"});
+  ASSERT_TRUE(object.status.ok()) << object.status.ToString();
+  int64_t object_id = std::get<IngestResult>(object.payload).assigned_id;
+
+  // A review by global user 10 (shard 1) on the replicated object: the
+  // wire id decodes back to (shard 1, local).
+  Response review = Call(*router, IngestReview{"router/a", object_id});
+  ASSERT_TRUE(review.status.ok()) << review.status.ToString();
+  int64_t review_id = std::get<IngestResult>(review.payload).assigned_id;
+  EXPECT_EQ(static_cast<size_t>(review_id % kShards), 1u);
+
+  // Rating that review: a same-shard rater (global 1 = shard 1) may; a
+  // cross-shard rater (global 0 = shard 0) answers NOT_FOUND.
+  Response ok_rating = Call(*router, IngestRating{"1", review_id, 0.8});
+  EXPECT_TRUE(ok_rating.status.ok()) << ok_rating.status.ToString();
+  Response cross_rating =
+      Call(*router, IngestRating{"0", review_id, 0.8});
+  EXPECT_EQ(cross_rating.status.code, ApiCode::kNotFound);
+}
+
+TEST(ShardRouterTest, RatingErrorsSpeakWireReviewIds) {
+  Dataset seed = SynthCommunityDataset(20, 5);
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, 4).ValueOrDie();
+  // A wire review id far past every shard's reviews must be reported
+  // out of range AS SENT — not as "lives on shard X" (it exists
+  // nowhere) and not as a translated shard-local id.
+  Response huge = Call(*router, IngestRating{"0", 999999, 0.8});
+  EXPECT_EQ(huge.status.code, ApiCode::kNotFound);
+  EXPECT_NE(huge.status.message.find("999999"), std::string::npos)
+      << huge.status.message;
+  EXPECT_EQ(huge.status.message.find("lives on shard"),
+            std::string::npos)
+      << huge.status.message;
+  // A negative id is nonsense on every shard; still NOT_FOUND, still
+  // echoing the id the client sent.
+  Response negative = Call(*router, IngestRating{"0", -7, 0.8});
+  EXPECT_EQ(negative.status.code, ApiCode::kNotFound);
+  EXPECT_NE(negative.status.message.find("-7"), std::string::npos);
+}
+
+TEST(ShardRouterTest, CommitFansOutAndEpochCountsFullSwapsOnly) {
+  Dataset seed = SynthCommunityDataset(20, 5);
+  constexpr size_t kShards = 2;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+  EXPECT_EQ(router->epoch(), 1u);
+  uint64_t shard0_before =
+      router->shard_service(0)->Snapshot()->version();
+  uint64_t shard1_before =
+      router->shard_service(1)->Snapshot()->version();
+
+  // Stage activity on shard 0 ONLY (a rating by global user 0 on one of
+  // its own shard's reviews), then commit: the fan-out must publish
+  // shard 0, leave shard 1 on its old snapshot (zero dirty categories
+  // there), and still advance the router epoch exactly once.
+  int64_t review_on_shard0 = -1;
+  const Dataset& slice0 = router->shard_service(0)->staged_dataset();
+  for (size_t r = 0; r < slice0.num_reviews(); ++r) {
+    ReviewId id(static_cast<uint32_t>(r));
+    if (slice0.review(id).writer == UserId(0)) {
+      continue;  // a self-rating would be rejected
+    }
+    bool already_rated = false;
+    for (const ReviewRating& rating : slice0.ratings()) {
+      if (rating.rater == UserId(0) && rating.review == id) {
+        already_rated = true;  // duplicates are rejected too
+        break;
+      }
+    }
+    if (already_rated) continue;
+    review_on_shard0 =
+        static_cast<int64_t>(r) * static_cast<int64_t>(kShards) + 0;
+    break;
+  }
+  ASSERT_GE(review_on_shard0, 0);
+  Response rating =
+      Call(*router, IngestRating{"0", review_on_shard0, 1.0});
+  ASSERT_TRUE(rating.status.ok()) << rating.status.ToString();
+
+  Response commit = Call(*router, CommitRequest{});
+  ASSERT_TRUE(commit.status.ok());
+  const CommitResult& result = std::get<CommitResult>(commit.payload);
+  EXPECT_TRUE(result.published);
+  EXPECT_EQ(result.snapshot_version, 2u);
+  EXPECT_EQ(router->epoch(), 2u);
+  EXPECT_EQ(router->shard_service(0)->Snapshot()->version(),
+            shard0_before + 1);
+  EXPECT_EQ(router->shard_service(1)->Snapshot()->version(),
+            shard1_before);  // nothing dirty: no-op commit on shard 1
+
+  // A commit with nothing staged anywhere publishes nowhere and leaves
+  // the epoch alone.
+  Response noop = Call(*router, CommitRequest{});
+  ASSERT_TRUE(noop.status.ok());
+  EXPECT_FALSE(std::get<CommitResult>(noop.payload).published);
+  EXPECT_EQ(std::get<CommitResult>(noop.payload).snapshot_version, 2u);
+  EXPECT_EQ(router->epoch(), 2u);
+}
+
+TEST(ShardRouterTest, StatsAggregatesShards) {
+  Dataset seed = SynthCommunityDataset(41, 17);
+  constexpr size_t kShards = 4;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+  // Route something at shard 1 so the per-shard counters differ.
+  ASSERT_TRUE(Call(*router, TrustQuery{"1", "5"}).status.ok());
+
+  Response response = Call(*router, StatsRequest{});
+  ASSERT_TRUE(response.status.ok());
+  const StatsResult& stats = std::get<StatsResult>(response.payload);
+  EXPECT_EQ(stats.users, 41);
+  EXPECT_EQ(stats.reviews,
+            static_cast<int64_t>(seed.num_reviews()));  // none dropped
+  EXPECT_EQ(stats.categories,
+            static_cast<int64_t>(seed.num_categories()));
+  EXPECT_LE(stats.ratings, static_cast<int64_t>(seed.num_ratings()));
+  // The satellite fix: boots aggregate to the shard count, with the
+  // per-shard breakdown in the additive fields.
+  EXPECT_EQ(stats.service_boots, static_cast<int64_t>(kShards));
+  EXPECT_EQ(stats.shards, static_cast<int64_t>(kShards));
+  ASSERT_EQ(stats.shard_service_boots.size(), kShards);
+  ASSERT_EQ(stats.shard_requests_served.size(), kShards);
+  for (int64_t boots : stats.shard_service_boots) {
+    EXPECT_EQ(boots, 1);
+  }
+  EXPECT_EQ(stats.shard_requests_served[1], 1);  // the routed trust
+  EXPECT_EQ(stats.requests_served, 2);  // trust + this stats request
+  EXPECT_EQ(stats.snapshot_version, router->epoch());
+
+  FrontendStats frontend_stats = router->stats();
+  EXPECT_EQ(frontend_stats.service_boots,
+            static_cast<int64_t>(kShards));
+  EXPECT_EQ(frontend_stats.requests_served, 2);
+}
+
+TEST(ShardRouterTest, SingleShardStatsOmitShardFields) {
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(testing::TinyCommunity(), 1).ValueOrDie();
+  Response response = Call(*router, StatsRequest{});
+  ASSERT_TRUE(response.status.ok());
+  const StatsResult& stats = std::get<StatsResult>(response.payload);
+  EXPECT_EQ(stats.service_boots, 1);
+  EXPECT_EQ(stats.shards, 0);
+  EXPECT_TRUE(stats.shard_service_boots.empty());
+}
+
+TEST(ShardRouterTest, ZeroShardsIsRejected) {
+  EXPECT_FALSE(ShardRouter::Create(testing::TinyCommunity(), 0).ok());
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

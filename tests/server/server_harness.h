@@ -32,20 +32,16 @@ class ServerHarness {
  public:
   explicit ServerHarness(const Dataset& seed,
                          ConnectionServerOptions options = {}) {
-    static std::atomic<int> counter{0};
-    socket_path_ = ::testing::TempDir() + "/wot_server_" +
-                   std::to_string(::getpid()) + "_" +
-                   std::to_string(counter.fetch_add(1)) + ".sock";
-    std::remove(socket_path_.c_str());
     service_ = TrustService::Create(seed).ValueOrDie();
     frontend_ = std::make_unique<api::ServiceFrontend>(service_.get());
-    server_ =
-        std::make_unique<ConnectionServer>(frontend_.get(), options);
-    Result<int> listen_fd = api::ListenUnixSocket(socket_path_, 64);
-    WOT_CHECK_OK(listen_fd.status());
-    serve_thread_ = std::thread([this, fd = listen_fd.ValueOrDie()] {
-      serve_status_ = server_->Serve(fd);
-    });
+    Start(frontend_.get(), options);
+  }
+
+  /// Serves an externally owned frontend (e.g. an api::ShardRouter),
+  /// which must outlive the harness.
+  explicit ServerHarness(api::Frontend* frontend,
+                         ConnectionServerOptions options = {}) {
+    Start(frontend, options);
   }
 
   ~ServerHarness() {
@@ -75,8 +71,22 @@ class ServerHarness {
   }
 
  private:
+  void Start(api::Frontend* frontend, ConnectionServerOptions options) {
+    static std::atomic<int> counter{0};
+    socket_path_ = ::testing::TempDir() + "/wot_server_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(counter.fetch_add(1)) + ".sock";
+    std::remove(socket_path_.c_str());
+    server_ = std::make_unique<ConnectionServer>(frontend, options);
+    Result<int> listen_fd = api::ListenUnixSocket(socket_path_, 64);
+    WOT_CHECK_OK(listen_fd.status());
+    serve_thread_ = std::thread([this, fd = listen_fd.ValueOrDie()] {
+      serve_status_ = server_->Serve(fd);
+    });
+  }
+
   std::string socket_path_;
-  std::unique_ptr<TrustService> service_;
+  std::unique_ptr<TrustService> service_;  // null with an external frontend
   std::unique_ptr<api::ServiceFrontend> frontend_;
   std::unique_ptr<ConnectionServer> server_;
   std::thread serve_thread_;

@@ -26,6 +26,7 @@
 #include <variant>
 
 #include "wot/api/client.h"
+#include "wot/api/shard_router.h"
 #include "wot/community/stats.h"
 #include "wot/eval/density.h"
 #include "wot/eval/roc.h"
@@ -233,6 +234,7 @@ int CmdQuery(int argc, char** argv) {
   std::string source;
   std::string target;
   int64_t top_k = 10;
+  int64_t shards = 1;
   bool explain = false;
   FlagParser flags("wot_cli query",
                    "Serve trust queries through the versioned API: top-k "
@@ -243,11 +245,16 @@ int CmdQuery(int argc, char** argv) {
   flags.AddString("data", &data,
                   "dataset directory or .wotb file (in-process mode)");
   flags.AddString("connect", &connect,
-                  "unix socket of a resident `wot_served --socket` server");
+                  "resident wot_served server: a unix socket path "
+                  "(--socket mode) or a TCP host:port (--listen mode; "
+                  "detected by ':' with no '/')");
   flags.AddString("source", &source, "truster: user name or index");
   flags.AddString("target", &target,
                   "trustee: user name or index (omit for top-k mode)");
   flags.AddInt64("top_k", &top_k, "trustees to list in top-k mode");
+  flags.AddInt64("shards", &shards,
+                 "shard the in-process service across this many "
+                 "TrustServices behind a ShardRouter (1 = unsharded)");
   flags.AddBool("explain", &explain,
                 "print the per-category contribution breakdown");
   WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
@@ -258,28 +265,49 @@ int CmdQuery(int argc, char** argv) {
   if (top_k <= 0) {
     return Fail(Status::InvalidArgument("--top_k must be positive"));
   }
+  if (shards <= 0) {
+    return Fail(Status::InvalidArgument("--shards must be positive"));
+  }
   if (!connect.empty() && !data.empty()) {
     return Fail(Status::InvalidArgument(
         "--connect and --data are mutually exclusive"));
   }
+  if (!connect.empty() && shards != 1) {
+    return Fail(Status::InvalidArgument(
+        "--shards applies to the in-process service; the resident "
+        "server picks its own sharding"));
+  }
 
   // Pick the transport; everything after this line is transport-agnostic.
   std::unique_ptr<TrustService> service;
-  std::unique_ptr<api::ServiceFrontend> frontend;
+  std::unique_ptr<api::Frontend> frontend;
   std::unique_ptr<api::ApiClient> client;
   if (!connect.empty()) {
+    // A ':' with no '/' reads as TCP host:port; anything else is a unix
+    // socket path (paths with directories always contain '/').
+    bool tcp = connect.find(':') != std::string::npos &&
+               connect.find('/') == std::string::npos;
     Result<std::unique_ptr<api::SocketClient>> socket =
-        api::SocketClient::Connect(connect);
+        tcp ? api::SocketClient::ConnectTcp(connect)
+            : api::SocketClient::Connect(connect);
     if (!socket.ok()) return Fail(socket.status());
     client = std::move(socket).ValueOrDie();
   } else {
     Result<Dataset> dataset = LoadAny(data);
     if (!dataset.ok()) return Fail(dataset.status());
-    Result<std::unique_ptr<TrustService>> booted =
-        TrustService::Create(dataset.ValueOrDie());
-    if (!booted.ok()) return Fail(booted.status());
-    service = std::move(booted).ValueOrDie();
-    frontend = std::make_unique<api::ServiceFrontend>(service.get());
+    if (shards == 1) {
+      Result<std::unique_ptr<TrustService>> booted =
+          TrustService::Create(dataset.ValueOrDie());
+      if (!booted.ok()) return Fail(booted.status());
+      service = std::move(booted).ValueOrDie();
+      frontend = std::make_unique<api::ServiceFrontend>(service.get());
+    } else {
+      Result<std::unique_ptr<api::ShardRouter>> booted =
+          api::ShardRouter::Create(dataset.ValueOrDie(),
+                                   static_cast<size_t>(shards));
+      if (!booted.ok()) return Fail(booted.status());
+      frontend = std::move(booted).ValueOrDie();
+    }
     client = std::make_unique<api::LoopbackClient>(frontend.get());
   }
 

@@ -1,8 +1,8 @@
 // wot_served — the resident trust server.
 //
-// Boots ONE TrustService and answers NDJSON API frames (one request per
-// line, one response per line; see docs/wire_protocol.md) until EOF. The
-// whole point is amortization: thousands of pipelined queries share a
+// Boots ONE serving frontend and answers NDJSON API frames (one request
+// per line, one response per line; see docs/wire_protocol.md) until EOF.
+// The whole point is amortization: thousands of pipelined queries share a
 // single service boot, where `wot_cli query` used to re-derive the web of
 // trust per invocation.
 //
@@ -13,13 +13,26 @@
 //   wot_served --users 4000 --seed 42 --socket /tmp/wot.sock --threads 8 &
 //   wot_cli query --connect /tmp/wot.sock --source alice --top_k 10
 //
+//   # the same frontend on TCP, next to (or instead of) the unix socket
+//   wot_served --users 4000 --listen 127.0.0.1:7777 &
+//   wot_cli query --connect 127.0.0.1:7777 --source alice --top_k 10
+//
+//   # shard the population across 4 TrustServices behind the same wire
+//   wot_served --users 100000 --shards 4 --socket /tmp/wot.sock &
+//
 // Exactly one "boot" line is logged to stderr per process lifetime; the
 // round-trip smoke test counts it to prove the service is not re-booted
-// between requests. In --socket mode the wot/server ConnectionServer
-// multiplexes any number of simultaneous clients (epoll event loop,
-// per-connection FIFO, --threads dispatch pool) over the lock-free
-// snapshot read path; SIGINT/SIGTERM drain in-flight requests, flush,
-// log the accepted-connection count and exit 0.
+// between requests. With --shards N (default 1) the boot slices the
+// dataset across N TrustService shards behind an api::ShardRouter — the
+// wire protocol is unchanged (a one-shard router is bit-identical to the
+// plain frontend; this binary serves the plain frontend then).
+//
+// In --socket/--listen mode the wot/server ConnectionServer multiplexes
+// any number of simultaneous clients (epoll event loop, per-connection
+// FIFO, --threads dispatch pool) over the lock-free snapshot read path;
+// giving BOTH flags runs one ConnectionServer per listener over the one
+// shared frontend. SIGINT/SIGTERM drain in-flight requests, flush, log
+// the accepted-connection count and exit 0.
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -31,25 +44,32 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
 #include "wot/api/unix_socket.h"
 #include "wot/io/binary_format.h"
 #include "wot/io/dataset_csv.h"
 #include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
 #include "wot/synth/generator.h"
+#include "wot/util/check.h"
 #include "wot/util/flags.h"
 
 namespace wot {
 namespace {
 
-// Signal -> event-loop bridge: RequestStop is async-signal-safe.
-server::ConnectionServer* g_server = nullptr;
+// Signal -> event-loop bridge: RequestStop is async-signal-safe, and the
+// handler walks a fixed-size slot array (one per listener).
+server::ConnectionServer* g_servers[2] = {nullptr, nullptr};
 
 void HandleStopSignal(int) {
-  if (g_server != nullptr) {
-    g_server->RequestStop();
+  for (server::ConnectionServer* server : g_servers) {
+    if (server != nullptr) {
+      server->RequestStop();
+    }
   }
 }
 
@@ -83,7 +103,7 @@ Result<Dataset> BootDataset(const std::string& data, int64_t users,
 // ignored (tolerant framing). Returns at EOF — or when the reader of
 // \p out goes away, so a downstream `| head` doesn't leave the server
 // dispatching the rest of stdin into the void.
-void ServeStream(api::ServiceFrontend* frontend, std::istream& in,
+void ServeStream(api::Frontend* frontend, std::istream& in,
                  std::FILE* out) {
   std::string line;
   while (std::getline(in, line)) {
@@ -98,35 +118,84 @@ void ServeStream(api::ServiceFrontend* frontend, std::istream& in,
   }
 }
 
-int ServeSocket(api::ServiceFrontend* frontend,
-                const std::string& socket_path, int64_t threads) {
+struct Listener {
+  std::string label;  // what to log ("unix socket /x", "tcp 1.2.3.4:5")
+  int fd = -1;
+};
+
+// Runs one ConnectionServer per listener over the shared frontend; each
+// gets its own `threads`-sized dispatch pool. Blocks until every server
+// drained (SIGINT/SIGTERM stops them all).
+int ServeListeners(api::Frontend* frontend,
+                   const std::vector<Listener>& listeners,
+                   int64_t threads) {
   server::ConnectionServerOptions options;
   options.num_threads = static_cast<int>(threads);
-  server::ConnectionServer server(frontend, options);
+  // The signal-handler bridge has one fixed slot per listener kind.
+  WOT_CHECK_LE(listeners.size(),
+               sizeof(g_servers) / sizeof(g_servers[0]));
+  std::vector<std::unique_ptr<server::ConnectionServer>> servers;
+  servers.reserve(listeners.size());
+  for (size_t i = 0; i < listeners.size(); ++i) {
+    servers.push_back(
+        std::make_unique<server::ConnectionServer>(frontend, options));
+    g_servers[i] = servers.back().get();
+  }
 
-  Result<int> listen_fd =
-      api::ListenUnixSocket(socket_path, /*backlog=*/64);
-  if (!listen_fd.ok()) return Fail(listen_fd.status());
-
-  // A drain on SIGINT/SIGTERM: answer what was read, flush, then exit.
-  g_server = &server;
   struct sigaction action{};
   action.sa_handler = HandleStopSignal;
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
 
-  std::fprintf(stderr,
-               "wot_served: listening on %s (%lld dispatch threads)\n",
-               socket_path.c_str(), static_cast<long long>(threads));
-  Status served = server.Serve(listen_fd.ValueOrDie());
-  g_server = nullptr;
-  server::ConnectionServerStats stats = server.stats();
+  for (size_t i = 0; i < listeners.size(); ++i) {
+    std::fprintf(stderr,
+                 "wot_served: listening on %s (%lld dispatch threads)\n",
+                 listeners[i].label.c_str(),
+                 static_cast<long long>(threads));
+  }
+
+  // One listener's Serve() returning — clean drain or fatal event-loop
+  // error — stops the whole fleet: a process silently serving only half
+  // its endpoints is worse than one that exits loudly and gets
+  // restarted.
+  std::vector<Status> statuses(listeners.size());
+  auto serve_one = [&](size_t i) {
+    statuses[i] = servers[i]->Serve(listeners[i].fd);
+    if (!statuses[i].ok()) {
+      std::fprintf(stderr, "wot_served: %s listener failed: %s\n",
+                   listeners[i].label.c_str(),
+                   statuses[i].ToString().c_str());
+    }
+    for (const std::unique_ptr<server::ConnectionServer>& other :
+         servers) {
+      other->RequestStop();  // idempotent; no-op on the one returning
+    }
+  };
+  std::vector<std::thread> threads_running;
+  for (size_t i = 1; i < listeners.size(); ++i) {
+    threads_running.emplace_back(serve_one, i);
+  }
+  serve_one(0);
+  for (std::thread& thread : threads_running) {
+    thread.join();
+  }
+
+  int64_t accepted = 0;
+  int64_t dispatched = 0;
+  for (size_t i = 0; i < listeners.size(); ++i) {
+    g_servers[i] = nullptr;
+    server::ConnectionServerStats stats = servers[i]->stats();
+    accepted += stats.connections_accepted;
+    dispatched += stats.requests_dispatched;
+  }
   std::fprintf(stderr,
                "wot_served: shutdown (%lld connections accepted, %lld "
                "requests dispatched)\n",
-               static_cast<long long>(stats.connections_accepted),
-               static_cast<long long>(stats.requests_dispatched));
-  if (!served.ok()) return Fail(served);
+               static_cast<long long>(accepted),
+               static_cast<long long>(dispatched));
+  for (const Status& status : statuses) {
+    if (!status.ok()) return Fail(status);
+  }
   return 0;
 }
 
@@ -135,12 +204,15 @@ int Main(int argc, char** argv) {
   int64_t users = 1000;
   int64_t seed = 42;
   std::string socket_path;
+  std::string listen_hostport;
   int64_t threads = 4;
+  int64_t shards = 1;
   FlagParser flags(
       "wot_served",
-      "Resident trust server: boots one TrustService and answers NDJSON "
-      "API frames (one per line) on stdin/stdout, or concurrently on "
-      "--socket");
+      "Resident trust server: boots one serving frontend (optionally "
+      "sharded across N TrustServices) and answers NDJSON API frames "
+      "(one per line) on stdin/stdout, or concurrently on --socket "
+      "and/or --listen");
   flags.AddString("data", &data,
                   "dataset directory or .wotb file to serve (omit for a "
                   "synthetic community)");
@@ -149,14 +221,27 @@ int Main(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "synthetic generator seed");
   flags.AddString("socket", &socket_path,
                   "listen on this unix socket instead of stdin/stdout");
+  flags.AddString("listen", &listen_hostport,
+                  "listen on this TCP host:port (IPv4 literal; empty "
+                  "host binds 0.0.0.0, port 0 picks one). May be "
+                  "combined with --socket");
   flags.AddInt64("threads", &threads,
-                 "dispatch threads of the --socket connection server");
+                 "dispatch threads per --socket/--listen connection "
+                 "server");
+  flags.AddInt64("shards", &shards,
+                 "partition users across this many TrustService shards "
+                 "behind a ShardRouter (1 = unsharded)");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
   if (threads <= 0) {
     // Validated before the (expensive) dataset boot.
     return Fail(Status::InvalidArgument(
         "--threads must be positive, got " + std::to_string(threads) +
+        "\n" + flags.Usage()));
+  }
+  if (shards <= 0) {
+    return Fail(Status::InvalidArgument(
+        "--shards must be positive, got " + std::to_string(shards) +
         "\n" + flags.Usage()));
   }
 
@@ -167,29 +252,69 @@ int Main(int argc, char** argv) {
   Result<Dataset> dataset = BootDataset(data, users, seed);
   if (!dataset.ok()) return Fail(dataset.status());
 
-  Result<std::unique_ptr<TrustService>> service =
-      TrustService::Create(dataset.ValueOrDie());
-  if (!service.ok()) return Fail(service.status());
-  api::ServiceFrontend frontend(service.ValueOrDie().get());
-
-  // The single boot marker: the round-trip smoke asserts this line (and
-  // the stats method's service_boots counter) stays at one per process no
-  // matter how many requests are served.
-  std::shared_ptr<const TrustSnapshot> snapshot =
-      service.ValueOrDie()->Snapshot();
-  std::fprintf(stderr,
-               "wot_served: boot snapshot v%llu (protocol v%lld, %zu "
-               "users, %zu categories, %zu ratings)\n",
-               static_cast<unsigned long long>(snapshot->version()),
-               static_cast<long long>(api::kProtocolVersion),
-               snapshot->num_users(), snapshot->num_categories(),
-               snapshot->num_ratings());
-  snapshot.reset();
-
-  if (!socket_path.empty()) {
-    return ServeSocket(&frontend, socket_path, threads);
+  // Boot the frontend: a plain single-service frontend, or a shard
+  // router slicing the dataset across N services. Exactly one "boot"
+  // line is logged either way — the round-trip smoke counts it (and the
+  // stats method's service_boots counter: 1 unsharded, N sharded).
+  std::unique_ptr<TrustService> service;
+  std::unique_ptr<api::ServiceFrontend> plain_frontend;
+  std::unique_ptr<api::ShardRouter> router;
+  api::Frontend* frontend = nullptr;
+  if (shards == 1) {
+    Result<std::unique_ptr<TrustService>> booted =
+        TrustService::Create(dataset.ValueOrDie());
+    if (!booted.ok()) return Fail(booted.status());
+    service = std::move(booted).ValueOrDie();
+    plain_frontend = std::make_unique<api::ServiceFrontend>(service.get());
+    frontend = plain_frontend.get();
+    std::shared_ptr<const TrustSnapshot> snapshot = service->Snapshot();
+    std::fprintf(stderr,
+                 "wot_served: boot snapshot v%llu (protocol v%lld, %zu "
+                 "users, %zu categories, %zu ratings)\n",
+                 static_cast<unsigned long long>(snapshot->version()),
+                 static_cast<long long>(api::kProtocolVersion),
+                 snapshot->num_users(), snapshot->num_categories(),
+                 snapshot->num_ratings());
+  } else {
+    Result<std::unique_ptr<api::ShardRouter>> booted =
+        api::ShardRouter::Create(dataset.ValueOrDie(),
+                                 static_cast<size_t>(shards));
+    if (!booted.ok()) return Fail(booted.status());
+    router = std::move(booted).ValueOrDie();
+    frontend = router.get();
+    size_t total_users = 0;
+    size_t total_ratings = 0;
+    for (size_t s = 0; s < router->num_shards(); ++s) {
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          router->shard_service(s)->Snapshot();
+      total_users += snapshot->num_users();
+      total_ratings += snapshot->num_ratings();
+    }
+    std::fprintf(stderr,
+                 "wot_served: boot epoch %llu over %zu shards (protocol "
+                 "v%lld, %zu users, %zu ratings kept)\n",
+                 static_cast<unsigned long long>(router->epoch()),
+                 router->num_shards(),
+                 static_cast<long long>(api::kProtocolVersion),
+                 total_users, total_ratings);
   }
-  ServeStream(&frontend, std::cin, stdout);
+  std::vector<Listener> listeners;
+  if (!socket_path.empty()) {
+    Result<int> fd = api::ListenUnixSocket(socket_path, /*backlog=*/64);
+    if (!fd.ok()) return Fail(fd.status());
+    listeners.push_back({"unix socket " + socket_path, fd.ValueOrDie()});
+  }
+  if (!listen_hostport.empty()) {
+    std::string bound;
+    Result<int> fd =
+        api::ListenTcpSocket(listen_hostport, /*backlog=*/64, &bound);
+    if (!fd.ok()) return Fail(fd.status());
+    listeners.push_back({"tcp " + bound, fd.ValueOrDie()});
+  }
+  if (!listeners.empty()) {
+    return ServeListeners(frontend, listeners, threads);
+  }
+  ServeStream(frontend, std::cin, stdout);
   return 0;
 }
 
