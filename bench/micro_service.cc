@@ -9,6 +9,12 @@
 //
 //   micro_service --users 4000 --seed 42
 //   micro_service --users 4000 --shards 4 --json BENCH_service.json
+//   micro_service --users 4000 --protocol binary
+//
+// The NDJSON and v2 binary API round trips are both measured every run
+// (api_trust_roundtrip_us vs api_trust_roundtrip_us_binary — the gap to
+// trust_query_us is pure codec cost); --protocol picks the wire the
+// socket-throughput sections drive.
 //
 // Uses wall-clock batches (no Google Benchmark dependency) so it always
 // builds; --json emits the machine-readable report tracked across PRs.
@@ -18,11 +24,13 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <variant>
 #include <vector>
 
 #include "bench_util.h"
+#include "wot/api/binary_codec.h"
 #include "wot/api/codec.h"
 #include "wot/api/frontend.h"
 #include "wot/api/shard_router.h"
@@ -60,7 +68,8 @@ std::pair<size_t, size_t> QueryPair(int64_t q, int c, size_t num_users,
 // deadlocks on socket buffers) against one ConnectionServer.
 double MeasureServerThroughput(api::Frontend* frontend, size_t num_users,
                                size_t stride, int server_threads,
-                               int clients, int64_t per_client) {
+                               int clients, int64_t per_client,
+                               api::WireProtocol protocol) {
   static int run_counter = 0;
   std::string socket_path =
       "/tmp/wot_micro_service_" + std::to_string(::getpid()) + "_" +
@@ -82,7 +91,9 @@ double MeasureServerThroughput(api::Frontend* frontend, size_t num_users,
     workers.emplace_back([&, c] {
       Result<int> fd = api::ConnectUnixSocket(socket_path);
       WOT_CHECK_OK(fd.status());
+      const bool binary = protocol == api::WireProtocol::kBinary;
       api::FdLineReader reader(fd.ValueOrDie());
+      api::BinaryFrameAssembler frames(64u << 20);
       constexpr int64_t kWindow = 64;
       int64_t sent = 0;
       int64_t received = 0;
@@ -96,15 +107,32 @@ double MeasureServerThroughput(api::Frontend* frontend, size_t num_users,
           auto [a, b] = QueryPair(sent, c, num_users, stride);
           request.payload =
               api::TrustQuery{std::to_string(a), std::to_string(b)};
-          burst += api::EncodeRequest(request);
-          burst += '\n';
+          if (binary) {
+            // Binary-first: no handshake, the server sniffs the magic.
+            burst += api::EncodeRequestBinary(request);
+          } else {
+            burst += api::EncodeRequest(request);
+            burst += '\n';
+          }
         }
         if (!burst.empty()) {
           WOT_CHECK_OK(api::SendAll(fd.ValueOrDie(), burst));
         }
         while (received < sent) {
-          WOT_CHECK(reader.Next(&line).ValueOrDie());
-          ++received;
+          if (binary) {
+            if (frames.NextFrame().has_value()) {
+              ++received;
+              continue;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd.ValueOrDie(), chunk, sizeof(chunk));
+            WOT_CHECK_GT(n, 0);
+            WOT_CHECK(frames.Append(
+                std::string_view(chunk, static_cast<size_t>(n))));
+          } else {
+            WOT_CHECK(reader.Next(&line).ValueOrDie());
+            ++received;
+          }
         }
       }
       ::close(fd.ValueOrDie());
@@ -129,12 +157,18 @@ int Main(int argc, char** argv) {
   RegisterJsonFlag(&flags, &args);
   int64_t queries = 20000;
   int64_t shards = 4;
+  std::string protocol = "ndjson";
   flags.AddInt64("queries", &queries, "queries per measurement batch");
   flags.AddInt64("shards", &shards,
                  "shard count of the ShardRouter throughput section");
+  flags.AddString("protocol", &protocol,
+                  "wire protocol of the socket-throughput sections "
+                  "(ndjson | binary)");
   WOT_CHECK_OK(flags.Parse(argc, argv));
   WOT_CHECK_GT(queries, 0);
   WOT_CHECK_GT(shards, 0);
+  Result<api::WireProtocol> wire = api::WireProtocolFromName(protocol);
+  WOT_CHECK_OK(wire.status());
 
   SynthCommunity community = MakeCommunity(args);
   const Dataset& dataset = community.dataset;
@@ -201,6 +235,27 @@ int Main(int argc, char** argv) {
   const double api_trust_us = timer.ElapsedSeconds() * 1e6 /
                               static_cast<double>(api_queries);
 
+  // The same round trip through the v2 binary framing: fixed-width
+  // fields in, fixed-width fields out — no number formatting, no JSON
+  // escaping — so this should sit much closer to the raw trust_query_us
+  // floor than the NDJSON line above.
+  double binary_checksum = 0.0;
+  timer.Reset();
+  for (int64_t q = 0; q < api_queries; ++q) {
+    api::Request request;
+    request.id = q;
+    request.payload = api::TrustQuery{std::to_string(pick(rng)),
+                                      std::to_string(pick(rng))};
+    std::string reply =
+        frontend.DispatchFrame(api::EncodeRequestBinary(request));
+    api::Response response;
+    WOT_CHECK(api::DecodeResponseBinary(reply, &response).ok());
+    binary_checksum +=
+        std::get<api::TrustResult>(response.payload).trust;
+  }
+  const double api_trust_binary_us = timer.ElapsedSeconds() * 1e6 /
+                                     static_cast<double>(api_queries);
+
   // Incremental commit cost: append a handful of fresh ratings (new rater
   // per round so the append never collides) and publish.
   const int kCommits = 5;
@@ -238,10 +293,10 @@ int Main(int argc, char** argv) {
   const int64_t per_client = queries / 8 + 1;
   const double server_qps_c1 = MeasureServerThroughput(
       &frontend, num_users, /*stride=*/1, /*server_threads=*/4,
-      /*clients=*/1, per_client);
+      /*clients=*/1, per_client, wire.ValueOrDie());
   const double server_qps_c8 = MeasureServerThroughput(
       &frontend, num_users, /*stride=*/1, /*server_threads=*/4,
-      /*clients=*/8, per_client);
+      /*clients=*/8, per_client, wire.ValueOrDie());
 
   // Sharded serving: boot a ShardRouter over the same seed dataset and
   // repeat the API round trip + server throughput sections through it
@@ -271,35 +326,60 @@ int Main(int argc, char** argv) {
   const double router_trust_us = timer.ElapsedSeconds() * 1e6 /
                                  static_cast<double>(api_queries);
 
+  double router_binary_checksum = 0.0;
+  timer.Reset();
+  for (int64_t q = 0; q < api_queries; ++q) {
+    api::Request request;
+    request.id = q;
+    auto [a, b] = QueryPair(q, 0, num_users,
+                            static_cast<size_t>(shards));
+    request.payload =
+        api::TrustQuery{std::to_string(a), std::to_string(b)};
+    std::string reply =
+        router->DispatchFrame(api::EncodeRequestBinary(request));
+    api::Response response;
+    WOT_CHECK(api::DecodeResponseBinary(reply, &response).ok());
+    router_binary_checksum +=
+        std::get<api::TrustResult>(response.payload).trust;
+  }
+  const double router_trust_binary_us = timer.ElapsedSeconds() * 1e6 /
+                                        static_cast<double>(api_queries);
+
   const double router_qps_c1 = MeasureServerThroughput(
       router.get(), num_users, static_cast<size_t>(shards),
-      /*server_threads=*/4, /*clients=*/1, per_client);
+      /*server_threads=*/4, /*clients=*/1, per_client,
+      wire.ValueOrDie());
   const double router_qps_c8 = MeasureServerThroughput(
       router.get(), num_users, static_cast<size_t>(shards),
-      /*server_threads=*/4, /*clients=*/8, per_client);
+      /*server_threads=*/4, /*clients=*/8, per_client,
+      wire.ValueOrDie());
 
   std::printf("service boot (full build + v1 publish):  %10.2f ms\n"
               "Trust(i, j) latency:                     %10.3f us\n"
               "TopK(i, 10) latency:                     %10.3f us\n"
               "ExplainTrust(i, j) latency:              %10.3f us\n"
               "API NDJSON round trip (trust):           %10.3f us\n"
+              "API binary round trip (trust):           %10.3f us\n"
               "incremental commit (10 appends):         %10.2f ms\n"
               "  (avg %.1f categories recomputed per commit)\n"
               "no-op commit:                            %10.3f us\n"
-              "server throughput, 1 client pipelining:  %10.0f qps\n"
-              "server throughput, 8 clients pipelining: %10.0f qps\n"
+              "server throughput, 1 client (%s): %10.0f qps\n"
+              "server throughput, 8 clients (%s): %10.0f qps\n"
               "router boot (%lld shards):               %10.2f ms\n"
               "router NDJSON round trip (trust):        %10.3f us\n"
+              "router binary round trip (trust):        %10.3f us\n"
               "router throughput, 1 client:             %10.0f qps\n"
               "router throughput, 8 clients:            %10.0f qps\n"
-              "(checksums: %.3f %zu %zu %.3f %.3f)\n",
+              "(checksums: %.3f %zu %zu %.3f %.3f %.3f %.3f)\n",
               boot_ms, trust_us, topk_us, explain_us, api_trust_us,
-              commit_ms,
+              api_trust_binary_us, commit_ms,
               static_cast<double>(categories_recomputed) / kCommits,
-              noop_commit_us, server_qps_c1, server_qps_c8,
+              noop_commit_us, protocol.c_str(), server_qps_c1,
+              protocol.c_str(), server_qps_c8,
               static_cast<long long>(shards), router_boot_ms,
-              router_trust_us, router_qps_c1, router_qps_c8, checksum,
-              topk_sum, term_sum, api_checksum, router_checksum);
+              router_trust_us, router_trust_binary_us, router_qps_c1,
+              router_qps_c8, checksum, topk_sum, term_sum, api_checksum,
+              router_checksum, binary_checksum, router_binary_checksum);
 
   BenchReport report;
   report.AddString("bench", "micro_service");
@@ -312,13 +392,17 @@ int Main(int argc, char** argv) {
   report.AddNumber("topk10_query_us", topk_us);
   report.AddNumber("explain_query_us", explain_us);
   report.AddNumber("api_trust_roundtrip_us", api_trust_us);
+  report.AddNumber("api_trust_roundtrip_us_binary", api_trust_binary_us);
   report.AddNumber("incremental_commit_ms", commit_ms);
   report.AddNumber("noop_commit_us", noop_commit_us);
+  report.AddString("server_protocol", protocol);
   report.AddNumber("server_qps_1client", server_qps_c1);
   report.AddNumber("server_qps_8clients", server_qps_c8);
   report.AddInt("router_shards", shards);
   report.AddNumber("router_boot_ms", router_boot_ms);
   report.AddNumber("router_trust_roundtrip_us", router_trust_us);
+  report.AddNumber("router_trust_roundtrip_us_binary",
+                   router_trust_binary_us);
   report.AddNumber("router_qps_1client", router_qps_c1);
   report.AddNumber("router_qps_8clients", router_qps_c8);
   WOT_CHECK_OK(MaybeWriteJson(args, report));

@@ -59,6 +59,8 @@ struct ApiStatus {
   ApiCode code = ApiCode::kOk;
   std::string message;
 
+  friend bool operator==(const ApiStatus&, const ApiStatus&) = default;
+
   bool ok() const { return code == ApiCode::kOk; }
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;
@@ -94,28 +96,38 @@ Status ToStatus(const ApiStatus& status);
 struct TrustQuery {
   std::string source;  ///< truster, by name or decimal index
   std::string target;  ///< trustee, by name or decimal index
+
+  friend bool operator==(const TrustQuery&, const TrustQuery&) = default;
 };
 
 /// \brief topk: the k most trusted users as seen by source.
 struct TopKQuery {
   std::string source;
   int64_t k = 10;
+
+  friend bool operator==(const TopKQuery&, const TopKQuery&) = default;
 };
 
 /// \brief explain: per-category breakdown of one derived degree.
 struct ExplainQuery {
   std::string source;
   std::string target;
+
+  friend bool operator==(const ExplainQuery&, const ExplainQuery&) = default;
 };
 
 /// \brief ingest_user: register a new community member.
 struct IngestUser {
   std::string name;
+
+  friend bool operator==(const IngestUser&, const IngestUser&) = default;
 };
 
 /// \brief ingest_category: register a new topic context.
 struct IngestCategory {
   std::string name;
+
+  friend bool operator==(const IngestCategory&, const IngestCategory&) = default;
 };
 
 /// \brief ingest_object: register a reviewable item under a category
@@ -123,12 +135,16 @@ struct IngestCategory {
 struct IngestObject {
   std::string category;
   std::string name;
+
+  friend bool operator==(const IngestObject&, const IngestObject&) = default;
 };
 
 /// \brief ingest_review: record that \p writer reviewed object \p object.
 struct IngestReview {
   std::string writer;  ///< name or decimal index
   int64_t object = -1;
+
+  friend bool operator==(const IngestReview&, const IngestReview&) = default;
 };
 
 /// \brief ingest_rating: record rating \p value by \p rater on a review.
@@ -136,13 +152,19 @@ struct IngestRating {
   std::string rater;  ///< name or decimal index
   int64_t review = -1;
   double value = 0.0;
+
+  friend bool operator==(const IngestRating&, const IngestRating&) = default;
 };
 
 /// \brief commit: derive staged activity and publish a new snapshot.
-struct CommitRequest {};
+struct CommitRequest {
+  friend bool operator==(const CommitRequest&, const CommitRequest&) = default;
+};
 
 /// \brief stats: serving counters and snapshot shape.
-struct StatsRequest {};
+struct StatsRequest {
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
 
 using RequestPayload =
     std::variant<TrustQuery, TopKQuery, ExplainQuery, IngestUser,
@@ -154,6 +176,8 @@ struct Request {
   int64_t version = kProtocolVersion;
   int64_t id = 0;
   RequestPayload payload;
+
+  friend bool operator==(const Request&, const Request&) = default;
 };
 
 /// \brief The wire method name selected by \p payload ("trust", "topk",
@@ -171,6 +195,9 @@ struct ScoredUserEntry {
   uint32_t user = 0;  ///< dense user index
   std::string name;
   double score = 0.0;
+
+  friend bool operator==(const ScoredUserEntry&,
+                         const ScoredUserEntry&) = default;
 };
 
 struct TrustResult {
@@ -180,12 +207,16 @@ struct TrustResult {
   std::string source_name;
   std::string target_name;
   uint64_t snapshot_version = 0;
+
+  friend bool operator==(const TrustResult&, const TrustResult&) = default;
 };
 
 struct TopKResult {
   std::string source_name;
   std::vector<ScoredUserEntry> trustees;
   uint64_t snapshot_version = 0;
+
+  friend bool operator==(const TopKResult&, const TopKResult&) = default;
 };
 
 /// \brief One eq.-5 term of an explain breakdown.
@@ -195,6 +226,9 @@ struct ExplainTermResult {
   double affiliation = 0.0;
   double expertise = 0.0;
   double contribution = 0.0;
+
+  friend bool operator==(const ExplainTermResult&,
+                         const ExplainTermResult&) = default;
 };
 
 struct ExplainResult {
@@ -204,12 +238,16 @@ struct ExplainResult {
   std::string target_name;
   std::vector<ExplainTermResult> terms;
   uint64_t snapshot_version = 0;
+
+  friend bool operator==(const ExplainResult&, const ExplainResult&) = default;
 };
 
 /// \brief Result of any ingest_* method: the dense id assigned to the new
 /// entity (-1 for ingest_rating, which creates no id).
 struct IngestResult {
   int64_t assigned_id = -1;
+
+  friend bool operator==(const IngestResult&, const IngestResult&) = default;
 };
 
 /// \brief What a commit did. Timing is deliberately NOT on the wire so
@@ -220,6 +258,8 @@ struct CommitResult {
   int64_t categories_recomputed = 0;
   int64_t affiliation_rows_recomputed = 0;
   int64_t postings_rebuilt = 0;
+
+  friend bool operator==(const CommitResult&, const CommitResult&) = default;
 };
 
 struct StatsResult {
@@ -236,8 +276,9 @@ struct StatsResult {
   /// Under a concurrent connection server this aggregates ALL
   /// connections (the frontend is shared).
   int64_t requests_served = 0;
-  // Connection-server counters (all 0 when the request did not arrive
-  // through a ConnectionServer — loopback and stdin/stdout serving).
+  // Connection-server counters (all 0 only when the request did not
+  // arrive through a ConnectionServer, i.e. in-process loopback —
+  // wot_served's stdin/stdout mode runs on the connection server too).
   /// Connections currently open on the serving ConnectionServer.
   int64_t connections_active = 0;
   /// Connections accepted over the server's lifetime.
@@ -255,6 +296,8 @@ struct StatsResult {
   /// Per-shard routed-request counts: how many times the router touched
   /// each shard (point queries, scatter-gather fan-outs, ingest, commit).
   std::vector<int64_t> shard_requests_served;
+
+  friend bool operator==(const StatsResult&, const StatsResult&) = default;
 };
 
 using ResponsePayload =
@@ -268,6 +311,8 @@ struct Response {
   int64_t id = 0;
   ApiStatus status;
   ResponsePayload payload;
+
+  friend bool operator==(const Response&, const Response&) = default;
 };
 
 }  // namespace api

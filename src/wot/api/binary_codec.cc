@@ -1,0 +1,520 @@
+#include "wot/api/binary_codec.h"
+
+#include <utility>
+#include <variant>
+
+#include "wot/api/codec.h"
+#include "wot/io/byte_reader.h"
+#include "wot/io/byte_writer.h"
+#include "wot/io/json_parser.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+// Byte offsets within the fixed header.
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 1;
+constexpr size_t kCodeOffset = 2;     // method (request) / status (response)
+constexpr size_t kAuxOffset = 3;      // reserved (request) / result type
+constexpr size_t kIdOffset = 4;
+constexpr size_t kLengthOffset = 12;
+
+uint8_t HeaderByte(std::string_view frame, size_t offset) {
+  return static_cast<uint8_t>(frame[offset]);
+}
+
+uint32_t HeaderLength(std::string_view frame) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(HeaderByte(frame, kLengthOffset + i))
+         << (8 * i);
+  }
+  return v;
+}
+
+int64_t HeaderId(std::string_view frame) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(HeaderByte(frame, kIdOffset + i)) << (8 * i);
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string FinishFrame(uint8_t code, uint8_t aux, int64_t id,
+                        std::string payload) {
+  ByteWriter w;
+  w.PutU8(kBinaryMagic)
+      .PutU8(static_cast<uint8_t>(kBinaryProtocolVersion))
+      .PutU8(code)
+      .PutU8(aux)
+      .PutI64(id)
+      .PutU32(static_cast<uint32_t>(payload.size()))
+      .PutRaw(payload);
+  return w.Take();
+}
+
+void EncodeRequestPayload(const RequestPayload& payload, ByteWriter* w) {
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const TrustQuery& q) {
+      w.PutString(q.source).PutString(q.target);
+    }
+    void operator()(const TopKQuery& q) {
+      w.PutString(q.source).PutI64(q.k);
+    }
+    void operator()(const ExplainQuery& q) {
+      w.PutString(q.source).PutString(q.target);
+    }
+    void operator()(const IngestUser& q) { w.PutString(q.name); }
+    void operator()(const IngestCategory& q) { w.PutString(q.name); }
+    void operator()(const IngestObject& q) {
+      w.PutString(q.category).PutString(q.name);
+    }
+    void operator()(const IngestReview& q) {
+      w.PutString(q.writer).PutI64(q.object);
+    }
+    void operator()(const IngestRating& q) {
+      w.PutString(q.rater).PutI64(q.review).PutDouble(q.value);
+    }
+    void operator()(const CommitRequest&) {}
+    void operator()(const StatsRequest&) {}
+  };
+  std::visit(Visitor{*w}, payload);
+}
+
+void EncodeResponsePayload(const ResponsePayload& payload, ByteWriter* w) {
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const std::monostate&) {}
+    void operator()(const TrustResult& r) {
+      w.PutDouble(r.trust)
+          .PutString(r.source_name)
+          .PutString(r.target_name)
+          .PutU64(r.snapshot_version);
+    }
+    void operator()(const TopKResult& r) {
+      w.PutString(r.source_name);
+      w.PutU32(static_cast<uint32_t>(r.trustees.size()));
+      for (const ScoredUserEntry& entry : r.trustees) {
+        w.PutU32(entry.user).PutString(entry.name).PutDouble(entry.score);
+      }
+      w.PutU64(r.snapshot_version);
+    }
+    void operator()(const ExplainResult& r) {
+      w.PutDouble(r.trust)
+          .PutDouble(r.affinity_sum)
+          .PutString(r.source_name)
+          .PutString(r.target_name);
+      w.PutU32(static_cast<uint32_t>(r.terms.size()));
+      for (const ExplainTermResult& term : r.terms) {
+        w.PutU32(term.category)
+            .PutString(term.category_name)
+            .PutDouble(term.affiliation)
+            .PutDouble(term.expertise)
+            .PutDouble(term.contribution);
+      }
+      w.PutU64(r.snapshot_version);
+    }
+    void operator()(const IngestResult& r) { w.PutI64(r.assigned_id); }
+    void operator()(const CommitResult& r) {
+      w.PutU64(r.snapshot_version)
+          .PutU8(r.published ? 1 : 0)
+          .PutI64(r.categories_recomputed)
+          .PutI64(r.affiliation_rows_recomputed)
+          .PutI64(r.postings_rebuilt);
+    }
+    void operator()(const StatsResult& r) {
+      w.PutU64(r.snapshot_version)
+          .PutI64(r.users)
+          .PutI64(r.categories)
+          .PutI64(r.reviews)
+          .PutI64(r.ratings)
+          .PutI64(r.service_boots)
+          .PutI64(r.requests_served)
+          .PutI64(r.connections_active)
+          .PutI64(r.connections_accepted)
+          .PutI64(r.connection_requests_served)
+          .PutI64(r.shards);
+      w.PutU32(static_cast<uint32_t>(r.shard_service_boots.size()));
+      for (int64_t boots : r.shard_service_boots) {
+        w.PutI64(boots);
+      }
+      w.PutU32(static_cast<uint32_t>(r.shard_requests_served.size()));
+      for (int64_t requests : r.shard_requests_served) {
+        w.PutI64(requests);
+      }
+    }
+  };
+  std::visit(Visitor{*w}, payload);
+}
+
+ApiStatus DecodeRequestPayload(size_t method_index, ByteReader* r,
+                               Request* request) {
+  switch (method_index) {
+    case 0: {
+      TrustQuery q;
+      q.source = r->GetString();
+      q.target = r->GetString();
+      request->payload = std::move(q);
+      break;
+    }
+    case 1: {
+      TopKQuery q;
+      q.source = r->GetString();
+      q.k = r->GetI64();
+      request->payload = std::move(q);
+      break;
+    }
+    case 2: {
+      ExplainQuery q;
+      q.source = r->GetString();
+      q.target = r->GetString();
+      request->payload = std::move(q);
+      break;
+    }
+    case 3: {
+      IngestUser q;
+      q.name = r->GetString();
+      request->payload = std::move(q);
+      break;
+    }
+    case 4: {
+      IngestCategory q;
+      q.name = r->GetString();
+      request->payload = std::move(q);
+      break;
+    }
+    case 5: {
+      IngestObject q;
+      q.category = r->GetString();
+      q.name = r->GetString();
+      request->payload = std::move(q);
+      break;
+    }
+    case 6: {
+      IngestReview q;
+      q.writer = r->GetString();
+      q.object = r->GetI64();
+      request->payload = std::move(q);
+      break;
+    }
+    case 7: {
+      IngestRating q;
+      q.rater = r->GetString();
+      q.review = r->GetI64();
+      q.value = r->GetDouble();
+      request->payload = std::move(q);
+      break;
+    }
+    case 8:
+      request->payload = CommitRequest{};
+      break;
+    case 9:
+      request->payload = StatsRequest{};
+      break;
+    default:
+      return ApiStatus::Unimplemented(
+          "unknown method code " + std::to_string(method_index));
+  }
+  if (!r->AtEnd()) {
+    return ApiStatus::InvalidArgument(
+        std::string("malformed '") +
+        MethodName(request->payload) + "' payload");
+  }
+  return ApiStatus::Ok();
+}
+
+ApiStatus DecodeResponsePayload(size_t result_index, ByteReader* r,
+                                Response* response) {
+  switch (result_index) {
+    case 0:
+      response->payload = std::monostate{};
+      break;
+    case 1: {
+      TrustResult result;
+      result.trust = r->GetDouble();
+      result.source_name = r->GetString();
+      result.target_name = r->GetString();
+      result.snapshot_version = r->GetU64();
+      response->payload = std::move(result);
+      break;
+    }
+    case 2: {
+      TopKResult result;
+      result.source_name = r->GetString();
+      uint32_t count = r->GetU32();
+      for (uint32_t i = 0; i < count && !r->failed(); ++i) {
+        ScoredUserEntry entry;
+        entry.user = r->GetU32();
+        entry.name = r->GetString();
+        entry.score = r->GetDouble();
+        result.trustees.push_back(std::move(entry));
+      }
+      result.snapshot_version = r->GetU64();
+      response->payload = std::move(result);
+      break;
+    }
+    case 3: {
+      ExplainResult result;
+      result.trust = r->GetDouble();
+      result.affinity_sum = r->GetDouble();
+      result.source_name = r->GetString();
+      result.target_name = r->GetString();
+      uint32_t count = r->GetU32();
+      for (uint32_t i = 0; i < count && !r->failed(); ++i) {
+        ExplainTermResult term;
+        term.category = r->GetU32();
+        term.category_name = r->GetString();
+        term.affiliation = r->GetDouble();
+        term.expertise = r->GetDouble();
+        term.contribution = r->GetDouble();
+        result.terms.push_back(std::move(term));
+      }
+      result.snapshot_version = r->GetU64();
+      response->payload = std::move(result);
+      break;
+    }
+    case 4: {
+      IngestResult result;
+      result.assigned_id = r->GetI64();
+      response->payload = result;
+      break;
+    }
+    case 5: {
+      CommitResult result;
+      result.snapshot_version = r->GetU64();
+      result.published = r->GetU8() != 0;
+      result.categories_recomputed = r->GetI64();
+      result.affiliation_rows_recomputed = r->GetI64();
+      result.postings_rebuilt = r->GetI64();
+      response->payload = result;
+      break;
+    }
+    case 6: {
+      StatsResult result;
+      result.snapshot_version = r->GetU64();
+      result.users = r->GetI64();
+      result.categories = r->GetI64();
+      result.reviews = r->GetI64();
+      result.ratings = r->GetI64();
+      result.service_boots = r->GetI64();
+      result.requests_served = r->GetI64();
+      result.connections_active = r->GetI64();
+      result.connections_accepted = r->GetI64();
+      result.connection_requests_served = r->GetI64();
+      result.shards = r->GetI64();
+      uint32_t boots = r->GetU32();
+      for (uint32_t i = 0; i < boots && !r->failed(); ++i) {
+        result.shard_service_boots.push_back(r->GetI64());
+      }
+      uint32_t requests = r->GetU32();
+      for (uint32_t i = 0; i < requests && !r->failed(); ++i) {
+        result.shard_requests_served.push_back(r->GetI64());
+      }
+      response->payload = std::move(result);
+      break;
+    }
+    default:
+      return ApiStatus::InvalidArgument(
+          "unknown result type code " + std::to_string(result_index));
+  }
+  if (!r->AtEnd()) {
+    return ApiStatus::InvalidArgument("malformed result payload");
+  }
+  return ApiStatus::Ok();
+}
+
+// Shared header validation; fills *id with the salvaged correlator.
+ApiStatus CheckHeader(std::string_view frame, int64_t* id) {
+  if (frame.size() < kBinaryHeaderSize) {
+    return ApiStatus::InvalidArgument(
+        "truncated binary frame: " + std::to_string(frame.size()) +
+        " bytes is shorter than the " + std::to_string(kBinaryHeaderSize) +
+        "-byte header");
+  }
+  if (HeaderByte(frame, kMagicOffset) != kBinaryMagic) {
+    return ApiStatus::InvalidArgument("bad frame magic");
+  }
+  *id = HeaderId(frame);
+  uint8_t version = HeaderByte(frame, kVersionOffset);
+  if (version != kBinaryProtocolVersion) {
+    return ApiStatus::InvalidArgument(
+        "unsupported binary framing version " + std::to_string(version) +
+        " (this build speaks v" + std::to_string(kBinaryProtocolVersion) +
+        ")");
+  }
+  uint32_t length = HeaderLength(frame);
+  if (length != frame.size() - kBinaryHeaderSize) {
+    return ApiStatus::InvalidArgument(
+        "frame payload length " + std::to_string(length) +
+        " does not match the " +
+        std::to_string(frame.size() - kBinaryHeaderSize) +
+        " payload bytes received");
+  }
+  return ApiStatus::Ok();
+}
+
+}  // namespace
+
+Result<WireProtocol> WireProtocolFromName(std::string_view name) {
+  if (name == "ndjson") return WireProtocol::kNdjson;
+  if (name == "binary") return WireProtocol::kBinary;
+  return Status::InvalidArgument("unknown protocol '" + std::string(name) +
+                                 "' (expected ndjson or binary)");
+}
+
+const char* WireProtocolName(WireProtocol protocol) {
+  return protocol == WireProtocol::kBinary ? "binary" : "ndjson";
+}
+
+std::string EncodeRequestBinary(const Request& request) {
+  ByteWriter payload;
+  EncodeRequestPayload(request.payload, &payload);
+  return FinishFrame(static_cast<uint8_t>(request.payload.index()),
+                     /*aux=*/0, request.id, payload.Take());
+}
+
+std::string EncodeResponseBinary(const Response& response) {
+  ByteWriter payload;
+  uint8_t result_type = 0;
+  if (!response.status.ok()) {
+    payload.PutString(response.status.message);
+  } else {
+    result_type = static_cast<uint8_t>(response.payload.index());
+    EncodeResponsePayload(response.payload, &payload);
+  }
+  return FinishFrame(static_cast<uint8_t>(response.status.code), result_type,
+                     response.id, payload.Take());
+}
+
+ApiStatus DecodeRequestBinary(std::string_view frame, Request* request) {
+  *request = Request{};
+  ApiStatus header = CheckHeader(frame, &request->id);
+  if (!header.ok()) {
+    return header;
+  }
+  // Byte 3 is reserved on requests and deliberately ignored so it can be
+  // claimed by a future revision without breaking this decoder.
+  ByteReader reader(frame.substr(kBinaryHeaderSize));
+  return DecodeRequestPayload(HeaderByte(frame, kCodeOffset), &reader,
+                              request);
+}
+
+ApiStatus DecodeResponseBinary(std::string_view frame, Response* response) {
+  *response = Response{};
+  ApiStatus header = CheckHeader(frame, &response->id);
+  if (!header.ok()) {
+    return header;
+  }
+  uint8_t code = HeaderByte(frame, kCodeOffset);
+  if (code > static_cast<uint8_t>(ApiCode::kInternal)) {
+    return ApiStatus::InvalidArgument("unknown status code " +
+                                      std::to_string(code));
+  }
+  response->status.code = static_cast<ApiCode>(code);
+  ByteReader reader(frame.substr(kBinaryHeaderSize));
+  if (!response->status.ok()) {
+    response->status.message = reader.GetString();
+    if (!reader.AtEnd()) {
+      return ApiStatus::InvalidArgument("malformed error payload");
+    }
+    return ApiStatus::Ok();  // the *frame* decoded fine
+  }
+  return DecodeResponsePayload(HeaderByte(frame, kAuxOffset), &reader,
+                               response);
+}
+
+bool BinaryFrameAssembler::Append(std::string_view bytes) {
+  if (faulted_) {
+    return false;
+  }
+  buffer_.append(bytes);
+  CheckHead();
+  return !faulted_;
+}
+
+void BinaryFrameAssembler::CheckHead() {
+  if (faulted_ || buffered() == 0) {
+    return;
+  }
+  if (static_cast<uint8_t>(buffer_[start_]) != kBinaryMagic) {
+    faulted_ = true;
+    fault_message_ = "bad frame magic (stream desynchronized)";
+    return;
+  }
+  if (buffered() >= kBinaryHeaderSize) {
+    uint32_t length = HeaderLength(
+        std::string_view(buffer_).substr(start_, kBinaryHeaderSize));
+    if (length > max_payload_bytes_) {
+      faulted_ = true;
+      fault_message_ = "frame payload length " + std::to_string(length) +
+                       " exceeds " + std::to_string(max_payload_bytes_) +
+                       " bytes";
+    }
+  }
+}
+
+std::optional<std::string> BinaryFrameAssembler::NextFrame() {
+  CheckHead();
+  if (faulted_ || buffered() < kBinaryHeaderSize) {
+    // Reclaim the consumed prefix once it dominates the buffer.
+    if (start_ > 0 && start_ >= buffer_.size() / 2) {
+      buffer_.erase(0, start_);
+      start_ = 0;
+    }
+    return std::nullopt;
+  }
+  uint32_t length = HeaderLength(
+      std::string_view(buffer_).substr(start_, kBinaryHeaderSize));
+  size_t total = kBinaryHeaderSize + length;
+  if (buffered() < total) {
+    return std::nullopt;
+  }
+  std::string frame = buffer_.substr(start_, total);
+  start_ += total;
+  return frame;
+}
+
+std::optional<UpgradeRequest> ParseUpgradeLine(std::string_view line) {
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok() || !parsed.ValueOrDie().is_object()) {
+    return std::nullopt;
+  }
+  const JsonValue& root = parsed.ValueOrDie();
+  Result<int64_t> version = root.GetInt("v");
+  if (!version.ok() || version.ValueOrDie() != kProtocolVersion) {
+    return std::nullopt;
+  }
+  Result<std::string> method = root.GetString("method");
+  if (!method.ok() || method.ValueOrDie() != "upgrade") {
+    return std::nullopt;
+  }
+  UpgradeRequest upgrade;
+  const JsonValue* id = root.Find("id");
+  if (id != nullptr && id->is_number() && id->number_is_int()) {
+    upgrade.id = id->int_value();
+  }
+  // "protocol" may sit at the top level (the documented frame) or inside
+  // params; absent/mistyped stays 0 and the server rejects it.
+  Result<int64_t> protocol = root.GetInt("protocol");
+  if (!protocol.ok()) {
+    const JsonValue* params = root.Find("params");
+    if (params != nullptr && params->is_object()) {
+      protocol = params->GetInt("protocol");
+    }
+  }
+  if (protocol.ok()) {
+    upgrade.protocol = protocol.ValueOrDie();
+  }
+  return upgrade;
+}
+
+std::string EncodeUpgradeAccept(int64_t id) {
+  Response ok;
+  ok.id = id;
+  return EncodeResponse(ok);
+}
+
+}  // namespace api
+}  // namespace wot

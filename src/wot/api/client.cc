@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "wot/api/codec.h"
@@ -15,10 +17,17 @@ Result<Response> LoopbackClient::Call(const Request& request) {
   if (!through_codec_) {
     return frontend_->Dispatch(stamped);
   }
-  std::string reply_line =
-      frontend_->DispatchLine(EncodeRequest(stamped));
   Response response;
-  ApiStatus decoded = DecodeResponse(reply_line, &response);
+  ApiStatus decoded;
+  if (protocol_ == WireProtocol::kBinary) {
+    std::string reply =
+        frontend_->DispatchFrame(EncodeRequestBinary(stamped));
+    decoded = DecodeResponseBinary(reply, &response);
+  } else {
+    std::string reply_line =
+        frontend_->DispatchLine(EncodeRequest(stamped));
+    decoded = DecodeResponse(reply_line, &response);
+  }
   if (!decoded.ok()) {
     return Status::Internal("undecodable loopback reply: " +
                             decoded.ToString());
@@ -27,15 +36,15 @@ Result<Response> LoopbackClient::Call(const Request& request) {
 }
 
 Result<std::unique_ptr<SocketClient>> SocketClient::Connect(
-    const std::string& socket_path) {
+    const std::string& socket_path, WireProtocol protocol) {
   WOT_ASSIGN_OR_RETURN(int fd, ConnectUnixSocket(socket_path));
-  return std::unique_ptr<SocketClient>(new SocketClient(fd));
+  return std::unique_ptr<SocketClient>(new SocketClient(fd, protocol));
 }
 
 Result<std::unique_ptr<SocketClient>> SocketClient::ConnectTcp(
-    const std::string& host_port) {
+    const std::string& host_port, WireProtocol protocol) {
   WOT_ASSIGN_OR_RETURN(int fd, ConnectTcpSocket(host_port));
-  return std::unique_ptr<SocketClient>(new SocketClient(fd));
+  return std::unique_ptr<SocketClient>(new SocketClient(fd, protocol));
 }
 
 SocketClient::~SocketClient() {
@@ -44,17 +53,50 @@ SocketClient::~SocketClient() {
   }
 }
 
+Result<std::string> SocketClient::NextFrame() {
+  while (true) {
+    if (std::optional<std::string> frame = frames_.NextFrame()) {
+      return std::move(*frame);
+    }
+    if (frames_.faulted()) {
+      return Status::IOError("undecodable server reply: " +
+                             frames_.fault_message());
+    }
+    char chunk[16384];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      frames_.Append(std::string_view(chunk, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Status::IOError(std::string("read(): ") +
+                           std::strerror(errno));
+  }
+}
+
 Result<Response> SocketClient::Call(const Request& request) {
   Request stamped = request;
   if (stamped.id == 0) stamped.id = next_id_++;
-  WOT_RETURN_IF_ERROR(SendAll(fd_, EncodeRequest(stamped) + "\n"));
-  std::string reply_line;
-  WOT_ASSIGN_OR_RETURN(bool got_line, reader_.Next(&reply_line));
-  if (!got_line) {
-    return Status::IOError("server closed the connection");
-  }
   Response response;
-  ApiStatus decoded = DecodeResponse(reply_line, &response);
+  ApiStatus decoded;
+  if (protocol_ == WireProtocol::kBinary) {
+    WOT_RETURN_IF_ERROR(SendAll(fd_, EncodeRequestBinary(stamped)));
+    WOT_ASSIGN_OR_RETURN(std::string frame, NextFrame());
+    decoded = DecodeResponseBinary(frame, &response);
+  } else {
+    WOT_RETURN_IF_ERROR(SendAll(fd_, EncodeRequest(stamped) + "\n"));
+    std::string reply_line;
+    WOT_ASSIGN_OR_RETURN(bool got_line, reader_.Next(&reply_line));
+    if (!got_line) {
+      return Status::IOError("server closed the connection");
+    }
+    decoded = DecodeResponse(reply_line, &response);
+  }
   if (!decoded.ok()) {
     return Status::IOError("undecodable server reply: " +
                            decoded.ToString());

@@ -1,17 +1,21 @@
 // Client-side transports of the api layer.
 //
 // ApiClient is the one interface callers program against; picking a
-// transport is a construction-time decision:
+// transport — and a wire protocol — is a construction-time decision:
 //
 //   * LoopbackClient — in-process dispatch against any Frontend (a
 //     ServiceFrontend or a ShardRouter). In `through_codec` mode every
-//     call is encoded to an NDJSON frame, pushed through DispatchLine and
+//     call is encoded to a wire frame (NDJSON or v2 binary, per the
+//     `protocol` option), pushed through DispatchLine/DispatchFrame and
 //     decoded back, exercising the full wire path without a process
-//     boundary (the property tests use both modes to prove the codec is
-//     transparent).
-//   * SocketClient — NDJSON over a SOCK_STREAM socket to a resident
-//     server: unix-domain (`wot_served --socket PATH`) via Connect, or
-//     TCP (`wot_served --listen HOST:PORT`) via ConnectTcp.
+//     boundary (the property tests use both modes to prove the codecs
+//     are transparent).
+//   * SocketClient — NDJSON or v2 binary frames over a SOCK_STREAM
+//     socket to a resident server: unix-domain (`wot_served --socket
+//     PATH`) via Connect, or TCP (`wot_served --listen HOST:PORT`) via
+//     ConnectTcp. A binary client is "binary-first": it never sends the
+//     upgrade handshake, relying on the server sniffing the frame magic
+//     of its first byte.
 //
 // Clients are synchronous and single-threaded: Call() writes one frame
 // and blocks for its reply. Pipelining callers should talk to the stream
@@ -23,6 +27,7 @@
 #include <string>
 
 #include "wot/api/api.h"
+#include "wot/api/binary_codec.h"
 #include "wot/api/frontend.h"
 #include "wot/api/unix_socket.h"
 
@@ -46,15 +51,19 @@ class ApiClient {
 class LoopbackClient : public ApiClient {
  public:
   /// \p frontend must outlive the client. With \p through_codec, calls
-  /// round-trip through the NDJSON wire format.
-  explicit LoopbackClient(Frontend* frontend, bool through_codec = false)
-      : frontend_(frontend), through_codec_(through_codec) {}
+  /// round-trip through the wire format selected by \p protocol.
+  explicit LoopbackClient(Frontend* frontend, bool through_codec = false,
+                          WireProtocol protocol = WireProtocol::kNdjson)
+      : frontend_(frontend),
+        through_codec_(through_codec),
+        protocol_(protocol) {}
 
   Result<Response> Call(const Request& request) override;
 
  private:
   Frontend* frontend_;
   bool through_codec_;
+  WireProtocol protocol_;
   int64_t next_id_ = 1;
 };
 
@@ -63,12 +72,14 @@ class SocketClient : public ApiClient {
  public:
   /// \brief Connects to the server listening on \p socket_path.
   static Result<std::unique_ptr<SocketClient>> Connect(
-      const std::string& socket_path);
+      const std::string& socket_path,
+      WireProtocol protocol = WireProtocol::kNdjson);
 
   /// \brief Connects to the server listening on TCP \p host_port
   /// ("127.0.0.1:7777"; empty host means loopback).
   static Result<std::unique_ptr<SocketClient>> ConnectTcp(
-      const std::string& host_port);
+      const std::string& host_port,
+      WireProtocol protocol = WireProtocol::kNdjson);
 
   ~SocketClient() override;
   SocketClient(const SocketClient&) = delete;
@@ -77,10 +88,23 @@ class SocketClient : public ApiClient {
   Result<Response> Call(const Request& request) override;
 
  private:
-  explicit SocketClient(int fd) : fd_(fd), reader_(fd) {}
+  SocketClient(int fd, WireProtocol protocol)
+      : fd_(fd),
+        protocol_(protocol),
+        reader_(fd),
+        frames_(kClientMaxPayloadBytes) {}
+
+  // Reads one complete binary frame off the socket.
+  Result<std::string> NextFrame();
+
+  /// Client-side bound on one response frame's payload (a server answer
+  /// larger than this indicates a desynchronized or hostile stream).
+  static constexpr size_t kClientMaxPayloadBytes = 64 * 1024 * 1024;
 
   int fd_;
-  FdLineReader reader_;
+  WireProtocol protocol_;
+  FdLineReader reader_;          // NDJSON framing
+  BinaryFrameAssembler frames_;  // binary framing
   int64_t next_id_ = 1;
 };
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "wot/api/binary_codec.h"
 #include "wot/api/codec.h"
 #include "wot/util/string_util.h"
 
@@ -71,6 +72,21 @@ std::string Frontend::DispatchLine(std::string_view line,
     return EncodeResponse(response);
   }
   return EncodeResponse(Dispatch(request, connection));
+}
+
+std::string Frontend::DispatchFrame(std::string_view frame,
+                                    const ConnectionContext& connection) {
+  Request request;
+  ApiStatus decode_status = DecodeRequestBinary(frame, &request);
+  if (!decode_status.ok()) {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.id = request.id;
+    response.status = std::move(decode_status);
+    return EncodeResponseBinary(response);
+  }
+  return EncodeResponseBinary(Dispatch(request, connection));
 }
 
 Response ServiceFrontend::DispatchPayload(

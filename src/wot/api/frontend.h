@@ -7,9 +7,9 @@
 //
 //   * wot_cli query       -> LoopbackClient -> Dispatch
 //   * wot_cli --connect   -> SocketClient -> wot_served -> DispatchLine
-//   * wot_served          -> DispatchLine over stdin/stdout, or the
-//                            wot/server ConnectionServer for --socket /
-//                            --listen
+//                            (or DispatchFrame on a binary connection)
+//   * wot_served          -> the wot/server ConnectionServer, for
+//                            stdin/stdout, --socket and --listen alike
 //
 // so responses are identical no matter how a request arrived (property-
 // tested bit-for-bit). Implementations:
@@ -74,7 +74,7 @@ struct FrontendStats {
 /// \brief Connection-server context for one dispatched request. A
 /// ConnectionServer fills this per request so the stats method can
 /// surface per-connection and aggregate serving counters; transports
-/// without connections (loopback, stdin/stdout) leave it defaulted.
+/// without connections (the in-process loopback) leave it defaulted.
 struct ConnectionContext {
   int64_t connections_active = 0;
   int64_t connections_accepted = 0;
@@ -105,6 +105,15 @@ class Frontend {
   }
   std::string DispatchLine(std::string_view line,
                            const ConnectionContext& connection);
+
+  /// \brief Decodes one v2 binary frame, dispatches it, encodes the binary
+  /// reply — DispatchLine's twin for connections that negotiated the
+  /// binary protocol. Total: any input yields a valid binary frame.
+  std::string DispatchFrame(std::string_view frame) {
+    return DispatchFrame(frame, ConnectionContext{});
+  }
+  std::string DispatchFrame(std::string_view frame,
+                            const ConnectionContext& connection);
 
   /// Value snapshot of the counters (they advance concurrently).
   virtual FrontendStats stats() const;

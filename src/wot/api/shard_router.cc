@@ -135,6 +135,14 @@ Response ShardRouter::RouteTrustLike(const Request& request,
                                      const ConnectionContext& connection,
                                      std::string_view source_ref,
                                      std::string_view target_ref) {
+  // Router-level version space: with 2+ shards every response surface
+  // reports the router epoch, never a shard-local snapshot version (the
+  // two number spaces drift apart as soon as one shard publishes a
+  // no-op commit). Read the epoch BEFORE loading the snapshots so it is
+  // a consistent lower bound for the data answered from. One shard
+  // keeps the shard's own version — bit-identity with a bare frontend.
+  const bool sharded = shards_.size() >= 2;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   SnapshotSet snapshots = LoadSnapshots();
   Result<ResolvedUser> source = ResolvePublished(snapshots, source_ref);
   if (!source.ok()) {
@@ -167,7 +175,16 @@ Response ShardRouter::RouteTrustLike(const Request& request,
     explain->source = std::to_string(s.local);
     explain->target = std::to_string(t.local);
   }
-  return Touch(s.shard)->Dispatch(local, connection);
+  Response response = Touch(s.shard)->Dispatch(local, connection);
+  if (sharded && response.status.ok()) {
+    if (TrustResult* trust = std::get_if<TrustResult>(&response.payload)) {
+      trust->snapshot_version = epoch;
+    } else if (ExplainResult* explain =
+                   std::get_if<ExplainResult>(&response.payload)) {
+      explain->snapshot_version = epoch;
+    }
+  }
+  return response;
 }
 
 Response ShardRouter::DispatchPayload(const Request& request,
@@ -192,18 +209,27 @@ Response ShardRouter::DispatchPayload(const Request& request,
         return ErrorResponse(
             ApiStatus::InvalidArgument("'k' must be positive"));
       }
+      const size_t num_shards = router.shards_.size();
+      // See RouteTrustLike: epoch read precedes the snapshot loads.
+      const uint64_t epoch =
+          router.epoch_.load(std::memory_order_acquire);
       SnapshotSet snapshots = router.LoadSnapshots();
       Result<ResolvedUser> source =
           router.ResolvePublished(snapshots, q.source);
       if (!source.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(source.status()));
       }
+      // A name staged on several shards has a pinned deterministic
+      // owner: the LOWEST shard id holding it (ResolvePublished probes
+      // shards in ascending order). source_name always comes from the
+      // owner, so repeated queries never flap between shards' spellings
+      // of the same name.
       const ResolvedUser& home = source.ValueOrDie();
-      const size_t num_shards = router.shards_.size();
       TopKResult result;
       result.source_name =
           snapshots[home.shard]->user_names().name(home.local);
-      result.snapshot_version = snapshots[home.shard]->version();
+      result.snapshot_version =
+          num_shards >= 2 ? epoch : snapshots[home.shard]->version();
       // Scatter: every shard hosting the source contributes its local
       // top-k (an index ref lives on exactly one shard; a name may be
       // staged on several). Shards without the source — empty shards
@@ -297,6 +323,18 @@ Response ShardRouter::DispatchPayload(const Request& request,
             ApiStatus::InvalidArgument("object name must not be empty"));
       }
       std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      // Dry-run the category resolution against shard 0 (every shard
+      // replicates the same category space, so its verdict is
+      // canonical) BEFORE staging anywhere: a rejected ingest must
+      // leave every shard's staged state untouched. Staging first and
+      // surfacing a later shard's rejection would leave the earlier
+      // shards' object spaces permanently diverged.
+      Result<CategoryId> category =
+          router.shards_[0]->service->ResolveStagedCategoryRef(
+              q.category);
+      if (!category.ok()) {
+        return ErrorResponse(ApiStatus::FromStatus(category.status()));
+      }
       int64_t assigned = -1;
       for (size_t s = 0; s < router.shards_.size(); ++s) {
         router.Touch(s);
@@ -304,12 +342,8 @@ Response ShardRouter::DispatchPayload(const Request& request,
             router.shards_[s]->service->AddObjectByRef(q.category,
                                                        q.name);
         if (!id.ok()) {
-          if (s == 0) {
-            // Every shard stages the identical category/object space, so
-            // shard 0's verdict is the canonical one; a rejection here
-            // means no shard appended anything.
-            return ErrorResponse(ApiStatus::FromStatus(id.status()));
-          }
+          // Unreachable after the dry-run above passed; any failure now
+          // is a broken replication invariant, not a client error.
           return ErrorResponse(ApiStatus::Internal(
               "object ingest diverged across shards: " +
               id.status().ToString()));

@@ -1,0 +1,49 @@
+#include "wot/io/byte_reader.h"
+
+#include <bit>
+
+namespace wot {
+
+uint64_t ByteReader::GetLittleEndian(int bytes) {
+  if (failed_ || remaining() < static_cast<size_t>(bytes)) {
+    failed_ = true;
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += bytes;
+  return v;
+}
+
+uint8_t ByteReader::GetU8() { return static_cast<uint8_t>(GetLittleEndian(1)); }
+
+uint32_t ByteReader::GetU32() {
+  return static_cast<uint32_t>(GetLittleEndian(4));
+}
+
+uint64_t ByteReader::GetU64() { return GetLittleEndian(8); }
+
+int32_t ByteReader::GetI32() {
+  return static_cast<int32_t>(static_cast<uint32_t>(GetLittleEndian(4)));
+}
+
+int64_t ByteReader::GetI64() { return static_cast<int64_t>(GetLittleEndian(8)); }
+
+double ByteReader::GetDouble() {
+  return std::bit_cast<double>(GetLittleEndian(8));
+}
+
+std::string ByteReader::GetString() {
+  uint32_t len = GetU32();
+  if (failed_ || len > remaining()) {
+    failed_ = true;
+    return std::string();
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+}  // namespace wot

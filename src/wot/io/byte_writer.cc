@@ -1,0 +1,43 @@
+#include "wot/io/byte_writer.h"
+
+#include <bit>
+
+namespace wot {
+
+ByteWriter& ByteWriter::PutLittleEndian(uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buffer_.push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+  return *this;
+}
+
+ByteWriter& ByteWriter::PutU8(uint8_t v) { return PutLittleEndian(v, 1); }
+
+ByteWriter& ByteWriter::PutU32(uint32_t v) { return PutLittleEndian(v, 4); }
+
+ByteWriter& ByteWriter::PutU64(uint64_t v) { return PutLittleEndian(v, 8); }
+
+ByteWriter& ByteWriter::PutI32(int32_t v) {
+  return PutLittleEndian(static_cast<uint32_t>(v), 4);
+}
+
+ByteWriter& ByteWriter::PutI64(int64_t v) {
+  return PutLittleEndian(static_cast<uint64_t>(v), 8);
+}
+
+ByteWriter& ByteWriter::PutDouble(double v) {
+  return PutLittleEndian(std::bit_cast<uint64_t>(v), 8);
+}
+
+ByteWriter& ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  return PutRaw(s);
+}
+
+ByteWriter& ByteWriter::PutRaw(std::string_view bytes) {
+  buffer_.append(bytes);
+  return *this;
+}
+
+}  // namespace wot

@@ -1,7 +1,7 @@
 // ConnectionServer: a concurrent connection front for the trust service.
 //
 // One epoll event loop multiplexes any number of simultaneously connected
-// NDJSON clients over a single shared api::Frontend (a ServiceFrontend or
+// clients over a single shared api::Frontend (a ServiceFrontend or
 // a ShardRouter — the server is implementation-agnostic), and a fixed
 // dispatch pool (--threads) executes requests in parallel — queries run
 // lock-free against the published TrustSnapshot (snapshot-resident name
@@ -20,16 +20,27 @@
 //     accumulate is disconnected rather than allowed to grow the buffer.
 //     Reading from a connection pauses while its output backlog is high,
 //     so one pipelining firehose cannot monopolize the dispatch pool.
-//   * Framing bound: a single request line longer than max_line_bytes is
-//     answered with a framed INVALID_ARGUMENT and the connection closed.
+//   * Framing bound: a single request line longer than max_line_bytes
+//     (or a binary frame whose payload exceeds it) is answered with a
+//     framed INVALID_ARGUMENT and the connection closed.
 //   * Graceful shutdown: RequestStop() (async-signal-safe; wired to
 //     SIGINT/SIGTERM by wot_served) stops accepting, answers every
 //     request already read, flushes write buffers, then Serve() returns.
 //     Connections still open after drain_timeout_ms are force-closed.
 //
+// Wire protocols: each connection starts in options.initial_protocol
+// (NDJSON by default) and carries its own codec state. An NDJSON
+// connection switches to the v2 binary framing either through the
+// {"v":1,"method":"upgrade","protocol":2} handshake (acknowledged with a
+// bare OK in FIFO position; every frame after the handshake line is
+// binary) or by starting its very first byte with the binary frame magic
+// — see docs/wire_protocol.md, "v2 binary framing".
+//
 // The server owns no service state: construct it over any frontend, call
-// Serve(listen_fd) on the serving thread (it blocks), RequestStop() from
-// anywhere. One Serve() call per server instance.
+// Serve(listen_fd) — or ServeConnection(read_fd, write_fd) for an
+// already-connected byte stream such as stdin/stdout — on the serving
+// thread (it blocks), RequestStop() from anywhere. One Serve*() call per
+// server instance.
 #ifndef WOT_SERVER_CONNECTION_SERVER_H_
 #define WOT_SERVER_CONNECTION_SERVER_H_
 
@@ -39,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "wot/api/binary_codec.h"
 #include "wot/api/frontend.h"
 #include "wot/util/macros.h"
 #include "wot/util/result.h"
@@ -63,6 +75,11 @@ struct ConnectionServerOptions {
   size_t max_in_flight_per_connection = 1024;
   /// Grace period for the shutdown drain before force-closing.
   int drain_timeout_ms = 5000;
+  /// The framing every connection starts in. With kNdjson, binary-first
+  /// clients are still sniffed by their magic first byte; with kBinary,
+  /// connections speak v2 frames from the first byte (no NDJSON, no
+  /// handshake).
+  api::WireProtocol initial_protocol = api::WireProtocol::kNdjson;
 };
 
 /// \brief Aggregate serving counters (readable from any thread).
@@ -89,6 +106,14 @@ class ConnectionServer {
   /// fatal event-loop error.
   Status Serve(int listen_fd);
 
+  /// \brief Serves one already-connected byte stream — e.g. stdin/stdout
+  /// — through the same event loop, dispatch pool and drain semantics as
+  /// Serve(). Takes ownership of both fds (they may be equal; regular
+  /// files work — an unpollable fd is treated as always ready, which is
+  /// sound because regular files never block). Blocks until the stream
+  /// hits EOF and every response flushed, or RequestStop().
+  Status ServeConnection(int read_fd, int write_fd);
+
   /// \brief Initiates graceful shutdown. Thread-safe and
   /// async-signal-safe (an atomic store plus an eventfd write), so it
   /// may be called directly from a SIGINT/SIGTERM handler.
@@ -101,7 +126,8 @@ class ConnectionServer {
   struct Completion {
     uint64_t connection_id = 0;
     uint64_t seq = 0;
-    std::string frame;  // encoded response, newline-terminated
+    std::string frame;  // encoded response (newline-terminated NDJSON,
+                        // or one self-delimiting binary frame)
   };
   class Loop;  // owns the per-Serve epoll state
 

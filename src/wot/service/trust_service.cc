@@ -137,29 +137,37 @@ Result<UserId> TrustService::ResolveStagedUserLocked(std::string_view ref) {
   return it->second;
 }
 
-Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
-                                              std::string name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+Result<CategoryId> TrustService::ResolveStagedCategoryLocked(
+    std::string_view ref) {
   const Dataset& staged = builder_.StagedView();
-  if (category_ref.empty()) {
+  if (ref.empty()) {
     return Status::InvalidArgument("empty category reference");
   }
-  Result<int64_t> as_index = ParseInt64(category_ref);
-  CategoryId category(0);
+  Result<int64_t> as_index = ParseInt64(ref);
   if (as_index.ok()) {
     int64_t index = as_index.ValueOrDie();
     if (index < 0 ||
         static_cast<size_t>(index) >= staged.num_categories()) {
       return Status::NotFound(
-          "category index " + std::string(category_ref) +
-          " out of range [0, " + std::to_string(staged.num_categories()) +
-          ")");
+          "category index " + std::string(ref) + " out of range [0, " +
+          std::to_string(staged.num_categories()) + ")");
     }
-    category = CategoryId(static_cast<uint32_t>(index));
-  } else {
-    WOT_ASSIGN_OR_RETURN(category,
-                         staged.FindCategory(std::string(category_ref)));
+    return CategoryId(static_cast<uint32_t>(index));
   }
+  return staged.FindCategory(std::string(ref));
+}
+
+Result<CategoryId> TrustService::ResolveStagedCategoryRef(
+    std::string_view ref) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return ResolveStagedCategoryLocked(ref);
+}
+
+Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
+                                              std::string name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  WOT_ASSIGN_OR_RETURN(CategoryId category,
+                       ResolveStagedCategoryLocked(category_ref));
   return builder_.AddObject(category, std::move(name));
 }
 

@@ -125,6 +125,13 @@ class TrustService {
   /// which shard stages a given name before fanning an ingest out.
   Result<UserId> ResolveStagedUserRef(std::string_view ref);
 
+  /// \brief Resolves a name-or-index category ref against the STAGED
+  /// dataset without staging anything (takes the writer lock). This is
+  /// exactly AddObjectByRef's validation, exposed so a shard router can
+  /// obtain the canonical verdict BEFORE fanning an object ingest out to
+  /// every shard — a rejection must stage nothing anywhere.
+  Result<CategoryId> ResolveStagedCategoryRef(std::string_view ref);
+
   /// \brief Derives the staged activity and publishes a new snapshot.
   /// No-op (published = false) when nothing derivable changed.
   Result<CommitStats> Commit();
@@ -161,6 +168,10 @@ class TrustService {
   /// Resolves a name-or-index user ref against the staged dataset.
   /// Requires writer_mu_ (absorbs the staged tail into the name index).
   Result<UserId> ResolveStagedUserLocked(std::string_view ref);
+
+  /// Resolves a name-or-index category ref against the staged dataset.
+  /// Requires writer_mu_.
+  Result<CategoryId> ResolveStagedCategoryLocked(std::string_view ref);
 
   /// Builds and atomically publishes the next snapshot. Requires writer_mu_.
   Result<CommitStats> CommitLocked();

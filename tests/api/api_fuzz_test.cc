@@ -1,10 +1,11 @@
-// Fuzzed-request property: DispatchLine is total — for BOTH Frontend
-// implementations. Whatever bytes arrive — valid frames, mutated frames,
-// truncations, raw garbage, adversarial nesting — a ServiceFrontend and
-// a 3-shard ShardRouter each answer every line with one decodable
-// response frame (OK or a structured ApiStatus error) and never crash.
-// Run under ASan/UBSan in CI, this doubles as a memory-safety fuzz of
-// the parser and of the router's resolve/route/scatter paths.
+// Fuzzed-request property: DispatchLine AND DispatchFrame are total —
+// for BOTH Frontend implementations. Whatever bytes arrive — valid
+// frames, mutated frames, truncations, hostile length prefixes, raw
+// garbage, adversarial nesting — a ServiceFrontend and a 3-shard
+// ShardRouter each answer every input with one decodable response frame
+// (OK or a structured ApiStatus error) and never crash. Run under
+// ASan/UBSan in CI, this doubles as a memory-safety fuzz of both codecs
+// and of the router's resolve/route/scatter paths.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "testing/fixtures.h"
+#include "wot/api/binary_codec.h"
 #include "wot/api/codec.h"
 #include "wot/api/frontend.h"
 #include "wot/api/shard_router.h"
@@ -42,6 +44,21 @@ class ApiFuzzTest : public ::testing::Test {
       ApiStatus decoded = DecodeResponse(reply, &response);
       ASSERT_TRUE(decoded.ok())
           << "unframed reply " << reply << " for line: " << line;
+    }
+  }
+
+  // The binary twin: ANY byte string yields a decodable v2 error or
+  // result frame from DispatchFrame — never a crash, never raw bytes.
+  void ExpectFramedBinaryReply(const std::string& frame) {
+    for (Frontend* target :
+         {static_cast<Frontend*>(frontend_.get()),
+          static_cast<Frontend*>(router_.get())}) {
+      std::string reply = target->DispatchFrame(frame);
+      Response response;
+      ApiStatus decoded = DecodeResponseBinary(reply, &response);
+      ASSERT_TRUE(decoded.ok())
+          << "unframed binary reply (" << decoded.ToString()
+          << ") for a frame of " << frame.size() << " bytes";
     }
   }
 
@@ -161,6 +178,111 @@ TEST_F(ApiFuzzTest, PureRandomBytes) {
       line += (b == '\n') ? ' ' : b;
     }
     ExpectFramedReply(line);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary decoder fuzz.
+
+// One valid binary frame per method, to mutate.
+std::vector<std::string> SeedBinaryFrames() {
+  std::vector<std::string> frames;
+  int64_t id = 1;
+  for (RequestPayload payload : std::initializer_list<RequestPayload>{
+           TrustQuery{"u0", "u1"}, TopKQuery{"0", 3},
+           ExplainQuery{"u2", "u0"}, IngestUser{"fuzz"},
+           IngestCategory{"c"}, IngestObject{"movies", "o"},
+           IngestReview{"u3", 0}, IngestRating{"u3", 1, 0.8},
+           CommitRequest{}, StatsRequest{}}) {
+    Request request;
+    request.id = id++;
+    request.payload = std::move(payload);
+    frames.push_back(EncodeRequestBinary(request));
+  }
+  return frames;
+}
+
+TEST_F(ApiFuzzTest, HandCraftedHostileBinaryFrames) {
+  std::string valid = SeedBinaryFrames()[0];
+  std::vector<std::string> frames = {
+      "",                                  // empty
+      std::string(1, '\xB2'),              // lone magic byte
+      valid.substr(0, 4),                  // header torn mid-id
+      valid.substr(0, 15),                 // one byte short of a header
+      valid.substr(0, 16),                 // header only, payload gone
+      valid + std::string(3, '\0'),        // trailing garbage
+      std::string(16, '\0'),               // zeroed header (bad magic)
+      "{\"v\":1,\"method\":\"stats\"}",    // NDJSON on the binary path
+      std::string(200, '\xB2'),            // magic bytes all the way down
+  };
+  // Oversized length prefix: header claims 4 GiB of payload.
+  std::string oversized = valid.substr(0, 16);
+  for (size_t i = 12; i < 16; ++i) oversized[i] = '\xFF';
+  frames.push_back(oversized);
+  // Unknown framing version and unknown method code.
+  std::string bad_version = valid;
+  bad_version[1] = '\x7F';
+  frames.push_back(bad_version);
+  std::string bad_method = valid;
+  bad_method[2] = '\xEE';
+  frames.push_back(bad_method);
+  for (const std::string& frame : frames) {
+    ExpectFramedBinaryReply(frame);
+  }
+}
+
+TEST_F(ApiFuzzTest, MutatedBinaryFramesAlwaysGetStructuredReplies) {
+  std::mt19937_64 rng(20260808);
+  std::vector<std::string> seeds = SeedBinaryFrames();
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string frame = seeds[rng() % seeds.size()];
+    switch (rng() % 6) {
+      case 0:  // truncate anywhere, header included
+        frame = frame.substr(0, rng() % (frame.size() + 1));
+        break;
+      case 1: {  // flip random bytes (binary framing has no newline rule)
+        size_t flips = 1 + rng() % 8;
+        for (size_t f = 0; f < flips && !frame.empty(); ++f) {
+          frame[rng() % frame.size()] = static_cast<char>(byte(rng));
+        }
+        break;
+      }
+      case 2: {  // corrupt the length prefix specifically
+        frame[12 + rng() % 4] = static_cast<char>(byte(rng));
+        break;
+      }
+      case 3: {  // splice two frames
+        const std::string& other = seeds[rng() % seeds.size()];
+        frame = frame.substr(0, rng() % (frame.size() + 1)) +
+                other.substr(rng() % (other.size() + 1));
+        break;
+      }
+      case 4: {  // append garbage payload bytes
+        size_t extra = 1 + rng() % 32;
+        for (size_t i = 0; i < extra; ++i) {
+          frame += static_cast<char>(byte(rng));
+        }
+        break;
+      }
+      case 5:  // keep valid
+        break;
+    }
+    ExpectFramedBinaryReply(frame);
+  }
+}
+
+TEST_F(ApiFuzzTest, PureRandomBinaryBytes) {
+  std::mt19937_64 rng(43);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 200);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string frame;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      frame += static_cast<char>(byte(rng));
+    }
+    ExpectFramedBinaryReply(frame);
   }
 }
 

@@ -1,0 +1,264 @@
+// Unit tests of the v2 binary wire codec: exact frame layout, encode →
+// decode round trips across the full request/response surface (every
+// method, every result type, the error model), total decoding of
+// malformed frames, the BinaryFrameAssembler, and the upgrade handshake
+// helpers.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wot/api/binary_codec.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+Request MakeRequest(RequestPayload payload, int64_t id = 7) {
+  Request request;
+  request.id = id;
+  request.payload = std::move(payload);
+  return request;
+}
+
+// Every method with non-default field values.
+std::vector<Request> AllMethodRequests() {
+  return {
+      MakeRequest(TrustQuery{"alice", "bob"}, 1),
+      MakeRequest(TopKQuery{"alice", 12}, 2),
+      MakeRequest(ExplainQuery{"7", "nina"}, 3),
+      MakeRequest(IngestUser{"carol"}, 4),
+      MakeRequest(IngestCategory{"movies"}, 5),
+      MakeRequest(IngestObject{"movies", "heat"}, 6),
+      MakeRequest(IngestReview{"carol", 42}, 7),
+      MakeRequest(IngestRating{"carol", 9, 0.75}, 8),
+      MakeRequest(CommitRequest{}, 9),
+      MakeRequest(StatsRequest{}, 10),
+  };
+}
+
+TEST(BinaryCodecTest, FrameHeaderLayoutIsPinned) {
+  std::string frame = EncodeRequestBinary(
+      MakeRequest(CommitRequest{}, /*id=*/0x0102030405060708));
+  ASSERT_EQ(frame.size(), kBinaryHeaderSize);  // commit has no payload
+  EXPECT_EQ(static_cast<uint8_t>(frame[0]), kBinaryMagic);
+  EXPECT_EQ(static_cast<uint8_t>(frame[1]), 2);  // framing version
+  EXPECT_EQ(static_cast<uint8_t>(frame[2]), 8);  // commit's variant index
+  EXPECT_EQ(static_cast<uint8_t>(frame[3]), 0);  // reserved
+  // Request id, little-endian.
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), 0x08);
+  EXPECT_EQ(static_cast<uint8_t>(frame[11]), 0x01);
+  // Zero payload length.
+  EXPECT_EQ(frame.substr(12, 4), std::string(4, '\0'));
+}
+
+TEST(BinaryCodecTest, EveryMethodRoundTrips) {
+  for (const Request& request : AllMethodRequests()) {
+    std::string frame = EncodeRequestBinary(request);
+    Request decoded;
+    ApiStatus status = DecodeRequestBinary(frame, &decoded);
+    ASSERT_TRUE(status.ok())
+        << MethodName(request.payload) << ": " << status.ToString();
+    EXPECT_EQ(decoded, request) << MethodName(request.payload);
+  }
+}
+
+TEST(BinaryCodecTest, EveryResultTypeRoundTrips) {
+  TrustResult trust{0.5, "alice", "bob", 3};
+  TopKResult topk;
+  topk.source_name = "alice";
+  topk.trustees = {{4, "dave", 0.9}, {1, "bob", 0.25}};
+  topk.snapshot_version = 6;
+  ExplainResult explain;
+  explain.trust = 0.5;
+  explain.affinity_sum = 1.5;
+  explain.source_name = "alice";
+  explain.target_name = "bob";
+  explain.terms = {{2, "movies", 0.4, 0.6, 0.24}};
+  explain.snapshot_version = 6;
+  CommitResult commit{9, true, 3, 14, 2};
+  StatsResult stats;
+  stats.snapshot_version = 4;
+  stats.users = 100;
+  stats.categories = 7;
+  stats.reviews = 300;
+  stats.ratings = 900;
+  stats.service_boots = 3;
+  stats.requests_served = 55;
+  stats.connections_active = 2;
+  stats.connections_accepted = 11;
+  stats.connection_requests_served = 5;
+  stats.shards = 3;
+  stats.shard_service_boots = {1, 1, 1};
+  stats.shard_requests_served = {20, 18, 17};
+
+  std::vector<ResponsePayload> payloads = {
+      std::monostate{}, trust,  topk, explain, IngestResult{41},
+      commit,           stats,
+  };
+  int64_t id = 1;
+  for (const ResponsePayload& payload : payloads) {
+    Response response;
+    response.id = id++;
+    response.payload = payload;
+    Response decoded;
+    ApiStatus status =
+        DecodeResponseBinary(EncodeResponseBinary(response), &decoded);
+    ASSERT_TRUE(status.ok())
+        << "payload index " << payload.index() << ": " << status.ToString();
+    EXPECT_EQ(decoded, response) << "payload index " << payload.index();
+  }
+}
+
+TEST(BinaryCodecTest, ErrorResponsesCarryTheFullStatus) {
+  for (ApiCode code : {ApiCode::kNotFound, ApiCode::kInvalidArgument,
+                       ApiCode::kUnimplemented, ApiCode::kInternal}) {
+    Response error;
+    error.id = 19;
+    error.status = {code, "something went wrong: detail"};
+    Response decoded;
+    ApiStatus status =
+        DecodeResponseBinary(EncodeResponseBinary(error), &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded, error);
+  }
+}
+
+TEST(BinaryCodecTest, TruncatedFramesAreRejectedWithSalvagedId) {
+  std::string frame = EncodeRequestBinary(MakeRequest(TrustQuery{"a", "b"}));
+  // Shorter than the header: no id to salvage.
+  Request decoded;
+  ApiStatus status = DecodeRequestBinary(frame.substr(0, 11), &decoded);
+  EXPECT_EQ(status.code, ApiCode::kInvalidArgument);
+  EXPECT_EQ(decoded.id, 0);
+  // Full header, truncated payload: id salvaged, length mismatch named.
+  status = DecodeRequestBinary(frame.substr(0, frame.size() - 1), &decoded);
+  EXPECT_EQ(status.code, ApiCode::kInvalidArgument);
+  EXPECT_EQ(decoded.id, 7);
+  // Trailing garbage is rejected, never silently ignored.
+  status = DecodeRequestBinary(frame + "x", &decoded);
+  EXPECT_EQ(status.code, ApiCode::kInvalidArgument);
+}
+
+TEST(BinaryCodecTest, BadMagicVersionMethodAndStatusAreRejected) {
+  std::string frame = EncodeRequestBinary(MakeRequest(StatsRequest{}));
+  Request decoded;
+
+  std::string bad_magic = frame;
+  bad_magic[0] = '{';
+  EXPECT_EQ(DecodeRequestBinary(bad_magic, &decoded).code,
+            ApiCode::kInvalidArgument);
+
+  std::string bad_version = frame;
+  bad_version[1] = 3;
+  ApiStatus status = DecodeRequestBinary(bad_version, &decoded);
+  EXPECT_EQ(status.code, ApiCode::kInvalidArgument);
+  EXPECT_NE(status.message.find("unsupported binary framing version 3"),
+            std::string::npos);
+
+  std::string bad_method = frame;
+  bad_method[2] = 99;
+  EXPECT_EQ(DecodeRequestBinary(bad_method, &decoded).code,
+            ApiCode::kUnimplemented);
+
+  Response response;
+  std::string bad_status = EncodeResponseBinary(Response{});
+  bad_status[2] = 77;
+  EXPECT_EQ(DecodeResponseBinary(bad_status, &response).code,
+            ApiCode::kInvalidArgument);
+}
+
+TEST(BinaryCodecTest, PayloadWithEmbeddedStringOverrunIsRejected) {
+  // A trust request whose source-string length prefix claims more bytes
+  // than the payload holds.
+  std::string frame = EncodeRequestBinary(MakeRequest(TrustQuery{"a", "b"}));
+  frame[kBinaryHeaderSize] = static_cast<char>(0xFF);  // source length LSB
+  Request decoded;
+  EXPECT_EQ(DecodeRequestBinary(frame, &decoded).code,
+            ApiCode::kInvalidArgument);
+}
+
+TEST(BinaryFrameAssemblerTest, ReassemblesSplitAndPipelinedFrames) {
+  std::string a = EncodeRequestBinary(MakeRequest(TrustQuery{"x", "y"}, 1));
+  std::string b = EncodeRequestBinary(MakeRequest(StatsRequest{}, 2));
+  BinaryFrameAssembler assembler(1 << 20);
+  std::string stream = a + b;
+  // Dribble the two frames in 3-byte chunks.
+  for (size_t i = 0; i < stream.size(); i += 3) {
+    ASSERT_TRUE(assembler.Append(stream.substr(i, 3)));
+  }
+  EXPECT_EQ(assembler.NextFrame(), std::optional<std::string>(a));
+  EXPECT_EQ(assembler.NextFrame(), std::optional<std::string>(b));
+  EXPECT_EQ(assembler.NextFrame(), std::nullopt);
+  EXPECT_FALSE(assembler.faulted());
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(BinaryFrameAssemblerTest, FaultsOnDesyncAndOversizedFrames) {
+  BinaryFrameAssembler desynced(1 << 20);
+  EXPECT_FALSE(desynced.Append("{\"v\":1}"));  // NDJSON on a binary stream
+  EXPECT_TRUE(desynced.faulted());
+  EXPECT_NE(desynced.fault_message().find("bad frame magic"),
+            std::string::npos);
+  EXPECT_FALSE(desynced.Append("more"));  // sticky
+
+  BinaryFrameAssembler oversized(/*max_payload_bytes=*/16);
+  std::string big =
+      EncodeRequestBinary(MakeRequest(IngestUser{std::string(64, 'x')}));
+  EXPECT_FALSE(oversized.Append(big));
+  EXPECT_TRUE(oversized.faulted());
+  EXPECT_NE(oversized.fault_message().find("exceeds"), std::string::npos);
+
+  // Frames completed BEFORE trailing garbage still come out; the fault
+  // only surfaces once the stream head reaches the bad bytes (so a
+  // server answers every well-framed request before erroring out).
+  BinaryFrameAssembler mixed(1 << 20);
+  std::string good = EncodeRequestBinary(MakeRequest(StatsRequest{}, 3));
+  EXPECT_TRUE(mixed.Append(good + "garbage"));
+  EXPECT_EQ(mixed.NextFrame(), std::optional<std::string>(good));
+  EXPECT_EQ(mixed.NextFrame(), std::nullopt);
+  EXPECT_TRUE(mixed.faulted());
+}
+
+TEST(UpgradeHandshakeTest, ParsesDocumentedAndParamsForms) {
+  std::optional<UpgradeRequest> upgrade =
+      ParseUpgradeLine(R"({"v":1,"id":5,"method":"upgrade","protocol":2})");
+  ASSERT_TRUE(upgrade.has_value());
+  EXPECT_EQ(upgrade->id, 5);
+  EXPECT_EQ(upgrade->protocol, 2);
+
+  upgrade = ParseUpgradeLine(
+      R"({"v":1,"id":6,"method":"upgrade","params":{"protocol":2}})");
+  ASSERT_TRUE(upgrade.has_value());
+  EXPECT_EQ(upgrade->protocol, 2);
+
+  // Missing/mistyped protocol parses as 0 (the server then rejects).
+  upgrade = ParseUpgradeLine(R"({"v":1,"method":"upgrade"})");
+  ASSERT_TRUE(upgrade.has_value());
+  EXPECT_EQ(upgrade->protocol, 0);
+
+  // Non-upgrade lines belong to the normal dispatch path.
+  EXPECT_FALSE(ParseUpgradeLine(R"({"v":1,"method":"stats"})").has_value());
+  EXPECT_FALSE(ParseUpgradeLine(R"({"v":2,"method":"upgrade"})").has_value());
+  EXPECT_FALSE(ParseUpgradeLine("not json").has_value());
+}
+
+TEST(UpgradeHandshakeTest, AcceptFrameIsABareOkResponse) {
+  EXPECT_EQ(EncodeUpgradeAccept(9), R"({"v":1,"id":9,"status":"OK"})");
+}
+
+TEST(BinaryCodecTest, WireProtocolNamesRoundTrip) {
+  EXPECT_EQ(WireProtocolFromName("ndjson").ValueOrDie(),
+            WireProtocol::kNdjson);
+  EXPECT_EQ(WireProtocolFromName("binary").ValueOrDie(),
+            WireProtocol::kBinary);
+  EXPECT_FALSE(WireProtocolFromName("json").ok());
+  EXPECT_EQ(std::string(WireProtocolName(WireProtocol::kBinary)), "binary");
+  EXPECT_EQ(std::string(WireProtocolName(WireProtocol::kNdjson)), "ndjson");
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

@@ -4,9 +4,13 @@
 // ctest), streams a pipelined script of 1000+ NDJSON requests through its
 // stdin, and byte-diffs every response line against an in-process
 // ServiceFrontend over the identical synthetic dataset — proving the
-// process boundary is transparent. The stats frame and the stderr log
-// then prove all those requests shared ONE service boot (the whole point
-// of a resident server vs. per-invocation wot_cli).
+// process boundary is transparent. Stdio serving runs on the
+// ConnectionServer event loop, so the reference supplies the matching
+// ConnectionContext (one stdio connection) and the server runs with
+// --threads 1 — sequential dispatch keeps the requests_served counter
+// inside stats responses deterministic under pipelining. The stats frame
+// and the stderr log then prove all those requests shared ONE service
+// boot (the whole point of a resident server vs. per-invocation wot_cli).
 //
 // A second section covers --socket mode through SocketClient.
 #include <gtest/gtest.h>
@@ -121,10 +125,11 @@ ServedRun RunServed(const std::vector<std::string>& lines,
     close(out_pipe[1]);
     if (shards != nullptr) {
       execl(ServedBinary(), ServedBinary(), "--users", "80", "--seed",
-            "123", "--shards", shards, static_cast<char*>(nullptr));
+            "123", "--threads", "1", "--shards", shards,
+            static_cast<char*>(nullptr));
     } else {
       execl(ServedBinary(), ServedBinary(), "--users", "80", "--seed",
-            "123", static_cast<char*>(nullptr));
+            "123", "--threads", "1", static_cast<char*>(nullptr));
     }
     _exit(127);
   }
@@ -198,12 +203,18 @@ TEST(ServedRoundTripTest, PipelinedScriptMatchesLoopbackByteForByte) {
   ASSERT_EQ(run.exit_code, 0) << run.stderr_log;
   ASSERT_EQ(run.responses.size(), script.size());
 
-  // The reference: the same frontend logic, in-process, same dataset.
+  // The reference: the same frontend logic, in-process, same dataset,
+  // with the ConnectionContext the stdio connection server supplies —
+  // one connection, request i+1 read off it when line i dispatches.
   std::unique_ptr<TrustService> service =
       TrustService::Create(dataset).ValueOrDie();
   ServiceFrontend loopback(service.get());
   for (size_t i = 0; i < script.size(); ++i) {
-    EXPECT_EQ(run.responses[i], loopback.DispatchLine(script[i]))
+    ConnectionContext context;
+    context.connections_active = 1;
+    context.connections_accepted = 1;
+    context.connection_requests_served = static_cast<int64_t>(i) + 1;
+    EXPECT_EQ(run.responses[i], loopback.DispatchLine(script[i], context))
         << "response " << i << " diverged for request: " << script[i];
   }
 

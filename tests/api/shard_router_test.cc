@@ -5,7 +5,9 @@
 // INTERNAL), and a commit fan-out where one shard has nothing dirty.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -317,6 +319,113 @@ TEST(ShardRouterTest, SingleShardStatsOmitShardFields) {
 
 TEST(ShardRouterTest, ZeroShardsIsRejected) {
   EXPECT_FALSE(ShardRouter::Create(testing::TinyCommunity(), 0).ok());
+}
+
+TEST(ShardRouterTest, RejectedObjectIngestStagesNothingAnywhere) {
+  // ISSUE-6 regression: a rejected ingest_object must leave every
+  // shard's staged state untouched. (The pre-fix fan-out could stage on
+  // earlier shards before a later shard's rejection surfaced, leaving
+  // the replicated object spaces permanently diverged.)
+  Dataset seed = SynthCommunityDataset(30, 13);
+  constexpr size_t kShards = 3;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+  size_t objects_before[kShards];
+  for (size_t s = 0; s < kShards; ++s) {
+    objects_before[s] =
+        router->shard_service(s)->staged_dataset().num_objects();
+  }
+
+  // Every rejection class: unknown category name, out-of-range index,
+  // empty category ref, empty object name.
+  EXPECT_EQ(
+      Call(*router, IngestObject{"no_such_category", "widget"}).status.code,
+      ApiCode::kNotFound);
+  EXPECT_EQ(Call(*router, IngestObject{"99", "widget"}).status.code,
+            ApiCode::kNotFound);
+  EXPECT_EQ(Call(*router, IngestObject{"", "widget"}).status.code,
+            ApiCode::kInvalidArgument);
+  EXPECT_EQ(Call(*router, IngestObject{"0", ""}).status.code,
+            ApiCode::kInvalidArgument);
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(router->shard_service(s)->staged_dataset().num_objects(),
+              objects_before[s])
+        << "rejected ingest staged an object on shard " << s;
+  }
+
+  // The next ACCEPTED ingest assigns the next dense id on every shard —
+  // proof the replicated id spaces never skipped a slot.
+  Response accepted = Call(*router, IngestObject{"0", "widget"});
+  ASSERT_TRUE(accepted.status.ok()) << accepted.status.ToString();
+  EXPECT_EQ(std::get<IngestResult>(accepted.payload).assigned_id,
+            static_cast<int64_t>(objects_before[0]));
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(router->shard_service(s)->staged_dataset().num_objects(),
+              objects_before[s] + 1);
+  }
+}
+
+TEST(ShardRouterTest, TopKNameOnSeveralShardsPinsTheLowestOwner) {
+  // ISSUE-6: a *name* ref staged on multiple shards has a pinned
+  // deterministic owner — the lowest shard id holding it — and the
+  // scatter still merges every holding shard's list. Build a community
+  // where the name "twin" lands on shards 1 AND 2 (globals 1 and 2) but
+  // not on shard 0.
+  DatasetBuilder builder;
+  CategoryId cat = builder.AddCategory("c");
+  builder.AddUser("solo");          // global 0 -> shard 0
+  UserId twin1 = builder.AddUser("twin");  // global 1 -> shard 1
+  UserId twin2 = builder.AddUser("twin");  // global 2 -> shard 2
+  UserId w1 = builder.AddUser("w1");       // global 3 -> shard 0
+  UserId w4 = builder.AddUser("w4");       // global 4 -> shard 1
+  UserId w5 = builder.AddUser("w5");       // global 5 -> shard 2
+  (void)w1;
+  ObjectId o0 = builder.AddObject(cat, "o0").ValueOrDie();
+  ObjectId o1 = builder.AddObject(cat, "o1").ValueOrDie();
+  // Each twin rates a same-shard writer's review, so both shards derive
+  // a non-trivial top-k for their local "twin".
+  ReviewId r0 = builder.AddReview(w4, o0).ValueOrDie();
+  ReviewId r1 = builder.AddReview(w5, o1).ValueOrDie();
+  WOT_CHECK_OK(builder.AddRating(twin1, r0, 1.0));
+  WOT_CHECK_OK(builder.AddRating(twin2, r1, 0.8));
+  Dataset seed = builder.Build().ValueOrDie();
+
+  constexpr size_t kShards = 3;
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(seed, kShards).ValueOrDie();
+  Response response = Call(*router, TopKQuery{"twin", 8});
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const TopKResult& result = std::get<TopKResult>(response.payload);
+  EXPECT_EQ(result.source_name, "twin");
+  // Version comes from the router epoch (never from whichever shard the
+  // probe hit), so duplicate-name ownership can not make it flap.
+  EXPECT_EQ(result.snapshot_version, router->epoch());
+
+  // The merge carries BOTH shards' contributions in global ids.
+  std::vector<ScoredUserEntry> expected;
+  for (size_t s : {size_t{1}, size_t{2}}) {
+    std::shared_ptr<const TrustSnapshot> snapshot =
+        router->shard_service(s)->Snapshot();
+    std::optional<uint32_t> local = snapshot->user_names().Find("twin");
+    ASSERT_TRUE(local.has_value()) << "shard " << s;
+    for (const ScoredUser& scored : snapshot->TopK(*local, 8)) {
+      expected.push_back(
+          {static_cast<uint32_t>(
+               GlobalUserOfShard(scored.user, s, kShards)),
+           snapshot->user_names().name(scored.user), scored.score});
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const ScoredUserEntry& a, const ScoredUserEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  EXPECT_EQ(result.trustees, expected);
+
+  // Determinism: the same query answers identically, every time.
+  Response again = Call(*router, TopKQuery{"twin", 8});
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(std::get<TopKResult>(again.payload), result);
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Unit tests of ByteWriter/ByteReader: explicit little-endian layout
+// (byte-for-byte, independent of host order), round trips of every field
+// kind, the sticky-failure contract, and hostile string length prefixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "wot/io/byte_reader.h"
+#include "wot/io/byte_writer.h"
+
+namespace wot {
+namespace {
+
+TEST(ByteWriterTest, EmitsLittleEndianBytes) {
+  ByteWriter writer;
+  writer.PutU8(0xAB).PutU32(0x01020304u).PutU64(0x1122334455667788ull);
+  const std::string& buffer = writer.buffer();
+  ASSERT_EQ(buffer.size(), 13u);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[0]), 0xAB);
+  // u32 0x01020304 -> 04 03 02 01.
+  EXPECT_EQ(static_cast<uint8_t>(buffer[1]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[2]), 0x03);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[3]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[4]), 0x01);
+  // u64 LSB first.
+  EXPECT_EQ(static_cast<uint8_t>(buffer[5]), 0x88);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[12]), 0x11);
+}
+
+TEST(ByteWriterTest, StringsCarryU32LengthPrefix) {
+  ByteWriter writer;
+  writer.PutString("abc");
+  const std::string& buffer = writer.buffer();
+  ASSERT_EQ(buffer.size(), 7u);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[0]), 3);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[1]), 0);
+  EXPECT_EQ(buffer.substr(4), "abc");
+}
+
+TEST(ByteStreamTest, RoundTripsEveryFieldKind) {
+  ByteWriter writer;
+  writer.PutU8(0)
+      .PutU8(255)
+      .PutU32(std::numeric_limits<uint32_t>::max())
+      .PutU64(std::numeric_limits<uint64_t>::max())
+      .PutI32(-1)
+      .PutI32(std::numeric_limits<int32_t>::min())
+      .PutI64(std::numeric_limits<int64_t>::min())
+      .PutI64(-42)
+      .PutDouble(0.0)
+      .PutDouble(-0.0)
+      .PutDouble(1.0 / 3.0)
+      .PutDouble(std::numeric_limits<double>::infinity())
+      .PutString("")
+      .PutString(std::string("nul\0byte", 8))
+      .PutRaw("raw");
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.GetU8(), 0);
+  EXPECT_EQ(reader.GetU8(), 255);
+  EXPECT_EQ(reader.GetU32(), std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(reader.GetU64(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(reader.GetI32(), -1);
+  EXPECT_EQ(reader.GetI32(), std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(reader.GetI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(reader.GetI64(), -42);
+  EXPECT_EQ(reader.GetDouble(), 0.0);
+  double negative_zero = reader.GetDouble();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));
+  EXPECT_EQ(reader.GetDouble(), 1.0 / 3.0);
+  EXPECT_EQ(reader.GetDouble(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_EQ(reader.GetString(), std::string("nul\0byte", 8));
+  EXPECT_EQ(reader.remaining(), 3u);
+  EXPECT_FALSE(reader.AtEnd());
+  EXPECT_EQ(reader.GetU8(), 'r');
+  EXPECT_EQ(reader.GetU8(), 'a');
+  EXPECT_EQ(reader.GetU8(), 'w');
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(ByteStreamTest, NaNSurvivesByBitPattern) {
+  ByteWriter writer;
+  writer.PutDouble(std::nan(""));
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(std::isnan(reader.GetDouble()));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, UnderflowLatchesStickyFailure) {
+  ByteReader reader(std::string_view("\x01\x02", 2));
+  EXPECT_EQ(reader.GetU8(), 0x01);
+  EXPECT_EQ(reader.GetU32(), 0u);  // only 1 byte left
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.AtEnd());
+  // Every later read keeps returning zero values without advancing.
+  EXPECT_EQ(reader.GetU8(), 0);
+  EXPECT_EQ(reader.GetU64(), 0u);
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(ByteReaderTest, HostileStringLengthFailsWithoutAllocating) {
+  // A length prefix claiming 4 GiB against a 6-byte buffer must fail,
+  // not allocate.
+  ByteWriter writer;
+  writer.PutU32(0xFFFFFFFFu).PutU8('x').PutU8('y');
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(ByteReaderTest, EmptyBufferIsAtEndUntilRead) {
+  ByteReader reader{std::string_view()};
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.GetU8(), 0);
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace wot

@@ -1,0 +1,470 @@
+// Integration tests of the v2 binary framing against a live
+// ConnectionServer: the NDJSON->binary upgrade handshake (including its
+// FIFO position among pipelined frames), binary-first magic sniffing,
+// rejected upgrades that leave the wire NDJSON, ServeConnection over
+// pipes and regular files in both protocols, framed binary errors on
+// garbage, and the headline property — NDJSON and binary clients
+// pipelining concurrently against one server receive byte-identical
+// replies to the loopback codec path.
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "server_harness.h"
+#include "testing/fixtures.h"
+#include "wot/api/binary_codec.h"
+#include "wot/api/client.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/api/unix_socket.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace server {
+namespace {
+
+api::Request Make(int64_t id, api::RequestPayload payload) {
+  api::Request request;
+  request.id = id;
+  request.payload = std::move(payload);
+  return request;
+}
+
+// Reads a byte stream that may switch from NDJSON lines to binary frames
+// mid-connection (the one thing FdLineReader cannot do: hand its
+// buffered overshoot to a frame assembler).
+class StreamReader {
+ public:
+  explicit StreamReader(int fd) : fd_(fd) {}
+
+  /// Next '\n'-terminated line, terminator stripped; nullopt on EOF.
+  std::optional<std::string> NextLine() {
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      if (!Fill()) return std::nullopt;
+    }
+  }
+
+  /// Next complete binary frame; nullopt on EOF. Any bytes read past the
+  /// last NDJSON line are treated as the start of the binary stream.
+  std::optional<std::string> NextFrame() {
+    if (!buffer_.empty()) {
+      EXPECT_TRUE(frames_.Append(buffer_)) << frames_.fault_message();
+      buffer_.clear();
+    }
+    for (;;) {
+      std::optional<std::string> frame = frames_.NextFrame();
+      if (frame.has_value()) return frame;
+      std::string chunk;
+      if (!FillInto(&chunk)) return std::nullopt;
+      EXPECT_TRUE(frames_.Append(chunk)) << frames_.fault_message();
+    }
+  }
+
+ private:
+  bool Fill() { return FillInto(&buffer_); }
+
+  bool FillInto(std::string* sink) {
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    EXPECT_GE(n, 0) << "read failed";
+    if (n <= 0) return false;
+    sink->append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_;
+  std::string buffer_;
+  api::BinaryFrameAssembler frames_{64u << 20};
+};
+
+// ::write-based sibling of api::SendAll (which uses send(2) and so
+// rejects pipe fds with ENOTSOCK).
+void WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    ASSERT_GT(n, 0) << "write failed";
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+api::Response DecodeLineOrDie(const std::string& line) {
+  api::Response response;
+  api::ApiStatus status = api::DecodeResponse(line, &response);
+  EXPECT_TRUE(status.ok()) << "undecodable reply " << line;
+  return response;
+}
+
+api::Response DecodeFrameOrDie(const std::string& frame) {
+  api::Response response;
+  api::ApiStatus status = api::DecodeResponseBinary(frame, &response);
+  EXPECT_TRUE(status.ok())
+      << "undecodable binary reply: " << status.ToString();
+  return response;
+}
+
+TEST(MixedProtocolTest, UpgradeHandshakeSwitchesTheWireInFifoOrder) {
+  testing::ServerHarness harness(wot::testing::TinyCommunity());
+  int fd = harness.Connect();
+
+  // One pipelined burst straddling the upgrade: an NDJSON request, the
+  // handshake, then a binary frame that is already sitting in the
+  // server's buffer when the wire flips.
+  std::string burst =
+      api::EncodeRequest(Make(1, api::StatsRequest{})) + "\n" +
+      R"({"v":1,"id":2,"method":"upgrade","protocol":2})" + "\n" +
+      api::EncodeRequestBinary(Make(3, api::TrustQuery{"u2", "u0"}));
+  ASSERT_TRUE(api::SendAll(fd, burst).ok());
+
+  StreamReader reader(fd);
+  std::optional<std::string> line = reader.NextLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(DecodeLineOrDie(*line).id, 1);
+
+  line = reader.NextLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, api::EncodeUpgradeAccept(2));
+
+  std::optional<std::string> frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  api::Response trust = DecodeFrameOrDie(*frame);
+  EXPECT_EQ(trust.id, 3);
+  ASSERT_TRUE(trust.status.ok()) << trust.status.ToString();
+  EXPECT_TRUE(std::holds_alternative<api::TrustResult>(trust.payload));
+
+  // The wire stays binary for the rest of the connection.
+  ASSERT_TRUE(
+      api::SendAll(fd, api::EncodeRequestBinary(Make(4, api::StatsRequest{})))
+          .ok());
+  frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(DecodeFrameOrDie(*frame).id, 4);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(MixedProtocolTest, RejectedUpgradeLeavesTheConnectionOnNdjson) {
+  testing::ServerHarness harness(wot::testing::TinyCommunity());
+  int fd = harness.Connect();
+
+  ASSERT_TRUE(
+      api::SendAll(fd,
+                   std::string(
+                       R"({"v":1,"id":4,"method":"upgrade","protocol":3})") +
+                       "\n")
+          .ok());
+  StreamReader reader(fd);
+  std::optional<std::string> line = reader.NextLine();
+  ASSERT_TRUE(line.has_value());
+  api::Response rejection = DecodeLineOrDie(*line);
+  EXPECT_EQ(rejection.id, 4);
+  EXPECT_EQ(rejection.status.code, api::ApiCode::kInvalidArgument);
+  EXPECT_NE(rejection.status.message.find("unsupported protocol 3"),
+            std::string::npos)
+      << rejection.status.message;
+
+  // Still NDJSON: a plain request round-trips as a line.
+  ASSERT_TRUE(
+      api::SendAll(fd, api::EncodeRequest(Make(5, api::StatsRequest{})) + "\n")
+          .ok());
+  line = reader.NextLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(DecodeLineOrDie(*line).id, 5);
+
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(MixedProtocolTest, BinaryFirstClientIsSniffedByItsMagicByte) {
+  testing::ServerHarness harness(wot::testing::TinyCommunity());
+  // SocketClient in binary mode sends no handshake: its first byte is
+  // the frame magic, which the (NDJSON-default) server sniffs.
+  std::unique_ptr<api::SocketClient> client =
+      api::SocketClient::Connect(harness.socket_path(),
+                                 api::WireProtocol::kBinary)
+          .ValueOrDie();
+  api::LoopbackClient loopback(harness.frontend(), /*through_codec=*/true,
+                               api::WireProtocol::kBinary);
+  for (api::RequestPayload payload : std::vector<api::RequestPayload>{
+           api::TrustQuery{"u2", "u0"}, api::TopKQuery{"u3", 4},
+           api::ExplainQuery{"u2", "u0"}, api::TrustQuery{"nobody", "u0"}}) {
+    api::Request request = Make(11, payload);
+    api::Response over_socket = client->Call(request).ValueOrDie();
+    api::Response over_loopback = loopback.Call(request).ValueOrDie();
+    EXPECT_EQ(over_socket, over_loopback);
+  }
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(MixedProtocolTest, BinaryOnlyServerSpeaksFramesFromTheFirstByte) {
+  ConnectionServerOptions options;
+  options.initial_protocol = api::WireProtocol::kBinary;
+  testing::ServerHarness harness(wot::testing::TinyCommunity(), options);
+
+  std::unique_ptr<api::SocketClient> client =
+      api::SocketClient::Connect(harness.socket_path(),
+                                 api::WireProtocol::kBinary)
+          .ValueOrDie();
+  api::Response response =
+      client->Call(Make(1, api::StatsRequest{})).ValueOrDie();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+
+  // NDJSON bytes on a binary-only wire desynchronize the framing: the
+  // server answers with a framed binary error and closes.
+  int fd = harness.Connect();
+  ASSERT_TRUE(api::SendAll(fd, "{\"v\":1,\"method\":\"stats\"}\n").ok());
+  StreamReader reader(fd);
+  std::optional<std::string> frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  api::Response error = DecodeFrameOrDie(*frame);
+  EXPECT_EQ(error.status.code, api::ApiCode::kInvalidArgument);
+  EXPECT_NE(error.status.message.find("bad frame magic"), std::string::npos)
+      << error.status.message;
+  EXPECT_EQ(reader.NextFrame(), std::nullopt);  // closed after the error
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(MixedProtocolTest, BinaryGarbageGetsAFramedErrorThenClose) {
+  testing::ServerHarness harness(wot::testing::TinyCommunity());
+  int fd = harness.Connect();
+  // A valid binary-first frame, then bytes whose first byte is not the
+  // magic: the request before the fault is still answered.
+  ASSERT_TRUE(
+      api::SendAll(fd, api::EncodeRequestBinary(Make(6, api::StatsRequest{})) +
+                           "garbage")
+          .ok());
+  StreamReader reader(fd);
+  std::optional<std::string> frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(DecodeFrameOrDie(*frame).id, 6);
+
+  frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  api::Response error = DecodeFrameOrDie(*frame);
+  EXPECT_EQ(error.status.code, api::ApiCode::kInvalidArgument);
+  EXPECT_NE(error.status.message.find("bad frame magic"), std::string::npos);
+  EXPECT_EQ(reader.NextFrame(), std::nullopt);
+  ::close(fd);
+  EXPECT_TRUE(harness.Stop().ok());
+}
+
+TEST(MixedProtocolTest, OversizedBinaryFrameIsRejectedAndCounted) {
+  testing::ServerHarness harness(wot::testing::TinyCommunity());
+  int fd = harness.Connect();
+  // A well-formed header whose length prefix claims 2 MiB of payload —
+  // past the server's 1 MiB framing bound. Rejected from the header
+  // alone, no payload bytes needed.
+  std::string header = api::EncodeRequestBinary(Make(7, api::CommitRequest{}));
+  ASSERT_EQ(header.size(), api::kBinaryHeaderSize);
+  header[12] = 0;
+  header[13] = 0;
+  header[14] = 0x20;  // 0x00200000 = 2 MiB, little-endian
+  header[15] = 0;
+  ASSERT_TRUE(api::SendAll(fd, header).ok());
+
+  StreamReader reader(fd);
+  std::optional<std::string> frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  api::Response error = DecodeFrameOrDie(*frame);
+  EXPECT_EQ(error.status.code, api::ApiCode::kInvalidArgument);
+  EXPECT_NE(error.status.message.find("exceeds"), std::string::npos)
+      << error.status.message;
+  EXPECT_EQ(reader.NextFrame(), std::nullopt);
+  ::close(fd);
+
+  EXPECT_TRUE(harness.Stop().ok());
+  EXPECT_GE(harness.server()->stats().connections_closed_oversized, 1);
+}
+
+TEST(MixedProtocolTest, ServeConnectionOverPipesBothProtocols) {
+  for (api::WireProtocol protocol :
+       {api::WireProtocol::kNdjson, api::WireProtocol::kBinary}) {
+    std::unique_ptr<TrustService> service =
+        TrustService::Create(wot::testing::TinyCommunity()).ValueOrDie();
+    api::ServiceFrontend frontend(service.get());
+
+    int in_pipe[2];   // test writes -> server reads
+    int out_pipe[2];  // server writes -> test reads
+    ASSERT_EQ(::pipe(in_pipe), 0);
+    ASSERT_EQ(::pipe(out_pipe), 0);
+
+    ConnectionServerOptions options;
+    options.initial_protocol = protocol;
+    ConnectionServer server(&frontend, options);
+    Status serve_status;
+    std::thread serve([&, read_fd = in_pipe[0], write_fd = out_pipe[1]] {
+      serve_status = server.ServeConnection(read_fd, write_fd);
+    });
+
+    std::vector<api::Request> requests = {
+        Make(1, api::TrustQuery{"u2", "u0"}),
+        Make(2, api::TopKQuery{"u3", 3}),
+        Make(3, api::TrustQuery{"", "u0"}),  // an error reply, in-band
+        Make(4, api::StatsRequest{}),
+    };
+    std::string burst;
+    for (const api::Request& request : requests) {
+      burst += protocol == api::WireProtocol::kBinary
+                   ? api::EncodeRequestBinary(request)
+                   : api::EncodeRequest(request) + "\n";
+    }
+    WriteAll(in_pipe[1], burst);
+    ::close(in_pipe[1]);  // EOF: the server drains and exits
+
+    StreamReader reader(out_pipe[0]);
+    for (const api::Request& request : requests) {
+      std::optional<std::string> reply =
+          protocol == api::WireProtocol::kBinary ? reader.NextFrame()
+                                                 : reader.NextLine();
+      ASSERT_TRUE(reply.has_value())
+          << "stream ended before request " << request.id;
+      api::Response response = protocol == api::WireProtocol::kBinary
+                                   ? DecodeFrameOrDie(*reply)
+                                   : DecodeLineOrDie(*reply);
+      EXPECT_EQ(response.id, request.id);
+    }
+    EXPECT_EQ(reader.NextLine(), std::nullopt);
+    ::close(out_pipe[0]);
+    serve.join();
+    EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+    EXPECT_EQ(server.stats().requests_dispatched,
+              static_cast<int64_t>(requests.size()));
+  }
+}
+
+TEST(MixedProtocolTest, ServeConnectionFromARegularFile) {
+  // Regular files are unpollable (epoll rejects them); the server must
+  // fall back to treating the fd as always ready — this is the stdio
+  // redirection path of `wot_served < requests.txt`.
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(wot::testing::TinyCommunity()).ValueOrDie();
+  api::ServiceFrontend frontend(service.get());
+
+  std::string path = ::testing::TempDir() + "/wot_mixed_requests_" +
+                     std::to_string(::getpid()) + ".ndjson";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::string lines =
+        api::EncodeRequest(Make(1, api::StatsRequest{})) + "\n" +
+        api::EncodeRequest(Make(2, api::TrustQuery{"u2", "u0"})) + "\n";
+    ASSERT_EQ(std::fwrite(lines.data(), 1, lines.size(), file), lines.size());
+    std::fclose(file);
+  }
+  int file_fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(file_fd, 0);
+
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  ConnectionServer server(&frontend, {});
+  Status serve_status;
+  std::thread serve([&, write_fd = out_pipe[1]] {
+    serve_status = server.ServeConnection(file_fd, write_fd);
+  });
+
+  StreamReader reader(out_pipe[0]);
+  for (int64_t id : {1, 2}) {
+    std::optional<std::string> line = reader.NextLine();
+    ASSERT_TRUE(line.has_value());
+    api::Response response = DecodeLineOrDie(*line);
+    EXPECT_EQ(response.id, id);
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_EQ(reader.NextLine(), std::nullopt);
+  ::close(out_pipe[0]);
+  serve.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+  std::remove(path.c_str());
+}
+
+// The headline integration property: NDJSON and binary clients pipeline
+// bursts concurrently against ONE server, and every reply is
+// byte-identical to pushing the same encoded request through the
+// frontend's own codec path (DispatchLine / DispatchFrame) — i.e. the
+// server's per-connection codec state adds nothing and loses nothing,
+// whichever protocols its neighbors speak.
+TEST(MixedProtocolTest, ConcurrentNdjsonAndBinaryClientsMatchLoopback) {
+  ConnectionServerOptions options;
+  options.num_threads = 4;
+  testing::ServerHarness harness(wot::testing::TinyCommunity(), options);
+  api::ServiceFrontend* frontend = harness.frontend();
+
+  constexpr int kClients = 4;  // 2 NDJSON + 2 binary
+  constexpr int kBursts = 3;
+  constexpr int kPerBurst = 32;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const bool binary = (c % 2) == 1;
+      int fd = harness.Connect();
+      StreamReader reader(fd);
+      // Query-only workload (no ingest): replies are deterministic, so
+      // the loopback byte-diff is exact even with concurrent neighbors.
+      const std::vector<std::string> refs = {"u0", "u1", "u2",      "u3", "0",
+                                             "3",  "99", "no_such", ""};
+      int64_t id = c * 1000;
+      for (int burst = 0; burst < kBursts; ++burst) {
+        std::vector<api::Request> requests;
+        for (int i = 0; i < kPerBurst; ++i) {
+          size_t pick = static_cast<size_t>(c + burst + i);
+          const std::string& a = refs[pick % refs.size()];
+          const std::string& b = refs[(pick * 7 + 3) % refs.size()];
+          switch (i % 3) {
+            case 0: requests.push_back(Make(++id, api::TrustQuery{a, b})); break;
+            case 1:
+              requests.push_back(
+                  Make(++id, api::TopKQuery{a, static_cast<int64_t>(i % 6)}));
+              break;
+            default:
+              requests.push_back(Make(++id, api::ExplainQuery{a, b}));
+              break;
+          }
+        }
+        std::string wire;
+        for (const api::Request& request : requests) {
+          wire += binary ? api::EncodeRequestBinary(request)
+                         : api::EncodeRequest(request) + "\n";
+        }
+        ASSERT_TRUE(api::SendAll(fd, wire).ok());
+        for (const api::Request& request : requests) {
+          std::optional<std::string> reply =
+              binary ? reader.NextFrame() : reader.NextLine();
+          ASSERT_TRUE(reply.has_value())
+              << "client " << c << " lost the stream at id " << request.id;
+          std::string expected =
+              binary
+                  ? frontend->DispatchFrame(api::EncodeRequestBinary(request))
+                  : frontend->DispatchLine(api::EncodeRequest(request));
+          EXPECT_EQ(*reply, expected)
+              << "client " << c << " diverged from loopback at id "
+              << request.id;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_TRUE(harness.Stop().ok());
+  ConnectionServerStats stats = harness.server()->stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.requests_dispatched, kClients * kBursts * kPerBurst);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace wot

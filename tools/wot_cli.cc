@@ -233,6 +233,7 @@ int CmdQuery(int argc, char** argv) {
   std::string connect;
   std::string source;
   std::string target;
+  std::string protocol = "ndjson";
   int64_t top_k = 10;
   int64_t shards = 1;
   bool explain = false;
@@ -257,7 +258,17 @@ int CmdQuery(int argc, char** argv) {
                  "TrustServices behind a ShardRouter (1 = unsharded)");
   flags.AddBool("explain", &explain,
                 "print the per-category contribution breakdown");
+  flags.AddString("protocol", &protocol,
+                  "wire protocol: 'ndjson' (v1 lines) or 'binary' (v2 "
+                  "frames). With --connect the socket speaks the chosen "
+                  "framing; in-process, binary round-trips every call "
+                  "through the v2 codec");
   WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  Result<api::WireProtocol> wire = api::WireProtocolFromName(protocol);
+  if (!wire.ok()) {
+    return Fail(Status::InvalidArgument(wire.status().ToString() + "\n" +
+                                        flags.Usage()));
+  }
   if (source.empty()) {
     return Fail(Status::InvalidArgument("--source is required\n" +
                                         flags.Usage()));
@@ -288,8 +299,8 @@ int CmdQuery(int argc, char** argv) {
     bool tcp = connect.find(':') != std::string::npos &&
                connect.find('/') == std::string::npos;
     Result<std::unique_ptr<api::SocketClient>> socket =
-        tcp ? api::SocketClient::ConnectTcp(connect)
-            : api::SocketClient::Connect(connect);
+        tcp ? api::SocketClient::ConnectTcp(connect, wire.ValueOrDie())
+            : api::SocketClient::Connect(connect, wire.ValueOrDie());
     if (!socket.ok()) return Fail(socket.status());
     client = std::move(socket).ValueOrDie();
   } else {
@@ -308,7 +319,13 @@ int CmdQuery(int argc, char** argv) {
       if (!booted.ok()) return Fail(booted.status());
       frontend = std::move(booted).ValueOrDie();
     }
-    client = std::make_unique<api::LoopbackClient>(frontend.get());
+    // NDJSON loopback dispatches structs directly (the historical
+    // behavior); binary proves the v2 codec end to end by round-tripping
+    // every call through it.
+    const bool through_codec =
+        wire.ValueOrDie() == api::WireProtocol::kBinary;
+    client = std::make_unique<api::LoopbackClient>(
+        frontend.get(), through_codec, wire.ValueOrDie());
   }
 
   Result<api::StatsResult> stats =

@@ -1,9 +1,10 @@
 // wot_served — the resident trust server.
 //
-// Boots ONE serving frontend and answers NDJSON API frames (one request
-// per line, one response per line; see docs/wire_protocol.md) until EOF.
-// The whole point is amortization: thousands of pipelined queries share a
-// single service boot, where `wot_cli query` used to re-derive the web of
+// Boots ONE serving frontend and answers API frames — NDJSON lines, or
+// v2 binary frames after an upgrade handshake / magic-byte sniff / with
+// --protocol binary (see docs/wire_protocol.md) — until EOF. The whole
+// point is amortization: thousands of pipelined queries share a single
+// service boot, where `wot_cli query` used to re-derive the web of
 // trust per invocation.
 //
 //   # serve a dataset over stdin/stdout (great for piping request scripts)
@@ -27,10 +28,12 @@
 // wire protocol is unchanged (a one-shard router is bit-identical to the
 // plain frontend; this binary serves the plain frontend then).
 //
-// In --socket/--listen mode the wot/server ConnectionServer multiplexes
-// any number of simultaneous clients (epoll event loop, per-connection
-// FIFO, --threads dispatch pool) over the lock-free snapshot read path;
-// giving BOTH flags runs one ConnectionServer per listener over the one
+// Every transport — stdin/stdout, --socket, --listen — runs on the
+// wot/server ConnectionServer (epoll event loop, per-connection FIFO,
+// --threads dispatch pool) over the lock-free snapshot read path:
+// stdin/stdout serves as one pre-accepted connection, sockets
+// multiplex any number of simultaneous clients, and giving BOTH
+// listener flags runs one ConnectionServer per listener over the one
 // shared frontend. SIGINT/SIGTERM drain in-flight requests, flush, log
 // the accepted-connection count and exit 0.
 #include <signal.h>
@@ -98,24 +101,38 @@ Result<Dataset> BootDataset(const std::string& data, int64_t users,
   return std::move(community.dataset);
 }
 
-// Serves one NDJSON session: a request line in, a response line out,
-// flushed per line so pipelined clients never deadlock. Empty lines are
-// ignored (tolerant framing). Returns at EOF — or when the reader of
-// \p out goes away, so a downstream `| head` doesn't leave the server
-// dispatching the rest of stdin into the void.
-void ServeStream(api::Frontend* frontend, std::istream& in,
-                 std::FILE* out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::string reply = frontend->DispatchLine(line);
-    reply += '\n';
-    if (std::fwrite(reply.data(), 1, reply.size(), out) != reply.size() ||
-        std::fflush(out) != 0) {
-      std::fprintf(stderr, "wot_served: output closed, exiting\n");
-      return;
-    }
-  }
+// Serves stdin/stdout as ONE ConnectionServer connection — the same
+// event loop, per-connection FIFO, dispatch pool, framing bounds,
+// upgrade/sniff negotiation and drain semantics as --socket/--listen,
+// so all three transports behave uniformly (the ad-hoc getline loop
+// this replaced knew nothing of backpressure or binary framing, and
+// its stats reported zero connections). Regular-file stdin
+// (`wot_served < requests.ndjson`) rides the server's unpollable-fd
+// path. Returns at stdin EOF, a closed stdout (a downstream `| head`
+// going away), or SIGINT/SIGTERM drain.
+int ServeStdio(api::Frontend* frontend, int64_t threads,
+               api::WireProtocol protocol) {
+  server::ConnectionServerOptions options;
+  options.num_threads = static_cast<int>(threads);
+  options.initial_protocol = protocol;
+  server::ConnectionServer server(frontend, options);
+  g_servers[0] = &server;
+  struct sigaction action{};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // The server owns (and closes) its fds; keep the process's own 0/1
+  // usable until exit by handing over duplicates.
+  Status status =
+      server.ServeConnection(::dup(STDIN_FILENO), ::dup(STDOUT_FILENO));
+  g_servers[0] = nullptr;
+  server::ConnectionServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "wot_served: stdio session done (%lld requests "
+               "dispatched)\n",
+               static_cast<long long>(stats.requests_dispatched));
+  if (!status.ok()) return Fail(status);
+  return 0;
 }
 
 struct Listener {
@@ -128,9 +145,10 @@ struct Listener {
 // drained (SIGINT/SIGTERM stops them all).
 int ServeListeners(api::Frontend* frontend,
                    const std::vector<Listener>& listeners,
-                   int64_t threads) {
+                   int64_t threads, api::WireProtocol protocol) {
   server::ConnectionServerOptions options;
   options.num_threads = static_cast<int>(threads);
+  options.initial_protocol = protocol;
   // The signal-handler bridge has one fixed slot per listener kind.
   WOT_CHECK_LE(listeners.size(),
                sizeof(g_servers) / sizeof(g_servers[0]));
@@ -205,6 +223,7 @@ int Main(int argc, char** argv) {
   int64_t seed = 42;
   std::string socket_path;
   std::string listen_hostport;
+  std::string protocol = "ndjson";
   int64_t threads = 4;
   int64_t shards = 1;
   FlagParser flags(
@@ -231,8 +250,18 @@ int Main(int argc, char** argv) {
   flags.AddInt64("shards", &shards,
                  "partition users across this many TrustService shards "
                  "behind a ShardRouter (1 = unsharded)");
+  flags.AddString("protocol", &protocol,
+                  "initial wire protocol on every transport: 'ndjson' "
+                  "(v1 lines; connections may still upgrade to v2 via "
+                  "the handshake or magic-byte sniff) or 'binary' (v2 "
+                  "frames from the first byte, no NDJSON)");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed);
+  Result<api::WireProtocol> wire = api::WireProtocolFromName(protocol);
+  if (!wire.ok()) {
+    return Fail(Status::InvalidArgument(wire.status().ToString() + "\n" +
+                                        flags.Usage()));
+  }
   if (threads <= 0) {
     // Validated before the (expensive) dataset boot.
     return Fail(Status::InvalidArgument(
@@ -312,10 +341,10 @@ int Main(int argc, char** argv) {
     listeners.push_back({"tcp " + bound, fd.ValueOrDie()});
   }
   if (!listeners.empty()) {
-    return ServeListeners(frontend, listeners, threads);
+    return ServeListeners(frontend, listeners, threads,
+                          wire.ValueOrDie());
   }
-  ServeStream(frontend, std::cin, stdout);
-  return 0;
+  return ServeStdio(frontend, threads, wire.ValueOrDie());
 }
 
 }  // namespace
