@@ -31,6 +31,9 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
         std::make_unique<ServiceFrontend>(shard->service.get());
     router->shards_.push_back(std::move(shard));
   }
+  // The router is not visible to any other thread yet; the uncontended
+  // lock keeps the guarded write provable.
+  MutexLock lock(router->ingest_mu_);
   router->staged_global_users_ = static_cast<int64_t>(seed.num_users());
   return router;
 }
@@ -275,7 +278,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
         return ErrorResponse(
             ApiStatus::InvalidArgument("user name must not be empty"));
       }
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       const size_t num_shards = router.shards_.size();
       int64_t global = router.staged_global_users_;
       size_t shard =
@@ -297,7 +300,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
         return ErrorResponse(ApiStatus::InvalidArgument(
             "category name must not be empty"));
       }
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       // Categories are replicated context: fan out so every shard's id
       // space stays aligned (slicing replays them in the same order).
       int64_t assigned = -1;
@@ -322,7 +325,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
         return ErrorResponse(
             ApiStatus::InvalidArgument("object name must not be empty"));
       }
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       // Dry-run the category resolution against shard 0 (every shard
       // replicates the same category space, so its verdict is
       // canonical) BEFORE staging anywhere: a rejected ingest must
@@ -362,7 +365,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
     }
 
     Response operator()(const IngestReview& q) {
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       Result<ResolvedUser> writer = router.ResolveStagedLocked(q.writer);
       if (!writer.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(writer.status()));
@@ -388,7 +391,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
     }
 
     Response operator()(const IngestRating& q) {
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       Result<ResolvedUser> rater = router.ResolveStagedLocked(q.rater);
       if (!rater.ok()) {
         return ErrorResponse(ApiStatus::FromStatus(rater.status()));
@@ -404,9 +407,12 @@ Response ShardRouter::DispatchPayload(const Request& request,
                          ? static_cast<size_t>(q.review % num_shards)
                          : r.shard;
       int64_t local = q.review >= 0 ? q.review / num_shards : q.review;
+      // StagedReviewCount takes the owner shard's writer lock: the count
+      // must not be read through the bare staged view while that shard
+      // could be staging (all ingest funnels through ingest_mu_ today,
+      // but the service's contract is its own lock, not the router's).
       int64_t owner_reviews = static_cast<int64_t>(
-          router.shards_[owner]->service->staged_dataset()
-              .num_reviews());
+          router.shards_[owner]->service->StagedReviewCount());
       if (local < 0 || local >= owner_reviews) {
         if (num_shards == 1) {
           // One shard: wire ids ARE the review-count range, and the
@@ -444,7 +450,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
     }
 
     Response operator()(const CommitRequest&) {
-      std::lock_guard<std::mutex> lock(router.ingest_mu_);
+      MutexLock lock(router.ingest_mu_);
       CommitResult result;
       bool any_published = false;
       for (size_t s = 0; s < router.shards_.size(); ++s) {

@@ -45,7 +45,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +54,7 @@
 #include "wot/service/dataset_shard.h"
 #include "wot/service/trust_service.h"
 #include "wot/service/trust_snapshot.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 namespace api {
@@ -121,8 +121,9 @@ class ShardRouter : public Frontend {
                                         std::string_view ref) const;
 
   /// The staged-side (ingest) counterpart, resolving against what the
-  /// shards have staged. Requires ingest_mu_.
-  Result<ResolvedUser> ResolveStagedLocked(std::string_view ref);
+  /// shards have staged.
+  Result<ResolvedUser> ResolveStagedLocked(std::string_view ref)
+      WOT_REQUIRES(ingest_mu_);
 
   /// Counts a routed request on \p shard and returns its frontend.
   ServiceFrontend* Touch(size_t shard);
@@ -136,8 +137,8 @@ class ShardRouter : public Frontend {
 
   // Ingest state: guarded by ingest_mu_. The router is the sole authority
   // over the global user id space.
-  std::mutex ingest_mu_;
-  int64_t staged_global_users_ = 0;
+  Mutex ingest_mu_;
+  int64_t staged_global_users_ WOT_GUARDED_BY(ingest_mu_) = 0;
 
   std::atomic<uint64_t> epoch_{1};
 };

@@ -549,7 +549,7 @@ class ConnectionServer::Loop {
         done.frame += '\n';
       }
       {
-        std::lock_guard<std::mutex> lock(server->completions_mu_);
+        MutexLock lock(server->completions_mu_);
         server->completions_.push_back(std::move(done));
       }
       server->Wake();
@@ -559,7 +559,7 @@ class ConnectionServer::Loop {
   void DeliverCompletions() {
     std::vector<Completion> batch;
     {
-      std::lock_guard<std::mutex> lock(server_->completions_mu_);
+      MutexLock lock(server_->completions_mu_);
       batch.swap(server_->completions_);
     }
     for (Completion& done : batch) {
@@ -772,7 +772,7 @@ Status ConnectionServer::Serve(int listen_fd) {
   // Workers joined in ~Loop; late completions are discarded with the
   // connections already gone.
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     completions_.clear();
   }
   return status;
@@ -787,7 +787,7 @@ Status ConnectionServer::ServeConnection(int read_fd, int write_fd) {
   Loop loop(this, /*listen_fd=*/-1, read_fd, write_fd);
   Status status = loop.Run();
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     completions_.clear();
   }
   return status;

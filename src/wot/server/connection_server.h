@@ -46,7 +46,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +53,7 @@
 #include "wot/api/frontend.h"
 #include "wot/util/macros.h"
 #include "wot/util/result.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 namespace server {
@@ -139,8 +139,10 @@ class ConnectionServer {
   std::atomic<bool> stop_requested_{false};
   int wake_fd_ = -1;  // eventfd: completions ready and/or stop requested
 
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
+  // The pool-to-loop handoff: workers append under completions_mu_, the
+  // event loop swaps the batch out under the same lock.
+  Mutex completions_mu_;
+  std::vector<Completion> completions_ WOT_GUARDED_BY(completions_mu_);
 
   std::atomic<int64_t> accepted_{0};
   std::atomic<int64_t> active_{0};

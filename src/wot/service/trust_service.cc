@@ -33,6 +33,11 @@ TrustService::TrustService(const TrustServiceOptions& options)
 Result<std::unique_ptr<TrustService>> TrustService::Create(
     const Dataset& seed, const TrustServiceOptions& options) {
   std::unique_ptr<TrustService> service(new TrustService(options));
+  // No other thread can reference the service yet, but the replay writes
+  // builder_ state, so take the writer lock for the whole boot — it is
+  // uncontended, and the analysis then proves the accesses like any
+  // other write path.
+  MutexLock lock(service->writer_mu_);
   // Replay the seed in storage order: the builder assigns ids densely in
   // insertion order, so every id of the seed stays valid in the service.
   for (const auto& category : seed.categories()) {
@@ -61,7 +66,6 @@ Result<std::unique_ptr<TrustService>> TrustService::Create(
         service->builder_.AddTrust(statement.source, statement.target));
   }
 
-  std::lock_guard<std::mutex> lock(service->writer_mu_);
   WOT_ASSIGN_OR_RETURN(CommitStats stats, service->CommitLocked());
   (void)stats;
   return service;
@@ -73,23 +77,23 @@ Result<std::unique_ptr<TrustService>> TrustService::CreateEmpty(
 }
 
 UserId TrustService::AddUser(std::string name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return builder_.AddUser(std::move(name));
 }
 
 CategoryId TrustService::AddCategory(std::string name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return builder_.AddCategory(std::move(name));
 }
 
 Result<ObjectId> TrustService::AddObject(CategoryId category,
                                          std::string name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return builder_.AddObject(category, std::move(name));
 }
 
 Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   Result<ReviewId> id = builder_.AddReview(writer, object);
   if (id.ok()) {
     MarkDirty(writer);
@@ -98,7 +102,7 @@ Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
 }
 
 Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   Status status = builder_.AddRating(rater, review, value);
   if (status.ok()) {
     MarkDirty(rater);
@@ -107,7 +111,7 @@ Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
 }
 
 Result<UserId> TrustService::ResolveStagedUserRef(std::string_view ref) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return ResolveStagedUserLocked(ref);
 }
 
@@ -159,13 +163,13 @@ Result<CategoryId> TrustService::ResolveStagedCategoryLocked(
 
 Result<CategoryId> TrustService::ResolveStagedCategoryRef(
     std::string_view ref) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return ResolveStagedCategoryLocked(ref);
 }
 
 Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
                                               std::string name) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   WOT_ASSIGN_OR_RETURN(CategoryId category,
                        ResolveStagedCategoryLocked(category_ref));
   return builder_.AddObject(category, std::move(name));
@@ -173,7 +177,7 @@ Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
 
 Result<ReviewId> TrustService::AddReviewByRef(std::string_view writer_ref,
                                               int64_t object) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   WOT_ASSIGN_OR_RETURN(UserId writer, ResolveStagedUserLocked(writer_ref));
   if (object < 0 || static_cast<uint64_t>(object) >=
                         builder_.StagedView().num_objects()) {
@@ -191,7 +195,7 @@ Result<ReviewId> TrustService::AddReviewByRef(std::string_view writer_ref,
 
 Status TrustService::AddRatingByRef(std::string_view rater_ref,
                                     int64_t review, double value) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   WOT_ASSIGN_OR_RETURN(UserId rater, ResolveStagedUserLocked(rater_ref));
   if (review < 0 || static_cast<uint64_t>(review) >=
                         builder_.StagedView().num_reviews()) {
@@ -215,7 +219,7 @@ void TrustService::MarkDirty(UserId user) {
 }
 
 Result<TrustService::CommitStats> TrustService::Commit() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return CommitLocked();
 }
 

@@ -35,7 +35,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -46,6 +45,7 @@
 #include "wot/reputation/incremental.h"
 #include "wot/service/trust_snapshot.h"
 #include "wot/util/result.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 
@@ -99,11 +99,14 @@ class TrustService {
 
   // --- Write path (append-only; serialized internally) -------------------
 
-  UserId AddUser(std::string name);
-  CategoryId AddCategory(std::string name);
-  Result<ObjectId> AddObject(CategoryId category, std::string name);
-  Result<ReviewId> AddReview(UserId writer, ObjectId object);
-  Status AddRating(UserId rater, ReviewId review, double value);
+  UserId AddUser(std::string name) WOT_EXCLUDES(writer_mu_);
+  CategoryId AddCategory(std::string name) WOT_EXCLUDES(writer_mu_);
+  Result<ObjectId> AddObject(CategoryId category, std::string name)
+      WOT_EXCLUDES(writer_mu_);
+  Result<ReviewId> AddReview(UserId writer, ObjectId object)
+      WOT_EXCLUDES(writer_mu_);
+  Status AddRating(UserId rater, ReviewId review, double value)
+      WOT_EXCLUDES(writer_mu_);
 
   // Ref-based ingest: resolves "name or decimal index" references against
   // the STAGED dataset (so an entity ingested moments ago is addressable
@@ -113,28 +116,31 @@ class TrustService {
   // a scan. Queries are different: they resolve on the published
   // snapshot (TrustSnapshot::user_names) and never take this lock.
   Result<ObjectId> AddObjectByRef(std::string_view category_ref,
-                                  std::string name);
+                                  std::string name)
+      WOT_EXCLUDES(writer_mu_);
   Result<ReviewId> AddReviewByRef(std::string_view writer_ref,
-                                  int64_t object);
+                                  int64_t object) WOT_EXCLUDES(writer_mu_);
   Status AddRatingByRef(std::string_view rater_ref, int64_t review,
-                        double value);
+                        double value) WOT_EXCLUDES(writer_mu_);
 
   /// \brief Resolves a name-or-index user ref against the STAGED dataset
   /// (takes the writer lock). This is the ingest-side resolution the
   /// *ByRef methods use internally, exposed so a shard router can probe
   /// which shard stages a given name before fanning an ingest out.
-  Result<UserId> ResolveStagedUserRef(std::string_view ref);
+  Result<UserId> ResolveStagedUserRef(std::string_view ref)
+      WOT_EXCLUDES(writer_mu_);
 
   /// \brief Resolves a name-or-index category ref against the STAGED
   /// dataset without staging anything (takes the writer lock). This is
   /// exactly AddObjectByRef's validation, exposed so a shard router can
   /// obtain the canonical verdict BEFORE fanning an object ingest out to
   /// every shard — a rejection must stage nothing anywhere.
-  Result<CategoryId> ResolveStagedCategoryRef(std::string_view ref);
+  Result<CategoryId> ResolveStagedCategoryRef(std::string_view ref)
+      WOT_EXCLUDES(writer_mu_);
 
   /// \brief Derives the staged activity and publishes a new snapshot.
   /// No-op (published = false) when nothing derivable changed.
-  Result<CommitStats> Commit();
+  Result<CommitStats> Commit() WOT_EXCLUDES(writer_mu_);
 
   // --- Read path (lock-free; safe concurrently with the write path) ------
 
@@ -154,46 +160,63 @@ class TrustService {
     return Snapshot()->ExplainTrust(i, j);
   }
 
+  /// \brief The number of reviews currently staged (committed or not).
+  /// Takes the writer lock; safe from any thread. The shard router uses
+  /// it to range-check wire review ids against the owning shard.
+  size_t StagedReviewCount() const WOT_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return builder_.StagedView().num_reviews();
+  }
+
   /// \brief The dataset under ingest (grows across Add* calls). Writer-side
-  /// view: do NOT read it concurrently with Add* calls from another thread;
-  /// readers should query snapshots instead.
-  const Dataset& staged_dataset() const { return builder_.StagedView(); }
+  /// view: the returned reference outlives the internal lock, so do NOT
+  /// read it concurrently with Add* calls from another thread; readers
+  /// should query snapshots instead. (Taking the lock here still gives a
+  /// caller that joined its writer threads a happens-before edge to every
+  /// completed Add*.)
+  const Dataset& staged_dataset() const WOT_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return builder_.StagedView();
+  }
 
  private:
   explicit TrustService(const TrustServiceOptions& options);
 
   /// Marks \p user as needing an affiliation-row refresh at next Commit.
-  void MarkDirty(UserId user);
+  void MarkDirty(UserId user) WOT_REQUIRES(writer_mu_);
 
-  /// Resolves a name-or-index user ref against the staged dataset.
-  /// Requires writer_mu_ (absorbs the staged tail into the name index).
-  Result<UserId> ResolveStagedUserLocked(std::string_view ref);
+  /// Resolves a name-or-index user ref against the staged dataset
+  /// (absorbs the staged tail into the name index).
+  Result<UserId> ResolveStagedUserLocked(std::string_view ref)
+      WOT_REQUIRES(writer_mu_);
 
   /// Resolves a name-or-index category ref against the staged dataset.
-  /// Requires writer_mu_.
-  Result<CategoryId> ResolveStagedCategoryLocked(std::string_view ref);
+  Result<CategoryId> ResolveStagedCategoryLocked(std::string_view ref)
+      WOT_REQUIRES(writer_mu_);
 
-  /// Builds and atomically publishes the next snapshot. Requires writer_mu_.
-  Result<CommitStats> CommitLocked();
+  /// Builds and atomically publishes the next snapshot.
+  Result<CommitStats> CommitLocked() WOT_REQUIRES(writer_mu_);
 
   TrustServiceOptions options_;
 
   // Writer state: guarded by writer_mu_. Readers never touch it.
-  mutable std::mutex writer_mu_;
-  DatasetBuilder builder_;
-  IncrementalReputationEngine engine_;
-  std::vector<bool> dirty_users_;  // indexed by user id
+  mutable Mutex writer_mu_;
+  DatasetBuilder builder_ WOT_GUARDED_BY(writer_mu_);
+  IncrementalReputationEngine engine_ WOT_GUARDED_BY(writer_mu_);
+  // Indexed by user id.
+  std::vector<bool> dirty_users_ WOT_GUARDED_BY(writer_mu_);
   // Staged-side name lookup for ref-based ingest; absorbs the appended
   // tail lazily (users are dense with immutable names, so entries never
   // change). emplace keeps the first id under a duplicated name.
-  std::unordered_map<std::string, UserId> staged_name_index_;
-  size_t staged_indexed_users_ = 0;
-  uint64_t next_version_ = 1;
+  std::unordered_map<std::string, UserId> staged_name_index_
+      WOT_GUARDED_BY(writer_mu_);
+  size_t staged_indexed_users_ WOT_GUARDED_BY(writer_mu_) = 0;
+  uint64_t next_version_ WOT_GUARDED_BY(writer_mu_) = 1;
   // Entity counts the latest snapshot was derived from.
-  size_t published_users_ = 0;
-  size_t published_categories_ = 0;
-  size_t published_reviews_ = 0;
-  size_t published_ratings_ = 0;
+  size_t published_users_ WOT_GUARDED_BY(writer_mu_) = 0;
+  size_t published_categories_ WOT_GUARDED_BY(writer_mu_) = 0;
+  size_t published_reviews_ WOT_GUARDED_BY(writer_mu_) = 0;
+  size_t published_ratings_ WOT_GUARDED_BY(writer_mu_) = 0;
 
   // The one reader/writer rendezvous: an atomically swapped shared_ptr.
   std::atomic<std::shared_ptr<const TrustSnapshot>> published_;

@@ -8,6 +8,11 @@
 // reader holding a std::shared_ptr<const TrustSnapshot> can keep querying
 // it (lock-free) while the writer builds and publishes newer versions.
 //
+// Immutable-after-build is a machine-checked invariant, not a
+// convention: the public surface below must stay const/static-only —
+// tools/wot_lint.py (rule: snapshot, a smoke-tier ctest entry) fails
+// the suite if a non-const public member function ever appears here.
+//
 // Construction paths:
 //   * Build()    — one-shot, from a dataset (the batch path; TrustPipeline
 //                  is a facade over this).

@@ -83,6 +83,9 @@ Status FlagParser::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      // --help's contract is "usage on stdout, exit 0" (shell-pipeable);
+      // the sole sanctioned stdout write in src/wot/.
+      // wot-lint: allow(stdout)
       std::printf("%s", Usage().c_str());
       std::exit(0);
     }

@@ -3,14 +3,17 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
-std::mutex& EmitMutex() {
-  static std::mutex mu;
+// Serializes emission so concurrent WOT_LOG lines never interleave.
+// Function-local static: safe during static init/teardown of clients.
+Mutex& EmitMutex() {
+  static Mutex mu;
   return mu;
 }
 }  // namespace
@@ -60,7 +63,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    MutexLock lock(EmitMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

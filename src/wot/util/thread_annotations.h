@@ -1,0 +1,154 @@
+// Clang Thread Safety Analysis for the concurrent serving stack.
+//
+// Every lock in src/wot/ is a wot::Mutex and every acquisition a
+// wot::MutexLock (or an explicit Lock()/Unlock() pair), so that a clang
+// build with -Wthread-safety -Wthread-safety-beta proves, at compile
+// time, that
+//
+//   * every member declared WOT_GUARDED_BY(mu) is only touched while mu
+//     is held,
+//   * every function declared WOT_REQUIRES(mu) is only called with mu
+//     held (private *Locked helpers), and
+//   * every function declared WOT_EXCLUDES(mu) is never re-entered with
+//     mu held (self-deadlock).
+//
+// Off clang (GCC builds) the attribute macros expand to nothing and the
+// wrapper types compile down to the std::mutex primitives they wrap —
+// zero cost, no behavior change. The project lint (tools/wot_lint.py)
+// enforces that no naked std::mutex appears outside this header, so
+// the analysis can never silently lose coverage to an unannotated lock.
+//
+// docs/static_analysis.md documents the conventions and how to run the
+// analysis locally (cmake --preset tidy).
+#ifndef WOT_UTIL_THREAD_ANNOTATIONS_H_
+#define WOT_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "wot/util/macros.h"
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only: GCC neither understands nor needs them.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WOT_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define WOT_THREAD_ANNOTATION_IMPL(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (a lock the analysis tracks).
+#define WOT_CAPABILITY(name) WOT_THREAD_ANNOTATION_IMPL(capability(name))
+
+/// Declares an RAII type that acquires a capability for its lifetime.
+#define WOT_SCOPED_CAPABILITY WOT_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// The annotated member may only be accessed while `mu` is held.
+#define WOT_GUARDED_BY(mu) WOT_THREAD_ANNOTATION_IMPL(guarded_by(mu))
+
+/// The annotated pointer/reference member may be read freely, but the
+/// data it points to may only be accessed while `mu` is held.
+#define WOT_PT_GUARDED_BY(mu) WOT_THREAD_ANNOTATION_IMPL(pt_guarded_by(mu))
+
+/// Callers must hold every listed capability (exclusively).
+#define WOT_REQUIRES(...) \
+  WOT_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold any listed capability (the function acquires
+/// them itself; catches self-deadlock at compile time).
+#define WOT_EXCLUDES(...) \
+  WOT_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and returns holding them.
+#define WOT_ACQUIRE(...) \
+  WOT_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define WOT_RELEASE(...) \
+  WOT_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// The function returns a reference to a capability (lets annotations on
+/// accessors name the lock they hand out).
+#define WOT_RETURN_CAPABILITY(mu) \
+  WOT_THREAD_ANNOTATION_IMPL(lock_returned(mu))
+
+/// Escape hatch: disables the analysis for one function. Policy: NOT
+/// permitted inside src/wot/{service,server,api,util} (wot_lint and the
+/// acceptance bar keep the serving stack suppression-free); exists for
+/// test scaffolding only.
+#define WOT_NO_THREAD_SAFETY_ANALYSIS \
+  WOT_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+namespace wot {
+
+// ---------------------------------------------------------------------------
+// Annotated primitives. Zero-cost shims: every method is a direct
+// forward to the std::mutex / std::condition_variable underneath.
+// ---------------------------------------------------------------------------
+
+/// \brief A std::mutex the thread-safety analysis can see.
+class WOT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  WOT_DISALLOW_COPY_AND_MOVE(Mutex);
+
+  void Lock() WOT_ACQUIRE() { mu_.lock(); }
+  void Unlock() WOT_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock (std::lock_guard shape) over a wot::Mutex.
+///
+///   MutexLock lock(mu_);   // proves mu_ held until end of scope
+class WOT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WOT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() WOT_RELEASE() { mu_.Unlock(); }
+  WOT_DISALLOW_COPY_AND_MOVE(MutexLock);
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable bound to wot::Mutex.
+///
+/// Wait() has no predicate overload on purpose: the waiting loop lives in
+/// the caller, under the caller's MutexLock, where the analysis can see
+/// the guarded reads —
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ WOT_GUARDED_BY(mu_)
+///
+/// (A predicate lambda would hide those reads from the analysis: clang
+/// analyzes a lambda body as a separate function holding nothing.)
+class CondVar {
+ public:
+  CondVar() = default;
+  WOT_DISALLOW_COPY_AND_MOVE(CondVar);
+
+  /// \brief Atomically releases \p mu, blocks, and reacquires \p mu
+  /// before returning (std::condition_variable semantics; spurious
+  /// wakeups possible — always wait in a loop).
+  void Wait(Mutex& mu) WOT_REQUIRES(mu) {
+    // Adopt the already-held mutex for the wait, then release the
+    // association so the unique_lock destructor does not unlock what the
+    // caller's MutexLock still owns.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wot
+
+#endif  // WOT_UTIL_THREAD_ANNOTATIONS_H_

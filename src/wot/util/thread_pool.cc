@@ -1,6 +1,7 @@
 #include "wot/util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace wot {
 
@@ -14,38 +15,55 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Stop() {
+  MutexLock stop_lock(stop_mu_);
+  if (stopped_) {
+    return;  // an earlier Stop() already drained and joined
+  }
+  stopped_ = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    if (shutting_down_) {
+      // The workers are exiting (or gone): accepting the task would
+      // either drop it silently or strand in_flight_ above zero and
+      // wedge every later Wait().
+      return false;
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) {
+    all_done_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        task_available_.Wait(mu_);
+      }
       if (queue_.empty()) {
         // shutting_down_ and nothing left to run.
         return;
@@ -55,10 +73,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }

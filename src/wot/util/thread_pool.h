@@ -1,23 +1,24 @@
-// A fixed-size worker pool. Used by ParallelFor to run per-category
-// reputation computations concurrently.
+// A fixed-size worker pool; the connection server's request dispatch
+// stage. Locking is annotated for Clang Thread Safety Analysis (see
+// docs/static_analysis.md).
 #ifndef WOT_UTIL_THREAD_POOL_H_
 #define WOT_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "wot/util/macros.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 
 /// \brief A simple FIFO thread pool.
 ///
 /// Tasks are arbitrary callables; exceptions must not escape a task (the
-/// library itself never throws). Destruction drains already-queued tasks.
+/// library itself never throws). Stop() — and destruction, which calls
+/// it — drains already-queued tasks before the workers exit.
 class ThreadPool {
  public:
   /// \param num_threads workers to spawn; 0 means hardware_concurrency
@@ -26,23 +27,39 @@ class ThreadPool {
   ~ThreadPool();
   WOT_DISALLOW_COPY_AND_MOVE(ThreadPool);
 
-  /// \brief Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  /// \brief Enqueues a task. Never blocks. Returns true when the task
+  /// was accepted; false after Stop() (the task is NOT run — a stopped
+  /// pool has no workers left to run it, and silently queueing it would
+  /// wedge a later Wait() forever).
+  bool Submit(std::function<void()> task) WOT_EXCLUDES(mu_);
 
-  /// \brief Blocks until every submitted task has finished executing.
-  void Wait();
+  /// \brief Blocks until every accepted task has finished executing.
+  void Wait() WOT_EXCLUDES(mu_);
+
+  /// \brief Drains the queue, joins the workers, and rejects every later
+  /// Submit(). Idempotent; called by the destructor. Must not be called
+  /// from inside a task (a worker cannot join itself).
+  void Stop() WOT_EXCLUDES(stop_mu_, mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() WOT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  // Serializes Stop() callers: the first joins the workers while any
+  // later caller blocks on stop_mu_ until the drain is complete, so
+  // "Stop returned" always means "every accepted task ran". Ordering:
+  // stop_mu_ before mu_; workers never touch stop_mu_.
+  Mutex stop_mu_;
+  bool stopped_ WOT_GUARDED_BY(stop_mu_) = false;
+
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ WOT_GUARDED_BY(mu_);
+  size_t in_flight_ WOT_GUARDED_BY(mu_) = 0;  // queued + executing
+  bool shutting_down_ WOT_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by Stop(); otherwise const.
   std::vector<std::thread> workers_;
 };
 

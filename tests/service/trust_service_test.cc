@@ -212,6 +212,32 @@ TEST(TrustServiceTest, CreateEmptyThenGrowServes) {
   EXPECT_EQ(topk[0].user, writer.index());
 }
 
+TEST(TrustServiceTest, StagedReviewCountTracksAppendsBeforeCommit) {
+  // Regression for the sharded-ingest id assignment: the router reads
+  // another shard's staged review count under that shard's own writer
+  // lock via StagedReviewCount() (not through the quiescent-only
+  // staged_dataset() ref), so the locked accessor must agree with the
+  // staged dataset at every point of the append/commit cycle.
+  std::unique_ptr<TrustService> service =
+      TrustService::CreateEmpty().ValueOrDie();
+  EXPECT_EQ(service->StagedReviewCount(), 0u);
+
+  CategoryId cat = service->AddCategory("movies");
+  UserId writer = service->AddUser("writer");
+  ObjectId obj = service->AddObject(cat, "obj").ValueOrDie();
+  ObjectId obj2 = service->AddObject(cat, "obj2").ValueOrDie();
+  ASSERT_TRUE(service->AddReview(writer, obj).ok());
+  EXPECT_EQ(service->StagedReviewCount(), 1u);
+  ASSERT_TRUE(service->AddReview(writer, obj2).ok());
+  EXPECT_EQ(service->StagedReviewCount(), 2u);
+  EXPECT_EQ(service->StagedReviewCount(),
+            service->staged_dataset().num_reviews());
+
+  ASSERT_TRUE(service->Commit().ok());
+  // Commit publishes; the staged side keeps the appended reviews.
+  EXPECT_EQ(service->StagedReviewCount(), 2u);
+}
+
 TEST(TrustServiceTest, PipelineFacadeExposesSnapshot) {
   Dataset ds = testing::TinyCommunity();
   TrustPipeline pipeline = TrustPipeline::Run(ds).ValueOrDie();

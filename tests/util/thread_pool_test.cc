@@ -1,6 +1,8 @@
 #include "wot/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -53,6 +55,85 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     // No Wait(): destruction must still run everything queued.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitReportsAcceptance) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Submit([] {}));
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, StopDrainsQueuedWorkBeforeReturning) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      counter.fetch_add(1);
+    }));
+  }
+  pool.Stop();
+  // "Stop returned" means every accepted task ran, even the ones still
+  // queued when Stop was called.
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterStopIsRejectedAndWaitDoesNotHang) {
+  ThreadPool pool(2);
+  pool.Stop();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&ran] { ran = true; }));
+  // Regression: a silently-queued post-stop task used to strand
+  // in_flight_ > 0 with no worker left, wedging Wait() forever.
+  pool.Wait();
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, StopIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Stop();
+  pool.Stop();  // second call must return immediately, not re-join
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConcurrentStopCallersAllObserveTheDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      counter.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&pool, &counter] {
+      pool.Stop();
+      // Every Stop() caller, not just the one that joined the workers,
+      // returns only after the queue fully drained.
+      EXPECT_EQ(counter.load(), 32);
+    });
+  }
+  for (auto& t : stoppers) t.join();
+}
+
+TEST(ThreadPoolTest, DestructionWhileWorkersBusyCompletesEveryTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        counter.fetch_add(1);
+      });
+    }
+    // Workers are mid-task here; the destructor must let them finish.
+  }
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {

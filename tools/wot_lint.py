@@ -1,0 +1,548 @@
+#!/usr/bin/env python3
+"""wot_lint: project-invariant lints clang cannot express.
+
+Checks (see docs/static_analysis.md for the policy behind each):
+
+  source   Text-level invariants over src/wot/ and tools/:
+             * mutex    — no naked std::mutex / std::lock_guard /
+                          std::unique_lock / std::scoped_lock /
+                          std::condition_variable outside
+                          src/wot/util/thread_annotations.h. Every lock
+                          must be a wot::Mutex so Clang Thread Safety
+                          Analysis sees it.
+             * stdout   — no stdout writes inside src/wot/ (stdout is
+                          wire-protocol territory; diagnostics go to
+                          stderr via WOT_LOG). tools/ and bench/ are
+                          exempt. A line may carry an explicit waiver
+                          marker `wot-lint: allow(stdout)` with a
+                          justification; flags.cc's --help contract is
+                          the only waiver today.
+             * snapshot — TrustSnapshot stays immutable-after-build: its
+                          public section declares no non-const,
+                          non-static member function.
+             * suppress — no WOT_NO_THREAD_SAFETY_ANALYSIS and no
+                          thread-safety NOLINT inside
+                          src/wot/{service,server,api,util} (the serving
+                          stack is proved, not waived).
+
+  headers  Every header under src/wot/ compiles as a standalone
+           translation unit (catches missing includes that only stay
+           hidden through lucky include order).
+
+  self-test  Seeds one violation per rule into a scratch tree and fails
+             unless every seeded violation is flagged — proves the lint
+             actually bites before CI trusts a clean run.
+
+Exit status: 0 clean, 1 violations found, 2 usage or internal error.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# Shared helpers
+# --------------------------------------------------------------------------
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def repo_files(root, subdirs, extensions=SOURCE_EXTENSIONS):
+    """Yields repo-relative paths of sources under the given subdirs."""
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(extensions):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Keeps line numbers stable so violations point at real lines. The
+    small state machine is enough for this codebase (no raw strings with
+    embedded quotes in the linted dirs).
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+            out.append(" " if ch != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        self.items.append((path, line, rule, message))
+
+    def report(self, stream=sys.stderr):
+        for path, line, rule, message in self.items:
+            stream.write(f"{path}:{line}: [{rule}] {message}\n")
+        stream.write(f"wot_lint: {len(self.items)} violation(s)\n")
+
+
+# --------------------------------------------------------------------------
+# Rule: mutex — every lock is a wot::Mutex
+# --------------------------------------------------------------------------
+
+NAKED_PRIMITIVES = re.compile(
+    r"std\s*::\s*(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+MUTEX_EXEMPT = "src/wot/util/thread_annotations.h"
+
+
+def check_mutex(root, findings, files=None):
+    if files is None:
+        files = list(repo_files(root, ["src/wot", "tools"]))
+    for rel in files:
+        if rel.replace(os.sep, "/") == MUTEX_EXEMPT:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, rel), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = NAKED_PRIMITIVES.search(line)
+            if m:
+                findings.add(rel, lineno, "mutex",
+                             f"naked std::{m.group(1)}; use wot::Mutex / "
+                             "wot::MutexLock / wot::CondVar from "
+                             "wot/util/thread_annotations.h so the "
+                             "thread-safety analysis sees the lock")
+
+
+# --------------------------------------------------------------------------
+# Rule: stdout — no stdout writes inside src/wot/
+# --------------------------------------------------------------------------
+
+STDOUT_PATTERNS = [
+    (re.compile(r"std\s*::\s*cout\b"), "std::cout"),
+    # The lookbehind rejects a word character so snprintf/fprintf/fputs
+    # (stderr-capable) stay legal while printf/std::printf do not.
+    (re.compile(r"(?<!\w)printf\s*\("), "printf"),
+    (re.compile(r"(?<!\w)puts\s*\("), "puts"),
+    (re.compile(r"(?<!\w)putchar\s*\("), "putchar"),
+    (re.compile(r"\bstdout\b"), "stdout"),
+]
+
+STDOUT_WAIVER = "wot-lint: allow(stdout)"
+
+
+def check_stdout(root, findings, files=None):
+    if files is None:
+        files = list(repo_files(root, ["src/wot"]))
+    for rel in files:
+        raw_lines = open(os.path.join(root, rel),
+                         encoding="utf-8").read().splitlines()
+        text = strip_comments_and_strings("\n".join(raw_lines) + "\n")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            hit = next((name for pattern, name in STDOUT_PATTERNS
+                        if pattern.search(line)), None)
+            if hit is None:
+                continue
+            # The waiver marker lives in a comment on the same or the
+            # preceding line (comments are stripped, so consult the raw
+            # text).
+            window = raw_lines[max(0, lineno - 2):lineno]
+            if any(STDOUT_WAIVER in raw for raw in window):
+                continue
+            findings.add(rel, lineno, "stdout",
+                         f"stdout write ({hit}) inside src/wot/; stdout "
+                         "belongs to the wire protocol — log to stderr "
+                         "via WOT_LOG, or move the writer to tools//bench/")
+
+
+# --------------------------------------------------------------------------
+# Rule: snapshot — TrustSnapshot is immutable after construction
+# --------------------------------------------------------------------------
+
+SNAPSHOT_HEADER = "src/wot/service/trust_snapshot.h"
+
+
+def _public_member_functions(class_body):
+    """Yields (decl, offset) for member-function declarations in public
+    sections of a class body (text already comment/string-stripped)."""
+    access_re = re.compile(r"\b(public|protected|private)\s*:")
+    # Split the body into access regions. Classes start private.
+    regions = []  # (start, end, access)
+    access = "private"
+    pos = 0
+    for m in access_re.finditer(class_body):
+        regions.append((pos, m.start(), access))
+        access = m.group(1)
+        pos = m.end()
+    regions.append((pos, len(class_body), access))
+
+    for start, end, acc in regions:
+        if acc != "public":
+            continue
+        region = class_body[start:end]
+        # Walk declarations: cut at ';' or at an inline body's '{...}'.
+        i = 0
+        depth = 0
+        decl_start = 0
+        while i < len(region):
+            ch = region[i]
+            if ch == "{":
+                if depth == 0:
+                    yield region[decl_start:i], start + decl_start
+                    # Skip the inline body.
+                    body_depth = 1
+                    i += 1
+                    while i < len(region) and body_depth > 0:
+                        if region[i] == "{":
+                            body_depth += 1
+                        elif region[i] == "}":
+                            body_depth -= 1
+                        i += 1
+                    decl_start = i
+                    continue
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            elif ch == ";" and depth == 0:
+                yield region[decl_start:i], start + decl_start
+                decl_start = i + 1
+            elif ch in "(<[":
+                depth += 1
+            elif ch in ")>]":
+                depth = max(0, depth - 1)
+            i += 1
+
+
+def _find_class_body(text, class_name):
+    m = re.search(r"\bclass\s+" + class_name + r"\b[^;{]*\{", text)
+    if m is None:
+        return None, 0
+    depth = 1
+    i = m.end()
+    while i < len(text) and depth > 0:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+        i += 1
+    return text[m.end():i - 1], m.end()
+
+
+def check_snapshot_immutable(root, findings, header=SNAPSHOT_HEADER,
+                             class_name="TrustSnapshot"):
+    path = os.path.join(root, header)
+    if not os.path.exists(path):
+        findings.add(header, 1, "snapshot", "header not found")
+        return
+    raw = open(path, encoding="utf-8").read()
+    text = strip_comments_and_strings(raw)
+    body, body_offset = _find_class_body(text, class_name)
+    if body is None:
+        findings.add(header, 1, "snapshot",
+                     f"class {class_name} not found")
+        return
+    for decl, offset in _public_member_functions(body):
+        decl_flat = " ".join(decl.split())
+        if "(" not in decl_flat:
+            continue  # data member / using / typedef
+        if re.match(r"(friend|using|typedef|static|template)\b", decl_flat):
+            continue
+        name_m = re.search(r"(~?\w+|operator\s*[^\s(]+)\s*\(", decl_flat)
+        if name_m is None:
+            continue
+        name = name_m.group(1)
+        if name == class_name or name == "~" + class_name:
+            continue  # constructor / destructor
+        if "= delete" in decl_flat:
+            continue
+        tail = decl_flat[decl_flat.rfind(")") + 1:]
+        if re.search(r"\bconst\b", tail):
+            continue  # const-qualified query
+        lineno = text[:body_offset + offset].count("\n") + 1
+        findings.add(header, lineno, "snapshot",
+                     f"public non-const member function '{name}' on "
+                     f"{class_name}; snapshots are immutable after "
+                     "build — mutators must not exist")
+
+
+# --------------------------------------------------------------------------
+# Rule: suppress — the serving stack is proved, never waived
+# --------------------------------------------------------------------------
+
+PROVED_DIRS = ("src/wot/service", "src/wot/server", "src/wot/api",
+               "src/wot/util")
+SUPPRESSION_PATTERNS = [
+    (re.compile(r"\bWOT_NO_THREAD_SAFETY_ANALYSIS\b"),
+     "WOT_NO_THREAD_SAFETY_ANALYSIS"),
+    (re.compile(r"NOLINT[^\n]*thread-safety"), "thread-safety NOLINT"),
+]
+
+
+def check_suppressions(root, findings, files=None):
+    if files is None:
+        files = [f for f in repo_files(root, ["src/wot"])
+                 if os.path.dirname(f.replace(os.sep, "/")) in PROVED_DIRS]
+    for rel in files:
+        if rel.replace(os.sep, "/") == MUTEX_EXEMPT:
+            continue  # the macro's own definition
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, name in SUPPRESSION_PATTERNS:
+                if pattern.search(line):
+                    findings.add(rel, lineno, "suppress",
+                                 f"{name} inside the proved serving "
+                                 "stack; fix the locking instead of "
+                                 "suppressing the analysis")
+
+
+# --------------------------------------------------------------------------
+# Check: headers — every src/wot header compiles standalone
+# --------------------------------------------------------------------------
+
+
+def check_headers(root, findings, cxx, extra_flags=(), jobs=None):
+    headers = [f for f in repo_files(root, ["src/wot"], (".h",))]
+    flags = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+             "-Wpedantic", "-Werror", "-I", os.path.join(root, "src")]
+    flags += list(extra_flags)
+
+    def compile_one(rel):
+        cmd = [cxx] + flags + ["-x", "c++", os.path.join(root, rel)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        return rel, proc.returncode, proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(jobs or os.cpu_count()) as ex:
+        for rel, rc, stderr in ex.map(compile_one, headers):
+            if rc != 0:
+                first = stderr.strip().splitlines()
+                detail = first[0] if first else "compiler error"
+                findings.add(rel, 1, "headers",
+                             f"does not compile standalone: {detail}")
+    return len(headers)
+
+
+# --------------------------------------------------------------------------
+# Self-test: seeded violations must be flagged
+# --------------------------------------------------------------------------
+
+SEEDED_MUTEX = """#include <mutex>
+namespace wot { struct Bad { std::mutex mu_; }; }
+"""
+
+SEEDED_STDOUT = """#include <iostream>
+namespace wot { inline void Bad() { std::cout << "hi"; } }
+"""
+
+SEEDED_SNAPSHOT = """namespace wot {
+class TrustSnapshot {
+ public:
+  int version() const { return version_; }
+  void set_version(int v) { version_ = v; }
+ private:
+  int version_ = 0;
+};
+}  // namespace wot
+"""
+
+SEEDED_SUPPRESSION = """namespace wot {
+inline void Bad() WOT_NO_THREAD_SAFETY_ANALYSIS {}
+}
+"""
+
+SEEDED_BAD_HEADER = """// missing <string> include
+#ifndef SEEDED_BAD_HEADER_H_
+#define SEEDED_BAD_HEADER_H_
+namespace wot { inline std::string Broken() { return {}; } }
+#endif
+"""
+
+SEEDED_CLEAN = """#ifndef SEEDED_CLEAN_H_
+#define SEEDED_CLEAN_H_
+namespace wot { inline int Fine() { return 1; } }
+#endif
+"""
+
+
+def run_self_test(cxx):
+    failures = []
+
+    def expect(name, findings, rule, want_hits):
+        hits = sum(1 for _, _, r, _ in findings.items if r == rule)
+        if (hits > 0) != want_hits:
+            failures.append(
+                f"{name}: expected {'a' if want_hits else 'no'} [{rule}] "
+                f"finding, got {hits}")
+
+    with tempfile.TemporaryDirectory(prefix="wot_lint_selftest_") as tmp:
+        service = os.path.join(tmp, "src", "wot", "service")
+        util = os.path.join(tmp, "src", "wot", "util")
+        os.makedirs(service)
+        os.makedirs(util)
+
+        def put(relpath, content):
+            path = os.path.join(tmp, relpath)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+            return os.path.relpath(path, tmp)
+
+        # Seed one violation per rule.
+        bad_mutex = put("src/wot/util/bad_mutex.h", SEEDED_MUTEX)
+        bad_stdout = put("src/wot/util/bad_stdout.h", SEEDED_STDOUT)
+        put("src/wot/service/trust_snapshot.h", SEEDED_SNAPSHOT)
+        bad_supp = put("src/wot/util/bad_suppress.h", SEEDED_SUPPRESSION)
+
+        f = Findings()
+        check_mutex(tmp, f, files=[bad_mutex])
+        expect("seeded mutex", f, "mutex", True)
+
+        f = Findings()
+        check_stdout(tmp, f, files=[bad_stdout])
+        expect("seeded stdout", f, "stdout", True)
+
+        f = Findings()
+        check_snapshot_immutable(tmp, f)
+        expect("seeded snapshot mutator", f, "snapshot", True)
+
+        f = Findings()
+        check_suppressions(tmp, f, files=[bad_supp])
+        expect("seeded suppression", f, "suppress", True)
+
+        # A waived stdout write is accepted; an unwaived one next to it
+        # is still flagged.
+        waived = put(
+            "src/wot/util/waived.h",
+            "#include <cstdio>\n"
+            "// wot-lint: allow(stdout) — self-test waiver\n"
+            "inline void Waived() { printf(\"x\"); }\n")
+        f = Findings()
+        check_stdout(tmp, f, files=[waived])
+        expect("waived stdout", f, "stdout", False)
+
+        # The real repo's snapshot header shape must parse as clean: a
+        # const-only public surface yields zero findings.
+        put("src/wot/service/trust_snapshot.h",
+            SEEDED_SNAPSHOT.replace(
+                "  void set_version(int v) { version_ = v; }\n", ""))
+        f = Findings()
+        check_snapshot_immutable(tmp, f)
+        expect("clean snapshot", f, "snapshot", False)
+
+        if cxx:
+            bad_header = put("src/wot/util/seeded_bad.h", SEEDED_BAD_HEADER)
+            clean_header = put("src/wot/util/seeded_clean.h", SEEDED_CLEAN)
+            f = Findings()
+            check_headers(tmp, f, cxx)
+            rules = {path for path, _, r, _ in f.items if r == "headers"}
+            if bad_header not in rules:
+                failures.append("seeded broken header was not flagged")
+            if clean_header in rules:
+                failures.append("clean header was falsely flagged")
+
+    if failures:
+        for failure in failures:
+            sys.stderr.write(f"wot_lint self-test FAILED: {failure}\n")
+        return 1
+    sys.stderr.write("wot_lint self-test passed\n")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("check", choices=["source", "headers", "all"],
+                        nargs="?", default="all")
+    parser.add_argument("--repo", default=None,
+                        help="repo root (default: the script's grandparent)")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                        help="compiler for the headers check")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test(args.cxx)
+
+    root = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src", "wot")):
+        sys.stderr.write(f"wot_lint: {root} is not the wot repo root\n")
+        return 2
+
+    findings = Findings()
+    checked_headers = 0
+    if args.check in ("source", "all"):
+        check_mutex(root, findings)
+        check_stdout(root, findings)
+        check_snapshot_immutable(root, findings)
+        check_suppressions(root, findings)
+    if args.check in ("headers", "all"):
+        checked_headers = check_headers(root, findings, args.cxx,
+                                        jobs=args.jobs)
+
+    if findings.items:
+        findings.report()
+        return 1
+    scope = args.check
+    extra = f" ({checked_headers} headers)" if checked_headers else ""
+    sys.stderr.write(f"wot_lint: {scope} clean{extra}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
