@@ -26,7 +26,7 @@ SynthConfig PaperScaleConfig(size_t num_users, uint64_t seed);
 
 /// \brief Common flags of every experiment binary.
 struct ExperimentArgs {
-  int64_t users = 4000;
+  int64_t users = 5000;
   int64_t seed = 42;
   std::string load;  // optional dataset directory (CSV schema); overrides
                      // the synthetic workload when set

@@ -296,6 +296,22 @@ struct StatsResult {
   /// Per-shard routed-request counts: how many times the router touched
   /// each shard (point queries, scatter-gather fan-outs, ingest, commit).
   std::vector<int64_t> shard_requests_served;
+  // Durability counters (additive v1 fields; all 0 — and absent on the
+  // NDJSON wire — when the server runs without --data-dir, keeping
+  // non-durable responses byte-identical to pre-storage servers). A
+  // sharded durable server aggregates: sums over shards, except
+  // segment_epoch which is the minimum across shards (the weakest
+  // durable snapshot bound).
+  /// Records in the live write-ahead log file.
+  int64_t wal_records = 0;
+  /// Bytes in the live write-ahead log file.
+  int64_t wal_bytes = 0;
+  /// Version of the newest durable snapshot segment (>= 1 when durable).
+  int64_t segment_epoch = 0;
+  /// Bytes of that segment file.
+  int64_t segment_bytes = 0;
+  /// WAL records replayed by the most recent recovery (0 = fresh boot).
+  int64_t recovered_replayed_records = 0;
 
   friend bool operator==(const StatsResult&, const StatsResult&) = default;
 };

@@ -144,6 +144,13 @@ void EncodeResponsePayload(const ResponsePayload& payload, ByteWriter* w) {
       for (int64_t requests : r.shard_requests_served) {
         w.PutI64(requests);
       }
+      // Durability counters: the binary codec carries them
+      // unconditionally (field presence is fixed per frame version).
+      w.PutI64(r.wal_records)
+          .PutI64(r.wal_bytes)
+          .PutI64(r.segment_epoch)
+          .PutI64(r.segment_bytes)
+          .PutI64(r.recovered_replayed_records);
     }
   };
   std::visit(Visitor{*w}, payload);
@@ -312,6 +319,11 @@ ApiStatus DecodeResponsePayload(size_t result_index, ByteReader* r,
       for (uint32_t i = 0; i < requests && !r->failed(); ++i) {
         result.shard_requests_served.push_back(r->GetI64());
       }
+      result.wal_records = r->GetI64();
+      result.wal_bytes = r->GetI64();
+      result.segment_epoch = r->GetI64();
+      result.segment_bytes = r->GetI64();
+      result.recovered_replayed_records = r->GetI64();
       response->payload = std::move(result);
       break;
     }

@@ -131,6 +131,17 @@ void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
         }
         w.EndArray();
       }
+      // Additive durability fields: only present when a durable store is
+      // attached (segment_epoch >= 1 from the first boot segment on), so
+      // non-durable responses stay byte-identical to pre-storage servers.
+      if (r.segment_epoch > 0) {
+        w.Key("wal_records").Int(r.wal_records);
+        w.Key("wal_bytes").Int(r.wal_bytes);
+        w.Key("segment_epoch").Int(r.segment_epoch);
+        w.Key("segment_bytes").Int(r.segment_bytes);
+        w.Key("recovered_replayed_records")
+            .Int(r.recovered_replayed_records);
+      }
     }
   };
   w->Key("result").BeginObject();
@@ -382,7 +393,13 @@ ApiStatus DecodeResultPayload(const std::string& result_type,
           IntField{"connections_accepted", &r.connections_accepted},
           IntField{"connection_requests_served",
                    &r.connection_requests_served},
-          IntField{"shards", &r.shards}}) {
+          IntField{"shards", &r.shards},
+          IntField{"wal_records", &r.wal_records},
+          IntField{"wal_bytes", &r.wal_bytes},
+          IntField{"segment_epoch", &r.segment_epoch},
+          IntField{"segment_bytes", &r.segment_bytes},
+          IntField{"recovered_replayed_records",
+                   &r.recovered_replayed_records}}) {
       if (result.Find(field.key) != nullptr) {
         Result<int64_t> value = result.GetInt(field.key);
         if (!value.ok()) return ApiStatus::FromStatus(value.status());

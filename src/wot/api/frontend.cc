@@ -271,6 +271,14 @@ Response ServiceFrontend::DispatchPayload(
       result.connections_accepted = connection.connections_accepted;
       result.connection_requests_served =
           connection.connection_requests_served;
+      DurabilityStats durability =
+          frontend.service_->durability_stats();
+      result.wal_records = durability.wal_records;
+      result.wal_bytes = durability.wal_bytes;
+      result.segment_epoch = durability.segment_epoch;
+      result.segment_bytes = durability.segment_bytes;
+      result.recovered_replayed_records =
+          durability.recovered_replayed_records;
       Response response;
       response.payload = result;
       return response;

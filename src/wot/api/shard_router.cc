@@ -38,6 +38,33 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   return router;
 }
 
+Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromServices(
+    std::vector<std::unique_ptr<TrustService>> services) {
+  if (services.empty()) {
+    return Status::InvalidArgument(
+        "CreateFromServices needs at least one service");
+  }
+  std::unique_ptr<ShardRouter> router(new ShardRouter());
+  router->shards_.reserve(services.size());
+  int64_t staged_users = 0;
+  for (std::unique_ptr<TrustService>& service : services) {
+    if (service == nullptr) {
+      return Status::InvalidArgument(
+          "CreateFromServices got a null service");
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->service = std::move(service);
+    shard->frontend =
+        std::make_unique<ServiceFrontend>(shard->service.get());
+    staged_users +=
+        static_cast<int64_t>(shard->service->staged_dataset().num_users());
+    router->shards_.push_back(std::move(shard));
+  }
+  MutexLock lock(router->ingest_mu_);
+  router->staged_global_users_ = staged_users;
+  return router;
+}
+
 FrontendStats ShardRouter::stats() const {
   FrontendStats stats = Frontend::stats();
   stats.service_boots = static_cast<int64_t>(shards_.size());
@@ -477,6 +504,9 @@ Response ShardRouter::DispatchPayload(const Request& request,
       if (any_published) {
         ++epoch;
         router.epoch_.store(epoch, std::memory_order_release);
+        if (router.epoch_callback_) {
+          router.epoch_callback_(epoch);
+        }
       }
       result.snapshot_version = epoch;
       result.published = any_published;
@@ -516,6 +546,33 @@ Response ShardRouter::DispatchPayload(const Request& request,
               router.shards_[s]->dispatches.load(
                   std::memory_order_relaxed));
         }
+      }
+      // Durability aggregation: counters sum across shards; the epoch is
+      // the MINIMUM (the weakest shard bounds how far the whole router
+      // is durably snapshotted). All-zero when shards run non-durable —
+      // one durable shard out of N still reports, honestly, epoch 0.
+      int64_t min_epoch = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        DurabilityStats durability =
+            router.shards_[s]->service->durability_stats();
+        result.wal_records += durability.wal_records;
+        result.wal_bytes += durability.wal_bytes;
+        result.segment_bytes += durability.segment_bytes;
+        result.recovered_replayed_records +=
+            durability.recovered_replayed_records;
+        if (s == 0 || durability.segment_epoch < min_epoch) {
+          min_epoch = durability.segment_epoch;
+        }
+      }
+      result.segment_epoch = min_epoch;
+      if (result.segment_epoch == 0) {
+        // Honest zeroes: without a full durable fleet the additive
+        // fields stay absent on the NDJSON wire (the one-shard
+        // bit-identity property depends on it).
+        result.wal_records = 0;
+        result.wal_bytes = 0;
+        result.segment_bytes = 0;
+        result.recovered_replayed_records = 0;
       }
       Response response;
       response.payload = std::move(result);

@@ -44,6 +44,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -68,6 +69,31 @@ class ShardRouter : public Frontend {
   static Result<std::unique_ptr<ShardRouter>> Create(
       const Dataset& seed, size_t num_shards,
       const TrustServiceOptions& options = {});
+
+  /// \brief Adopts already booted shard services (the durable recovery
+  /// path: each shard came back from its own storage directory). The
+  /// services must hold a round-robin user partition exactly as Create
+  /// would have produced — i.e. they ARE the services a durable router
+  /// persisted, in shard order. The router-level epoch starts at 1;
+  /// call RestoreEpoch with the persisted value afterwards.
+  static Result<std::unique_ptr<ShardRouter>> CreateFromServices(
+      std::vector<std::unique_ptr<TrustService>> services);
+
+  /// \brief Restores the router-level commit epoch after a recovery.
+  /// Call before serving traffic.
+  void RestoreEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// \brief Installs a hook invoked after every commit that bumps the
+  /// epoch (under the ingest lock, post-store — the value is already
+  /// visible to readers). Durable servers persist the epoch from it.
+  /// Call before serving traffic; pass nullptr to clear.
+  void SetEpochCallback(std::function<void(uint64_t)> callback)
+      WOT_EXCLUDES(ingest_mu_) {
+    MutexLock lock(ingest_mu_);
+    epoch_callback_ = std::move(callback);
+  }
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -139,6 +165,8 @@ class ShardRouter : public Frontend {
   // over the global user id space.
   Mutex ingest_mu_;
   int64_t staged_global_users_ WOT_GUARDED_BY(ingest_mu_) = 0;
+  std::function<void(uint64_t)> epoch_callback_
+      WOT_GUARDED_BY(ingest_mu_);
 
   std::atomic<uint64_t> epoch_{1};
 };

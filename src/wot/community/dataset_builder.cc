@@ -1,5 +1,6 @@
 #include "wot/community/dataset_builder.h"
 
+#include <cmath>
 #include <utility>
 
 namespace wot {
@@ -45,6 +46,7 @@ Status DatasetBuilder::CheckUser(UserId id, const char* role) const {
 }
 
 Result<ReviewId> DatasetBuilder::AddReview(UserId writer, ObjectId object) {
+  EnsureDedupKeys();
   WOT_RETURN_IF_ERROR(CheckUser(writer, "writer"));
   if (!object.valid() || object.index() >= dataset_.objects_.size()) {
     return Status::InvalidArgument("review references unknown object");
@@ -65,6 +67,7 @@ Result<ReviewId> DatasetBuilder::AddReview(UserId writer, ObjectId object) {
 
 Status DatasetBuilder::AddRating(UserId rater, ReviewId review,
                                  double value) {
+  EnsureDedupKeys();
   WOT_RETURN_IF_ERROR(CheckUser(rater, "rater"));
   if (!review.valid() || review.index() >= dataset_.reviews_.size()) {
     return Status::InvalidArgument("rating references unknown review");
@@ -93,6 +96,7 @@ Status DatasetBuilder::AddRating(UserId rater, ReviewId review,
 }
 
 Status DatasetBuilder::AddTrust(UserId source, UserId target) {
+  EnsureDedupKeys();
   WOT_RETURN_IF_ERROR(CheckUser(source, "trust source"));
   WOT_RETURN_IF_ERROR(CheckUser(target, "trust target"));
   if (options_.reject_degenerate_trust) {
@@ -114,7 +118,138 @@ Result<Dataset> DatasetBuilder::Build() {
   review_keys_.clear();
   rating_keys_.clear();
   trust_keys_.clear();
+  dedup_keys_synced_ = true;
   return out;
+}
+
+void DatasetBuilder::EnsureDedupKeys() {
+  if (dedup_keys_synced_) return;
+  dedup_keys_synced_ = true;
+  if (options_.enforce_one_review_per_object) {
+    review_keys_.reserve(dataset_.reviews_.size());
+    for (const Review& review : dataset_.reviews_) {
+      review_keys_.insert(
+          PairKey(review.writer.value(), review.object.value()));
+    }
+  }
+  if (options_.reject_duplicate_ratings) {
+    rating_keys_.reserve(dataset_.ratings_.size());
+    for (const ReviewRating& rating : dataset_.ratings_) {
+      rating_keys_.insert(
+          PairKey(rating.rater.value(), rating.review.value()));
+    }
+  }
+  if (options_.reject_degenerate_trust) {
+    trust_keys_.reserve(dataset_.trust_.size());
+    for (const TrustStatement& statement : dataset_.trust_) {
+      trust_keys_.insert(
+          PairKey(statement.source.value(), statement.target.value()));
+    }
+  }
+}
+
+Status DatasetBuilder::AdoptValidated(Dataset dataset) {
+  if (!dataset_.users_.empty() || !dataset_.categories_.empty() ||
+      !dataset_.objects_.empty() || !dataset_.reviews_.empty() ||
+      !dataset_.ratings_.empty() || !dataset_.trust_.empty()) {
+    return Status::FailedPrecondition(
+        "AdoptValidated requires an empty builder");
+  }
+  // Policy rules that scan columns sequentially are cheap enough to keep
+  // even on the instant-boot path. Deliberately trusted from the source
+  // (a CRC-verified segment whose contents went through a validating
+  // builder when written): referential integrity (FromValidatedColumns
+  // already bounds-checked every reference), self-rating rejection (a
+  // random-access writer lookup per rating — the one check that would
+  // dominate adoption cost), and dedup uniqueness (the key sets rebuild
+  // lazily in EnsureDedupKeys; pre-existing duplicates collapse there).
+  if (options_.enforce_rating_scale) {
+    for (const ReviewRating& rating : dataset.ratings()) {
+      // Inline nearest-stage form of rating_scale::IsValidStage: the
+      // stages are 0.2 apart and the tolerance is 1e-9, so only the
+      // nearest k can qualify — one nearbyint + one fabs per row instead
+      // of five out-of-line comparisons, same accept set.
+      const double v = rating.value;
+      const double k = std::nearbyint(v * 5.0);
+      if (!(k >= 1.0 && k <= 5.0 && std::fabs(v - 0.2 * k) < 1e-9)) {
+        return Status::InvalidArgument(
+            "rating value " + std::to_string(v) +
+            " is not one of the five scale stages {0.2,0.4,0.6,0.8,1.0}");
+      }
+    }
+  }
+  if (options_.reject_degenerate_trust) {
+    for (const TrustStatement& statement : dataset.trust_statements()) {
+      if (statement.source == statement.target) {
+        return Status::InvalidArgument("self-trust statement rejected");
+      }
+    }
+  }
+  dataset_ = std::move(dataset);
+  review_keys_.clear();
+  rating_keys_.clear();
+  trust_keys_.clear();
+  dedup_keys_synced_ = false;
+  return Status::OK();
+}
+
+Result<Dataset> DatasetBuilder::FromValidatedColumns(
+    std::vector<Category> categories, std::vector<User> users,
+    std::vector<Object> objects, std::vector<Review> reviews,
+    std::vector<ReviewRating> ratings,
+    std::vector<TrustStatement> trust_statements) {
+  Dataset dataset;
+  dataset.categories_ = std::move(categories);
+  dataset.users_ = std::move(users);
+  dataset.objects_ = std::move(objects);
+  dataset.reviews_ = std::move(reviews);
+  dataset.ratings_ = std::move(ratings);
+  dataset.trust_ = std::move(trust_statements);
+  const uint32_t num_categories =
+      static_cast<uint32_t>(dataset.categories_.size());
+  const uint32_t num_users = static_cast<uint32_t>(dataset.users_.size());
+  const uint32_t num_objects =
+      static_cast<uint32_t>(dataset.objects_.size());
+  const uint32_t num_reviews =
+      static_cast<uint32_t>(dataset.reviews_.size());
+  for (uint32_t i = 0; i < num_categories; ++i) {
+    dataset.categories_[i].id = CategoryId(i);
+  }
+  for (uint32_t i = 0; i < num_users; ++i) {
+    dataset.users_[i].id = UserId(i);
+  }
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    Object& object = dataset.objects_[i];
+    object.id = ObjectId(i);
+    if (object.category.value() >= num_categories) {
+      return Status::InvalidArgument("object references unknown category");
+    }
+  }
+  for (uint32_t i = 0; i < num_reviews; ++i) {
+    Review& review = dataset.reviews_[i];
+    review.id = ReviewId(i);
+    if (review.writer.value() >= num_users ||
+        review.object.value() >= num_objects) {
+      return Status::InvalidArgument(
+          "review references unknown writer or object");
+    }
+    review.category = dataset.objects_[review.object.index()].category;
+  }
+  for (const ReviewRating& rating : dataset.ratings_) {
+    if (rating.rater.value() >= num_users ||
+        rating.review.value() >= num_reviews) {
+      return Status::InvalidArgument(
+          "rating references unknown rater or review");
+    }
+  }
+  for (const TrustStatement& statement : dataset.trust_) {
+    if (statement.source.value() >= num_users ||
+        statement.target.value() >= num_users) {
+      return Status::InvalidArgument(
+          "trust statement references unknown user");
+    }
+  }
+  return dataset;
 }
 
 }  // namespace wot

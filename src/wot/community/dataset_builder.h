@@ -54,6 +54,33 @@ class DatasetBuilder {
   /// \brief Finalizes. The builder is consumed (left empty).
   Result<Dataset> Build();
 
+  /// \brief Assembles a Dataset directly from columns, skipping the
+  /// policy checks and dedup-key bookkeeping of the incremental Add*
+  /// path. For trusted loaders only — e.g. the storage layer's
+  /// CRC-verified snapshot segments, whose contents went through a
+  /// validating builder when written. Entity ids are reassigned densely
+  /// from column order and review categories are denormalized from their
+  /// object; cross-column references are bounds-checked (an error, never
+  /// a fault, on corrupt input) but nothing else is.
+  static Result<Dataset> FromValidatedColumns(
+      std::vector<Category> categories, std::vector<User> users,
+      std::vector<Object> objects, std::vector<Review> reviews,
+      std::vector<ReviewRating> ratings,
+      std::vector<TrustStatement> trust_statements);
+
+  /// \brief Installs an already-validated dataset as this (empty)
+  /// builder's staged state, without replaying it through the Add* path.
+  /// This is the instant-restore complement of FromValidatedColumns:
+  /// ids must already be dense in column order (FromValidatedColumns
+  /// guarantees that). Sequential-scan policy rules (rating scale,
+  /// self-trust) are still enforced here; per-row random-access rules
+  /// (self-ratings) and dedup uniqueness are trusted from the validated
+  /// source, and the dedup key sets are NOT rebuilt eagerly but lazily,
+  /// on the first Add* call that needs them, so adoption costs O(scan)
+  /// instead of O(hash-insert) per row. Future ingests validate against
+  /// exactly the keys an incremental build would have produced.
+  Status AdoptValidated(Dataset dataset);
+
   /// \brief Read-only view of the dataset under construction. The reference
   /// stays valid until Build(); contents grow as entities are added. Used
   /// by generators that interleave reads (e.g. "who wrote this review?")
@@ -65,10 +92,16 @@ class DatasetBuilder {
 
  private:
   Status CheckUser(UserId id, const char* role) const;
+  /// Bulk-builds the dedup key sets from the adopted columns. No-op on
+  /// the incremental path (keys are maintained per Add* call there).
+  void EnsureDedupKeys();
 
   DatasetBuilderOptions options_;
   Dataset dataset_;
   // Dedup keys: (writer, object), (rater, review), (src, dst) as u64.
+  // After AdoptValidated() these are stale until the first Add* call
+  // that consults them (EnsureDedupKeys rebuilds in one pass).
+  bool dedup_keys_synced_ = true;
   std::unordered_set<uint64_t> review_keys_;
   std::unordered_set<uint64_t> rating_keys_;
   std::unordered_set<uint64_t> trust_keys_;

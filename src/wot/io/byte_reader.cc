@@ -35,6 +35,16 @@ double ByteReader::GetDouble() {
   return std::bit_cast<double>(GetLittleEndian(8));
 }
 
+const char* ByteReader::GetRaw(size_t n) {
+  if (failed_ || remaining() < n) {
+    failed_ = true;
+    return nullptr;
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
 std::string ByteReader::GetString() {
   uint32_t len = GetU32();
   if (failed_ || len > remaining()) {

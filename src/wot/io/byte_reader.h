@@ -31,6 +31,13 @@ class ByteReader {
   /// returns empty) when the prefix overruns the buffer.
   std::string GetString();
 
+  /// \brief Bounds-checks and consumes \p n raw bytes in one step,
+  /// returning a pointer into the underlying buffer (valid as long as
+  /// the buffer is), or nullptr after latching failure when fewer than
+  /// \p n bytes remain. Bulk decoders of fixed-width record arrays use
+  /// this to hoist the per-field bounds checks out of their hot loops.
+  const char* GetRaw(size_t n);
+
   /// True once any read has overrun the buffer.
   bool failed() const { return failed_; }
   size_t remaining() const { return data_.size() - pos_; }

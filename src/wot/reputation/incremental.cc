@@ -46,6 +46,52 @@ Status IncrementalReputationEngine::FullRebuild(
   return Status::OK();
 }
 
+std::vector<IncrementalReputationEngine::CategoryVersion>
+IncrementalReputationEngine::Fingerprint(const Dataset& dataset) {
+  // Counting straight off the columns gives the same per-category review
+  // and rating populations as the index-based overload, without the
+  // grouped-postings build.
+  std::vector<CategoryVersion> versions(dataset.num_categories());
+  const std::vector<Review>& reviews = dataset.reviews();
+  for (const Review& review : reviews) {
+    ++versions[review.category.index()].num_reviews;
+  }
+  for (const ReviewRating& rating : dataset.ratings()) {
+    ++versions[reviews[rating.review.index()].category.index()]
+          .num_ratings;
+  }
+  return versions;
+}
+
+Status IncrementalReputationEngine::Seed(const Dataset& dataset,
+                                         const DatasetIndices& indices,
+                                         const ReputationResult& result) {
+  // Both Fingerprint overloads count the same populations, so the
+  // index-free implementation serves here too.
+  (void)indices;
+  return Seed(dataset, result);
+}
+
+Status IncrementalReputationEngine::Seed(const Dataset& dataset,
+                                         const ReputationResult& result) {
+  if (result.expertise.rows() != dataset.num_users() ||
+      result.expertise.cols() != dataset.num_categories() ||
+      result.rater_reputation.rows() != dataset.num_users() ||
+      result.rater_reputation.cols() != dataset.num_categories() ||
+      result.review_quality.size() != dataset.num_reviews() ||
+      result.convergence.size() != dataset.num_categories()) {
+    return Status::InvalidArgument(
+        "seeded reputation result does not match the dataset's shape");
+  }
+  result_ = result;
+  versions_ = Fingerprint(dataset);
+  last_recomputed_.clear();
+  known_users_ = dataset.num_users();
+  known_reviews_ = dataset.num_reviews();
+  initialized_ = true;
+  return Status::OK();
+}
+
 Status IncrementalReputationEngine::Update(const Dataset& dataset,
                                            size_t* categories_recomputed) {
   DatasetIndices indices(dataset);

@@ -54,6 +54,22 @@ class IncrementalReputationEngine {
   Status Update(const Dataset& dataset, const DatasetIndices& indices,
                 size_t* categories_recomputed = nullptr);
 
+  /// \brief Adopts \p result as the already-converged state of \p dataset
+  /// without recomputing anything (the durable-restore path: the result
+  /// was persisted by an engine that had converged over this exact
+  /// dataset). Snapshots the per-category activity fingerprints so a
+  /// subsequent Update() recomputes only categories dirtied afterwards —
+  /// byte-identical to an engine that never restarted. Fails (engine
+  /// unchanged) when the result's shapes don't match \p dataset.
+  Status Seed(const Dataset& dataset, const DatasetIndices& indices,
+              const ReputationResult& result);
+
+  /// \brief As above without caller-provided indices. The activity
+  /// fingerprints are counted straight off the dataset columns in
+  /// O(|reviews| + |ratings|), so the restore path never pays for a full
+  /// DatasetIndices build it would immediately throw away.
+  Status Seed(const Dataset& dataset, const ReputationResult& result);
+
   /// \brief Current result; valid after a successful FullRebuild/Update.
   const ReputationResult& result() const { return result_; }
 
@@ -80,6 +96,7 @@ class IncrementalReputationEngine {
 
   static std::vector<CategoryVersion> Fingerprint(
       const Dataset& dataset, const DatasetIndices& indices);
+  static std::vector<CategoryVersion> Fingerprint(const Dataset& dataset);
 
   ReputationOptions options_;
   bool initialized_ = false;

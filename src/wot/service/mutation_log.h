@@ -1,0 +1,80 @@
+// MutationLog: the durability hook TrustService writes through.
+//
+// A TrustService optionally carries a MutationLog (storage::StorageManager
+// is the production implementation). Every successfully staged ingest
+// mutation and every Commit() is reported to the log *inside the writer
+// lock, before the call returns* — so once the API acknowledges a
+// mutation, the log has seen it (ack-after-durable, modulo the configured
+// fsync policy). The interface lives in the service layer so api-level
+// frontends can surface DurabilityStats without depending on storage.
+//
+// Contract:
+//   * LogAdd* report mutations that the builder accepted; rejected
+//     mutations are never logged. Records carry resolved dense ids (refs
+//     were resolved before staging), and entity ids are implied by append
+//     order, so replaying the records through a fresh service rebuilds
+//     the identical staged state.
+//   * LogAdd* cannot fail the ingest: an implementation that loses its
+//     backing store must latch the failure (stop appending — a hole in
+//     the log is worse than a short log) and surface it from the next
+//     LogCommit.
+//   * LogCommit may veto the commit acknowledgement by returning a
+//     non-OK status; the snapshot is already published to in-process
+//     readers at that point (availability is kept; the caller learns
+//     durability is gone).
+#ifndef WOT_SERVICE_MUTATION_LOG_H_
+#define WOT_SERVICE_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "wot/util/status.h"
+
+namespace wot {
+
+class Dataset;
+class TrustSnapshot;
+
+/// \brief Wire-visible durability counters (the additive v1 `stats`
+/// fields). All zero when no durable store is attached.
+struct DurabilityStats {
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  /// Version of the newest durable snapshot segment (>= 1 whenever a
+  /// durable store is active — boot writes the first segment).
+  int64_t segment_epoch = 0;
+  int64_t segment_bytes = 0;
+  /// WAL records replayed by the most recent recovery (0 on fresh boot).
+  int64_t recovered_replayed_records = 0;
+};
+
+/// \brief Receives every accepted TrustService mutation and commit.
+///
+/// Called under the service's writer lock (mutations are already
+/// serialized); durability_stats() may race those calls and must be
+/// internally synchronized.
+class MutationLog {
+ public:
+  virtual ~MutationLog() = default;
+
+  virtual void LogAddUser(std::string_view name) = 0;
+  virtual void LogAddCategory(std::string_view name) = 0;
+  virtual void LogAddObject(uint32_t category, std::string_view name) = 0;
+  virtual void LogAddReview(uint32_t writer, uint32_t object) = 0;
+  virtual void LogAddRating(uint32_t rater, uint32_t review,
+                            double value) = 0;
+
+  /// \brief A Commit() finished. \p snapshot is the snapshot now serving
+  /// (the freshly published one when \p published, else the incumbent)
+  /// and \p staged the full staged dataset, both valid only for the
+  /// duration of the call. A non-OK return fails the commit ack.
+  virtual Status LogCommit(uint64_t version, bool published,
+                           const TrustSnapshot& snapshot,
+                           const Dataset& staged) = 0;
+
+  virtual DurabilityStats durability_stats() const = 0;
+};
+
+}  // namespace wot
+
+#endif  // WOT_SERVICE_MUTATION_LOG_H_

@@ -76,20 +76,95 @@ Result<std::unique_ptr<TrustService>> TrustService::CreateEmpty(
   return Create(Dataset(), options);
 }
 
+Result<std::unique_ptr<TrustService>> TrustService::Restore(
+    Dataset dataset, ReputationResult reputation, DenseMatrix affiliation,
+    std::vector<ExpertisePostingPtr> postings, uint64_t version,
+    const TrustServiceOptions& options) {
+  if (version == 0) {
+    return Status::InvalidArgument("snapshot version must be >= 1");
+  }
+  std::unique_ptr<TrustService> service(new TrustService(options));
+  MutexLock lock(service->writer_mu_);
+  // Adopt the persisted dataset wholesale instead of replaying it
+  // through the per-entity ingest path: ids are already dense in column
+  // order (the segment loader went through FromValidatedColumns), the
+  // per-row policy rules are re-checked inside AdoptValidated, and the
+  // ingest dedup keys are rebuilt lazily on the first mutation. This is
+  // what makes durable boot O(load) instead of O(rebuild).
+  WOT_RETURN_IF_ERROR(service->builder_.AdoptValidated(std::move(dataset)));
+
+  const Dataset& staged = service->builder_.StagedView();
+  if (affiliation.rows() != staged.num_users() ||
+      affiliation.cols() != staged.num_categories()) {
+    return Status::InvalidArgument(
+        "affiliation shape does not match the restored dataset");
+  }
+  if (!postings.empty() && postings.size() != staged.num_categories()) {
+    return Status::InvalidArgument(
+        "postings do not cover the restored categories");
+  }
+  for (const ExpertisePostingPtr& posting : postings) {
+    if (posting == nullptr) {
+      return Status::InvalidArgument("null expertise posting");
+    }
+  }
+  // Seed the incremental engine with the persisted converged state (it
+  // validates the reputation shapes) so the next Commit() recomputes only
+  // categories dirtied after this restore point. The index-free overload
+  // counts the activity fingerprints off the columns directly.
+  WOT_RETURN_IF_ERROR(service->engine_.Seed(staged, reputation));
+
+  // Rebuilding the name directory as one chunk preserves lookup
+  // semantics exactly (first id wins under duplicate names either way).
+  std::shared_ptr<const NameIndex> user_names =
+      NameIndex::Extend(NameIndex::Empty(), staged.users());
+  auto category_names = std::make_shared<std::vector<std::string>>();
+  category_names->reserve(staged.num_categories());
+  for (const Category& category : staged.categories()) {
+    category_names->push_back(category.name);
+  }
+
+  std::shared_ptr<const TrustSnapshot> snapshot = TrustSnapshot::Assemble(
+      std::move(reputation), std::move(affiliation), std::move(postings),
+      std::move(user_names), std::move(category_names), version,
+      staged.num_reviews(), staged.num_ratings());
+  service->published_.store(snapshot, std::memory_order_release);
+  service->published_users_ = staged.num_users();
+  service->published_categories_ = staged.num_categories();
+  service->published_reviews_ = staged.num_reviews();
+  service->published_ratings_ = staged.num_ratings();
+  service->next_version_ = version + 1;
+  return service;
+}
+
 UserId TrustService::AddUser(std::string name) {
   MutexLock lock(writer_mu_);
-  return builder_.AddUser(std::move(name));
+  UserId id = builder_.AddUser(std::move(name));
+  if (mutation_log_ != nullptr) {
+    mutation_log_->LogAddUser(builder_.StagedView().users().back().name);
+  }
+  return id;
 }
 
 CategoryId TrustService::AddCategory(std::string name) {
   MutexLock lock(writer_mu_);
-  return builder_.AddCategory(std::move(name));
+  CategoryId id = builder_.AddCategory(std::move(name));
+  if (mutation_log_ != nullptr) {
+    mutation_log_->LogAddCategory(
+        builder_.StagedView().categories().back().name);
+  }
+  return id;
 }
 
 Result<ObjectId> TrustService::AddObject(CategoryId category,
                                          std::string name) {
   MutexLock lock(writer_mu_);
-  return builder_.AddObject(category, std::move(name));
+  Result<ObjectId> id = builder_.AddObject(category, std::move(name));
+  if (id.ok() && mutation_log_ != nullptr) {
+    mutation_log_->LogAddObject(category.value(),
+                                builder_.StagedView().objects().back().name);
+  }
+  return id;
 }
 
 Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
@@ -97,6 +172,9 @@ Result<ReviewId> TrustService::AddReview(UserId writer, ObjectId object) {
   Result<ReviewId> id = builder_.AddReview(writer, object);
   if (id.ok()) {
     MarkDirty(writer);
+    if (mutation_log_ != nullptr) {
+      mutation_log_->LogAddReview(writer.value(), object.value());
+    }
   }
   return id;
 }
@@ -106,6 +184,9 @@ Status TrustService::AddRating(UserId rater, ReviewId review, double value) {
   Status status = builder_.AddRating(rater, review, value);
   if (status.ok()) {
     MarkDirty(rater);
+    if (mutation_log_ != nullptr) {
+      mutation_log_->LogAddRating(rater.value(), review.value(), value);
+    }
   }
   return status;
 }
@@ -172,7 +253,12 @@ Result<ObjectId> TrustService::AddObjectByRef(std::string_view category_ref,
   MutexLock lock(writer_mu_);
   WOT_ASSIGN_OR_RETURN(CategoryId category,
                        ResolveStagedCategoryLocked(category_ref));
-  return builder_.AddObject(category, std::move(name));
+  Result<ObjectId> id = builder_.AddObject(category, std::move(name));
+  if (id.ok() && mutation_log_ != nullptr) {
+    mutation_log_->LogAddObject(category.value(),
+                                builder_.StagedView().objects().back().name);
+  }
+  return id;
 }
 
 Result<ReviewId> TrustService::AddReviewByRef(std::string_view writer_ref,
@@ -189,6 +275,10 @@ Result<ReviewId> TrustService::AddReviewByRef(std::string_view writer_ref,
       builder_.AddReview(writer, ObjectId(static_cast<uint32_t>(object)));
   if (id.ok()) {
     MarkDirty(writer);
+    if (mutation_log_ != nullptr) {
+      mutation_log_->LogAddReview(writer.value(),
+                                  static_cast<uint32_t>(object));
+    }
   }
   return id;
 }
@@ -207,6 +297,10 @@ Status TrustService::AddRatingByRef(std::string_view rater_ref,
       rater, ReviewId(static_cast<uint32_t>(review)), value);
   if (status.ok()) {
     MarkDirty(rater);
+    if (mutation_log_ != nullptr) {
+      mutation_log_->LogAddRating(rater.value(),
+                                  static_cast<uint32_t>(review), value);
+    }
   }
   return status;
 }
@@ -235,9 +329,14 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
       staged.num_reviews() == published_reviews_ &&
       staged.num_ratings() == published_ratings_) {
     // Nothing derivable changed (at most new reviewless objects): the
-    // serving snapshot stays as is.
+    // serving snapshot stays as is. The log still sees the commit so a
+    // batched-fsync WAL flushes before the ack.
     stats.version = prev->version();
     stats.elapsed_millis = timer.ElapsedMillis();
+    if (mutation_log_ != nullptr) {
+      WOT_RETURN_IF_ERROR(mutation_log_->LogCommit(
+          stats.version, /*published=*/false, *prev, staged));
+    }
     return stats;
   }
 
@@ -338,6 +437,10 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
                 << " affiliation rows, " << stats.postings_rebuilt
                 << " postings recomputed) in " << stats.elapsed_millis
                 << " ms";
+  if (mutation_log_ != nullptr) {
+    WOT_RETURN_IF_ERROR(mutation_log_->LogCommit(
+        stats.version, /*published=*/true, *snapshot, staged));
+  }
   return stats;
 }
 

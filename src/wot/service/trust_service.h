@@ -43,6 +43,7 @@
 #include "wot/community/dataset.h"
 #include "wot/community/dataset_builder.h"
 #include "wot/reputation/incremental.h"
+#include "wot/service/mutation_log.h"
 #include "wot/service/trust_snapshot.h"
 #include "wot/util/result.h"
 #include "wot/util/thread_annotations.h"
@@ -95,6 +96,22 @@ class TrustService {
 
   /// \brief Boots an empty service (version-1 snapshot over zero users).
   static Result<std::unique_ptr<TrustService>> CreateEmpty(
+      const TrustServiceOptions& options = {});
+
+  /// \brief Boots a service from durably persisted components (the
+  /// instant-boot path: a storage segment instead of a raw-dataset
+  /// derivation). \p dataset is the full staged dataset at segment-write
+  /// time; it is adopted wholesale by the builder (ids are dense in
+  /// column order already, per-row policy rules are re-checked, and the
+  /// ingest dedup keys rebuild lazily on first mutation), while the
+  /// expensive derived state — \p reputation, \p affiliation,
+  /// \p postings — is adopted as published snapshot \p version without
+  /// recomputation. The incremental engine is seeded so the next Commit()
+  /// stays incremental and bit-identical to an uninterrupted service.
+  /// \p postings may be empty (TopK falls back to dense derivation).
+  static Result<std::unique_ptr<TrustService>> Restore(
+      Dataset dataset, ReputationResult reputation, DenseMatrix affiliation,
+      std::vector<ExpertisePostingPtr> postings, uint64_t version,
       const TrustServiceOptions& options = {});
 
   // --- Write path (append-only; serialized internally) -------------------
@@ -179,6 +196,25 @@ class TrustService {
     return builder_.StagedView();
   }
 
+  // --- Durability ---------------------------------------------------------
+
+  /// \brief Attaches \p log (not owned; may be null to detach). Every
+  /// subsequently accepted mutation and commit is reported to it before
+  /// the mutating call returns. Attach before serving traffic; the log
+  /// must outlive the service or be detached first.
+  void SetMutationLog(MutationLog* log) WOT_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    mutation_log_ = log;
+  }
+
+  /// \brief Durability counters of the attached log (all zero when no log
+  /// is attached). Takes the writer lock briefly; safe from any thread.
+  DurabilityStats durability_stats() const WOT_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return mutation_log_ != nullptr ? mutation_log_->durability_stats()
+                                    : DurabilityStats{};
+  }
+
  private:
   explicit TrustService(const TrustServiceOptions& options);
 
@@ -211,6 +247,8 @@ class TrustService {
   std::unordered_map<std::string, UserId> staged_name_index_
       WOT_GUARDED_BY(writer_mu_);
   size_t staged_indexed_users_ WOT_GUARDED_BY(writer_mu_) = 0;
+  // Durability hook; not owned. Null until SetMutationLog.
+  MutationLog* mutation_log_ WOT_GUARDED_BY(writer_mu_) = nullptr;
   uint64_t next_version_ WOT_GUARDED_BY(writer_mu_) = 1;
   // Entity counts the latest snapshot was derived from.
   size_t published_users_ WOT_GUARDED_BY(writer_mu_) = 0;

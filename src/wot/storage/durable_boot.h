@@ -1,0 +1,76 @@
+// BootDurable: the one call wot_served makes for --data-dir.
+//
+// Wraps StorageManager::Boot for the whole serving topology:
+//
+//   * num_shards == 1: the data directory IS the service's storage
+//     directory (segments + WALs at top level, plus a `meta` file
+//     pinning the shard count).
+//   * num_shards >= 2: DIR/meta pins the shard count, each shard keeps
+//     its own WAL + segments under DIR/shard-<s>/, and DIR/router.meta
+//     persists the router-level commit epoch (rewritten atomically
+//     after every epoch bump via ShardRouter::SetEpochCallback).
+//
+// A directory created with one shard count refuses to boot with
+// another — resharding is a data migration, not a flag change. Fresh
+// shard directories are seeded lazily: the seed provider runs (and the
+// dataset is sliced) only if at least one shard actually needs it, so
+// recovery never pays seed-synthesis cost.
+#ifndef WOT_STORAGE_DURABLE_BOOT_H_
+#define WOT_STORAGE_DURABLE_BOOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
+#include "wot/storage/storage_manager.h"
+#include "wot/util/result.h"
+
+namespace wot {
+namespace storage {
+
+struct DurableBootOptions {
+  TrustServiceOptions service;
+  StorageOptions storage;
+  size_t num_shards = 1;
+};
+
+/// \brief A booted durable serving stack. Exactly one of `frontend_impl`
+/// (one shard) or `router` (several) is set; `frontend` points at
+/// whichever one answers requests. The managers must outlive the
+/// services — keep the whole struct together and let member order
+/// handle destruction.
+struct DurableService {
+  /// Storage managers, one per shard, declared FIRST so they are
+  /// destroyed LAST (services detach by dying before their log).
+  std::vector<std::unique_ptr<StorageManager>> managers;
+  std::unique_ptr<TrustService> service;  ///< One shard only.
+  std::unique_ptr<api::ServiceFrontend> frontend_impl;
+  std::unique_ptr<api::ShardRouter> router;  ///< Two or more shards.
+  api::Frontend* frontend = nullptr;
+  uint64_t replayed_records = 0;  ///< Summed across shards.
+  bool recovered = false;  ///< True when any shard replayed history.
+};
+
+/// \brief Boots (or recovers) a durable serving stack out of \p dir.
+/// \p seed_provider is only invoked when some shard directory is fresh.
+Result<DurableService> BootDurable(
+    const std::string& dir,
+    const std::function<Result<Dataset>()>& seed_provider,
+    const DurableBootOptions& options = {});
+
+/// \brief Shard count pinned in DIR/meta. NotFound when the file does
+/// not exist; Corruption when it fails its CRC or magic.
+Result<uint32_t> ReadShardMeta(const std::string& dir);
+
+/// \brief Router commit epoch persisted in DIR/router.meta (sharded
+/// directories only). NotFound / Corruption as with ReadShardMeta.
+Result<uint64_t> ReadRouterEpoch(const std::string& dir);
+
+}  // namespace storage
+}  // namespace wot
+
+#endif  // WOT_STORAGE_DURABLE_BOOT_H_

@@ -1,0 +1,111 @@
+#include "wot/storage/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wot {
+namespace storage {
+
+Status WriteAllFd(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string contents;
+  char chunk[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot read '" + path +
+                             "': " + std::strerror(err));
+    }
+    if (n == 0) break;
+    contents.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot fsync directory '" + dir +
+                           "': " + std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(),
+                  O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  Status status = WriteAllFd(fd, contents);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IOError("cannot fsync '" + tmp +
+                             "': " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + std::strerror(err));
+  }
+  return SyncDir(DirnameOf(path));
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IOError("cannot create directory '" + dir +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace storage
+}  // namespace wot

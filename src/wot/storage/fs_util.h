@@ -1,0 +1,38 @@
+// Small POSIX file helpers shared by the storage layer (WAL, segments,
+// meta files). All errors surface as Status — no exceptions, no aborts.
+#ifndef WOT_STORAGE_FS_UTIL_H_
+#define WOT_STORAGE_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "wot/util/result.h"
+
+namespace wot {
+namespace storage {
+
+/// \brief write(2) until \p bytes is fully written (EINTR-safe).
+Status WriteAllFd(int fd, std::string_view bytes);
+
+/// \brief Reads the whole file into memory.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief fsyncs the directory itself so a just-renamed entry is durable.
+Status SyncDir(const std::string& dir);
+
+/// \brief The directory component of \p path ("." when none).
+std::string DirnameOf(const std::string& path);
+
+/// \brief Durable temp-then-rename replacement of \p path: writes
+/// \p contents to "<path>.tmp", fsyncs, renames over \p path, fsyncs the
+/// parent directory. The destination is either the complete new contents
+/// or untouched — never a torn mix.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief mkdir -p (existing directories are fine).
+Status EnsureDir(const std::string& dir);
+
+}  // namespace storage
+}  // namespace wot
+
+#endif  // WOT_STORAGE_FS_UTIL_H_

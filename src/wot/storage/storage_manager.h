@@ -1,0 +1,160 @@
+// StorageManager: one TrustService's durable store — an append-only WAL
+// plus rotating snapshot segments inside a single data directory.
+//
+// Directory layout (one directory per service; the sharded server gives
+// every shard its own under DIR/shard-N/ — see durable_boot.h):
+//
+//   segment-<V>.seg   snapshot segment for published version V
+//   wal-<E>.log       mutations accepted after segment-<E> was current
+//
+// Write path: every accepted mutation appends one WAL record (fsynced
+// per FsyncPolicy) before the API acknowledges it. Commit() appends a
+// commit record and forces a sync; when the commit published a new
+// snapshot version V, the manager rotates — it opens wal-<V>.log FIRST
+// (so the record chain never has a gap even if the segment write then
+// fails), writes segment-<V>.seg atomically, and retires files outside
+// the retention window (keep_segments newest segments plus every WAL
+// at or past the oldest kept segment's epoch).
+//
+// Recovery (Boot): map the newest CRC-valid segment, Restore a service
+// from it instantly (no reputation recomputation), then replay every
+// wal-<E>.log with E >= that segment's version in ascending epoch
+// order. The newest WAL may end in a torn tail — it is truncated and
+// logged, not fatal; appending continues on that file. A torn tail on
+// any OLDER wal, a CRC-valid-but-undecodable record, or a replayed
+// commit landing on the wrong version is real corruption and fails the
+// boot with a clean error.
+//
+// Failure policy while serving: a failed mutation append latches the
+// error and stops the log (a hole would corrupt replay; a short log
+// just loses the tail) — ingest keeps being acknowledged in-memory and
+// the NEXT Commit() returns the latched error so the operator learns
+// durability is gone. A failed segment write merely logs: the WAL chain
+// still holds everything, so durability is preserved at slower-boot
+// cost.
+#ifndef WOT_STORAGE_STORAGE_MANAGER_H_
+#define WOT_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wot/service/mutation_log.h"
+#include "wot/service/trust_service.h"
+#include "wot/storage/wal.h"
+#include "wot/util/result.h"
+#include "wot/util/thread_annotations.h"
+
+namespace wot {
+namespace storage {
+
+/// \brief Storage-layer knobs (service-level knobs travel separately).
+struct StorageOptions {
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Newest segments kept on disk. Older segments — and the WALs that
+  /// predate the oldest keeper — are deleted at rotation. Minimum 1.
+  size_t keep_segments = 2;
+};
+
+/// \brief Durably backs one TrustService; attach via SetMutationLog.
+class StorageManager : public MutationLog {
+ public:
+  /// \brief A booted service + its attached manager.
+  struct BootResult {
+    std::unique_ptr<TrustService> service;
+    std::unique_ptr<StorageManager> manager;  ///< Already attached.
+    uint64_t replayed_records = 0;  ///< WAL records replayed (0 = fresh).
+    bool recovered = false;  ///< False when the directory was empty.
+  };
+
+  /// \brief Boots a durable service out of \p dir. An empty directory is
+  /// a fresh boot: \p seed_provider is invoked for the initial dataset,
+  /// segment-1 + wal-1 are written, and the service starts at version 1.
+  /// A populated directory is a recovery: the seed provider is NOT
+  /// called — the newest valid segment plus the WAL tail reproduce the
+  /// pre-crash state exactly, including staged-but-uncommitted activity.
+  static Result<BootResult> Boot(
+      const std::string& dir,
+      const std::function<Result<Dataset>()>& seed_provider,
+      const TrustServiceOptions& service_options = {},
+      const StorageOptions& storage_options = {});
+
+  ~StorageManager() override = default;
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  // MutationLog implementation (called under the service writer lock;
+  // mu_ makes durability_stats() safe from any thread).
+  void LogAddUser(std::string_view name) override WOT_EXCLUDES(mu_);
+  void LogAddCategory(std::string_view name) override WOT_EXCLUDES(mu_);
+  void LogAddObject(uint32_t category, std::string_view name) override
+      WOT_EXCLUDES(mu_);
+  void LogAddReview(uint32_t writer, uint32_t object) override
+      WOT_EXCLUDES(mu_);
+  void LogAddRating(uint32_t rater, uint32_t review, double value) override
+      WOT_EXCLUDES(mu_);
+  Status LogCommit(uint64_t version, bool published,
+                   const TrustSnapshot& snapshot,
+                   const Dataset& staged) override WOT_EXCLUDES(mu_);
+  DurabilityStats durability_stats() const override WOT_EXCLUDES(mu_);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  StorageManager(std::string dir, StorageOptions options,
+                 std::unique_ptr<WalWriter> wal, uint64_t segment_epoch,
+                 uint64_t segment_bytes, uint64_t replayed_records)
+      : dir_(std::move(dir)),
+        options_(options),
+        wal_(std::move(wal)),
+        segment_epoch_(segment_epoch),
+        segment_bytes_(segment_bytes),
+        replayed_records_(replayed_records) {}
+
+  /// Appends one mutation record, latching the first failure.
+  void AppendMutation(const WalRecord& record) WOT_REQUIRES(mu_);
+
+  /// Rotates onto wal-<version>, writes segment-<version>, retires old
+  /// files. Failures degrade gracefully (see file comment).
+  void RotateLocked(uint64_t version, const TrustSnapshot& snapshot,
+                    const Dataset& staged) WOT_REQUIRES(mu_);
+
+  const std::string dir_;
+  const StorageOptions options_;
+
+  mutable Mutex mu_;
+  std::unique_ptr<WalWriter> wal_ WOT_GUARDED_BY(mu_);
+  /// First append failure; once non-OK the log stops growing and the
+  /// next LogCommit surfaces it.
+  Status degraded_ WOT_GUARDED_BY(mu_) = Status::OK();
+  uint64_t segment_epoch_ WOT_GUARDED_BY(mu_) = 0;
+  uint64_t segment_bytes_ WOT_GUARDED_BY(mu_) = 0;
+  const uint64_t replayed_records_;
+};
+
+/// \brief "<dir>/segment-<version>.seg".
+std::string SegmentPath(const std::string& dir, uint64_t version);
+/// \brief "<dir>/wal-<epoch>.log".
+std::string WalPath(const std::string& dir, uint64_t epoch);
+
+/// \brief One data-directory entry recognized by the storage layer.
+struct StorageFile {
+  std::string path;
+  uint64_t number = 0;  ///< Segment version / WAL epoch.
+};
+
+/// \brief Storage files in \p dir, split by kind, each sorted ascending
+/// by number. Unrecognized names are ignored.
+struct StorageFileSet {
+  std::vector<StorageFile> segments;
+  std::vector<StorageFile> wals;
+};
+Result<StorageFileSet> ListStorageFiles(const std::string& dir);
+
+}  // namespace storage
+}  // namespace wot
+
+#endif  // WOT_STORAGE_STORAGE_MANAGER_H_

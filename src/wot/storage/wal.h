@@ -1,0 +1,138 @@
+// Append-only write-ahead log for TrustService mutations.
+//
+// On-disk framing (little-endian, like every wot::io format):
+//
+//   record  := u32 body_length | u32 crc32(body) | body
+//   body    := u8 type | type-specific fields (ByteWriter encoding)
+//
+// Types mirror the MutationLog hooks: add_user/add_category store the
+// entity name (dense ids are implied by append order), add_object /
+// add_review / add_rating store resolved dense ids, and commit marks a
+// Commit() boundary with the snapshot version it left serving. Replaying
+// a WAL through a fresh TrustService therefore reproduces the staged
+// state — including staged-but-uncommitted activity — byte for byte.
+//
+// Recovery is tolerant of torn writes: a record whose frame overruns the
+// file, whose length field is insane, or whose CRC mismatches marks the
+// end of the valid prefix; ScanWal reports (and optionally physically
+// truncates) the garbage tail instead of failing. A record that passes
+// its CRC but does not decode is different — that is corruption, not a
+// torn append, and scans reject it with a clean error.
+#ifndef WOT_STORAGE_WAL_H_
+#define WOT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "wot/util/result.h"
+
+namespace wot {
+namespace storage {
+
+/// \brief When appends reach the disk platter.
+enum class FsyncPolicy {
+  kAlways,  ///< fsync after every record (max durability, slow ingest).
+  kBatch,   ///< fsync on commit records and every ~64 records / 256 KiB.
+  kOff,     ///< never fsync (page cache only; survives crashes, not power
+            ///< loss). For tests and bulk loads.
+};
+
+Result<FsyncPolicy> FsyncPolicyFromName(std::string_view name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+enum class WalRecordType : uint8_t {
+  kAddUser = 1,
+  kAddCategory = 2,
+  kAddObject = 3,
+  kAddReview = 4,
+  kAddRating = 5,
+  kCommit = 6,
+};
+
+/// \brief One decoded mutation record (union-style; valid fields depend
+/// on type — see the field comments).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  std::string name;      ///< kAddUser / kAddCategory / kAddObject.
+  uint32_t a = 0;        ///< object: category; review: writer; rating: rater.
+  uint32_t b = 0;        ///< review: object; rating: review.
+  double value = 0.0;    ///< kAddRating.
+  uint64_t version = 0;  ///< kCommit: serving snapshot version after it.
+};
+
+/// \brief The framed on-disk bytes of \p record (length + CRC + body).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// \brief Decodes one record *body* (the bytes the CRC covers).
+Result<WalRecord> DecodeWalRecord(std::string_view body);
+
+/// \brief Appends framed records to one WAL file (O_APPEND + fsync per
+/// the policy). Not internally synchronized — the StorageManager
+/// serializes access.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) \p path for appending. \p initial_records
+  /// is the number of valid records already in the file (recovery knows
+  /// it from its replay scan); byte counters start at the current size.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 FsyncPolicy policy,
+                                                 uint64_t initial_records);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// \brief Appends one framed record, fsyncing per policy.
+  Status Append(const WalRecord& record);
+
+  /// \brief Forces an fsync of everything appended so far (a commit
+  /// boundary). No-op under FsyncPolicy::kOff.
+  Status Sync();
+
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, FsyncPolicy policy,
+            uint64_t initial_records, uint64_t initial_bytes)
+      : path_(std::move(path)),
+        fd_(fd),
+        policy_(policy),
+        records_(initial_records),
+        bytes_(initial_bytes) {}
+
+  std::string path_;
+  int fd_;
+  FsyncPolicy policy_;
+  uint64_t records_;
+  uint64_t bytes_;
+  uint64_t unsynced_records_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+};
+
+/// \brief What one ScanWal pass over a file found.
+struct WalScanStats {
+  uint64_t records = 0;        ///< Valid records visited.
+  uint64_t commit_records = 0; ///< Subset of type kCommit.
+  uint64_t valid_bytes = 0;    ///< Length of the valid framed prefix.
+  uint64_t truncated_bytes = 0;  ///< Garbage tail past the valid prefix.
+};
+
+/// \brief Scans \p path front to back, invoking \p visitor on every valid
+/// record (null visitor = just count). A torn/corrupt tail ends the scan
+/// cleanly; when \p repair is true the file is physically truncated to
+/// the valid prefix (logged), so the next append continues from a clean
+/// end. Returns an error only for I/O failures, undecodable CRC-valid
+/// bodies, or a visitor error.
+Result<WalScanStats> ScanWal(
+    const std::string& path, bool repair,
+    const std::function<Status(const WalRecord&)>& visitor);
+
+}  // namespace storage
+}  // namespace wot
+
+#endif  // WOT_STORAGE_WAL_H_

@@ -93,6 +93,11 @@ TEST(BinaryCodecTest, EveryResultTypeRoundTrips) {
   stats.shards = 3;
   stats.shard_service_boots = {1, 1, 1};
   stats.shard_requests_served = {20, 18, 17};
+  stats.wal_records = 42;
+  stats.wal_bytes = 1337;
+  stats.segment_epoch = 4;
+  stats.segment_bytes = 65536;
+  stats.recovered_replayed_records = 17;
 
   std::vector<ResponsePayload> payloads = {
       std::monostate{}, trust,  topk, explain, IngestResult{41},

@@ -222,6 +222,32 @@ TEST(CodecTest, ResponsePayloadsRoundTrip) {
     EXPECT_EQ(result.shards, 0);
     EXPECT_TRUE(result.shard_service_boots.empty());
     EXPECT_TRUE(result.shard_requests_served.empty());
+    // Non-durable stats omit the durability fields the same way.
+    EXPECT_EQ(EncodeResponse(r).find("wal_records"), std::string::npos);
+    EXPECT_EQ(EncodeResponse(r).find("segment_epoch"), std::string::npos);
+    EXPECT_EQ(result.segment_epoch, 0);
+    EXPECT_EQ(result.wal_records, 0);
+  }
+  {
+    // A durable server's stats frame round-trips its additive
+    // durability fields (present whenever segment_epoch > 0).
+    Response r;
+    StatsResult stats;
+    stats.snapshot_version = 3;
+    stats.users = 10;
+    stats.wal_records = 42;
+    stats.wal_bytes = 1337;
+    stats.segment_epoch = 3;
+    stats.segment_bytes = 65536;
+    stats.recovered_replayed_records = 17;
+    r.payload = stats;
+    Response rt = RoundTrip(r);
+    const StatsResult& result = std::get<StatsResult>(rt.payload);
+    EXPECT_EQ(result.wal_records, 42);
+    EXPECT_EQ(result.wal_bytes, 1337);
+    EXPECT_EQ(result.segment_epoch, 3);
+    EXPECT_EQ(result.segment_bytes, 65536);
+    EXPECT_EQ(result.recovered_replayed_records, 17);
   }
   {
     // A sharded stats frame round-trips its additive per-shard fields.

@@ -1,0 +1,172 @@
+#include "wot/storage/segment.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/storage_test_util.h"
+#include "testing/fixtures.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace storage {
+namespace {
+
+using storage::testing::FlipBit;
+using storage::testing::FreshDir;
+using storage::testing::Slurp;
+using storage::testing::Spit;
+using storage::testing::TruncateFile;
+using wot::testing::TinyCommunity;
+
+std::unique_ptr<TrustService> TinyService() {
+  return TrustService::Create(TinyCommunity()).ValueOrDie();
+}
+
+std::string WriteTinySegment(const std::string& dir) {
+  std::unique_ptr<TrustService> service = TinyService();
+  std::string path = dir + "/segment-1.seg";
+  Status status =
+      WriteSegment(path, *service->Snapshot(), service->staged_dataset());
+  WOT_CHECK_OK(status);
+  return path;
+}
+
+void ExpectSameMatrix(const DenseMatrix& a, const DenseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  // Bit-identical, not approximately equal: the segment persists the
+  // exact doubles the snapshot served.
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(SegmentTest, WriteLoadRoundTripsEverything) {
+  std::unique_ptr<TrustService> service = TinyService();
+  const Dataset& staged = service->staged_dataset();
+  std::shared_ptr<const TrustSnapshot> snapshot = service->Snapshot();
+  std::string path = FreshDir("segment_round_trip") + "/segment-1.seg";
+  ASSERT_TRUE(WriteSegment(path, *snapshot, staged).ok());
+
+  Result<SegmentData> loaded = LoadSegment(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SegmentData& data = loaded.ValueOrDie();
+  EXPECT_EQ(data.snapshot_version, snapshot->version());
+
+  EXPECT_EQ(data.dataset.num_users(), staged.num_users());
+  EXPECT_EQ(data.dataset.num_categories(), staged.num_categories());
+  EXPECT_EQ(data.dataset.num_objects(), staged.num_objects());
+  EXPECT_EQ(data.dataset.num_reviews(), staged.num_reviews());
+  EXPECT_EQ(data.dataset.num_ratings(), staged.num_ratings());
+  EXPECT_EQ(data.dataset.num_trust_statements(),
+            staged.num_trust_statements());
+
+  ExpectSameMatrix(data.reputation.expertise, snapshot->expertise());
+  ExpectSameMatrix(data.reputation.rater_reputation,
+                   snapshot->reputation().rater_reputation);
+  ExpectSameMatrix(data.affiliation, snapshot->affiliation());
+  EXPECT_EQ(data.reputation.review_quality,
+            snapshot->reputation().review_quality);
+  EXPECT_EQ(data.reputation.convergence.size(),
+            snapshot->reputation().convergence.size());
+  EXPECT_EQ(data.postings.size(), staged.num_categories());
+}
+
+TEST(SegmentTest, RestoredServiceServesIdentically) {
+  std::unique_ptr<TrustService> original = TinyService();
+  std::string path = FreshDir("segment_restore") + "/segment-1.seg";
+  ASSERT_TRUE(WriteSegment(path, *original->Snapshot(),
+                           original->staged_dataset())
+                  .ok());
+  SegmentData data = LoadSegment(path).MoveValueUnsafe();
+  Result<std::unique_ptr<TrustService>> restored = TrustService::Restore(
+      std::move(data.dataset), std::move(data.reputation),
+      std::move(data.affiliation), std::move(data.postings),
+      data.snapshot_version);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  const TrustService& fresh = *original;
+  const TrustService& booted = *restored.ValueOrDie();
+  ASSERT_EQ(booted.Snapshot()->version(), fresh.Snapshot()->version());
+  size_t users = fresh.Snapshot()->num_users();
+  for (size_t i = 0; i < users; ++i) {
+    for (size_t j = 0; j < users; ++j) {
+      EXPECT_EQ(fresh.Trust(i, j), booted.Trust(i, j)) << i << "," << j;
+    }
+    std::vector<ScoredUser> a = fresh.TopK(i, users);
+    std::vector<ScoredUser> b = booted.TopK(i, users);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].user, b[k].user);
+      EXPECT_EQ(a[k].score, b[k].score);
+    }
+  }
+}
+
+TEST(SegmentTest, ReadSegmentInfoReportsHeaderFacts) {
+  std::string dir = FreshDir("segment_info");
+  std::string path = WriteTinySegment(dir);
+  Result<SegmentInfo> info = ReadSegmentInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.ValueOrDie().snapshot_version, 1u);
+  EXPECT_EQ(info.ValueOrDie().num_users, 4u);
+  EXPECT_EQ(info.ValueOrDie().num_categories, 2u);
+  EXPECT_EQ(info.ValueOrDie().num_objects, 3u);
+  EXPECT_EQ(info.ValueOrDie().num_reviews, 3u);
+  EXPECT_EQ(info.ValueOrDie().num_ratings, 4u);
+  EXPECT_EQ(info.ValueOrDie().file_bytes, Slurp(path).size());
+}
+
+TEST(SegmentTest, EveryBitFlipIsDetected) {
+  std::string dir = FreshDir("segment_bitflip");
+  std::string path = WriteTinySegment(dir);
+  size_t size = Slurp(path).size();
+  // Sample flips across the whole file: header, structured section,
+  // bulk doubles, and the CRC footer itself.
+  for (size_t byte : {size_t{0}, size_t{9}, size / 2, size - 2}) {
+    std::string copy = dir + "/flipped.seg";
+    Spit(copy, Slurp(path));
+    FlipBit(copy, byte, 3);
+    Result<SegmentData> loaded = LoadSegment(copy);
+    ASSERT_FALSE(loaded.ok()) << "byte " << byte;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    EXPECT_FALSE(ReadSegmentInfo(copy).ok());
+  }
+}
+
+TEST(SegmentTest, TruncationIsDetected) {
+  std::string dir = FreshDir("segment_truncate");
+  std::string path = WriteTinySegment(dir);
+  size_t size = Slurp(path).size();
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{17}, size / 2, size - 1}) {
+    std::string copy = dir + "/truncated.seg";
+    Spit(copy, Slurp(path));
+    TruncateFile(copy, keep);
+    Result<SegmentData> loaded = LoadSegment(copy);
+    ASSERT_FALSE(loaded.ok()) << "keep " << keep;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SegmentTest, WrongMagicIsCorruption) {
+  std::string dir = FreshDir("segment_magic");
+  std::string path = WriteTinySegment(dir);
+  std::string contents = Slurp(path);
+  contents[3] = 'X';
+  Spit(path, contents);
+  Result<SegmentData> loaded = LoadSegment(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SegmentTest, MissingFileIsIOError) {
+  Result<SegmentData> loaded =
+      LoadSegment(FreshDir("segment_missing") + "/nope.seg");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace wot

@@ -1,0 +1,277 @@
+#include "wot/storage/storage_manager.h"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/storage_test_util.h"
+#include "testing/fixtures.h"
+#include "wot/storage/wal.h"
+
+namespace wot {
+namespace storage {
+namespace {
+
+using storage::testing::FreshDir;
+using storage::testing::Slurp;
+using storage::testing::Spit;
+using storage::testing::TruncateFile;
+using wot::testing::TinyCommunity;
+
+std::function<Result<Dataset>()> TinySeed() {
+  return [] { return Result<Dataset>(TinyCommunity()); };
+}
+
+std::function<Result<Dataset>()> PoisonSeed() {
+  return []() -> Result<Dataset> {
+    return Status::Internal("seed provider must not run on recovery");
+  };
+}
+
+StorageOptions NoSyncOptions(size_t keep_segments = 2) {
+  StorageOptions options;
+  options.fsync = FsyncPolicy::kOff;
+  options.keep_segments = keep_segments;
+  return options;
+}
+
+bool FileExists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+TEST(StorageManagerTest, FreshBootWritesSegmentAndWal) {
+  std::string dir = FreshDir("mgr_fresh");
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions());
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  EXPECT_FALSE(boot.ValueOrDie().recovered);
+  EXPECT_EQ(boot.ValueOrDie().replayed_records, 0u);
+  EXPECT_EQ(boot.ValueOrDie().service->Snapshot()->version(), 1u);
+  EXPECT_TRUE(FileExists(SegmentPath(dir, 1)));
+  EXPECT_TRUE(FileExists(WalPath(dir, 1)));
+
+  DurabilityStats stats = boot.ValueOrDie().service->durability_stats();
+  EXPECT_EQ(stats.segment_epoch, 1);
+  EXPECT_GT(stats.segment_bytes, 0);
+  EXPECT_EQ(stats.wal_records, 0);
+  EXPECT_EQ(stats.recovered_replayed_records, 0);
+}
+
+TEST(StorageManagerTest, MutationsGrowTheWal) {
+  std::string dir = FreshDir("mgr_wal_grows");
+  StorageManager::BootResult boot =
+      StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions())
+          .MoveValueUnsafe();
+  boot.service->AddUser("newcomer");
+  ASSERT_TRUE(boot.service->AddRating(UserId(3), ReviewId(1), 0.6).ok());
+  DurabilityStats stats = boot.service->durability_stats();
+  EXPECT_EQ(stats.wal_records, 2);
+  EXPECT_GT(stats.wal_bytes, 0);
+  EXPECT_EQ(Slurp(WalPath(dir, 1)).size(),
+            static_cast<size_t>(stats.wal_bytes));
+}
+
+TEST(StorageManagerTest, CommitRotatesAndRetires) {
+  std::string dir = FreshDir("mgr_rotate");
+  StorageManager::BootResult boot =
+      StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions(2))
+          .MoveValueUnsafe();
+  // Three publishing commits: versions 2, 3, 4. Distinct (rater, review)
+  // pairs so every ingest passes the builder's integrity rules.
+  const struct {
+    uint32_t rater;
+    uint32_t review;
+    double value;
+  } kRounds[] = {{1, 0, 0.2}, {3, 1, 0.4}, {3, 2, 0.8}};
+  for (const auto& round : kRounds) {
+    ASSERT_TRUE(boot.service
+                    ->AddRating(UserId(round.rater), ReviewId(round.review),
+                                round.value)
+                    .ok());
+    Result<TrustService::CommitStats> commit = boot.service->Commit();
+    ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+    EXPECT_TRUE(commit.ValueOrDie().published);
+  }
+  EXPECT_EQ(boot.service->Snapshot()->version(), 4u);
+  EXPECT_EQ(boot.service->durability_stats().segment_epoch, 4);
+
+  // keep_segments=2: segments 3 and 4 remain, 1 and 2 (and their WALs)
+  // are gone; wal-4 is the live tail.
+  StorageFileSet files = ListStorageFiles(dir).ValueOrDie();
+  ASSERT_EQ(files.segments.size(), 2u);
+  EXPECT_EQ(files.segments[0].number, 3u);
+  EXPECT_EQ(files.segments[1].number, 4u);
+  ASSERT_EQ(files.wals.size(), 2u);
+  EXPECT_EQ(files.wals[0].number, 3u);
+  EXPECT_EQ(files.wals[1].number, 4u);
+}
+
+TEST(StorageManagerTest, NoOpCommitDoesNotRotate) {
+  std::string dir = FreshDir("mgr_noop_commit");
+  StorageManager::BootResult boot =
+      StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions())
+          .MoveValueUnsafe();
+  Result<TrustService::CommitStats> commit = boot.service->Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_FALSE(commit.ValueOrDie().published);
+  EXPECT_EQ(boot.service->durability_stats().segment_epoch, 1);
+  EXPECT_FALSE(FileExists(SegmentPath(dir, 2)));
+  // The no-op commit is still a WAL record (replay must reproduce it).
+  EXPECT_EQ(boot.service->durability_stats().wal_records, 1);
+}
+
+TEST(StorageManagerTest, RecoveryReplaysTheWalTail) {
+  std::string dir = FreshDir("mgr_recover");
+  {
+    StorageManager::BootResult boot =
+        StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions())
+            .MoveValueUnsafe();
+    ASSERT_TRUE(boot.service->AddRating(UserId(1), ReviewId(0), 0.8).ok());
+    ASSERT_TRUE(boot.service->Commit().ok());
+    // Staged-but-uncommitted tail that only the WAL remembers.
+    boot.service->AddUser("staged_only");
+    ASSERT_TRUE(boot.service->AddRating(UserId(3), ReviewId(2), 0.6).ok());
+  }
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, PoisonSeed(), {}, NoSyncOptions());
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  EXPECT_TRUE(boot.ValueOrDie().recovered);
+  // Replays: the 2 uncommitted mutations past segment-2.
+  EXPECT_EQ(boot.ValueOrDie().replayed_records, 2u);
+  const TrustService& service = *boot.ValueOrDie().service;
+  EXPECT_EQ(service.Snapshot()->version(), 2u);
+  EXPECT_EQ(service.staged_dataset().num_users(), 5u);
+  EXPECT_EQ(service.staged_dataset().num_ratings(), 6u);
+  EXPECT_EQ(service.durability_stats().recovered_replayed_records, 2);
+
+  // The recovered staged tail derives on the next commit.
+  Result<TrustService::CommitStats> commit =
+      boot.ValueOrDie().service->Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_TRUE(commit.ValueOrDie().published);
+  EXPECT_EQ(commit.ValueOrDie().version, 3u);
+}
+
+TEST(StorageManagerTest, RecoveryMatchesUninterruptedService) {
+  std::string dir = FreshDir("mgr_equiv");
+  // Reference: one service that never restarts.
+  std::unique_ptr<TrustService> reference =
+      TrustService::Create(TinyCommunity()).ValueOrDie();
+  ASSERT_TRUE(reference->AddRating(UserId(1), ReviewId(1), 0.4).ok());
+  ASSERT_TRUE(reference->Commit().ok());
+
+  {
+    StorageManager::BootResult boot =
+        StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions())
+            .MoveValueUnsafe();
+    ASSERT_TRUE(boot.service->AddRating(UserId(1), ReviewId(1), 0.4).ok());
+    ASSERT_TRUE(boot.service->Commit().ok());
+  }
+  StorageManager::BootResult boot =
+      StorageManager::Boot(dir, PoisonSeed(), {}, NoSyncOptions())
+          .MoveValueUnsafe();
+  size_t users = reference->Snapshot()->num_users();
+  ASSERT_EQ(boot.service->Snapshot()->num_users(), users);
+  for (size_t i = 0; i < users; ++i) {
+    for (size_t j = 0; j < users; ++j) {
+      EXPECT_EQ(reference->Trust(i, j), boot.service->Trust(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(StorageManagerTest, TornTailOnNewestWalIsRepaired) {
+  std::string dir = FreshDir("mgr_torn");
+  {
+    StorageManager::BootResult boot =
+        StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions())
+            .MoveValueUnsafe();
+    boot.service->AddUser("durable_user");
+  }
+  // Append half a frame, as a crash mid-write would.
+  std::string wal_path = WalPath(dir, 1);
+  std::string contents = Slurp(wal_path);
+  WalRecord torn;
+  torn.type = WalRecordType::kAddUser;
+  torn.name = "half written";
+  std::string frame = EncodeWalRecord(torn);
+  Spit(wal_path, contents + frame.substr(0, frame.size() / 2));
+
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, PoisonSeed(), {}, NoSyncOptions());
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  EXPECT_EQ(boot.ValueOrDie().replayed_records, 1u);
+  EXPECT_EQ(boot.ValueOrDie().service->staged_dataset().num_users(), 5u);
+  // The torn bytes were physically truncated.
+  EXPECT_EQ(Slurp(wal_path).size(), contents.size());
+}
+
+TEST(StorageManagerTest, WalWithoutSegmentIsCorruption) {
+  std::string dir = FreshDir("mgr_orphan_wal");
+  WalRecord record;
+  record.type = WalRecordType::kAddUser;
+  record.name = "orphan";
+  Spit(WalPath(dir, 1), EncodeWalRecord(record));
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions());
+  ASSERT_FALSE(boot.ok());
+  EXPECT_EQ(boot.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StorageManagerTest, CorruptNewestSegmentFallsBackToOlder) {
+  std::string dir = FreshDir("mgr_fallback");
+  {
+    StorageManager::BootResult boot =
+        StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions(2))
+            .MoveValueUnsafe();
+    ASSERT_TRUE(boot.service->AddRating(UserId(1), ReviewId(0), 0.8).ok());
+    ASSERT_TRUE(boot.service->Commit().ok());
+  }
+  // Segments 1 and 2 exist. Corrupt segment-2: recovery must fall back
+  // to segment-1 and REPLAY wal-1 (which ends in the commit) to reach
+  // the same state.
+  TruncateFile(SegmentPath(dir, 2), 32);
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, PoisonSeed(), {}, NoSyncOptions());
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  EXPECT_EQ(boot.ValueOrDie().service->Snapshot()->version(), 2u);
+  // wal-1 held the rating + the commit record.
+  EXPECT_EQ(boot.ValueOrDie().replayed_records, 2u);
+}
+
+TEST(StorageManagerTest, AllSegmentsCorruptFailsCleanly) {
+  std::string dir = FreshDir("mgr_all_corrupt");
+  { StorageManager::Boot(dir, TinySeed(), {}, NoSyncOptions()).ValueOrDie(); }
+  TruncateFile(SegmentPath(dir, 1), 16);
+  Result<StorageManager::BootResult> boot =
+      StorageManager::Boot(dir, PoisonSeed(), {}, NoSyncOptions());
+  ASSERT_FALSE(boot.ok());
+  EXPECT_EQ(boot.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StorageManagerTest, ListStorageFilesIgnoresStrangers) {
+  std::string dir = FreshDir("mgr_list");
+  Spit(dir + "/segment-3.seg", "x");
+  Spit(dir + "/segment-10.seg", "x");
+  Spit(dir + "/wal-7.log", "x");
+  Spit(dir + "/README", "x");
+  Spit(dir + "/segment-abc.seg", "x");
+  StorageFileSet files = ListStorageFiles(dir).ValueOrDie();
+  ASSERT_EQ(files.segments.size(), 2u);
+  EXPECT_EQ(files.segments[0].number, 3u);
+  EXPECT_EQ(files.segments[1].number, 10u);
+  ASSERT_EQ(files.wals.size(), 1u);
+  EXPECT_EQ(files.wals[0].number, 7u);
+}
+
+TEST(StorageManagerTest, MissingDirIsError) {
+  std::string missing = FreshDir("mgr_missing_parent") + "/nope";
+  EXPECT_FALSE(ListStorageFiles(missing).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace wot

@@ -1,0 +1,58 @@
+// Shared helpers for the storage suites: fresh temp directories and
+// small file-mangling utilities for corruption tests.
+#ifndef WOT_TESTS_STORAGE_STORAGE_TEST_UTIL_H_
+#define WOT_TESTS_STORAGE_STORAGE_TEST_UTIL_H_
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "wot/util/check.h"
+
+namespace wot {
+namespace storage {
+namespace testing {
+
+/// A fresh (emptied) directory under the gtest temp root.
+inline std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WOT_CHECK(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+inline void Spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WOT_CHECK(out.good());
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  WOT_CHECK(out.good());
+}
+
+inline void FlipBit(const std::string& path, size_t byte, int bit) {
+  std::string contents = Slurp(path);
+  WOT_CHECK(byte < contents.size());
+  contents[byte] = static_cast<char>(
+      static_cast<unsigned char>(contents[byte]) ^ (1u << bit));
+  Spit(path, contents);
+}
+
+inline void TruncateFile(const std::string& path, size_t new_size) {
+  std::string contents = Slurp(path);
+  WOT_CHECK(new_size <= contents.size());
+  Spit(path, contents.substr(0, new_size));
+}
+
+}  // namespace testing
+}  // namespace storage
+}  // namespace wot
+
+#endif  // WOT_TESTS_STORAGE_STORAGE_TEST_UTIL_H_

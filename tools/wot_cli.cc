@@ -35,6 +35,10 @@
 #include "wot/io/csv.h"
 #include "wot/io/dataset_csv.h"
 #include "wot/service/trust_service.h"
+#include "wot/storage/durable_boot.h"
+#include "wot/storage/segment.h"
+#include "wot/storage/storage_manager.h"
+#include "wot/storage/wal.h"
 #include "wot/synth/generator.h"
 #include "wot/util/flags.h"
 #include "wot/util/string_util.h"
@@ -384,6 +388,122 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// Dumps one storage directory's segments and WALs; returns how many
+// files are corrupt. A torn WAL *tail* is recoverable by design (the
+// server truncates it at boot) so it is reported but not counted.
+int InspectStorageDir(const std::string& dir, const char* indent) {
+  Result<storage::StorageFileSet> files = storage::ListStorageFiles(dir);
+  if (!files.ok()) {
+    std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
+    return 1;
+  }
+  const storage::StorageFileSet& set = files.ValueOrDie();
+  int corrupt = 0;
+  if (set.segments.empty() && set.wals.empty()) {
+    std::printf("%s(no storage files)\n", indent);
+  }
+  for (const storage::StorageFile& segment : set.segments) {
+    Result<storage::SegmentInfo> info =
+        storage::ReadSegmentInfo(segment.path);
+    if (!info.ok()) {
+      std::printf("%ssegment v%llu: CORRUPT — %s\n", indent,
+                  static_cast<unsigned long long>(segment.number),
+                  info.status().message().c_str());
+      ++corrupt;
+      continue;
+    }
+    const storage::SegmentInfo& s = info.ValueOrDie();
+    std::printf("%ssegment v%llu: ok, %llu bytes (%llu users, %llu "
+                "categories, %llu reviews, %llu ratings)\n",
+                indent, static_cast<unsigned long long>(s.snapshot_version),
+                static_cast<unsigned long long>(s.file_bytes),
+                static_cast<unsigned long long>(s.num_users),
+                static_cast<unsigned long long>(s.num_categories),
+                static_cast<unsigned long long>(s.num_reviews),
+                static_cast<unsigned long long>(s.num_ratings));
+  }
+  for (const storage::StorageFile& wal : set.wals) {
+    Result<storage::WalScanStats> scanned =
+        storage::ScanWal(wal.path, /*repair=*/false, nullptr);
+    if (!scanned.ok()) {
+      std::printf("%swal epoch %llu: CORRUPT — %s\n", indent,
+                  static_cast<unsigned long long>(wal.number),
+                  scanned.status().message().c_str());
+      ++corrupt;
+      continue;
+    }
+    const storage::WalScanStats& s = scanned.ValueOrDie();
+    std::printf("%swal epoch %llu: %llu records (%llu commits), %llu "
+                "valid bytes%s\n",
+                indent, static_cast<unsigned long long>(wal.number),
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.commit_records),
+                static_cast<unsigned long long>(s.valid_bytes),
+                s.truncated_bytes == 0 ? "" : " + torn tail (recoverable)");
+    if (s.truncated_bytes > 0) {
+      std::printf("%s  torn tail: %llu bytes past the last valid record "
+                  "(the server truncates this at boot)\n",
+                  indent,
+                  static_cast<unsigned long long>(s.truncated_bytes));
+    }
+  }
+  return corrupt;
+}
+
+int CmdStorage(int argc, char** argv) {
+  const char* usage =
+      "usage: wot_cli storage inspect DIR\n\n"
+      "Dumps a --data_dir storage directory: every snapshot segment\n"
+      "(version, size, entity counts; CRC-verified) and every WAL\n"
+      "(record/commit counts, torn-tail diagnosis). Shard\n"
+      "subdirectories are walked automatically. Exits nonzero when the\n"
+      "directory is missing or any file is corrupt; a torn WAL tail\n"
+      "alone is recoverable and exits 0.\n";
+  if (argc < 3 || std::strcmp(argv[1], "inspect") != 0) {
+    std::fprintf(stderr, "%s", usage);
+    return 1;
+  }
+  const std::string dir = argv[2];
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "error: '%s' is not a directory\n", dir.c_str());
+    return 1;
+  }
+  int corrupt = 0;
+  Result<uint32_t> shards = storage::ReadShardMeta(dir);
+  if (shards.ok() && shards.ValueOrDie() >= 2) {
+    std::printf("%s: %u shards\n", dir.c_str(), shards.ValueOrDie());
+    Result<uint64_t> epoch = storage::ReadRouterEpoch(dir);
+    if (epoch.ok()) {
+      std::printf("  router epoch %llu\n",
+                  static_cast<unsigned long long>(epoch.ValueOrDie()));
+    } else if (epoch.status().code() != StatusCode::kNotFound) {
+      std::printf("  router epoch: CORRUPT — %s\n",
+                  epoch.status().message().c_str());
+      ++corrupt;
+    }
+    for (uint32_t s = 0; s < shards.ValueOrDie(); ++s) {
+      const std::string shard_dir = dir + "/shard-" + std::to_string(s);
+      std::printf("  shard-%u:\n", s);
+      corrupt += InspectStorageDir(shard_dir, "    ");
+    }
+  } else {
+    if (!shards.ok() &&
+        shards.status().code() != StatusCode::kNotFound) {
+      std::printf("%s: meta CORRUPT — %s\n", dir.c_str(),
+                  shards.status().message().c_str());
+      ++corrupt;
+    } else {
+      std::printf("%s:\n", dir.c_str());
+    }
+    corrupt += InspectStorageDir(dir, "  ");
+  }
+  if (corrupt > 0) {
+    std::fprintf(stderr, "error: %d corrupt storage file(s)\n", corrupt);
+    return 1;
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "wot_cli <command> [flags]\n\n"
@@ -393,7 +513,8 @@ void PrintUsage() {
       "  convert    CSV directory <-> .wotb binary\n"
       "  derive     derive the web of trust, export top-k per user\n"
       "  validate   Table-4 validation against explicit trust\n"
-      "  query      serve trust queries (top-k / pairwise / --explain)\n\n"
+      "  query      serve trust queries (top-k / pairwise / --explain)\n"
+      "  storage    inspect a --data_dir durable storage directory\n\n"
       "run `wot_cli <command> --help` for the command's flags.\n");
 }
 
@@ -412,6 +533,7 @@ int Main(int argc, char** argv) {
   if (command == "derive") return CmdDerive(sub_argc, sub_argv);
   if (command == "validate") return CmdValidate(sub_argc, sub_argv);
   if (command == "query") return CmdQuery(sub_argc, sub_argv);
+  if (command == "storage") return CmdStorage(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;

@@ -57,6 +57,7 @@
 #include "wot/io/dataset_csv.h"
 #include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
+#include "wot/storage/durable_boot.h"
 #include "wot/synth/generator.h"
 #include "wot/util/check.h"
 #include "wot/util/flags.h"
@@ -226,6 +227,8 @@ int Main(int argc, char** argv) {
   std::string protocol = "ndjson";
   int64_t threads = 4;
   int64_t shards = 1;
+  std::string data_dir;
+  std::string fsync = "batch";
   FlagParser flags(
       "wot_served",
       "Resident trust server: boots one serving frontend (optionally "
@@ -250,6 +253,16 @@ int Main(int argc, char** argv) {
   flags.AddInt64("shards", &shards,
                  "partition users across this many TrustService shards "
                  "behind a ShardRouter (1 = unsharded)");
+  flags.AddString("data_dir", &data_dir,
+                  "durable storage directory: mutations append to a "
+                  "write-ahead log before they are acknowledged, commits "
+                  "write snapshot segments, and a restart recovers the "
+                  "full pre-crash state (instant boot; --data/--users "
+                  "seed only the FIRST boot of an empty directory)");
+  flags.AddString("fsync", &fsync,
+                  "--data_dir fsync policy: 'always' (every record), "
+                  "'batch' (commits + every ~64 records), or 'off' "
+                  "(page cache only)");
   flags.AddString("protocol", &protocol,
                   "initial wire protocol on every transport: 'ndjson' "
                   "(v1 lines; connections may still upgrade to v2 via "
@@ -274,22 +287,64 @@ int Main(int argc, char** argv) {
         "\n" + flags.Usage()));
   }
 
+  Result<storage::FsyncPolicy> fsync_policy =
+      storage::FsyncPolicyFromName(fsync);
+  if (!fsync_policy.ok()) {
+    return Fail(Status::InvalidArgument(fsync_policy.status().ToString() +
+                                        "\n" + flags.Usage()));
+  }
+
   // A resident server must outlive any client: broken pipes surface as
   // write errors (handled per connection), never a fatal SIGPIPE.
   signal(SIGPIPE, SIG_IGN);
 
-  Result<Dataset> dataset = BootDataset(data, users, seed);
-  if (!dataset.ok()) return Fail(dataset.status());
-
   // Boot the frontend: a plain single-service frontend, or a shard
-  // router slicing the dataset across N services. Exactly one "boot"
+  // router slicing the dataset across N services — either one
+  // optionally backed by a --data_dir durable store. Exactly one "boot"
   // line is logged either way — the round-trip smoke counts it (and the
   // stats method's service_boots counter: 1 unsharded, N sharded).
   std::unique_ptr<TrustService> service;
   std::unique_ptr<api::ServiceFrontend> plain_frontend;
   std::unique_ptr<api::ShardRouter> router;
+  storage::DurableService durable;
   api::Frontend* frontend = nullptr;
-  if (shards == 1) {
+  if (!data_dir.empty()) {
+    storage::DurableBootOptions options;
+    options.storage.fsync = fsync_policy.ValueOrDie();
+    options.num_shards = static_cast<size_t>(shards);
+    // The seed is only generated/loaded when the directory is empty —
+    // recovery never pays for it.
+    Result<storage::DurableService> booted = storage::BootDurable(
+        data_dir,
+        [&]() { return BootDataset(data, users, seed); }, options);
+    if (!booted.ok()) return Fail(booted.status());
+    durable = std::move(booted).ValueOrDie();
+    frontend = durable.frontend;
+    uint64_t version = 0;
+    size_t total_users = 0;
+    if (durable.router != nullptr) {
+      version = durable.router->epoch();
+      for (size_t s = 0; s < durable.router->num_shards(); ++s) {
+        total_users +=
+            durable.router->shard_service(s)->Snapshot()->num_users();
+      }
+    } else {
+      std::shared_ptr<const TrustSnapshot> snapshot =
+          durable.service->Snapshot();
+      version = snapshot->version();
+      total_users = snapshot->num_users();
+    }
+    std::fprintf(stderr,
+                 "wot_served: %s boot v%llu from %s (%zu users, %llu "
+                 "wal records replayed, fsync=%s)\n",
+                 durable.recovered ? "durable-recovery" : "durable-fresh",
+                 static_cast<unsigned long long>(version),
+                 data_dir.c_str(), total_users,
+                 static_cast<unsigned long long>(durable.replayed_records),
+                 storage::FsyncPolicyName(fsync_policy.ValueOrDie()));
+  } else if (shards == 1) {
+    Result<Dataset> dataset = BootDataset(data, users, seed);
+    if (!dataset.ok()) return Fail(dataset.status());
     Result<std::unique_ptr<TrustService>> booted =
         TrustService::Create(dataset.ValueOrDie());
     if (!booted.ok()) return Fail(booted.status());
@@ -305,6 +360,8 @@ int Main(int argc, char** argv) {
                  snapshot->num_users(), snapshot->num_categories(),
                  snapshot->num_ratings());
   } else {
+    Result<Dataset> dataset = BootDataset(data, users, seed);
+    if (!dataset.ok()) return Fail(dataset.status());
     Result<std::unique_ptr<api::ShardRouter>> booted =
         api::ShardRouter::Create(dataset.ValueOrDie(),
                                  static_cast<size_t>(shards));
