@@ -31,9 +31,13 @@
 #include <variant>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "bench_util.h"
 #include "wot/api/binary_codec.h"
 #include "wot/api/codec.h"
+#include "wot/io/json_parser.h"
 #include "wot/api/frontend.h"
 #include "wot/api/shard_router.h"
 #include "wot/api/unix_socket.h"
@@ -161,12 +165,17 @@ int Main(int argc, char** argv) {
   int64_t queries = 20000;
   int64_t shards = 4;
   std::string protocol = "ndjson";
+  std::string off_report;
   flags.AddInt64("queries", &queries, "queries per measurement batch");
   flags.AddInt64("shards", &shards,
                  "shard count of the ShardRouter throughput section");
   flags.AddString("protocol", &protocol,
                   "wire protocol of the socket-throughput sections "
                   "(ndjson | binary)");
+  flags.AddString("off_report", &off_report,
+                  "--json report of a micro_service_off run "
+                  "(WOT_TELEMETRY_OFF twin); adds telemetry_overhead_* "
+                  "fields comparing this run against it");
   WOT_CHECK_OK(flags.Parse(argc, argv));
   WOT_CHECK_GT(queries, 0);
   WOT_CHECK_GT(shards, 0);
@@ -450,6 +459,42 @@ int Main(int argc, char** argv) {
                    router_trust_binary_us);
   report.AddNumber("router_qps_1client", router_qps_c1);
   report.AddNumber("router_qps_8clients", router_qps_c8);
+
+  // Price the instrumentation against a WOT_TELEMETRY_OFF twin's report:
+  // same binary round trip and 8-client throughput, compiled with every
+  // Record/Increment/WOT_TIMED a no-op.
+  if (!off_report.empty()) {
+    std::ifstream in(off_report);
+    WOT_CHECK(in.good());
+    std::stringstream text;
+    text << in.rdbuf();
+    Result<JsonValue> parsed = ParseJson(text.str());
+    WOT_CHECK_OK(parsed.status());
+    const double off_roundtrip_us =
+        parsed.ValueOrDie()
+            .GetDouble("api_trust_roundtrip_us_binary")
+            .ValueOrDie();
+    const double off_qps8 = parsed.ValueOrDie()
+                                .GetDouble("server_qps_8clients")
+                                .ValueOrDie();
+    const double overhead_roundtrip_pct =
+        (api_trust_binary_us - off_roundtrip_us) / off_roundtrip_us *
+        100.0;
+    const double overhead_qps8_pct =
+        (off_qps8 - server_qps_c8) / off_qps8 * 100.0;
+    std::printf("telemetry off round trip (binary):       %10.3f us\n"
+                "telemetry off throughput, 8 clients:     %10.0f qps\n"
+                "telemetry overhead (round trip):         %+9.2f %%\n"
+                "telemetry overhead (8-client qps):       %+9.2f %%\n",
+                off_roundtrip_us, off_qps8, overhead_roundtrip_pct,
+                overhead_qps8_pct);
+    report.AddNumber("telemetry_off_roundtrip_us_binary",
+                     off_roundtrip_us);
+    report.AddNumber("telemetry_off_qps_8clients", off_qps8);
+    report.AddNumber("telemetry_overhead_roundtrip_pct",
+                     overhead_roundtrip_pct);
+    report.AddNumber("telemetry_overhead_qps8_pct", overhead_qps8_pct);
+  }
   WOT_CHECK_OK(MaybeWriteJson(args, report));
   return 0;
 }

@@ -77,7 +77,7 @@ namespace {
 const char* const kMethodNames[] = {
     "trust",         "topk",          "explain",      "ingest_user",
     "ingest_category", "ingest_object", "ingest_review", "ingest_rating",
-    "commit",        "stats",
+    "commit",        "stats",         "metrics",
 };
 static_assert(sizeof(kMethodNames) / sizeof(kMethodNames[0]) ==
                   std::variant_size_v<RequestPayload>,

@@ -166,10 +166,19 @@ struct StatsRequest {
   friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
 };
 
+/// \brief metrics: a scrape of the serving telemetry registry (counters,
+/// gauges, latency-histogram summaries; docs/observability.md catalogs
+/// the names). Additive v1 method — appended at the END of the payload
+/// variant so every older wire code is unchanged.
+struct MetricsRequest {
+  friend bool operator==(const MetricsRequest&,
+                         const MetricsRequest&) = default;
+};
+
 using RequestPayload =
     std::variant<TrustQuery, TopKQuery, ExplainQuery, IngestUser,
                  IngestCategory, IngestObject, IngestReview, IngestRating,
-                 CommitRequest, StatsRequest>;
+                 CommitRequest, StatsRequest, MetricsRequest>;
 
 /// \brief One API call: protocol version, client correlator, method payload.
 struct Request {
@@ -316,9 +325,51 @@ struct StatsResult {
   friend bool operator==(const StatsResult&, const StatsResult&) = default;
 };
 
+/// \brief One counter or gauge in a metrics scrape.
+struct MetricValue {
+  std::string name;
+  int64_t value = 0;
+
+  friend bool operator==(const MetricValue&, const MetricValue&) = default;
+};
+
+/// \brief One latency histogram's summary in a metrics scrape. Latency
+/// histograms record nanoseconds (their names end in `_ns`); value
+/// histograms (batch sizes, scatter widths) record raw counts. The
+/// quantiles are log-bucket estimates (<= 25% relative error).
+struct MetricHistogramValue {
+  std::string name;
+  int64_t count = 0;  ///< samples recorded
+  int64_t sum = 0;    ///< sum of recorded values
+  int64_t min = 0;    ///< smallest sample, to bucket resolution
+  int64_t max = 0;    ///< largest sample, to bucket resolution
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  friend bool operator==(const MetricHistogramValue&,
+                         const MetricHistogramValue&) = default;
+};
+
+/// \brief A point-in-time scrape of the answering frontend's telemetry:
+/// every source it can see (its own registry, the connection server's,
+/// each shard's), merged. All three vectors are sorted by name.
+struct MetricsResult {
+  /// The published snapshot version (commit epoch when sharded) the
+  /// scrape is attributable to.
+  uint64_t snapshot_version = 0;
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+  std::vector<MetricHistogramValue> histograms;
+
+  friend bool operator==(const MetricsResult&,
+                         const MetricsResult&) = default;
+};
+
 using ResponsePayload =
     std::variant<std::monostate, TrustResult, TopKResult, ExplainResult,
-                 IngestResult, CommitResult, StatsResult>;
+                 IngestResult, CommitResult, StatsResult, MetricsResult>;
 
 /// \brief One API reply. `id` echoes the request's correlator (0 when the
 /// frame was too malformed to extract one).

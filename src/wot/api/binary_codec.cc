@@ -79,6 +79,7 @@ void EncodeRequestPayload(const RequestPayload& payload, ByteWriter* w) {
     }
     void operator()(const CommitRequest&) {}
     void operator()(const StatsRequest&) {}
+    void operator()(const MetricsRequest&) {}
   };
   std::visit(Visitor{*w}, payload);
 }
@@ -152,6 +153,29 @@ void EncodeResponsePayload(const ResponsePayload& payload, ByteWriter* w) {
           .PutI64(r.segment_bytes)
           .PutI64(r.recovered_replayed_records);
     }
+    void operator()(const MetricsResult& r) {
+      w.PutU64(r.snapshot_version);
+      w.PutU32(static_cast<uint32_t>(r.counters.size()));
+      for (const MetricValue& counter : r.counters) {
+        w.PutString(counter.name).PutI64(counter.value);
+      }
+      w.PutU32(static_cast<uint32_t>(r.gauges.size()));
+      for (const MetricValue& gauge : r.gauges) {
+        w.PutString(gauge.name).PutI64(gauge.value);
+      }
+      w.PutU32(static_cast<uint32_t>(r.histograms.size()));
+      for (const MetricHistogramValue& histogram : r.histograms) {
+        w.PutString(histogram.name)
+            .PutI64(histogram.count)
+            .PutI64(histogram.sum)
+            .PutI64(histogram.min)
+            .PutI64(histogram.max)
+            .PutDouble(histogram.p50)
+            .PutDouble(histogram.p90)
+            .PutDouble(histogram.p99)
+            .PutDouble(histogram.p999);
+      }
+    }
   };
   std::visit(Visitor{*w}, payload);
 }
@@ -219,6 +243,9 @@ ApiStatus DecodeRequestPayload(size_t method_index, ByteReader* r,
       break;
     case 9:
       request->payload = StatsRequest{};
+      break;
+    case 10:
+      request->payload = MetricsRequest{};
       break;
     default:
       return ApiStatus::Unimplemented(
@@ -324,6 +351,40 @@ ApiStatus DecodeResponsePayload(size_t result_index, ByteReader* r,
       result.segment_epoch = r->GetI64();
       result.segment_bytes = r->GetI64();
       result.recovered_replayed_records = r->GetI64();
+      response->payload = std::move(result);
+      break;
+    }
+    case 7: {
+      MetricsResult result;
+      result.snapshot_version = r->GetU64();
+      uint32_t counters = r->GetU32();
+      for (uint32_t i = 0; i < counters && !r->failed(); ++i) {
+        MetricValue counter;
+        counter.name = r->GetString();
+        counter.value = r->GetI64();
+        result.counters.push_back(std::move(counter));
+      }
+      uint32_t gauges = r->GetU32();
+      for (uint32_t i = 0; i < gauges && !r->failed(); ++i) {
+        MetricValue gauge;
+        gauge.name = r->GetString();
+        gauge.value = r->GetI64();
+        result.gauges.push_back(std::move(gauge));
+      }
+      uint32_t histograms = r->GetU32();
+      for (uint32_t i = 0; i < histograms && !r->failed(); ++i) {
+        MetricHistogramValue histogram;
+        histogram.name = r->GetString();
+        histogram.count = r->GetI64();
+        histogram.sum = r->GetI64();
+        histogram.min = r->GetI64();
+        histogram.max = r->GetI64();
+        histogram.p50 = r->GetDouble();
+        histogram.p90 = r->GetDouble();
+        histogram.p99 = r->GetDouble();
+        histogram.p999 = r->GetDouble();
+        result.histograms.push_back(std::move(histogram));
+      }
       response->payload = std::move(result);
       break;
     }

@@ -12,6 +12,7 @@ namespace {
 // Indexed by ResponsePayload variant alternative (monostate unnamed).
 const char* const kResultTypeNames[] = {
     "", "trust", "topk", "explain", "ingest", "commit", "stats",
+    "metrics",
 };
 static_assert(sizeof(kResultTypeNames) / sizeof(kResultTypeNames[0]) ==
                   std::variant_size_v<ResponsePayload>,
@@ -45,6 +46,7 @@ void EncodeParams(const RequestPayload& payload, JsonWriter* w) {
     }
     void operator()(const CommitRequest&) {}
     void operator()(const StatsRequest&) {}
+    void operator()(const MetricsRequest&) {}
   };
   w->Key("params").BeginObject();
   std::visit(Visitor{*w}, payload);
@@ -142,6 +144,40 @@ void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
         w.Key("recovered_replayed_records")
             .Int(r.recovered_replayed_records);
       }
+    }
+    void operator()(const MetricsResult& r) {
+      w.Key("snapshot_version").UInt(r.snapshot_version);
+      w.Key("counters").BeginArray();
+      for (const MetricValue& counter : r.counters) {
+        w.BeginObject();
+        w.Key("name").String(counter.name);
+        w.Key("value").Int(counter.value);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("gauges").BeginArray();
+      for (const MetricValue& gauge : r.gauges) {
+        w.BeginObject();
+        w.Key("name").String(gauge.name);
+        w.Key("value").Int(gauge.value);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("histograms").BeginArray();
+      for (const MetricHistogramValue& histogram : r.histograms) {
+        w.BeginObject();
+        w.Key("name").String(histogram.name);
+        w.Key("count").Int(histogram.count);
+        w.Key("sum").Int(histogram.sum);
+        w.Key("min").Int(histogram.min);
+        w.Key("max").Int(histogram.max);
+        w.Key("p50").Double(histogram.p50);
+        w.Key("p90").Double(histogram.p90);
+        w.Key("p99").Double(histogram.p99);
+        w.Key("p999").Double(histogram.p999);
+        w.EndObject();
+      }
+      w.EndArray();
     }
   };
   w->Key("result").BeginObject();
@@ -242,6 +278,8 @@ ApiStatus DecodeParams(const std::string& method, const JsonValue& root,
     request->payload = CommitRequest{};
   } else if (method == "stats") {
     request->payload = StatsRequest{};
+  } else if (method == "metrics") {
+    request->payload = MetricsRequest{};
   } else {
     return ApiStatus::Unimplemented("unknown method '" + method + "'");
   }
@@ -429,6 +467,68 @@ ApiStatus DecodeResultPayload(const std::string& result_type,
       }
     }
     response->payload = r;
+  } else if (result_type == "metrics") {
+    MetricsResult r;
+    status = u64_field("snapshot_version", &r.snapshot_version);
+    if (!status.ok()) return status;
+    struct ValueArray {
+      const char* key;
+      std::vector<MetricValue>* target;
+    };
+    for (ValueArray field : {ValueArray{"counters", &r.counters},
+                             ValueArray{"gauges", &r.gauges}}) {
+      const JsonValue* array = result.Find(field.key);
+      if (array == nullptr || !array->is_array()) {
+        return ApiStatus::InvalidArgument(std::string("missing '") +
+                                          field.key + "' array");
+      }
+      for (const JsonValue& item : array->array()) {
+        MetricValue metric;
+        Result<std::string> name = item.GetString("name");
+        if (!name.ok()) return ApiStatus::FromStatus(name.status());
+        metric.name = std::move(name).ValueOrDie();
+        Result<int64_t> value = item.GetInt("value");
+        if (!value.ok()) return ApiStatus::FromStatus(value.status());
+        metric.value = value.ValueOrDie();
+        field.target->push_back(std::move(metric));
+      }
+    }
+    const JsonValue* histograms = result.Find("histograms");
+    if (histograms == nullptr || !histograms->is_array()) {
+      return ApiStatus::InvalidArgument("missing 'histograms' array");
+    }
+    for (const JsonValue& item : histograms->array()) {
+      MetricHistogramValue histogram;
+      Result<std::string> name = item.GetString("name");
+      if (!name.ok()) return ApiStatus::FromStatus(name.status());
+      histogram.name = std::move(name).ValueOrDie();
+      struct IntField {
+        const char* key;
+        int64_t* target;
+      };
+      for (IntField field : {IntField{"count", &histogram.count},
+                             IntField{"sum", &histogram.sum},
+                             IntField{"min", &histogram.min},
+                             IntField{"max", &histogram.max}}) {
+        Result<int64_t> value = item.GetInt(field.key);
+        if (!value.ok()) return ApiStatus::FromStatus(value.status());
+        *field.target = value.ValueOrDie();
+      }
+      struct DoubleField {
+        const char* key;
+        double* target;
+      };
+      for (DoubleField field : {DoubleField{"p50", &histogram.p50},
+                                DoubleField{"p90", &histogram.p90},
+                                DoubleField{"p99", &histogram.p99},
+                                DoubleField{"p999", &histogram.p999}}) {
+        Result<double> value = item.GetDouble(field.key);
+        if (!value.ok()) return ApiStatus::FromStatus(value.status());
+        *field.target = value.ValueOrDie();
+      }
+      r.histograms.push_back(std::move(histogram));
+    }
+    response->payload = std::move(r);
   } else {
     return ApiStatus::InvalidArgument("unknown result_type '" +
                                       result_type + "'");

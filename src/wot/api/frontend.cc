@@ -2,9 +2,13 @@
 
 #include <memory>
 #include <utility>
+#include <variant>
 
 #include "wot/api/binary_codec.h"
 #include "wot/api/codec.h"
+#include "wot/telemetry/timed.h"
+#include "wot/telemetry/trace.h"
+#include "wot/util/logging.h"
 #include "wot/util/string_util.h"
 
 namespace wot {
@@ -32,28 +36,116 @@ Result<UserId> ResolveUserRef(const TrustSnapshot& snapshot,
   return UserId(*id);
 }
 
+Frontend::Frontend() : registry_(std::make_shared<telemetry::MetricRegistry>()) {
+  requests_served_ = registry_->counter("api.requests_served");
+  errors_ = registry_->counter("api.errors");
+  slow_requests_ = registry_->counter("api.slow_requests");
+  method_latency_ns_.reserve(AllMethodNames().size());
+  for (const std::string& method : AllMethodNames()) {
+    method_latency_ns_.push_back(
+        registry_->histogram("api.latency_ns." + method));
+  }
+}
+
 FrontendStats Frontend::stats() const {
   FrontendStats stats;
-  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
-  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_->Value();
+  stats.errors = errors_->Value();
   return stats;
+}
+
+void Frontend::AddMetricsSource(
+    std::shared_ptr<const telemetry::MetricRegistry> source) {
+  MutexLock lock(sources_mu_);
+  sources_.push_back(std::move(source));
+}
+
+telemetry::MetricsSnapshot Frontend::ScrapeMetrics() const {
+  telemetry::MetricsSnapshot merged = registry_->Scrape();
+  MutexLock lock(sources_mu_);
+  for (const std::shared_ptr<const telemetry::MetricRegistry>& source :
+       sources_) {
+    merged.MergeFrom(source->Scrape());
+  }
+  return merged;
+}
+
+Response Frontend::DispatchMetrics() const {
+  telemetry::MetricsSnapshot snapshot = ScrapeMetrics();
+  MetricsResult result;
+  result.snapshot_version = TelemetryEpoch();
+  result.counters.reserve(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    result.counters.push_back({name, value});
+  }
+  result.gauges.reserve(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    result.gauges.push_back({name, value});
+  }
+  result.histograms.reserve(snapshot.histograms.size());
+  for (const telemetry::HistogramSnapshot& h : snapshot.histograms) {
+    MetricHistogramValue v;
+    v.name = h.name;
+    v.count = h.count;
+    v.sum = h.sum;
+    v.min = h.ApproxMin();
+    v.max = h.ApproxMax();
+    v.p50 = h.Quantile(0.5);
+    v.p90 = h.Quantile(0.9);
+    v.p99 = h.Quantile(0.99);
+    v.p999 = h.Quantile(0.999);
+    result.histograms.push_back(std::move(v));
+  }
+  Response response;
+  response.payload = std::move(result);
+  return response;
+}
+
+void Frontend::MaybeLogSlow(const Request& request,
+                            const ConnectionContext& connection,
+                            int64_t elapsed_ns) const {
+  const int64_t threshold_ns =
+      slow_request_threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold_ns < 0 || elapsed_ns < threshold_ns) return;
+  slow_requests_->Increment();
+  WOT_LOG(Warning) << "slow request trace="
+                   << telemetry::TraceId(
+                          connection.connection_id,
+                          connection.connection_requests_served)
+                   << " method=" << MethodName(request.payload)
+                   << " elapsed_ms=" << elapsed_ns / 1e6
+                   << " shard=" << telemetry::DispatchShard()
+                   << " epoch=" << TelemetryEpoch();
 }
 
 Response Frontend::Dispatch(const Request& request,
                             const ConnectionContext& connection) {
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  requests_served_->Increment();
+#ifndef WOT_TELEMETRY_OFF
+  telemetry::ClearDispatchShard();
+  telemetry::Timer timer;
+#endif
   Response response;
   if (request.version != kProtocolVersion) {
     response.status = ApiStatus::InvalidArgument(
         "unsupported protocol version " + std::to_string(request.version) +
         " (this server speaks v" + std::to_string(kProtocolVersion) + ")");
+  } else if (std::holds_alternative<MetricsRequest>(request.payload)) {
+    // The envelope answers metrics itself so every implementation serves
+    // the method uniformly (and a scrape can never deadlock a subclass).
+    response = DispatchMetrics();
   } else {
     response = DispatchPayload(request, connection);
   }
+#ifndef WOT_TELEMETRY_OFF
+  const int64_t elapsed_ns =
+      timer.RecordInto(method_latency_ns_[request.payload.index()]);
+  MaybeLogSlow(request, connection, elapsed_ns);
+#endif
   response.version = kProtocolVersion;
   response.id = request.id;
   if (!response.status.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     response.payload = std::monostate{};
   }
   return response;
@@ -64,8 +156,8 @@ std::string Frontend::DispatchLine(std::string_view line,
   Request request;
   ApiStatus decode_status = DecodeRequest(line, &request);
   if (!decode_status.ok()) {
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_->Increment();
+    errors_->Increment();
     Response response;
     response.id = request.id;
     response.status = std::move(decode_status);
@@ -79,8 +171,8 @@ std::string Frontend::DispatchFrame(std::string_view frame,
   Request request;
   ApiStatus decode_status = DecodeRequestBinary(frame, &request);
   if (!decode_status.ok()) {
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_->Increment();
+    errors_->Increment();
     Response response;
     response.id = request.id;
     response.status = std::move(decode_status);
@@ -265,8 +357,7 @@ Response ServiceFrontend::DispatchPayload(
       result.reviews = static_cast<int64_t>(snapshot->num_reviews());
       result.ratings = static_cast<int64_t>(snapshot->num_ratings());
       result.service_boots = 1;
-      result.requests_served =
-          frontend.requests_served_.load(std::memory_order_relaxed);
+      result.requests_served = frontend.requests_served_->Value();
       result.connections_active = connection.connections_active;
       result.connections_accepted = connection.connections_accepted;
       result.connection_requests_served =
@@ -282,6 +373,13 @@ Response ServiceFrontend::DispatchPayload(
       Response response;
       response.payload = result;
       return response;
+    }
+
+    Response operator()(const MetricsRequest&) {
+      // Unreachable: the base envelope answers metrics before
+      // DispatchPayload. Kept for variant exhaustiveness.
+      return ErrorResponse(ApiStatus::Internal(
+          "metrics request reached DispatchPayload"));
     }
   };
 

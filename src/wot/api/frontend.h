@@ -19,6 +19,17 @@
 //     serves the identical wire protocol by routing/scatter-gathering;
 //     with one shard it is bit-identical to a ServiceFrontend.
 //
+// Telemetry: the base envelope owns a telemetry::MetricRegistry and
+// answers the additive `metrics` method from it — envelope counters
+// (api.requests_served / api.errors, the SAME counters the stats method
+// reports, so the two can never disagree), a per-method latency
+// histogram (api.latency_ns.<method>), and every registry registered via
+// AddMetricsSource (a ConnectionServer's, a StorageManager's, each
+// shard service's), merged at scrape time. The envelope also writes the
+// slow-request log: set_slow_request_threshold_millis makes any slower
+// dispatch emit one WARNING line carrying the request's trace id
+// (telemetry/trace.h), method, shard and commit epoch.
+//
 // Thread contract: Dispatch/DispatchLine ARE thread-safe; one frontend is
 // shared by every connection of a ConnectionServer. Queries resolve names
 // on the published TrustSnapshot (its immutable NameIndex) and run
@@ -34,13 +45,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "wot/api/api.h"
 #include "wot/service/trust_service.h"
 #include "wot/service/trust_snapshot.h"
+#include "wot/telemetry/metric_registry.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 namespace api {
@@ -80,13 +95,18 @@ struct ConnectionContext {
   int64_t connections_accepted = 0;
   /// Requests read off the asking connection so far, including this one.
   int64_t connection_requests_served = 0;
+  /// The serving connection's id (1-based per server; 0 = no connection,
+  /// e.g. the in-process loopback). Together with
+  /// connection_requests_served it forms the request's trace id.
+  int64_t connection_id = 0;
 };
 
 /// \brief The serving interface: one implementation-agnostic dispatcher of
 /// the versioned API. The envelope work — request/error counting, the
-/// protocol-version gate, id echoing, NDJSON decode/encode — lives here,
-/// so every implementation answers malformed input and version skew with
-/// byte-identical frames; subclasses implement DispatchPayload only.
+/// protocol-version gate, id echoing, NDJSON decode/encode, per-method
+/// latency recording, the metrics method, the slow-request log — lives
+/// here, so every implementation answers malformed input and version skew
+/// with byte-identical frames; subclasses implement DispatchPayload only.
 class Frontend {
  public:
   virtual ~Frontend() = default;
@@ -118,26 +138,93 @@ class Frontend {
   /// Value snapshot of the counters (they advance concurrently).
   virtual FrontendStats stats() const;
 
+  /// \brief The registry the envelope's own instrumentation records into.
+  /// Valid for the frontend's lifetime.
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return registry_;
+  }
+
+  /// \brief Registers another registry to be merged into every scrape
+  /// (a ConnectionServer's, a StorageManager's). Thread-safe; sources
+  /// are scraped in registration order and never unregistered.
+  void AddMetricsSource(
+      std::shared_ptr<const telemetry::MetricRegistry> source)
+      WOT_EXCLUDES(sources_mu_);
+
+  /// \brief One merged scrape: the envelope's own registry plus every
+  /// AddMetricsSource registry. ShardRouter widens this with its shard
+  /// services' registries. Never blocks writers.
+  virtual telemetry::MetricsSnapshot ScrapeMetrics() const
+      WOT_EXCLUDES(sources_mu_);
+
+  /// \brief The epoch stamped on metrics responses and slow-log lines:
+  /// the published snapshot version (ServiceFrontend) or router-level
+  /// commit epoch (ShardRouter).
+  virtual uint64_t TelemetryEpoch() const { return 0; }
+
+  /// \brief Any dispatch slower than \p millis emits one WARNING line
+  /// with the request's trace id, method, shard and epoch (and counts on
+  /// api.slow_requests). 0 logs every request; negative (the default)
+  /// disables the log. Thread-safe.
+  void set_slow_request_threshold_millis(int64_t millis) {
+    slow_request_threshold_ns_.store(
+        millis < 0 ? -1 : millis * 1'000'000, std::memory_order_relaxed);
+  }
+
  protected:
+  Frontend();
+
   /// \brief Executes one payload. Called only with the supported protocol
   /// version; must be thread-safe. The base fills version/id and clears
-  /// the payload of error responses afterwards.
+  /// the payload of error responses afterwards. Never sees a
+  /// MetricsRequest (the envelope answers those), but visitors still
+  /// carry the handler for variant exhaustiveness.
   virtual Response DispatchPayload(const Request& request,
                                    const ConnectionContext& connection) = 0;
 
   /// Requests dispatched (including undecodable frames) and errors
-  /// answered, maintained by the base envelope.
-  std::atomic<int64_t> requests_served_{0};
-  std::atomic<int64_t> errors_{0};
+  /// answered — registry counters (api.requests_served / api.errors)
+  /// maintained by the base envelope, read back by stats(): the stats
+  /// and metrics methods report THE SAME cells and can never disagree.
+  telemetry::Counter* requests_served_;
+  telemetry::Counter* errors_;
+
+ private:
+  /// \brief Answers the metrics method from ScrapeMetrics().
+  Response DispatchMetrics() const;
+
+  void MaybeLogSlow(const Request& request,
+                    const ConnectionContext& connection,
+                    int64_t elapsed_ns) const;
+
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  telemetry::Counter* slow_requests_;
+  /// Indexed by RequestPayload alternative (api.latency_ns.<method>).
+  std::vector<telemetry::LatencyHistogram*> method_latency_ns_;
+  std::atomic<int64_t> slow_request_threshold_ns_{-1};
+
+  mutable Mutex sources_mu_;
+  std::vector<std::shared_ptr<const telemetry::MetricRegistry>> sources_
+      WOT_GUARDED_BY(sources_mu_);
 };
 
 /// \brief Dispatches requests against a TrustService it does not own.
 class ServiceFrontend : public Frontend {
  public:
-  /// \p service must outlive the frontend.
-  explicit ServiceFrontend(TrustService* service) : service_(service) {}
+  /// \p service must outlive the frontend. The service's own metric
+  /// registry (commit stage timings, WAL latencies recorded by an
+  /// attached StorageManager) is registered as a scrape source.
+  explicit ServiceFrontend(TrustService* service) : service_(service) {
+    AddMetricsSource(service_->metrics_registry());
+  }
 
   TrustService* service() const { return service_; }
+
+  /// The published snapshot version.
+  uint64_t TelemetryEpoch() const override {
+    return service_->Snapshot()->version();
+  }
 
  protected:
   Response DispatchPayload(const Request& request,

@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "wot/telemetry/timed.h"
+#include "wot/telemetry/trace.h"
 #include "wot/util/check.h"
 #include "wot/util/string_util.h"
 
@@ -31,6 +33,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
         std::make_unique<ServiceFrontend>(shard->service.get());
     router->shards_.push_back(std::move(shard));
   }
+  router->InitTelemetry();
   // The router is not visible to any other thread yet; the uncontended
   // lock keeps the guarded write provable.
   MutexLock lock(router->ingest_mu_);
@@ -60,6 +63,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::CreateFromServices(
         static_cast<int64_t>(shard->service->staged_dataset().num_users());
     router->shards_.push_back(std::move(shard));
   }
+  router->InitTelemetry();
   MutexLock lock(router->ingest_mu_);
   router->staged_global_users_ = staged_users;
   return router;
@@ -69,6 +73,15 @@ FrontendStats ShardRouter::stats() const {
   FrontendStats stats = Frontend::stats();
   stats.service_boots = static_cast<int64_t>(shards_.size());
   return stats;
+}
+
+void ShardRouter::InitTelemetry() {
+  fanout_latency_ns_ =
+      metrics_registry()->histogram("router.fanout_latency_ns");
+  scatter_width_ = metrics_registry()->histogram("router.scatter_width");
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    AddMetricsSource(shard->service->metrics_registry());
+  }
 }
 
 ShardRouter::SnapshotSet ShardRouter::LoadSnapshots() const {
@@ -205,7 +218,12 @@ Response ShardRouter::RouteTrustLike(const Request& request,
     explain->source = std::to_string(s.local);
     explain->target = std::to_string(t.local);
   }
-  Response response = Touch(s.shard)->Dispatch(local, connection);
+  telemetry::SetDispatchShard(static_cast<int64_t>(s.shard));
+  Response response;
+  {
+    WOT_TIMED(fanout_latency_ns_);
+    response = Touch(s.shard)->Dispatch(local, connection);
+  }
   if (sharded && response.status.ok()) {
     if (TrustResult* trust = std::get_if<TrustResult>(&response.payload)) {
       trust->snapshot_version = epoch;
@@ -265,24 +283,30 @@ Response ShardRouter::DispatchPayload(const Request& request,
       // staged on several). Shards without the source — empty shards
       // included — contribute nothing.
       std::vector<ScoredUserEntry> merged;
-      for (size_t s = 0; s < num_shards; ++s) {
-        std::optional<uint32_t> local;
-        if (home.by_index) {
-          if (s == home.shard) local = home.local;
-        } else {
-          local = snapshots[s]->user_names().Find(q.source);
-        }
-        if (!local.has_value()) continue;
-        router.Touch(s);
-        for (const ScoredUser& scored :
-             snapshots[s]->TopK(*local, static_cast<size_t>(q.k))) {
-          merged.push_back(
-              {static_cast<uint32_t>(
-                   GlobalUserOfShard(scored.user, s, num_shards)),
-               snapshots[s]->user_names().name(scored.user),
-               scored.score});
+      int64_t scatter_width = 0;
+      {
+        WOT_TIMED(router.fanout_latency_ns_);
+        for (size_t s = 0; s < num_shards; ++s) {
+          std::optional<uint32_t> local;
+          if (home.by_index) {
+            if (s == home.shard) local = home.local;
+          } else {
+            local = snapshots[s]->user_names().Find(q.source);
+          }
+          if (!local.has_value()) continue;
+          router.Touch(s);
+          ++scatter_width;
+          for (const ScoredUser& scored :
+               snapshots[s]->TopK(*local, static_cast<size_t>(q.k))) {
+            merged.push_back(
+                {static_cast<uint32_t>(
+                     GlobalUserOfShard(scored.user, s, num_shards)),
+                 snapshots[s]->user_names().name(scored.user),
+                 scored.score});
+          }
         }
       }
+      router.scatter_width_->Record(scatter_width);
       // Gather: per-shard lists arrive in TopK order (score desc, local
       // id asc); the global merge keeps the same total order, so one
       // shard degenerates to the bare frontend's list exactly.
@@ -310,6 +334,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
       int64_t global = router.staged_global_users_;
       size_t shard =
           ShardOfUser(static_cast<uint64_t>(global), num_shards);
+      telemetry::SetDispatchShard(static_cast<int64_t>(shard));
       router.Touch(shard);
       UserId local = router.shards_[shard]->service->AddUser(q.name);
       (void)local;
@@ -398,6 +423,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
         return ErrorResponse(ApiStatus::FromStatus(writer.status()));
       }
       const ResolvedUser& w = writer.ValueOrDie();
+      telemetry::SetDispatchShard(static_cast<int64_t>(w.shard));
       router.Touch(w.shard);
       // Object ids are replicated (global == local), so q.object passes
       // through; the shard validates its range and policy.
@@ -465,6 +491,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
             "; v1 ratings stay within one shard"));
       }
       int64_t local_review = local;
+      telemetry::SetDispatchShard(static_cast<int64_t>(r.shard));
       router.Touch(r.shard);
       Status status = router.shards_[r.shard]->service->AddRatingByRef(
           std::to_string(r.local), local_review, q.value);
@@ -480,24 +507,29 @@ Response ShardRouter::DispatchPayload(const Request& request,
       MutexLock lock(router.ingest_mu_);
       CommitResult result;
       bool any_published = false;
-      for (size_t s = 0; s < router.shards_.size(); ++s) {
-        router.Touch(s);
-        Result<TrustService::CommitStats> stats =
-            router.shards_[s]->service->Commit();
-        if (!stats.ok()) {
-          // The epoch is NOT advanced: a torn fan-out never becomes a
-          // visible router-level commit.
-          return ErrorResponse(ApiStatus::FromStatus(stats.status()));
+      {
+        WOT_TIMED(router.fanout_latency_ns_);
+        for (size_t s = 0; s < router.shards_.size(); ++s) {
+          router.Touch(s);
+          Result<TrustService::CommitStats> stats =
+              router.shards_[s]->service->Commit();
+          if (!stats.ok()) {
+            // The epoch is NOT advanced: a torn fan-out never becomes a
+            // visible router-level commit.
+            return ErrorResponse(ApiStatus::FromStatus(stats.status()));
+          }
+          const TrustService::CommitStats& cs = stats.ValueOrDie();
+          any_published |= cs.published;
+          result.categories_recomputed +=
+              static_cast<int64_t>(cs.categories_recomputed);
+          result.affiliation_rows_recomputed +=
+              static_cast<int64_t>(cs.affiliation_rows_recomputed);
+          result.postings_rebuilt +=
+              static_cast<int64_t>(cs.postings_rebuilt);
         }
-        const TrustService::CommitStats& cs = stats.ValueOrDie();
-        any_published |= cs.published;
-        result.categories_recomputed +=
-            static_cast<int64_t>(cs.categories_recomputed);
-        result.affiliation_rows_recomputed +=
-            static_cast<int64_t>(cs.affiliation_rows_recomputed);
-        result.postings_rebuilt +=
-            static_cast<int64_t>(cs.postings_rebuilt);
       }
+      router.scatter_width_->Record(
+          static_cast<int64_t>(router.shards_.size()));
       // Publish the router-level epoch only after EVERY shard swapped:
       // an epoch reader never observes a cross-shard commit half done.
       uint64_t epoch = router.epoch_.load(std::memory_order_relaxed);
@@ -532,8 +564,7 @@ Response ShardRouter::DispatchPayload(const Request& request,
       result.categories =
           static_cast<int64_t>(snapshots[0]->num_categories());
       result.service_boots = static_cast<int64_t>(num_shards);
-      result.requests_served =
-          router.requests_served_.load(std::memory_order_relaxed);
+      result.requests_served = router.requests_served_->Value();
       result.connections_active = connection.connections_active;
       result.connections_accepted = connection.connections_accepted;
       result.connection_requests_served =
@@ -577,6 +608,13 @@ Response ShardRouter::DispatchPayload(const Request& request,
       Response response;
       response.payload = std::move(result);
       return response;
+    }
+
+    Response operator()(const MetricsRequest&) {
+      // Unreachable: the base envelope answers metrics before
+      // DispatchPayload. Kept for variant exhaustiveness.
+      return ErrorResponse(ApiStatus::Internal(
+          "metrics request reached DispatchPayload"));
     }
   };
 

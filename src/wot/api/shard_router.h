@@ -112,6 +112,10 @@ class ShardRouter : public Frontend {
   /// service_boots aggregates the per-shard boots (= num_shards).
   FrontendStats stats() const override;
 
+  /// The router-level commit epoch (stamped on metrics responses and
+  /// slow-log lines).
+  uint64_t TelemetryEpoch() const override { return epoch(); }
+
  protected:
   Response DispatchPayload(const Request& request,
                            const ConnectionContext& connection) override;
@@ -133,6 +137,13 @@ class ShardRouter : public Frontend {
   };
 
   ShardRouter() = default;
+
+  /// Resolves the router's own instruments (router.fanout_latency_ns,
+  /// router.scatter_width) and registers every shard service's registry
+  /// as a scrape source, so shard-level commit/WAL timings surface in
+  /// the router's metrics responses. Both factories call it once the
+  /// shard set is final.
+  void InitTelemetry();
 
   using SnapshotSet =
       std::vector<std::shared_ptr<const TrustSnapshot>>;
@@ -160,6 +171,11 @@ class ShardRouter : public Frontend {
                           std::string_view target_ref);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Router-level instruments (resolved once in InitTelemetry; the base
+  // registry outlives them).
+  telemetry::LatencyHistogram* fanout_latency_ns_ = nullptr;
+  telemetry::LatencyHistogram* scatter_width_ = nullptr;
 
   // Ingest state: guarded by ingest_mu_. The router is the sole authority
   // over the global user id space.

@@ -5,7 +5,6 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -16,7 +15,9 @@
 #include "wot/api/codec.h"
 #include "wot/api/unix_socket.h"
 #include "wot/server/line_assembler.h"
+#include "wot/telemetry/timed.h"
 #include "wot/util/logging.h"
+#include "wot/util/stopwatch.h"
 #include "wot/util/thread_pool.h"
 
 namespace wot {
@@ -31,12 +32,6 @@ constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
 constexpr uint64_t kFirstConnectionId = 2;
 constexpr uint64_t kWriteTagBit = 1ull << 63;
-
-int64_t NowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 }  // namespace
 
@@ -86,6 +81,12 @@ struct ConnectionServer::Connection {
   bool read_closed = false;        // EOF seen, or the server is draining
   bool close_after_flush = false;  // fatal framing error: flush, then die
   int64_t requests = 0;            // requests read off this connection
+  // Telemetry bookkeeping: whether the connection is currently counted
+  // as read-paused (so server.backpressure_pauses counts transitions,
+  // not loop iterations) and the unsent-byte figure last folded into the
+  // server.write_buffer_bytes gauge.
+  bool counted_paused = false;
+  size_t reported_unsent = 0;
 };
 
 // The per-Serve() event loop. Split from the server object so Serve()'s
@@ -144,7 +145,7 @@ class ConnectionServer::Loop {
       }
       int timeout = -1;
       if (draining_) {
-        int64_t remaining = drain_deadline_ms_ - NowMillis();
+        int64_t remaining = drain_deadline_ms_ - MonotonicMillis();
         if (remaining <= 0) {
           ForceCloseAll();
           return Status::OK();
@@ -163,6 +164,7 @@ class ConnectionServer::Loop {
         return Status::IOError(std::string("epoll_wait(): ") +
                                std::strerror(errno));
       }
+      server_->epoll_wakeups_->Increment();
       for (int i = 0; i < n; ++i) {
         uint64_t tag = events[i].data.u64;
         if (tag == kWakeTag) {
@@ -253,8 +255,8 @@ class ConnectionServer::Loop {
     stream_read_fd_ = -1;
     stream_write_fd_ = -1;
     connections_.emplace(id, std::move(conn));
-    server_->accepted_.fetch_add(1, std::memory_order_relaxed);
-    server_->active_.fetch_add(1, std::memory_order_relaxed);
+    server_->accepted_->Increment();
+    server_->active_->Add(1);
     return Status::OK();
   }
 
@@ -303,8 +305,8 @@ class ConnectionServer::Loop {
       conn->in_registered = true;
       conn->in_events = EPOLLIN;
       connections_.emplace(id, std::move(conn));
-      server_->accepted_.fetch_add(1, std::memory_order_relaxed);
-      server_->active_.fetch_add(1, std::memory_order_relaxed);
+      server_->accepted_->Increment();
+      server_->active_->Add(1);
     }
   }
 
@@ -459,7 +461,7 @@ class ConnectionServer::Loop {
     conn->ready.emplace(conn->next_seq++, std::move(frame));
     conn->read_closed = true;
     conn->close_after_flush = true;
-    server_->closed_oversized_.fetch_add(1, std::memory_order_relaxed);
+    server_->closed_oversized_->Increment();
   }
 
   void DispatchBufferedLines(Connection* conn) {
@@ -528,17 +530,20 @@ class ConnectionServer::Loop {
     uint64_t seq = conn->next_seq++;
     ++conn->in_flight;
     ++conn->requests;
-    server_->dispatched_.fetch_add(1, std::memory_order_relaxed);
+    server_->dispatched_->Increment();
     api::ConnectionContext context;
-    context.connections_active =
-        server_->active_.load(std::memory_order_relaxed);
-    context.connections_accepted =
-        server_->accepted_.load(std::memory_order_relaxed);
+    context.connections_active = server_->active_->Value();
+    context.connections_accepted = server_->accepted_->Value();
     context.connection_requests_served = conn->requests;
+    context.connection_id = static_cast<int64_t>(conn->id);
     ConnectionServer* server = server_;
     uint64_t id = conn->id;
-    pool_->Submit([server, id, seq, context, binary,
+    // Started here, stopped by the worker: the gap is the time the
+    // request sat in the dispatch queue behind other work.
+    telemetry::Timer queue_timer;
+    pool_->Submit([server, id, seq, context, binary, queue_timer,
                    payload = std::move(payload)]() {
+      queue_timer.RecordInto(server->queue_wait_ns_);
       Completion done;
       done.connection_id = id;
       done.seq = seq;
@@ -590,6 +595,24 @@ class ConnectionServer::Loop {
                server_->options_.max_in_flight_per_connection;
   }
 
+  // Folds this connection's unsent-output and read-pause state into the
+  // server-wide gauge/counter. Counts pause *transitions* (entering the
+  // paused state), not iterations spent paused.
+  void UpdateBackpressureTelemetry(Connection* conn) {
+    size_t unsent = conn->out.size() - conn->out_pos;
+    if (unsent != conn->reported_unsent) {
+      server_->write_buffer_bytes_->Add(static_cast<int64_t>(unsent) -
+                                        static_cast<int64_t>(
+                                            conn->reported_unsent));
+      conn->reported_unsent = unsent;
+    }
+    bool paused_now = !conn->read_closed && ReadPaused(*conn);
+    if (paused_now && !conn->counted_paused) {
+      server_->backpressure_pauses_->Increment();
+    }
+    conn->counted_paused = paused_now;
+  }
+
   // Moves consecutive completed frames into the write buffer (FIFO per
   // connection), writes what the socket accepts, enforces backpressure,
   // updates epoll interest, and closes the connection when finished.
@@ -605,11 +628,12 @@ class ConnectionServer::Loop {
       Close(conn, nullptr);
       return;
     }
+    UpdateBackpressureTelemetry(conn);
     size_t unsent = conn->out.size() - conn->out_pos;
     if (unsent > server_->options_.max_pending_output) {
       // Slow client: it is not draining responses as fast as it
       // pipelines requests. Cut it loose rather than buffer unboundedly.
-      Close(conn, &server_->closed_slow_);
+      Close(conn, server_->closed_slow_);
       return;
     }
     bool finished = (conn->read_closed || conn->close_after_flush) &&
@@ -660,9 +684,15 @@ class ConnectionServer::Loop {
     return true;
   }
 
-  void Close(Connection* conn, std::atomic<int64_t>* reason_counter) {
+  void Close(Connection* conn, telemetry::Counter* reason_counter) {
     if (reason_counter != nullptr) {
-      reason_counter->fetch_add(1, std::memory_order_relaxed);
+      reason_counter->Increment();
+    }
+    if (conn->reported_unsent != 0) {
+      // Whatever this connection still had buffered leaves with it.
+      server_->write_buffer_bytes_->Add(
+          -static_cast<int64_t>(conn->reported_unsent));
+      conn->reported_unsent = 0;
     }
     if (conn->in_registered) {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->in_fd, nullptr);
@@ -684,13 +714,14 @@ class ConnectionServer::Loop {
     if (conn->out_fd != conn->in_fd) {
       ::close(conn->out_fd);
     }
-    server_->active_.fetch_add(-1, std::memory_order_relaxed);
+    server_->active_->Add(-1);
     connections_.erase(conn->id);  // invalidates conn
   }
 
   void BeginDrain() {
     draining_ = true;
-    drain_deadline_ms_ = NowMillis() + server_->options_.drain_timeout_ms;
+    drain_deadline_ms_ =
+        MonotonicMillis() + server_->options_.drain_timeout_ms;
     if (listen_fd_ >= 0) {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       ::close(listen_fd_);
@@ -745,7 +776,19 @@ class ConnectionServer::Loop {
 
 ConnectionServer::ConnectionServer(api::Frontend* frontend,
                                    const ConnectionServerOptions& options)
-    : frontend_(frontend), options_(options) {
+    : frontend_(frontend),
+      options_(options),
+      metrics_(std::make_shared<telemetry::MetricRegistry>()),
+      accepted_(metrics_->counter("server.connections_accepted")),
+      active_(metrics_->gauge("server.connections_active")),
+      closed_slow_(metrics_->counter("server.closed_slow")),
+      closed_oversized_(metrics_->counter("server.closed_oversized")),
+      dispatched_(metrics_->counter("server.requests_dispatched")),
+      epoll_wakeups_(metrics_->counter("server.epoll_wakeups")),
+      backpressure_pauses_(
+          metrics_->counter("server.backpressure_pauses")),
+      write_buffer_bytes_(metrics_->gauge("server.write_buffer_bytes")),
+      queue_wait_ns_(metrics_->histogram("server.queue_wait_ns")) {
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
 }
 
@@ -800,14 +843,11 @@ void ConnectionServer::RequestStop() {
 
 ConnectionServerStats ConnectionServer::stats() const {
   ConnectionServerStats stats;
-  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  stats.connections_active = active_.load(std::memory_order_relaxed);
-  stats.connections_closed_slow =
-      closed_slow_.load(std::memory_order_relaxed);
-  stats.connections_closed_oversized =
-      closed_oversized_.load(std::memory_order_relaxed);
-  stats.requests_dispatched =
-      dispatched_.load(std::memory_order_relaxed);
+  stats.connections_accepted = accepted_->Value();
+  stats.connections_active = active_->Value();
+  stats.connections_closed_slow = closed_slow_->Value();
+  stats.connections_closed_oversized = closed_oversized_->Value();
+  stats.requests_dispatched = dispatched_->Value();
   return stats;
 }
 

@@ -46,11 +46,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "wot/api/binary_codec.h"
 #include "wot/api/frontend.h"
+#include "wot/telemetry/metric_registry.h"
 #include "wot/util/macros.h"
 #include "wot/util/result.h"
 #include "wot/util/thread_annotations.h"
@@ -121,6 +123,18 @@ class ConnectionServer {
 
   ConnectionServerStats stats() const;
 
+  /// \brief The registry this server records its transport metrics into
+  /// (server.connections_*, server.requests_dispatched,
+  /// server.epoll_wakeups, server.backpressure_pauses,
+  /// server.queue_wait_ns, server.write_buffer_bytes — see
+  /// docs/observability.md). stats() reads the same instruments, so the
+  /// two views can never disagree. Register it on the serving frontend
+  /// with AddMetricsSource to surface it in `metrics` responses.
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return metrics_;
+  }
+
  private:
   struct Connection;
   struct Completion {
@@ -144,11 +158,20 @@ class ConnectionServer {
   Mutex completions_mu_;
   std::vector<Completion> completions_ WOT_GUARDED_BY(completions_mu_);
 
-  std::atomic<int64_t> accepted_{0};
-  std::atomic<int64_t> active_{0};
-  std::atomic<int64_t> closed_slow_{0};
-  std::atomic<int64_t> closed_oversized_{0};
-  std::atomic<int64_t> dispatched_{0};
+  // Transport instruments (resolved once at construction; the registry
+  // outlives them). stats() and ConnectionContext snapshots read these
+  // same counters, so `stats` responses and `metrics` scrapes agree by
+  // construction.
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  telemetry::Counter* accepted_;
+  telemetry::Gauge* active_;
+  telemetry::Counter* closed_slow_;
+  telemetry::Counter* closed_oversized_;
+  telemetry::Counter* dispatched_;
+  telemetry::Counter* epoll_wakeups_;
+  telemetry::Counter* backpressure_pauses_;
+  telemetry::Gauge* write_buffer_bytes_;
+  telemetry::LatencyHistogram* queue_wait_ns_;
 
   friend class Loop;
 };

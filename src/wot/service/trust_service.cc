@@ -4,8 +4,8 @@
 #include <utility>
 
 #include "wot/core/affiliation.h"
+#include "wot/telemetry/timed.h"
 #include "wot/util/logging.h"
-#include "wot/util/stopwatch.h"
 #include "wot/util/string_util.h"
 
 namespace wot {
@@ -27,6 +27,17 @@ std::string ReviewIdOutOfRangeMessage(int64_t review, int64_t bound) {
 
 TrustService::TrustService(const TrustServiceOptions& options)
     : options_(options),
+      metrics_(std::make_shared<telemetry::MetricRegistry>()),
+      commits_(metrics_->counter("service.commits")),
+      commit_ns_(metrics_->histogram("service.commit_ns")),
+      commit_update_ns_(metrics_->histogram("service.commit_update_ns")),
+      commit_affiliation_ns_(
+          metrics_->histogram("service.commit_affiliation_ns")),
+      commit_postings_ns_(
+          metrics_->histogram("service.commit_postings_ns")),
+      commit_publish_ns_(metrics_->histogram("service.commit_publish_ns")),
+      commit_dirty_categories_(
+          metrics_->histogram("service.commit_dirty_categories")),
       builder_(options.builder),
       engine_(options.reputation) {}
 
@@ -318,7 +329,7 @@ Result<TrustService::CommitStats> TrustService::Commit() {
 }
 
 Result<TrustService::CommitStats> TrustService::CommitLocked() {
-  Stopwatch timer;
+  telemetry::Timer timer;
   CommitStats stats;
   const Dataset& staged = builder_.StagedView();
   std::shared_ptr<const TrustSnapshot> prev =
@@ -343,10 +354,15 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
   DatasetIndices indices(staged);
 
   // Step 1: dirty categories only.
-  WOT_RETURN_IF_ERROR(engine_.Update(staged, indices));
+  {
+    WOT_TIMED(commit_update_ns_);
+    WOT_RETURN_IF_ERROR(engine_.Update(staged, indices));
+  }
   const std::vector<size_t>& dirty_categories =
       engine_.last_recomputed_categories();
   stats.categories_recomputed = dirty_categories.size();
+  commit_dirty_categories_->Record(
+      static_cast<int64_t>(dirty_categories.size()));
   // The snapshot owns an independent copy so later Updates cannot mutate
   // published state behind readers' backs.
   ReputationResult reputation = engine_.result();
@@ -358,17 +374,20 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
   const size_t num_categories = staged.num_categories();
   const size_t prev_users = prev != nullptr ? prev->num_users() : 0;
   DenseMatrix affiliation(num_users, num_categories, 0.0);
-  for (size_t u = 0; u < num_users; ++u) {
-    const bool dirty =
-        u >= prev_users || (u < dirty_users_.size() && dirty_users_[u]);
-    if (dirty) {
-      ComputeAffiliationRow(staged, indices,
-                            UserId(static_cast<uint32_t>(u)),
-                            affiliation.Row(u));
-      ++stats.affiliation_rows_recomputed;
-    } else {
-      auto src = prev->affiliation().Row(u);
-      std::copy(src.begin(), src.end(), affiliation.Row(u).begin());
+  {
+    WOT_TIMED(commit_affiliation_ns_);
+    for (size_t u = 0; u < num_users; ++u) {
+      const bool dirty =
+          u >= prev_users || (u < dirty_users_.size() && dirty_users_[u]);
+      if (dirty) {
+        ComputeAffiliationRow(staged, indices,
+                              UserId(static_cast<uint32_t>(u)),
+                              affiliation.Row(u));
+        ++stats.affiliation_rows_recomputed;
+      } else {
+        auto src = prev->affiliation().Row(u);
+        std::copy(src.begin(), src.end(), affiliation.Row(u).begin());
+      }
     }
   }
 
@@ -378,6 +397,7 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
   // zeros).
   std::vector<ExpertisePostingPtr> postings;
   if (options_.build_postings) {
+    WOT_TIMED(commit_postings_ns_);
     postings.resize(num_categories);
     std::vector<bool> category_dirty(num_categories, false);
     for (size_t c : dirty_categories) {
@@ -416,11 +436,15 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
     category_names = std::move(names);
   }
 
-  std::shared_ptr<const TrustSnapshot> snapshot = TrustSnapshot::Assemble(
-      std::move(reputation), std::move(affiliation), std::move(postings),
-      std::move(user_names), std::move(category_names), next_version_++,
-      staged.num_reviews(), staged.num_ratings());
-  published_.store(snapshot, std::memory_order_release);
+  std::shared_ptr<const TrustSnapshot> snapshot;
+  {
+    WOT_TIMED(commit_publish_ns_);
+    snapshot = TrustSnapshot::Assemble(
+        std::move(reputation), std::move(affiliation), std::move(postings),
+        std::move(user_names), std::move(category_names), next_version_++,
+        staged.num_reviews(), staged.num_ratings());
+    published_.store(snapshot, std::memory_order_release);
+  }
 
   published_users_ = staged.num_users();
   published_categories_ = staged.num_categories();
@@ -430,7 +454,8 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
 
   stats.version = snapshot->version();
   stats.published = true;
-  stats.elapsed_millis = timer.ElapsedMillis();
+  commits_->Increment();
+  stats.elapsed_millis = timer.RecordInto(commit_ns_) / 1e6;
   WOT_LOG(Info) << "published trust snapshot v" << stats.version << " ("
                 << stats.categories_recomputed << " categories, "
                 << stats.affiliation_rows_recomputed

@@ -45,6 +45,7 @@
 #include "wot/reputation/incremental.h"
 #include "wot/service/mutation_log.h"
 #include "wot/service/trust_snapshot.h"
+#include "wot/telemetry/metric_registry.h"
 #include "wot/util/result.h"
 #include "wot/util/thread_annotations.h"
 
@@ -215,6 +216,16 @@ class TrustService {
                                     : DurabilityStats{};
   }
 
+  // --- Telemetry ----------------------------------------------------------
+
+  /// \brief The registry this service records its commit-stage timings
+  /// into (service.commit_*; see docs/observability.md). Owned by the
+  /// service; frontends register it as a scrape source.
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return metrics_;
+  }
+
  private:
   explicit TrustService(const TrustServiceOptions& options);
 
@@ -234,6 +245,18 @@ class TrustService {
   Result<CommitStats> CommitLocked() WOT_REQUIRES(writer_mu_);
 
   TrustServiceOptions options_;
+
+  // Telemetry: the registry outlives every resolved handle below. The
+  // handles are written once, in the constructor, and recorded into only
+  // under writer_mu_ (commit is serialized), so no further guarding.
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  telemetry::Counter* commits_;
+  telemetry::LatencyHistogram* commit_ns_;
+  telemetry::LatencyHistogram* commit_update_ns_;
+  telemetry::LatencyHistogram* commit_affiliation_ns_;
+  telemetry::LatencyHistogram* commit_postings_ns_;
+  telemetry::LatencyHistogram* commit_publish_ns_;
+  telemetry::LatencyHistogram* commit_dirty_categories_;
 
   // Writer state: guarded by writer_mu_. Readers never touch it.
   mutable Mutex writer_mu_;

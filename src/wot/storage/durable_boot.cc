@@ -173,6 +173,9 @@ Result<DurableService> BootDurable(
     result.frontend_impl =
         std::make_unique<api::ServiceFrontend>(result.service.get());
     result.frontend = result.frontend_impl.get();
+    // Surface WAL/rotation timings in the serving frontend's scrapes.
+    result.frontend->AddMetricsSource(
+        result.managers.back()->metrics_registry());
     result.replayed_records = boot.replayed_records;
     result.recovered = boot.recovered;
     return result;
@@ -193,6 +196,10 @@ Result<DurableService> BootDurable(
   WOT_ASSIGN_OR_RETURN(result.router,
                        api::ShardRouter::CreateFromServices(
                            std::move(services)));
+  // One scrape of the router covers every shard's durable store.
+  for (const std::unique_ptr<StorageManager>& manager : result.managers) {
+    result.router->AddMetricsSource(manager->metrics_registry());
+  }
 
   // Router epoch: restore the persisted value, or persist epoch 1 on a
   // fresh directory. A missing file on a RECOVERED directory means the

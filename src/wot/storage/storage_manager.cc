@@ -13,6 +13,7 @@
 
 #include "wot/storage/fs_util.h"
 #include "wot/storage/segment.h"
+#include "wot/telemetry/timed.h"
 #include "wot/util/logging.h"
 
 namespace wot {
@@ -146,7 +147,12 @@ Result<StorageFileSet> ListStorageFiles(const std::string& dir) {
 
 void StorageManager::AppendMutation(const WalRecord& record) {
   if (!degraded_.ok()) return;
+  telemetry::Timer timer;
   Status status = wal_->Append(record);
+  timer.RecordInto(wal_append_ns_);
+  if (status.ok()) {
+    ++records_since_commit_;
+  }
   if (!status.ok()) {
     WOT_LOG(Error) << "wal append failed; durability degraded until "
                       "restart: "
@@ -206,11 +212,19 @@ Status StorageManager::LogCommit(uint64_t version, bool published,
                                  const Dataset& staged) {
   MutexLock lock(mu_);
   if (!degraded_.ok()) return degraded_;
+  commit_batch_records_->Record(records_since_commit_);
+  records_since_commit_ = 0;
   WalRecord record;
   record.type = WalRecordType::kCommit;
   record.version = version;
+  telemetry::Timer append_timer;
   Status status = wal_->Append(record);
-  if (status.ok()) status = wal_->Sync();
+  append_timer.RecordInto(wal_append_ns_);
+  if (status.ok()) {
+    telemetry::Timer sync_timer;
+    status = wal_->Sync();
+    sync_timer.RecordInto(wal_fsync_ns_);
+  }
   if (!status.ok()) {
     WOT_LOG(Error) << "wal commit sync failed; durability degraded "
                       "until restart: "
@@ -219,6 +233,7 @@ Status StorageManager::LogCommit(uint64_t version, bool published,
     return status;
   }
   if (published && version > segment_epoch_) {
+    WOT_TIMED(rotation_ns_);
     RotateLocked(version, snapshot, staged);
   }
   return Status::OK();
@@ -252,6 +267,8 @@ void StorageManager::RotateLocked(uint64_t version,
   segment_epoch_ = version;
   Result<uint64_t> size = FileSizeOf(segment_path);
   segment_bytes_ = size.ok() ? size.ValueOrDie() : 0;
+  rotations_->Increment();
+  rotation_bytes_->Increment(static_cast<int64_t>(segment_bytes_));
 
   // Retention: keep the newest keep_segments segments, drop older ones
   // and every WAL below the oldest keeper (their records are folded into

@@ -45,6 +45,7 @@
 #include "wot/service/mutation_log.h"
 #include "wot/service/trust_service.h"
 #include "wot/storage/wal.h"
+#include "wot/telemetry/metric_registry.h"
 #include "wot/util/result.h"
 #include "wot/util/thread_annotations.h"
 
@@ -103,12 +104,29 @@ class StorageManager : public MutationLog {
 
   const std::string& dir() const { return dir_; }
 
+  /// \brief The registry this manager records its durability timings
+  /// into (storage.wal_*, storage.rotation_*; see
+  /// docs/observability.md). Owned by the manager; the serving frontend
+  /// registers it as a scrape source (durable_boot does the wiring).
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return metrics_;
+  }
+
  private:
   StorageManager(std::string dir, StorageOptions options,
                  std::unique_ptr<WalWriter> wal, uint64_t segment_epoch,
                  uint64_t segment_bytes, uint64_t replayed_records)
       : dir_(std::move(dir)),
         options_(options),
+        metrics_(std::make_shared<telemetry::MetricRegistry>()),
+        wal_append_ns_(metrics_->histogram("storage.wal_append_ns")),
+        wal_fsync_ns_(metrics_->histogram("storage.wal_fsync_ns")),
+        rotation_ns_(metrics_->histogram("storage.rotation_ns")),
+        commit_batch_records_(
+            metrics_->histogram("storage.commit_batch_records")),
+        rotations_(metrics_->counter("storage.rotations")),
+        rotation_bytes_(metrics_->counter("storage.rotation_bytes")),
         wal_(std::move(wal)),
         segment_epoch_(segment_epoch),
         segment_bytes_(segment_bytes),
@@ -125,8 +143,21 @@ class StorageManager : public MutationLog {
   const std::string dir_;
   const StorageOptions options_;
 
+  // Telemetry: handles are written once at construction; the registry
+  // outlives them. Recording happens under mu_ (the log serializes).
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  telemetry::LatencyHistogram* wal_append_ns_;
+  telemetry::LatencyHistogram* wal_fsync_ns_;
+  telemetry::LatencyHistogram* rotation_ns_;
+  telemetry::LatencyHistogram* commit_batch_records_;
+  telemetry::Counter* rotations_;
+  telemetry::Counter* rotation_bytes_;
+
   mutable Mutex mu_;
   std::unique_ptr<WalWriter> wal_ WOT_GUARDED_BY(mu_);
+  /// Mutation records appended since the last LogCommit (the commit
+  /// batch size recorded into storage.commit_batch_records).
+  int64_t records_since_commit_ WOT_GUARDED_BY(mu_) = 0;
   /// First append failure; once non-OK the log stops growing and the
   /// next LogCommit surfaces it.
   Status degraded_ WOT_GUARDED_BY(mu_) = Status::OK();

@@ -1,0 +1,87 @@
+// WOT_TIMED: scoped latency recording, and the Timer the serving stack
+// uses wherever it needs an elapsed-time *value* (slow-request logging,
+// stage timings that also feed a result struct). Both are built on
+// wot::Stopwatch; src/wot/{server,api,service,storage} never touch
+// std::chrono directly (tools/wot_lint.py enforces it), so every timing
+// in those layers is visible to the metric catalog.
+//
+//   telemetry::LatencyHistogram* h = registry->histogram("api.x_ns");
+//   {
+//     WOT_TIMED(h);          // records scope duration (ns) on exit
+//     ...work...
+//   }
+//
+// A null histogram is a cheap no-op, so call sites need no guards; with
+// -DWOT_TELEMETRY_OFF the timer never reads the clock at all.
+#ifndef WOT_TELEMETRY_TIMED_H_
+#define WOT_TELEMETRY_TIMED_H_
+
+#include <cstdint>
+
+#include "wot/telemetry/metric_registry.h"
+#include "wot/util/macros.h"
+#include "wot/util/stopwatch.h"
+
+namespace wot {
+namespace telemetry {
+
+/// \brief A monotonic elapsed-time reading in nanoseconds — the one
+/// clock the instrumented layers use.
+class Timer {
+ public:
+  Timer() = default;
+
+  void Reset() { stopwatch_.Reset(); }
+
+  int64_t ElapsedNanos() const { return stopwatch_.ElapsedNanos(); }
+
+  double ElapsedMillis() const { return stopwatch_.ElapsedMillis(); }
+
+  /// \brief Records the elapsed nanoseconds into \p histogram (null ok)
+  /// and returns them, so one reading can feed a histogram and a stat.
+  int64_t RecordInto(LatencyHistogram* histogram) const {
+    const int64_t nanos = ElapsedNanos();
+    if (histogram != nullptr) {
+      histogram->Record(nanos);
+    }
+    return nanos;
+  }
+
+ private:
+  Stopwatch stopwatch_;
+};
+
+/// \brief Records the lifetime of the scope into a histogram (null ok).
+#ifndef WOT_TELEMETRY_OFF
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedTimer() { timer_.RecordInto(histogram_); }
+  WOT_DISALLOW_COPY_AND_MOVE(ScopedTimer);
+
+ private:
+  LatencyHistogram* histogram_;
+  Timer timer_;
+};
+#else
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram*) {}
+  WOT_DISALLOW_COPY_AND_MOVE(ScopedTimer);
+};
+#endif
+
+#define WOT_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define WOT_TELEMETRY_CONCAT(a, b) WOT_TELEMETRY_CONCAT_INNER(a, b)
+
+/// \brief Times the enclosing scope into \p histogram
+/// (a telemetry::LatencyHistogram*; null is a no-op).
+#define WOT_TIMED(histogram)                                        \
+  ::wot::telemetry::ScopedTimer WOT_TELEMETRY_CONCAT(wot_timed_at_, \
+                                                     __LINE__)(histogram)
+
+}  // namespace telemetry
+}  // namespace wot
+
+#endif  // WOT_TELEMETRY_TIMED_H_

@@ -1,0 +1,51 @@
+// Per-request trace annotations for the slow-request log.
+//
+// A trace id names one frame on one connection — "c<connection>.<seq>"
+// — so a slow-log line in the server's stderr is attributable to the
+// exact request that caused it (the ConnectionServer assigns connection
+// ids; seq is that connection's request ordinal).
+//
+// The shard annotation is a thread-local side channel: the Frontend
+// envelope resets it before dispatching, the ShardRouter sets it while
+// routing, and the envelope reads it back when writing a slow-log line.
+// Dispatch runs start-to-finish on one pool thread, so a thread-local
+// is exactly the lifetime needed — no per-request allocation, no
+// signature changes through every routing layer.
+#ifndef WOT_TELEMETRY_TRACE_H_
+#define WOT_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wot {
+namespace telemetry {
+
+/// \brief The trace id of request \p sequence on connection
+/// \p connection_id. Connection id 0 means "no connection" (loopback).
+inline std::string TraceId(int64_t connection_id, int64_t sequence) {
+  return "c" + std::to_string(connection_id) + "." +
+         std::to_string(sequence);
+}
+
+namespace internal {
+inline thread_local int64_t dispatch_shard = -1;
+}  // namespace internal
+
+/// \brief Annotates the in-flight dispatch with the shard that served
+/// it (ShardRouter routing paths call this).
+inline void SetDispatchShard(int64_t shard) {
+  internal::dispatch_shard = shard;
+}
+
+/// \brief Clears the annotation; the Frontend envelope calls this
+/// before every dispatch.
+inline void ClearDispatchShard() { internal::dispatch_shard = -1; }
+
+/// \brief The annotated shard, or -1 when the request never touched a
+/// ShardRouter routing path.
+inline int64_t DispatchShard() { return internal::dispatch_shard; }
+
+}  // namespace telemetry
+}  // namespace wot
+
+#endif  // WOT_TELEMETRY_TRACE_H_

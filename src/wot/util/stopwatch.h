@@ -1,8 +1,12 @@
-// Wall-clock timing for experiment harnesses.
+// Wall-clock timing for experiment harnesses — and the one place the
+// serving stack is allowed to read a clock (wot/telemetry builds its
+// Timer/WOT_TIMED on Stopwatch; tools/wot_lint.py forbids raw
+// std::chrono timing in the instrumented layers).
 #ifndef WOT_UTIL_STOPWATCH_H_
 #define WOT_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace wot {
 
@@ -19,10 +23,24 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// \brief Milliseconds on the monotonic clock, for deadline arithmetic
+/// (no epoch meaning; only differences are meaningful).
+inline int64_t MonotonicMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace wot
 

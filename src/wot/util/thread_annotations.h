@@ -23,7 +23,9 @@
 #ifndef WOT_UTIL_THREAD_ANNOTATIONS_H_
 #define WOT_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "wot/util/macros.h"
@@ -140,6 +142,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// \brief Wait(), but returns (spuriously or on notify) after at most
+  /// \p millis milliseconds. Returns true when notified before the
+  /// deadline (std::cv_status::no_timeout) — callers still re-check
+  /// their guarded predicate in a loop either way.
+  bool WaitForMillis(Mutex& mu, int64_t millis) WOT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::milliseconds(millis));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -80,6 +80,7 @@ std::vector<std::string> SeedFrames() {
       R"({"v":1,"id":8,"method":"ingest_rating","params":{"rater":"u3","review":1,"value":0.8}})",
       R"({"v":1,"id":9,"method":"commit"})",
       R"({"v":1,"id":10,"method":"stats","params":{}})",
+      R"({"v":1,"id":11,"method":"metrics"})",
   };
 }
 
@@ -193,7 +194,7 @@ std::vector<std::string> SeedBinaryFrames() {
            ExplainQuery{"u2", "u0"}, IngestUser{"fuzz"},
            IngestCategory{"c"}, IngestObject{"movies", "o"},
            IngestReview{"u3", 0}, IngestRating{"u3", 1, 0.8},
-           CommitRequest{}, StatsRequest{}}) {
+           CommitRequest{}, StatsRequest{}, MetricsRequest{}}) {
     Request request;
     request.id = id++;
     request.payload = std::move(payload);

@@ -349,6 +349,7 @@ TEST(CodecTest, MethodNameTableMatchesVariantOrder) {
             std::variant_size_v<RequestPayload>);
   EXPECT_EQ(std::string(MethodName(TrustQuery{})), "trust");
   EXPECT_EQ(std::string(MethodName(StatsRequest{})), "stats");
+  EXPECT_EQ(std::string(MethodName(MetricsRequest{})), "metrics");
 }
 
 }  // namespace

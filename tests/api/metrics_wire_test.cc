@@ -1,0 +1,315 @@
+// The `metrics` method's wire contract. Three claims:
+//
+//  1. Field identity (property-tested): a MetricsResult pushed through
+//     the NDJSON codec and through the v2 binary codec decodes back to
+//     the SAME payload — every counter, gauge, histogram field,
+//     including bit-exact doubles (JsonWriter emits shortest
+//     round-trip form). The two wire formats can never disagree.
+//  2. A live frontend's scrape is well-formed: sorted names, sane
+//     quantile ordering, non-zero per-method latency after a workload.
+//  3. The `stats` reply is BYTE-identical to what it was before the
+//     telemetry migration (satellite regression: counters moved onto
+//     the registry must not change the wire by a single byte).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "testing/fixtures.h"
+#include "wot/api/api.h"
+#include "wot/api/binary_codec.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
+#include "wot/service/trust_service.h"
+
+namespace wot {
+namespace api {
+namespace {
+
+double RandomDouble(std::mt19937_64& rng) {
+  // Mix of magnitudes, including awkward non-representable decimals.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> scale(0, 9);
+  return unit(rng) * std::pow(10.0, scale(rng));
+}
+
+MetricsResult RandomMetricsResult(std::mt19937_64& rng) {
+  MetricsResult result;
+  result.snapshot_version = rng() % 1000;
+  std::uniform_int_distribution<int> count(0, 8);
+  std::uniform_int_distribution<int64_t> value(-1000000, 1000000);
+  const int counters = count(rng);
+  for (int i = 0; i < counters; ++i) {
+    result.counters.push_back(
+        {"c" + std::to_string(i), static_cast<int64_t>(rng() % 999999)});
+  }
+  const int gauges = count(rng);
+  for (int i = 0; i < gauges; ++i) {
+    result.gauges.push_back({"g" + std::to_string(i), value(rng)});
+  }
+  const int histograms = count(rng);
+  for (int i = 0; i < histograms; ++i) {
+    MetricHistogramValue h;
+    h.name = "h" + std::to_string(i) + ".lat_ns";
+    h.count = static_cast<int64_t>(rng() % 100000);
+    h.sum = static_cast<int64_t>(rng() % (int64_t{1} << 40));
+    h.min = static_cast<int64_t>(rng() % 1000);
+    h.max = h.min + static_cast<int64_t>(rng() % (int64_t{1} << 30));
+    h.p50 = RandomDouble(rng);
+    h.p90 = h.p50 + RandomDouble(rng);
+    h.p99 = h.p90 + RandomDouble(rng);
+    h.p999 = h.p99 + RandomDouble(rng);
+    result.histograms.push_back(h);
+  }
+  return result;
+}
+
+TEST(MetricsWireProperty, NdjsonAndBinaryResponsesAreFieldIdentical) {
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    Response response;
+    response.id = static_cast<int64_t>(rng() % 100000);
+    response.payload = RandomMetricsResult(rng);
+
+    Response via_ndjson;
+    ASSERT_TRUE(
+        DecodeResponse(EncodeResponse(response), &via_ndjson).ok());
+    Response via_binary;
+    ASSERT_TRUE(
+        DecodeResponseBinary(EncodeResponseBinary(response), &via_binary)
+            .ok());
+
+    const MetricsResult& original =
+        std::get<MetricsResult>(response.payload);
+    ASSERT_TRUE(std::holds_alternative<MetricsResult>(via_ndjson.payload))
+        << "trial " << trial;
+    ASSERT_TRUE(std::holds_alternative<MetricsResult>(via_binary.payload))
+        << "trial " << trial;
+    // Both decodes match the original — and therefore each other —
+    // field for field (operator== covers every member, doubles
+    // bit-exact).
+    EXPECT_EQ(std::get<MetricsResult>(via_ndjson.payload), original)
+        << "trial " << trial;
+    EXPECT_EQ(std::get<MetricsResult>(via_binary.payload), original)
+        << "trial " << trial;
+    EXPECT_EQ(via_ndjson.id, response.id);
+    EXPECT_EQ(via_binary.id, response.id);
+  }
+}
+
+TEST(MetricsWireProperty, MetricsRequestRoundTripsBothCodecs) {
+  Request request;
+  request.id = 77;
+  request.payload = MetricsRequest{};
+
+  Request via_ndjson;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &via_ndjson).ok());
+  EXPECT_TRUE(std::holds_alternative<MetricsRequest>(via_ndjson.payload));
+  EXPECT_EQ(via_ndjson.id, 77);
+
+  Request via_binary;
+  ASSERT_TRUE(
+      DecodeRequestBinary(EncodeRequestBinary(request), &via_binary)
+          .ok());
+  EXPECT_TRUE(std::holds_alternative<MetricsRequest>(via_binary.payload));
+  EXPECT_EQ(via_binary.id, 77);
+}
+
+class MetricsFrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = TrustService::Create(testing::TinyCommunity()).ValueOrDie();
+    frontend_ = std::make_unique<ServiceFrontend>(service_.get());
+  }
+
+  Response Call(RequestPayload payload) {
+    Request request;
+    request.id = ++next_id_;
+    request.payload = std::move(payload);
+    return frontend_->Dispatch(request);
+  }
+
+  int64_t next_id_ = 0;
+  std::unique_ptr<TrustService> service_;
+  std::unique_ptr<ServiceFrontend> frontend_;
+};
+
+TEST_F(MetricsFrontendTest, ScrapeIsSortedSaneAndNonZeroAfterWorkload) {
+  ASSERT_TRUE(Call(TrustQuery{"u0", "u1"}).status.ok());
+  ASSERT_TRUE(Call(TrustQuery{"u2", "u0"}).status.ok());
+  ASSERT_TRUE(Call(StatsRequest{}).status.ok());
+  ASSERT_TRUE(Call(IngestUser{"metrics-probe"}).status.ok());
+  ASSERT_TRUE(Call(CommitRequest{}).status.ok());
+
+  Response response = Call(MetricsRequest{});
+  ASSERT_TRUE(response.status.ok());
+  const MetricsResult& metrics =
+      std::get<MetricsResult>(response.payload);
+
+  auto sorted = [](const auto& entries) {
+    for (size_t i = 1; i < entries.size(); ++i) {
+      if (!(entries[i - 1].name < entries[i].name)) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(sorted(metrics.counters));
+  EXPECT_TRUE(sorted(metrics.gauges));
+  EXPECT_TRUE(sorted(metrics.histograms));
+
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const MetricValue& c : metrics.counters) {
+      if (c.name == name) return c.value;
+    }
+    return -1;
+  };
+  // The metrics request itself is counted before it scrapes.
+  EXPECT_EQ(counter("api.requests_served"), 6);
+  EXPECT_EQ(counter("api.errors"), 0);
+  // The boot commit inside TrustService::Create counts too.
+  EXPECT_EQ(counter("service.commits"), 2);
+
+  bool saw_trust = false;
+  bool saw_commit_apply = false;
+  for (const MetricHistogramValue& h : metrics.histograms) {
+    // Every reported latency histogram is internally consistent.
+    EXPECT_GE(h.count, 0) << h.name;
+    EXPECT_LE(h.min, h.max) << h.name;
+    EXPECT_LE(h.p50, h.p90) << h.name;
+    EXPECT_LE(h.p90, h.p99) << h.name;
+    EXPECT_LE(h.p99, h.p999) << h.name;
+    if (h.name == "api.latency_ns.trust") {
+      saw_trust = true;
+      EXPECT_EQ(h.count, 2);
+      EXPECT_GT(h.sum, 0);
+      EXPECT_GT(h.p50, 0.0);
+    }
+    if (h.name == "service.commit_ns") {
+      saw_commit_apply = true;
+      EXPECT_EQ(h.count, 2);  // boot commit + the explicit one
+    }
+  }
+  EXPECT_TRUE(saw_trust) << "api.latency_ns.trust missing from scrape";
+  EXPECT_TRUE(saw_commit_apply)
+      << "service.commit_ns missing from scrape";
+  EXPECT_EQ(metrics.snapshot_version, 2u);  // boot snapshot + 1 commit
+}
+
+TEST_F(MetricsFrontendTest, NdjsonAndBinaryScrapesAgreeOnShape) {
+  ASSERT_TRUE(Call(TrustQuery{"u0", "u1"}).status.ok());
+
+  // Two scrapes moments apart: values may advance (the first scrape is
+  // itself a counted request), but the metric NAME SETS are identical
+  // and counters only ever grow.
+  std::string ndjson_reply =
+      frontend_->DispatchLine(R"({"v":1,"id":1,"method":"metrics"})");
+  Response ndjson_response;
+  ASSERT_TRUE(DecodeResponse(ndjson_reply, &ndjson_response).ok());
+  ASSERT_TRUE(ndjson_response.status.ok()) << ndjson_reply;
+
+  Request binary_request;
+  binary_request.id = 2;
+  binary_request.payload = MetricsRequest{};
+  Response binary_response;
+  ASSERT_TRUE(
+      DecodeResponseBinary(
+          frontend_->DispatchFrame(EncodeRequestBinary(binary_request)),
+          &binary_response)
+          .ok());
+  ASSERT_TRUE(binary_response.status.ok());
+
+  const MetricsResult& a = std::get<MetricsResult>(ndjson_response.payload);
+  const MetricsResult& b = std::get<MetricsResult>(binary_response.payload);
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i].name, b.counters[i].name);
+    EXPECT_LE(a.counters[i].value, b.counters[i].value)
+        << a.counters[i].name;
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (size_t i = 0; i < a.histograms.size(); ++i) {
+    EXPECT_EQ(a.histograms[i].name, b.histograms[i].name);
+    EXPECT_LE(a.histograms[i].count, b.histograms[i].count);
+  }
+}
+
+TEST_F(MetricsFrontendTest, ShardRouterScrapeCoversShardsWithoutDoubleCount) {
+  std::unique_ptr<ShardRouter> router =
+      ShardRouter::Create(testing::TinyCommunity(), 3).ValueOrDie();
+  Request request;
+  request.id = 1;
+  request.payload = StatsRequest{};
+  ASSERT_TRUE(router->Dispatch(request).status.ok());
+
+  request.id = 2;
+  request.payload = MetricsRequest{};
+  Response response = router->Dispatch(request);
+  ASSERT_TRUE(response.status.ok());
+  const MetricsResult& metrics =
+      std::get<MetricsResult>(response.payload);
+
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const MetricValue& c : metrics.counters) {
+      if (c.name == name) return c.value;
+    }
+    return -1;
+  };
+  // api.* counters come from the ROUTER's registry only — shard
+  // frontends are not merged, so one routed request counts once.
+  EXPECT_EQ(counter("api.requests_served"), 2);
+  // service.* metrics come from the shards' service registries: each of
+  // the 3 shards ran its boot commit, and they merge additively.
+  EXPECT_EQ(counter("service.commits"), 3);
+  bool saw_scatter = false;
+  for (const MetricHistogramValue& h : metrics.histograms) {
+    if (h.name == "router.scatter_width") saw_scatter = true;
+  }
+  EXPECT_TRUE(saw_scatter) << "router.scatter_width missing";
+}
+
+// ---------------------------------------------------------------------------
+// Stats byte-identity regression (satellite: migrating the frontend's
+// ad-hoc atomics onto the MetricRegistry must leave the stats wire
+// format untouched, byte for byte).
+
+TEST(StatsByteIdentityTest, WireLineIsFrozen) {
+  std::unique_ptr<TrustService> service =
+      TrustService::Create(testing::TinyCommunity()).ValueOrDie();
+  ServiceFrontend frontend(service.get());
+
+  // A fixed little workload so the counters are non-trivial.
+  frontend.DispatchLine(
+      R"({"v":1,"id":1,"method":"trust","params":{"source":"u0","target":"u1"}})");
+  frontend.DispatchLine(
+      R"({"v":1,"id":2,"method":"trust","params":{"source":"ghost","target":"u0"}})");
+  frontend.DispatchLine(
+      R"({"v":1,"id":3,"method":"ingest_user","params":{"name":"frozen"}})");
+  frontend.DispatchLine(R"({"v":1,"id":4,"method":"commit"})");
+
+  ConnectionContext context;
+  context.connections_active = 3;
+  context.connections_accepted = 9;
+  context.connection_requests_served = 5;
+  context.connection_id = 2;
+  std::string reply = frontend.DispatchLine(
+      R"({"v":1,"id":5,"method":"stats"})", context);
+
+  // Golden line: the exact bytes the pre-telemetry frontend produced.
+  // Any byte of drift here is a wire regression, not a formatting
+  // choice.
+  EXPECT_EQ(
+      reply,
+      "{\"v\":1,\"id\":5,\"status\":\"OK\",\"result_type\":\"stats\","
+      "\"result\":{\"snapshot_version\":2,\"users\":5,\"categories\":2,"
+      "\"reviews\":3,\"ratings\":4,\"service_boots\":1,"
+      "\"requests_served\":5,\"connections_active\":3,"
+      "\"connections_accepted\":9,\"connection_requests_served\":5}}");
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace wot

@@ -1,0 +1,147 @@
+// Property tests for the telemetry layer's load-bearing algebraic
+// claim: fixed bucket boundaries make histograms MERGEABLE — recording
+// a stream sharded across K histograms and merging their snapshots
+// yields exactly the snapshot of the whole stream recorded into one
+// histogram. Everything the scrape path does (stripe folding, shard
+// fan-in, AddMetricsSource merging) rests on this.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "wot/telemetry/metric_registry.h"
+
+namespace wot {
+namespace telemetry {
+namespace {
+
+// Heavy-tailed sample shape: mostly small values, occasional huge ones
+// — the shape real latency streams have, and the one that exercises
+// every octave.
+int64_t DrawSample(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> shift(0, 50);
+  std::uniform_int_distribution<int64_t> mantissa(0, 255);
+  return mantissa(rng) << shift(rng);
+}
+
+TEST(HistogramMergeProperty, ShardedMergeEqualsSingleStream) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<size_t> num_shards(2, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t shards = num_shards(rng);
+    LatencyHistogram whole;
+    std::vector<std::unique_ptr<LatencyHistogram>> parts;
+    for (size_t s = 0; s < shards; ++s) {
+      parts.push_back(std::make_unique<LatencyHistogram>());
+    }
+    std::uniform_int_distribution<size_t> pick(0, shards - 1);
+    const int samples = 500 + static_cast<int>(rng() % 1000);
+    for (int i = 0; i < samples; ++i) {
+      const int64_t v = DrawSample(rng);
+      whole.Record(v);
+      parts[pick(rng)]->Record(v);
+    }
+    HistogramSnapshot merged = parts[0]->Snapshot("h");
+    for (size_t s = 1; s < shards; ++s) {
+      merged.MergeFrom(parts[s]->Snapshot("h"));
+    }
+    HistogramSnapshot expected = whole.Snapshot("h");
+    ASSERT_EQ(merged.count, expected.count) << "trial " << trial;
+    ASSERT_EQ(merged.sum, expected.sum) << "trial " << trial;
+    ASSERT_EQ(merged.buckets, expected.buckets) << "trial " << trial;
+    // Identical buckets imply identical quantiles; spot-check anyway.
+    EXPECT_EQ(merged.Quantile(0.5), expected.Quantile(0.5));
+    EXPECT_EQ(merged.Quantile(0.99), expected.Quantile(0.99));
+  }
+}
+
+TEST(HistogramQuantileProperty, MonotoneInQAndBracketedByExtrema) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    LatencyHistogram h;
+    const int samples = 1 + static_cast<int>(rng() % 2000);
+    for (int i = 0; i < samples; ++i) {
+      h.Record(DrawSample(rng));
+    }
+    HistogramSnapshot snap = h.Snapshot("q");
+    double prev = -1.0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+      const double value = snap.Quantile(q);
+      EXPECT_GE(value, prev) << "q=" << q << " trial " << trial;
+      prev = value;
+    }
+    // Quantiles live within the recorded range, up to bucket width.
+    EXPECT_GE(snap.Quantile(0.0),
+              static_cast<double>(snap.ApproxMin()));
+    const size_t max_bucket =
+        LatencyHistogram::BucketIndex(snap.ApproxMax());
+    EXPECT_LE(snap.Quantile(1.0),
+              static_cast<double>(
+                  LatencyHistogram::BucketUpperBound(max_bucket)));
+  }
+}
+
+TEST(BucketIndexProperty, MonotoneOverRandomPairs) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 20000; ++trial) {
+    int64_t a = DrawSample(rng);
+    int64_t b = DrawSample(rng);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(LatencyHistogram::BucketIndex(a),
+              LatencyHistogram::BucketIndex(b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(RegistryMergeProperty, MergeOfScrapesEqualsScrapeOfUnion) {
+  // Recording a workload split across two registries and merging their
+  // scrapes equals recording it all into one registry: counters sum,
+  // gauges sum, histograms merge — for any interleaving.
+  std::mt19937_64 rng(20260801);
+  const std::vector<std::string> counter_names = {"a.req", "b.req",
+                                                  "c.err"};
+  const std::vector<std::string> histogram_names = {"a.lat_ns",
+                                                    "b.lat_ns"};
+  for (int trial = 0; trial < 20; ++trial) {
+    MetricRegistry whole;
+    MetricRegistry left;
+    MetricRegistry right;
+    const int ops = 200 + static_cast<int>(rng() % 400);
+    for (int i = 0; i < ops; ++i) {
+      MetricRegistry* part = (rng() & 1) ? &left : &right;
+      if (rng() % 3 == 0) {
+        const std::string& name =
+            histogram_names[rng() % histogram_names.size()];
+        const int64_t v = DrawSample(rng);
+        whole.histogram(name)->Record(v);
+        part->histogram(name)->Record(v);
+      } else {
+        const std::string& name =
+            counter_names[rng() % counter_names.size()];
+        const int64_t d = 1 + static_cast<int64_t>(rng() % 5);
+        whole.counter(name)->Increment(d);
+        part->counter(name)->Increment(d);
+      }
+    }
+    MetricsSnapshot merged = left.Scrape();
+    merged.MergeFrom(right.Scrape());
+    MetricsSnapshot expected = whole.Scrape();
+    ASSERT_EQ(merged.counters, expected.counters) << "trial " << trial;
+    ASSERT_EQ(merged.histograms.size(), expected.histograms.size());
+    for (size_t h = 0; h < merged.histograms.size(); ++h) {
+      EXPECT_EQ(merged.histograms[h].name, expected.histograms[h].name);
+      EXPECT_EQ(merged.histograms[h].count,
+                expected.histograms[h].count);
+      EXPECT_EQ(merged.histograms[h].sum, expected.histograms[h].sum);
+      EXPECT_EQ(merged.histograms[h].buckets,
+                expected.histograms[h].buckets);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace wot

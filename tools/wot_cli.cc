@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <variant>
@@ -42,6 +43,7 @@
 #include "wot/synth/generator.h"
 #include "wot/util/flags.h"
 #include "wot/util/string_util.h"
+#include "wot/util/table_printer.h"
 
 namespace wot {
 namespace {
@@ -388,6 +390,123 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdMetrics(int argc, char** argv) {
+  std::string data;
+  std::string connect;
+  std::string protocol = "ndjson";
+  int64_t shards = 1;
+  FlagParser flags(
+      "wot_cli metrics",
+      "Scrape the telemetry registry through the versioned API and "
+      "render it as tables: counters, gauges, and latency-histogram "
+      "quantiles (nanoseconds for *_ns metrics; see "
+      "docs/observability.md for the catalog). With --connect the "
+      "scrape hits a resident wot_served process; otherwise an "
+      "in-process service is booted (its counters show just this "
+      "invocation's traffic)");
+  flags.AddString("data", &data,
+                  "dataset directory or .wotb file (in-process mode)");
+  flags.AddString("connect", &connect,
+                  "resident wot_served server: a unix socket path or a "
+                  "TCP host:port (detected by ':' with no '/')");
+  flags.AddInt64("shards", &shards,
+                 "shard the in-process service across this many "
+                 "TrustServices behind a ShardRouter (1 = unsharded)");
+  flags.AddString("protocol", &protocol,
+                  "wire protocol: 'ndjson' (v1 lines) or 'binary' (v2 "
+                  "frames)");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc, argv));
+  Result<api::WireProtocol> wire = api::WireProtocolFromName(protocol);
+  if (!wire.ok()) {
+    return Fail(Status::InvalidArgument(wire.status().ToString() + "\n" +
+                                        flags.Usage()));
+  }
+  if (shards <= 0) {
+    return Fail(Status::InvalidArgument("--shards must be positive"));
+  }
+  if (!connect.empty() && !data.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--connect and --data are mutually exclusive"));
+  }
+  if (connect.empty() && data.empty()) {
+    return Fail(Status::InvalidArgument(
+        "need --connect (resident server) or --data (in-process)\n" +
+        flags.Usage()));
+  }
+  if (!connect.empty() && shards != 1) {
+    return Fail(Status::InvalidArgument(
+        "--shards applies to the in-process service; the resident "
+        "server picks its own sharding"));
+  }
+
+  std::unique_ptr<TrustService> service;
+  std::unique_ptr<api::Frontend> frontend;
+  std::unique_ptr<api::ApiClient> client;
+  if (!connect.empty()) {
+    bool tcp = connect.find(':') != std::string::npos &&
+               connect.find('/') == std::string::npos;
+    Result<std::unique_ptr<api::SocketClient>> socket =
+        tcp ? api::SocketClient::ConnectTcp(connect, wire.ValueOrDie())
+            : api::SocketClient::Connect(connect, wire.ValueOrDie());
+    if (!socket.ok()) return Fail(socket.status());
+    client = std::move(socket).ValueOrDie();
+  } else {
+    Result<Dataset> dataset = LoadAny(data);
+    if (!dataset.ok()) return Fail(dataset.status());
+    if (shards == 1) {
+      Result<std::unique_ptr<TrustService>> booted =
+          TrustService::Create(dataset.ValueOrDie());
+      if (!booted.ok()) return Fail(booted.status());
+      service = std::move(booted).ValueOrDie();
+      frontend = std::make_unique<api::ServiceFrontend>(service.get());
+    } else {
+      Result<std::unique_ptr<api::ShardRouter>> booted =
+          api::ShardRouter::Create(dataset.ValueOrDie(),
+                                   static_cast<size_t>(shards));
+      if (!booted.ok()) return Fail(booted.status());
+      frontend = std::move(booted).ValueOrDie();
+    }
+    const bool through_codec =
+        wire.ValueOrDie() == api::WireProtocol::kBinary;
+    client = std::make_unique<api::LoopbackClient>(
+        frontend.get(), through_codec, wire.ValueOrDie());
+  }
+
+  Result<api::MetricsResult> scraped =
+      CallApi<api::MetricsResult>(client.get(), api::MetricsRequest{});
+  if (!scraped.ok()) return Fail(scraped.status());
+  const api::MetricsResult& metrics = scraped.ValueOrDie();
+  std::printf("telemetry snapshot (epoch %llu)\n\n",
+              static_cast<unsigned long long>(metrics.snapshot_version));
+
+  TablePrinter counters({"counter", "value"});
+  for (const api::MetricValue& counter : metrics.counters) {
+    counters.AddRow({counter.name, std::to_string(counter.value)});
+  }
+  counters.Print(std::cout);
+  std::printf("\n");
+
+  TablePrinter gauges({"gauge", "value"});
+  for (const api::MetricValue& gauge : metrics.gauges) {
+    gauges.AddRow({gauge.name, std::to_string(gauge.value)});
+  }
+  gauges.Print(std::cout);
+  std::printf("\n");
+
+  // Histogram values are raw samples — nanoseconds for *_ns metrics,
+  // plain counts for the width/size histograms.
+  TablePrinter histograms({"histogram", "count", "min", "p50", "p90",
+                           "p99", "p99.9", "max"});
+  for (const api::MetricHistogramValue& h : metrics.histograms) {
+    histograms.AddRow({h.name, std::to_string(h.count),
+                       std::to_string(h.min), FormatDouble(h.p50, 1),
+                       FormatDouble(h.p90, 1), FormatDouble(h.p99, 1),
+                       FormatDouble(h.p999, 1), std::to_string(h.max)});
+  }
+  histograms.Print(std::cout);
+  return 0;
+}
+
 // Dumps one storage directory's segments and WALs; returns how many
 // files are corrupt. A torn WAL *tail* is recoverable by design (the
 // server truncates it at boot) so it is reported but not counted.
@@ -514,6 +633,7 @@ void PrintUsage() {
       "  derive     derive the web of trust, export top-k per user\n"
       "  validate   Table-4 validation against explicit trust\n"
       "  query      serve trust queries (top-k / pairwise / --explain)\n"
+      "  metrics    scrape and tabulate a server's telemetry registry\n"
       "  storage    inspect a --data_dir durable storage directory\n\n"
       "run `wot_cli <command> --help` for the command's flags.\n");
 }
@@ -533,6 +653,7 @@ int Main(int argc, char** argv) {
   if (command == "derive") return CmdDerive(sub_argc, sub_argv);
   if (command == "validate") return CmdValidate(sub_argc, sub_argv);
   if (command == "query") return CmdQuery(sub_argc, sub_argv);
+  if (command == "metrics") return CmdMetrics(sub_argc, sub_argv);
   if (command == "storage") return CmdStorage(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();

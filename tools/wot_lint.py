@@ -24,6 +24,14 @@ Checks (see docs/static_analysis.md for the policy behind each):
                           thread-safety NOLINT inside
                           src/wot/{service,server,api,util} (the serving
                           stack is proved, not waived).
+             * chrono   — no raw std::chrono (or <chrono> include) in
+                          src/wot/{server,api,service,storage}: timing
+                          in the instrumented layers goes through
+                          wot::Stopwatch / telemetry::Timer / WOT_TIMED
+                          so every measurement is visible to the metric
+                          catalog (docs/observability.md). The telemetry
+                          and util layers implement the clock and are
+                          exempt.
 
   headers  Every header under src/wot/ compiles as a standalone
            translation unit (catches missing includes that only stay
@@ -348,6 +356,41 @@ def check_suppressions(root, findings, files=None):
 
 
 # --------------------------------------------------------------------------
+# Rule: chrono — instrumented layers time through telemetry, not raw
+# std::chrono
+# --------------------------------------------------------------------------
+
+CHRONO_DIRS = ("src/wot/server", "src/wot/api", "src/wot/service",
+               "src/wot/storage")
+CHRONO_PATTERNS = [
+    (re.compile(r"std\s*::\s*chrono\b"), "std::chrono"),
+    (re.compile(r"#\s*include\s*<chrono>"), "#include <chrono>"),
+]
+
+
+def _under_chrono_dirs(rel):
+    rel = rel.replace(os.sep, "/")
+    return any(rel.startswith(d + "/") for d in CHRONO_DIRS)
+
+
+def check_chrono(root, findings, files=None):
+    if files is None:
+        files = [f for f in repo_files(root, ["src/wot"])
+                 if _under_chrono_dirs(f)]
+    for rel in files:
+        text = strip_comments_and_strings(
+            open(os.path.join(root, rel), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, name in CHRONO_PATTERNS:
+                if pattern.search(line):
+                    findings.add(rel, lineno, "chrono",
+                                 f"raw {name} in an instrumented layer; "
+                                 "time through wot::Stopwatch / "
+                                 "telemetry::Timer / WOT_TIMED so the "
+                                 "measurement reaches the metric catalog")
+
+
+# --------------------------------------------------------------------------
 # Check: headers — every src/wot header compiles standalone
 # --------------------------------------------------------------------------
 
@@ -398,6 +441,14 @@ class TrustSnapshot {
 
 SEEDED_SUPPRESSION = """namespace wot {
 inline void Bad() WOT_NO_THREAD_SAFETY_ANALYSIS {}
+}
+"""
+
+SEEDED_CHRONO = """#include <chrono>
+namespace wot {
+inline long Bad() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
 }
 """
 
@@ -458,6 +509,27 @@ def run_self_test(cxx):
         f = Findings()
         check_suppressions(tmp, f, files=[bad_supp])
         expect("seeded suppression", f, "suppress", True)
+
+        # A raw std::chrono in an instrumented layer is flagged; the
+        # same text under the exempt telemetry layer is not (the default
+        # file set never includes it).
+        bad_chrono = put("src/wot/service/bad_chrono.h", SEEDED_CHRONO)
+        f = Findings()
+        check_chrono(tmp, f, files=[bad_chrono])
+        expect("seeded chrono", f, "chrono", True)
+
+        telemetry = os.path.join(tmp, "src", "wot", "telemetry")
+        os.makedirs(telemetry)
+        put("src/wot/telemetry/clock_impl.h", SEEDED_CHRONO)
+        f = Findings()
+        check_chrono(tmp, f)
+        hits = {path for path, _, r, _ in f.items if r == "chrono"}
+        if bad_chrono not in hits:
+            failures.append("seeded chrono violation was not flagged by "
+                            "the default file walk")
+        if any("telemetry" in path for path in hits):
+            failures.append("exempt telemetry layer was falsely flagged "
+                            "by the chrono rule")
 
         # A waived stdout write is accepted; an unwaived one next to it
         # is still flagged.
@@ -531,6 +603,7 @@ def main(argv):
         check_stdout(root, findings)
         check_snapshot_immutable(root, findings)
         check_suppressions(root, findings)
+        check_chrono(root, findings)
     if args.check in ("headers", "all"):
         checked_headers = check_headers(root, findings, args.cxx,
                                         jobs=args.jobs)

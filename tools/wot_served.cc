@@ -59,8 +59,10 @@
 #include "wot/service/trust_service.h"
 #include "wot/storage/durable_boot.h"
 #include "wot/synth/generator.h"
+#include "wot/telemetry/metric_registry.h"
 #include "wot/util/check.h"
 #include "wot/util/flags.h"
+#include "wot/util/thread_annotations.h"
 
 namespace wot {
 namespace {
@@ -82,6 +84,82 @@ int Fail(const Status& status) {
                status.ToString().c_str());
   return 1;
 }
+
+// --metrics_interval_secs: a background thread that scrapes the serving
+// frontend every interval and logs ONE summary line to stderr, so an
+// operator tailing the log sees load and latency without issuing
+// `metrics` requests. Scraping never blocks the request path (the
+// registry's hot path is a relaxed fetch-add; the scrape folds stripes).
+class MetricsReporter {
+ public:
+  MetricsReporter(api::Frontend* frontend, int64_t interval_secs)
+      : frontend_(frontend), interval_millis_(interval_secs * 1000) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~MetricsReporter() {
+    {
+      MutexLock lock(mu_);
+      stopping_ = true;
+    }
+    cv_.NotifyAll();
+    thread_.join();
+  }
+
+ private:
+  void Run() WOT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!stopping_) {
+      cv_.WaitForMillis(mu_, interval_millis_);
+      if (stopping_) break;
+      Report();
+    }
+  }
+
+  void Report() {
+    telemetry::MetricsSnapshot snapshot = frontend_->ScrapeMetrics();
+    auto value_of =
+        [](const std::vector<std::pair<std::string, int64_t>>& values,
+           std::string_view name) -> int64_t {
+      for (const auto& [metric, value] : values) {
+        if (metric == name) return value;
+      }
+      return 0;
+    };
+    // One request-latency view across every method.
+    telemetry::HistogramSnapshot api_latency;
+    for (const telemetry::HistogramSnapshot& h : snapshot.histograms) {
+      if (h.name.rfind("api.latency_ns.", 0) != 0) continue;
+      if (api_latency.buckets.empty()) {
+        api_latency = h;
+      } else {
+        api_latency.MergeFrom(h);
+      }
+    }
+    std::fprintf(
+        stderr,
+        "wot_served: metrics requests=%lld errors=%lld slow=%lld "
+        "commits=%lld active_conns=%lld api_p50_us=%.1f "
+        "api_p99_us=%.1f\n",
+        static_cast<long long>(
+            value_of(snapshot.counters, "api.requests_served")),
+        static_cast<long long>(value_of(snapshot.counters, "api.errors")),
+        static_cast<long long>(
+            value_of(snapshot.counters, "api.slow_requests")),
+        static_cast<long long>(
+            value_of(snapshot.counters, "service.commits")),
+        static_cast<long long>(
+            value_of(snapshot.gauges, "server.connections_active")),
+        api_latency.Quantile(0.5) / 1e3, api_latency.Quantile(0.99) / 1e3);
+  }
+
+  api::Frontend* frontend_;
+  const int64_t interval_millis_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ WOT_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
 
 Result<Dataset> BootDataset(const std::string& data, int64_t users,
                             int64_t seed) {
@@ -112,11 +190,18 @@ Result<Dataset> BootDataset(const std::string& data, int64_t users,
 // path. Returns at stdin EOF, a closed stdout (a downstream `| head`
 // going away), or SIGINT/SIGTERM drain.
 int ServeStdio(api::Frontend* frontend, int64_t threads,
-               api::WireProtocol protocol) {
+               api::WireProtocol protocol, int64_t metrics_interval_secs) {
   server::ConnectionServerOptions options;
   options.num_threads = static_cast<int>(threads);
   options.initial_protocol = protocol;
   server::ConnectionServer server(frontend, options);
+  // Transport counters (server.*) ride the frontend's scrape.
+  frontend->AddMetricsSource(server.metrics_registry());
+  std::unique_ptr<MetricsReporter> reporter;
+  if (metrics_interval_secs > 0) {
+    reporter =
+        std::make_unique<MetricsReporter>(frontend, metrics_interval_secs);
+  }
   g_servers[0] = &server;
   struct sigaction action{};
   action.sa_handler = HandleStopSignal;
@@ -146,7 +231,8 @@ struct Listener {
 // drained (SIGINT/SIGTERM stops them all).
 int ServeListeners(api::Frontend* frontend,
                    const std::vector<Listener>& listeners,
-                   int64_t threads, api::WireProtocol protocol) {
+                   int64_t threads, api::WireProtocol protocol,
+                   int64_t metrics_interval_secs) {
   server::ConnectionServerOptions options;
   options.num_threads = static_cast<int>(threads);
   options.initial_protocol = protocol;
@@ -158,7 +244,14 @@ int ServeListeners(api::Frontend* frontend,
   for (size_t i = 0; i < listeners.size(); ++i) {
     servers.push_back(
         std::make_unique<server::ConnectionServer>(frontend, options));
+    // Each listener's transport counters merge into the one scrape.
+    frontend->AddMetricsSource(servers.back()->metrics_registry());
     g_servers[i] = servers.back().get();
+  }
+  std::unique_ptr<MetricsReporter> reporter;
+  if (metrics_interval_secs > 0) {
+    reporter =
+        std::make_unique<MetricsReporter>(frontend, metrics_interval_secs);
   }
 
   struct sigaction action{};
@@ -229,6 +322,8 @@ int Main(int argc, char** argv) {
   int64_t shards = 1;
   std::string data_dir;
   std::string fsync = "batch";
+  int64_t metrics_interval_secs = 0;
+  int64_t slow_request_ms = -1;
   FlagParser flags(
       "wot_served",
       "Resident trust server: boots one serving frontend (optionally "
@@ -263,6 +358,14 @@ int Main(int argc, char** argv) {
                   "--data_dir fsync policy: 'always' (every record), "
                   "'batch' (commits + every ~64 records), or 'off' "
                   "(page cache only)");
+  flags.AddInt64("metrics_interval_secs", &metrics_interval_secs,
+                 "log a one-line telemetry summary (requests, errors, "
+                 "commits, api p50/p99) to stderr every N seconds "
+                 "(0 = off)");
+  flags.AddInt64("slow_request_ms", &slow_request_ms,
+                 "log a WARNING with a per-request trace id for every "
+                 "request slower than this many milliseconds (0 logs "
+                 "every request; -1 = off)");
   flags.AddString("protocol", &protocol,
                   "initial wire protocol on every transport: 'ndjson' "
                   "(v1 lines; connections may still upgrade to v2 via "
@@ -285,6 +388,16 @@ int Main(int argc, char** argv) {
     return Fail(Status::InvalidArgument(
         "--shards must be positive, got " + std::to_string(shards) +
         "\n" + flags.Usage()));
+  }
+  if (metrics_interval_secs < 0) {
+    return Fail(Status::InvalidArgument(
+        "--metrics_interval_secs must be >= 0 (0 = off), got " +
+        std::to_string(metrics_interval_secs) + "\n" + flags.Usage()));
+  }
+  if (slow_request_ms < -1) {
+    return Fail(Status::InvalidArgument(
+        "--slow_request_ms must be >= 0, or -1 for off, got " +
+        std::to_string(slow_request_ms) + "\n" + flags.Usage()));
   }
 
   Result<storage::FsyncPolicy> fsync_policy =
@@ -397,11 +510,13 @@ int Main(int argc, char** argv) {
     if (!fd.ok()) return Fail(fd.status());
     listeners.push_back({"tcp " + bound, fd.ValueOrDie()});
   }
+  frontend->set_slow_request_threshold_millis(slow_request_ms);
   if (!listeners.empty()) {
-    return ServeListeners(frontend, listeners, threads,
-                          wire.ValueOrDie());
+    return ServeListeners(frontend, listeners, threads, wire.ValueOrDie(),
+                          metrics_interval_secs);
   }
-  return ServeStdio(frontend, threads, wire.ValueOrDie());
+  return ServeStdio(frontend, threads, wire.ValueOrDie(),
+                    metrics_interval_secs);
 }
 
 }  // namespace
