@@ -403,6 +403,94 @@ int Main(int argc, char** argv) {
       /*server_threads=*/4, /*clients=*/8, per_client,
       wire.ValueOrDie());
 
+  // Fan-out latency, serial vs pooled: the same commit (all shards
+  // recompute) and topk scatter (all shards answer one query), with
+  // RunOnShards pinned to the serial loop and then released onto the
+  // ThreadPool. The delta is the win the pool buys at this shard count.
+  int64_t router_commit_seq = 0;
+  int64_t next_object = 0;
+  auto measure_router_commit = [&](bool parallel) {
+    router->set_parallel_fanout(parallel);
+    constexpr int kRouterCommits = 5;
+    double total_ms = 0.0;
+    for (int c = 0; c < kRouterCommits; ++c) {
+      // Stage one review + 3 ratings on EVERY shard (ratings stay
+      // within a shard, users interleave round-robin, object ids are
+      // replicated), so each shard has a real category recompute and
+      // the measured commit carries the full fan-out's work.
+      for (int64_t s = 0; s < shards; ++s) {
+        // One review per (writer, object): walk the object id forward
+        // past objects this writer already reviewed (synthetic data).
+        api::Response ack;
+        for (int tries = 0; tries < 100; ++tries) {
+          api::Request review_req;
+          review_req.id = 700000 + router_commit_seq++;
+          api::IngestReview review;
+          review.writer = std::to_string(s);
+          review.object = next_object;
+          review_req.payload = review;
+          ack = router->Dispatch(review_req);
+          if (ack.status.ok()) break;
+          ++next_object;
+        }
+        if (!ack.status.ok()) {
+          std::fprintf(stderr, "review ingest failed: %s\n",
+                       ack.status.message.c_str());
+        }
+        WOT_CHECK(ack.status.ok());
+        const int64_t review_id =
+            std::get<api::IngestResult>(ack.payload).assigned_id;
+        for (int64_t r = 1; r <= 3; ++r) {
+          api::Request rating_req;
+          rating_req.id = 700000 + router_commit_seq++;
+          api::IngestRating rating;
+          rating.rater = std::to_string(s + r * shards);
+          rating.review = review_id;
+          rating.value = 0.2 * static_cast<double>(1 + (r % 5));
+          rating_req.payload = rating;
+          api::Response rated = router->Dispatch(rating_req);
+          if (!rated.status.ok()) {
+            std::fprintf(stderr, "rating ingest failed: %s\n",
+                         rated.status.message.c_str());
+          }
+          WOT_CHECK(rated.status.ok());
+        }
+      }
+      api::Request commit;
+      commit.id = 700000 + router_commit_seq++;
+      commit.payload = api::CommitRequest{};
+      timer.Reset();
+      api::Response ack = router->Dispatch(commit);
+      total_ms += timer.ElapsedMillis();
+      WOT_CHECK(ack.status.ok());
+    }
+    return total_ms / kRouterCommits;
+  };
+  auto measure_router_topk = [&](bool parallel) {
+    router->set_parallel_fanout(parallel);
+    double sink = 0.0;
+    timer.Reset();
+    for (int64_t q = 0; q < api_queries; ++q) {
+      api::Request request;
+      request.id = 800000 + q;
+      auto [a, b] = QueryPair(q, 0, num_users,
+                              static_cast<size_t>(shards));
+      (void)b;
+      request.payload = api::TopKQuery{std::to_string(a), 10};
+      api::Response response = router->Dispatch(request);
+      sink += static_cast<double>(
+          std::get<api::TopKResult>(response.payload).trustees.size());
+    }
+    const double us = timer.ElapsedSeconds() * 1e6 /
+                      static_cast<double>(api_queries);
+    WOT_CHECK(sink > 0.0);
+    return us;
+  };
+  const double router_commit_serial_ms = measure_router_commit(false);
+  const double router_topk_serial_us = measure_router_topk(false);
+  const double router_commit_ms = measure_router_commit(true);
+  const double router_topk_us = measure_router_topk(true);
+
   std::printf("service boot (full build + v1 publish):  %10.2f ms\n"
               "durable fresh boot (build + segment):    %10.2f ms\n"
               "durable recovered boot (segment map):    %10.2f ms\n"
@@ -421,6 +509,10 @@ int Main(int argc, char** argv) {
               "router binary round trip (trust):        %10.3f us\n"
               "router throughput, 1 client:             %10.0f qps\n"
               "router throughput, 8 clients:            %10.0f qps\n"
+              "router commit fan-out, serial:           %10.2f ms\n"
+              "router commit fan-out, pooled:           %10.2f ms\n"
+              "router topk scatter, serial:             %10.3f us\n"
+              "router topk scatter, pooled:             %10.3f us\n"
               "(checksums: %.3f %zu %zu %.3f %.3f %.3f %.3f)\n",
               boot_ms, durable_fresh_boot_ms, durable_boot_ms, trust_us,
               topk_us, explain_us, api_trust_us,
@@ -430,8 +522,10 @@ int Main(int argc, char** argv) {
               protocol.c_str(), server_qps_c8,
               static_cast<long long>(shards), router_boot_ms,
               router_trust_us, router_trust_binary_us, router_qps_c1,
-              router_qps_c8, checksum, topk_sum, term_sum, api_checksum,
-              router_checksum, binary_checksum, router_binary_checksum);
+              router_qps_c8, router_commit_serial_ms, router_commit_ms,
+              router_topk_serial_us, router_topk_us, checksum, topk_sum,
+              term_sum, api_checksum, router_checksum, binary_checksum,
+              router_binary_checksum);
 
   BenchReport report;
   report.AddString("bench", "micro_service");
@@ -459,6 +553,16 @@ int Main(int argc, char** argv) {
                    router_trust_binary_us);
   report.AddNumber("router_qps_1client", router_qps_c1);
   report.AddNumber("router_qps_8clients", router_qps_c8);
+  report.AddNumber("router_commit_fanout_serial_ms",
+                   router_commit_serial_ms);
+  report.AddNumber("router_commit_fanout_ms", router_commit_ms);
+  report.AddNumber("router_topk_scatter_serial_us", router_topk_serial_us);
+  report.AddNumber("router_topk_scatter_us", router_topk_us);
+  // The fan-out delta only means something relative to the cores the
+  // pool had: at hardware_threads=1 the pooled numbers are pure
+  // handoff overhead.
+  report.AddInt("hardware_threads",
+                static_cast<int64_t>(std::thread::hardware_concurrency()));
 
   // Price the instrumentation against a WOT_TELEMETRY_OFF twin's report:
   // same binary round trip and 8-client throughput, compiled with every

@@ -77,7 +77,8 @@ namespace {
 const char* const kMethodNames[] = {
     "trust",         "topk",          "explain",      "ingest_user",
     "ingest_category", "ingest_object", "ingest_review", "ingest_rating",
-    "commit",        "stats",         "metrics",
+    "commit",        "stats",         "metrics",      "repl_fetch",
+    "repl_status",   "repl_promote",
 };
 static_assert(sizeof(kMethodNames) / sizeof(kMethodNames[0]) ==
                   std::variant_size_v<RequestPayload>,

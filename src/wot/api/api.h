@@ -175,10 +175,48 @@ struct MetricsRequest {
                          const MetricsRequest&) = default;
 };
 
+/// \brief repl_fetch: pull the next replication artifact from a durable
+/// primary (docs/replication.md). A replica that has applied nothing
+/// (applied_version 0, or a checkpoint the source no longer retains WALs
+/// for) receives snapshot-segment chunks addressed by \p offset; a
+/// caught-up replica receives WAL-delta record batches starting strictly
+/// after its applied commit version. Additive v1 method — appended at
+/// the END of the payload variant so every older wire code is unchanged.
+struct ReplFetchRequest {
+  /// Which shard's artifacts to pull (0 on an unsharded primary; shard
+  /// directory index under --shards).
+  int64_t shard = 0;
+  /// The replica's checkpoint: the last commit version it fully applied
+  /// (0 = nothing, bootstrap me).
+  uint64_t applied_version = 0;
+  /// Byte offset into the segment file during a chunked bootstrap
+  /// (ignored for delta fetches).
+  uint64_t offset = 0;
+
+  friend bool operator==(const ReplFetchRequest&,
+                         const ReplFetchRequest&) = default;
+};
+
+/// \brief repl_status: the answering server's replication role and
+/// applied/source versions (additive v1 method).
+struct ReplStatusRequest {
+  friend bool operator==(const ReplStatusRequest&,
+                         const ReplStatusRequest&) = default;
+};
+
+/// \brief repl_promote: promote a follower to primary (stop pulling,
+/// finish applying what is already fetched, accept writes). Answers the
+/// post-promotion repl_status. Additive v1 method.
+struct ReplPromoteRequest {
+  friend bool operator==(const ReplPromoteRequest&,
+                         const ReplPromoteRequest&) = default;
+};
+
 using RequestPayload =
     std::variant<TrustQuery, TopKQuery, ExplainQuery, IngestUser,
                  IngestCategory, IngestObject, IngestReview, IngestRating,
-                 CommitRequest, StatsRequest, MetricsRequest>;
+                 CommitRequest, StatsRequest, MetricsRequest,
+                 ReplFetchRequest, ReplStatusRequest, ReplPromoteRequest>;
 
 /// \brief One API call: protocol version, client correlator, method payload.
 struct Request {
@@ -367,9 +405,77 @@ struct MetricsResult {
                          const MetricsResult&) = default;
 };
 
+/// \brief Replication roles reported by repl_status.
+enum class ReplRole : int64_t {
+  kPrimary = 0,  ///< serves writes and ships artifacts
+  kReplica = 1,  ///< follows a primary (promotable)
+  kRouter = 2,   ///< fronts shards; reports its replica sets
+};
+
+/// \brief Kinds of replication artifact a repl_fetch can return.
+enum class ReplArtifactKind : int64_t {
+  kNone = 0,     ///< replica is caught up; nothing to ship
+  kSegment = 1,  ///< one chunk of a snapshot segment file (bootstrap)
+  kWalDelta = 2, ///< CRC-framed WAL records ending at a commit boundary
+};
+
+/// \brief One replication artifact (docs/replication.md). For a segment
+/// chunk, `base_version == target_version` is the segment's version,
+/// `offset`/`total_bytes` address the chunk within the file, and the
+/// replica is bootstrapped once it has all `total_bytes`. For a WAL
+/// delta, `base_version` is the checkpoint the records apply on top of
+/// and `target_version` the commit version reached after applying them
+/// all. `source_version` always reports the primary's current published
+/// version so replicas can compute their lag.
+struct ReplFetchResult {
+  int64_t kind = 0;  ///< a ReplArtifactKind
+  uint64_t base_version = 0;
+  uint64_t target_version = 0;
+  uint64_t source_version = 0;
+  uint64_t offset = 0;
+  uint64_t total_bytes = 0;
+  std::string payload;  ///< raw artifact bytes (empty for kNone)
+
+  friend bool operator==(const ReplFetchResult&,
+                         const ReplFetchResult&) = default;
+};
+
+/// \brief One replica as seen by the server answering repl_status (a
+/// ShardRouter reports its configured replica set per shard; a plain
+/// primary or follower reports none).
+struct ReplReplicaInfo {
+  int64_t shard = 0;
+  std::string address;
+  uint64_t applied_version = 0;
+  /// 0 = unreachable on last contact, 1 = healthy.
+  int64_t healthy = 0;
+
+  friend bool operator==(const ReplReplicaInfo&,
+                         const ReplReplicaInfo&) = default;
+};
+
+/// \brief The answering server's replication role and progress.
+struct ReplStatusResult {
+  /// 0 = primary/source, 1 = follower, 2 = promoted follower.
+  int64_t role = 0;
+  /// Last commit version fully applied locally (a primary reports its
+  /// published version).
+  uint64_t applied_version = 0;
+  /// The source's published version at last contact (equals
+  /// applied_version on a primary).
+  uint64_t source_version = 0;
+  /// Promotions performed by this process.
+  int64_t failovers = 0;
+  std::vector<ReplReplicaInfo> replicas;
+
+  friend bool operator==(const ReplStatusResult&,
+                         const ReplStatusResult&) = default;
+};
+
 using ResponsePayload =
     std::variant<std::monostate, TrustResult, TopKResult, ExplainResult,
-                 IngestResult, CommitResult, StatsResult, MetricsResult>;
+                 IngestResult, CommitResult, StatsResult, MetricsResult,
+                 ReplFetchResult, ReplStatusResult>;
 
 /// \brief One API reply. `id` echoes the request's correlator (0 when the
 /// frame was too malformed to extract one).

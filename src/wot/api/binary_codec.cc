@@ -80,6 +80,11 @@ void EncodeRequestPayload(const RequestPayload& payload, ByteWriter* w) {
     void operator()(const CommitRequest&) {}
     void operator()(const StatsRequest&) {}
     void operator()(const MetricsRequest&) {}
+    void operator()(const ReplFetchRequest& q) {
+      w.PutI64(q.shard).PutU64(q.applied_version).PutU64(q.offset);
+    }
+    void operator()(const ReplStatusRequest&) {}
+    void operator()(const ReplPromoteRequest&) {}
   };
   std::visit(Visitor{*w}, payload);
 }
@@ -176,6 +181,28 @@ void EncodeResponsePayload(const ResponsePayload& payload, ByteWriter* w) {
             .PutDouble(histogram.p999);
       }
     }
+    void operator()(const ReplFetchResult& r) {
+      w.PutI64(r.kind)
+          .PutU64(r.base_version)
+          .PutU64(r.target_version)
+          .PutU64(r.source_version)
+          .PutU64(r.offset)
+          .PutU64(r.total_bytes)
+          .PutString(r.payload);
+    }
+    void operator()(const ReplStatusResult& r) {
+      w.PutI64(r.role)
+          .PutU64(r.applied_version)
+          .PutU64(r.source_version)
+          .PutI64(r.failovers);
+      w.PutU32(static_cast<uint32_t>(r.replicas.size()));
+      for (const ReplReplicaInfo& replica : r.replicas) {
+        w.PutI64(replica.shard)
+            .PutString(replica.address)
+            .PutU64(replica.applied_version)
+            .PutI64(replica.healthy);
+      }
+    }
   };
   std::visit(Visitor{*w}, payload);
 }
@@ -246,6 +273,20 @@ ApiStatus DecodeRequestPayload(size_t method_index, ByteReader* r,
       break;
     case 10:
       request->payload = MetricsRequest{};
+      break;
+    case 11: {
+      ReplFetchRequest q;
+      q.shard = r->GetI64();
+      q.applied_version = r->GetU64();
+      q.offset = r->GetU64();
+      request->payload = q;
+      break;
+    }
+    case 12:
+      request->payload = ReplStatusRequest{};
+      break;
+    case 13:
+      request->payload = ReplPromoteRequest{};
       break;
     default:
       return ApiStatus::Unimplemented(
@@ -384,6 +425,36 @@ ApiStatus DecodeResponsePayload(size_t result_index, ByteReader* r,
         histogram.p99 = r->GetDouble();
         histogram.p999 = r->GetDouble();
         result.histograms.push_back(std::move(histogram));
+      }
+      response->payload = std::move(result);
+      break;
+    }
+    case 8: {
+      ReplFetchResult result;
+      result.kind = r->GetI64();
+      result.base_version = r->GetU64();
+      result.target_version = r->GetU64();
+      result.source_version = r->GetU64();
+      result.offset = r->GetU64();
+      result.total_bytes = r->GetU64();
+      result.payload = r->GetString();
+      response->payload = std::move(result);
+      break;
+    }
+    case 9: {
+      ReplStatusResult result;
+      result.role = r->GetI64();
+      result.applied_version = r->GetU64();
+      result.source_version = r->GetU64();
+      result.failovers = r->GetI64();
+      uint32_t count = r->GetU32();
+      for (uint32_t i = 0; i < count && !r->failed(); ++i) {
+        ReplReplicaInfo replica;
+        replica.shard = r->GetI64();
+        replica.address = r->GetString();
+        replica.applied_version = r->GetU64();
+        replica.healthy = r->GetI64();
+        result.replicas.push_back(std::move(replica));
       }
       response->payload = std::move(result);
       break;

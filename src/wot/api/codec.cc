@@ -12,11 +12,43 @@ namespace {
 // Indexed by ResponsePayload variant alternative (monostate unnamed).
 const char* const kResultTypeNames[] = {
     "", "trust", "topk", "explain", "ingest", "commit", "stats",
-    "metrics",
+    "metrics", "repl_fetch", "repl_status",
 };
 static_assert(sizeof(kResultTypeNames) / sizeof(kResultTypeNames[0]) ==
                   std::variant_size_v<ResponsePayload>,
               "result type table out of sync with ResponsePayload");
+
+// Replication artifact bytes are arbitrary binary; on the NDJSON wire
+// they travel hex-encoded (the v2 binary framing carries them raw).
+std::string HexEncode(std::string_view bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    hex.push_back(kDigits[b >> 4]);
+    hex.push_back(kDigits[b & 0xF]);
+  }
+  return hex;
+}
+
+bool HexDecode(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
 
 void EncodeParams(const RequestPayload& payload, JsonWriter* w) {
   struct Visitor {
@@ -47,6 +79,13 @@ void EncodeParams(const RequestPayload& payload, JsonWriter* w) {
     void operator()(const CommitRequest&) {}
     void operator()(const StatsRequest&) {}
     void operator()(const MetricsRequest&) {}
+    void operator()(const ReplFetchRequest& q) {
+      w.Key("shard").Int(q.shard);
+      w.Key("applied_version").UInt(q.applied_version);
+      w.Key("offset").UInt(q.offset);
+    }
+    void operator()(const ReplStatusRequest&) {}
+    void operator()(const ReplPromoteRequest&) {}
   };
   w->Key("params").BeginObject();
   std::visit(Visitor{*w}, payload);
@@ -179,6 +218,31 @@ void EncodeResult(const ResponsePayload& payload, JsonWriter* w) {
       }
       w.EndArray();
     }
+    void operator()(const ReplFetchResult& r) {
+      w.Key("kind").Int(r.kind);
+      w.Key("base_version").UInt(r.base_version);
+      w.Key("target_version").UInt(r.target_version);
+      w.Key("source_version").UInt(r.source_version);
+      w.Key("offset").UInt(r.offset);
+      w.Key("total_bytes").UInt(r.total_bytes);
+      w.Key("payload").String(HexEncode(r.payload));
+    }
+    void operator()(const ReplStatusResult& r) {
+      w.Key("role").Int(r.role);
+      w.Key("applied_version").UInt(r.applied_version);
+      w.Key("source_version").UInt(r.source_version);
+      w.Key("failovers").Int(r.failovers);
+      w.Key("replicas").BeginArray();
+      for (const ReplReplicaInfo& replica : r.replicas) {
+        w.BeginObject();
+        w.Key("shard").Int(replica.shard);
+        w.Key("address").String(replica.address);
+        w.Key("applied_version").UInt(replica.applied_version);
+        w.Key("healthy").Int(replica.healthy);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
   };
   w->Key("result").BeginObject();
   std::visit(Visitor{*w}, payload);
@@ -280,6 +344,25 @@ ApiStatus DecodeParams(const std::string& method, const JsonValue& root,
     request->payload = StatsRequest{};
   } else if (method == "metrics") {
     request->payload = MetricsRequest{};
+  } else if (method == "repl_fetch") {
+    ReplFetchRequest q;
+    if (params->Find("shard") != nullptr) {
+      status = int_field("shard", &q.shard);
+    }
+    auto optional_u64 = [&](std::string_view key, uint64_t* out) {
+      if (params->Find(key) == nullptr) return ApiStatus::Ok();
+      Result<int64_t> value = params->GetInt(key);
+      if (!value.ok()) return ApiStatus::FromStatus(value.status());
+      *out = static_cast<uint64_t>(value.ValueOrDie());
+      return ApiStatus::Ok();
+    };
+    if (status.ok()) status = optional_u64("applied_version", &q.applied_version);
+    if (status.ok()) status = optional_u64("offset", &q.offset);
+    request->payload = std::move(q);
+  } else if (method == "repl_status") {
+    request->payload = ReplStatusRequest{};
+  } else if (method == "repl_promote") {
+    request->payload = ReplPromoteRequest{};
   } else {
     return ApiStatus::Unimplemented("unknown method '" + method + "'");
   }
@@ -527,6 +610,61 @@ ApiStatus DecodeResultPayload(const std::string& result_type,
         *field.target = value.ValueOrDie();
       }
       r.histograms.push_back(std::move(histogram));
+    }
+    response->payload = std::move(r);
+  } else if (result_type == "repl_fetch") {
+    ReplFetchResult r;
+    Result<int64_t> kind = result.GetInt("kind");
+    if (!kind.ok()) return ApiStatus::FromStatus(kind.status());
+    r.kind = kind.ValueOrDie();
+    for (auto [key, target] :
+         {std::pair<const char*, uint64_t*>{"base_version",
+                                            &r.base_version},
+          {"target_version", &r.target_version},
+          {"source_version", &r.source_version},
+          {"offset", &r.offset},
+          {"total_bytes", &r.total_bytes}}) {
+      status = u64_field(key, target);
+      if (!status.ok()) return status;
+    }
+    Result<std::string> payload = result.GetString("payload");
+    if (!payload.ok()) return ApiStatus::FromStatus(payload.status());
+    if (!HexDecode(payload.ValueOrDie(), &r.payload)) {
+      return ApiStatus::InvalidArgument(
+          "'payload' must be a hex-encoded byte string");
+    }
+    response->payload = std::move(r);
+  } else if (result_type == "repl_status") {
+    ReplStatusResult r;
+    Result<int64_t> role = result.GetInt("role");
+    if (!role.ok()) return ApiStatus::FromStatus(role.status());
+    r.role = role.ValueOrDie();
+    status = u64_field("applied_version", &r.applied_version);
+    if (!status.ok()) return status;
+    status = u64_field("source_version", &r.source_version);
+    if (!status.ok()) return status;
+    Result<int64_t> failovers = result.GetInt("failovers");
+    if (!failovers.ok()) return ApiStatus::FromStatus(failovers.status());
+    r.failovers = failovers.ValueOrDie();
+    const JsonValue* replicas = result.Find("replicas");
+    if (replicas == nullptr || !replicas->is_array()) {
+      return ApiStatus::InvalidArgument("missing 'replicas' array");
+    }
+    for (const JsonValue& item : replicas->array()) {
+      ReplReplicaInfo info;
+      Result<int64_t> shard = item.GetInt("shard");
+      if (!shard.ok()) return ApiStatus::FromStatus(shard.status());
+      info.shard = shard.ValueOrDie();
+      Result<std::string> address = item.GetString("address");
+      if (!address.ok()) return ApiStatus::FromStatus(address.status());
+      info.address = std::move(address).ValueOrDie();
+      Result<int64_t> applied = item.GetInt("applied_version");
+      if (!applied.ok()) return ApiStatus::FromStatus(applied.status());
+      info.applied_version = static_cast<uint64_t>(applied.ValueOrDie());
+      Result<int64_t> healthy = item.GetInt("healthy");
+      if (!healthy.ok()) return ApiStatus::FromStatus(healthy.status());
+      info.healthy = healthy.ValueOrDie();
+      r.replicas.push_back(std::move(info));
     }
     response->payload = std::move(r);
   } else {

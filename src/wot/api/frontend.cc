@@ -101,6 +101,23 @@ Response Frontend::DispatchMetrics() const {
   return response;
 }
 
+Response Frontend::DispatchReplication(const Request& request) const {
+  ReplicationHandler* handler = replication_handler();
+  if (handler == nullptr) {
+    return ErrorResponse(ApiStatus::Unimplemented(
+        "replication is not enabled on this server"));
+  }
+  if (const auto* fetch = std::get_if<ReplFetchRequest>(&request.payload)) {
+    return handler->HandleReplFetch(*fetch);
+  }
+  if (const auto* status =
+          std::get_if<ReplStatusRequest>(&request.payload)) {
+    return handler->HandleReplStatus(*status);
+  }
+  return handler->HandleReplPromote(
+      std::get<ReplPromoteRequest>(request.payload));
+}
+
 void Frontend::MaybeLogSlow(const Request& request,
                             const ConnectionContext& connection,
                             int64_t elapsed_ns) const {
@@ -134,6 +151,13 @@ Response Frontend::Dispatch(const Request& request,
     // The envelope answers metrics itself so every implementation serves
     // the method uniformly (and a scrape can never deadlock a subclass).
     response = DispatchMetrics();
+  } else if (std::holds_alternative<ReplFetchRequest>(request.payload) ||
+             std::holds_alternative<ReplStatusRequest>(request.payload) ||
+             std::holds_alternative<ReplPromoteRequest>(request.payload)) {
+    // Replication methods are likewise envelope-routed: every frontend
+    // answers them (UNIMPLEMENTED without an attached handler), so the
+    // wire surface stays total whether or not replication is enabled.
+    response = DispatchReplication(request);
   } else {
     response = DispatchPayload(request, connection);
   }
@@ -380,6 +404,23 @@ Response ServiceFrontend::DispatchPayload(
       // DispatchPayload. Kept for variant exhaustiveness.
       return ErrorResponse(ApiStatus::Internal(
           "metrics request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplFetchRequest&) {
+      // Unreachable: the base envelope routes replication methods to the
+      // attached ReplicationHandler. Kept for variant exhaustiveness.
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_fetch request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplStatusRequest&) {
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_status request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplPromoteRequest&) {
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_promote request reached DispatchPayload"));
     }
   };
 

@@ -101,6 +101,28 @@ struct ConnectionContext {
   int64_t connection_id = 0;
 };
 
+/// \brief Answers the replication methods (`repl_fetch` / `repl_status` /
+/// `repl_promote`). The api layer defines only this seam: concrete
+/// implementations live in wot/replication (a ReplicationSource serving a
+/// primary's artifacts, a ReplicaService reporting follower progress) and
+/// are attached to a Frontend with set_replication_handler. A frontend
+/// with no handler answers every replication method with a framed
+/// UNIMPLEMENTED error, so the wire surface stays total either way.
+///
+/// Thread contract: all three methods may be called concurrently from any
+/// serving thread.
+class ReplicationHandler {
+ public:
+  virtual ~ReplicationHandler() = default;
+
+  /// One artifact chunk at or after the caller's applied checkpoint.
+  virtual Response HandleReplFetch(const ReplFetchRequest& request) = 0;
+  /// Role, applied/source versions, failover count, per-replica progress.
+  virtual Response HandleReplStatus(const ReplStatusRequest& request) = 0;
+  /// Promote this follower to primary (no-op error on a primary).
+  virtual Response HandleReplPromote(const ReplPromoteRequest& request) = 0;
+};
+
 /// \brief The serving interface: one implementation-agnostic dispatcher of
 /// the versioned API. The envelope work — request/error counting, the
 /// protocol-version gate, id echoing, NDJSON decode/encode, per-method
@@ -172,6 +194,17 @@ class Frontend {
         millis < 0 ? -1 : millis * 1'000'000, std::memory_order_relaxed);
   }
 
+  /// \brief Attaches the handler that answers the replication methods;
+  /// nullptr (the default) makes them answer UNIMPLEMENTED. \p handler
+  /// must outlive the frontend (or a later set_replication_handler call).
+  /// Thread-safe, like the slow-request threshold.
+  void set_replication_handler(ReplicationHandler* handler) {
+    replication_handler_.store(handler, std::memory_order_release);
+  }
+  ReplicationHandler* replication_handler() const {
+    return replication_handler_.load(std::memory_order_acquire);
+  }
+
  protected:
   Frontend();
 
@@ -194,6 +227,10 @@ class Frontend {
   /// \brief Answers the metrics method from ScrapeMetrics().
   Response DispatchMetrics() const;
 
+  /// \brief Routes a replication method to the attached handler (or
+  /// answers UNIMPLEMENTED when none is attached).
+  Response DispatchReplication(const Request& request) const;
+
   void MaybeLogSlow(const Request& request,
                     const ConnectionContext& connection,
                     int64_t elapsed_ns) const;
@@ -203,6 +240,7 @@ class Frontend {
   /// Indexed by RequestPayload alternative (api.latency_ns.<method>).
   std::vector<telemetry::LatencyHistogram*> method_latency_ns_;
   std::atomic<int64_t> slow_request_threshold_ns_{-1};
+  std::atomic<ReplicationHandler*> replication_handler_{nullptr};
 
   mutable Mutex sources_mu_;
   std::vector<std::shared_ptr<const telemetry::MetricRegistry>> sources_

@@ -1,0 +1,62 @@
+// ReplicaHandle: the ShardRouter's view of one replica of one shard.
+//
+// The api layer defines only this seam. Concrete handles live where the
+// transport lives: wot/replication provides LocalReplicaHandle (an
+// in-process follower, for tests and single-process fleets) and
+// RemoteReplicaHandle (a SocketClient to a `wot_served --replica-of`
+// process). The router uses handles two ways:
+//
+//   * Poll() during quorum waits and staleness checks — cheap on a local
+//     handle, one `repl_status` round-trip on a remote one.
+//   * Forward() to serve a point read or a topk scatter leg from the
+//     replica instead of the primary. A nullopt return means the
+//     TRANSPORT failed (dead process, broken socket): the router marks
+//     the replica unhealthy and falls back to the primary. An application
+//     error (non-OK Response) also falls back but leaves health alone —
+//     the replica answered, it just could not serve this request.
+//
+// Thread contract: the router calls Poll and Forward concurrently from
+// serving threads; implementations must be internally synchronized.
+#ifndef WOT_API_REPLICA_HANDLE_H_
+#define WOT_API_REPLICA_HANDLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "wot/api/api.h"
+
+namespace wot {
+namespace api {
+
+/// \brief One Poll() observation of a replica.
+struct ReplicaProbe {
+  /// The replica's applied snapshot version (its `applied_epoch`
+  /// checkpoint in the shard's own version space).
+  uint64_t applied_version = 0;
+  /// False when the replica could not be reached.
+  bool healthy = false;
+};
+
+/// \brief The router's handle on one replica of one shard.
+class ReplicaHandle {
+ public:
+  virtual ~ReplicaHandle() = default;
+
+  /// \brief Observes the replica's current applied version and health.
+  virtual ReplicaProbe Poll() = 0;
+
+  /// \brief Executes one read on the replica. Returns nullopt when the
+  /// transport failed; otherwise the replica's response (which may carry
+  /// an application error).
+  virtual std::optional<Response> Forward(const Request& request) = 0;
+
+  /// \brief A human-readable address for status reporting ("local",
+  /// "unix:/path", "tcp:host:port").
+  virtual const std::string& address() const = 0;
+};
+
+}  // namespace api
+}  // namespace wot
+
+#endif  // WOT_API_REPLICA_HANDLE_H_

@@ -1,6 +1,7 @@
 #include "wot/api/shard_router.h"
 
 #include <algorithm>
+#include <iterator>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -79,9 +80,197 @@ void ShardRouter::InitTelemetry() {
   fanout_latency_ns_ =
       metrics_registry()->histogram("router.fanout_latency_ns");
   scatter_width_ = metrics_registry()->histogram("router.scatter_width");
+  quorum_wait_ns_ =
+      metrics_registry()->histogram("router.quorum_wait_ns");
+  replica_reads_ = metrics_registry()->counter("router.replica_reads");
   for (const std::unique_ptr<Shard>& shard : shards_) {
     AddMetricsSource(shard->service->metrics_registry());
+    shard->read_floor.store(shard->service->Snapshot()->version(),
+                            std::memory_order_release);
   }
+  if (shards_.size() >= 2) {
+    // Fan-out workers: one per shard is the widest a single dispatch
+    // spreads. One shard keeps the serial path (bit-identity baseline).
+    pool_ = std::make_unique<ThreadPool>(shards_.size());
+  }
+}
+
+void ShardRouter::AddReplica(size_t shard,
+                             std::shared_ptr<ReplicaHandle> handle) {
+  WOT_CHECK(shard < shards_.size());
+  auto slot = std::make_unique<ReplicaSlot>();
+  slot->handle = std::move(handle);
+  slot->applied_gauge = metrics_registry()->gauge(
+      "replication.replica_applied.s" + std::to_string(shard) + ".r" +
+      std::to_string(shards_[shard]->replicas.size()));
+  shards_[shard]->replicas.push_back(std::move(slot));
+  ReplicationHandler* prior = replication_handler();
+  if (prior != nullptr && prior != this) fetch_delegate_ = prior;
+  set_replication_handler(this);
+}
+
+void ShardRouter::RunOnShards(const std::function<void(size_t)>& body) {
+  const size_t count = shards_.size();
+  if (pool_ == nullptr || count < 2 ||
+      !parallel_fanout_.load(std::memory_order_relaxed)) {
+    for (size_t s = 0; s < count; ++s) body(s);
+    return;
+  }
+  // Per-call completion state: Wait()ing on the pool would also wait on
+  // other dispatches' tasks.
+  struct Completion {
+    Mutex mu;
+    CondVar done;
+    size_t remaining WOT_GUARDED_BY(mu);
+  } completion;
+  {
+    MutexLock lock(completion.mu);
+    completion.remaining = count;
+  }
+  for (size_t s = 0; s < count; ++s) {
+    bool accepted = pool_->Submit([&body, &completion, s] {
+      body(s);
+      MutexLock lock(completion.mu);
+      if (--completion.remaining == 0) completion.done.NotifyAll();
+    });
+    if (!accepted) {
+      // Stopped pool (shutdown race): run inline and count it off.
+      body(s);
+      MutexLock lock(completion.mu);
+      if (--completion.remaining == 0) completion.done.NotifyAll();
+    }
+  }
+  MutexLock lock(completion.mu);
+  while (completion.remaining > 0) {
+    completion.done.Wait(completion.mu);
+  }
+}
+
+ReplicaProbe ShardRouter::Probe(ReplicaSlot* slot) {
+  ReplicaProbe probe = slot->handle->Poll();
+  slot->applied.store(probe.applied_version, std::memory_order_release);
+  slot->healthy.store(probe.healthy, std::memory_order_release);
+  slot->applied_gauge->Set(
+      static_cast<int64_t>(probe.applied_version));
+  return probe;
+}
+
+ShardRouter::ReplicaSlot* ShardRouter::PickReplica(size_t shard) {
+  Shard& s = *shards_[shard];
+  if (s.replicas.empty()) return nullptr;
+  const uint64_t floor = s.read_floor.load(std::memory_order_acquire);
+  // Round-robin over {replicas..., primary}: position `size()` is the
+  // primary's turn, so reads spread evenly across the whole set.
+  const size_t width = s.replicas.size() + 1;
+  const size_t start = static_cast<size_t>(
+      s.next_read.fetch_add(1, std::memory_order_relaxed) % width);
+  for (size_t probe = 0; probe < width; ++probe) {
+    const size_t position = (start + probe) % width;
+    if (position == s.replicas.size()) return nullptr;  // primary's turn
+    ReplicaSlot* slot = s.replicas[position].get();
+    if (!slot->healthy.load(std::memory_order_acquire)) continue;
+    uint64_t applied = slot->applied.load(std::memory_order_acquire);
+    if (applied < floor) {
+      // The cache says "too stale" — refresh once; the replica may have
+      // caught up since the last quorum wait polled it.
+      ReplicaProbe fresh = Probe(slot);
+      if (!fresh.healthy) continue;
+      applied = fresh.applied_version;
+    }
+    if (applied >= floor) return slot;
+  }
+  return nullptr;
+}
+
+Response ShardRouter::DispatchShardRead(
+    size_t shard, const Request& local,
+    const ConnectionContext& connection) {
+  ReplicaSlot* slot = PickReplica(shard);
+  if (slot != nullptr) {
+    std::optional<Response> forwarded = slot->handle->Forward(local);
+    if (forwarded.has_value() && forwarded->status.ok()) {
+      replica_reads_->Increment();
+      return *std::move(forwarded);
+    }
+    if (!forwarded.has_value()) {
+      // Transport death, not an application error: stop reading from
+      // this replica until a Poll sees it again.
+      slot->healthy.store(false, std::memory_order_release);
+    }
+    // Either way the primary serves the read — replicas are a capacity
+    // optimization, never a correctness dependency.
+  }
+  return Touch(shard)->Dispatch(local, connection);
+}
+
+ApiStatus ShardRouter::AwaitWriteQuorum() {
+  const int64_t quorum = write_quorum_.load(std::memory_order_relaxed);
+  if (quorum <= 1) return ApiStatus::Ok();  // the primary satisfies it
+  const int64_t timeout_ns =
+      quorum_timeout_millis_.load(std::memory_order_relaxed) * 1'000'000;
+  telemetry::Timer timer;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const uint64_t target = shard.service->Snapshot()->version();
+    while (true) {
+      int64_t have = 1;  // the primary has, by definition, applied
+      for (const std::unique_ptr<ReplicaSlot>& slot : shard.replicas) {
+        ReplicaProbe probe = Probe(slot.get());
+        if (probe.healthy && probe.applied_version >= target) ++have;
+      }
+      if (have >= quorum) break;
+      if (timer.ElapsedNanos() >= timeout_ns) {
+        quorum_wait_ns_->Record(timer.ElapsedNanos());
+        return ApiStatus::Internal(
+            "write quorum " + std::to_string(quorum) +
+            " not reached on shard " + std::to_string(s) + " (" +
+            std::to_string(have) + " of " +
+            std::to_string(1 + shard.replicas.size()) +
+            " copies applied version " + std::to_string(target) + ")");
+      }
+      MutexLock lock(quorum_mu_);
+      quorum_cv_.WaitForMillis(quorum_mu_, 5);
+    }
+  }
+  quorum_wait_ns_->Record(timer.ElapsedNanos());
+  return ApiStatus::Ok();
+}
+
+Response ShardRouter::HandleReplFetch(const ReplFetchRequest& request) {
+  if (fetch_delegate_ != nullptr) {
+    return fetch_delegate_->HandleReplFetch(request);
+  }
+  return ErrorResponse(ApiStatus::Unimplemented(
+      "repl_fetch is served by shard primaries, not the router"));
+}
+
+Response ShardRouter::HandleReplStatus(const ReplStatusRequest&) {
+  ReplStatusResult result;
+  result.role = static_cast<int64_t>(ReplRole::kRouter);
+  result.applied_version = epoch();
+  result.source_version = epoch();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (const std::unique_ptr<ReplicaSlot>& slot :
+         shards_[s]->replicas) {
+      ReplReplicaInfo info;
+      info.shard = static_cast<int64_t>(s);
+      info.address = slot->handle->address();
+      info.applied_version =
+          slot->applied.load(std::memory_order_acquire);
+      info.healthy =
+          slot->healthy.load(std::memory_order_acquire) ? 1 : 0;
+      result.replicas.push_back(std::move(info));
+    }
+  }
+  Response response;
+  response.payload = std::move(result);
+  return response;
+}
+
+Response ShardRouter::HandleReplPromote(const ReplPromoteRequest&) {
+  return ErrorResponse(ApiStatus::InvalidArgument(
+      "promotion is requested on the replica process itself, not the "
+      "router"));
 }
 
 ShardRouter::SnapshotSet ShardRouter::LoadSnapshots() const {
@@ -222,7 +411,7 @@ Response ShardRouter::RouteTrustLike(const Request& request,
   Response response;
   {
     WOT_TIMED(fanout_latency_ns_);
-    response = Touch(s.shard)->Dispatch(local, connection);
+    response = DispatchShardRead(s.shard, local, connection);
   }
   if (sharded && response.status.ok()) {
     if (TrustResult* trust = std::get_if<TrustResult>(&response.payload)) {
@@ -282,29 +471,65 @@ Response ShardRouter::DispatchPayload(const Request& request,
       // top-k (an index ref lives on exactly one shard; a name may be
       // staged on several). Shards without the source — empty shards
       // included — contribute nothing.
-      std::vector<ScoredUserEntry> merged;
-      int64_t scatter_width = 0;
+      // Per-shard result buckets: the legs run concurrently over the
+      // router pool (serially with one shard), and the shard-ordered
+      // concatenation below feeds the same deterministic global merge
+      // the sequential scatter produced.
+      std::vector<std::vector<ScoredUserEntry>> buckets(num_shards);
+      std::vector<uint8_t> contributed(num_shards, 0);
       {
         WOT_TIMED(router.fanout_latency_ns_);
-        for (size_t s = 0; s < num_shards; ++s) {
+        router.RunOnShards([&](size_t s) {
           std::optional<uint32_t> local;
           if (home.by_index) {
             if (s == home.shard) local = home.local;
           } else {
             local = snapshots[s]->user_names().Find(q.source);
           }
-          if (!local.has_value()) continue;
+          if (!local.has_value()) return;
+          contributed[s] = 1;
+          // An eligible replica serves this leg; any failure falls back
+          // to the shard's own snapshot.
+          if (ReplicaSlot* slot = router.PickReplica(s)) {
+            Request leg;
+            leg.payload = TopKQuery{std::to_string(*local), q.k};
+            std::optional<Response> forwarded =
+                slot->handle->Forward(leg);
+            if (forwarded.has_value() && forwarded->status.ok()) {
+              if (const TopKResult* remote =
+                      std::get_if<TopKResult>(&forwarded->payload)) {
+                router.replica_reads_->Increment();
+                for (const ScoredUserEntry& entry : remote->trustees) {
+                  buckets[s].push_back(
+                      {static_cast<uint32_t>(GlobalUserOfShard(
+                           entry.user, s, num_shards)),
+                       entry.name, entry.score});
+                }
+                return;
+              }
+            }
+            if (!forwarded.has_value()) {
+              slot->healthy.store(false, std::memory_order_release);
+            }
+          }
           router.Touch(s);
-          ++scatter_width;
           for (const ScoredUser& scored :
                snapshots[s]->TopK(*local, static_cast<size_t>(q.k))) {
-            merged.push_back(
+            buckets[s].push_back(
                 {static_cast<uint32_t>(
                      GlobalUserOfShard(scored.user, s, num_shards)),
                  snapshots[s]->user_names().name(scored.user),
                  scored.score});
           }
-        }
+        });
+      }
+      std::vector<ScoredUserEntry> merged;
+      int64_t scatter_width = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        scatter_width += contributed[s];
+        merged.insert(merged.end(),
+                      std::make_move_iterator(buckets[s].begin()),
+                      std::make_move_iterator(buckets[s].end()));
       }
       router.scatter_width_->Record(scatter_width);
       // Gather: per-shard lists arrive in TopK order (score desc, local
@@ -505,35 +730,64 @@ Response ShardRouter::DispatchPayload(const Request& request,
 
     Response operator()(const CommitRequest&) {
       MutexLock lock(router.ingest_mu_);
-      CommitResult result;
-      bool any_published = false;
+      const size_t num_shards = router.shards_.size();
+      // Per-shard commits run concurrently over the router pool (the
+      // recompute is the expensive leg; shard services are independent).
+      // Outcomes land in indexed slots; the first failing shard BY INDEX
+      // is reported, so the error is deterministic regardless of
+      // completion order.
+      std::vector<TrustService::CommitStats> stats(num_shards);
+      std::vector<Status> outcomes(num_shards, Status::OK());
       {
         WOT_TIMED(router.fanout_latency_ns_);
-        for (size_t s = 0; s < router.shards_.size(); ++s) {
+        router.RunOnShards([&](size_t s) {
           router.Touch(s);
-          Result<TrustService::CommitStats> stats =
+          Result<TrustService::CommitStats> shard_stats =
               router.shards_[s]->service->Commit();
-          if (!stats.ok()) {
-            // The epoch is NOT advanced: a torn fan-out never becomes a
-            // visible router-level commit.
-            return ErrorResponse(ApiStatus::FromStatus(stats.status()));
+          if (shard_stats.ok()) {
+            stats[s] = shard_stats.ValueOrDie();
+          } else {
+            outcomes[s] = shard_stats.status();
           }
-          const TrustService::CommitStats& cs = stats.ValueOrDie();
-          any_published |= cs.published;
-          result.categories_recomputed +=
-              static_cast<int64_t>(cs.categories_recomputed);
-          result.affiliation_rows_recomputed +=
-              static_cast<int64_t>(cs.affiliation_rows_recomputed);
-          result.postings_rebuilt +=
-              static_cast<int64_t>(cs.postings_rebuilt);
-        }
+        });
       }
-      router.scatter_width_->Record(
-          static_cast<int64_t>(router.shards_.size()));
+      CommitResult result;
+      bool any_published = false;
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (!outcomes[s].ok()) {
+          // The epoch is NOT advanced: a torn fan-out never becomes a
+          // visible router-level commit.
+          return ErrorResponse(ApiStatus::FromStatus(outcomes[s]));
+        }
+        any_published |= stats[s].published;
+        result.categories_recomputed +=
+            static_cast<int64_t>(stats[s].categories_recomputed);
+        result.affiliation_rows_recomputed +=
+            static_cast<int64_t>(stats[s].affiliation_rows_recomputed);
+        result.postings_rebuilt +=
+            static_cast<int64_t>(stats[s].postings_rebuilt);
+      }
+      router.scatter_width_->Record(static_cast<int64_t>(num_shards));
       // Publish the router-level epoch only after EVERY shard swapped:
       // an epoch reader never observes a cross-shard commit half done.
       uint64_t epoch = router.epoch_.load(std::memory_order_relaxed);
       if (any_published) {
+        // Quorum gate: the epoch bump that makes this commit visible
+        // waits until write_quorum copies of every shard (primary +
+        // replicas) have applied it. Quorum 1 short-circuits — the
+        // primary already applied — which is the bit-identity baseline.
+        ApiStatus quorum = router.AwaitWriteQuorum();
+        if (!quorum.ok()) {
+          return ErrorResponse(std::move(quorum));
+        }
+        // Advance the read floors to the just-committed shard versions:
+        // replicas below them are no longer eligible to serve reads
+        // (commit-visibility gate).
+        for (size_t s = 0; s < num_shards; ++s) {
+          router.shards_[s]->read_floor.store(
+              router.shards_[s]->service->Snapshot()->version(),
+              std::memory_order_release);
+        }
         ++epoch;
         router.epoch_.store(epoch, std::memory_order_release);
         if (router.epoch_callback_) {
@@ -615,6 +869,23 @@ Response ShardRouter::DispatchPayload(const Request& request,
       // DispatchPayload. Kept for variant exhaustiveness.
       return ErrorResponse(ApiStatus::Internal(
           "metrics request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplFetchRequest&) {
+      // Unreachable: the base envelope routes replication methods to the
+      // attached ReplicationHandler. Kept for variant exhaustiveness.
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_fetch request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplStatusRequest&) {
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_status request reached DispatchPayload"));
+    }
+
+    Response operator()(const ReplPromoteRequest&) {
+      return ErrorResponse(ApiStatus::Internal(
+          "repl_promote request reached DispatchPayload"));
     }
   };
 

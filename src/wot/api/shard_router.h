@@ -51,16 +51,18 @@
 #include <vector>
 
 #include "wot/api/frontend.h"
+#include "wot/api/replica_handle.h"
 #include "wot/community/dataset.h"
 #include "wot/service/dataset_shard.h"
 #include "wot/service/trust_service.h"
 #include "wot/service/trust_snapshot.h"
 #include "wot/util/thread_annotations.h"
+#include "wot/util/thread_pool.h"
 
 namespace wot {
 namespace api {
 
-class ShardRouter : public Frontend {
+class ShardRouter : public Frontend, private ReplicationHandler {
  public:
   /// \brief Slices \p seed across \p num_shards TrustService shards
   /// (round-robin by user index; see wot/service/dataset_shard.h) and
@@ -97,6 +99,47 @@ class ShardRouter : public Frontend {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// \brief Registers a replica of shard \p shard. Point reads and topk
+  /// scatter legs load-balance across a shard's replicas whose applied
+  /// version has reached the shard's read floor (the version the last
+  /// epoch bump published — the staleness gate that keeps the commit-
+  /// visibility guarantee); commits always go to the primary. The first
+  /// AddReplica also attaches the router's own ReplicationHandler so
+  /// `repl_status` reports the replica sets; a handler attached earlier
+  /// (a sharded primary's ReplicationSource) is kept as the `repl_fetch`
+  /// delegate, so the same process can feed its own followers. NOT
+  /// thread-safe against serving traffic: register replicas before
+  /// dispatching.
+  void AddReplica(size_t shard, std::shared_ptr<ReplicaHandle> handle);
+
+  /// \brief Copies of each commit required per shard — the primary plus
+  /// replicas whose applied version reached the committed one — before
+  /// the router epoch bump publishes the commit. The default 1 is
+  /// satisfied by the primary alone and is property-tested bit-identical
+  /// to the pre-replication router. Quorums above 1 + the configured
+  /// replica count can never be met and fail every commit at the
+  /// timeout. Thread-safe.
+  void set_write_quorum(int64_t quorum) {
+    write_quorum_.store(quorum < 1 ? 1 : quorum,
+                        std::memory_order_relaxed);
+  }
+
+  /// \brief How long a commit waits for the write quorum before
+  /// answering INTERNAL (without bumping the epoch — the commit is
+  /// durable on the primaries and a later commit publishes it).
+  void set_quorum_timeout_millis(int64_t millis) {
+    quorum_timeout_millis_.store(millis < 0 ? 0 : millis,
+                                 std::memory_order_relaxed);
+  }
+
+  /// \brief Forces commit fan-out and topk scatter onto the serial
+  /// per-shard loop (the pre-pool behavior). A benchmarking / debugging
+  /// knob — results are identical either way, only latency differs.
+  /// Thread-safe.
+  void set_parallel_fanout(bool enabled) {
+    parallel_fanout_.store(enabled, std::memory_order_relaxed);
+  }
+
   /// \brief Shard \p shard's service, for inspection (tests, stats
   /// tooling). Do NOT ingest through it — write traffic must go through
   /// Dispatch so the global id space stays dense.
@@ -121,12 +164,29 @@ class ShardRouter : public Frontend {
                            const ConnectionContext& connection) override;
 
  private:
+  /// One registered replica and the router's cached view of it (updated
+  /// by Poll during quorum waits and staleness refreshes).
+  struct ReplicaSlot {
+    std::shared_ptr<ReplicaHandle> handle;
+    std::atomic<uint64_t> applied{0};
+    std::atomic<bool> healthy{true};
+    /// replication.replica_applied.s<shard>.r<index> (router registry).
+    telemetry::Gauge* applied_gauge = nullptr;
+  };
+
   struct Shard {
     std::unique_ptr<TrustService> service;
     std::unique_ptr<ServiceFrontend> frontend;
     /// Requests the router dispatched to this shard (fan-outs count on
     /// every shard touched).
     std::atomic<int64_t> dispatches{0};
+    /// Replicas of this shard (append-only, fixed before serving).
+    std::vector<std::unique_ptr<ReplicaSlot>> replicas;
+    /// The shard-local snapshot version the last router epoch bump
+    /// published: replicas below it are too stale to serve reads.
+    std::atomic<uint64_t> read_floor{0};
+    /// Round-robin cursor over {replicas..., primary}.
+    std::atomic<uint64_t> next_read{0};
   };
 
   /// A user ref resolved to its owning shard.
@@ -170,12 +230,68 @@ class ShardRouter : public Frontend {
                           std::string_view source_ref,
                           std::string_view target_ref);
 
+  /// \brief Runs body(s) for every shard index, over the router pool when
+  /// it exists (2+ shards), serially otherwise. Blocks until every
+  /// iteration completed — per-call completion tracking, so concurrent
+  /// dispatches never wait on each other's fan-outs.
+  void RunOnShards(const std::function<void(size_t)>& body);
+
+  /// \brief Picks an eligible replica of \p shard for one read, round-
+  /// robin over {replicas, primary}: a replica whose cached (refreshed
+  /// when stale) applied version has reached the shard's read floor and
+  /// that is healthy. nullptr means "serve from the primary".
+  ReplicaSlot* PickReplica(size_t shard);
+
+  /// \brief One Poll() on \p slot, refreshing the cached applied version,
+  /// health and the per-replica gauge.
+  ReplicaProbe Probe(ReplicaSlot* slot);
+
+  /// \brief Blocks until every shard's post-commit snapshot version has
+  /// been applied by write_quorum copies (primary included), or the
+  /// quorum timeout elapses. Records router.quorum_wait_ns. Immediate
+  /// OK (no polls, no samples) when the quorum is 1.
+  ApiStatus AwaitWriteQuorum();
+
+  /// \brief Dispatches one shard-local read to an eligible replica,
+  /// falling back to the primary on transport failure or replica error.
+  Response DispatchShardRead(size_t shard, const Request& local,
+                             const ConnectionContext& connection);
+
+  // The router's ReplicationHandler face (attached by AddReplica):
+  // repl_status reports the replica sets; repl_fetch forwards to the
+  // delegate (the process's ReplicationSource) when one was attached
+  // before the first AddReplica; promote belongs to replica processes.
+  Response HandleReplFetch(const ReplFetchRequest& request) override;
+  Response HandleReplStatus(const ReplStatusRequest& request) override;
+  Response HandleReplPromote(const ReplPromoteRequest& request) override;
+
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// The handler AddReplica displaced — the serving process's own
+  /// ReplicationSource, which keeps answering repl_fetch through the
+  /// router. Written only by AddReplica (before serving traffic).
+  ReplicationHandler* fetch_delegate_ = nullptr;
+
+  /// Fan-out workers (commit fan-out, topk scatter); null with one shard
+  /// — the serial path is the bit-identity baseline.
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// set_parallel_fanout: false pins RunOnShards to the serial loop.
+  std::atomic<bool> parallel_fanout_{true};
 
   // Router-level instruments (resolved once in InitTelemetry; the base
   // registry outlives them).
   telemetry::LatencyHistogram* fanout_latency_ns_ = nullptr;
   telemetry::LatencyHistogram* scatter_width_ = nullptr;
+  telemetry::LatencyHistogram* quorum_wait_ns_ = nullptr;
+  telemetry::Counter* replica_reads_ = nullptr;
+
+  std::atomic<int64_t> write_quorum_{1};
+  std::atomic<int64_t> quorum_timeout_millis_{2000};
+  /// Sleep slot for the quorum poll loop (nothing signals it; the wait
+  /// is a bounded doze between polls).
+  Mutex quorum_mu_;
+  CondVar quorum_cv_;
 
   // Ingest state: guarded by ingest_mu_. The router is the sole authority
   // over the global user id space.

@@ -1,0 +1,30 @@
+#include "wot/replication/replica_frontend.h"
+
+#include <variant>
+
+namespace wot {
+namespace replication {
+
+bool IsMutationPayload(const api::RequestPayload& payload) {
+  return std::holds_alternative<api::IngestUser>(payload) ||
+         std::holds_alternative<api::IngestCategory>(payload) ||
+         std::holds_alternative<api::IngestObject>(payload) ||
+         std::holds_alternative<api::IngestReview>(payload) ||
+         std::holds_alternative<api::IngestRating>(payload) ||
+         std::holds_alternative<api::CommitRequest>(payload);
+}
+
+api::Response ReplicaFrontend::DispatchPayload(
+    const api::Request& request,
+    const api::ConnectionContext& connection) {
+  if (replica_->role() != api::ReplRole::kPrimary &&
+      IsMutationPayload(request.payload)) {
+    return api::ErrorResponse(api::ApiStatus::InvalidArgument(
+        "this server is a replica; writes go to the primary (promote "
+        "it with `wot_cli replica promote` to fail over)"));
+  }
+  return inner_->Dispatch(request, connection);
+}
+
+}  // namespace replication
+}  // namespace wot

@@ -1,0 +1,95 @@
+#include "wot/replication/replica_handle_impl.h"
+
+namespace wot {
+namespace replication {
+
+ReconnectingClient::ClientFactory SocketClientFactory(
+    const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    return [path]() -> Result<std::unique_ptr<api::ApiClient>> {
+      WOT_ASSIGN_OR_RETURN(
+          std::unique_ptr<api::SocketClient> client,
+          api::SocketClient::Connect(path, api::WireProtocol::kBinary));
+      return std::unique_ptr<api::ApiClient>(std::move(client));
+    };
+  }
+  return [address]() -> Result<std::unique_ptr<api::ApiClient>> {
+    WOT_ASSIGN_OR_RETURN(
+        std::unique_ptr<api::SocketClient> client,
+        api::SocketClient::ConnectTcp(address,
+                                      api::WireProtocol::kBinary));
+    return std::unique_ptr<api::ApiClient>(std::move(client));
+  };
+}
+
+std::unique_ptr<ReconnectingClient> ReconnectingClient::ForAddress(
+    const std::string& address) {
+  return std::make_unique<ReconnectingClient>(SocketClientFactory(address));
+}
+
+Result<api::Response> ReconnectingClient::Call(
+    const api::Request& request) {
+  MutexLock lock(mu_);
+  if (client_ == nullptr) {
+    WOT_ASSIGN_OR_RETURN(client_, factory_());
+  }
+  Result<api::Response> called = client_->Call(request);
+  if (!called.ok()) {
+    client_.reset();  // transport died; redial on the next call
+  }
+  return called;
+}
+
+std::shared_ptr<ClientReplicaHandle> ClientReplicaHandle::ForAddress(
+    const std::string& address) {
+  return std::make_shared<ClientReplicaHandle>(address,
+                                               SocketClientFactory(address));
+}
+
+api::ApiClient* ClientReplicaHandle::Ensure() {
+  if (client_ != nullptr) return client_.get();
+  Result<std::unique_ptr<api::ApiClient>> built = factory_();
+  if (!built.ok()) return nullptr;
+  client_ = std::move(built).ValueOrDie();
+  return client_.get();
+}
+
+api::ReplicaProbe ClientReplicaHandle::Poll() {
+  MutexLock lock(mu_);
+  api::ReplicaProbe probe;
+  api::ApiClient* client = Ensure();
+  if (client == nullptr) return probe;  // unreachable: healthy = false
+  api::Request request;
+  request.payload = api::ReplStatusRequest{};
+  Result<api::Response> called = client->Call(request);
+  if (!called.ok()) {
+    client_.reset();  // transport died; rebuild on the next poll
+    return probe;
+  }
+  const api::Response& response = called.ValueOrDie();
+  const api::ReplStatusResult* status =
+      std::get_if<api::ReplStatusResult>(&response.payload);
+  if (!response.status.ok() || status == nullptr) {
+    return probe;  // answering, but not as a replica — keep it out
+  }
+  probe.applied_version = status->applied_version;
+  probe.healthy = true;
+  return probe;
+}
+
+std::optional<api::Response> ClientReplicaHandle::Forward(
+    const api::Request& request) {
+  MutexLock lock(mu_);
+  api::ApiClient* client = Ensure();
+  if (client == nullptr) return std::nullopt;
+  Result<api::Response> called = client->Call(request);
+  if (!called.ok()) {
+    client_.reset();
+    return std::nullopt;
+  }
+  return std::move(called).ValueOrDie();
+}
+
+}  // namespace replication
+}  // namespace wot

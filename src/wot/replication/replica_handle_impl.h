@@ -1,0 +1,96 @@
+// Concrete api::ReplicaHandle implementations for the ShardRouter's
+// replica sets.
+//
+// ClientReplicaHandle drives any ApiClient: Poll() issues repl_status
+// and reads the follower's applied version; Forward() relays a read
+// request verbatim. A transport failure tears the client down and
+// reports unhealthy — the next Poll() reconnects through the factory,
+// so a bounced replica process rejoins the read fan-out without router
+// intervention. The router's fallback contract (replica failure never
+// fails a read — the primary answers instead) lives in the router; this
+// class only has to be honest about what failed.
+#ifndef WOT_REPLICATION_REPLICA_HANDLE_IMPL_H_
+#define WOT_REPLICATION_REPLICA_HANDLE_IMPL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "wot/api/client.h"
+#include "wot/api/replica_handle.h"
+#include "wot/util/thread_annotations.h"
+
+namespace wot {
+namespace replication {
+
+/// \brief An ApiClient that (re)builds its transport through a factory:
+/// the first Call connects, a transport failure tears the connection
+/// down and surfaces the error, and the next Call reconnects. A
+/// ReplicaService pulling from a primary that restarts (or is not up
+/// yet) rides this instead of dying with its socket.
+class ReconnectingClient : public api::ApiClient {
+ public:
+  using ClientFactory =
+      std::function<Result<std::unique_ptr<api::ApiClient>>()>;
+
+  explicit ReconnectingClient(ClientFactory factory)
+      : factory_(std::move(factory)) {}
+
+  /// \brief Reconnects to "unix:PATH" or "HOST:PORT" (v2 binary).
+  static std::unique_ptr<ReconnectingClient> ForAddress(
+      const std::string& address);
+
+  Result<api::Response> Call(const api::Request& request) override
+      WOT_EXCLUDES(mu_);
+
+ private:
+  const ClientFactory factory_;
+  mutable Mutex mu_;
+  std::unique_ptr<api::ApiClient> client_ WOT_GUARDED_BY(mu_);
+};
+
+/// \brief The factory behind ForAddress: "unix:PATH" dials a unix
+/// socket, anything else TCP "HOST:PORT" — both v2 binary.
+ReconnectingClient::ClientFactory SocketClientFactory(
+    const std::string& address);
+
+/// \brief A replica reachable through an ApiClient (socket or loopback).
+class ClientReplicaHandle : public api::ReplicaHandle {
+ public:
+  /// Builds a fresh client; invoked on first use and after any
+  /// transport failure. Must be safe to call repeatedly.
+  using ClientFactory =
+      std::function<Result<std::unique_ptr<api::ApiClient>>()>;
+
+  ClientReplicaHandle(std::string address, ClientFactory factory)
+      : address_(std::move(address)), factory_(std::move(factory)) {}
+
+  /// \brief A handle that (re)connects to `wot_served --socket PATH`
+  /// (address "unix:PATH") or `--listen HOST:PORT` (address
+  /// "HOST:PORT"), speaking the v2 binary protocol.
+  static std::shared_ptr<ClientReplicaHandle> ForAddress(
+      const std::string& address);
+
+  api::ReplicaProbe Poll() override WOT_EXCLUDES(mu_);
+  std::optional<api::Response> Forward(const api::Request& request) override
+      WOT_EXCLUDES(mu_);
+  const std::string& address() const override { return address_; }
+
+ private:
+  /// Returns the live client, building one if needed (null on failure).
+  api::ApiClient* Ensure() WOT_REQUIRES(mu_);
+
+  const std::string address_;
+  const ClientFactory factory_;
+
+  /// One client, one in-flight call: ApiClient is synchronous and
+  /// single-threaded, so every use serializes here.
+  mutable Mutex mu_;
+  std::unique_ptr<api::ApiClient> client_ WOT_GUARDED_BY(mu_);
+};
+
+}  // namespace replication
+}  // namespace wot
+
+#endif  // WOT_REPLICATION_REPLICA_HANDLE_IMPL_H_

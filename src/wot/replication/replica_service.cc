@@ -1,0 +1,378 @@
+#include "wot/replication/replica_service.h"
+
+#include <utility>
+
+#include "wot/replication/replication_source.h"
+#include "wot/storage/fs_util.h"
+#include "wot/storage/wal.h"
+#include "wot/telemetry/timed.h"
+#include "wot/util/logging.h"
+
+namespace wot {
+namespace replication {
+
+using api::ApiStatus;
+using api::ErrorResponse;
+using api::ReplArtifactKind;
+using api::ReplFetchResult;
+using api::ReplRole;
+using api::Response;
+
+ReplicaService::ReplicaService(std::string dir,
+                               std::unique_ptr<api::ApiClient> upstream,
+                               ReplicaOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      source_(std::make_unique<ReplicationSource>(
+          dir_, /*num_shards=*/1,
+          [this](int64_t) { return applied_version(); })),
+      metrics_(std::make_shared<telemetry::MetricRegistry>()),
+      lag_epochs_(metrics_->gauge("replication.lag_epochs")),
+      catchup_ns_(metrics_->histogram("replication.catchup_ns")),
+      applied_records_(metrics_->counter("replication.applied_records")),
+      failovers_(metrics_->counter("replication.failovers")),
+      upstream_(std::move(upstream)),
+      role_(static_cast<int64_t>(ReplRole::kReplica)) {}
+
+Result<std::unique_ptr<ReplicaService>> ReplicaService::Create(
+    std::string dir, std::unique_ptr<api::ApiClient> upstream,
+    ReplicaOptions options) {
+  WOT_RETURN_IF_ERROR(storage::EnsureDir(dir));
+  std::unique_ptr<ReplicaService> replica(
+      new ReplicaService(std::move(dir), std::move(upstream), options));
+
+  WOT_ASSIGN_OR_RETURN(storage::StorageFileSet files,
+                       storage::ListStorageFiles(replica->dir_));
+  if (files.segments.empty()) {
+    return replica;  // fresh: the first Step() bootstraps
+  }
+
+  // A previous replica (or primary) lived here: recover it locally and
+  // resume from the WAL-delta cursor — never a full re-ship. The seed
+  // provider must be unreachable (a populated directory recovers).
+  Result<storage::StorageManager::BootResult> booted =
+      storage::StorageManager::Boot(
+          replica->dir_,
+          []() -> Result<Dataset> {
+            return Status::Internal(
+                "replica recovery must not seed a fresh dataset");
+          },
+          options.service, options.storage);
+  if (!booted.ok()) {
+    return Status::Corruption(
+        "replica directory '" + replica->dir_ +
+        "' is not recoverable (wipe it to re-bootstrap): " +
+        booted.status().message());
+  }
+  storage::StorageManager::BootResult boot = std::move(booted).ValueOrDie();
+
+  MutexLock lock(replica->mu_);
+  replica->manager_ = std::move(boot.manager);
+  replica->service_ = std::move(boot.service);
+  replica->service_ptr_.store(replica->service_.get(),
+                              std::memory_order_release);
+  replica->manager_ptr_.store(replica->manager_.get(),
+                              std::memory_order_release);
+  // Cursor recovery: the replica re-logged every applied record through
+  // its own StorageManager with byte-identical framing, so the upstream
+  // position is simply (our newest wal epoch, its valid byte length).
+  DurabilityStats stats = replica->manager_->durability_stats();
+  uint64_t epoch = static_cast<uint64_t>(stats.segment_epoch);
+  for (const storage::StorageFile& wal : files.wals) {
+    epoch = std::max(epoch, wal.number);
+  }
+  replica->cursor_epoch_ = epoch;
+  replica->cursor_offset_ = static_cast<uint64_t>(stats.wal_bytes);
+  return replica;
+}
+
+ReplicaService::~ReplicaService() { StopPuller(); }
+
+uint64_t ReplicaService::applied_version() const {
+  TrustService* service = service_ptr_.load(std::memory_order_acquire);
+  return service == nullptr ? 0 : service->Snapshot()->version();
+}
+
+Result<ReplFetchResult> ReplicaService::Fetch(uint64_t epoch,
+                                              uint64_t offset) {
+  api::Request request;
+  api::ReplFetchRequest fetch;
+  fetch.shard = options_.shard;
+  fetch.applied_version = epoch;
+  fetch.offset = offset;
+  request.payload = fetch;
+  WOT_ASSIGN_OR_RETURN(Response response, upstream_->Call(request));
+  if (!response.status.ok()) {
+    return Status::Internal("upstream repl_fetch failed: " +
+                            response.status.message);
+  }
+  const ReplFetchResult* result =
+      std::get_if<ReplFetchResult>(&response.payload);
+  if (result == nullptr) {
+    return Status::Internal(
+        "upstream repl_fetch answered with the wrong payload type");
+  }
+  return *result;
+}
+
+void ReplicaService::UpdateLag(uint64_t source) {
+  source_version_.store(source, std::memory_order_release);
+  const uint64_t applied = applied_version();
+  lag_epochs_->Set(
+      source > applied ? static_cast<int64_t>(source - applied) : 0);
+}
+
+Result<bool> ReplicaService::Step() {
+  MutexLock lock(mu_);
+  telemetry::Timer timer;
+  Result<bool> progressed = StepLocked();
+  timer.RecordInto(catchup_ns_);
+  return progressed;
+}
+
+Result<bool> ReplicaService::StepLocked() {
+  if (cursor_epoch_ == 0) {
+    WOT_ASSIGN_OR_RETURN(ReplFetchResult artifact,
+                         Fetch(0, bootstrap_buffer_.size()));
+    return BootstrapStep(artifact);
+  }
+  WOT_ASSIGN_OR_RETURN(ReplFetchResult artifact,
+                       Fetch(cursor_epoch_, cursor_offset_));
+  return ApplyDelta(artifact);
+}
+
+Result<bool> ReplicaService::BootstrapStep(const ReplFetchResult& artifact) {
+  if (artifact.kind != static_cast<int64_t>(ReplArtifactKind::kSegment)) {
+    return Status::Internal(
+        "bootstrap expected a segment chunk, got artifact kind " +
+        std::to_string(artifact.kind));
+  }
+  if (artifact.base_version != bootstrap_version_) {
+    // The source rotated to a newer segment mid-download: start over.
+    if (bootstrap_version_ != 0) {
+      WOT_LOG(Info) << "replica bootstrap restarting: source moved from "
+                       "segment "
+                    << bootstrap_version_ << " to "
+                    << artifact.base_version;
+    }
+    bootstrap_version_ = artifact.base_version;
+    bootstrap_buffer_.clear();
+    if (artifact.offset != 0) {
+      return true;  // re-request this segment from offset 0
+    }
+  }
+  if (artifact.offset != bootstrap_buffer_.size()) {
+    return Status::Internal(
+        "bootstrap chunk at offset " + std::to_string(artifact.offset) +
+        " does not continue the " +
+        std::to_string(bootstrap_buffer_.size()) +
+        " bytes downloaded so far");
+  }
+  bootstrap_buffer_ += artifact.payload;
+  UpdateLag(artifact.source_version);
+  if (bootstrap_buffer_.size() < artifact.total_bytes) {
+    return !artifact.payload.empty();
+  }
+
+  // Download complete: persist the segment and recover from it — the
+  // exact crash-recovery path, so the restored service is bit-identical
+  // to the primary's snapshot at this version.
+  const std::string path =
+      storage::SegmentPath(dir_, bootstrap_version_);
+  WOT_RETURN_IF_ERROR(storage::AtomicWriteFile(path, bootstrap_buffer_));
+  bootstrap_buffer_.clear();
+  bootstrap_buffer_.shrink_to_fit();
+  Result<storage::StorageManager::BootResult> booted =
+      storage::StorageManager::Boot(
+          dir_,
+          []() -> Result<Dataset> {
+            return Status::Internal(
+                "replica bootstrap must recover from the shipped "
+                "segment, not seed");
+          },
+          options_.service, options_.storage);
+  if (!booted.ok()) {
+    return Status::Corruption("shipped segment did not boot: " +
+                              booted.status().message());
+  }
+  storage::StorageManager::BootResult boot =
+      std::move(booted).ValueOrDie();
+  manager_ = std::move(boot.manager);
+  service_ = std::move(boot.service);
+  service_ptr_.store(service_.get(), std::memory_order_release);
+  manager_ptr_.store(manager_.get(), std::memory_order_release);
+  cursor_epoch_ = bootstrap_version_;
+  cursor_offset_ = 0;
+  UpdateLag(artifact.source_version);
+  WOT_LOG(Info) << "replica bootstrapped from segment version "
+                << bootstrap_version_ << " (" << artifact.total_bytes
+                << " bytes); entering wal catch-up";
+  return true;
+}
+
+Result<bool> ReplicaService::ApplyDelta(const ReplFetchResult& artifact) {
+  if (artifact.kind == static_cast<int64_t>(ReplArtifactKind::kNone)) {
+    UpdateLag(artifact.source_version);
+    return false;
+  }
+  if (artifact.kind == static_cast<int64_t>(ReplArtifactKind::kSegment)) {
+    // The source no longer holds our wal epoch: we fell past its
+    // retention window. Re-bootstrapping would tear the service out
+    // from under live readers, so demand an operator restart instead.
+    return Status::FailedPrecondition(
+        "replica fell behind the source's retention window (wal epoch " +
+        std::to_string(cursor_epoch_) +
+        " retired); wipe the replica directory and restart to "
+        "re-bootstrap");
+  }
+  if (artifact.kind != static_cast<int64_t>(ReplArtifactKind::kWalDelta)) {
+    return Status::Internal("unknown replication artifact kind " +
+                            std::to_string(artifact.kind));
+  }
+
+  if (artifact.base_version != cursor_epoch_) {
+    // The source switched us to the next wal epoch in the chain.
+    if (artifact.offset != 0) {
+      return Status::Internal(
+          "epoch switch to wal-" + std::to_string(artifact.base_version) +
+          " did not start at offset 0");
+    }
+    cursor_epoch_ = artifact.base_version;
+    cursor_offset_ = 0;
+  } else if (artifact.offset != cursor_offset_) {
+    return Status::Internal(
+        "wal delta at offset " + std::to_string(artifact.offset) +
+        " does not continue our cursor at " +
+        std::to_string(cursor_offset_));
+  }
+
+  TrustService* service = service_.get();
+  Result<storage::WalScanStats> scanned = storage::ScanWalBuffer(
+      artifact.payload, [service](const storage::WalRecord& record) {
+        return storage::ApplyWalRecord(*service, record);
+      });
+  if (!scanned.ok()) {
+    return Status::Corruption("shipped wal delta failed to apply: " +
+                              scanned.status().message());
+  }
+  const storage::WalScanStats& stats = scanned.ValueOrDie();
+  if (stats.truncated_bytes != 0) {
+    return Status::Corruption(
+        "shipped wal delta carries a torn frame (" +
+        std::to_string(stats.truncated_bytes) +
+        " trailing bytes); the source must ship complete records");
+  }
+  cursor_offset_ += stats.valid_bytes;
+  applied_records_->Increment(static_cast<int64_t>(stats.records));
+  UpdateLag(artifact.source_version);
+  return stats.valid_bytes > 0;
+}
+
+Status ReplicaService::CatchUp() {
+  for (;;) {
+    WOT_ASSIGN_OR_RETURN(bool progressed, Step());
+    if (!progressed) return Status::OK();
+  }
+}
+
+void ReplicaService::StartPuller() {
+  if (puller_.joinable()) return;
+  {
+    MutexLock lock(puller_mu_);
+    puller_stop_ = false;
+  }
+  puller_ = std::thread([this] { PullerLoop(); });
+}
+
+void ReplicaService::StopPuller() {
+  {
+    MutexLock lock(puller_mu_);
+    puller_stop_ = true;
+    puller_cv_.NotifyAll();
+  }
+  if (puller_.joinable()) {
+    puller_.join();
+    puller_ = std::thread();
+  }
+}
+
+void ReplicaService::PullerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(puller_mu_);
+      if (puller_stop_) return;
+    }
+    Result<bool> progressed = Step();
+    if (!progressed.ok()) {
+      WOT_LOG(Warning) << "replica pull failed (retrying): "
+                       << progressed.status().message();
+    }
+    if (progressed.ok() && progressed.ValueOrDie()) continue;
+    MutexLock lock(puller_mu_);
+    if (puller_stop_) return;
+    puller_cv_.WaitForMillis(puller_mu_, options_.poll_millis);
+  }
+}
+
+Status ReplicaService::Promote() {
+  if (role() == ReplRole::kPrimary) return Status::OK();
+  StopPuller();
+  MutexLock lock(mu_);
+  if (service_ == nullptr) {
+    return Status::FailedPrecondition(
+        "replica has not bootstrapped yet; nothing to promote");
+  }
+  // Final catch-up, best effort: the primary is usually already dead,
+  // so fetch errors end the drain rather than failing the promotion.
+  for (;;) {
+    Result<bool> progressed = StepLocked();
+    if (!progressed.ok()) {
+      WOT_LOG(Info) << "promotion: final catch-up ended: "
+                    << progressed.status().message();
+      break;
+    }
+    if (!progressed.ValueOrDie()) break;
+  }
+  role_.store(static_cast<int64_t>(ReplRole::kPrimary),
+              std::memory_order_release);
+  failovers_->Increment();
+  failover_count_.fetch_add(1, std::memory_order_acq_rel);
+  WOT_LOG(Info) << "replica promoted to primary at version "
+                << applied_version();
+  return Status::OK();
+}
+
+Response ReplicaService::HandleReplFetch(
+    const api::ReplFetchRequest& request) {
+  if (role() != ReplRole::kPrimary) {
+    return ErrorResponse(ApiStatus::Unimplemented(
+        "this server is a replica; repl_fetch is served by its primary"));
+  }
+  return source_->HandleReplFetch(request);
+}
+
+Response ReplicaService::HandleReplStatus(const api::ReplStatusRequest&) {
+  api::ReplStatusResult result;
+  result.role = static_cast<int64_t>(role());
+  result.applied_version = applied_version();
+  result.source_version =
+      role() == ReplRole::kPrimary
+          ? result.applied_version
+          : source_version_.load(std::memory_order_acquire);
+  result.failovers = failover_count_.load(std::memory_order_acquire);
+  Response response;
+  response.payload = std::move(result);
+  return response;
+}
+
+Response ReplicaService::HandleReplPromote(const api::ReplPromoteRequest&) {
+  Status promoted = Promote();
+  if (!promoted.ok()) {
+    return ErrorResponse(
+        ApiStatus::InvalidArgument(promoted.message()));
+  }
+  return HandleReplStatus(api::ReplStatusRequest{});
+}
+
+}  // namespace replication
+}  // namespace wot

@@ -1,0 +1,192 @@
+// ReplicaService: the follower side of shard replication.
+//
+// A replica mirrors exactly ONE upstream shard (shard 0 of an unsharded
+// primary by default; a sharded primary gets one replica process per
+// shard). It pulls artifacts with `repl_fetch` over any ApiClient and
+// applies them to a local durable TrustService:
+//
+//   * bootstrap — segment chunks accumulate until complete, the file is
+//     written as segment-<V>.seg, and StorageManager::Boot restores a
+//     service from it instantly (PR 8's recovery path, unchanged).
+//   * catch-up — WAL delta frames are decoded with ScanWalBuffer and
+//     replayed through ApplyWalRecord; commits advance the applied
+//     version exactly as crash recovery would.
+//
+// Because the replica's own StorageManager re-logs every applied record,
+// the replica's data directory is byte-compatible with the primary's WAL
+// chain: restart recovery is local, the resume cursor is derived from
+// the replica's own newest wal file, and a promoted replica is durable
+// from its first accepted write with no extra machinery.
+//
+// Promotion (`Promote()`, or the repl_promote wire method): stop the
+// puller, drain whatever the source still answers (best effort — the
+// primary is usually dead), flip the role to primary, and count it on
+// replication.failovers. The caller (wot_served's write gate) starts
+// accepting writes the moment role() returns kPrimary; epochs stay
+// strictly monotonic because the replica only ever applied prefix of
+// the primary's history.
+//
+// Thread contract: Step()/Promote() serialize on an internal mutex; the
+// Handle* methods and the accessors are safe from any serving thread.
+#ifndef WOT_REPLICATION_REPLICA_SERVICE_H_
+#define WOT_REPLICATION_REPLICA_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "wot/api/api.h"
+#include "wot/api/client.h"
+#include "wot/api/frontend.h"
+#include "wot/service/trust_service.h"
+#include "wot/storage/storage_manager.h"
+#include "wot/telemetry/metric_registry.h"
+#include "wot/util/result.h"
+#include "wot/util/thread_annotations.h"
+
+namespace wot {
+namespace replication {
+
+class ReplicationSource;
+
+struct ReplicaOptions {
+  /// Which upstream shard to mirror.
+  int64_t shard = 0;
+  /// Puller sleep between polls once caught up (and backoff after a
+  /// fetch error).
+  int64_t poll_millis = 50;
+  TrustServiceOptions service;
+  storage::StorageOptions storage;
+};
+
+/// \brief Pulls one upstream shard's artifacts and applies them locally.
+class ReplicaService : public api::ReplicationHandler {
+ public:
+  /// \brief Opens \p dir (recovering any previous replica state in it)
+  /// and prepares to pull from \p upstream. No fetch happens here; call
+  /// Step()/CatchUp() or StartPuller(). An empty directory starts in
+  /// bootstrap state; a populated one resumes from its own WAL cursor.
+  static Result<std::unique_ptr<ReplicaService>> Create(
+      std::string dir, std::unique_ptr<api::ApiClient> upstream,
+      ReplicaOptions options = {});
+
+  ~ReplicaService() override;
+  ReplicaService(const ReplicaService&) = delete;
+  ReplicaService& operator=(const ReplicaService&) = delete;
+
+  /// \brief One pull-and-apply step: fetch one artifact, apply it.
+  /// Returns true when progress was made (bytes applied), false when
+  /// caught up. The unit the property tests drive deterministically.
+  Result<bool> Step() WOT_EXCLUDES(mu_);
+
+  /// \brief Steps until caught up (bootstrap included) or an error.
+  Status CatchUp() WOT_EXCLUDES(mu_);
+
+  /// \brief Background puller: loops Step(), dozing poll_millis when
+  /// caught up or after an error. Idempotent.
+  void StartPuller();
+  void StopPuller();
+
+  /// \brief Stops the puller, drains the source best-effort (fetch
+  /// errors are expected — the primary is typically gone), and flips
+  /// the role to kPrimary. Fails only if the replica never bootstrapped
+  /// (there is no state to promote).
+  Status Promote() WOT_EXCLUDES(mu_);
+
+  api::ReplRole role() const {
+    return static_cast<api::ReplRole>(
+        role_.load(std::memory_order_acquire));
+  }
+  /// Last commit version fully applied (0 before bootstrap completes).
+  uint64_t applied_version() const;
+  /// The source's published version at last contact.
+  uint64_t source_version() const {
+    return source_version_.load(std::memory_order_acquire);
+  }
+
+  /// The mirrored service; null until bootstrap completes. Stable once
+  /// set (re-bootstrap after falling past source retention requires a
+  /// process restart precisely so this pointer never dies mid-serve).
+  TrustService* service() const {
+    return service_ptr_.load(std::memory_order_acquire);
+  }
+  storage::StorageManager* manager() const {
+    return manager_ptr_.load(std::memory_order_acquire);
+  }
+
+  // api::ReplicationHandler — attach to the replica's serving frontend.
+  api::Response HandleReplFetch(const api::ReplFetchRequest& request) override;
+  api::Response HandleReplStatus(
+      const api::ReplStatusRequest& request) override;
+  api::Response HandleReplPromote(
+      const api::ReplPromoteRequest& request) override;
+
+  /// \brief replication.lag_epochs / catchup_ns / applied_records /
+  /// failovers live here; register as a scrape source.
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return metrics_;
+  }
+
+ private:
+  ReplicaService(std::string dir, std::unique_ptr<api::ApiClient> upstream,
+                 ReplicaOptions options);
+
+  Result<bool> StepLocked() WOT_REQUIRES(mu_);
+  Result<bool> BootstrapStep(const api::ReplFetchResult& artifact)
+      WOT_REQUIRES(mu_);
+  Result<bool> ApplyDelta(const api::ReplFetchResult& artifact)
+      WOT_REQUIRES(mu_);
+  /// One repl_fetch round trip; transport and application errors both
+  /// surface as a non-OK status.
+  Result<api::ReplFetchResult> Fetch(uint64_t epoch, uint64_t offset)
+      WOT_REQUIRES(mu_);
+  void UpdateLag(uint64_t source) WOT_REQUIRES(mu_);
+  void PullerLoop();
+
+  const std::string dir_;
+  const ReplicaOptions options_;
+  /// Serves repl_fetch out of our own directory once promoted (a
+  /// promoted replica is a full primary, chainable replicas included).
+  std::unique_ptr<ReplicationSource> source_;
+
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  telemetry::Gauge* lag_epochs_;
+  telemetry::LatencyHistogram* catchup_ns_;
+  telemetry::Counter* applied_records_;
+  telemetry::Counter* failovers_;
+
+  mutable Mutex mu_;
+  std::unique_ptr<api::ApiClient> upstream_ WOT_GUARDED_BY(mu_);
+  /// Destruction order: manager after service (the service detaches by
+  /// dying first), matching DurableService.
+  std::unique_ptr<storage::StorageManager> manager_ WOT_GUARDED_BY(mu_);
+  std::unique_ptr<TrustService> service_ WOT_GUARDED_BY(mu_);
+  /// 0 = bootstrapping; else the upstream wal epoch being consumed.
+  uint64_t cursor_epoch_ WOT_GUARDED_BY(mu_) = 0;
+  /// Bytes of the upstream artifact already consumed (segment bytes
+  /// while bootstrapping, wal-<epoch> bytes afterwards).
+  uint64_t cursor_offset_ WOT_GUARDED_BY(mu_) = 0;
+  /// The segment version being downloaded (0 = none yet).
+  uint64_t bootstrap_version_ WOT_GUARDED_BY(mu_) = 0;
+  std::string bootstrap_buffer_ WOT_GUARDED_BY(mu_);
+
+  // Lock-free mirrors for serving threads (Handle*, accessors).
+  std::atomic<int64_t> role_;
+  std::atomic<uint64_t> source_version_{0};
+  std::atomic<int64_t> failover_count_{0};
+  std::atomic<TrustService*> service_ptr_{nullptr};
+  std::atomic<storage::StorageManager*> manager_ptr_{nullptr};
+
+  Mutex puller_mu_;
+  CondVar puller_cv_;
+  bool puller_stop_ WOT_GUARDED_BY(puller_mu_) = false;
+  std::thread puller_;
+};
+
+}  // namespace replication
+}  // namespace wot
+
+#endif  // WOT_REPLICATION_REPLICA_SERVICE_H_

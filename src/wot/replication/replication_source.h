@@ -1,0 +1,102 @@
+// ReplicationSource: the primary side of shard replication.
+//
+// A source answers `repl_fetch` over a primary's storage directory (the
+// same files StorageManager writes), shipping epoch-tagged artifacts:
+//
+//   * bootstrap — a replica with applied_version == 0 receives the
+//     newest CRC-valid snapshot segment in offset-addressed chunks
+//     (<= kMaxChunkBytes each). `base_version` tags the segment; if the
+//     primary rotates mid-stream the tag changes and the replica
+//     restarts its download from offset 0.
+//   * catch-up — a replica consuming the WAL chain sends the epoch of
+//     the wal file it is reading plus the bytes of it already applied;
+//     the source ships the next run of complete CRC-framed records (the
+//     exact on-disk framing, chopped only at record boundaries). When
+//     the file is exhausted and a newer wal epoch exists, the response
+//     switches to it (`base_version` = new epoch, offset 0); when the
+//     replica is fully caught up the response is kind = kNone.
+//
+// The wal-epoch cursor needs no server-side state per replica: because a
+// follower re-logs every applied record through its own StorageManager
+// and the framing is deterministic, a restarted replica recovers its
+// cursor from its OWN newest wal file (epoch = file number, offset =
+// valid byte length) — reconnects always resume from delta, never a
+// full re-ship. A replica whose epoch has been retired by retention is
+// answered with a bootstrap segment instead; the replica treats that
+// downgrade as "wipe and re-bootstrap".
+//
+// Thread contract: HandleRepl* are thread-safe (the source is stateless
+// between calls; every fetch re-reads the directory).
+#ifndef WOT_REPLICATION_REPLICATION_SOURCE_H_
+#define WOT_REPLICATION_REPLICATION_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "wot/api/api.h"
+#include "wot/api/frontend.h"
+#include "wot/telemetry/metric_registry.h"
+
+namespace wot {
+namespace replication {
+
+/// \brief Serves a primary's replication artifacts out of its storage
+/// directory. Attach to the serving Frontend with
+/// set_replication_handler (wot_served does this on every durable boot).
+class ReplicationSource : public api::ReplicationHandler {
+ public:
+  /// Largest payload of one repl_fetch response. Segment chunks are cut
+  /// exactly here; WAL deltas are cut at the last record boundary at or
+  /// before it (and always carry at least one complete record).
+  static constexpr uint64_t kMaxChunkBytes = 512 * 1024;
+
+  /// \brief Reports the primary's current published version per shard —
+  /// replicas compute lag from it. Must be thread-safe; wot_served wires
+  /// it to the live TrustService(s). Null means "report 0".
+  using VersionProvider = std::function<uint64_t(int64_t shard)>;
+
+  /// \p dir is the primary's data directory; with \p num_shards >= 2 a
+  /// shard's files live under dir/shard-<s>/ (the BootDurable layout).
+  ReplicationSource(std::string dir, size_t num_shards,
+                    VersionProvider version_provider);
+
+  // api::ReplicationHandler.
+  api::Response HandleReplFetch(const api::ReplFetchRequest& request) override;
+  api::Response HandleReplStatus(
+      const api::ReplStatusRequest& request) override;
+  api::Response HandleReplPromote(
+      const api::ReplPromoteRequest& request) override;
+
+  /// \brief replication.fetches / replication.ship_bytes live here;
+  /// register as a scrape source on the serving frontend.
+  const std::shared_ptr<telemetry::MetricRegistry>& metrics_registry()
+      const {
+    return metrics_;
+  }
+
+ private:
+  std::string ShardDir(int64_t shard) const;
+  uint64_t SourceVersion(int64_t shard) const;
+
+  /// A bootstrap response: one chunk of the newest valid segment.
+  api::Response FetchSegment(int64_t shard, const std::string& dir,
+                             uint64_t offset);
+  /// A catch-up response: complete WAL records from (epoch, offset).
+  api::Response FetchWalDelta(int64_t shard, const std::string& dir,
+                              uint64_t epoch, uint64_t offset);
+
+  const std::string dir_;
+  const size_t num_shards_;
+  const VersionProvider version_provider_;
+
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  telemetry::Counter* fetches_;
+  telemetry::Counter* ship_bytes_;
+};
+
+}  // namespace replication
+}  // namespace wot
+
+#endif  // WOT_REPLICATION_REPLICATION_SOURCE_H_

@@ -26,6 +26,7 @@
 #define WOT_SERVICE_MUTATION_LOG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "wot/util/status.h"
@@ -65,12 +66,15 @@ class MutationLog {
                             double value) = 0;
 
   /// \brief A Commit() finished. \p snapshot is the snapshot now serving
-  /// (the freshly published one when \p published, else the incumbent)
-  /// and \p staged the full staged dataset, both valid only for the
-  /// duration of the call. A non-OK return fails the commit ack.
-  virtual Status LogCommit(uint64_t version, bool published,
-                           const TrustSnapshot& snapshot,
-                           const Dataset& staged) = 0;
+  /// (the freshly published one when \p published, else the incumbent) —
+  /// shared ownership, so an implementation that serializes it off the
+  /// commit path (background segment writes) can retain it. \p staged is
+  /// the full staged dataset, valid only for the duration of the call
+  /// (copy it to keep it). A non-OK return fails the commit ack.
+  virtual Status LogCommit(
+      uint64_t version, bool published,
+      const std::shared_ptr<const TrustSnapshot>& snapshot,
+      const Dataset& staged) = 0;
 
   virtual DurabilityStats durability_stats() const = 0;
 };

@@ -346,7 +346,7 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
     stats.elapsed_millis = timer.ElapsedMillis();
     if (mutation_log_ != nullptr) {
       WOT_RETURN_IF_ERROR(mutation_log_->LogCommit(
-          stats.version, /*published=*/false, *prev, staged));
+          stats.version, /*published=*/false, prev, staged));
     }
     return stats;
   }
@@ -464,7 +464,7 @@ Result<TrustService::CommitStats> TrustService::CommitLocked() {
                 << " ms";
   if (mutation_log_ != nullptr) {
     WOT_RETURN_IF_ERROR(mutation_log_->LogCommit(
-        stats.version, /*published=*/true, *snapshot, staged));
+        stats.version, /*published=*/true, snapshot, staged));
   }
   return stats;
 }

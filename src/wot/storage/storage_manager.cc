@@ -53,20 +53,19 @@ Result<uint64_t> FileSizeOf(const std::string& path) {
   return static_cast<uint64_t>(st.st_size);
 }
 
-/// Applies one replayed WAL record to \p service. Mutation records carry
-/// ids that were resolved and validated before they were logged, so a
-/// rejection here means the log and the segment disagree — corruption.
-Status ApplyWalRecord(TrustService* service, const WalRecord& record) {
+}  // namespace
+
+Status ApplyWalRecord(TrustService& service, const WalRecord& record) {
   switch (record.type) {
     case WalRecordType::kAddUser:
-      service->AddUser(record.name);
+      service.AddUser(record.name);
       return Status::OK();
     case WalRecordType::kAddCategory:
-      service->AddCategory(record.name);
+      service.AddCategory(record.name);
       return Status::OK();
     case WalRecordType::kAddObject: {
       Result<ObjectId> added =
-          service->AddObject(CategoryId(record.a), record.name);
+          service.AddObject(CategoryId(record.a), record.name);
       if (!added.ok()) {
         return Status::Corruption("wal replay: add_object rejected: " +
                                   added.status().message());
@@ -75,7 +74,7 @@ Status ApplyWalRecord(TrustService* service, const WalRecord& record) {
     }
     case WalRecordType::kAddReview: {
       Result<ReviewId> added =
-          service->AddReview(UserId(record.a), ObjectId(record.b));
+          service.AddReview(UserId(record.a), ObjectId(record.b));
       if (!added.ok()) {
         return Status::Corruption("wal replay: add_review rejected: " +
                                   added.status().message());
@@ -83,8 +82,8 @@ Status ApplyWalRecord(TrustService* service, const WalRecord& record) {
       return Status::OK();
     }
     case WalRecordType::kAddRating: {
-      Status added = service->AddRating(UserId(record.a),
-                                        ReviewId(record.b), record.value);
+      Status added = service.AddRating(UserId(record.a),
+                                       ReviewId(record.b), record.value);
       if (!added.ok()) {
         return Status::Corruption("wal replay: add_rating rejected: " +
                                   added.message());
@@ -92,7 +91,7 @@ Status ApplyWalRecord(TrustService* service, const WalRecord& record) {
       return Status::OK();
     }
     case WalRecordType::kCommit: {
-      Result<TrustService::CommitStats> stats = service->Commit();
+      Result<TrustService::CommitStats> stats = service.Commit();
       if (!stats.ok()) {
         return Status::Corruption("wal replay: commit failed: " +
                                   stats.status().message());
@@ -109,8 +108,6 @@ Status ApplyWalRecord(TrustService* service, const WalRecord& record) {
   }
   return Status::Corruption("wal replay: unhandled record type");
 }
-
-}  // namespace
 
 std::string SegmentPath(const std::string& dir, uint64_t version) {
   return dir + "/segment-" + std::to_string(version) + ".seg";
@@ -143,6 +140,42 @@ Result<StorageFileSet> ListStorageFiles(const std::string& dir) {
   std::sort(files.segments.begin(), files.segments.end(), by_number);
   std::sort(files.wals.begin(), files.wals.end(), by_number);
   return files;
+}
+
+StorageManager::StorageManager(std::string dir, StorageOptions options,
+                               std::unique_ptr<WalWriter> wal,
+                               uint64_t segment_epoch,
+                               uint64_t segment_bytes,
+                               uint64_t replayed_records)
+    : dir_(std::move(dir)),
+      options_(options),
+      metrics_(std::make_shared<telemetry::MetricRegistry>()),
+      wal_append_ns_(metrics_->histogram("storage.wal_append_ns")),
+      wal_fsync_ns_(metrics_->histogram("storage.wal_fsync_ns")),
+      rotation_ns_(metrics_->histogram("storage.rotation_ns")),
+      commit_batch_records_(
+          metrics_->histogram("storage.commit_batch_records")),
+      rotations_(metrics_->counter("storage.rotations")),
+      rotation_bytes_(metrics_->counter("storage.rotation_bytes")),
+      segment_write_ns_(metrics_->histogram("storage.segment_write_ns")),
+      wal_(std::move(wal)),
+      segment_epoch_(segment_epoch),
+      segment_bytes_(segment_bytes),
+      replayed_records_(replayed_records) {
+  if (options_.background_rotation) {
+    rotation_thread_ = std::thread([this] { RotationLoop(); });
+  }
+}
+
+StorageManager::~StorageManager() {
+  if (rotation_thread_.joinable()) {
+    {
+      MutexLock lock(rotation_mu_);
+      rotation_stop_ = true;
+      rotation_cv_.NotifyAll();
+    }
+    rotation_thread_.join();
+  }
 }
 
 void StorageManager::AppendMutation(const WalRecord& record) {
@@ -207,9 +240,10 @@ void StorageManager::LogAddRating(uint32_t rater, uint32_t review,
   AppendMutation(record);
 }
 
-Status StorageManager::LogCommit(uint64_t version, bool published,
-                                 const TrustSnapshot& snapshot,
-                                 const Dataset& staged) {
+Status StorageManager::LogCommit(
+    uint64_t version, bool published,
+    const std::shared_ptr<const TrustSnapshot>& snapshot,
+    const Dataset& staged) {
   MutexLock lock(mu_);
   if (!degraded_.ok()) return degraded_;
   commit_batch_records_->Record(records_since_commit_);
@@ -239,9 +273,9 @@ Status StorageManager::LogCommit(uint64_t version, bool published,
   return Status::OK();
 }
 
-void StorageManager::RotateLocked(uint64_t version,
-                                  const TrustSnapshot& snapshot,
-                                  const Dataset& staged) {
+void StorageManager::RotateLocked(
+    uint64_t version, const std::shared_ptr<const TrustSnapshot>& snapshot,
+    const Dataset& staged) {
   // New WAL first: if the segment write fails afterwards, recovery
   // replays wal-<old> (which ends in this commit) and then wal-<version>
   // — no record is ever orphaned behind a newer segment.
@@ -256,19 +290,40 @@ void StorageManager::RotateLocked(uint64_t version,
   }
   wal_ = std::move(next_wal).ValueOrDie();
 
-  const std::string segment_path = SegmentPath(dir_, version);
-  Status written = WriteSegment(segment_path, snapshot, staged);
-  if (!written.ok()) {
+  if (rotation_thread_.joinable()) {
+    // Hand the segment write to the rotation thread. The snapshot is
+    // shared (cheap); the staged dataset must be copied — it is only
+    // valid for the duration of the LogCommit call.
+    auto job = std::make_unique<RotationJob>();
+    job->version = version;
+    job->snapshot = snapshot;
+    job->staged = staged;
+    MutexLock lock(rotation_mu_);
+    pending_rotation_ = std::move(job);  // coalesce: newest version wins
+    rotation_cv_.NotifyAll();
+    return;
+  }
+
+  telemetry::Timer timer;
+  Result<uint64_t> bytes = WriteSegmentAndRetire(version, *snapshot, staged);
+  timer.RecordInto(segment_write_ns_);
+  if (!bytes.ok()) {
     WOT_LOG(Error) << "segment write failed for version " << version
                    << " (wal chain still covers it): "
-                   << written.message();
+                   << bytes.status().message();
     return;
   }
   segment_epoch_ = version;
-  Result<uint64_t> size = FileSizeOf(segment_path);
-  segment_bytes_ = size.ok() ? size.ValueOrDie() : 0;
+  segment_bytes_ = bytes.ValueOrDie();
   rotations_->Increment();
   rotation_bytes_->Increment(static_cast<int64_t>(segment_bytes_));
+}
+
+Result<uint64_t> StorageManager::WriteSegmentAndRetire(
+    uint64_t version, const TrustSnapshot& snapshot, const Dataset& staged) {
+  const std::string segment_path = SegmentPath(dir_, version);
+  WOT_RETURN_IF_ERROR(WriteSegment(segment_path, snapshot, staged));
+  WOT_ASSIGN_OR_RETURN(uint64_t bytes, FileSizeOf(segment_path));
 
   // Retention: keep the newest keep_segments segments, drop older ones
   // and every WAL below the oldest keeper (their records are folded into
@@ -277,11 +332,11 @@ void StorageManager::RotateLocked(uint64_t version,
   if (!files.ok()) {
     WOT_LOG(Warning) << "retention scan failed: "
                      << files.status().message();
-    return;
+    return bytes;
   }
   const size_t keep = std::max<size_t>(options_.keep_segments, 1);
   const StorageFileSet& set = files.ValueOrDie();
-  if (set.segments.size() <= keep) return;
+  if (set.segments.size() <= keep) return bytes;
   const uint64_t oldest_kept =
       set.segments[set.segments.size() - keep].number;
   for (const StorageFile& segment : set.segments) {
@@ -297,6 +352,53 @@ void StorageManager::RotateLocked(uint64_t version,
       WOT_LOG(Warning) << "cannot retire " << wal.path << ": "
                        << std::strerror(errno);
     }
+  }
+  return bytes;
+}
+
+void StorageManager::FinishRotation(uint64_t version, uint64_t bytes) {
+  MutexLock lock(mu_);
+  if (version > segment_epoch_) {
+    segment_epoch_ = version;
+    segment_bytes_ = bytes;
+  }
+  rotations_->Increment();
+  rotation_bytes_->Increment(static_cast<int64_t>(bytes));
+}
+
+void StorageManager::RotationLoop() {
+  for (;;) {
+    std::unique_ptr<RotationJob> job;
+    {
+      MutexLock lock(rotation_mu_);
+      while (pending_rotation_ == nullptr && !rotation_stop_) {
+        rotation_cv_.Wait(rotation_mu_);
+      }
+      if (pending_rotation_ == nullptr) break;  // stopping, queue drained
+      job = std::move(pending_rotation_);
+      rotation_in_flight_ = true;
+    }
+    telemetry::Timer timer;
+    Result<uint64_t> bytes =
+        WriteSegmentAndRetire(job->version, *job->snapshot, job->staged);
+    timer.RecordInto(segment_write_ns_);
+    if (bytes.ok()) {
+      FinishRotation(job->version, bytes.ValueOrDie());
+    } else {
+      WOT_LOG(Error) << "background segment write failed for version "
+                     << job->version << " (wal chain still covers it): "
+                     << bytes.status().message();
+    }
+    MutexLock lock(rotation_mu_);
+    rotation_in_flight_ = false;
+    rotation_cv_.NotifyAll();
+  }
+}
+
+void StorageManager::WaitForIdle() {
+  MutexLock lock(rotation_mu_);
+  while (pending_rotation_ != nullptr || rotation_in_flight_) {
+    rotation_cv_.Wait(rotation_mu_);
   }
 }
 
@@ -401,7 +503,7 @@ Result<StorageManager::BootResult> StorageManager::Boot(
     Result<WalScanStats> scanned = ScanWal(
         wal.path, /*repair=*/newest,
         [raw](const WalRecord& record) {
-          return ApplyWalRecord(raw, record);
+          return ApplyWalRecord(*raw, record);
         });
     if (!scanned.ok()) {
       return Status::Corruption("wal '" + wal.path + "' is corrupt: " +

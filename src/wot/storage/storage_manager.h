@@ -40,6 +40,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "wot/service/mutation_log.h"
@@ -58,6 +59,15 @@ struct StorageOptions {
   /// Newest segments kept on disk. Older segments — and the WALs that
   /// predate the oldest keeper — are deleted at rotation. Minimum 1.
   size_t keep_segments = 2;
+  /// Serialize snapshot segments on a background thread instead of
+  /// inside LogCommit (the WAL append + fsync and the wal-<V> rotation
+  /// stay synchronous, so the record chain ordering is unchanged; only
+  /// the segment write and retention move off the commit path). Pending
+  /// writes coalesce — a newer published version replaces a queued
+  /// older one; the WAL chain covers any skipped segment. Tests that
+  /// assert on segment files right after a commit call WaitForIdle()
+  /// or disable this.
+  bool background_rotation = true;
 };
 
 /// \brief Durably backs one TrustService; attach via SetMutationLog.
@@ -83,7 +93,8 @@ class StorageManager : public MutationLog {
       const TrustServiceOptions& service_options = {},
       const StorageOptions& storage_options = {});
 
-  ~StorageManager() override = default;
+  /// Drains any queued segment write, then joins the rotation thread.
+  ~StorageManager() override;
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
 
@@ -98,9 +109,15 @@ class StorageManager : public MutationLog {
   void LogAddRating(uint32_t rater, uint32_t review, double value) override
       WOT_EXCLUDES(mu_);
   Status LogCommit(uint64_t version, bool published,
-                   const TrustSnapshot& snapshot,
-                   const Dataset& staged) override WOT_EXCLUDES(mu_);
+                   const std::shared_ptr<const TrustSnapshot>& snapshot,
+                   const Dataset& staged) override
+      WOT_EXCLUDES(mu_, rotation_mu_);
   DurabilityStats durability_stats() const override WOT_EXCLUDES(mu_);
+
+  /// \brief Blocks until no segment write is queued or in flight. A
+  /// no-op under synchronous rotation. Call before inspecting segment
+  /// files (tests) or before shipping "the newest segment" assumptions.
+  void WaitForIdle() WOT_EXCLUDES(rotation_mu_);
 
   const std::string& dir() const { return dir_; }
 
@@ -114,31 +131,42 @@ class StorageManager : public MutationLog {
   }
 
  private:
+  /// One queued background segment write (the newest published version
+  /// wins; see StorageOptions::background_rotation).
+  struct RotationJob {
+    uint64_t version = 0;
+    std::shared_ptr<const TrustSnapshot> snapshot;
+    Dataset staged;
+  };
+
   StorageManager(std::string dir, StorageOptions options,
                  std::unique_ptr<WalWriter> wal, uint64_t segment_epoch,
-                 uint64_t segment_bytes, uint64_t replayed_records)
-      : dir_(std::move(dir)),
-        options_(options),
-        metrics_(std::make_shared<telemetry::MetricRegistry>()),
-        wal_append_ns_(metrics_->histogram("storage.wal_append_ns")),
-        wal_fsync_ns_(metrics_->histogram("storage.wal_fsync_ns")),
-        rotation_ns_(metrics_->histogram("storage.rotation_ns")),
-        commit_batch_records_(
-            metrics_->histogram("storage.commit_batch_records")),
-        rotations_(metrics_->counter("storage.rotations")),
-        rotation_bytes_(metrics_->counter("storage.rotation_bytes")),
-        wal_(std::move(wal)),
-        segment_epoch_(segment_epoch),
-        segment_bytes_(segment_bytes),
-        replayed_records_(replayed_records) {}
+                 uint64_t segment_bytes, uint64_t replayed_records);
 
   /// Appends one mutation record, latching the first failure.
   void AppendMutation(const WalRecord& record) WOT_REQUIRES(mu_);
 
-  /// Rotates onto wal-<version>, writes segment-<version>, retires old
-  /// files. Failures degrade gracefully (see file comment).
-  void RotateLocked(uint64_t version, const TrustSnapshot& snapshot,
-                    const Dataset& staged) WOT_REQUIRES(mu_);
+  /// Opens wal-<version> (the synchronous half of a rotation — the
+  /// record chain must never gap) and either writes segment-<version>
+  /// inline or hands it to the rotation thread. Failures degrade
+  /// gracefully (see file comment).
+  void RotateLocked(uint64_t version,
+                    const std::shared_ptr<const TrustSnapshot>& snapshot,
+                    const Dataset& staged)
+      WOT_REQUIRES(mu_) WOT_EXCLUDES(rotation_mu_);
+
+  /// Writes segment-<version> and runs retention — pure file work, no
+  /// locks held. Returns the segment's byte size.
+  Result<uint64_t> WriteSegmentAndRetire(uint64_t version,
+                                         const TrustSnapshot& snapshot,
+                                         const Dataset& staged);
+
+  /// Publishes a finished segment write into the durability counters.
+  void FinishRotation(uint64_t version, uint64_t bytes)
+      WOT_EXCLUDES(mu_);
+
+  /// The rotation thread: drains queued jobs until stopped.
+  void RotationLoop() WOT_EXCLUDES(rotation_mu_, mu_);
 
   const std::string dir_;
   const StorageOptions options_;
@@ -153,6 +181,8 @@ class StorageManager : public MutationLog {
   telemetry::Counter* rotations_;
   telemetry::Counter* rotation_bytes_;
 
+  telemetry::LatencyHistogram* segment_write_ns_;
+
   mutable Mutex mu_;
   std::unique_ptr<WalWriter> wal_ WOT_GUARDED_BY(mu_);
   /// Mutation records appended since the last LogCommit (the commit
@@ -164,7 +194,27 @@ class StorageManager : public MutationLog {
   uint64_t segment_epoch_ WOT_GUARDED_BY(mu_) = 0;
   uint64_t segment_bytes_ WOT_GUARDED_BY(mu_) = 0;
   const uint64_t replayed_records_;
+
+  // Background rotation. Lock ordering: mu_ before rotation_mu_ (the
+  // commit path enqueues under both); the worker never holds both —
+  // it releases rotation_mu_ before touching the counters under mu_.
+  Mutex rotation_mu_;
+  CondVar rotation_cv_;
+  /// Single-slot queue: a newer published version replaces a queued
+  /// older one (the WAL chain covers the skipped segment).
+  std::unique_ptr<RotationJob> pending_rotation_ WOT_GUARDED_BY(rotation_mu_);
+  bool rotation_in_flight_ WOT_GUARDED_BY(rotation_mu_) = false;
+  bool rotation_stop_ WOT_GUARDED_BY(rotation_mu_) = false;
+  std::thread rotation_thread_;
 };
+
+/// \brief Applies one decoded WAL record to \p service — the shared
+/// replay step used by crash recovery and by replicas applying shipped
+/// WAL deltas. Mutation records must stage cleanly (they were accepted
+/// once; a reject means the record stream does not match the service
+/// state) and a kCommit record must land exactly on its recorded
+/// version; violations return Corruption.
+Status ApplyWalRecord(TrustService& service, const WalRecord& record);
 
 /// \brief "<dir>/segment-<version>.seg".
 std::string SegmentPath(const std::string& dir, uint64_t version);

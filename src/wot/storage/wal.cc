@@ -184,21 +184,20 @@ Status WalWriter::Sync() {
   return Status::OK();
 }
 
-Result<WalScanStats> ScanWal(
-    const std::string& path, bool repair,
+Result<WalScanStats> ScanWalBuffer(
+    std::string_view bytes,
     const std::function<Status(const WalRecord&)>& visitor) {
-  WOT_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   WalScanStats stats;
   size_t pos = 0;
-  const size_t size = contents.size();
+  const size_t size = bytes.size();
   while (pos + 8 <= size) {
-    const uint32_t body_length = LoadU32(contents.data() + pos);
-    const uint32_t crc = LoadU32(contents.data() + pos + 4);
+    const uint32_t body_length = LoadU32(bytes.data() + pos);
+    const uint32_t crc = LoadU32(bytes.data() + pos + 4);
     if (body_length > kMaxWalRecordBytes ||
         pos + 8 + body_length > size) {
-      break;  // torn tail: frame runs past the file (or garbage length)
+      break;  // torn tail: frame runs past the buffer (or garbage length)
     }
-    std::string_view body(contents.data() + pos + 8, body_length);
+    std::string_view body(bytes.data() + pos + 8, body_length);
     if (Crc32(body.data(), body.size()) != crc) {
       break;  // torn tail: the body never fully hit the disk
     }
@@ -214,6 +213,16 @@ Result<WalScanStats> ScanWal(
   }
   stats.valid_bytes = pos;
   stats.truncated_bytes = size - pos;
+  return stats;
+}
+
+Result<WalScanStats> ScanWal(
+    const std::string& path, bool repair,
+    const std::function<Status(const WalRecord&)>& visitor) {
+  WOT_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  WOT_ASSIGN_OR_RETURN(WalScanStats stats,
+                       ScanWalBuffer(contents, visitor));
+  const size_t pos = static_cast<size_t>(stats.valid_bytes);
   if (repair && stats.truncated_bytes > 0) {
     WOT_LOG(Warning) << "wal '" << path << "': truncating "
                      << stats.truncated_bytes

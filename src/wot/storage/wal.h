@@ -132,6 +132,15 @@ Result<WalScanStats> ScanWal(
     const std::string& path, bool repair,
     const std::function<Status(const WalRecord&)>& visitor);
 
+/// \brief ScanWal over an in-memory buffer (a replication WAL delta is
+/// shipped in exactly the on-disk framing). Same tolerance: a torn or
+/// CRC-failing tail ends the scan and is reported via truncated_bytes —
+/// callers that require complete frames (a replica applying a shipped
+/// delta) treat truncated_bytes != 0 as an error themselves.
+Result<WalScanStats> ScanWalBuffer(
+    std::string_view bytes,
+    const std::function<Status(const WalRecord&)>& visitor);
+
 }  // namespace storage
 }  // namespace wot
 

@@ -81,6 +81,9 @@ std::vector<std::string> SeedFrames() {
       R"({"v":1,"id":9,"method":"commit"})",
       R"({"v":1,"id":10,"method":"stats","params":{}})",
       R"({"v":1,"id":11,"method":"metrics"})",
+      R"({"v":1,"id":12,"method":"repl_fetch","params":{"shard":0,"applied_version":3,"offset":0}})",
+      R"({"v":1,"id":13,"method":"repl_status"})",
+      R"({"v":1,"id":14,"method":"repl_promote"})",
   };
 }
 
@@ -113,6 +116,15 @@ TEST_F(ApiFuzzTest, HandCraftedHostileLines) {
       "{\"v\":\"1\",\"method\":\"stats\"}",
       "\xff\xfe\x00garbage",
       "{\"v\":1,\"method\":\"trust\",\"params\":{\"source\":\"u0\",\"target\":\"u1\"}",
+      // Replication methods: no handler is attached to either frontend
+      // here, so every well-formed frame must come back as a framed
+      // UNIMPLEMENTED — and malformed params as framed INVALID_ARGUMENT.
+      "{\"v\":1,\"method\":\"repl_fetch\",\"params\":{\"shard\":-1,\"applied_version\":0,\"offset\":0}}",
+      "{\"v\":1,\"method\":\"repl_fetch\",\"params\":{\"shard\":\"zero\"}}",
+      "{\"v\":1,\"method\":\"repl_fetch\",\"params\":{\"shard\":0,\"applied_version\":-3,\"offset\":99999999999999999999}}",
+      "{\"v\":1,\"method\":\"repl_fetch\"}",
+      "{\"v\":1,\"method\":\"repl_status\",\"params\":[]}",
+      "{\"v\":1,\"method\":\"repl_promote\",\"params\":{\"force\":true}}",
   };
   for (const char* line : lines) {
     ExpectFramedReply(line);
@@ -194,7 +206,10 @@ std::vector<std::string> SeedBinaryFrames() {
            ExplainQuery{"u2", "u0"}, IngestUser{"fuzz"},
            IngestCategory{"c"}, IngestObject{"movies", "o"},
            IngestReview{"u3", 0}, IngestRating{"u3", 1, 0.8},
-           CommitRequest{}, StatsRequest{}, MetricsRequest{}}) {
+           CommitRequest{}, StatsRequest{}, MetricsRequest{},
+           ReplFetchRequest{/*shard=*/0, /*applied_version=*/3,
+                            /*offset=*/0},
+           ReplStatusRequest{}, ReplPromoteRequest{}}) {
     Request request;
     request.id = id++;
     request.payload = std::move(payload);

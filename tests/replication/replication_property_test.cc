@@ -1,0 +1,334 @@
+// Replication properties.
+//
+// 1. Catch-up equivalence: a follower bootstrapped from a shipped
+//    segment and fed WAL deltas is bit-identical to the primary shard's
+//    snapshot at EVERY epoch of a random history — at shards=1 and
+//    shards=4 (one follower per shard).
+// 2. Router fan-out equivalence: a durable 4-shard router with live
+//    replicas attached (pullers running, reads load-balanced through
+//    ClientReplicaHandle) answers a random history byte-identically to
+//    a replica-less reference router — the write_quorum=1 default is
+//    the pre-replication router, response for response. Afterwards a
+//    write_quorum=2 commit succeeds once the replicas applied it, and
+//    the read fan-out provably served replica reads.
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/storage_test_util.h"
+#include "testing/fixtures.h"
+#include "wot/api/client.h"
+#include "wot/api/codec.h"
+#include "wot/api/frontend.h"
+#include "wot/api/shard_router.h"
+#include "wot/replication/replica_frontend.h"
+#include "wot/replication/replica_handle_impl.h"
+#include "wot/replication/replica_service.h"
+#include "wot/replication/replication_source.h"
+#include "wot/storage/durable_boot.h"
+
+namespace wot {
+namespace replication {
+namespace {
+
+using storage::testing::FreshDir;
+using wot::testing::TinyCommunity;
+
+std::function<Result<Dataset>()> TinySeed() {
+  return [] { return Result<Dataset>(TinyCommunity()); };
+}
+
+api::Request MakeRequest(int64_t id, api::RequestPayload payload) {
+  api::Request request;
+  request.id = id;
+  request.payload = std::move(payload);
+  return request;
+}
+
+/// Entity counts staged so far — the same random-history generator the
+/// recovery property uses (over-counting on rejections is fine: later
+/// references get rejected identically everywhere).
+struct HistoryState {
+  size_t users = 4;
+  size_t categories = 2;
+  size_t objects = 3;
+  size_t reviews = 3;
+  int next_id = 1;
+};
+
+api::Request NextHistoryStep(std::mt19937* rng, HistoryState* state) {
+  const int id = state->next_id++;
+  std::uniform_int_distribution<int> op(0, 99);
+  static constexpr double kStages[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  std::uniform_int_distribution<int> stage(0, 4);
+  const int choice = op(*rng);
+  auto pick = [&](size_t bound) {
+    return std::to_string(
+        std::uniform_int_distribution<size_t>(0, bound - 1)(*rng));
+  };
+  if (choice < 25) {
+    api::IngestUser ingest;
+    ingest.name = "repl_user_" + std::to_string(id);
+    ++state->users;
+    return MakeRequest(id, ingest);
+  }
+  if (choice < 32) {
+    api::IngestCategory ingest;
+    ingest.name = "repl_cat_" + std::to_string(id);
+    ++state->categories;
+    return MakeRequest(id, ingest);
+  }
+  if (choice < 45) {
+    api::IngestObject ingest;
+    ingest.category = pick(state->categories);
+    ingest.name = "repl_obj_" + std::to_string(id);
+    ++state->objects;
+    return MakeRequest(id, ingest);
+  }
+  if (choice < 62) {
+    api::IngestReview ingest;
+    ingest.writer = pick(state->users);
+    ingest.object = static_cast<int64_t>(
+        std::uniform_int_distribution<size_t>(0, state->objects - 1)(*rng));
+    ++state->reviews;
+    return MakeRequest(id, ingest);
+  }
+  if (choice < 88) {
+    api::IngestRating ingest;
+    ingest.rater = pick(state->users);
+    ingest.review = static_cast<int64_t>(
+        std::uniform_int_distribution<size_t>(0, state->reviews - 1)(*rng));
+    ingest.value = kStages[stage(*rng)];
+    return MakeRequest(id, ingest);
+  }
+  return MakeRequest(id, api::CommitRequest{});
+}
+
+/// Byte-compares the full per-shard query surface of two frontends.
+void ExpectSameSurface(api::Frontend* expected, api::Frontend* actual,
+                       size_t users) {
+  int64_t id = 500000;
+  for (size_t i = 0; i < users; ++i) {
+    for (size_t j = 0; j < users; j += 3) {
+      api::TrustQuery query;
+      query.source = std::to_string(i);
+      query.target = std::to_string(j);
+      api::Request request = MakeRequest(++id, query);
+      ASSERT_EQ(api::EncodeResponse(expected->Dispatch(request)),
+                api::EncodeResponse(actual->Dispatch(request)))
+          << "source " << i << " target " << j;
+    }
+    api::TopKQuery topk;
+    topk.source = std::to_string(i);
+    topk.k = static_cast<int64_t>(users);
+    api::Request request = MakeRequest(++id, topk);
+    ASSERT_EQ(api::EncodeResponse(expected->Dispatch(request)),
+              api::EncodeResponse(actual->Dispatch(request)))
+        << "topk source " << i;
+  }
+}
+
+struct PrimaryStack {
+  storage::DurableService durable;
+  std::unique_ptr<ReplicationSource> source;
+  api::Frontend* frontend() { return durable.frontend; }
+  TrustService* shard(size_t s) {
+    return durable.router != nullptr ? durable.router->shard_service(s)
+                                     : durable.service.get();
+  }
+};
+
+PrimaryStack MakePrimary(const std::string& dir, size_t num_shards) {
+  storage::DurableBootOptions options;
+  options.storage.fsync = storage::FsyncPolicy::kOff;
+  // Wide retention: async pullers must never fall past the WAL window
+  // mid-test (falling behind is its own unit test).
+  options.storage.keep_segments = 64;
+  options.num_shards = num_shards;
+  PrimaryStack stack;
+  stack.durable =
+      storage::BootDurable(dir, TinySeed(), options).ValueOrDie();
+  ReplicationSource::VersionProvider provider;
+  if (stack.durable.router != nullptr) {
+    api::ShardRouter* router = stack.durable.router.get();
+    provider = [router](int64_t shard) {
+      return router->shard_service(static_cast<size_t>(shard))
+          ->Snapshot()
+          ->version();
+    };
+  } else {
+    TrustService* service = stack.durable.service.get();
+    provider = [service](int64_t) { return service->Snapshot()->version(); };
+  }
+  stack.source = std::make_unique<ReplicationSource>(dir, num_shards,
+                                                     std::move(provider));
+  stack.durable.frontend->set_replication_handler(stack.source.get());
+  return stack;
+}
+
+std::unique_ptr<ReplicaService> MakeReplica(const std::string& dir,
+                                            api::Frontend* upstream,
+                                            int64_t shard) {
+  auto client = std::make_unique<api::LoopbackClient>(
+      upstream, /*through_codec=*/true, api::WireProtocol::kBinary);
+  ReplicaOptions options;
+  options.shard = shard;
+  options.poll_millis = 5;
+  options.storage.fsync = storage::FsyncPolicy::kOff;
+  return ReplicaService::Create(dir, std::move(client), options)
+      .ValueOrDie();
+}
+
+void RunCatchUpProperty(size_t num_shards, uint32_t seed) {
+  const std::string tag =
+      std::to_string(num_shards) + "_" + std::to_string(seed);
+  PrimaryStack primary =
+      MakePrimary(FreshDir("repl_prop_p_" + tag), num_shards);
+  std::vector<std::unique_ptr<ReplicaService>> replicas;
+  for (size_t s = 0; s < num_shards; ++s) {
+    replicas.push_back(MakeReplica(
+        FreshDir("repl_prop_r_" + tag + "_" + std::to_string(s)),
+        primary.frontend(), static_cast<int64_t>(s)));
+    ASSERT_TRUE(replicas.back()->CatchUp().ok());
+  }
+
+  std::mt19937 rng(seed);
+  HistoryState state;
+  uint64_t last_seen_version = 0;
+  for (int step = 0; step < 60; ++step) {
+    api::Request request = NextHistoryStep(&rng, &state);
+    api::Response ack = primary.frontend()->Dispatch(request);
+    // Random steps may be rejected (dangling refs); that is part of the
+    // history. Only transport-level failure would be a bug.
+    (void)ack;
+    const uint64_t version = primary.shard(0)->Snapshot()->version();
+    const bool committed = version != last_seen_version;
+    last_seen_version = version;
+    for (size_t s = 0; s < num_shards; ++s) {
+      Status caught = replicas[s]->CatchUp();
+      ASSERT_TRUE(caught.ok()) << caught.ToString();
+      ASSERT_EQ(replicas[s]->applied_version(),
+                primary.shard(s)->Snapshot()->version())
+          << "shard " << s << " step " << step;
+    }
+    // Every epoch: the mirrored snapshot is bit-identical, query
+    // surface included.
+    if (committed) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        api::ServiceFrontend expected(primary.shard(s));
+        api::ServiceFrontend actual(replicas[s]->service());
+        ExpectSameSurface(&expected, &actual, state.users);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ReplicationPropertyTest, CatchUpBitIdenticalSingleShard) {
+  for (uint32_t seed : {17u, 43u}) {
+    RunCatchUpProperty(1, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ReplicationPropertyTest, CatchUpBitIdenticalFourShards) {
+  RunCatchUpProperty(4, 23u);
+}
+
+// The full fan-out stack, in process: a durable 4-shard router with a
+// live replica (service + frontend + handle) per shard.
+TEST(ReplicationPropertyTest, RouterWithReplicasMatchesReferenceRouter) {
+  constexpr size_t kShards = 4;
+  std::unique_ptr<api::ShardRouter> reference =
+      api::ShardRouter::Create(TinyCommunity(), kShards).ValueOrDie();
+  PrimaryStack primary = MakePrimary(FreshDir("repl_fan_p"), kShards);
+
+  std::vector<std::unique_ptr<ReplicaService>> replicas;
+  std::vector<std::unique_ptr<api::ServiceFrontend>> inners;
+  std::vector<std::unique_ptr<ReplicaFrontend>> frontends;
+  for (size_t s = 0; s < kShards; ++s) {
+    replicas.push_back(MakeReplica(
+        FreshDir("repl_fan_r" + std::to_string(s)), primary.frontend(),
+        static_cast<int64_t>(s)));
+    Status caught = replicas[s]->CatchUp();
+    ASSERT_TRUE(caught.ok()) << "shard " << s << ": " << caught.ToString();
+    inners.push_back(
+        std::make_unique<api::ServiceFrontend>(replicas[s]->service()));
+    frontends.push_back(std::make_unique<ReplicaFrontend>(
+        inners[s].get(), replicas[s].get()));
+    api::Frontend* serving = frontends[s].get();
+    primary.durable.router->AddReplica(
+        s, std::make_shared<ClientReplicaHandle>(
+               "loopback:" + std::to_string(s),
+               [serving]() -> Result<std::unique_ptr<api::ApiClient>> {
+                 return std::unique_ptr<api::ApiClient>(
+                     std::make_unique<api::LoopbackClient>(
+                         serving, /*through_codec=*/true,
+                         api::WireProtocol::kBinary));
+               }));
+    replicas[s]->StartPuller();
+  }
+
+  // Random history through both routers: byte-identical responses with
+  // the default write_quorum=1 — the pre-replication contract.
+  std::mt19937 rng(71);
+  HistoryState state;
+  for (int step = 0; step < 50; ++step) {
+    api::Request request = NextHistoryStep(&rng, &state);
+    ASSERT_EQ(api::EncodeResponse(reference->Dispatch(request)),
+              api::EncodeResponse(primary.frontend()->Dispatch(request)))
+        << "request id " << request.id;
+  }
+  ExpectSameSurface(reference.get(), primary.frontend(), state.users);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // A quorum-2 commit: publishes only after each shard's replica
+  // applied it (the pullers run at 5ms; the quorum wait polls them).
+  primary.durable.router->set_write_quorum(2);
+  api::IngestUser straggler;
+  straggler.name = "quorum_witness";
+  ++state.users;
+  api::Response ack = primary.frontend()->Dispatch(
+      MakeRequest(state.next_id++, straggler));
+  ASSERT_TRUE(ack.status.ok());
+  const uint64_t epoch_before = primary.durable.router->epoch();
+  ack = primary.frontend()->Dispatch(
+      MakeRequest(state.next_id++, api::CommitRequest{}));
+  ASSERT_TRUE(ack.status.ok()) << ack.status.message;
+  EXPECT_EQ(primary.durable.router->epoch(), epoch_before + 1);
+
+  // The read fan-out actually used replicas: drive reads until the
+  // router's counter says so (replicas are eligible once caught up).
+  primary.durable.router->set_write_quorum(1);
+  int64_t replica_reads = 0;
+  for (int round = 0; round < 200 && replica_reads == 0; ++round) {
+    for (size_t i = 0; i < 8; ++i) {
+      api::TrustQuery query;
+      query.source = std::to_string(i % state.users);
+      query.target = query.source;
+      primary.frontend()->Dispatch(MakeRequest(900000 + round * 10 + i,
+                                               query));
+    }
+    api::Response scraped = primary.frontend()->Dispatch(
+        MakeRequest(999999, api::MetricsRequest{}));
+    ASSERT_TRUE(scraped.status.ok());
+    for (const api::MetricValue& counter :
+         std::get<api::MetricsResult>(scraped.payload).counters) {
+      if (counter.name == "router.replica_reads") {
+        replica_reads = counter.value;
+      }
+    }
+  }
+  EXPECT_GT(replica_reads, 0);
+  for (std::unique_ptr<ReplicaService>& replica : replicas) {
+    replica->StopPuller();
+  }
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace wot

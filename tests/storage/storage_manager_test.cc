@@ -94,6 +94,10 @@ TEST(StorageManagerTest, CommitRotatesAndRetires) {
     Result<TrustService::CommitStats> commit = boot.service->Commit();
     ASSERT_TRUE(commit.ok()) << commit.status().ToString();
     EXPECT_TRUE(commit.ValueOrDie().published);
+    // Segments are written on a background thread (and pending writes
+    // coalesce); drain after every commit so each version's segment
+    // actually lands and retention sees all three rotations.
+    boot.manager->WaitForIdle();
   }
   EXPECT_EQ(boot.service->Snapshot()->version(), 4u);
   EXPECT_EQ(boot.service->durability_stats().segment_epoch, 4);

@@ -507,6 +507,106 @@ int CmdMetrics(int argc, char** argv) {
   return 0;
 }
 
+const char* ReplRoleName(int64_t role) {
+  switch (role) {
+    case static_cast<int64_t>(api::ReplRole::kPrimary):
+      return "primary";
+    case static_cast<int64_t>(api::ReplRole::kReplica):
+      return "replica";
+    case static_cast<int64_t>(api::ReplRole::kRouter):
+      return "router";
+  }
+  return "unknown";
+}
+
+int PrintReplStatus(const api::ReplStatusResult& status) {
+  std::printf("role: %s\n", ReplRoleName(status.role));
+  std::printf("applied version: %llu\n",
+              static_cast<unsigned long long>(status.applied_version));
+  std::printf("source version:  %llu\n",
+              static_cast<unsigned long long>(status.source_version));
+  if (status.source_version >= status.applied_version) {
+    std::printf("lag: %llu epochs\n",
+                static_cast<unsigned long long>(status.source_version -
+                                                status.applied_version));
+  }
+  std::printf("failovers: %lld\n",
+              static_cast<long long>(status.failovers));
+  if (!status.replicas.empty()) {
+    std::printf("\n");
+    TablePrinter replicas({"shard", "address", "applied", "healthy"});
+    for (const api::ReplReplicaInfo& info : status.replicas) {
+      replicas.AddRow({std::to_string(info.shard), info.address,
+                       std::to_string(info.applied_version),
+                       info.healthy != 0 ? "yes" : "NO"});
+    }
+    replicas.Print(std::cout);
+  }
+  return 0;
+}
+
+int CmdReplica(int argc, char** argv) {
+  const char* usage =
+      "usage: wot_cli replica status|promote --connect ADDR\n\n"
+      "status   report the server's replication role, applied/source\n"
+      "         versions, failover count, and (on a router) its\n"
+      "         per-shard replica sets\n"
+      "promote  promote a replica to primary: stop following, drain\n"
+      "         the remaining WAL delta, start accepting writes and\n"
+      "         serving repl_fetch to other followers\n";
+  if (argc < 2 || (std::strcmp(argv[1], "status") != 0 &&
+                   std::strcmp(argv[1], "promote") != 0)) {
+    std::fprintf(stderr, "%s", usage);
+    return 1;
+  }
+  const bool promote = std::strcmp(argv[1], "promote") == 0;
+  std::string connect;
+  std::string protocol = "ndjson";
+  FlagParser flags(
+      promote ? "wot_cli replica promote" : "wot_cli replica status",
+      promote ? "Promote the connected replica to primary (quorum-gated "
+                "failover: the operator — or an orchestrator — picks the "
+                "replica with the highest applied version, sees `wot_cli "
+                "replica status`)"
+              : "Report the connected server's replication role and "
+                "progress");
+  flags.AddString("connect", &connect,
+                  "the server: a unix socket path or a TCP host:port "
+                  "(detected by ':' with no '/')");
+  flags.AddString("protocol", &protocol,
+                  "wire protocol: 'ndjson' (v1 lines) or 'binary' (v2 "
+                  "frames)");
+  WOT_RETURN_IF_ERROR_CLI(flags.Parse(argc - 1, argv + 1));
+  Result<api::WireProtocol> wire = api::WireProtocolFromName(protocol);
+  if (!wire.ok()) {
+    return Fail(Status::InvalidArgument(wire.status().ToString() + "\n" +
+                                        flags.Usage()));
+  }
+  if (connect.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--connect is required (replication state lives in a resident "
+        "server)\n" +
+        flags.Usage()));
+  }
+  bool tcp = connect.find(':') != std::string::npos &&
+             connect.find('/') == std::string::npos;
+  Result<std::unique_ptr<api::SocketClient>> socket =
+      tcp ? api::SocketClient::ConnectTcp(connect, wire.ValueOrDie())
+          : api::SocketClient::Connect(connect, wire.ValueOrDie());
+  if (!socket.ok()) return Fail(socket.status());
+  std::unique_ptr<api::ApiClient> client = std::move(socket).ValueOrDie();
+  Result<api::ReplStatusResult> status =
+      promote ? CallApi<api::ReplStatusResult>(client.get(),
+                                               api::ReplPromoteRequest{})
+              : CallApi<api::ReplStatusResult>(client.get(),
+                                               api::ReplStatusRequest{});
+  if (!status.ok()) return Fail(status.status());
+  if (promote) {
+    std::printf("promoted.\n");
+  }
+  return PrintReplStatus(status.ValueOrDie());
+}
+
 // Dumps one storage directory's segments and WALs; returns how many
 // files are corrupt. A torn WAL *tail* is recoverable by design (the
 // server truncates it at boot) so it is reported but not counted.
@@ -634,6 +734,7 @@ void PrintUsage() {
       "  validate   Table-4 validation against explicit trust\n"
       "  query      serve trust queries (top-k / pairwise / --explain)\n"
       "  metrics    scrape and tabulate a server's telemetry registry\n"
+      "  replica    replication status / promote a replica to primary\n"
       "  storage    inspect a --data_dir durable storage directory\n\n"
       "run `wot_cli <command> --help` for the command's flags.\n");
 }
@@ -654,6 +755,7 @@ int Main(int argc, char** argv) {
   if (command == "validate") return CmdValidate(sub_argc, sub_argv);
   if (command == "query") return CmdQuery(sub_argc, sub_argv);
   if (command == "metrics") return CmdMetrics(sub_argc, sub_argv);
+  if (command == "replica") return CmdReplica(sub_argc, sub_argv);
   if (command == "storage") return CmdStorage(sub_argc, sub_argv);
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();

@@ -330,7 +330,7 @@ def check_snapshot_immutable(root, findings, header=SNAPSHOT_HEADER,
 # --------------------------------------------------------------------------
 
 PROVED_DIRS = ("src/wot/service", "src/wot/server", "src/wot/api",
-               "src/wot/util")
+               "src/wot/util", "src/wot/replication")
 SUPPRESSION_PATTERNS = [
     (re.compile(r"\bWOT_NO_THREAD_SAFETY_ANALYSIS\b"),
      "WOT_NO_THREAD_SAFETY_ANALYSIS"),
@@ -361,7 +361,7 @@ def check_suppressions(root, findings, files=None):
 # --------------------------------------------------------------------------
 
 CHRONO_DIRS = ("src/wot/server", "src/wot/api", "src/wot/service",
-               "src/wot/storage")
+               "src/wot/storage", "src/wot/replication")
 CHRONO_PATTERNS = [
     (re.compile(r"std\s*::\s*chrono\b"), "std::chrono"),
     (re.compile(r"#\s*include\s*<chrono>"), "#include <chrono>"),
@@ -527,6 +527,28 @@ def run_self_test(cxx):
         if bad_chrono not in hits:
             failures.append("seeded chrono violation was not flagged by "
                             "the default file walk")
+
+        # src/wot/replication is part of the proved serving stack: both
+        # the suppression and chrono rules must cover it via the default
+        # file walks.
+        replication = os.path.join(tmp, "src", "wot", "replication")
+        os.makedirs(replication)
+        repl_supp = put("src/wot/replication/bad_suppress.h",
+                        SEEDED_SUPPRESSION)
+        repl_chrono = put("src/wot/replication/bad_chrono.h",
+                          SEEDED_CHRONO)
+        f = Findings()
+        check_suppressions(tmp, f)
+        hits = {path for path, _, r, _ in f.items if r == "suppress"}
+        if repl_supp not in hits:
+            failures.append("seeded replication suppression was not "
+                            "flagged by the default file walk")
+        f = Findings()
+        check_chrono(tmp, f)
+        hits = {path for path, _, r, _ in f.items if r == "chrono"}
+        if repl_chrono not in hits:
+            failures.append("seeded replication chrono violation was "
+                            "not flagged by the default file walk")
         if any("telemetry" in path for path in hits):
             failures.append("exempt telemetry layer was falsely flagged "
                             "by the chrono rule")

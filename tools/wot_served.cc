@@ -55,6 +55,10 @@
 #include "wot/api/unix_socket.h"
 #include "wot/io/binary_format.h"
 #include "wot/io/dataset_csv.h"
+#include "wot/replication/replica_frontend.h"
+#include "wot/replication/replica_handle_impl.h"
+#include "wot/replication/replica_service.h"
+#include "wot/replication/replication_source.h"
 #include "wot/server/connection_server.h"
 #include "wot/service/trust_service.h"
 #include "wot/storage/durable_boot.h"
@@ -62,6 +66,7 @@
 #include "wot/telemetry/metric_registry.h"
 #include "wot/util/check.h"
 #include "wot/util/flags.h"
+#include "wot/util/string_util.h"
 #include "wot/util/thread_annotations.h"
 
 namespace wot {
@@ -324,6 +329,10 @@ int Main(int argc, char** argv) {
   std::string fsync = "batch";
   int64_t metrics_interval_secs = 0;
   int64_t slow_request_ms = -1;
+  std::string replica_of;
+  int64_t replica_shard = 0;
+  std::string replicas_spec;
+  int64_t write_quorum = 1;
   FlagParser flags(
       "wot_served",
       "Resident trust server: boots one serving frontend (optionally "
@@ -366,6 +375,26 @@ int Main(int argc, char** argv) {
                  "log a WARNING with a per-request trace id for every "
                  "request slower than this many milliseconds (0 logs "
                  "every request; -1 = off)");
+  flags.AddString("replica-of", &replica_of,
+                  "follow the primary at this address ('unix:PATH' or "
+                  "'HOST:PORT'): bootstrap from its newest snapshot "
+                  "segment into --data_dir, stream its WAL deltas, serve "
+                  "reads, and reject writes until `wot_cli replica "
+                  "promote`");
+  flags.AddInt64("replica-shard", &replica_shard,
+                 "which upstream shard to mirror with --replica-of (one "
+                 "replica process per shard of a sharded primary)");
+  flags.AddString("replicas", &replicas_spec,
+                  "attach read replicas to a sharded primary: "
+                  "comma-separated SHARD=ADDRESS pairs (address as in "
+                  "--replica-of). Point reads and topk legs fan out "
+                  "across healthy, caught-up replicas; commits still go "
+                  "to the shard primaries");
+  flags.AddInt64("write_quorum", &write_quorum,
+                 "with --replicas: a commit's epoch only advances after "
+                 "this many members of each shard's set (primary "
+                 "included) applied it (1 = today's primary-only "
+                 "behavior)");
   flags.AddString("protocol", &protocol,
                   "initial wire protocol on every transport: 'ndjson' "
                   "(v1 lines; connections may still upgrade to v2 via "
@@ -399,6 +428,38 @@ int Main(int argc, char** argv) {
         "--slow_request_ms must be >= 0, or -1 for off, got " +
         std::to_string(slow_request_ms) + "\n" + flags.Usage()));
   }
+  if (!replica_of.empty()) {
+    if (data_dir.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--replica-of requires --data_dir (the replica persists what "
+          "it mirrors so restarts resume from a WAL delta, never a full "
+          "re-ship)\n" +
+          flags.Usage()));
+    }
+    if (!replicas_spec.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--replica-of and --replicas are mutually exclusive: a process "
+          "is either a follower or a primary with a replica set\n" +
+          flags.Usage()));
+    }
+    if (shards != 1) {
+      return Fail(Status::InvalidArgument(
+          "--replica-of mirrors exactly one upstream shard (pick it "
+          "with --replica-shard); run one replica process per shard "
+          "instead of --shards " +
+          std::to_string(shards) + "\n" + flags.Usage()));
+    }
+    if (replica_shard < 0) {
+      return Fail(Status::InvalidArgument(
+          "--replica-shard must be >= 0, got " +
+          std::to_string(replica_shard) + "\n" + flags.Usage()));
+    }
+  }
+  if (write_quorum < 1) {
+    return Fail(Status::InvalidArgument(
+        "--write_quorum must be >= 1 (1 = primary-only), got " +
+        std::to_string(write_quorum) + "\n" + flags.Usage()));
+  }
 
   Result<storage::FsyncPolicy> fsync_policy =
       storage::FsyncPolicyFromName(fsync);
@@ -420,8 +481,62 @@ int Main(int argc, char** argv) {
   std::unique_ptr<api::ServiceFrontend> plain_frontend;
   std::unique_ptr<api::ShardRouter> router;
   storage::DurableService durable;
+  std::unique_ptr<replication::ReplicaService> replica;
+  std::unique_ptr<api::ServiceFrontend> replica_inner;
+  std::unique_ptr<replication::ReplicaFrontend> replica_frontend;
+  std::unique_ptr<replication::ReplicationSource> repl_source;
   api::Frontend* frontend = nullptr;
-  if (!data_dir.empty()) {
+  if (!replica_of.empty()) {
+    replication::ReplicaOptions ropts;
+    ropts.shard = replica_shard;
+    ropts.storage.fsync = fsync_policy.ValueOrDie();
+    Result<std::unique_ptr<replication::ReplicaService>> booted =
+        replication::ReplicaService::Create(
+            data_dir,
+            replication::ReconnectingClient::ForAddress(replica_of),
+            ropts);
+    if (!booted.ok()) return Fail(booted.status());
+    replica = std::move(booted).ValueOrDie();
+    // Bootstrap before opening listeners: the primary may still be
+    // starting, so retry the catch-up (200ms apart, ~2 minutes) until a
+    // service exists to serve from.
+    int attempts = 0;
+    while (replica->service() == nullptr) {
+      Status caught = replica->CatchUp();
+      if (replica->service() != nullptr) break;
+      if (++attempts >= 600) {
+        return Fail(Status::Internal(
+            "replica bootstrap from " + replica_of + " gave up: " +
+            (caught.ok() ? std::string("no snapshot segment offered")
+                         : caught.ToString())));
+      }
+      if (!caught.ok() && attempts % 25 == 1) {
+        std::fprintf(stderr,
+                     "wot_served: waiting for primary %s: %s\n",
+                     replica_of.c_str(), caught.ToString().c_str());
+      }
+      ::usleep(200 * 1000);
+    }
+    replica_inner =
+        std::make_unique<api::ServiceFrontend>(replica->service());
+    replica_frontend = std::make_unique<replication::ReplicaFrontend>(
+        replica_inner.get(), replica.get());
+    replica_frontend->AddMetricsSource(
+        replica->manager()->metrics_registry());
+    replica->StartPuller();
+    frontend = replica_frontend.get();
+    std::shared_ptr<const TrustSnapshot> snapshot =
+        replica->service()->Snapshot();
+    std::fprintf(
+        stderr,
+        "wot_served: replica boot v%llu following %s shard %lld (%zu "
+        "users, source v%llu, fsync=%s)\n",
+        static_cast<unsigned long long>(snapshot->version()),
+        replica_of.c_str(), static_cast<long long>(replica_shard),
+        snapshot->num_users(),
+        static_cast<unsigned long long>(replica->source_version()),
+        storage::FsyncPolicyName(fsync_policy.ValueOrDie()));
+  } else if (!data_dir.empty()) {
     storage::DurableBootOptions options;
     options.storage.fsync = fsync_policy.ValueOrDie();
     options.num_shards = static_cast<size_t>(shards);
@@ -496,6 +611,64 @@ int Main(int argc, char** argv) {
                  router->num_shards(),
                  static_cast<long long>(api::kProtocolVersion),
                  total_users, total_ratings);
+  }
+  // A durable primary (any server with a --data_dir that is not itself
+  // a replica) serves repl_fetch so followers can bootstrap from its
+  // segments and stream its WAL; a promoted replica already serves it
+  // through its own ReplicaService.
+  if (!data_dir.empty() && replica == nullptr) {
+    replication::ReplicationSource::VersionProvider provider;
+    if (durable.router != nullptr) {
+      api::ShardRouter* shard_router = durable.router.get();
+      provider = [shard_router](int64_t shard) {
+        return shard_router->shard_service(static_cast<size_t>(shard))
+            ->Snapshot()
+            ->version();
+      };
+    } else {
+      TrustService* durable_service = durable.service.get();
+      provider = [durable_service](int64_t) {
+        return durable_service->Snapshot()->version();
+      };
+    }
+    repl_source = std::make_unique<replication::ReplicationSource>(
+        data_dir, static_cast<size_t>(shards), std::move(provider));
+    frontend->set_replication_handler(repl_source.get());
+    frontend->AddMetricsSource(repl_source->metrics_registry());
+  }
+  if (!replicas_spec.empty()) {
+    api::ShardRouter* target =
+        durable.router != nullptr ? durable.router.get() : router.get();
+    if (target == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--replicas requires a sharded primary (--shards >= 2)\n" +
+          flags.Usage()));
+    }
+    for (const std::string& entry : Split(replicas_spec, ',')) {
+      if (entry.empty()) continue;
+      const size_t eq = entry.find('=');
+      Result<int64_t> shard_id =
+          eq == std::string::npos
+              ? Result<int64_t>(Status::InvalidArgument("missing '='"))
+              : ParseInt64(entry.substr(0, eq));
+      if (!shard_id.ok() || shard_id.ValueOrDie() < 0 ||
+          shard_id.ValueOrDie() >= shards ||
+          eq + 1 >= entry.size()) {
+        return Fail(Status::InvalidArgument(
+            "--replicas entry '" + entry +
+            "' is not SHARD=ADDRESS with 0 <= SHARD < " +
+            std::to_string(shards) + "\n" + flags.Usage()));
+      }
+      const std::string address = entry.substr(eq + 1);
+      target->AddReplica(
+          static_cast<size_t>(shard_id.ValueOrDie()),
+          replication::ClientReplicaHandle::ForAddress(address));
+      std::fprintf(stderr,
+                   "wot_served: replica %s attached to shard %lld\n",
+                   address.c_str(),
+                   static_cast<long long>(shard_id.ValueOrDie()));
+    }
+    target->set_write_quorum(static_cast<size_t>(write_quorum));
   }
   std::vector<Listener> listeners;
   if (!socket_path.empty()) {
